@@ -1,0 +1,43 @@
+//! Microbenchmarks of the bag-algebra operators (join, union, left join,
+//! diff) at various sizes — the `f_AND`/`f_UNION`/`f_OPTIONAL` cost inputs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use uo_sparql::algebra::Bag;
+
+fn make_bag(width: usize, n: usize, offset: u32, bind: &[usize]) -> Bag {
+    let rows = (0..n)
+        .map(|i| {
+            let mut row = vec![0u32; width];
+            for &b in bind {
+                row[b] = offset + (i as u32 % 1000) + 1;
+            }
+            row.into_boxed_slice()
+        })
+        .collect();
+    Bag::from_rows(width, rows)
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algebra");
+    for &n in &[1_000usize, 10_000] {
+        let left = make_bag(4, n, 0, &[0, 1]);
+        let right = make_bag(4, n, 0, &[0, 2]);
+        group.bench_function(format!("join/{n}"), |b| {
+            b.iter(|| black_box(left.join(&right)))
+        });
+        group.bench_function(format!("left_join/{n}"), |b| {
+            b.iter(|| black_box(left.left_join(&right)))
+        });
+        group.bench_function(format!("diff/{n}"), |b| {
+            b.iter(|| black_box(left.diff(&right)))
+        });
+        group.bench_function(format!("union/{n}"), |b| {
+            b.iter(|| black_box(left.clone().union_bag(right.clone())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

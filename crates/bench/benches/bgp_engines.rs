@@ -1,0 +1,40 @@
+//! Microbenchmarks of the two BGP engines on LUBM-shaped BGPs: the
+//! building block whose cost both the paper's Section 5.1.2 formulas model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use uo_core::prepare;
+use uo_datagen::{generate_lubm, LubmConfig};
+use uo_engine::{BgpEngine, BinaryJoinEngine, CandidateSet, WcoEngine};
+
+fn bench_engines(c: &mut Criterion) {
+    let store = generate_lubm(&LubmConfig::tiny());
+    let queries = [
+        ("star_selective", "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+            SELECT WHERE { ?x ub:worksFor <http://www.Department0.University0.edu> .
+                           ?x ub:emailAddress ?e . ?x ub:name ?n . }"),
+        ("path_unselective", "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+            SELECT WHERE { ?s ub:advisor ?p . ?p ub:teacherOf ?c . ?s ub:takesCourse ?c . }"),
+    ];
+    let wco = WcoEngine::new();
+    let bin = BinaryJoinEngine::new();
+    let mut group = c.benchmark_group("bgp_engines");
+    for (name, q) in queries {
+        let prepared = prepare(&store, q).unwrap();
+        let bgp = match &prepared.tree.root.children[0] {
+            uo_core::BeNode::Bgp(b) => b.bgp.clone(),
+            other => panic!("{other:?}"),
+        };
+        let width = prepared.vars.len();
+        group.bench_function(format!("wco/{name}"), |b| {
+            b.iter(|| black_box(wco.evaluate(&store, &bgp, width, &CandidateSet::none())))
+        });
+        group.bench_function(format!("binary/{name}"), |b| {
+            b.iter(|| black_box(bin.evaluate(&store, &bgp, width, &CandidateSet::none())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Benchmarks the optimizer itself: BE-tree construction and cost-driven
+//! multi-level transformation (the "Transformation" bars of Figure 10).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use uo_core::{multi_level_transform, prepare, CostModel, OptimizerConfig};
+use uo_datagen::{generate_lubm, lubm_queries, LubmConfig};
+use uo_engine::WcoEngine;
+
+fn bench_plan_time(c: &mut Criterion) {
+    let store = generate_lubm(&LubmConfig::tiny());
+    let engine = WcoEngine::new();
+    let mut group = c.benchmark_group("plan_time");
+    for q in lubm_queries().into_iter().filter(|q| q.group == 1) {
+        group.bench_function(format!("prepare/{}", q.id), |b| {
+            b.iter(|| black_box(prepare(&store, q.text).unwrap()))
+        });
+        group.bench_function(format!("transform/{}", q.id), |b| {
+            b.iter_batched(
+                || prepare(&store, q.text).unwrap(),
+                |mut prepared| {
+                    let cm = CostModel::new(&store, &engine);
+                    black_box(multi_level_transform(
+                        &mut prepared.tree,
+                        &cm,
+                        OptimizerConfig::default(),
+                    ))
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan_time);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion version of Figure 10: the four strategies on representative
+//! benchmark queries (one UNION-dominated, one OPTIONAL-dominated, one
+//! mixed), small LUBM scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use uo_core::{run_query, Strategy};
+use uo_datagen::{generate_lubm, lubm_queries, LubmConfig};
+use uo_engine::WcoEngine;
+
+fn bench_strategies(c: &mut Criterion) {
+    let store = generate_lubm(&LubmConfig::tiny());
+    let engine = WcoEngine::new();
+    let mut group = c.benchmark_group("strategies");
+    group.sample_size(20);
+    for q in lubm_queries() {
+        if !["q1.2", "q1.5", "q2.4"].contains(&q.id) {
+            continue;
+        }
+        for strategy in Strategy::ALL {
+            group.bench_function(format!("{}/{}", q.id, strategy.label()), |b| {
+                b.iter(|| black_box(run_query(&store, &engine, q.text, strategy).unwrap()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Regenerates Figure 10: execution time of base / TT / CP / full on
+//! q1.1–q1.6, over both BGP engines and both datasets, plus the tree
+//! transformation time for TT and full.
+
+use uo_bench::{dbpedia_store, engines, group1, header, lubm_group1, ms, row, run};
+use uo_core::Strategy;
+use uo_datagen::Dataset;
+
+fn main() {
+    for (ds_name, dataset, store) in [
+        ("LUBM", Dataset::Lubm, lubm_group1()),
+        ("DBpedia", Dataset::Dbpedia, dbpedia_store()),
+    ] {
+        for (engine_name, engine) in engines() {
+            println!("\n# Figure 10: {engine_name}, {ds_name} ({} triples)\n", store.len());
+            header(&["Query", "base (ms)", "TT (ms)", "CP (ms)", "full (ms)", "TT transform (ms)", "full transform (ms)", "|results|"]);
+            for q in group1(dataset) {
+                let mut cells = vec![q.id.to_string()];
+                let mut tt_transform = String::new();
+                let mut full_transform = String::new();
+                let mut n_results = 0;
+                for strategy in Strategy::ALL {
+                    let (report, total) = run(&store, engine.as_ref(), &q, strategy);
+                    cells.push(ms(total));
+                    match strategy {
+                        Strategy::TreeTransform => tt_transform = ms(report.transform_time),
+                        Strategy::Full => full_transform = ms(report.transform_time),
+                        _ => {}
+                    }
+                    n_results = report.results.len();
+                }
+                cells.push(tt_transform);
+                cells.push(full_transform);
+                cells.push(n_results.to_string());
+                row(&cells);
+            }
+        }
+    }
+}

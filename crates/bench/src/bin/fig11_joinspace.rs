@@ -1,0 +1,30 @@
+//! Regenerates Figure 11: execution time and join space (JS) of q1.1–q1.6
+//! per strategy. JS estimates the largest intermediate result materialized
+//! (Section 7.1); smaller is better.
+
+use uo_bench::{dbpedia_store, group1, header, lubm_group1, ms, row, run};
+use uo_core::Strategy;
+use uo_datagen::Dataset;
+use uo_engine::WcoEngine;
+
+fn main() {
+    let engine = WcoEngine::new();
+    for (ds_name, dataset, store) in [
+        ("LUBM", Dataset::Lubm, lubm_group1()),
+        ("DBpedia", Dataset::Dbpedia, dbpedia_store()),
+    ] {
+        println!("\n# Figure 11: {ds_name} — time and join space per strategy\n");
+        header(&["Query", "Strategy", "time (ms)", "join space (JS)"]);
+        for q in group1(dataset) {
+            for strategy in Strategy::ALL {
+                let (report, total) = run(&store, &engine, &q, strategy);
+                row(&[
+                    q.id.to_string(),
+                    strategy.to_string(),
+                    ms(total),
+                    format!("{:.3e}", report.join_space),
+                ]);
+            }
+        }
+    }
+}

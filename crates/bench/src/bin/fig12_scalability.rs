@@ -1,0 +1,30 @@
+//! Regenerates Figure 12: execution time of `full` on q1.1–q1.6 over LUBM
+//! datasets of growing size (the paper's 0.5B/1B/1.5B/2B sweep, scaled to
+//! 2/4/6/8 universities).
+
+use uo_bench::{group1, header, lubm_at, ms, row, run};
+use uo_core::Strategy;
+use uo_datagen::Dataset;
+use uo_engine::WcoEngine;
+
+fn main() {
+    let engine = WcoEngine::new();
+    let scales = [2usize, 4, 6, 8];
+    let stores: Vec<_> = scales.iter().map(|&u| (u, lubm_at(u))).collect();
+    println!("# Figure 12: scalability of `full` on LUBM\n");
+    for (u, st) in &stores {
+        println!("- {u} universities = {} triples", st.len());
+    }
+    println!();
+    let mut cols = vec!["Query".to_string()];
+    cols.extend(scales.iter().map(|u| format!("{u} univ (ms)")));
+    header(&cols.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    for q in group1(Dataset::Lubm) {
+        let mut cells = vec![q.id.to_string()];
+        for (_, st) in &stores {
+            let (_, total) = run(st, &engine, &q, Strategy::Full);
+            cells.push(ms(total));
+        }
+        row(&cells);
+    }
+}

@@ -1,0 +1,40 @@
+//! Regenerates Figure 13: total response time of `full` vs the LBR baseline
+//! on the OPTIONAL-only queries q2.1–q2.6, on LUBM and DBpedia.
+
+use std::time::Instant;
+use uo_bench::{dbpedia_store, group2, header, lubm_group2, ms, row, run};
+use uo_core::{prepare, Strategy};
+use uo_datagen::Dataset;
+use uo_engine::WcoEngine;
+use uo_lbr::evaluate_lbr;
+
+fn main() {
+    let engine = WcoEngine::new();
+    for (ds_name, dataset, store) in [
+        ("LUBM", Dataset::Lubm, lubm_group2()),
+        ("DBpedia", Dataset::Dbpedia, dbpedia_store()),
+    ] {
+        println!("\n# Figure 13: {ds_name} ({} triples) — full vs LBR\n", store.len());
+        header(&["Query", "LBR (ms)", "full (ms)", "speedup", "|results| (both)"]);
+        for q in group2(dataset) {
+            let prepared = prepare(&store, q.text).unwrap();
+            let t = Instant::now();
+            let (lbr_bag, _) = evaluate_lbr(&prepared.tree, &store, prepared.vars.len());
+            let lbr_time = t.elapsed();
+            let (report, full_time) = run(&store, &engine, &q, Strategy::Full);
+            assert_eq!(
+                lbr_bag.canonicalized(),
+                report.bag.canonicalized(),
+                "LBR and full disagree on {}",
+                q.id
+            );
+            row(&[
+                q.id.to_string(),
+                ms(lbr_time),
+                ms(full_time),
+                format!("{:.1}x", lbr_time.as_secs_f64() / full_time.as_secs_f64().max(1e-9)),
+                report.results.len().to_string(),
+            ]);
+        }
+    }
+}

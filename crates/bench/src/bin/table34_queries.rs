@@ -1,0 +1,36 @@
+//! Regenerates Tables 3 and 4: per-query type (U/O/UO), BGP count, depth and
+//! result size on LUBM and DBpedia.
+
+use uo_bench::{dbpedia_store, header, lubm_group1, lubm_group2, row, run};
+use uo_core::metrics::query_type;
+use uo_core::{prepare, Strategy};
+use uo_datagen::{queries_for, Dataset};
+use uo_engine::WcoEngine;
+
+fn main() {
+    let engine = WcoEngine::new();
+    let lubm1 = lubm_group1();
+    let lubm2 = lubm_group2();
+    let dbp = dbpedia_store();
+    for (name, dataset) in [("Table 3 (LUBM)", Dataset::Lubm), ("Table 4 (DBpedia)", Dataset::Dbpedia)] {
+        println!("\n# {name}: Query Statistics\n");
+        header(&["Query", "Type", "Count_BGP", "Depth", "|[[Q]]_D|"]);
+        for q in queries_for(dataset) {
+            let store = match (dataset, q.group) {
+                (Dataset::Lubm, 1) => &lubm1,
+                (Dataset::Lubm, _) => &lubm2,
+                (Dataset::Dbpedia, _) => &dbp,
+            };
+            let parsed = uo_sparql::parse(q.text).unwrap();
+            let prepared = prepare(store, q.text).unwrap();
+            let (report, _) = run(store, &engine, &q, Strategy::Full);
+            row(&[
+                q.id.to_string(),
+                query_type(&parsed.body).to_string(),
+                prepared.tree.bgp_count().to_string(),
+                parsed.body.depth().to_string(),
+                report.results.len().to_string(),
+            ]);
+        }
+    }
+}

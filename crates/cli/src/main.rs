@@ -1,0 +1,287 @@
+//! `sparql-uo` — command-line front end for the SPARQL-UO engine.
+//!
+//! ```text
+//! sparql-uo load   <data.{nt,ttl}> --out <store.uost>
+//! sparql-uo stats  <data.{nt,ttl,uost}>
+//! sparql-uo query  <data.{nt,ttl,uost}> (--query <file> | --text <sparql>)
+//!                  [--strategy base|tt|cp|full] [--engine wco|binary|lbr]
+//!                  [--explain] [--check-wd] [--limit-print N]
+//! sparql-uo gen    lubm|dbpedia [--scale N] --out <file.nt>
+//! ```
+//!
+//! Argument parsing is hand-rolled to keep the dependency set minimal.
+
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Instant;
+use uo_core::{prepare, run_query, Strategy};
+use uo_engine::{BgpEngine, BinaryJoinEngine, WcoEngine};
+use uo_store::TripleStore;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  sparql-uo load   <data.{nt,ttl}> --out <store.uost>
+  sparql-uo stats  <data.{nt,ttl,uost}>
+  sparql-uo query  <data.{nt,ttl,uost}> (--query <file> | --text <sparql>)
+                   [--strategy base|tt|cp|full] [--engine wco|binary|lbr]
+                   [--explain] [--check-wd] [--limit-print N]
+  sparql-uo gen    lubm|dbpedia [--scale N] --out <file.nt>";
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("load") => cmd_load(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some(other) => Err(format!("unknown command '{other}'")),
+        None => Err("no command given".into()),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn load_store(path_str: &str) -> Result<TripleStore, String> {
+    let path = Path::new(path_str);
+    let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+    let t0 = Instant::now();
+    let store = match ext {
+        "uost" => uo_store::load_from_file(path).map_err(|e| e.to_string())?,
+        "ttl" | "turtle" => {
+            let doc = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+            let mut st = TripleStore::new();
+            st.load_turtle(&doc).map_err(|e| e.to_string())?;
+            st.build();
+            st
+        }
+        _ => {
+            let doc = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+            let mut st = TripleStore::new();
+            st.load_ntriples(&doc).map_err(|e| e.to_string())?;
+            st.build();
+            st
+        }
+    };
+    eprintln!("loaded {} triples from {path_str} in {:.2?}", store.len(), t0.elapsed());
+    Ok(store)
+}
+
+fn cmd_load(args: &[String]) -> Result<(), String> {
+    let input = args.first().ok_or("load: missing input file")?;
+    let out = flag_value(args, "--out").ok_or("load: missing --out <store.uost>")?;
+    let store = load_store(input)?;
+    let t0 = Instant::now();
+    uo_store::save_to_file(&store, Path::new(out)).map_err(|e| e.to_string())?;
+    eprintln!("snapshot written to {out} in {:.2?}", t0.elapsed());
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let input = args.first().ok_or("stats: missing input file")?;
+    let store = load_store(input)?;
+    let s = store.stats();
+    println!("triples:    {}", s.triples);
+    println!("entities:   {}", s.entities);
+    println!("predicates: {}", s.predicates);
+    println!("literals:   {}", s.literals);
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let input = args.first().ok_or("query: missing data file")?;
+    let text = match (flag_value(args, "--query"), flag_value(args, "--text")) {
+        (Some(f), _) => std::fs::read_to_string(f).map_err(|e| e.to_string())?,
+        (None, Some(t)) => t.to_string(),
+        (None, None) => return Err("query: need --query <file> or --text <sparql>".into()),
+    };
+    let strategy = match flag_value(args, "--strategy").unwrap_or("full") {
+        "base" => Strategy::Base,
+        "tt" | "TT" => Strategy::TreeTransform,
+        "cp" | "CP" => Strategy::CandidatePruning,
+        "full" => Strategy::Full,
+        other => return Err(format!("unknown strategy '{other}'")),
+    };
+    let engine_name = flag_value(args, "--engine").unwrap_or("wco");
+    let store = load_store(input)?;
+
+    if has_flag(args, "--check-wd") {
+        let parsed = uo_sparql::parse(&text).map_err(|e| e.to_string())?;
+        let violations = uo_core::check_well_designed(&parsed.body);
+        if violations.is_empty() {
+            eprintln!("query is well-designed");
+        } else {
+            for v in &violations {
+                eprintln!("warning: {v}");
+            }
+        }
+    }
+
+    if engine_name == "lbr" {
+        let prepared = prepare(&store, &text).map_err(|e| e.to_string())?;
+        let t0 = Instant::now();
+        let (bag, stats) = uo_lbr::evaluate_lbr(&prepared.tree, &store, prepared.vars.len());
+        eprintln!(
+            "LBR: {} results in {:.2?} ({} relations, {} semijoins, {} pruned)",
+            bag.len(),
+            t0.elapsed(),
+            stats.relations,
+            stats.semijoins,
+            stats.semijoin_pruned
+        );
+        let results = uo_core::decode_projection(&bag, &prepared.projection, &store);
+        print_results(&results, &prepared.query.projection(), args);
+        return Ok(());
+    }
+
+    let engine: Box<dyn BgpEngine> = match engine_name {
+        "wco" => Box::new(WcoEngine::new()),
+        "binary" => Box::new(BinaryJoinEngine::new()),
+        other => return Err(format!("unknown engine '{other}'")),
+    };
+    let report = run_query(&store, engine.as_ref(), &text, strategy).map_err(|e| e.to_string())?;
+    if has_flag(args, "--explain") {
+        eprintln!("--- plan ({} merges, {} injects) ---", report.transforms.merges, report.transforms.injects);
+        eprintln!("{}", report.plan);
+    }
+    eprintln!(
+        "{}/{}: {} results | transform {:.2?} | exec {:.2?} | join space {:.3e}",
+        engine.name(),
+        strategy.label(),
+        report.results.len(),
+        report.transform_time,
+        report.exec_time,
+        report.join_space
+    );
+    let parsed = uo_sparql::parse(&text).map_err(|e| e.to_string())?;
+    print_results(&report.results, &parsed.projection(), args);
+    Ok(())
+}
+
+fn print_results(
+    results: &[Vec<Option<uo_rdf::Term>>],
+    projection: &[String],
+    args: &[String],
+) {
+    let cap: usize = flag_value(args, "--limit-print")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+    println!("{}", projection.iter().map(|v| format!("?{v}")).collect::<Vec<_>>().join("\t"));
+    for row in results.iter().take(cap) {
+        let cells: Vec<String> = row
+            .iter()
+            .map(|t| t.as_ref().map(|t| t.to_string()).unwrap_or_else(|| "—".into()))
+            .collect();
+        println!("{}", cells.join("\t"));
+    }
+    if results.len() > cap {
+        println!("... ({} more rows; raise with --limit-print)", results.len() - cap);
+    }
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let which = args.first().ok_or("gen: expected 'lubm' or 'dbpedia'")?;
+    let scale: f64 = flag_value(args, "--scale").and_then(|v| v.parse().ok()).unwrap_or(1.0);
+    let out = flag_value(args, "--out").ok_or("gen: missing --out <file.nt>")?;
+    let store = match which.as_str() {
+        "lubm" => uo_datagen::generate_lubm(&uo_datagen::LubmConfig {
+            universities: (scale.max(0.1) as usize).max(1),
+            ..uo_datagen::LubmConfig::default()
+        }),
+        "dbpedia" => uo_datagen::generate_dbpedia(&uo_datagen::DbpediaConfig {
+            articles: ((20_000.0 * scale) as usize).max(100),
+            ..uo_datagen::DbpediaConfig::default()
+        }),
+        other => return Err(format!("unknown generator '{other}'")),
+    };
+    let t0 = Instant::now();
+    let mut doc = String::new();
+    for t in store.iter() {
+        let d = store.dictionary();
+        let (s, p, o) = (
+            d.decode(t.subject).unwrap(),
+            d.decode(t.predicate).unwrap(),
+            d.decode(t.object).unwrap(),
+        );
+        doc.push_str(&format!("{s} {p} {o} .\n"));
+    }
+    std::fs::write(out, doc).map_err(|e| e.to_string())?;
+    eprintln!("wrote {} triples to {out} in {:.2?}", store.len(), t0.elapsed());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let args = s(&["data.nt", "--strategy", "tt", "--explain"]);
+        assert_eq!(flag_value(&args, "--strategy"), Some("tt"));
+        assert!(has_flag(&args, "--explain"));
+        assert!(!has_flag(&args, "--check-wd"));
+        assert_eq!(flag_value(&args, "--missing"), None);
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_load_query_roundtrip() {
+        let dir = std::env::temp_dir().join("uo_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let nt = dir.join("mini.nt");
+        std::fs::write(
+            &nt,
+            "<http://e/a> <http://p/link> <http://e/b> .\n<http://e/a> <http://p/name> \"A\" .\n",
+        )
+        .unwrap();
+        let snap = dir.join("mini.uost");
+        run(&s(&["load", nt.to_str().unwrap(), "--out", snap.to_str().unwrap()])).unwrap();
+        run(&s(&["stats", snap.to_str().unwrap()])).unwrap();
+        run(&s(&[
+            "query",
+            snap.to_str().unwrap(),
+            "--text",
+            "SELECT ?x WHERE { ?x <http://p/link> ?y OPTIONAL { ?x <http://p/name> ?n } }",
+            "--strategy",
+            "full",
+            "--explain",
+            "--check-wd",
+        ]))
+        .unwrap();
+        run(&s(&[
+            "query",
+            snap.to_str().unwrap(),
+            "--text",
+            "SELECT ?x WHERE { ?x <http://p/link> ?y }",
+            "--engine",
+            "lbr",
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

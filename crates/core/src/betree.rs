@@ -1,0 +1,722 @@
+//! The BGP-based Evaluation tree (BE-tree, Definition 8).
+//!
+//! A BE-tree is the paper's plan representation for SPARQL-UO queries:
+//!
+//! - the root is a *group graph pattern node* ([`GroupNode`]);
+//! - internal nodes are group graph pattern, `UNION` or `OPTIONAL` nodes;
+//! - leaves are *maximal* BGP nodes (no further coalescing possible).
+//!
+//! Construction from a parsed query ([`BeTree::build`]) mirrors Section 4.1:
+//! each sibling triple pattern starts as a singleton BGP, then sibling BGPs
+//! are coalesced (Definitions 3–4) until maximal, each coalesced BGP placed
+//! where its leftmost constituent originally resided. Joins between siblings
+//! remain implicit in the sibling order, exactly as Algorithm 1 consumes
+//! them.
+
+use uo_engine::{encode_bgp, EncodedBgp, EncodedTriplePattern, Slot};
+use uo_rdf::{Dictionary, Id, NO_ID};
+use uo_sparql::algebra::{bit, VarId, VarMask, VarTable};
+use uo_sparql::ast::{Element, Expr, GroupPattern, PatternTerm, Query};
+
+/// A leaf BGP node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BgpNode {
+    /// The encoded BGP.
+    pub bgp: EncodedBgp,
+    /// Cached result-size estimate, filled in by the cost-driven optimizer
+    /// and reused as the adaptive candidate-pruning threshold (Section 6).
+    pub est_cardinality: Option<f64>,
+}
+
+impl BgpNode {
+    /// Wraps an encoded BGP.
+    pub fn new(bgp: EncodedBgp) -> Self {
+        BgpNode { bgp, est_cardinality: None }
+    }
+
+    /// Mask of variables appearing in the BGP.
+    pub fn var_mask(&self) -> VarMask {
+        self.bgp.var_mask()
+    }
+
+    /// BGP coalescability (Definition 4): some constituent triple patterns
+    /// share a variable at a subject/object position.
+    pub fn coalescable_with(&self, other: &BgpNode) -> bool {
+        bgps_coalescable(&self.bgp, &other.bgp)
+    }
+}
+
+/// Definition 4 on encoded BGPs.
+pub fn bgps_coalescable(a: &EncodedBgp, b: &EncodedBgp) -> bool {
+    let join_mask = |bgp: &EncodedBgp| -> VarMask {
+        bgp.patterns
+            .iter()
+            .flat_map(|p| [p.s, p.o])
+            .filter_map(|s| s.as_var())
+            .fold(0, |m, v| m | bit(v))
+    };
+    join_mask(a) & join_mask(b) != 0
+}
+
+/// One operand of an encoded FILTER comparison: a variable (resolved
+/// against the row + dictionary) or a constant term. Constants are kept as
+/// terms, not dictionary ids — a filter constant need not occur in the data
+/// (`FILTER(?a < 10)` must work even if no triple contains `10`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FilterOperand {
+    /// A query variable.
+    Var(VarId),
+    /// A constant term.
+    Const(uo_rdf::Term),
+}
+
+/// An encoded FILTER constraint over the query's variable frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EncodedExpr {
+    /// Equality of two operands (term equality).
+    Eq(FilterOperand, FilterOperand),
+    /// Inequality.
+    Ne(FilterOperand, FilterOperand),
+    /// Value comparison `a < b` (numeric when both sides are numeric
+    /// literals, else on the terms' string forms).
+    Lt(FilterOperand, FilterOperand),
+    /// `a <= b`.
+    Le(FilterOperand, FilterOperand),
+    /// `a > b`.
+    Gt(FilterOperand, FilterOperand),
+    /// `a >= b`.
+    Ge(FilterOperand, FilterOperand),
+    /// `BOUND(?v)`.
+    Bound(VarId),
+    /// `isIRI(?v)`.
+    IsIri(VarId),
+    /// `isLiteral(?v)`.
+    IsLiteral(VarId),
+    /// `isBlank(?v)`.
+    IsBlank(VarId),
+    /// Conjunction.
+    And(Box<EncodedExpr>, Box<EncodedExpr>),
+    /// Disjunction.
+    Or(Box<EncodedExpr>, Box<EncodedExpr>),
+    /// Negation.
+    Not(Box<EncodedExpr>),
+}
+
+impl EncodedExpr {
+    /// Evaluates the expression on a row (SPARQL boolean semantics restricted
+    /// to our fragment: comparisons involving unbound variables are false,
+    /// which `!` then inverts). Variables decode through `dict`.
+    pub fn eval(&self, row: &[Id], dict: &Dictionary) -> bool {
+        fn val<'a>(s: &'a FilterOperand, row: &[Id], dict: &'a Dictionary) -> Option<&'a uo_rdf::Term> {
+            match s {
+                FilterOperand::Const(t) => Some(t),
+                FilterOperand::Var(v) => {
+                    let x = row[*v as usize];
+                    if x == NO_ID {
+                        None
+                    } else {
+                        dict.decode(x)
+                    }
+                }
+            }
+        }
+        let cmp = |a: &FilterOperand, b: &FilterOperand| -> Option<std::cmp::Ordering> {
+            let (tx, ty) = (val(a, row, dict)?, val(b, row, dict)?);
+            match (tx.numeric_value(), ty.numeric_value()) {
+                (Some(nx), Some(ny)) => nx.partial_cmp(&ny),
+                // Fall back to ordering on the display form (covers plain
+                // strings, dates in ISO form, IRIs).
+                _ => Some(tx.to_string().cmp(&ty.to_string())),
+            }
+        };
+        match self {
+            EncodedExpr::Eq(a, b) => match (val(a, row, dict), val(b, row, dict)) {
+                (Some(x), Some(y)) => term_eq(x, y),
+                _ => false,
+            },
+            EncodedExpr::Ne(a, b) => match (val(a, row, dict), val(b, row, dict)) {
+                (Some(x), Some(y)) => !term_eq(x, y),
+                _ => false,
+            },
+            EncodedExpr::Lt(a, b) => cmp(a, b) == Some(std::cmp::Ordering::Less),
+            EncodedExpr::Le(a, b) => {
+                matches!(cmp(a, b), Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal))
+            }
+            EncodedExpr::Gt(a, b) => cmp(a, b) == Some(std::cmp::Ordering::Greater),
+            EncodedExpr::Ge(a, b) => {
+                matches!(cmp(a, b), Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal))
+            }
+            EncodedExpr::Bound(v) => row[*v as usize] != NO_ID,
+            EncodedExpr::IsIri(v) => {
+                let x = row[*v as usize];
+                x != NO_ID && dict.decode(x).map(|t| t.is_iri()).unwrap_or(false)
+            }
+            EncodedExpr::IsLiteral(v) => {
+                let x = row[*v as usize];
+                x != NO_ID && dict.decode(x).map(|t| t.is_literal()).unwrap_or(false)
+            }
+            EncodedExpr::IsBlank(v) => {
+                let x = row[*v as usize];
+                x != NO_ID && dict.decode(x).map(|t| t.is_blank()).unwrap_or(false)
+            }
+            EncodedExpr::And(a, b) => a.eval(row, dict) && b.eval(row, dict),
+            EncodedExpr::Or(a, b) => a.eval(row, dict) || b.eval(row, dict),
+            EncodedExpr::Not(a) => !a.eval(row, dict),
+        }
+    }
+}
+
+/// Term equality for filters: structural equality, with numeric literals
+/// also equal by value (`"1"^^xsd:integer = "1.0"^^xsd:decimal`).
+fn term_eq(a: &uo_rdf::Term, b: &uo_rdf::Term) -> bool {
+    if a == b {
+        return true;
+    }
+    matches!((a.numeric_value(), b.numeric_value()), (Some(x), Some(y)) if x == y)
+}
+
+/// A child of a group graph pattern node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BeNode {
+    /// A leaf BGP.
+    Bgp(BgpNode),
+    /// A nested group graph pattern.
+    Group(GroupNode),
+    /// A `UNION` node with two or more group graph pattern children.
+    Union(Vec<GroupNode>),
+    /// An `OPTIONAL` node with exactly one child: the OPTIONAL-right group
+    /// graph pattern (the OPTIONAL-left side is the preceding siblings).
+    Optional(GroupNode),
+    /// A SPARQL 1.1 `MINUS` node (outside the SPARQL-UO fragment; never a
+    /// transformation target, evaluated by Algorithm 1's extension).
+    Minus(GroupNode),
+    /// A FILTER constraint on the enclosing group.
+    Filter(EncodedExpr),
+}
+
+impl BeNode {
+    /// True if this is a BGP leaf.
+    pub fn is_bgp(&self) -> bool {
+        matches!(self, BeNode::Bgp(_))
+    }
+
+    /// Mask of variables of all BGPs in this subtree (used to scope
+    /// candidate derivation to variables that can actually prune).
+    pub fn bgp_var_mask(&self) -> VarMask {
+        match self {
+            BeNode::Bgp(b) => b.var_mask(),
+            BeNode::Group(g) | BeNode::Optional(g) | BeNode::Minus(g) => g.bgp_var_mask(),
+            BeNode::Union(bs) => bs.iter().fold(0, |m, b| m | b.bgp_var_mask()),
+            BeNode::Filter(_) => 0,
+        }
+    }
+}
+
+/// A group graph pattern node: an ordered sequence of children.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GroupNode {
+    /// Children in sibling order.
+    pub children: Vec<BeNode>,
+}
+
+impl GroupNode {
+    /// Mask of variables of all BGPs in this subtree.
+    pub fn bgp_var_mask(&self) -> VarMask {
+        self.children.iter().fold(0, |m, c| m | c.bgp_var_mask())
+    }
+
+    /// Mask of variables *certainly bound* by every solution of this group:
+    /// BGP variables and, recursively, group children; UNION children
+    /// contribute only variables bound in all branches; OPTIONAL children
+    /// contribute nothing.
+    pub fn certain_var_mask(&self) -> VarMask {
+        certain_mask_of(&self.children)
+    }
+}
+
+/// The certainly-bound variable mask of a sibling prefix (see
+/// [`GroupNode::certain_var_mask`]).
+pub fn certain_mask_of(children: &[BeNode]) -> VarMask {
+    children.iter().fold(0, |m, c| m | node_certain_mask(c))
+}
+
+fn node_certain_mask(node: &BeNode) -> VarMask {
+    match node {
+        BeNode::Bgp(b) => b.var_mask(),
+        BeNode::Group(g) => g.certain_var_mask(),
+        BeNode::Union(bs) => bs
+            .iter()
+            .map(|b| b.certain_var_mask())
+            .fold(!0u64, |m, c| m & c),
+        BeNode::Optional(_) | BeNode::Minus(_) | BeNode::Filter(_) => 0,
+    }
+}
+
+/// A complete BE-tree plus the query-level context it was built with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BeTree {
+    /// The root group graph pattern node.
+    pub root: GroupNode,
+}
+
+impl BeTree {
+    /// Builds the BE-tree of a parsed query (Section 4.1), interning
+    /// variables into `vars` and encoding constants against `dict`.
+    pub fn build(query: &Query, vars: &mut VarTable, dict: &Dictionary) -> BeTree {
+        BeTree { root: build_group(&query.body, vars, dict) }
+    }
+
+    /// Builds directly from a group pattern (used by tests).
+    pub fn from_group(group: &GroupPattern, vars: &mut VarTable, dict: &Dictionary) -> BeTree {
+        BeTree { root: build_group(group, vars, dict) }
+    }
+
+    /// Total number of BGP nodes in the tree.
+    pub fn bgp_count(&self) -> usize {
+        fn walk(g: &GroupNode) -> usize {
+            g.children
+                .iter()
+                .map(|c| match c {
+                    BeNode::Bgp(_) => 1,
+                    BeNode::Group(g) | BeNode::Optional(g) | BeNode::Minus(g) => walk(g),
+                    BeNode::Union(bs) => bs.iter().map(walk).sum(),
+                    BeNode::Filter(_) => 0,
+                })
+                .sum()
+        }
+        walk(&self.root)
+    }
+
+    /// Checks the structural invariants of Definition 8 plus maximality of
+    /// BGP leaves; returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        fn walk(g: &GroupNode, path: &str) -> Result<(), String> {
+            // Maximality: no two sibling BGPs may be coalescable.
+            let bgps: Vec<(usize, &BgpNode)> = g
+                .children
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| match c {
+                    BeNode::Bgp(b) => Some((i, b)),
+                    _ => None,
+                })
+                .collect();
+            for (ai, (i, a)) in bgps.iter().enumerate() {
+                for (j, b) in bgps.iter().skip(ai + 1) {
+                    if a.coalescable_with(b) {
+                        return Err(format!(
+                            "siblings {i} and {j} at {path} are coalescable BGPs (non-maximal)"
+                        ));
+                    }
+                }
+            }
+            for (i, c) in g.children.iter().enumerate() {
+                match c {
+                    BeNode::Union(branches) => {
+                        if branches.len() < 2 {
+                            return Err(format!(
+                                "UNION node at {path}/{i} has {} child(ren), needs ≥ 2",
+                                branches.len()
+                            ));
+                        }
+                        for (bi, b) in branches.iter().enumerate() {
+                            walk(b, &format!("{path}/{i}[{bi}]"))?;
+                        }
+                    }
+                    BeNode::Group(gg) | BeNode::Optional(gg) | BeNode::Minus(gg) => {
+                        walk(gg, &format!("{path}/{i}"))?;
+                    }
+                    BeNode::Bgp(b) => {
+                        if b.bgp.patterns.is_empty() {
+                            return Err(format!("empty BGP node at {path}/{i}"));
+                        }
+                    }
+                    BeNode::Filter(_) => {}
+                }
+            }
+            Ok(())
+        }
+        walk(&self.root, "root")
+    }
+}
+
+fn encode_operand(t: &PatternTerm, vars: &mut VarTable) -> FilterOperand {
+    match t {
+        PatternTerm::Var(v) => FilterOperand::Var(vars.intern(v)),
+        PatternTerm::Const(term) => FilterOperand::Const(term.clone()),
+    }
+}
+
+fn encode_expr(e: &Expr, vars: &mut VarTable, dict: &Dictionary) -> EncodedExpr {
+    match e {
+        Expr::Eq(a, b) => EncodedExpr::Eq(encode_operand(a, vars), encode_operand(b, vars)),
+        Expr::Ne(a, b) => EncodedExpr::Ne(encode_operand(a, vars), encode_operand(b, vars)),
+        Expr::Lt(a, b) => EncodedExpr::Lt(encode_operand(a, vars), encode_operand(b, vars)),
+        Expr::Le(a, b) => EncodedExpr::Le(encode_operand(a, vars), encode_operand(b, vars)),
+        Expr::Gt(a, b) => EncodedExpr::Gt(encode_operand(a, vars), encode_operand(b, vars)),
+        Expr::Ge(a, b) => EncodedExpr::Ge(encode_operand(a, vars), encode_operand(b, vars)),
+        Expr::Bound(v) => EncodedExpr::Bound(vars.intern(v)),
+        Expr::IsIri(v) => EncodedExpr::IsIri(vars.intern(v)),
+        Expr::IsLiteral(v) => EncodedExpr::IsLiteral(vars.intern(v)),
+        Expr::IsBlank(v) => EncodedExpr::IsBlank(vars.intern(v)),
+        Expr::And(a, b) => EncodedExpr::And(
+            Box::new(encode_expr(a, vars, dict)),
+            Box::new(encode_expr(b, vars, dict)),
+        ),
+        Expr::Or(a, b) => EncodedExpr::Or(
+            Box::new(encode_expr(a, vars, dict)),
+            Box::new(encode_expr(b, vars, dict)),
+        ),
+        Expr::Not(a) => EncodedExpr::Not(Box::new(encode_expr(a, vars, dict))),
+    }
+}
+
+fn build_group(group: &GroupPattern, vars: &mut VarTable, dict: &Dictionary) -> GroupNode {
+    let mut children: Vec<BeNode> = Vec::with_capacity(group.elements.len());
+    for el in &group.elements {
+        match el {
+            Element::Triple(tp) => {
+                let enc = encode_bgp(std::slice::from_ref(tp), vars, dict);
+                children.push(BeNode::Bgp(BgpNode::new(enc)));
+            }
+            Element::Group(g) => children.push(BeNode::Group(build_group(g, vars, dict))),
+            Element::Union(branches) => children.push(BeNode::Union(
+                branches.iter().map(|b| build_group(b, vars, dict)).collect(),
+            )),
+            Element::Optional(g) => {
+                children.push(BeNode::Optional(build_group(g, vars, dict)))
+            }
+            Element::Minus(g) => children.push(BeNode::Minus(build_group(g, vars, dict))),
+            Element::Filter(e) => children.push(BeNode::Filter(encode_expr(e, vars, dict))),
+        }
+    }
+    let mut node = GroupNode { children };
+    coalesce_group(&mut node);
+    node
+}
+
+/// Coalesces sibling BGP nodes of `g` until all are maximal (Section 4.1).
+/// Each coalesced BGP is placed at the position of its leftmost constituent.
+pub fn coalesce_group(g: &mut GroupNode) {
+    loop {
+        let bgp_positions: Vec<usize> = g
+            .children
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_bgp())
+            .map(|(i, _)| i)
+            .collect();
+        let mut merged = false;
+        'outer: for (ai, &i) in bgp_positions.iter().enumerate() {
+            for &j in bgp_positions.iter().skip(ai + 1) {
+                let coalescable = match (&g.children[i], &g.children[j]) {
+                    (BeNode::Bgp(a), BeNode::Bgp(b)) => a.coalescable_with(b),
+                    _ => false,
+                };
+                // Coalescing moves child j's patterns to position i, i.e.
+                // leftward across everything between. Crossing joins and
+                // UNIONs commutes. Crossing an OPTIONAL at position k
+                // changes that OPTIONAL's left operand, which is sound only
+                // when every variable the OPTIONAL shares with the moving
+                // BGP is certainly bound by the siblings left of k —
+                // `(L ⟕ B) ⋈ M = (L ⋈ M) ⟕ B` requires
+                // `vars(B) ∩ vars(M) ⊆ vars(L)`. The paper's Figure 5
+                // coalescing (t1 joins t6 across an OPTIONAL sharing ?x,
+                // with ?x bound by t1) is exactly the allowed case.
+                let moving_mask = match &g.children[j] {
+                    BeNode::Bgp(b) => b.var_mask(),
+                    _ => 0,
+                };
+                let blocked = coalescable
+                    && (i + 1..j).any(|k| match &g.children[k] {
+                        BeNode::Optional(opt) => {
+                            let shared = opt.bgp_var_mask() & moving_mask;
+                            shared & !certain_mask_of(&g.children[..k]) != 0
+                        }
+                        _ => false,
+                    });
+                if coalescable && !blocked {
+                    let BeNode::Bgp(b) = g.children.remove(j) else { unreachable!() };
+                    let BeNode::Bgp(a) = &mut g.children[i] else { unreachable!() };
+                    a.bgp.patterns.extend(b.bgp.patterns);
+                    a.est_cardinality = None;
+                    merged = true;
+                    break 'outer;
+                }
+            }
+        }
+        if !merged {
+            break;
+        }
+    }
+}
+
+// ---------- pretty-printing (EXPLAIN output) ----------
+
+/// Renders a BE-tree as an indented ASCII plan, decoding constants through
+/// `dict` and variable ids through `vars`.
+pub fn explain(tree: &BeTree, vars: &VarTable, dict: &Dictionary) -> String {
+    let mut out = String::new();
+    fmt_group(&tree.root, vars, dict, 0, &mut out);
+    out
+}
+
+fn slot_str(s: &Slot, vars: &VarTable, dict: &Dictionary) -> String {
+    match s {
+        Slot::Var(v) => format!("?{}", vars.name(*v)),
+        Slot::Const(c) => match dict.decode(*c) {
+            Some(t) => t.to_string(),
+            None => "<absent>".to_string(),
+        },
+    }
+}
+
+fn fmt_pattern(p: &EncodedTriplePattern, vars: &VarTable, dict: &Dictionary) -> String {
+    format!(
+        "{} {} {}",
+        slot_str(&p.s, vars, dict),
+        slot_str(&p.p, vars, dict),
+        slot_str(&p.o, vars, dict)
+    )
+}
+
+fn fmt_group(g: &GroupNode, vars: &VarTable, dict: &Dictionary, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    out.push_str(&format!("{pad}Group\n"));
+    for c in &g.children {
+        match c {
+            BeNode::Bgp(b) => {
+                let card = b
+                    .est_cardinality
+                    .map(|c| format!(" (est {c:.0})"))
+                    .unwrap_or_default();
+                out.push_str(&format!("{pad}  BGP{card}\n"));
+                for p in &b.bgp.patterns {
+                    out.push_str(&format!("{pad}    {}\n", fmt_pattern(p, vars, dict)));
+                }
+            }
+            BeNode::Group(gg) => fmt_group(gg, vars, dict, depth + 1, out),
+            BeNode::Union(branches) => {
+                out.push_str(&format!("{pad}  Union\n"));
+                for b in branches {
+                    fmt_group(b, vars, dict, depth + 2, out);
+                }
+            }
+            BeNode::Optional(gg) => {
+                out.push_str(&format!("{pad}  Optional\n"));
+                fmt_group(gg, vars, dict, depth + 2, out);
+            }
+            BeNode::Minus(gg) => {
+                out.push_str(&format!("{pad}  Minus\n"));
+                fmt_group(gg, vars, dict, depth + 2, out);
+            }
+            BeNode::Filter(_) => out.push_str(&format!("{pad}  Filter\n")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uo_rdf::Term;
+
+    fn dict_with(terms: &[&str]) -> Dictionary {
+        let mut d = Dictionary::new();
+        for t in terms {
+            d.encode(&Term::iri(*t));
+        }
+        d
+    }
+
+    fn build(q: &str, dict: &Dictionary) -> (BeTree, VarTable) {
+        let query = uo_sparql::parse(q).unwrap();
+        let mut vars = VarTable::new();
+        let tree = BeTree::build(&query, &mut vars, dict);
+        (tree, vars)
+    }
+
+    #[test]
+    fn coalesces_adjacent_triples() {
+        let dict = dict_with(&["http://p", "http://q"]);
+        let (tree, _) = build(
+            "SELECT WHERE { ?x <http://p> ?y . ?y <http://q> ?z . }",
+            &dict,
+        );
+        assert_eq!(tree.root.children.len(), 1);
+        match &tree.root.children[0] {
+            BeNode::Bgp(b) => assert_eq!(b.bgp.patterns.len(), 2),
+            other => panic!("{other:?}"),
+        }
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn non_coalescable_triples_stay_separate() {
+        let dict = dict_with(&["http://p"]);
+        let (tree, _) = build(
+            "SELECT WHERE { ?x <http://p> ?y . ?a <http://p> ?b . }",
+            &dict,
+        );
+        assert_eq!(tree.root.children.len(), 2);
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn coalesces_across_intervening_operators() {
+        // Figure 5: t1 and t6 coalesce around the UNION and OPTIONAL between
+        // them; the BGP sits at t1's original position.
+        let dict = dict_with(&["http://p", "http://q", "http://r", "http://s"]);
+        let (tree, _) = build(
+            "SELECT WHERE {
+               ?x <http://p> ?y .
+               { ?x <http://q> ?n } UNION { ?x <http://r> ?n }
+               OPTIONAL { ?x <http://s> ?w }
+               ?x <http://p> ?z .
+             }",
+            &dict,
+        );
+        assert_eq!(tree.root.children.len(), 3);
+        match &tree.root.children[0] {
+            BeNode::Bgp(b) => assert_eq!(b.bgp.patterns.len(), 2, "t1 and t6 coalesced"),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(tree.root.children[1], BeNode::Union(_)));
+        assert!(matches!(tree.root.children[2], BeNode::Optional(_)));
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn figure2_tree_shape() {
+        let dict = dict_with(&["http://p", "http://q", "http://r", "http://s", "http://t"]);
+        let (tree, _) = build(
+            "SELECT WHERE {
+               ?x <http://p> <http://c> .
+               { ?x <http://q> ?name } UNION { ?x <http://r> ?name }
+               OPTIONAL { { ?x <http://s> ?same } UNION { ?same <http://s> ?x } }
+               ?x <http://t> ?birth .
+             }",
+            &dict,
+        );
+        // t1+t6 coalesce; union; optional(union).
+        assert_eq!(tree.root.children.len(), 3);
+        assert_eq!(tree.bgp_count(), 5);
+        match &tree.root.children[2] {
+            BeNode::Optional(g) => {
+                assert_eq!(g.children.len(), 1);
+                assert!(matches!(g.children[0], BeNode::Union(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn nested_groups_coalesce_locally() {
+        let dict = dict_with(&["http://p", "http://q"]);
+        let (tree, _) = build(
+            "SELECT WHERE { OPTIONAL { ?a <http://p> ?b . ?b <http://q> ?c . } }",
+            &dict,
+        );
+        match &tree.root.children[0] {
+            BeNode::Optional(g) => {
+                assert_eq!(g.children.len(), 1);
+                match &g.children[0] {
+                    BeNode::Bgp(b) => assert_eq!(b.bgp.patterns.len(), 2),
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_rejects_single_branch_union() {
+        let tree = BeTree {
+            root: GroupNode {
+                children: vec![BeNode::Union(vec![GroupNode::default()])],
+            },
+        };
+        assert!(tree.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_coalescable_siblings() {
+        let dict = dict_with(&["http://p"]);
+        let query = uo_sparql::parse("SELECT WHERE { ?x <http://p> ?y . }").unwrap();
+        let mut vars = VarTable::new();
+        let tree0 = BeTree::build(&query, &mut vars, &dict);
+        let BeNode::Bgp(b) = &tree0.root.children[0] else { panic!() };
+        // Duplicate the BGP as a sibling: now two coalescable siblings.
+        let tree = BeTree {
+            root: GroupNode {
+                children: vec![BeNode::Bgp(b.clone()), BeNode::Bgp(b.clone())],
+            },
+        };
+        assert!(tree.validate().is_err());
+    }
+
+    #[test]
+    fn filter_is_kept_as_child() {
+        let dict = dict_with(&["http://p"]);
+        let (tree, _) = build(
+            "SELECT WHERE { ?x <http://p> ?y . FILTER(?x != ?y) }",
+            &dict,
+        );
+        assert_eq!(tree.root.children.len(), 2);
+        assert!(matches!(tree.root.children[1], BeNode::Filter(_)));
+    }
+
+    #[test]
+    fn encoded_filter_eval() {
+        let dict = dict_with(&["http://a", "http://b"]);
+        let e = EncodedExpr::And(
+            Box::new(EncodedExpr::Ne(FilterOperand::Var(0), FilterOperand::Var(1))),
+            Box::new(EncodedExpr::Bound(0)),
+        );
+        assert!(e.eval(&[1, 2], &dict));
+        assert!(!e.eval(&[1, 1], &dict));
+        assert!(!e.eval(&[NO_ID, 1], &dict));
+        let not = EncodedExpr::Not(Box::new(EncodedExpr::Bound(2)));
+        assert!(not.eval(&[1, 1, NO_ID], &dict));
+    }
+
+    #[test]
+    fn encoded_numeric_comparison() {
+        let mut d = Dictionary::new();
+        let i5 = d.encode(&uo_rdf::Term::typed_literal("5", "http://www.w3.org/2001/XMLSchema#integer"));
+        let i40 = d.encode(&uo_rdf::Term::typed_literal("40", "http://www.w3.org/2001/XMLSchema#integer"));
+        // Numeric: 5 < 40 even though "40" < "5" lexicographically.
+        let lt = EncodedExpr::Lt(FilterOperand::Var(0), FilterOperand::Var(1));
+        assert!(lt.eval(&[i5, i40], &d));
+        assert!(!lt.eval(&[i40, i5], &d));
+        let ge = EncodedExpr::Ge(FilterOperand::Var(0), FilterOperand::Var(1));
+        assert!(ge.eval(&[i40, i5], &d));
+        assert!(ge.eval(&[i5, i5], &d));
+    }
+
+    #[test]
+    fn encoded_type_tests() {
+        let mut d = Dictionary::new();
+        let iri = d.encode(&uo_rdf::Term::iri("http://x"));
+        let lit = d.encode(&uo_rdf::Term::literal("x"));
+        let blank = d.encode(&uo_rdf::Term::blank("b"));
+        assert!(EncodedExpr::IsIri(0).eval(&[iri], &d));
+        assert!(!EncodedExpr::IsIri(0).eval(&[lit], &d));
+        assert!(EncodedExpr::IsLiteral(0).eval(&[lit], &d));
+        assert!(EncodedExpr::IsBlank(0).eval(&[blank], &d));
+        assert!(!EncodedExpr::IsBlank(0).eval(&[NO_ID], &d));
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let dict = dict_with(&["http://p"]);
+        let (tree, vars) = build(
+            "SELECT WHERE { ?x <http://p> ?y . OPTIONAL { ?y <http://p> ?z } }",
+            &dict,
+        );
+        let s = explain(&tree, &vars, &dict);
+        assert!(s.contains("BGP"));
+        assert!(s.contains("Optional"));
+        assert!(s.contains("?x"));
+    }
+}

@@ -1,0 +1,491 @@
+//! BGP-based query evaluation (Algorithm 1) with query-time candidate
+//! pruning (Section 6).
+//!
+//! The evaluator walks a BE-tree's group node children left to right,
+//! maintaining an accumulator bag `r` (initialized to the unit bag):
+//!
+//! - BGP child → `r ← r ⋈ EvaluateBGP(D, bgp)`;
+//! - group child → recursive evaluation, then `⋈`;
+//! - UNION child → each branch evaluated recursively, merged with `∪bag`,
+//!   then `⋈`;
+//! - OPTIONAL child → recursive evaluation of the right side, then `⟕`;
+//! - FILTER children apply to the group's rows at the end (SPARQL group
+//!   scoping).
+//!
+//! **Candidate pruning**: when enabled, the evaluator derives per-variable
+//! candidate value lists from the accumulated `r` (only for variables bound
+//! in *every* row — pruning on a sometimes-unbound variable would be
+//! unsound) and passes them into recursive calls and BGP evaluations. A list
+//! is only applied if it is smaller than the pruning threshold: a fixed
+//! fraction of the dataset (the `CP` strategy) or the engine's estimate of
+//! the target BGP's result size (the adaptive `full` strategy), falling back
+//! to the fixed bound when no estimate is cached.
+
+use crate::betree::{BeNode, BeTree, GroupNode};
+use uo_engine::{BgpEngine, CandidateSet};
+use uo_rdf::{FxHashMap, Id};
+use uo_sparql::algebra::{Bag, VarId};
+use uo_store::TripleStore;
+
+/// Candidate-pruning configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pruning {
+    /// No pruning (the `base` and `TT` strategies).
+    Off,
+    /// Fixed threshold on candidate list size (the `CP` strategy uses
+    /// 1% of the number of triples, Section 7.1).
+    Fixed(usize),
+    /// Adaptive: per-BGP estimated result size when available (cached by the
+    /// optimizer), else the given fixed fallback (the `full` strategy).
+    Adaptive(usize),
+}
+
+impl Pruning {
+    /// The paper's fixed setting: 1% of the dataset's triple count.
+    pub fn fixed_for(store: &TripleStore) -> Pruning {
+        Pruning::Fixed((store.len() / 100).max(1))
+    }
+
+    /// The paper's adaptive setting with the 1% fallback.
+    pub fn adaptive_for(store: &TripleStore) -> Pruning {
+        Pruning::Adaptive((store.len() / 100).max(1))
+    }
+
+    fn enabled(&self) -> bool {
+        !matches!(self, Pruning::Off)
+    }
+
+    /// An upper bound on how many distinct values are ever worth collecting
+    /// for one variable: lists at or above this bound can never pass any
+    /// admission threshold of this mode, so derivation aborts early there
+    /// (this keeps candidate-derivation overhead proportional to the pruning
+    /// benefit, as Section 6 requires).
+    fn collection_cap(&self) -> usize {
+        match self {
+            Pruning::Off => 0,
+            Pruning::Fixed(t) => *t,
+            // Adaptive thresholds are per-BGP estimates; collecting a few
+            // times the fixed fallback covers the useful range.
+            Pruning::Adaptive(fallback) => fallback.saturating_mul(4).max(1),
+        }
+    }
+
+    /// The admission threshold for one BGP node.
+    fn threshold(&self, node_estimate: Option<f64>) -> usize {
+        match self {
+            Pruning::Off => 0,
+            Pruning::Fixed(t) => *t,
+            Pruning::Adaptive(fallback) => match node_estimate {
+                Some(est) if est.is_finite() => (est.ceil() as usize).max(1),
+                _ => *fallback,
+            },
+        }
+    }
+}
+
+/// Statistics gathered during one evaluation.
+#[derive(Debug, Default, Clone)]
+pub struct ExecStats {
+    /// Number of BGP evaluations performed.
+    pub bgp_evals: usize,
+    /// Result sizes of each BGP evaluation, in evaluation order.
+    pub bgp_result_sizes: Vec<usize>,
+    /// The join space `JS(Q)` of this execution (Section 7.1): BGP result
+    /// sizes combined by products over joins/optionals and sums over unions.
+    pub join_space: f64,
+    /// Number of variables that were actually restricted by pruning.
+    pub pruned_vars: usize,
+}
+
+/// Per-variable candidate values flowing down the tree. Lists are sorted
+/// and deduplicated; `None` entries mean "seen but too large to be useful"
+/// is *not* tracked — vars simply stay absent.
+#[derive(Debug, Default, Clone)]
+struct CandSource {
+    per_var: FxHashMap<VarId, Vec<Id>>,
+}
+
+impl CandSource {
+    /// Derives candidates from the accumulator: only variables bound in
+    /// every row of `r` are sound pruning keys. Derivation is scoped to
+    /// `wanted` (the variables of BGPs in the target subtree) and aborts a
+    /// variable once its distinct count reaches `cap` — oversized lists can
+    /// never pass an admission threshold, so collecting them would be pure
+    /// overhead.
+    fn derive(r: &Bag, inherited: &CandSource, wanted: u64, cap: usize) -> CandSource {
+        let mut out = CandSource::default();
+        for (&v, vals) in &inherited.per_var {
+            if wanted & (1u64 << v) != 0 {
+                out.per_var.insert(v, vals.clone());
+            }
+        }
+        if r.is_unit() || r.is_empty() || cap == 0 {
+            return out;
+        }
+        for v in 0..r.width as u16 {
+            if r.certain & (1u64 << v) == 0 || wanted & (1u64 << v) == 0 {
+                continue;
+            }
+            let Some(vals) = distinct_values_capped(r, v, cap) else {
+                continue;
+            };
+            match out.per_var.get_mut(&v) {
+                // Both restrictions hold: intersect.
+                Some(prev) => *prev = intersect_sorted(prev, &vals),
+                None => {
+                    out.per_var.insert(v, vals);
+                }
+            }
+        }
+        out
+    }
+
+    /// Drops candidate variables not certainly bound in `r` (every row).
+    /// Required when crossing an OPTIONAL boundary; see the caller.
+    fn retain_certain(&mut self, r: &Bag) {
+        if r.is_unit() {
+            self.per_var.clear();
+            return;
+        }
+        self.per_var.retain(|&v, _| r.certain & (1u64 << v) != 0);
+    }
+
+    /// Builds the [`CandidateSet`] for one BGP: only variables of the BGP,
+    /// only lists below the threshold.
+    fn for_bgp(
+        &self,
+        bgp_vars: u64,
+        threshold: usize,
+        stats: &mut ExecStats,
+    ) -> CandidateSet {
+        let mut cs = CandidateSet::none();
+        for (&v, vals) in &self.per_var {
+            if bgp_vars & (1u64 << v) != 0 && vals.len() < threshold {
+                cs.restrict(v, vals.clone());
+                stats.pruned_vars += 1;
+            }
+        }
+        cs
+    }
+}
+
+/// Distinct values of `v` across `r`'s rows, or `None` once the count
+/// reaches `cap`.
+fn distinct_values_capped(r: &Bag, v: VarId, cap: usize) -> Option<Vec<Id>> {
+    let mut set: uo_rdf::FxHashSet<Id> = uo_rdf::FxHashSet::default();
+    for row in &r.rows {
+        let x = row[v as usize];
+        if x != uo_rdf::NO_ID {
+            set.insert(x);
+            if set.len() >= cap {
+                return None;
+            }
+        }
+    }
+    let mut vals: Vec<Id> = set.into_iter().collect();
+    vals.sort_unstable();
+    Some(vals)
+}
+
+fn intersect_sorted(a: &[Id], b: &[Id]) -> Vec<Id> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Evaluates a BE-tree over `width` query variables (Algorithm 1, optionally
+/// augmented with candidate pruning).
+pub fn evaluate(
+    tree: &BeTree,
+    store: &TripleStore,
+    engine: &dyn BgpEngine,
+    width: usize,
+    pruning: Pruning,
+) -> (Bag, ExecStats) {
+    let mut stats = ExecStats::default();
+    let (bag, js) =
+        eval_group(&tree.root, store, engine, width, pruning, &CandSource::default(), &mut stats);
+    stats.join_space = js;
+    (bag, stats)
+}
+
+fn eval_group(
+    g: &GroupNode,
+    store: &TripleStore,
+    engine: &dyn BgpEngine,
+    width: usize,
+    pruning: Pruning,
+    inherited: &CandSource,
+    stats: &mut ExecStats,
+) -> (Bag, f64) {
+    let mut r = Bag::unit(width);
+    let mut js = 1.0f64;
+    for child in &g.children {
+        match child {
+            BeNode::Bgp(b) => {
+                let cs = if pruning.enabled() {
+                    let source = CandSource::derive(
+                        &r,
+                        inherited,
+                        b.var_mask(),
+                        pruning.collection_cap(),
+                    );
+                    let threshold = pruning.threshold(b.est_cardinality);
+                    source.for_bgp(b.var_mask(), threshold, stats)
+                } else {
+                    CandidateSet::none()
+                };
+                let bag = engine.evaluate(store, &b.bgp, width, &cs);
+                stats.bgp_evals += 1;
+                stats.bgp_result_sizes.push(bag.len());
+                js *= bag.len() as f64;
+                r = r.join(&bag);
+            }
+            BeNode::Group(gg) => {
+                let down = if pruning.enabled() {
+                    CandSource::derive(&r, inherited, gg.bgp_var_mask(), pruning.collection_cap())
+                } else {
+                    CandSource::default()
+                };
+                let (bag, j) = eval_group(gg, store, engine, width, pruning, &down, stats);
+                js *= j;
+                r = r.join(&bag);
+            }
+            BeNode::Union(branches) => {
+                let wanted = branches.iter().fold(0u64, |m, b| m | b.bgp_var_mask());
+                let down = if pruning.enabled() {
+                    CandSource::derive(&r, inherited, wanted, pruning.collection_cap())
+                } else {
+                    CandSource::default()
+                };
+                let mut u = Bag::empty(width);
+                let mut js_u = 0.0f64;
+                for b in branches {
+                    let (bag, j) = eval_group(b, store, engine, width, pruning, &down, stats);
+                    js_u += j;
+                    u = u.union_bag(bag);
+                }
+                js *= js_u;
+                r = r.join(&u);
+            }
+            BeNode::Optional(gg) => {
+                // Candidates may cross an OPTIONAL boundary only for
+                // variables *certainly bound by the OPTIONAL's left side*
+                // (the current r). For such a variable v, any optional row
+                // removed by pruning could only have matched left rows whose
+                // v value is likewise outside the candidate set — rows that
+                // die upstream anyway. For a variable the left side may
+                // leave unbound, pruning could turn "matched with an
+                // incompatible binding" into "unmatched", resurrecting bare
+                // rows: unsound (Figure 9's pruning is the certainly-bound
+                // case).
+                let down = if pruning.enabled() {
+                    let mut d = CandSource::derive(
+                        &r,
+                        inherited,
+                        gg.bgp_var_mask(),
+                        pruning.collection_cap(),
+                    );
+                    d.retain_certain(&r);
+                    d
+                } else {
+                    CandSource::default()
+                };
+                let (bag, j) = eval_group(gg, store, engine, width, pruning, &down, stats);
+                js *= j;
+                r = r.left_join(&bag);
+            }
+            BeNode::Minus(gg) => {
+                // MINUS is not a pruning boundary we exploit: the right side
+                // is evaluated without candidates (pruning there could only
+                // be done for certain vars, like OPTIONAL; we keep it simple
+                // and sound by not pruning at all).
+                let (bag, j) =
+                    eval_group(gg, store, engine, width, pruning, &CandSource::default(), stats);
+                js *= j.max(1.0);
+                r = r.minus(&bag);
+            }
+            BeNode::Filter(_) => {}
+        }
+    }
+    // FILTERs scope over the whole group (applied once at the end).
+    for child in &g.children {
+        if let BeNode::Filter(expr) = child {
+            let dict = store.dictionary();
+            r.rows.retain(|row| expr.eval(row, dict));
+            if r.rows.is_empty() {
+                r.certain = 0;
+            }
+        }
+    }
+    (r, js)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::betree::BeTree;
+    use uo_engine::{BinaryJoinEngine, WcoEngine};
+    use uo_rdf::Term;
+    use uo_sparql::algebra::VarTable;
+
+    fn store() -> TripleStore {
+        let mut st = TripleStore::new();
+        let name = Term::iri("http://name");
+        let label = Term::iri("http://label");
+        let same = Term::iri("http://sameAs");
+        let link = Term::iri("http://link");
+        let potus = Term::iri("http://POTUS");
+        for i in 0..100 {
+            let p = Term::iri(format!("http://person{i}"));
+            if i % 2 == 0 {
+                st.insert_terms(&p, &name, &Term::literal(format!("name{i}")));
+            } else {
+                st.insert_terms(&p, &label, &Term::literal(format!("label{i}")));
+            }
+            if i % 10 == 0 {
+                st.insert_terms(&p, &same, &Term::iri(format!("http://ext{i}")));
+            }
+            if i < 4 {
+                st.insert_terms(&p, &link, &potus);
+            }
+        }
+        st.build();
+        st
+    }
+
+    fn run(q: &str, st: &TripleStore, pruning: Pruning) -> (Bag, ExecStats, VarTable) {
+        let query = uo_sparql::parse(q).unwrap();
+        let mut vars = VarTable::new();
+        let tree = BeTree::build(&query, &mut vars, st.dictionary());
+        let engine = WcoEngine::new();
+        let (bag, stats) = evaluate(&tree, st, &engine, vars.len(), pruning);
+        (bag, stats, vars)
+    }
+
+    const UNION_Q: &str = "SELECT WHERE {
+        ?x <http://link> <http://POTUS> .
+        { ?x <http://name> ?n } UNION { ?x <http://label> ?n }
+    }";
+
+    const OPT_Q: &str = "SELECT WHERE {
+        ?x <http://link> <http://POTUS> .
+        OPTIONAL { ?x <http://sameAs> ?s }
+    }";
+
+    #[test]
+    fn union_semantics() {
+        let st = store();
+        let (bag, _, _) = run(UNION_Q, &st, Pruning::Off);
+        // persons 0..4 linked; names for even, labels for odd → 4 results.
+        assert_eq!(bag.len(), 4);
+    }
+
+    #[test]
+    fn optional_keeps_unmatched() {
+        let st = store();
+        let (bag, _, vars) = run(OPT_Q, &st, Pruning::Off);
+        assert_eq!(bag.len(), 4);
+        let s = vars.get("s").unwrap();
+        let bound = bag.rows.iter().filter(|r| r[s as usize] != 0).count();
+        assert_eq!(bound, 1, "only person0 has sameAs among the 4 linked");
+    }
+
+    #[test]
+    fn pruning_preserves_results() {
+        let st = store();
+        for q in [UNION_Q, OPT_Q] {
+            let (base, _, _) = run(q, &st, Pruning::Off);
+            let (cp, _, _) = run(q, &st, Pruning::fixed_for(&st));
+            let (ad, _, _) = run(q, &st, Pruning::adaptive_for(&st));
+            assert_eq!(base.canonicalized(), cp.canonicalized());
+            assert_eq!(base.canonicalized(), ad.canonicalized());
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_bgp_result_sizes() {
+        let st = store();
+        let (_, off, _) = run(OPT_Q, &st, Pruning::Off);
+        let (_, on, _) = run(OPT_Q, &st, Pruning::Fixed(1000));
+        let total_off: usize = off.bgp_result_sizes.iter().sum();
+        let total_on: usize = on.bgp_result_sizes.iter().sum();
+        assert!(total_on < total_off, "{total_on} !< {total_off}");
+        assert!(on.pruned_vars > 0);
+    }
+
+    #[test]
+    fn join_space_union_is_sum() {
+        let st = store();
+        let (_, stats, _) = run(UNION_Q, &st, Pruning::Off);
+        // JS = |b1| × (|name| + |label|) = 4 × (50 + 50).
+        assert_eq!(stats.join_space, 400.0);
+    }
+
+    #[test]
+    fn join_space_shrinks_with_pruning() {
+        let st = store();
+        let (_, off, _) = run(UNION_Q, &st, Pruning::Off);
+        let (_, on, _) = run(UNION_Q, &st, Pruning::Fixed(1000));
+        assert!(on.join_space < off.join_space);
+    }
+
+    #[test]
+    fn nested_optional_pruning_transmits_across_levels() {
+        let st = store();
+        let q = "SELECT WHERE {
+            ?x <http://link> <http://POTUS> .
+            OPTIONAL { ?x <http://name> ?n . OPTIONAL { ?x <http://sameAs> ?s } }
+        }";
+        let (base, _, _) = run(q, &st, Pruning::Off);
+        let (cp, stats, _) = run(q, &st, Pruning::Fixed(1000));
+        assert_eq!(base.canonicalized(), cp.canonicalized());
+        // The inner sameAs BGP must see candidates from the outermost level.
+        assert!(stats.pruned_vars >= 2);
+    }
+
+    #[test]
+    fn filter_applies_to_group() {
+        let st = store();
+        let q = "SELECT WHERE {
+            ?x <http://link> <http://POTUS> .
+            OPTIONAL { ?x <http://sameAs> ?s }
+            FILTER(BOUND(?s))
+        }";
+        let (bag, _, _) = run(q, &st, Pruning::Off);
+        assert_eq!(bag.len(), 1);
+    }
+
+    #[test]
+    fn engines_agree_on_uo_query() {
+        let st = store();
+        let query = uo_sparql::parse(UNION_Q).unwrap();
+        let mut vars = VarTable::new();
+        let tree = BeTree::build(&query, &mut vars, st.dictionary());
+        let wco = WcoEngine::new();
+        let bin = BinaryJoinEngine::new();
+        let (a, _) = evaluate(&tree, &st, &wco, vars.len(), Pruning::Off);
+        let (b, _) = evaluate(&tree, &st, &bin, vars.len(), Pruning::Off);
+        assert_eq!(a.canonicalized(), b.canonicalized());
+    }
+
+    #[test]
+    fn empty_group_evaluates_to_unit() {
+        let st = store();
+        let tree = BeTree { root: GroupNode::default() };
+        let engine = WcoEngine::new();
+        let (bag, _) = evaluate(&tree, &st, &engine, 2, Pruning::Off);
+        assert!(bag.is_unit());
+    }
+}

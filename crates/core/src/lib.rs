@@ -1,0 +1,535 @@
+//! # uo-core — SPARQL-UO query optimization via BE-trees
+//!
+//! This crate implements the primary contribution of *"Efficient Execution
+//! of SPARQL Queries with OPTIONAL and UNION Expressions"* (Zou, Pang, Özsu,
+//! Chen): a plan representation and cost-driven optimizer for SPARQL queries
+//! with `UNION` and `OPTIONAL` that uses BGP evaluation as its building
+//! block.
+//!
+//! - [`betree`] — the BGP-based Evaluation tree (Definition 8) and its
+//!   construction with maximal BGP coalescing;
+//! - [`transform`] — the *merge* and *inject* transformation primitives
+//!   (Definitions 9–10, Theorems 1–2);
+//! - [`cost`] — the SPARQL-UO cost model (Equations 1–8);
+//! - [`optimizer`] — greedy single-level and post-order multi-level plan
+//!   selection (Algorithms 2–4);
+//! - [`exec`] — BGP-based evaluation (Algorithm 1) with query-time candidate
+//!   pruning (Section 6);
+//! - [`metrics`] — the query statistics and join-space metrics of the
+//!   evaluation section.
+//!
+//! The top-level entry point is [`run_query`], which executes a query string
+//! under one of the paper's four strategies ([`Strategy`]):
+//!
+//! ```
+//! use uo_core::{run_query, Strategy};
+//! use uo_engine::WcoEngine;
+//! use uo_store::TripleStore;
+//!
+//! let mut store = TripleStore::new();
+//! store.load_ntriples(r#"
+//! <http://ex/bill> <http://ex/link> <http://ex/POTUS> .
+//! <http://ex/bill> <http://ex/sameAs> <http://fb/bill> .
+//! <http://ex/jane> <http://ex/sameAs> <http://fb/jane> .
+//! "#).unwrap();
+//! store.build();
+//!
+//! let report = run_query(
+//!     &store,
+//!     &WcoEngine::new(),
+//!     "SELECT ?x ?s WHERE {
+//!        ?x <http://ex/link> <http://ex/POTUS> .
+//!        OPTIONAL { ?x <http://ex/sameAs> ?s }
+//!      }",
+//!     Strategy::Full,
+//! ).unwrap();
+//! assert_eq!(report.results.len(), 1);
+//! ```
+
+pub mod betree;
+pub mod binarytree;
+pub mod cost;
+pub mod exec;
+pub mod metrics;
+pub mod optimizer;
+pub mod transform;
+pub mod wdpt;
+
+pub use betree::{explain, BeNode, BeTree, BgpNode, GroupNode};
+pub use binarytree::{evaluate_binary_tree, BinaryTreeStats};
+pub use cost::CostModel;
+pub use exec::{evaluate, ExecStats, Pruning};
+pub use metrics::{count_bgp, query_type, QueryType};
+pub use optimizer::{multi_level_transform, OptimizerConfig, TransformOutcome};
+pub use wdpt::{check_well_designed, is_well_designed};
+
+use std::time::{Duration, Instant};
+use uo_engine::BgpEngine;
+use uo_rdf::Term;
+use uo_sparql::algebra::{Bag, VarId, VarTable};
+use uo_sparql::ast::Query;
+use uo_store::TripleStore;
+
+/// The four evaluation strategies compared in Section 7.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Algorithm 1 on the unmodified BE-tree (the original engines'
+    /// behaviour).
+    Base,
+    /// Tree transformation only (Algorithm 4 + Algorithm 1).
+    TreeTransform,
+    /// Candidate pruning only (Algorithm 1 + Section 6, fixed threshold of
+    /// 1% of the triple count).
+    CandidatePruning,
+    /// Both, with the adaptive pruning threshold and the Section 6 special
+    /// case skip.
+    Full,
+}
+
+impl Strategy {
+    /// All four, in the paper's presentation order.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::Base,
+        Strategy::TreeTransform,
+        Strategy::CandidatePruning,
+        Strategy::Full,
+    ];
+
+    /// The paper's abbreviation (base / TT / CP / full).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::Base => "base",
+            Strategy::TreeTransform => "TT",
+            Strategy::CandidatePruning => "CP",
+            Strategy::Full => "full",
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// A prepared query: parsed, variable-interned, BE-tree built.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// The parsed query.
+    pub query: Query,
+    /// The query's variable frame.
+    pub vars: VarTable,
+    /// The BE-tree (possibly transformed).
+    pub tree: BeTree,
+    /// Projected variables (resolved from the SELECT clause).
+    pub projection: Vec<VarId>,
+}
+
+/// Parses a query and constructs its BE-tree against `store`'s dictionary.
+pub fn prepare(store: &TripleStore, text: &str) -> Result<Prepared, uo_sparql::ParseError> {
+    let query = uo_sparql::parse(text)?;
+    Ok(prepare_parsed(store, query))
+}
+
+/// Builds a [`Prepared`] from an already-parsed query.
+pub fn prepare_parsed(store: &TripleStore, query: Query) -> Prepared {
+    let mut vars = VarTable::new();
+    let tree = BeTree::build(&query, &mut vars, store.dictionary());
+    let projection =
+        query.projection().iter().map(|name| vars.intern(name)).collect();
+    Prepared { query, vars, tree, projection }
+}
+
+/// The outcome of running one query under one strategy.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The solution bag over the full variable frame.
+    pub bag: Bag,
+    /// Rows projected to the SELECT variables and decoded to terms
+    /// (`None` = unbound).
+    pub results: Vec<Vec<Option<Term>>>,
+    /// The variable frame (for interpreting `bag`).
+    pub vars: VarTable,
+    /// Time spent in plan transformation (zero for base/CP).
+    pub transform_time: Duration,
+    /// Time spent in evaluation.
+    pub exec_time: Duration,
+    /// The runtime join space (Section 7.1).
+    pub join_space: f64,
+    /// Transformation counters.
+    pub transforms: TransformOutcome,
+    /// Evaluation statistics.
+    pub exec_stats: ExecStats,
+    /// A rendering of the executed plan.
+    pub plan: String,
+}
+
+/// Parses, optimizes (per `strategy`) and executes a query.
+pub fn run_query(
+    store: &TripleStore,
+    engine: &dyn BgpEngine,
+    text: &str,
+    strategy: Strategy,
+) -> Result<RunReport, uo_sparql::ParseError> {
+    let prepared = prepare(store, text)?;
+    Ok(run_prepared(store, engine, prepared, strategy))
+}
+
+/// Optimizes and executes a prepared query under the given strategy.
+pub fn run_prepared(
+    store: &TripleStore,
+    engine: &dyn BgpEngine,
+    mut prepared: Prepared,
+    strategy: Strategy,
+) -> RunReport {
+    let cm = CostModel::new(store, engine);
+
+    let t0 = Instant::now();
+    let transforms = match strategy {
+        Strategy::TreeTransform => {
+            multi_level_transform(&mut prepared.tree, &cm, OptimizerConfig::default())
+        }
+        Strategy::Full => {
+            let out = multi_level_transform(
+                &mut prepared.tree,
+                &cm,
+                OptimizerConfig { skip_pruning_equivalent: true, ..Default::default() },
+            );
+            // The optimizer's estimates double as adaptive pruning thresholds.
+            cm.annotate_cardinalities(&mut prepared.tree.root);
+            out
+        }
+        Strategy::Base | Strategy::CandidatePruning => TransformOutcome::default(),
+    };
+    let transform_time = t0.elapsed();
+
+    let pruning = match strategy {
+        Strategy::Base | Strategy::TreeTransform => Pruning::Off,
+        Strategy::CandidatePruning => Pruning::fixed_for(store),
+        Strategy::Full => Pruning::adaptive_for(store),
+    };
+
+    let t1 = Instant::now();
+    let (mut bag, exec_stats) =
+        evaluate(&prepared.tree, store, engine, prepared.vars.len(), pruning);
+    let exec_time = t1.elapsed();
+
+    if !prepared.query.order_by.is_empty() {
+        sort_solutions(&mut bag, &prepared.query.order_by, &prepared.vars, store);
+    }
+
+    let mut results = decode_projection(&bag, &prepared.projection, store);
+    if prepared.query.distinct {
+        // SELECT DISTINCT: set semantics over the projected rows.
+        results.sort();
+        results.dedup();
+    }
+    // Solution modifiers (applied to the projected rows; without ORDER BY
+    // the slice is taken in engine order, as SPARQL allows).
+    if let Some(off) = prepared.query.offset {
+        results.drain(..off.min(results.len()));
+    }
+    if let Some(lim) = prepared.query.limit {
+        results.truncate(lim);
+    }
+    let plan = explain(&prepared.tree, &prepared.vars, store.dictionary());
+    RunReport {
+        join_space: exec_stats.join_space,
+        results,
+        vars: prepared.vars,
+        transform_time,
+        exec_time,
+        transforms,
+        exec_stats,
+        plan,
+        bag,
+    }
+}
+
+/// Sorts a solution bag by ORDER BY keys. Unbound sorts first (SPARQL's
+/// ordering), then blank nodes, IRIs and literals; numeric literals compare
+/// by value, everything else by display form.
+fn sort_solutions(
+    bag: &mut Bag,
+    order_by: &[(String, bool)],
+    vars: &VarTable,
+    store: &TripleStore,
+) {
+    let keys: Vec<(VarId, bool)> = order_by
+        .iter()
+        .filter_map(|(name, desc)| vars.get(name).map(|v| (v, *desc)))
+        .collect();
+    let dict = store.dictionary();
+    let sort_key = |id: uo_rdf::Id| -> (u8, f64, String) {
+        match dict.decode(id) {
+            None => (0, 0.0, String::new()),
+            Some(t @ Term::Blank(_)) => (1, 0.0, t.to_string()),
+            Some(t @ Term::Iri(_)) => (2, 0.0, t.to_string()),
+            Some(t @ Term::Literal { .. }) => match t.numeric_value() {
+                Some(n) => (3, n, String::new()),
+                None => (4, 0.0, t.to_string()),
+            },
+        }
+    };
+    bag.rows.sort_by(|a, b| {
+        for &(v, desc) in &keys {
+            let ka = sort_key(a[v as usize]);
+            let kb = sort_key(b[v as usize]);
+            let ord = ka.0.cmp(&kb.0).then_with(|| {
+                ka.1.partial_cmp(&kb.1).unwrap_or(std::cmp::Ordering::Equal)
+            }).then_with(|| ka.2.cmp(&kb.2));
+            let ord = if desc { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+}
+
+/// Decodes the projection of a solution bag into terms.
+pub fn decode_projection(
+    bag: &Bag,
+    projection: &[VarId],
+    store: &TripleStore,
+) -> Vec<Vec<Option<Term>>> {
+    bag.rows
+        .iter()
+        .map(|row| {
+            projection
+                .iter()
+                .map(|&v| store.dictionary().decode(row[v as usize]).cloned())
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uo_engine::{BinaryJoinEngine, WcoEngine};
+
+    fn store() -> TripleStore {
+        let mut st = TripleStore::new();
+        let mut doc = String::new();
+        for i in 0..200 {
+            doc.push_str(&format!(
+                "<http://p{i}> <http://sameAs> <http://ext{i}> .\n"
+            ));
+            if i % 2 == 0 {
+                doc.push_str(&format!("<http://p{i}> <http://name> \"n{i}\" .\n"));
+            } else {
+                doc.push_str(&format!("<http://p{i}> <http://label> \"l{i}\" .\n"));
+            }
+            if i < 5 {
+                doc.push_str(&format!("<http://p{i}> <http://link> <http://POTUS> .\n"));
+            }
+        }
+        st.load_ntriples(&doc).unwrap();
+        st.build();
+        st
+    }
+
+    const Q: &str = "SELECT ?x ?n ?s WHERE {
+        ?x <http://link> <http://POTUS> .
+        { ?x <http://name> ?n } UNION { ?x <http://label> ?n }
+        OPTIONAL { ?x <http://sameAs> ?s }
+    }";
+
+    #[test]
+    fn all_strategies_agree() {
+        let st = store();
+        let wco = WcoEngine::new();
+        let bin = BinaryJoinEngine::new();
+        let reference = run_query(&st, &wco, Q, Strategy::Base).unwrap();
+        assert_eq!(reference.results.len(), 5);
+        for strategy in Strategy::ALL {
+            for engine in [&wco as &dyn BgpEngine, &bin as &dyn BgpEngine] {
+                let r = run_query(&st, engine, Q, strategy).unwrap();
+                assert_eq!(
+                    r.bag.canonicalized(),
+                    reference.bag.canonicalized(),
+                    "strategy {strategy} on {} diverged",
+                    engine.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_shrinks_join_space() {
+        let st = store();
+        let wco = WcoEngine::new();
+        let base = run_query(&st, &wco, Q, Strategy::Base).unwrap();
+        let full = run_query(&st, &wco, Q, Strategy::Full).unwrap();
+        assert!(
+            full.join_space < base.join_space,
+            "full {} !< base {}",
+            full.join_space,
+            base.join_space
+        );
+    }
+
+    #[test]
+    fn projection_decodes_unbound_as_none() {
+        let st = store();
+        let wco = WcoEngine::new();
+        let r = run_query(
+            &st,
+            &wco,
+            "SELECT ?x ?s WHERE {
+               ?x <http://link> <http://POTUS> .
+               OPTIONAL { ?x <http://missing> ?s }
+             }",
+            Strategy::Base,
+        )
+        .unwrap();
+        assert_eq!(r.results.len(), 5);
+        assert!(r.results.iter().all(|row| row[1].is_none()));
+    }
+
+    #[test]
+    fn transform_time_reported_for_tt() {
+        let st = store();
+        let wco = WcoEngine::new();
+        let tt = run_query(&st, &wco, Q, Strategy::TreeTransform).unwrap();
+        let base = run_query(&st, &wco, Q, Strategy::Base).unwrap();
+        assert_eq!(base.transforms, TransformOutcome::default());
+        // TT at least evaluated some candidate transformations on this query.
+        assert!(tt.transforms.evaluated > 0);
+    }
+
+    #[test]
+    fn select_distinct_dedupes_projection() {
+        let st = store();
+        let wco = WcoEngine::new();
+        // Every person row projects to the same ?c constant-ish pattern:
+        // without DISTINCT we get one row per link edge, with DISTINCT one.
+        let q_all = "SELECT ?c WHERE { ?x <http://link> ?c . }";
+        let q_distinct = "SELECT DISTINCT ?c WHERE { ?x <http://link> ?c . }";
+        let all = run_query(&st, &wco, q_all, Strategy::Base).unwrap();
+        let distinct = run_query(&st, &wco, q_distinct, Strategy::Base).unwrap();
+        assert_eq!(all.results.len(), 5);
+        assert_eq!(distinct.results.len(), 1);
+    }
+
+    #[test]
+    fn three_way_union_merge_preserves_semantics() {
+        // Theorem 1 extends to UNION nodes with more than two children.
+        let st = store();
+        let wco = WcoEngine::new();
+        let q = "SELECT WHERE {
+            ?x <http://link> <http://POTUS> .
+            { ?x <http://name> ?n } UNION { ?x <http://label> ?n } UNION { ?x <http://sameAs> ?n }
+        }";
+        let base = run_query(&st, &wco, q, Strategy::Base).unwrap();
+        let tt = run_query(&st, &wco, q, Strategy::TreeTransform).unwrap();
+        assert_eq!(base.bag.canonicalized(), tt.bag.canonicalized());
+    }
+
+    #[test]
+    fn limit_offset_applied_to_results() {
+        let st = store();
+        let wco = WcoEngine::new();
+        let all = run_query(&st, &wco, "SELECT ?x WHERE { ?x <http://link> <http://POTUS> . }", Strategy::Base).unwrap();
+        assert_eq!(all.results.len(), 5);
+        let limited = run_query(&st, &wco, "SELECT ?x WHERE { ?x <http://link> <http://POTUS> . } LIMIT 2", Strategy::Base).unwrap();
+        assert_eq!(limited.results.len(), 2);
+        let paged = run_query(&st, &wco, "SELECT ?x WHERE { ?x <http://link> <http://POTUS> . } LIMIT 3 OFFSET 4", Strategy::Base).unwrap();
+        assert_eq!(paged.results.len(), 1, "only one row after offset 4 of 5");
+        let past = run_query(&st, &wco, "SELECT ?x WHERE { ?x <http://link> <http://POTUS> . } OFFSET 99", Strategy::Base).unwrap();
+        assert!(past.results.is_empty());
+    }
+
+    #[test]
+    fn order_by_sorts_results() {
+        let mut st = TripleStore::new();
+        for (name, age) in [("carol", 35), ("alice", 42), ("bob", 7)] {
+            st.insert_terms(
+                &Term::iri(format!("http://{name}")),
+                &Term::iri("http://age"),
+                &Term::typed_literal(age.to_string(), "http://www.w3.org/2001/XMLSchema#integer"),
+            );
+        }
+        st.build();
+        let wco = WcoEngine::new();
+        let asc = run_query(&st, &wco, "SELECT ?x ?a WHERE { ?x <http://age> ?a } ORDER BY ?a", Strategy::Base).unwrap();
+        let ages: Vec<String> = asc
+            .results
+            .iter()
+            .map(|r| r[1].as_ref().unwrap().as_literal().unwrap().to_string())
+            .collect();
+        assert_eq!(ages, vec!["7", "35", "42"], "numeric order, not lexicographic");
+        let desc = run_query(&st, &wco, "SELECT ?x WHERE { ?x <http://age> ?a } ORDER BY DESC(?a) LIMIT 1", Strategy::Base).unwrap();
+        assert_eq!(desc.results[0][0].as_ref().unwrap(), &Term::iri("http://alice"));
+    }
+
+    #[test]
+    fn numeric_filter_comparison() {
+        let mut st = TripleStore::new();
+        for (name, age) in [("carol", 35), ("alice", 42), ("bob", 7)] {
+            st.insert_terms(
+                &Term::iri(format!("http://{name}")),
+                &Term::iri("http://age"),
+                &Term::typed_literal(age.to_string(), "http://www.w3.org/2001/XMLSchema#integer"),
+            );
+        }
+        st.build();
+        let wco = WcoEngine::new();
+        let r = run_query(
+            &st,
+            &wco,
+            "SELECT ?x WHERE { ?x <http://age> ?a FILTER(?a >= 35) }",
+            Strategy::Base,
+        )
+        .unwrap();
+        assert_eq!(r.results.len(), 2);
+        let r2 = run_query(
+            &st,
+            &wco,
+            "SELECT ?x WHERE { ?x <http://age> ?a FILTER(?a < 10) }",
+            Strategy::Base,
+        )
+        .unwrap();
+        assert_eq!(r2.results.len(), 1);
+    }
+
+    #[test]
+    fn type_test_filters() {
+        let st = store();
+        let wco = WcoEngine::new();
+        // Objects of <http://name> are literals; of <http://sameAs> IRIs.
+        let r = run_query(
+            &st,
+            &wco,
+            "SELECT ?o WHERE { ?x <http://name> ?o FILTER(isLiteral(?o)) }",
+            Strategy::Base,
+        )
+        .unwrap();
+        assert_eq!(r.results.len(), 100);
+        let r2 = run_query(
+            &st,
+            &wco,
+            "SELECT ?o WHERE { ?x <http://name> ?o FILTER(isIRI(?o)) }",
+            Strategy::Base,
+        )
+        .unwrap();
+        assert!(r2.results.is_empty());
+    }
+
+    #[test]
+    fn parse_error_propagates() {
+        let st = store();
+        let wco = WcoEngine::new();
+        assert!(run_query(&st, &wco, "SELECT WHERE {", Strategy::Base).is_err());
+    }
+
+    #[test]
+    fn plan_rendering_mentions_operators() {
+        let st = store();
+        let wco = WcoEngine::new();
+        let r = run_query(&st, &wco, Q, Strategy::Base).unwrap();
+        assert!(r.plan.contains("Union"));
+        assert!(r.plan.contains("Optional"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Query complexity metrics (Section 7.1): `Count_BGP`, `Depth`, and the
+//! query type classification (U / O / UO) used by Tables 3 and 4.
+
+use crate::betree::{BeNode, BeTree, GroupNode};
+use uo_sparql::ast::{Element, GroupPattern};
+
+/// Whether a query uses UNION, OPTIONAL, or both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryType {
+    /// UNION only.
+    U,
+    /// OPTIONAL only.
+    O,
+    /// Both.
+    UO,
+    /// Neither (a plain BGP query).
+    Bgp,
+}
+
+impl std::fmt::Display for QueryType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            QueryType::U => "U",
+            QueryType::O => "O",
+            QueryType::UO => "UO",
+            QueryType::Bgp => "BGP",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Classifies a parsed query body.
+pub fn query_type(g: &GroupPattern) -> QueryType {
+    fn walk(g: &GroupPattern, has_u: &mut bool, has_o: &mut bool) {
+        for e in &g.elements {
+            match e {
+                Element::Union(branches) => {
+                    *has_u = true;
+                    for b in branches {
+                        walk(b, has_u, has_o);
+                    }
+                }
+                Element::Optional(inner) => {
+                    *has_o = true;
+                    walk(inner, has_u, has_o);
+                }
+                Element::Group(inner) | Element::Minus(inner) => walk(inner, has_u, has_o),
+                Element::Triple(_) | Element::Filter(_) => {}
+            }
+        }
+    }
+    let (mut u, mut o) = (false, false);
+    walk(g, &mut u, &mut o);
+    match (u, o) {
+        (true, true) => QueryType::UO,
+        (true, false) => QueryType::U,
+        (false, true) => QueryType::O,
+        (false, false) => QueryType::Bgp,
+    }
+}
+
+/// `Count_BGP(Q)` (Section 7.1) computed on the constructed BE-tree, where
+/// maximal coalesced runs count once — this matches the paper's counts for
+/// its benchmark queries.
+pub fn count_bgp(tree: &BeTree) -> usize {
+    tree.bgp_count()
+}
+
+/// `Depth(Q)` (Section 7.1): maximum nesting depth of group graph patterns.
+pub fn depth(g: &GroupPattern) -> usize {
+    g.depth()
+}
+
+/// Per-strategy summary of one execution, for the experiment harness.
+#[derive(Debug, Clone)]
+pub struct QueryStats {
+    /// The classification (U / O / UO).
+    pub query_type: QueryType,
+    /// BGP count of the original BE-tree.
+    pub count_bgp: usize,
+    /// Nesting depth of the query body.
+    pub depth: usize,
+    /// Number of results.
+    pub result_size: usize,
+}
+
+/// Join space of a *plan* computed from estimated sizes (the runtime join
+/// space — from actual sizes — is reported by `exec::ExecStats`). Exposed
+/// for plan diagnostics.
+pub fn estimated_join_space(tree: &BeTree, cm: &crate::cost::CostModel<'_>) -> f64 {
+    fn walk(g: &GroupNode, cm: &crate::cost::CostModel<'_>) -> f64 {
+        let mut js = 1.0;
+        for c in &g.children {
+            js *= match c {
+                BeNode::Bgp(b) => cm.bgp_cardinality(&b.bgp),
+                BeNode::Group(gg) | BeNode::Optional(gg) => walk(gg, cm),
+                BeNode::Union(bs) => bs.iter().map(|b| walk(b, cm)).sum(),
+                BeNode::Minus(_) | BeNode::Filter(_) => 1.0,
+            };
+        }
+        js
+    }
+    walk(&tree.root, cm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(q: &str) -> GroupPattern {
+        uo_sparql::parse(q).unwrap().body
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(
+            query_type(&body("SELECT WHERE { ?x <http://p> ?y }")),
+            QueryType::Bgp
+        );
+        assert_eq!(
+            query_type(&body(
+                "SELECT WHERE { { ?x <http://p> ?y } UNION { ?x <http://q> ?y } }"
+            )),
+            QueryType::U
+        );
+        assert_eq!(
+            query_type(&body("SELECT WHERE { ?x <http://p> ?y OPTIONAL { ?y <http://q> ?z } }")),
+            QueryType::O
+        );
+        assert_eq!(
+            query_type(&body(
+                "SELECT WHERE { { ?x <http://p> ?y } UNION { ?x <http://q> ?y } OPTIONAL { ?y <http://r> ?z } }"
+            )),
+            QueryType::UO
+        );
+    }
+
+    #[test]
+    fn nested_operators_detected() {
+        let q = body(
+            "SELECT WHERE { ?x <http://p> ?y OPTIONAL { { ?y <http://q> ?z } UNION { ?z <http://q> ?y } } }",
+        );
+        assert_eq!(query_type(&q), QueryType::UO);
+    }
+
+    #[test]
+    fn depth_matches_paper_convention() {
+        assert_eq!(depth(&body("SELECT WHERE { ?x <http://p> ?y }")), 0);
+        assert_eq!(
+            depth(&body("SELECT WHERE { ?x <http://p> ?y OPTIONAL { ?y <http://q> ?z } }")),
+            1
+        );
+        assert_eq!(
+            depth(&body(
+                "SELECT WHERE { ?x <http://p> ?y OPTIONAL { ?y <http://q> ?z OPTIONAL { ?z <http://r> ?w } } }"
+            )),
+            2
+        );
+    }
+}

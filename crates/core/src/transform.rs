@@ -1,0 +1,438 @@
+//! The two semantics-preserving BE-tree transformations (Section 4.2.2).
+//!
+//! - **merge** (Definition 9, justified by Theorem 1
+//!   `P1 AND (P2 UNION P3) ≡ (P1 AND P2) UNION (P1 AND P3)`): a BGP sibling
+//!   of a UNION node is inserted as the leftmost child of *every* branch,
+//!   coalesced to maximality inside each branch, and removed from its
+//!   original position.
+//! - **inject** (Definition 10, justified by Theorem 2
+//!   `P1 OPTIONAL P2 ≡ P1 OPTIONAL (P1 AND P2)`): a BGP sibling of an
+//!   OPTIONAL node *to its right* is copied as the leftmost child of the
+//!   OPTIONAL-right pattern and coalesced; the original occurrence stays
+//!   (which is why one BGP can be injected into several OPTIONALs but merged
+//!   into only one UNION).
+//!
+//! Both require the eligibility conditions of the definitions: `P1` must be
+//! a BGP node, and the target must contain a BGP child coalescable with
+//! `P1` — without coalescing, re-evaluating the copied BGP would only add
+//! overhead (Section 4.2.2's discussion of Figure 7).
+
+use crate::betree::{coalesce_group, BeNode, BgpNode, GroupNode};
+
+/// Checks the eligibility conditions of Definition 9 for merging child
+/// `p1_idx` into the UNION child `union_idx` of `g`.
+pub fn can_merge(g: &GroupNode, p1_idx: usize, union_idx: usize) -> bool {
+    if p1_idx == union_idx {
+        return false;
+    }
+    let Some(BeNode::Bgp(p1)) = g.children.get(p1_idx) else {
+        return false;
+    };
+    if p1.bgp.patterns.is_empty() {
+        return false;
+    }
+    let Some(BeNode::Union(branches)) = g.children.get(union_idx) else {
+        return false;
+    };
+    if !branches.iter().any(|b| has_coalescable_bgp_child(b, p1)) {
+        return false;
+    }
+    // Moving P1's join point across an OPTIONAL sibling at position k
+    // changes that OPTIONAL's left operand. The reorder
+    // `(L ⟕ B) ⋈ P1 = (L ⋈ P1) ⟕ B` is sound only when every variable the
+    // OPTIONAL body shares with P1 is certainly bound by the siblings left
+    // of k *excluding P1 itself* (P1 leaves that prefix when merging
+    // rightward, and was never in it when merging leftward). Theorem 1 only
+    // covers adjacent conjunction; this guard extends it safely across
+    // interleaved OPTIONALs.
+    let (lo, hi) = (p1_idx.min(union_idx), p1_idx.max(union_idx));
+    for k in lo + 1..hi {
+        if let BeNode::Optional(opt) = &g.children[k] {
+            let shared = opt.bgp_var_mask() & p1.var_mask();
+            let mut left = crate::betree::certain_mask_of(&g.children[..k]);
+            if p1_idx < k {
+                // Recompute the prefix mask without P1.
+                let without: Vec<_> = g.children[..k]
+                    .iter()
+                    .enumerate()
+                    .filter(|(idx, _)| *idx != p1_idx)
+                    .map(|(_, c)| c.clone())
+                    .collect();
+                left = crate::betree::certain_mask_of(&without);
+            }
+            if shared & !left != 0 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Checks the eligibility conditions of Definition 10 for injecting child
+/// `p1_idx` into the OPTIONAL child `opt_idx` of `g` (which must be to the
+/// right of `p1_idx`).
+pub fn can_inject(g: &GroupNode, p1_idx: usize, opt_idx: usize) -> bool {
+    if opt_idx <= p1_idx {
+        return false;
+    }
+    let Some(BeNode::Bgp(p1)) = g.children.get(p1_idx) else {
+        return false;
+    };
+    if p1.bgp.patterns.is_empty() {
+        return false;
+    }
+    let Some(BeNode::Optional(right)) = g.children.get(opt_idx) else {
+        return false;
+    };
+    has_coalescable_bgp_child(right, p1)
+}
+
+fn has_coalescable_bgp_child(g: &GroupNode, p1: &BgpNode) -> bool {
+    g.children.iter().any(|c| match c {
+        BeNode::Bgp(b) => b.coalescable_with(p1),
+        _ => false,
+    })
+}
+
+/// Performs the merge of Definition 9 in place. The caller must have checked
+/// [`can_merge`].
+pub fn perform_merge(g: &mut GroupNode, p1_idx: usize, union_idx: usize) {
+    debug_assert!(can_merge(g, p1_idx, union_idx));
+    let BeNode::Bgp(p1) = g.children[p1_idx].clone() else {
+        unreachable!("can_merge verified P1 is a BGP");
+    };
+    let BeNode::Union(branches) = &mut g.children[union_idx] else {
+        unreachable!("can_merge verified the target is a UNION");
+    };
+    for b in branches.iter_mut() {
+        // Theorem 1 joins P1 with each branch *result*, which corresponds to
+        // appending P1 as the last sibling (folding left to right). The
+        // paper's Definition 9 inserts it leftmost; that is equivalent only
+        // when no branch-level OPTIONAL precedes the insertion point, so we
+        // append and let the guarded coalesce move the patterns leftward
+        // exactly when that reordering is sound.
+        b.children.push(BeNode::Bgp(BgpNode::new(p1.bgp.clone())));
+        coalesce_group(b);
+    }
+    g.children.remove(p1_idx);
+}
+
+/// Performs the inject of Definition 10 in place. The caller must have
+/// checked [`can_inject`].
+pub fn perform_inject(g: &mut GroupNode, p1_idx: usize, opt_idx: usize) {
+    debug_assert!(can_inject(g, p1_idx, opt_idx));
+    let BeNode::Bgp(p1) = g.children[p1_idx].clone() else {
+        unreachable!("can_inject verified P1 is a BGP");
+    };
+    let BeNode::Optional(right) = &mut g.children[opt_idx] else {
+        unreachable!("can_inject verified the target is an OPTIONAL");
+    };
+    // As with merge, Theorem 2 joins P1 with the OPTIONAL-right *result*;
+    // appending keeps any leading OPTIONAL inside the right pattern intact.
+    right.children.push(BeNode::Bgp(BgpNode::new(p1.bgp.clone())));
+    coalesce_group(right);
+}
+
+/// Performs the merge on a clone of the level, retaining `P1` as an *empty*
+/// BGP node so the cost formula keeps its node-preserving shape (Section
+/// 5.1.1). Used by Δ-cost evaluation only.
+pub fn simulate_merge(g: &GroupNode, p1_idx: usize, union_idx: usize) -> GroupNode {
+    let mut clone = g.clone();
+    let BeNode::Bgp(p1) = clone.children[p1_idx].clone() else {
+        unreachable!();
+    };
+    let BeNode::Union(branches) = &mut clone.children[union_idx] else {
+        unreachable!();
+    };
+    for b in branches.iter_mut() {
+        b.children.push(BeNode::Bgp(BgpNode::new(p1.bgp.clone())));
+        coalesce_group(b);
+    }
+    clone.children[p1_idx] = BeNode::Bgp(crate::cost::empty_bgp_node());
+    clone
+}
+
+/// Performs the inject on a clone of the level (Δ-cost evaluation only).
+pub fn simulate_inject(g: &GroupNode, p1_idx: usize, opt_idx: usize) -> GroupNode {
+    let mut clone = g.clone();
+    perform_inject(&mut clone, p1_idx, opt_idx);
+    clone
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::betree::BeTree;
+    use uo_rdf::{Dictionary, Term};
+    use uo_sparql::algebra::VarTable;
+
+    fn dict() -> Dictionary {
+        let mut d = Dictionary::new();
+        for t in ["http://p", "http://q", "http://r", "http://s"] {
+            d.encode(&Term::iri(t));
+        }
+        d
+    }
+
+    fn tree(q: &str) -> BeTree {
+        let query = uo_sparql::parse(q).unwrap();
+        let mut vars = VarTable::new();
+        BeTree::build(&query, &mut vars, &dict())
+    }
+
+    const UNION_Q: &str = "SELECT WHERE {
+        ?x <http://p> <http://c> .
+        { ?x <http://q> ?n } UNION { ?x <http://r> ?n }
+    }";
+
+    const OPT_Q: &str = "SELECT WHERE {
+        ?x <http://p> <http://c> .
+        OPTIONAL { ?x <http://s> ?same }
+    }";
+
+    #[test]
+    fn merge_eligibility() {
+        let t = tree(UNION_Q);
+        assert!(can_merge(&t.root, 0, 1));
+        assert!(!can_merge(&t.root, 1, 0), "P1 must be a BGP, target a UNION");
+        assert!(!can_merge(&t.root, 0, 0));
+    }
+
+    #[test]
+    fn merge_moves_bgp_into_both_branches() {
+        let mut t = tree(UNION_Q);
+        perform_merge(&mut t.root, 0, 1);
+        assert_eq!(t.root.children.len(), 1);
+        let BeNode::Union(branches) = &t.root.children[0] else { panic!() };
+        for b in branches {
+            assert_eq!(b.children.len(), 1, "coalesced into one BGP per branch");
+            let BeNode::Bgp(bgp) = &b.children[0] else { panic!() };
+            assert_eq!(bgp.bgp.patterns.len(), 2);
+        }
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn merge_not_eligible_without_shared_variable() {
+        let t = tree(
+            "SELECT WHERE {
+               ?x <http://p> <http://c> .
+               { ?a <http://q> ?n } UNION { ?a <http://r> ?n }
+             }",
+        );
+        assert!(!can_merge(&t.root, 0, 1));
+    }
+
+    #[test]
+    fn merge_eligible_if_any_branch_coalescable() {
+        let t = tree(
+            "SELECT WHERE {
+               ?x <http://p> <http://c> .
+               { ?x <http://q> ?n } UNION { ?a <http://r> ?n }
+             }",
+        );
+        assert!(can_merge(&t.root, 0, 1));
+        let mut t = t;
+        perform_merge(&mut t.root, 0, 1);
+        let BeNode::Union(branches) = &t.root.children[0] else { panic!() };
+        // First branch coalesced (1 BGP of 2 patterns); second keeps the copy
+        // as a separate sibling BGP (not coalescable).
+        let BeNode::Bgp(b0) = &branches[0].children[0] else { panic!() };
+        assert_eq!(b0.bgp.patterns.len(), 2);
+        assert_eq!(branches[1].children.len(), 2);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn inject_eligibility_requires_right_side() {
+        let t = tree(OPT_Q);
+        assert!(can_inject(&t.root, 0, 1));
+        assert!(!can_inject(&t.root, 1, 0), "OPTIONAL must be to the right");
+    }
+
+    #[test]
+    fn inject_copies_bgp_and_keeps_original() {
+        let mut t = tree(OPT_Q);
+        perform_inject(&mut t.root, 0, 1);
+        assert_eq!(t.root.children.len(), 2, "P1 keeps its occurrence");
+        let BeNode::Optional(right) = &t.root.children[1] else { panic!() };
+        assert_eq!(right.children.len(), 1);
+        let BeNode::Bgp(b) = &right.children[0] else { panic!() };
+        assert_eq!(b.bgp.patterns.len(), 2, "Figure 6: b1 coalesced with b4");
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn simulate_merge_keeps_empty_placeholder() {
+        let t = tree(UNION_Q);
+        let sim = simulate_merge(&t.root, 0, 1);
+        assert_eq!(sim.children.len(), 2);
+        let BeNode::Bgp(placeholder) = &sim.children[0] else { panic!() };
+        assert!(placeholder.bgp.patterns.is_empty());
+        // ... while the original is untouched.
+        assert_eq!(t.root.children.len(), 2);
+    }
+
+    #[test]
+    fn simulate_inject_leaves_original_untouched() {
+        let t = tree(OPT_Q);
+        let before = t.root.clone();
+        let sim = simulate_inject(&t.root, 0, 1);
+        assert_eq!(t.root, before);
+        let BeNode::Optional(right) = &sim.children[1] else { panic!() };
+        let BeNode::Bgp(b) = &right.children[0] else { panic!() };
+        assert_eq!(b.bgp.patterns.len(), 2);
+    }
+
+    #[test]
+    fn inject_into_nested_optional_only_reaches_first_level() {
+        // The transformation is level-local; inner OPTIONALs are untouched
+        // (that is what candidate pruning complements, Section 6).
+        let mut t = tree(
+            "SELECT WHERE {
+               ?x <http://p> <http://c> .
+               OPTIONAL { ?x <http://s> ?s1 . OPTIONAL { ?s1 <http://q> ?s2 } }
+             }",
+        );
+        assert!(can_inject(&t.root, 0, 1));
+        perform_inject(&mut t.root, 0, 1);
+        let BeNode::Optional(right) = &t.root.children[1] else { panic!() };
+        let BeNode::Optional(inner) = &right.children[1] else { panic!() };
+        assert_eq!(inner.children.len(), 1, "inner OPTIONAL unchanged");
+    }
+}
+
+#[cfg(test)]
+mod guard_tests {
+    use super::*;
+    use crate::betree::BeTree;
+    use uo_rdf::{Dictionary, Term};
+    use uo_sparql::algebra::VarTable;
+
+    fn dict() -> Dictionary {
+        let mut d = Dictionary::new();
+        for t in ["http://p", "http://q", "http://r", "http://s"] {
+            d.encode(&Term::iri(t));
+        }
+        d
+    }
+
+    fn tree(q: &str) -> BeTree {
+        let query = uo_sparql::parse(q).unwrap();
+        let mut vars = VarTable::new();
+        BeTree::build(&query, &mut vars, &dict())
+    }
+
+    #[test]
+    fn merge_blocked_across_variable_sharing_optional() {
+        // P1 binds ?x; the OPTIONAL between P1 and the UNION also uses ?x,
+        // and nothing else binds ?x — removing P1 would change the
+        // OPTIONAL's left operand.
+        let t = tree(
+            "SELECT WHERE {
+               ?x <http://p> ?y .
+               OPTIONAL { ?x <http://q> <http://c> }
+               { ?y <http://r> ?n } UNION { ?x <http://s> ?n }
+             }",
+        );
+        assert!(!can_merge(&t.root, 0, 2), "rightward move across shared-var OPTIONAL");
+    }
+
+    #[test]
+    fn merge_allowed_across_disjoint_optional() {
+        // The OPTIONAL between shares no variable with P1: reorder commutes.
+        let t = tree(
+            "SELECT WHERE {
+               ?x <http://p> ?y .
+               ?a <http://p> ?b .
+               OPTIONAL { ?a <http://q> <http://c> }
+               { ?x <http://r> ?n } UNION { ?x <http://s> ?n }
+             }",
+        );
+        // children: [BGP(x,y), BGP(a,b), OPT(a), UNION(x)]
+        assert!(can_merge(&t.root, 0, 3), "?x does not occur in the OPTIONAL");
+        assert!(!can_merge(&t.root, 1, 3), "branches don't share ?a/?b");
+    }
+
+    #[test]
+    fn merge_allowed_when_other_sibling_covers_shared_var() {
+        // The OPTIONAL shares ?x with P1, but another BGP sibling left of
+        // the OPTIONAL also certainly binds ?x — the left operand keeps its
+        // ?x constraint after P1 leaves.
+        let t = tree(
+            "SELECT WHERE {
+               ?x <http://p> ?y .
+               ?x <http://q> ?z .
+               OPTIONAL { ?x <http://q> <http://c> }
+               { ?y <http://r> ?n } UNION { ?y <http://s> ?n }
+             }",
+        );
+        // The two BGPs coalesce into one (both bind ?x), so the merge moves
+        // the whole coalesced BGP — block expected only if NOTHING else
+        // binds ?x. Rebuild with non-coalescable shape instead:
+        let t2 = tree(
+            "SELECT WHERE {
+               ?x <http://p> ?y .
+               { ?a <http://p> ?x . } 
+               OPTIONAL { ?x <http://q> <http://c> }
+               { ?y <http://r> ?n } UNION { ?y <http://s> ?n }
+             }",
+        );
+        // children: [BGP(x,y), Group(a,x), OPT(x), UNION(y)]
+        assert!(can_merge(&t2.root, 0, 3), "the nested group still binds ?x certainly");
+        let _ = t;
+    }
+
+    #[test]
+    fn merge_appends_after_branch_leading_optional() {
+        // A branch that *starts* with an OPTIONAL must keep it leading: the
+        // merged BGP is appended, not prepended.
+        let mut t = tree(
+            "SELECT WHERE {
+               ?x <http://p> <http://c> .
+               { ?x <http://q> ?n } UNION { OPTIONAL { ?x <http://r> ?m } ?x <http://s> ?n }
+             }",
+        );
+        assert!(can_merge(&t.root, 0, 1));
+        perform_merge(&mut t.root, 0, 1);
+        let BeNode::Union(branches) = &t.root.children[0] else { panic!() };
+        // Second branch: OPTIONAL must still be the first child; the merged
+        // BGP coalesced with the trailing BGP (both bind ?x) — but moving it
+        // left across the shared-?x OPTIONAL is blocked, so the coalesced
+        // BGP sits after the OPTIONAL.
+        assert!(
+            matches!(branches[1].children[0], BeNode::Optional(_)),
+            "leading OPTIONAL preserved: {:?}",
+            branches[1].children
+        );
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn construction_coalesce_blocked_across_uncovered_optional() {
+        // ?y is bound only by the trailing BGP; the OPTIONAL uses ?y, so the
+        // trailing BGP must not move left across it.
+        let t = tree(
+            "SELECT WHERE {
+               ?x <http://p> <http://c> .
+               OPTIONAL { ?y <http://q> <http://d> }
+               ?y <http://r> ?x .
+             }",
+        );
+        assert_eq!(t.root.children.len(), 3, "t1 and t3 must not coalesce: {t:#?}");
+    }
+
+    #[test]
+    fn construction_coalesce_allowed_when_left_covers_shared_vars() {
+        // Figure 5's case: the OPTIONAL shares only ?x with the trailing
+        // triple, and ?x is already bound by the leading triple.
+        let t = tree(
+            "SELECT WHERE {
+               ?x <http://p> <http://c> .
+               OPTIONAL { ?x <http://q> ?w }
+               ?x <http://r> ?z .
+             }",
+        );
+        assert_eq!(t.root.children.len(), 2, "t1t3 coalesce around the OPTIONAL");
+    }
+}

@@ -1,0 +1,29 @@
+//! Synthetic RDF dataset generators and the paper's benchmark workload.
+//!
+//! The paper evaluates on LUBM (534M–2B triples, synthetic) and DBpedia
+//! (830M triples, real). Neither is available at that scale here, so this
+//! crate generates laptop-scale datasets with the *same schema, URI scheme
+//! and selectivity structure*, which is what the benchmark queries'
+//! behaviour depends on:
+//!
+//! - [`lubm`]: the Lehigh University Benchmark universe — universities,
+//!   departments, professors, students, courses, publications — using the
+//!   exact `http://www.Department{d}.University{u}.edu/...` URI scheme and
+//!   `ub:` ontology predicates the paper's Appendix A queries reference;
+//! - [`dbpedia`]: an encyclopedic graph with Zipf-distributed
+//!   `dbo:wikiPageWikiLink` in-degrees, diverse naming (`foaf:name` vs
+//!   `rdfs:label`), incomplete attributes (`owl:sameAs`, `foaf:homepage`, …)
+//!   and the landmark resources the queries name (`dbr:Economic_system`,
+//!   `dbr:Air_masses`, `dbr:Abdul_Rahim_Wardak`, …);
+//! - [`queries`]: the 24 benchmark queries of Appendix A (q1.1–q1.6 and
+//!   q2.1–q2.6 on each dataset), verbatim modulo whitespace.
+//!
+//! Both generators are deterministic given their seed.
+
+pub mod dbpedia;
+pub mod lubm;
+pub mod queries;
+
+pub use dbpedia::{generate_dbpedia, DbpediaConfig};
+pub use lubm::{generate_lubm, LubmConfig};
+pub use queries::{dbpedia_queries, lubm_queries, queries_for, BenchQuery, Dataset};

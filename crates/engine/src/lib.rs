@@ -1,0 +1,59 @@
+//! BGP evaluation engines.
+//!
+//! The paper deliberately builds SPARQL-UO optimization *on top of* existing
+//! BGP engines (Section 4): its experiments implement the approach over both
+//! gStore (worst-case-optimal joins) and Apache Jena (binary hash joins).
+//! This crate provides faithful stand-ins for both:
+//!
+//! - [`WcoEngine`]: gStore-style *vertex-at-a-time* evaluation — each step
+//!   extends every partial match by one query vertex, intersecting the
+//!   adjacency lists of all incident edges, with the WCO cost formula of
+//!   Section 5.1.2;
+//! - [`BinaryJoinEngine`]: Jena-style evaluation — each triple pattern is
+//!   scanned into a relation and relations are combined by cost-ordered hash
+//!   joins, with cost `2·min + max` (Equation 9).
+//!
+//! Both implement the [`BgpEngine`] trait, which also exposes the
+//! cardinality/cost estimation the paper's SPARQL-UO cost model consumes
+//! (Equations 2 and 6), and both accept [`CandidateSet`]s — the hook that
+//! the paper's query-time *candidate pruning* (Section 6) uses to restrict
+//! the search space of BGP evaluation on the fly.
+
+pub mod binary;
+pub mod estimate;
+pub mod pattern;
+pub mod wco;
+
+pub use binary::BinaryJoinEngine;
+pub use estimate::Estimator;
+pub use pattern::{encode_bgp, CandidateSet, EncodedBgp, EncodedTriplePattern, Slot};
+pub use wco::WcoEngine;
+
+use uo_sparql::algebra::Bag;
+use uo_store::TripleStore;
+
+/// A BGP evaluation engine: the pluggable building block of Algorithm 1.
+pub trait BgpEngine: Send + Sync {
+    /// A short name for reports ("wco" / "binary").
+    fn name(&self) -> &'static str;
+
+    /// Evaluates a BGP, returning all matches as a [`Bag`] over a row frame
+    /// of `width` variables. `candidates` restricts the admissible values of
+    /// specific variables (empty set = unrestricted).
+    fn evaluate(
+        &self,
+        store: &TripleStore,
+        bgp: &EncodedBgp,
+        width: usize,
+        candidates: &CandidateSet,
+    ) -> Bag;
+
+    /// Estimated number of results of the BGP (Section 5.1.2's sampling
+    /// scheme). Used both by the SPARQL-UO cost model and as the adaptive
+    /// candidate-pruning threshold.
+    fn estimate_cardinality(&self, store: &TripleStore, bgp: &EncodedBgp) -> f64;
+
+    /// Estimated evaluation cost of the BGP under this engine's join
+    /// paradigm (`cost(P)` in Equations 2 and 6).
+    fn estimate_cost(&self, store: &TripleStore, bgp: &EncodedBgp) -> f64;
+}

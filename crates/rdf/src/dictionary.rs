@@ -1,0 +1,144 @@
+//! Dictionary encoding of RDF terms.
+//!
+//! Every distinct [`Term`] in a dataset is assigned a dense [`Id`] starting at
+//! `1`. Id `0` ([`NO_ID`]) is reserved and used throughout the workspace as
+//! the "unbound" sentinel in solution rows, which keeps rows as flat `u32`
+//! arrays with no `Option` overhead.
+
+use crate::fxhash::FxHashMap;
+use crate::term::Term;
+
+/// A dictionary-encoded term identifier. `0` is reserved (see [`NO_ID`]).
+pub type Id = u32;
+
+/// The reserved identifier meaning "no term" / "unbound variable".
+pub const NO_ID: Id = 0;
+
+/// A bidirectional mapping between [`Term`]s and dense [`Id`]s.
+///
+/// Encoding is append-only: terms are never removed, which lets decoded
+/// lookups be a simple vector index.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    term_to_id: FxHashMap<Term, Id>,
+    id_to_term: Vec<Term>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for `term`, assigning a fresh one if necessary.
+    pub fn encode(&mut self, term: &Term) -> Id {
+        if let Some(&id) = self.term_to_id.get(term) {
+            return id;
+        }
+        let id = (self.id_to_term.len() + 1) as Id;
+        self.id_to_term.push(term.clone());
+        self.term_to_id.insert(term.clone(), id);
+        id
+    }
+
+    /// Returns the id for `term` if it has been encoded before.
+    ///
+    /// Query constants that never occur in the data map to `None`; callers
+    /// treat such triple patterns as having zero matches.
+    pub fn lookup(&self, term: &Term) -> Option<Id> {
+        self.term_to_id.get(term).copied()
+    }
+
+    /// Returns the term for `id`, or `None` for [`NO_ID`] and out-of-range ids.
+    pub fn decode(&self, id: Id) -> Option<&Term> {
+        if id == NO_ID {
+            return None;
+        }
+        self.id_to_term.get(id as usize - 1)
+    }
+
+    /// The number of distinct encoded terms.
+    pub fn len(&self) -> usize {
+        self.id_to_term.len()
+    }
+
+    /// Returns `true` if no term has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.id_to_term.is_empty()
+    }
+
+    /// Iterates over `(id, term)` pairs in encoding order.
+    pub fn iter(&self) -> impl Iterator<Item = (Id, &Term)> {
+        self.id_to_term.iter().enumerate().map(|(i, t)| ((i + 1) as Id, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.encode(&Term::iri("http://a"));
+        let b = d.encode(&Term::iri("http://a"));
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn ids_start_at_one() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.encode(&Term::iri("x")), 1);
+        assert_eq!(d.encode(&Term::iri("y")), 2);
+    }
+
+    #[test]
+    fn decode_round_trips() {
+        let mut d = Dictionary::new();
+        let terms = [Term::iri("http://a"),
+            Term::blank("b1"),
+            Term::literal("plain"),
+            Term::lang_literal("hello", "en"),
+            Term::typed_literal("3", "http://www.w3.org/2001/XMLSchema#integer")];
+        let ids: Vec<Id> = terms.iter().map(|t| d.encode(t)).collect();
+        for (t, id) in terms.iter().zip(&ids) {
+            assert_eq!(d.decode(*id), Some(t));
+        }
+    }
+
+    #[test]
+    fn no_id_decodes_to_none() {
+        let d = Dictionary::new();
+        assert_eq!(d.decode(NO_ID), None);
+        assert_eq!(d.decode(99), None);
+    }
+
+    #[test]
+    fn lookup_missing_is_none() {
+        let mut d = Dictionary::new();
+        d.encode(&Term::iri("x"));
+        assert_eq!(d.lookup(&Term::iri("y")), None);
+        assert_eq!(d.lookup(&Term::iri("x")), Some(1));
+    }
+
+    #[test]
+    fn literals_distinguished_by_annotation() {
+        let mut d = Dictionary::new();
+        let a = d.encode(&Term::literal("x"));
+        let b = d.encode(&Term::lang_literal("x", "en"));
+        let c = d.encode(&Term::typed_literal("x", "http://dt"));
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn iter_yields_in_order() {
+        let mut d = Dictionary::new();
+        d.encode(&Term::iri("a"));
+        d.encode(&Term::iri("b"));
+        let v: Vec<_> = d.iter().map(|(i, t)| (i, t.clone())).collect();
+        assert_eq!(v, vec![(1, Term::iri("a")), (2, Term::iri("b"))]);
+    }
+}

@@ -1,0 +1,123 @@
+//! A minimal reimplementation of the `rustc-hash` (Fx) hashing algorithm.
+//!
+//! The default SipHash in `std` is collision-resistant but slow for the short
+//! integer and string keys that dominate a triple store's workload. The Fx
+//! algorithm (used by the Rust compiler itself) is an order of magnitude
+//! faster on such keys. We inline it here rather than depending on an
+//! external crate; it is ~30 lines.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with the Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with the Fx hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx (Firefox/rustc) hasher: a simple multiply-and-rotate word hasher.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Process 8 bytes at a time, then the tail. This matches the
+        // throughput-oriented layout of the original implementation closely
+        // enough for our purposes (string keys in the dictionary).
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+            self.add_to_hash(rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, BuildHasherDefault, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        BuildHasherDefault::<FxHasher>::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(&42u32), hash_of(&42u32));
+        assert_eq!(hash_of(&"hello"), hash_of(&"hello"));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+        assert_ne!(hash_of(&"a"), hash_of(&"b"));
+        // tail length is mixed in, so a prefix must not collide with the whole
+        assert_ne!(hash_of(&"abc"), hash_of(&"abcd"));
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m[&1], "one");
+        let mut s: FxHashSet<String> = FxHashSet::default();
+        s.insert("x".into());
+        assert!(s.contains("x"));
+    }
+
+    #[test]
+    fn long_string_keys() {
+        let a = "x".repeat(1000);
+        let mut b = a.clone();
+        b.push('y');
+        assert_ne!(hash_of(&a), hash_of(&b));
+        assert_eq!(hash_of(&a), hash_of(&a.clone()));
+    }
+}

@@ -1,0 +1,38 @@
+//! RDF data model for the SPARQL-UO engine.
+//!
+//! This crate provides the foundational types shared by every other crate in
+//! the workspace:
+//!
+//! - [`Term`]: IRIs, blank nodes and literals (Definition 1 of the paper);
+//! - [`Triple`]: a `⟨subject, predicate, object⟩` three-tuple;
+//! - [`Dictionary`]: bidirectional term ⇄ [`Id`] encoding, so the store and
+//!   all query operators work on dense `u32` identifiers;
+//! - an N-Triples parser and serializer ([`ntriples`]);
+//! - a fast, non-cryptographic hasher ([`fxhash`]) used for all internal hash
+//!   maps (HashDoS resistance is irrelevant for an embedded analytical store).
+//!
+//! # Example
+//!
+//! ```
+//! use uo_rdf::{Dictionary, Term, Triple};
+//!
+//! let mut dict = Dictionary::new();
+//! let s = dict.encode(&Term::iri("http://example.org/alice"));
+//! let p = dict.encode(&Term::iri("http://xmlns.com/foaf/0.1/name"));
+//! let o = dict.encode(&Term::lang_literal("Alice", "en"));
+//! let t = Triple::new(s, p, o);
+//! assert_eq!(dict.decode(t.subject).unwrap().to_string(),
+//!            "<http://example.org/alice>");
+//! ```
+
+pub mod dictionary;
+pub mod fxhash;
+pub mod ntriples;
+pub mod term;
+pub mod turtle;
+pub mod triple;
+
+pub use dictionary::{Dictionary, Id, NO_ID};
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use term::Term;
+pub use triple::Triple;

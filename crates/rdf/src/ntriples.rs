@@ -1,0 +1,349 @@
+//! A line-oriented N-Triples parser and serializer.
+//!
+//! Supports the full N-Triples grammar used by the benchmark datasets: IRIs,
+//! blank nodes, plain / language-tagged / typed literals, `\uXXXX` and
+//! `\UXXXXXXXX` escapes, comments and blank lines.
+
+use crate::term::Term;
+use std::fmt;
+
+/// An error produced while parsing an N-Triples document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N-Triples parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a whole N-Triples document into `(subject, predicate, object)`
+/// term triples.
+pub fn parse_document(input: &str) -> Result<Vec<(Term, Term, Term)>, ParseError> {
+    let mut out = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(parse_line(line).map_err(|message| ParseError { line: lineno + 1, message })?);
+    }
+    Ok(out)
+}
+
+/// Parses a single N-Triples statement (without trailing newline).
+pub fn parse_line(line: &str) -> Result<(Term, Term, Term), String> {
+    let mut cursor = Cursor { input: line.as_bytes(), pos: 0 };
+    cursor.skip_ws();
+    let s = cursor.parse_term()?;
+    if !s.is_valid_subject() {
+        return Err(format!("invalid subject term: {s}"));
+    }
+    cursor.skip_ws();
+    let p = cursor.parse_term()?;
+    if !p.is_valid_predicate() {
+        return Err(format!("invalid predicate term: {p}"));
+    }
+    cursor.skip_ws();
+    let o = cursor.parse_term()?;
+    cursor.skip_ws();
+    if !cursor.eat(b'.') {
+        return Err("expected '.' terminating the statement".to_string());
+    }
+    cursor.skip_ws();
+    if !cursor.at_end() {
+        return Err("trailing content after '.'".to_string());
+    }
+    Ok((s, p, o))
+}
+
+/// Serializes triples into an N-Triples document.
+pub fn serialize<'a>(triples: impl IntoIterator<Item = &'a (Term, Term, Term)>) -> String {
+    let mut out = String::new();
+    for (s, p, o) in triples {
+        out.push_str(&format!("{s} {p} {o} .\n"));
+    }
+    out
+}
+
+struct Cursor<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Term, String> {
+        match self.peek() {
+            Some(b'<') => self.parse_iri(),
+            Some(b'_') => self.parse_blank(),
+            Some(b'"') => self.parse_literal(),
+            Some(c) => Err(format!("unexpected character '{}'", c as char)),
+            None => Err("unexpected end of line".to_string()),
+        }
+    }
+
+    fn parse_iri(&mut self) -> Result<Term, String> {
+        debug_assert_eq!(self.peek(), Some(b'<'));
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'>' {
+                let iri = std::str::from_utf8(&self.input[start..self.pos])
+                    .map_err(|_| "IRI is not valid UTF-8".to_string())?;
+                self.pos += 1;
+                return Ok(Term::iri(iri));
+            }
+            self.pos += 1;
+        }
+        Err("unterminated IRI".to_string())
+    }
+
+    fn parse_blank(&mut self) -> Result<Term, String> {
+        self.pos += 1; // '_'
+        if !self.eat(b':') {
+            return Err("expected ':' after '_' in blank node".to_string());
+        }
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        // A blank node label must not end with '.'; back off if it does (the
+        // '.' is the statement terminator).
+        let mut end = self.pos;
+        while end > start && self.input[end - 1] == b'.' {
+            end -= 1;
+            self.pos -= 1;
+        }
+        if end == start {
+            return Err("empty blank node label".to_string());
+        }
+        let label = std::str::from_utf8(&self.input[start..end])
+            .map_err(|_| "blank node label is not valid UTF-8".to_string())?;
+        Ok(Term::blank(label))
+    }
+
+    fn parse_literal(&mut self) -> Result<Term, String> {
+        debug_assert_eq!(self.peek(), Some(b'"'));
+        self.pos += 1;
+        let mut lexical = String::new();
+        loop {
+            match self.bump() {
+                None => return Err("unterminated literal".to_string()),
+                Some(b'"') => break,
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => lexical.push('"'),
+                    Some(b'\\') => lexical.push('\\'),
+                    Some(b'n') => lexical.push('\n'),
+                    Some(b'r') => lexical.push('\r'),
+                    Some(b't') => lexical.push('\t'),
+                    Some(b'b') => lexical.push('\u{8}'),
+                    Some(b'f') => lexical.push('\u{c}'),
+                    Some(b'\'') => lexical.push('\''),
+                    Some(b'u') => lexical.push(self.parse_unicode_escape(4)?),
+                    Some(b'U') => lexical.push(self.parse_unicode_escape(8)?),
+                    other => {
+                        return Err(format!(
+                            "invalid escape sequence '\\{}'",
+                            other.map(|c| c as char).unwrap_or(' ')
+                        ))
+                    }
+                },
+                Some(b) => {
+                    // Re-assemble multi-byte UTF-8 sequences.
+                    if b < 0x80 {
+                        lexical.push(b as char);
+                    } else {
+                        let len = utf8_len(b);
+                        let start = self.pos - 1;
+                        let end = start + len;
+                        if end > self.input.len() {
+                            return Err("truncated UTF-8 sequence".to_string());
+                        }
+                        let s = std::str::from_utf8(&self.input[start..end])
+                            .map_err(|_| "invalid UTF-8 in literal".to_string())?;
+                        lexical.push_str(s);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+        // Optional language tag or datatype.
+        if self.eat(b'@') {
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b.is_ascii_alphanumeric() || b == b'-' {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            if self.pos == start {
+                return Err("empty language tag".to_string());
+            }
+            let lang = std::str::from_utf8(&self.input[start..self.pos]).unwrap();
+            Ok(Term::lang_literal(lexical, lang))
+        } else if self.peek() == Some(b'^') {
+            self.pos += 1;
+            if !self.eat(b'^') {
+                return Err("expected '^^' before datatype IRI".to_string());
+            }
+            match self.parse_iri()? {
+                Term::Iri(dt) => Ok(Term::typed_literal(lexical, dt)),
+                _ => unreachable!("parse_iri returns Iri"),
+            }
+        } else {
+            Ok(Term::literal(lexical))
+        }
+    }
+
+    fn parse_unicode_escape(&mut self, digits: usize) -> Result<char, String> {
+        let start = self.pos;
+        let end = start + digits;
+        if end > self.input.len() {
+            return Err("truncated unicode escape".to_string());
+        }
+        let hex = std::str::from_utf8(&self.input[start..end])
+            .map_err(|_| "invalid unicode escape".to_string())?;
+        let code =
+            u32::from_str_radix(hex, 16).map_err(|_| "invalid unicode escape".to_string())?;
+        self.pos = end;
+        char::from_u32(code).ok_or_else(|| format!("invalid code point U+{code:X}"))
+    }
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_statement() {
+        let (s, p, o) = parse_line("<http://a> <http://p> <http://b> .").unwrap();
+        assert_eq!(s, Term::iri("http://a"));
+        assert_eq!(p, Term::iri("http://p"));
+        assert_eq!(o, Term::iri("http://b"));
+    }
+
+    #[test]
+    fn parses_literals() {
+        let (_, _, o) = parse_line(r#"<http://a> <http://p> "hi there" ."#).unwrap();
+        assert_eq!(o, Term::literal("hi there"));
+        let (_, _, o) = parse_line(r#"<http://a> <http://p> "hi"@en-GB ."#).unwrap();
+        assert_eq!(o, Term::lang_literal("hi", "en-GB"));
+        let (_, _, o) =
+            parse_line(r#"<http://a> <http://p> "1"^^<http://www.w3.org/2001/XMLSchema#int> ."#)
+                .unwrap();
+        assert_eq!(o, Term::typed_literal("1", "http://www.w3.org/2001/XMLSchema#int"));
+    }
+
+    #[test]
+    fn parses_escapes() {
+        let (_, _, o) = parse_line(r#"<http://a> <http://p> "a\"b\n\t\\c" ."#).unwrap();
+        assert_eq!(o, Term::literal("a\"b\n\t\\c"));
+        let (_, _, o) = parse_line(r#"<http://a> <http://p> "A\U0001F600" ."#).unwrap();
+        assert_eq!(o, Term::literal("A😀"));
+    }
+
+    #[test]
+    fn parses_blank_nodes() {
+        let (s, _, o) = parse_line("_:b0 <http://p> _:b1 .").unwrap();
+        assert_eq!(s, Term::blank("b0"));
+        assert_eq!(o, Term::blank("b1"));
+    }
+
+    #[test]
+    fn parses_utf8_in_literals() {
+        let (_, _, o) = parse_line("<http://a> <http://p> \"héllo wörld ✓\" .").unwrap();
+        assert_eq!(o, Term::literal("héllo wörld ✓"));
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let doc = "# comment\n\n<http://a> <http://p> <http://b> .\n  # another\n";
+        assert_eq!(parse_document(doc).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn rejects_literal_subject() {
+        assert!(parse_line(r#""lit" <http://p> <http://b> ."#).is_err());
+    }
+
+    #[test]
+    fn rejects_blank_predicate() {
+        assert!(parse_line("<http://a> _:p <http://b> .").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_dot() {
+        assert!(parse_line("<http://a> <http://p> <http://b>").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_line("<http://a> <http://p> <http://b> . extra").is_err());
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let doc = "<http://a> <http://p> <http://b> .\nbroken line\n";
+        let err = parse_document(doc).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn round_trip() {
+        let triples = vec![
+            (Term::iri("http://a"), Term::iri("http://p"), Term::lang_literal("x\"y", "en")),
+            (Term::blank("b"), Term::iri("http://q"), Term::typed_literal("1", "http://dt")),
+        ];
+        let doc = serialize(&triples);
+        assert_eq!(parse_document(&doc).unwrap(), triples);
+    }
+}

@@ -1,0 +1,53 @@
+//! Dictionary-encoded triples.
+
+use crate::dictionary::Id;
+
+/// A dictionary-encoded RDF triple `⟨subject, predicate, object⟩`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    /// Encoded subject (an IRI or blank node).
+    pub subject: Id,
+    /// Encoded predicate (an IRI).
+    pub predicate: Id,
+    /// Encoded object (any term).
+    pub object: Id,
+}
+
+impl Triple {
+    /// Creates a triple from three encoded ids.
+    pub fn new(subject: Id, predicate: Id, object: Id) -> Self {
+        Triple { subject, predicate, object }
+    }
+
+    /// The triple as an `[s, p, o]` array.
+    #[inline]
+    pub fn as_array(&self) -> [Id; 3] {
+        [self.subject, self.predicate, self.object]
+    }
+}
+
+impl From<[Id; 3]> for Triple {
+    fn from(a: [Id; 3]) -> Self {
+        Triple::new(a[0], a[1], a[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_round_trip() {
+        let t = Triple::new(1, 2, 3);
+        assert_eq!(t.as_array(), [1, 2, 3]);
+        assert_eq!(Triple::from([1, 2, 3]), t);
+    }
+
+    #[test]
+    fn ordering_is_spo_lexicographic() {
+        let mut v = [Triple::new(2, 1, 1), Triple::new(1, 9, 9), Triple::new(1, 2, 3)];
+        v.sort();
+        assert_eq!(v[0], Triple::new(1, 2, 3));
+        assert_eq!(v[2], Triple::new(2, 1, 1));
+    }
+}

@@ -1,0 +1,670 @@
+//! A Turtle (TTL) parser covering the fragment real datasets use.
+//!
+//! Supported: `@prefix`/`PREFIX` and `@base`/`BASE` declarations, prefixed
+//! names, relative IRIs (resolved naively against the base), the `a`
+//! keyword, predicate-object lists (`;`), object lists (`,`), numeric /
+//! boolean / string literals (with `'`, `"`, `'''`, `"""` quoting, language
+//! tags and datatypes), blank node labels and anonymous blank nodes `[]`
+//! with property lists, and collections `( ... )` (expanded to `rdf:first` /
+//! `rdf:rest` chains).
+//!
+//! DBpedia and LUBM dumps are distributed in Turtle/N-Triples; this makes
+//! the store loadable from either.
+
+use crate::term::Term;
+use std::collections::HashMap;
+use std::fmt;
+
+const RDF_NS: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+const XSD_NS: &str = "http://www.w3.org/2001/XMLSchema#";
+
+/// A Turtle parse error with line/column information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TurtleError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for TurtleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Turtle parse error at {}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for TurtleError {}
+
+/// Parses a Turtle document into triples.
+pub fn parse_turtle(input: &str) -> Result<Vec<(Term, Term, Term)>, TurtleError> {
+    let mut p = TurtleParser {
+        input: input.as_bytes(),
+        pos: 0,
+        prefixes: HashMap::new(),
+        base: String::new(),
+        out: Vec::new(),
+        blank_counter: 0,
+    };
+    p.parse_document()?;
+    Ok(p.out)
+}
+
+struct TurtleParser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    prefixes: HashMap<String, String>,
+    base: String,
+    out: Vec<(Term, Term, Term)>,
+    blank_counter: usize,
+}
+
+impl<'a> TurtleParser<'a> {
+    fn error(&self, message: impl Into<String>) -> TurtleError {
+        let mut line = 1;
+        let mut col = 1;
+        for &b in &self.input[..self.pos.min(self.input.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        TurtleError { line, column: col, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b' ') | Some(b'\t') | Some(b'\r') | Some(b'\n') => {
+                    self.pos += 1;
+                }
+                Some(b'#') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), TurtleError> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn at_keyword_ci(&self, kw: &str) -> bool {
+        let end = self.pos + kw.len();
+        if end > self.input.len() {
+            return false;
+        }
+        let slice = &self.input[self.pos..end];
+        slice.eq_ignore_ascii_case(kw.as_bytes())
+            && !self.input.get(end).map(|b| b.is_ascii_alphanumeric()).unwrap_or(false)
+    }
+
+    fn parse_document(&mut self) -> Result<(), TurtleError> {
+        loop {
+            self.skip_ws();
+            if self.pos >= self.input.len() {
+                return Ok(());
+            }
+            if self.eat(b'@') {
+                if self.at_keyword_ci("prefix") {
+                    self.pos += 6;
+                    self.parse_prefix_decl()?;
+                    self.skip_ws();
+                    self.expect(b'.')?;
+                } else if self.at_keyword_ci("base") {
+                    self.pos += 4;
+                    self.parse_base_decl()?;
+                    self.skip_ws();
+                    self.expect(b'.')?;
+                } else {
+                    return Err(self.error("expected @prefix or @base"));
+                }
+                continue;
+            }
+            if self.at_keyword_ci("PREFIX") {
+                self.pos += 6;
+                self.parse_prefix_decl()?;
+                continue; // SPARQL-style PREFIX has no trailing dot
+            }
+            if self.at_keyword_ci("BASE") {
+                self.pos += 4;
+                self.parse_base_decl()?;
+                continue;
+            }
+            self.parse_triples()?;
+            self.skip_ws();
+            self.expect(b'.')?;
+        }
+    }
+
+    fn parse_prefix_decl(&mut self) -> Result<(), TurtleError> {
+        self.skip_ws();
+        let name = self.parse_pname_prefix()?;
+        self.skip_ws();
+        let iri = self.parse_iri_ref()?;
+        self.prefixes.insert(name, iri);
+        Ok(())
+    }
+
+    fn parse_base_decl(&mut self) -> Result<(), TurtleError> {
+        self.skip_ws();
+        self.base = self.parse_iri_ref()?;
+        Ok(())
+    }
+
+    /// Parses `name:` (the prefix part of a prefix declaration).
+    fn parse_pname_prefix(&mut self) -> Result<String, TurtleError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b':' {
+                let name = std::str::from_utf8(&self.input[start..self.pos])
+                    .map_err(|_| self.error("invalid UTF-8 in prefix"))?
+                    .to_string();
+                self.pos += 1;
+                return Ok(name);
+            }
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b >= 0x80 {
+                self.pos += 1;
+            } else {
+                return Err(self.error("invalid prefix name"));
+            }
+        }
+        Err(self.error("unterminated prefix declaration"))
+    }
+
+    fn parse_iri_ref(&mut self) -> Result<String, TurtleError> {
+        self.skip_ws();
+        self.expect(b'<')?;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'>' {
+                let raw = std::str::from_utf8(&self.input[start..self.pos])
+                    .map_err(|_| self.error("invalid UTF-8 in IRI"))?;
+                self.pos += 1;
+                // Naive relative-IRI resolution: scheme-less IRIs get the base
+                // prepended (sufficient for dataset dumps).
+                if !raw.contains("://") && !self.base.is_empty() {
+                    return Ok(format!("{}{}", self.base, raw));
+                }
+                return Ok(raw.to_string());
+            }
+            self.pos += 1;
+        }
+        Err(self.error("unterminated IRI"))
+    }
+
+    fn fresh_blank(&mut self) -> Term {
+        self.blank_counter += 1;
+        Term::blank(format!("genid{}", self.blank_counter))
+    }
+
+    fn parse_triples(&mut self) -> Result<(), TurtleError> {
+        self.skip_ws();
+        let subject = if self.peek() == Some(b'[') {
+            // Anonymous blank node with property list as subject.
+            self.parse_blank_node_property_list()?
+        } else if self.peek() == Some(b'(') {
+            self.parse_collection()?
+        } else {
+            self.parse_term_subject()?
+        };
+        self.skip_ws();
+        // A bare `[...] .` with no further predicates is legal.
+        if self.peek() == Some(b'.') {
+            return Ok(());
+        }
+        self.parse_predicate_object_list(&subject)
+    }
+
+    fn parse_predicate_object_list(&mut self, subject: &Term) -> Result<(), TurtleError> {
+        loop {
+            self.skip_ws();
+            let predicate = self.parse_verb()?;
+            loop {
+                self.skip_ws();
+                let object = self.parse_object()?;
+                self.out.push((subject.clone(), predicate.clone(), object));
+                self.skip_ws();
+                if !self.eat(b',') {
+                    break;
+                }
+            }
+            self.skip_ws();
+            if !self.eat(b';') {
+                return Ok(());
+            }
+            self.skip_ws();
+            // Dangling ';' before '.' / ']' is allowed.
+            if matches!(self.peek(), Some(b'.') | Some(b']') | None) {
+                return Ok(());
+            }
+        }
+    }
+
+    fn parse_verb(&mut self) -> Result<Term, TurtleError> {
+        self.skip_ws();
+        if self.peek() == Some(b'a') {
+            let next = self.input.get(self.pos + 1).copied();
+            let terminator = matches!(next, Some(b' ') | Some(b'\t') | Some(b'\n') | Some(b'\r') | Some(b'<') | Some(b'[') | Some(b'?'));
+            if terminator {
+                self.pos += 1;
+                return Ok(Term::iri(format!("{RDF_NS}type")));
+            }
+        }
+        match self.parse_term_subject()? {
+            t @ Term::Iri(_) => Ok(t),
+            other => Err(self.error(format!("predicate must be an IRI, found {other}"))),
+        }
+    }
+
+    /// Parses an IRI, prefixed name, or blank node label.
+    fn parse_term_subject(&mut self) -> Result<Term, TurtleError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'<') => Ok(Term::iri(self.parse_iri_ref()?)),
+            Some(b'_') => self.parse_blank_label(),
+            Some(c) if c.is_ascii_alphabetic() || c == b':' || c >= 0x80 => {
+                self.parse_prefixed_name()
+            }
+            other => Err(self.error(format!(
+                "expected IRI, prefixed name or blank node (found {:?})",
+                other.map(|c| c as char)
+            ))),
+        }
+    }
+
+    fn parse_blank_label(&mut self) -> Result<Term, TurtleError> {
+        self.expect(b'_')?;
+        self.expect(b':')?;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.error("empty blank node label"));
+        }
+        let label = std::str::from_utf8(&self.input[start..self.pos]).unwrap();
+        Ok(Term::blank(label))
+    }
+
+    fn parse_prefixed_name(&mut self) -> Result<Term, TurtleError> {
+        let start = self.pos;
+        let mut colon = None;
+        while let Some(b) = self.peek() {
+            let ok = b.is_ascii_alphanumeric()
+                || b == b'_'
+                || b == b'-'
+                || b >= 0x80
+                || b == b':'
+                || (colon.is_some() && (b == b'.' || b == b'%'));
+            if !ok {
+                break;
+            }
+            if b == b':' && colon.is_none() {
+                colon = Some(self.pos);
+            }
+            self.pos += 1;
+        }
+        // Trailing dots terminate the statement.
+        while self.pos > start && self.input[self.pos - 1] == b'.' {
+            self.pos -= 1;
+        }
+        let Some(cpos) = colon.filter(|&c| c < self.pos) else {
+            let word = std::str::from_utf8(&self.input[start..self.pos]).unwrap_or("");
+            // true/false literals
+            if word == "true" || word == "false" {
+                return Ok(Term::typed_literal(word, format!("{XSD_NS}boolean")));
+            }
+            return Err(self.error(format!("expected a prefixed name, found '{word}'")));
+        };
+        let prefix = std::str::from_utf8(&self.input[start..cpos]).unwrap();
+        let local = std::str::from_utf8(&self.input[cpos + 1..self.pos]).unwrap();
+        let ns = self
+            .prefixes
+            .get(prefix)
+            .ok_or_else(|| self.error(format!("undeclared prefix '{prefix}:'")))?;
+        Ok(Term::iri(format!("{ns}{local}")))
+    }
+
+    fn parse_object(&mut self) -> Result<Term, TurtleError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'<') => Ok(Term::iri(self.parse_iri_ref()?)),
+            Some(b'_') => self.parse_blank_label(),
+            Some(b'[') => self.parse_blank_node_property_list(),
+            Some(b'(') => self.parse_collection(),
+            Some(b'"') | Some(b'\'') => self.parse_string_literal(),
+            Some(c) if c.is_ascii_digit() || c == b'+' || c == b'-' => self.parse_number(),
+            Some(_) => self.parse_prefixed_name(),
+            None => Err(self.error("unexpected end of input in object position")),
+        }
+    }
+
+    fn parse_blank_node_property_list(&mut self) -> Result<Term, TurtleError> {
+        self.expect(b'[')?;
+        let node = self.fresh_blank();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(node);
+        }
+        self.parse_predicate_object_list(&node)?;
+        self.skip_ws();
+        self.expect(b']')?;
+        Ok(node)
+    }
+
+    fn parse_collection(&mut self) -> Result<Term, TurtleError> {
+        self.expect(b'(')?;
+        let first = Term::iri(format!("{RDF_NS}first"));
+        let rest = Term::iri(format!("{RDF_NS}rest"));
+        let nil = Term::iri(format!("{RDF_NS}nil"));
+        let mut items = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.eat(b')') {
+                break;
+            }
+            items.push(self.parse_object()?);
+        }
+        if items.is_empty() {
+            return Ok(nil);
+        }
+        let nodes: Vec<Term> = (0..items.len()).map(|_| self.fresh_blank()).collect();
+        for (i, item) in items.into_iter().enumerate() {
+            self.out.push((nodes[i].clone(), first.clone(), item));
+            let tail = nodes.get(i + 1).cloned().unwrap_or_else(|| nil.clone());
+            self.out.push((nodes[i].clone(), rest.clone(), tail));
+        }
+        Ok(nodes[0].clone())
+    }
+
+    fn parse_string_literal(&mut self) -> Result<Term, TurtleError> {
+        let quote = self.bump().unwrap(); // ' or "
+        let long = self.peek() == Some(quote) && self.input.get(self.pos + 1) == Some(&quote);
+        if long {
+            self.pos += 2;
+        }
+        let mut lex = String::new();
+        loop {
+            let Some(b) = self.bump() else {
+                return Err(self.error("unterminated string literal"));
+            };
+            if b == quote {
+                if !long {
+                    break;
+                }
+                if self.peek() == Some(quote) && self.input.get(self.pos + 1) == Some(&quote) {
+                    self.pos += 2;
+                    break;
+                }
+                lex.push(quote as char);
+                continue;
+            }
+            if b == b'\\' {
+                match self.bump() {
+                    Some(b'n') => lex.push('\n'),
+                    Some(b't') => lex.push('\t'),
+                    Some(b'r') => lex.push('\r'),
+                    Some(b'"') => lex.push('"'),
+                    Some(b'\'') => lex.push('\''),
+                    Some(b'\\') => lex.push('\\'),
+                    Some(b'u') => lex.push(self.unicode_escape(4)?),
+                    Some(b'U') => lex.push(self.unicode_escape(8)?),
+                    other => {
+                        return Err(self.error(format!(
+                            "invalid escape '\\{}'",
+                            other.map(|c| c as char).unwrap_or(' ')
+                        )))
+                    }
+                }
+                continue;
+            }
+            if b < 0x80 {
+                lex.push(b as char);
+            } else {
+                // Re-assemble UTF-8.
+                let len = match b {
+                    0xC0..=0xDF => 2,
+                    0xE0..=0xEF => 3,
+                    _ => 4,
+                };
+                let start = self.pos - 1;
+                let end = start + len;
+                if end > self.input.len() {
+                    return Err(self.error("truncated UTF-8"));
+                }
+                let s = std::str::from_utf8(&self.input[start..end])
+                    .map_err(|_| self.error("invalid UTF-8 in literal"))?;
+                lex.push_str(s);
+                self.pos = end;
+            }
+        }
+        // Language tag / datatype.
+        if self.eat(b'@') {
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b.is_ascii_alphanumeric() || b == b'-' {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            if self.pos == start {
+                return Err(self.error("empty language tag"));
+            }
+            let lang = std::str::from_utf8(&self.input[start..self.pos]).unwrap();
+            return Ok(Term::lang_literal(lex, lang));
+        }
+        if self.peek() == Some(b'^') {
+            self.pos += 1;
+            self.expect(b'^')?;
+            self.skip_ws();
+            let dt = match self.peek() {
+                Some(b'<') => self.parse_iri_ref()?,
+                _ => match self.parse_prefixed_name()? {
+                    Term::Iri(i) => i.to_string(),
+                    _ => return Err(self.error("datatype must be an IRI")),
+                },
+            };
+            return Ok(Term::typed_literal(lex, dt));
+        }
+        Ok(Term::literal(lex))
+    }
+
+    fn unicode_escape(&mut self, digits: usize) -> Result<char, TurtleError> {
+        let end = self.pos + digits;
+        if end > self.input.len() {
+            return Err(self.error("truncated unicode escape"));
+        }
+        let hex = std::str::from_utf8(&self.input[self.pos..end])
+            .map_err(|_| self.error("invalid unicode escape"))?;
+        let code = u32::from_str_radix(hex, 16)
+            .map_err(|_| self.error("invalid unicode escape"))?;
+        self.pos = end;
+        char::from_u32(code).ok_or_else(|| self.error(format!("invalid code point U+{code:X}")))
+    }
+
+    fn parse_number(&mut self) -> Result<Term, TurtleError> {
+        let start = self.pos;
+        if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+            self.pos += 1;
+        }
+        let mut decimal = false;
+        let mut exponent = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' if !decimal && !exponent => {
+                    // Only consume the dot if a digit follows (else it is the
+                    // statement terminator).
+                    if self.input.get(self.pos + 1).map(|d| d.is_ascii_digit()).unwrap_or(false) {
+                        decimal = true;
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                b'e' | b'E' if !exponent => {
+                    exponent = true;
+                    self.pos += 1;
+                    if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let lex = std::str::from_utf8(&self.input[start..self.pos]).unwrap();
+        if lex.is_empty() || lex == "+" || lex == "-" {
+            return Err(self.error("expected a number"));
+        }
+        let dt = if exponent {
+            "double"
+        } else if decimal {
+            "decimal"
+        } else {
+            "integer"
+        };
+        Ok(Term::typed_literal(lex, format!("{XSD_NS}{dt}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_prefixes_and_basic_triples() {
+        let doc = r#"
+@prefix foaf: <http://xmlns.com/foaf/0.1/> .
+@prefix ex: <http://example.org/> .
+ex:alice foaf:name "Alice" ;
+         foaf:knows ex:bob , ex:carol .
+"#;
+        let triples = parse_turtle(doc).unwrap();
+        assert_eq!(triples.len(), 3);
+        assert_eq!(triples[0].1, Term::iri("http://xmlns.com/foaf/0.1/name"));
+        assert_eq!(triples[2].2, Term::iri("http://example.org/carol"));
+    }
+
+    #[test]
+    fn parses_a_keyword_and_sparql_style_prefix() {
+        let doc = "PREFIX ex: <http://ex/>\nex:x a ex:Class .";
+        let triples = parse_turtle(doc).unwrap();
+        assert_eq!(triples[0].1, Term::iri(format!("{RDF_NS}type")));
+    }
+
+    #[test]
+    fn parses_literals() {
+        let doc = r#"
+@prefix ex: <http://ex/> .
+ex:x ex:p "plain" , "tagged"@en-GB , "typed"^^ex:dt , 42 , -3.5 , 1.0e3 , true .
+"#;
+        let triples = parse_turtle(doc).unwrap();
+        let objs: Vec<&Term> = triples.iter().map(|t| &t.2).collect();
+        assert_eq!(objs[0], &Term::literal("plain"));
+        assert_eq!(objs[1], &Term::lang_literal("tagged", "en-GB"));
+        assert_eq!(objs[2], &Term::typed_literal("typed", "http://ex/dt"));
+        assert_eq!(objs[3], &Term::typed_literal("42", format!("{XSD_NS}integer")));
+        assert_eq!(objs[4], &Term::typed_literal("-3.5", format!("{XSD_NS}decimal")));
+        assert_eq!(objs[5], &Term::typed_literal("1.0e3", format!("{XSD_NS}double")));
+        assert_eq!(objs[6], &Term::typed_literal("true", format!("{XSD_NS}boolean")));
+    }
+
+    #[test]
+    fn parses_long_strings() {
+        let doc = "@prefix ex: <http://ex/> .\nex:x ex:p \"\"\"multi\nline \"quoted\" text\"\"\" .";
+        let triples = parse_turtle(doc).unwrap();
+        assert_eq!(triples[0].2, Term::literal("multi\nline \"quoted\" text"));
+    }
+
+    #[test]
+    fn parses_blank_node_property_lists() {
+        let doc = r#"
+@prefix ex: <http://ex/> .
+ex:alice ex:address [ ex:city "Springfield" ; ex:zip "12345" ] .
+"#;
+        let triples = parse_turtle(doc).unwrap();
+        assert_eq!(triples.len(), 3);
+        // The bnode is object of the first triple and subject of the others.
+        let bnode = &triples[2].2; // address triple is pushed last
+        assert!(matches!(triples[0].0, Term::Blank(_)));
+        assert!(bnode.is_blank() || triples[2].0.is_blank());
+    }
+
+    #[test]
+    fn parses_collections() {
+        let doc = "@prefix ex: <http://ex/> .\nex:x ex:list (ex:a ex:b) .";
+        let triples = parse_turtle(doc).unwrap();
+        // 2 first + 2 rest + 1 main triple.
+        assert_eq!(triples.len(), 5);
+        let firsts = triples
+            .iter()
+            .filter(|t| t.1 == Term::iri(format!("{RDF_NS}first")))
+            .count();
+        assert_eq!(firsts, 2);
+    }
+
+    #[test]
+    fn base_resolution() {
+        let doc = "@base <http://ex/base/> .\n<s> <p> <o> .";
+        let triples = parse_turtle(doc).unwrap();
+        assert_eq!(triples[0].0, Term::iri("http://ex/base/s"));
+    }
+
+    #[test]
+    fn error_has_position() {
+        let doc = "@prefix ex: <http://ex/> .\nex:x ex:p @bad .";
+        let e = parse_turtle(doc).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.column > 1);
+    }
+
+    #[test]
+    fn undeclared_prefix_is_error() {
+        assert!(parse_turtle("ex:x ex:p ex:o .").is_err());
+    }
+
+    #[test]
+    fn ntriples_subset_is_valid_turtle() {
+        let doc = "<http://a> <http://p> \"x\"@en .\n<http://a> <http://q> _:b1 .";
+        let triples = parse_turtle(doc).unwrap();
+        assert_eq!(triples.len(), 2);
+    }
+}

@@ -1,0 +1,68 @@
+//! Fuzz-style robustness for the Turtle parser: never panic, and parse
+//! generated well-formed documents.
+
+use proptest::prelude::*;
+use uo_rdf::turtle::parse_turtle;
+
+proptest! {
+    #[test]
+    fn never_panics_on_ascii(input in "[ -~\\n]{0,300}") {
+        let _ = parse_turtle(&input);
+    }
+
+    #[test]
+    fn never_panics_on_token_soup(tokens in prop::collection::vec(
+        prop::sample::select(vec![
+            "@prefix", "@base", "PREFIX", "ex:", "<http://x>", "ex:a", "a",
+            "\"lit\"", "\"\"\"long\"\"\"", "42", "-3.5", "true", "[", "]",
+            "(", ")", ";", ",", ".", "_:b", "@en", "^^ex:dt",
+        ]),
+        0..30,
+    )) {
+        let _ = parse_turtle(&tokens.join(" "));
+    }
+
+    #[test]
+    fn generated_documents_parse(
+        n in 1usize..8,
+        with_lists in any::<bool>(),
+        with_bnodes in any::<bool>(),
+    ) {
+        let mut doc = String::from("@prefix ex: <http://ex/> .\n");
+        for i in 0..n {
+            doc.push_str(&format!("ex:s{i} ex:p{} ex:o{i} , \"lit {i}\"@en ; ex:q {i} .\n", i % 3));
+        }
+        if with_lists {
+            doc.push_str("ex:l ex:items (ex:a ex:b \"c\") .\n");
+        }
+        if with_bnodes {
+            doc.push_str("ex:x ex:addr [ ex:city \"Springfield\" ; ex:zip 12345 ] .\n");
+        }
+        let parsed = parse_turtle(&doc);
+        prop_assert!(parsed.is_ok(), "{:?} on\n{doc}", parsed.err());
+        let min = n * 3 + if with_lists { 7 } else { 0 } + if with_bnodes { 3 } else { 0 };
+        prop_assert!(parsed.unwrap().len() >= min);
+    }
+
+    /// Every N-Triples document our serializer emits is also valid Turtle.
+    #[test]
+    fn ntriples_output_is_valid_turtle(
+        strings in prop::collection::vec("[a-zA-Z0-9 ]{0,12}", 1..6)
+    ) {
+        let triples: Vec<(uo_rdf::Term, uo_rdf::Term, uo_rdf::Term)> = strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                (
+                    uo_rdf::Term::iri(format!("http://s{i}")),
+                    uo_rdf::Term::iri("http://p"),
+                    uo_rdf::Term::lang_literal(s.clone(), "en"),
+                )
+            })
+            .collect();
+        let doc = uo_rdf::ntriples::serialize(&triples);
+        let reparsed = parse_turtle(&doc);
+        prop_assert!(reparsed.is_ok());
+        prop_assert_eq!(reparsed.unwrap(), triples);
+    }
+}

@@ -1,0 +1,578 @@
+//! Bags of mappings and the SPARQL-UO algebra operators (Section 3).
+//!
+//! A *mapping* `µ` is a partial function from variables to terms. We
+//! represent a mapping as a fixed-width row of [`Id`]s over the query's
+//! variable frame ([`VarTable`]), with [`NO_ID`] (= 0) meaning "not in
+//! `dom(µ)`". A [`Bag`] is a duplicate-preserving multiset of such rows.
+//!
+//! The four operators of Section 3 are implemented here:
+//!
+//! - [`Bag::join`] — `Ω1 ⋈ Ω2 = {µ1 ∪ µ2 | µ1 ∼ µ2}` (compatibility join);
+//! - [`Bag::union_bag`] — `Ω1 ∪bag Ω2`;
+//! - [`Bag::diff`] — `Ω1 ∖ Ω2 = {µ1 | ∀µ2: µ1 ≁ µ2}`;
+//! - [`Bag::left_join`] — `Ω1 ⟕ Ω2 = (Ω1 ⋈ Ω2) ∪bag (Ω1 ∖ Ω2)`.
+//!
+//! Joins use a hash join on the common variables when both sides bind them
+//! in every row (tracked by the per-bag `certain` bitmask; always true for
+//! BGP results), and fall back to a quadratic compatibility scan otherwise —
+//! the rare case that arises only above `OPTIONAL`/`UNION` operators.
+
+use uo_rdf::{FxHashMap, Id, NO_ID};
+
+/// Index of a variable in the query's frame.
+pub type VarId = u16;
+
+/// Maximum number of distinct variables per query (rows use a `u64` bitmask).
+pub const MAX_VARS: usize = 64;
+
+/// The variable frame of a query: maps names to dense [`VarId`]s.
+#[derive(Debug, Default, Clone)]
+pub struct VarTable {
+    names: Vec<String>,
+    by_name: FxHashMap<String, VarId>,
+}
+
+impl VarTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for `name`, registering it if new.
+    ///
+    /// # Panics
+    /// Panics if more than [`MAX_VARS`] distinct variables are registered.
+    pub fn intern(&mut self, name: &str) -> VarId {
+        if let Some(&v) = self.by_name.get(name) {
+            return v;
+        }
+        assert!(self.names.len() < MAX_VARS, "query exceeds {MAX_VARS} variables");
+        let v = self.names.len() as VarId;
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), v);
+        v
+    }
+
+    /// Looks up a name without registering it.
+    pub fn get(&self, name: &str) -> Option<VarId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of variable `v`.
+    pub fn name(&self, v: VarId) -> &str {
+        &self.names[v as usize]
+    }
+
+    /// Number of registered variables (the row width).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no variable is registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// A bitmask over variables.
+pub type VarMask = u64;
+
+/// Returns the single-bit mask for `v`.
+#[inline]
+pub fn bit(v: VarId) -> VarMask {
+    1u64 << v
+}
+
+/// A duplicate-preserving multiset of mappings over a fixed variable frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bag {
+    /// Row width — the total number of variables in the query frame.
+    pub width: usize,
+    /// Variables that are bound in *at least one* row (the pattern's
+    /// in-scope variables).
+    pub maybe: VarMask,
+    /// Variables bound in *every* row. `certain ⊆ maybe` unless empty.
+    pub certain: VarMask,
+    /// The rows; each has length `width`, with [`NO_ID`] for unbound slots.
+    pub rows: Vec<Box<[Id]>>,
+}
+
+/// Tests mapping compatibility `µ1 ∼ µ2`: common bound variables agree.
+#[inline]
+pub fn compatible(a: &[Id], b: &[Id]) -> bool {
+    a.iter().zip(b.iter()).all(|(&x, &y)| x == NO_ID || y == NO_ID || x == y)
+}
+
+/// Merges two compatible rows (`µ1 ∪ µ2`).
+#[inline]
+pub fn merge_rows(a: &[Id], b: &[Id]) -> Box<[Id]> {
+    a.iter().zip(b.iter()).map(|(&x, &y)| if x != NO_ID { x } else { y }).collect()
+}
+
+impl Bag {
+    /// The empty bag (no solutions).
+    pub fn empty(width: usize) -> Self {
+        Bag { width, maybe: 0, certain: 0, rows: Vec::new() }
+    }
+
+    /// The unit bag `{µ∅}`: one row binding nothing. It is the identity of
+    /// `⋈` and the starting value of Algorithm 1's accumulator.
+    pub fn unit(width: usize) -> Self {
+        Bag { width, maybe: 0, certain: 0, rows: vec![vec![NO_ID; width].into_boxed_slice()] }
+    }
+
+    /// Builds a bag from rows, computing the `maybe`/`certain` masks.
+    pub fn from_rows(width: usize, rows: Vec<Box<[Id]>>) -> Self {
+        let mut maybe = 0u64;
+        let mut certain = !0u64;
+        for r in &rows {
+            let mut m = 0u64;
+            for (i, &v) in r.iter().enumerate() {
+                if v != NO_ID {
+                    m |= 1 << i;
+                }
+            }
+            maybe |= m;
+            certain &= m;
+        }
+        if rows.is_empty() {
+            certain = 0;
+        }
+        Bag { width, maybe, certain, rows }
+    }
+
+    /// Number of solutions (with duplicates).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if there are no solutions.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// True if this is the unit bag (a single all-unbound row).
+    pub fn is_unit(&self) -> bool {
+        self.rows.len() == 1 && self.maybe == 0
+    }
+
+    /// Compatibility join `Ω1 ⋈ Ω2` (bag semantics).
+    pub fn join(&self, other: &Bag) -> Bag {
+        debug_assert_eq!(self.width, other.width);
+        let common = self.maybe & other.maybe;
+        let can_hash = common & self.certain == common && common & other.certain == common;
+        let mut rows = Vec::new();
+        if common == 0 {
+            // Cartesian product.
+            for a in &self.rows {
+                for b in &other.rows {
+                    rows.push(merge_rows(a, b));
+                }
+            }
+        } else if can_hash {
+            let keys: Vec<usize> =
+                (0..self.width).filter(|&i| common & (1 << i) != 0).collect();
+            // Build on the smaller side.
+            let (build, probe, build_is_left) = if self.rows.len() <= other.rows.len() {
+                (&self.rows, &other.rows, true)
+            } else {
+                (&other.rows, &self.rows, false)
+            };
+            let mut table: FxHashMap<Vec<Id>, Vec<usize>> = FxHashMap::default();
+            for (i, r) in build.iter().enumerate() {
+                let key: Vec<Id> = keys.iter().map(|&k| r[k]).collect();
+                table.entry(key).or_default().push(i);
+            }
+            let mut key = Vec::with_capacity(keys.len());
+            for p in probe.iter() {
+                key.clear();
+                key.extend(keys.iter().map(|&k| p[k]));
+                if let Some(matches) = table.get(&key) {
+                    for &bi in matches {
+                        let b = &build[bi];
+                        if build_is_left {
+                            rows.push(merge_rows(b, p));
+                        } else {
+                            rows.push(merge_rows(p, b));
+                        }
+                    }
+                }
+            }
+        } else {
+            // General compatibility join (some rows may leave common
+            // variables unbound).
+            for a in &self.rows {
+                for b in &other.rows {
+                    if compatible(a, b) {
+                        rows.push(merge_rows(a, b));
+                    }
+                }
+            }
+        }
+        Bag {
+            width: self.width,
+            maybe: self.maybe | other.maybe,
+            certain: if rows.is_empty() { 0 } else { self.certain | other.certain },
+            rows,
+        }
+    }
+
+    /// Bag union `Ω1 ∪bag Ω2`.
+    pub fn union_bag(mut self, mut other: Bag) -> Bag {
+        debug_assert_eq!(self.width, other.width);
+        if self.rows.is_empty() {
+            return other;
+        }
+        if other.rows.is_empty() {
+            return self;
+        }
+        let certain = self.certain & other.certain;
+        self.maybe |= other.maybe;
+        self.certain = certain;
+        self.rows.append(&mut other.rows);
+        self
+    }
+
+    /// Difference `Ω1 ∖ Ω2`: rows of `self` compatible with *no* row of
+    /// `other`.
+    pub fn diff(&self, other: &Bag) -> Bag {
+        let common = self.maybe & other.maybe;
+        let can_hash = common != 0
+            && common & self.certain == common
+            && common & other.certain == common;
+        let mut rows = Vec::new();
+        if other.rows.is_empty() {
+            rows = self.rows.clone();
+        } else if common == 0 {
+            // Every µ2 is compatible with every µ1 (no shared vars), so the
+            // difference is empty whenever Ω2 is non-empty.
+        } else if can_hash {
+            let keys: Vec<usize> =
+                (0..self.width).filter(|&i| common & (1 << i) != 0).collect();
+            let mut table: uo_rdf::FxHashSet<Vec<Id>> = uo_rdf::FxHashSet::default();
+            for r in &other.rows {
+                table.insert(keys.iter().map(|&k| r[k]).collect());
+            }
+            for a in &self.rows {
+                let key: Vec<Id> = keys.iter().map(|&k| a[k]).collect();
+                if !table.contains(&key) {
+                    rows.push(a.clone());
+                }
+            }
+        } else {
+            for a in &self.rows {
+                if other.rows.iter().all(|b| !compatible(a, b)) {
+                    rows.push(a.clone());
+                }
+            }
+        }
+        Bag {
+            width: self.width,
+            maybe: self.maybe,
+            certain: if rows.is_empty() { 0 } else { self.certain },
+            rows,
+        }
+    }
+
+    /// SPARQL 1.1 `MINUS`: removes rows of `self` compatible with some row
+    /// of `other` *that shares at least one bound variable* (dom-disjoint
+    /// pairs do not eliminate, unlike [`Bag::diff`]).
+    pub fn minus(&self, other: &Bag) -> Bag {
+        let rows: Vec<Box<[Id]>> = self
+            .rows
+            .iter()
+            .filter(|a| {
+                !other.rows.iter().any(|b| {
+                    compatible(a, b)
+                        && a.iter().zip(b.iter()).any(|(&x, &y)| x != NO_ID && y != NO_ID)
+                })
+            })
+            .cloned()
+            .collect();
+        Bag {
+            width: self.width,
+            maybe: self.maybe,
+            certain: if rows.is_empty() { 0 } else { self.certain },
+            rows,
+        }
+    }
+
+    /// Left outer join `Ω1 ⟕ Ω2 = (Ω1 ⋈ Ω2) ∪bag (Ω1 ∖ Ω2)`.
+    pub fn left_join(&self, other: &Bag) -> Bag {
+        debug_assert_eq!(self.width, other.width);
+        let common = self.maybe & other.maybe;
+        let can_hash = common != 0
+            && common & self.certain == common
+            && common & other.certain == common;
+        let mut rows = Vec::new();
+        if other.rows.is_empty() {
+            rows = self.rows.clone();
+        } else if common == 0 {
+            // All pairs compatible: pure cartesian, no unmatched left rows
+            // (other is non-empty here).
+            for a in &self.rows {
+                for b in &other.rows {
+                    rows.push(merge_rows(a, b));
+                }
+            }
+        } else if can_hash {
+            let keys: Vec<usize> =
+                (0..self.width).filter(|&i| common & (1 << i) != 0).collect();
+            let mut table: FxHashMap<Vec<Id>, Vec<usize>> = FxHashMap::default();
+            for (i, r) in other.rows.iter().enumerate() {
+                table.entry(keys.iter().map(|&k| r[k]).collect()).or_default().push(i);
+            }
+            let mut key = Vec::with_capacity(keys.len());
+            for a in &self.rows {
+                key.clear();
+                key.extend(keys.iter().map(|&k| a[k]));
+                match table.get(&key) {
+                    Some(matches) if !matches.is_empty() => {
+                        for &bi in matches {
+                            rows.push(merge_rows(a, &other.rows[bi]));
+                        }
+                    }
+                    _ => rows.push(a.clone()),
+                }
+            }
+        } else {
+            for a in &self.rows {
+                let mut matched = false;
+                for b in &other.rows {
+                    if compatible(a, b) {
+                        rows.push(merge_rows(a, b));
+                        matched = true;
+                    }
+                }
+                if !matched {
+                    rows.push(a.clone());
+                }
+            }
+        }
+        Bag {
+            width: self.width,
+            maybe: self.maybe | other.maybe,
+            // Only left-side variables are guaranteed bound after ⟕.
+            certain: if rows.is_empty() { 0 } else { self.certain },
+            rows,
+        }
+    }
+
+    /// Projects rows to the given variables, zeroing all other slots. Used to
+    /// extract candidate values and the final `SELECT` projection.
+    pub fn project(&self, vars: &[VarId]) -> Bag {
+        let mask: VarMask = vars.iter().fold(0, |m, &v| m | bit(v));
+        let rows: Vec<Box<[Id]>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                (0..self.width)
+                    .map(|i| if mask & (1 << i) != 0 { r[i] } else { NO_ID })
+                    .collect()
+            })
+            .collect();
+        Bag {
+            width: self.width,
+            maybe: self.maybe & mask,
+            certain: if rows.is_empty() { 0 } else { self.certain & mask },
+            rows,
+        }
+    }
+
+    /// Returns the rows as a sorted multiset for order-insensitive
+    /// comparison in tests and the cross-strategy equivalence checks.
+    pub fn canonicalized(&self) -> Vec<Box<[Id]>> {
+        let mut rows = self.rows.clone();
+        rows.sort_unstable();
+        rows
+    }
+
+    /// Collects the distinct non-null values of `v` across all rows, sorted.
+    pub fn distinct_values(&self, v: VarId) -> Vec<Id> {
+        let mut vals: Vec<Id> =
+            self.rows.iter().map(|r| r[v as usize]).filter(|&x| x != NO_ID).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        vals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(vals: &[Id]) -> Box<[Id]> {
+        vals.to_vec().into_boxed_slice()
+    }
+
+    fn bag(width: usize, rows: &[&[Id]]) -> Bag {
+        Bag::from_rows(width, rows.iter().map(|r| row(r)).collect())
+    }
+
+    #[test]
+    fn compatibility_rules() {
+        assert!(compatible(&[1, 0], &[1, 2]));
+        assert!(compatible(&[0, 0], &[1, 2]));
+        assert!(!compatible(&[1, 3], &[1, 2]));
+    }
+
+    #[test]
+    fn join_hash_path() {
+        // vars: 0=x, 1=y, 2=z
+        let a = bag(3, &[&[1, 10, 0], &[2, 20, 0]]);
+        let b = bag(3, &[&[1, 0, 100], &[1, 0, 101], &[3, 0, 102]]);
+        let j = a.join(&b);
+        assert_eq!(j.len(), 2);
+        let rows = j.canonicalized();
+        assert_eq!(&*rows[0], &[1, 10, 100]);
+        assert_eq!(&*rows[1], &[1, 10, 101]);
+        assert_eq!(j.certain, 0b111);
+    }
+
+    #[test]
+    fn join_cartesian_when_disjoint() {
+        let a = bag(3, &[&[1, 0, 0], &[2, 0, 0]]);
+        let b = bag(3, &[&[0, 5, 0], &[0, 6, 0]]);
+        assert_eq!(a.join(&b).len(), 4);
+    }
+
+    #[test]
+    fn join_with_unit_is_identity() {
+        let a = bag(2, &[&[1, 2], &[3, 4]]);
+        let u = Bag::unit(2);
+        assert_eq!(u.join(&a).canonicalized(), a.canonicalized());
+        assert_eq!(a.join(&u).canonicalized(), a.canonicalized());
+    }
+
+    #[test]
+    fn join_fallback_with_unbound_join_vars() {
+        // var 0 shared but left row leaves it unbound → compatible with both.
+        let a = Bag::from_rows(2, vec![row(&[0, 7])]);
+        let b = bag(2, &[&[1, 0], &[2, 0]]);
+        let j = a.join(&b);
+        assert_eq!(j.len(), 2);
+        let rows = j.canonicalized();
+        assert_eq!(&*rows[0], &[1, 7]);
+        assert_eq!(&*rows[1], &[2, 7]);
+    }
+
+    #[test]
+    fn join_preserves_duplicates() {
+        let a = bag(2, &[&[1, 0], &[1, 0]]);
+        let b = bag(2, &[&[1, 5]]);
+        assert_eq!(a.join(&b).len(), 2);
+    }
+
+    #[test]
+    fn union_concatenates_and_weakens_certain() {
+        let a = bag(2, &[&[1, 2]]);
+        let b = Bag::from_rows(2, vec![row(&[3, 0])]);
+        let u = a.union_bag(b);
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.maybe, 0b11);
+        assert_eq!(u.certain, 0b01);
+    }
+
+    #[test]
+    fn diff_removes_compatible_rows() {
+        let a = bag(2, &[&[1, 10], &[2, 20], &[3, 30]]);
+        let b = bag(2, &[&[2, 0]]);
+        let d = a.diff(&Bag::from_rows(2, vec![row(&[2, 0])]));
+        assert_eq!(d.len(), 2);
+        let _ = b;
+    }
+
+    #[test]
+    fn diff_with_no_common_vars_is_empty_or_all() {
+        let a = bag(2, &[&[1, 0], &[2, 0]]);
+        let b = Bag::from_rows(2, vec![row(&[0, 9])]);
+        assert_eq!(a.diff(&b).len(), 0); // all compatible
+        assert_eq!(a.diff(&Bag::empty(2)).len(), 2);
+    }
+
+    #[test]
+    fn minus_requires_shared_binding() {
+        let a = bag(2, &[&[1, 0], &[2, 0]]);
+        // Right rows binding only var 1: dom-disjoint with left → no removal.
+        let b = Bag::from_rows(2, vec![row(&[0, 9])]);
+        assert_eq!(a.minus(&b).len(), 2, "dom-disjoint MINUS removes nothing");
+        // Right row binding var 0 = 1 removes the first left row.
+        let c = Bag::from_rows(2, vec![row(&[1, 0])]);
+        assert_eq!(a.minus(&c).len(), 1);
+    }
+
+    #[test]
+    fn left_join_keeps_unmatched_left_rows() {
+        let a = bag(2, &[&[1, 0], &[2, 0]]);
+        let mut b = bag(2, &[&[1, 10]]);
+        b.maybe = 0b11;
+        b.certain = 0b11;
+        let lj = a.left_join(&b);
+        assert_eq!(lj.len(), 2);
+        let rows = lj.canonicalized();
+        assert_eq!(&*rows[0], &[1, 10]);
+        assert_eq!(&*rows[1], &[2, 0]);
+        // var 1 must not be certain after an outer join.
+        assert_eq!(lj.certain & 0b10, 0);
+    }
+
+    #[test]
+    fn left_join_multiplies_matches() {
+        let a = bag(2, &[&[1, 0]]);
+        let b = bag(2, &[&[1, 10], &[1, 11]]);
+        assert_eq!(a.left_join(&b).len(), 2);
+    }
+
+    #[test]
+    fn left_join_equals_definition() {
+        // ⟕ must equal (⋈) ∪bag (∖) on a mixed example.
+        let a = bag(2, &[&[1, 0], &[2, 0], &[3, 0]]);
+        let b = bag(2, &[&[1, 10], &[1, 11], &[2, 20]]);
+        let lhs = a.left_join(&b).canonicalized();
+        let rhs = a.join(&b).union_bag(a.diff(&b)).canonicalized();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn left_join_with_empty_right_keeps_left() {
+        let a = bag(2, &[&[1, 2]]);
+        let lj = a.left_join(&Bag::empty(2));
+        assert_eq!(lj.canonicalized(), a.canonicalized());
+    }
+
+    #[test]
+    fn unit_left_join_yields_right_when_nonempty() {
+        let u = Bag::unit(2);
+        let b = bag(2, &[&[1, 2]]);
+        assert_eq!(u.left_join(&b).canonicalized(), b.canonicalized());
+        // ... and the unit row when the right side is empty.
+        assert_eq!(u.left_join(&Bag::empty(2)).len(), 1);
+    }
+
+    #[test]
+    fn project_zeroes_other_slots() {
+        let a = bag(3, &[&[1, 2, 3]]);
+        let p = a.project(&[0, 2]);
+        assert_eq!(&*p.rows[0], &[1, 0, 3]);
+        assert_eq!(p.maybe, 0b101);
+    }
+
+    #[test]
+    fn distinct_values_sorted_dedup() {
+        let a = bag(2, &[&[3, 0], &[1, 0], &[3, 0]]);
+        assert_eq!(a.distinct_values(0), vec![1, 3]);
+        assert_eq!(a.distinct_values(1), Vec::<Id>::new());
+    }
+
+    #[test]
+    fn var_table_interns() {
+        let mut vt = VarTable::new();
+        let x = vt.intern("x");
+        assert_eq!(vt.intern("x"), x);
+        let y = vt.intern("y");
+        assert_ne!(x, y);
+        assert_eq!(vt.name(y), "y");
+        assert_eq!(vt.get("z"), None);
+        assert_eq!(vt.len(), 2);
+    }
+}

@@ -1,0 +1,420 @@
+//! Abstract syntax of the SPARQL-UO fragment.
+//!
+//! A [`GroupPattern`] is an *ordered sequence* of [`Element`]s rather than a
+//! binary tree. This mirrors Definition 6 of the paper and makes the sibling
+//! relation — which the BE-tree transformations of Section 4.2 operate on —
+//! explicit. The standard left-associative binary semantics is recovered by
+//! folding the element list left to right (join for triples/groups/unions,
+//! left-outer-join for OPTIONALs), exactly as Algorithm 1 does.
+
+use std::fmt;
+use uo_rdf::Term;
+
+/// A subject/predicate/object slot of a triple pattern: a variable or a
+/// constant term (Definition 2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PatternTerm {
+    /// A query variable, stored without the leading `?`/`$`.
+    Var(String),
+    /// A constant RDF term.
+    Const(Term),
+}
+
+impl PatternTerm {
+    /// The variable name, if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            PatternTerm::Var(v) => Some(v),
+            PatternTerm::Const(_) => None,
+        }
+    }
+
+    /// True if this slot is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, PatternTerm::Var(_))
+    }
+}
+
+impl fmt::Display for PatternTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternTerm::Var(v) => write!(f, "?{v}"),
+            PatternTerm::Const(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+/// A triple pattern (Definition 2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TriplePattern {
+    /// Subject slot.
+    pub subject: PatternTerm,
+    /// Predicate slot.
+    pub predicate: PatternTerm,
+    /// Object slot.
+    pub object: PatternTerm,
+}
+
+impl TriplePattern {
+    /// Creates a triple pattern.
+    pub fn new(subject: PatternTerm, predicate: PatternTerm, object: PatternTerm) -> Self {
+        TriplePattern { subject, predicate, object }
+    }
+
+    /// Iterates over the three slots in s, p, o order.
+    pub fn slots(&self) -> [&PatternTerm; 3] {
+        [&self.subject, &self.predicate, &self.object]
+    }
+
+    /// All distinct variable names in this pattern, in slot order.
+    pub fn variables(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        for s in self.slots() {
+            if let Some(v) = s.as_var() {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Variables at the **subject or object** positions only. Definition 3
+    /// (coalescability) considers only these: two triple patterns are
+    /// coalescable iff their `{s, o}` variable sets intersect.
+    pub fn join_variables(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        for s in [&self.subject, &self.object] {
+            if let Some(v) = s.as_var() {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Coalescability of two triple patterns (Definition 3): they share at
+    /// least one variable at a subject/object position.
+    pub fn coalescable_with(&self, other: &TriplePattern) -> bool {
+        let mine = self.join_variables();
+        other.join_variables().iter().any(|v| mine.contains(v))
+    }
+}
+
+impl fmt::Display for TriplePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+/// A FILTER expression (small fragment: enough to express the built-in
+/// conditions that Definition 6 allows alongside the UO operators).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// `?v = other` — both sides are pattern terms.
+    Eq(PatternTerm, PatternTerm),
+    /// `?v != other`.
+    Ne(PatternTerm, PatternTerm),
+    /// `a < b` (numeric when both sides are numeric literals, else
+    /// lexicographic on the term's string form).
+    Lt(PatternTerm, PatternTerm),
+    /// `a <= b`.
+    Le(PatternTerm, PatternTerm),
+    /// `a > b`.
+    Gt(PatternTerm, PatternTerm),
+    /// `a >= b`.
+    Ge(PatternTerm, PatternTerm),
+    /// `BOUND(?v)`.
+    Bound(String),
+    /// `isIRI(?v)`.
+    IsIri(String),
+    /// `isLiteral(?v)`.
+    IsLiteral(String),
+    /// `isBlank(?v)`.
+    IsBlank(String),
+    /// Logical conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// All variable names referenced by the expression.
+    pub fn variables(&self) -> Vec<&str> {
+        fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a str>) {
+            let mut push = |t: &'a PatternTerm| {
+                if let Some(v) = t.as_var() {
+                    if !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+            };
+            match e {
+                Expr::Eq(a, b)
+                | Expr::Ne(a, b)
+                | Expr::Lt(a, b)
+                | Expr::Le(a, b)
+                | Expr::Gt(a, b)
+                | Expr::Ge(a, b) => {
+                    push(a);
+                    push(b);
+                }
+                Expr::Bound(v) | Expr::IsIri(v) | Expr::IsLiteral(v) | Expr::IsBlank(v) => {
+                    if !out.contains(&v.as_str()) {
+                        out.push(v);
+                    }
+                }
+                Expr::And(a, b) | Expr::Or(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                Expr::Not(a) => walk(a, out),
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+}
+
+/// One element of a group graph pattern, in source order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Element {
+    /// A triple pattern. Consecutive coalescable triples form BGPs during
+    /// BE-tree construction (Definition 5), not at parse time.
+    Triple(TriplePattern),
+    /// A nested group graph pattern `{ ... }`.
+    Group(GroupPattern),
+    /// A `UNION` chain: `{P1} UNION {P2} UNION ...` (two or more branches).
+    Union(Vec<GroupPattern>),
+    /// An `OPTIONAL { ... }` clause; its left operand is the conjunction of
+    /// the preceding siblings (left-associativity, Section 3).
+    Optional(GroupPattern),
+    /// A SPARQL 1.1 `MINUS { ... }` clause (outside the paper's SPARQL-UO
+    /// fragment but supported by the evaluator for completeness).
+    Minus(GroupPattern),
+    /// A `FILTER (...)` constraint, applied to the enclosing group's results.
+    Filter(Expr),
+}
+
+/// A group graph pattern: an ordered list of elements (Definition 6).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GroupPattern {
+    /// The elements in source order.
+    pub elements: Vec<Element>,
+}
+
+impl GroupPattern {
+    /// Collects every distinct variable mentioned anywhere in the group,
+    /// in first-occurrence order.
+    pub fn all_variables(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        self.collect_variables(&mut out);
+        out
+    }
+
+    fn collect_variables(&self, out: &mut Vec<String>) {
+        for e in &self.elements {
+            match e {
+                Element::Triple(t) => {
+                    for v in t.variables() {
+                        if !out.iter().any(|o| o == v) {
+                            out.push(v.to_string());
+                        }
+                    }
+                }
+                Element::Group(g) | Element::Optional(g) | Element::Minus(g) => {
+                    g.collect_variables(out)
+                }
+                Element::Union(branches) => {
+                    for b in branches {
+                        b.collect_variables(out);
+                    }
+                }
+                Element::Filter(expr) => {
+                    for v in expr.variables() {
+                        if !out.iter().any(|o| o == v) {
+                            out.push(v.to_string());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The number of BGPs in this pattern, counting maximal runs of
+    /// coalescable triple patterns as the paper's `Count_BGP` does after
+    /// BE-tree construction. Individual (non-coalescable) triples count 1.
+    pub fn count_triples(&self) -> usize {
+        self.elements
+            .iter()
+            .map(|e| match e {
+                Element::Triple(_) => 1,
+                Element::Group(g) | Element::Optional(g) | Element::Minus(g) => {
+                    g.count_triples()
+                }
+                Element::Union(bs) => bs.iter().map(|b| b.count_triples()).sum(),
+                Element::Filter(_) => 0,
+            })
+            .sum()
+    }
+
+    /// Maximum nesting depth of group graph patterns (`Depth(P)`, Section 7.1):
+    /// a bare BGP has depth 0; each `{ }` adds one.
+    pub fn depth(&self) -> usize {
+        self.elements
+            .iter()
+            .map(|e| match e {
+                Element::Triple(_) | Element::Filter(_) => 0,
+                Element::Group(g) | Element::Optional(g) | Element::Minus(g) => g.depth() + 1,
+                Element::Union(bs) => bs.iter().map(|b| b.depth() + 1).max().unwrap_or(1),
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The projection of a `SELECT` query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Selection {
+    /// `SELECT *` (or the paper's bare `SELECT WHERE`): all variables.
+    All,
+    /// An explicit list of variable names.
+    Vars(Vec<String>),
+}
+
+/// A parsed `SELECT` query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The projection.
+    pub select: Selection,
+    /// Whether `DISTINCT` was specified.
+    pub distinct: bool,
+    /// The outermost group graph pattern (the `WHERE` clause).
+    pub body: GroupPattern,
+    /// `ORDER BY` keys: `(variable, descending)` pairs in priority order.
+    pub order_by: Vec<(String, bool)>,
+    /// `LIMIT n`, if present.
+    pub limit: Option<usize>,
+    /// `OFFSET n`, if present.
+    pub offset: Option<usize>,
+}
+
+impl Query {
+    /// The projected variable names: either the explicit list or all
+    /// variables of the body in first-occurrence order.
+    pub fn projection(&self) -> Vec<String> {
+        match &self.select {
+            Selection::All => self.body.all_variables(),
+            Selection::Vars(vs) => vs.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(v: &str) -> PatternTerm {
+        PatternTerm::Var(v.into())
+    }
+
+    fn iri(i: &str) -> PatternTerm {
+        PatternTerm::Const(Term::iri(i))
+    }
+
+    #[test]
+    fn coalescable_shares_subject_object_var() {
+        let a = TriplePattern::new(var("x"), iri("p"), var("y"));
+        let b = TriplePattern::new(var("y"), iri("q"), var("z"));
+        let c = TriplePattern::new(var("w"), iri("q"), var("z2"));
+        assert!(a.coalescable_with(&b));
+        assert!(!a.coalescable_with(&c));
+    }
+
+    #[test]
+    fn predicate_variable_does_not_make_coalescable() {
+        // Definition 3 only considers {s, o} positions.
+        let a = TriplePattern::new(var("x"), var("p"), var("y"));
+        let b = TriplePattern::new(var("u"), var("p"), var("v"));
+        assert!(!a.coalescable_with(&b));
+    }
+
+    #[test]
+    fn variables_deduplicated() {
+        let t = TriplePattern::new(var("x"), iri("p"), var("x"));
+        assert_eq!(t.variables(), vec!["x"]);
+        assert_eq!(t.join_variables(), vec!["x"]);
+    }
+
+    #[test]
+    fn group_collects_variables_in_order() {
+        let g = GroupPattern {
+            elements: vec![
+                Element::Triple(TriplePattern::new(var("a"), iri("p"), var("b"))),
+                Element::Optional(GroupPattern {
+                    elements: vec![Element::Triple(TriplePattern::new(
+                        var("b"),
+                        iri("q"),
+                        var("c"),
+                    ))],
+                }),
+            ],
+        };
+        assert_eq!(g.all_variables(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn depth_counts_nesting() {
+        let inner = GroupPattern {
+            elements: vec![Element::Triple(TriplePattern::new(var("a"), iri("p"), var("b")))],
+        };
+        let mid = GroupPattern { elements: vec![Element::Optional(inner)] };
+        let outer = GroupPattern {
+            elements: vec![
+                Element::Triple(TriplePattern::new(var("x"), iri("p"), var("a"))),
+                Element::Optional(mid),
+            ],
+        };
+        assert_eq!(outer.depth(), 2);
+    }
+
+    #[test]
+    fn union_depth_counts_branch_braces() {
+        let b1 = GroupPattern {
+            elements: vec![Element::Triple(TriplePattern::new(var("a"), iri("p"), var("b")))],
+        };
+        let g = GroupPattern { elements: vec![Element::Union(vec![b1.clone(), b1])] };
+        assert_eq!(g.depth(), 1);
+    }
+
+    #[test]
+    fn expr_variables() {
+        let e = Expr::And(
+            Box::new(Expr::Eq(var("x"), iri("v"))),
+            Box::new(Expr::Not(Box::new(Expr::Bound("y".into())))),
+        );
+        assert_eq!(e.variables(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn projection_all_vs_explicit() {
+        let body = GroupPattern {
+            elements: vec![Element::Triple(TriplePattern::new(var("a"), iri("p"), var("b")))],
+        };
+        let q = Query { select: Selection::All, distinct: false, body: body.clone(), order_by: Vec::new(), limit: None, offset: None };
+        assert_eq!(q.projection(), vec!["a", "b"]);
+        let q2 = Query {
+            select: Selection::Vars(vec!["b".into()]),
+            distinct: false,
+            body,
+            order_by: Vec::new(),
+            limit: None,
+            offset: None,
+        };
+        assert_eq!(q2.projection(), vec!["b"]);
+    }
+}

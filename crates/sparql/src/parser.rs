@@ -1,0 +1,959 @@
+//! Recursive-descent parser for the SPARQL-UO fragment.
+//!
+//! Supported syntax (a superset of everything the paper's 24 benchmark
+//! queries use):
+//!
+//! - `PREFIX` declarations and prefixed names (whose local part may contain
+//!   `:`, as in `dbr:Category:Cell_biology`);
+//! - `SELECT [DISTINCT] (?v ... | *)? WHERE? { ... }` — a bare `SELECT WHERE`
+//!   projects all variables, as the paper's appendix queries do;
+//! - triple patterns with predicate-object lists (`;`, `,`) and the `a`
+//!   keyword;
+//! - nested group graph patterns, `UNION` chains, `OPTIONAL`;
+//! - `FILTER` with `=`, `!=`, `BOUND`, `!`, `&&`, `||` and parentheses;
+//! - string literals with language tags / datatypes, integers and decimals.
+
+use crate::ast::*;
+use std::collections::HashMap;
+use std::fmt;
+use uo_rdf::Term;
+
+/// A parse error with byte offset and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the query string.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SPARQL parse error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a SPARQL `SELECT` query.
+pub fn parse(input: &str) -> Result<Query, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0, prefixes: HashMap::new() };
+    p.parse_query()
+}
+
+const XSD_INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+const XSD_DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
+const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Iri(String),
+    PName(String, String), // (prefix, local)
+    Var(String),
+    Str { lex: String, lang: Option<String>, dt: Option<Box<Tok>> },
+    Num { lex: String, decimal: bool },
+    Ident(String),
+    Punct(&'static str),
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    tok: Tok,
+    offset: usize,
+}
+
+fn err(offset: usize, message: impl Into<String>) -> ParseError {
+    ParseError { offset, message: message.into() }
+}
+
+fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
+    let b = input.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'#' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'<' => {
+                // '<' is ambiguous: IRI opener or comparison operator. A
+                // following '=' or whitespace/digit means comparison (SPARQL
+                // FILTERs write `?x < 5` with spaces).
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { tok: Tok::Punct("<="), offset: i });
+                    i += 2;
+                    continue;
+                }
+                if matches!(b.get(i + 1), Some(b' ') | Some(b'\t') | Some(b'\n') | Some(b'\r')) {
+                    out.push(Spanned { tok: Tok::Punct("<"), offset: i });
+                    i += 1;
+                    continue;
+                }
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && b[j] != b'>' {
+                    j += 1;
+                }
+                if j >= b.len() {
+                    return Err(err(i, "unterminated IRI"));
+                }
+                out.push(Spanned {
+                    tok: Tok::Iri(input[start..j].to_string()),
+                    offset: i,
+                });
+                i = j + 1;
+            }
+            b'?' | b'$' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(err(i, "empty variable name"));
+                }
+                out.push(Spanned { tok: Tok::Var(input[start..j].to_string()), offset: i });
+                i = j;
+            }
+            b'"' => {
+                let (tok, next) = lex_string(input, i)?;
+                out.push(Spanned { tok, offset: i });
+                i = next;
+            }
+            b'{' | b'}' | b'(' | b')' | b'.' | b';' | b',' | b'*' => {
+                let p: &'static str = match c {
+                    b'{' => "{",
+                    b'}' => "}",
+                    b'(' => "(",
+                    b')' => ")",
+                    b'.' => ".",
+                    b';' => ";",
+                    b',' => ",",
+                    _ => "*",
+                };
+                out.push(Spanned { tok: Tok::Punct(p), offset: i });
+                i += 1;
+            }
+            b'=' => {
+                out.push(Spanned { tok: Tok::Punct("="), offset: i });
+                i += 1;
+            }
+            b'>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { tok: Tok::Punct(">="), offset: i });
+                    i += 2;
+                } else {
+                    out.push(Spanned { tok: Tok::Punct(">"), offset: i });
+                    i += 1;
+                }
+            }
+            b'!' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { tok: Tok::Punct("!="), offset: i });
+                    i += 2;
+                } else {
+                    out.push(Spanned { tok: Tok::Punct("!"), offset: i });
+                    i += 1;
+                }
+            }
+            b'&' => {
+                if b.get(i + 1) == Some(&b'&') {
+                    out.push(Spanned { tok: Tok::Punct("&&"), offset: i });
+                    i += 2;
+                } else {
+                    return Err(err(i, "expected '&&'"));
+                }
+            }
+            b'|' => {
+                if b.get(i + 1) == Some(&b'|') {
+                    out.push(Spanned { tok: Tok::Punct("||"), offset: i });
+                    i += 2;
+                } else {
+                    return Err(err(i, "expected '||'"));
+                }
+            }
+            b'0'..=b'9' | b'+' | b'-' => {
+                let start = i;
+                let mut j = i;
+                if b[j] == b'+' || b[j] == b'-' {
+                    j += 1;
+                }
+                let digits_start = j;
+                let mut decimal = false;
+                while j < b.len() && (b[j].is_ascii_digit() || (b[j] == b'.' && !decimal)) {
+                    // A '.' not followed by a digit terminates the number
+                    // (it is the statement terminator).
+                    if b[j] == b'.' {
+                        if j + 1 < b.len() && b[j + 1].is_ascii_digit() {
+                            decimal = true;
+                        } else {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                if j == digits_start {
+                    return Err(err(i, "expected digits"));
+                }
+                out.push(Spanned {
+                    tok: Tok::Num { lex: input[start..j].to_string(), decimal },
+                    offset: start,
+                });
+                i = j;
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' || c >= 0x80 => {
+                let start = i;
+                let mut j = i;
+                // Scan a name; if we hit ':' it becomes a prefixed name whose
+                // local part may itself contain ':' and '.' (but a trailing
+                // '.' is the statement terminator).
+                let mut colon: Option<usize> = None;
+                while j < b.len() {
+                    let d = b[j];
+                    let name_char = d.is_ascii_alphanumeric()
+                        || d == b'_'
+                        || d == b'-'
+                        || d >= 0x80
+                        || (colon.is_some() && (d == b'.' || d == b'%'))
+                        || d == b':';
+                    if !name_char {
+                        break;
+                    }
+                    if d == b':' && colon.is_none() {
+                        colon = Some(j);
+                    }
+                    j += 1;
+                }
+                // Trailing dots belong to the statement, not the name.
+                while j > start && b[j - 1] == b'.' {
+                    j -= 1;
+                }
+                match colon {
+                    Some(cpos) if cpos < j => {
+                        out.push(Spanned {
+                            tok: Tok::PName(
+                                input[start..cpos].to_string(),
+                                input[cpos + 1..j].to_string(),
+                            ),
+                            offset: start,
+                        });
+                    }
+                    _ => {
+                        out.push(Spanned {
+                            tok: Tok::Ident(input[start..j].to_string()),
+                            offset: start,
+                        });
+                    }
+                }
+                i = j;
+            }
+            _ => return Err(err(i, format!("unexpected character '{}'", c as char))),
+        }
+    }
+    Ok(out)
+}
+
+fn lex_string(input: &str, start: usize) -> Result<(Tok, usize), ParseError> {
+    let b = input.as_bytes();
+    let mut i = start + 1;
+    let mut lex = String::new();
+    loop {
+        if i >= b.len() {
+            return Err(err(start, "unterminated string literal"));
+        }
+        match b[i] {
+            b'"' => {
+                i += 1;
+                break;
+            }
+            b'\\' => {
+                i += 1;
+                match b.get(i) {
+                    Some(b'"') => lex.push('"'),
+                    Some(b'\\') => lex.push('\\'),
+                    Some(b'n') => lex.push('\n'),
+                    Some(b't') => lex.push('\t'),
+                    Some(b'r') => lex.push('\r'),
+                    Some(&c) => lex.push(c as char),
+                    None => return Err(err(start, "unterminated escape")),
+                }
+                i += 1;
+            }
+            c if c < 0x80 => {
+                lex.push(c as char);
+                i += 1;
+            }
+            _ => {
+                // Multi-byte UTF-8: copy the full scalar.
+                let s = &input[i..];
+                let ch = s.chars().next().unwrap();
+                lex.push(ch);
+                i += ch.len_utf8();
+            }
+        }
+    }
+    // Optional language tag or datatype.
+    if b.get(i) == Some(&b'@') {
+        let ls = i + 1;
+        let mut j = ls;
+        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'-') {
+            j += 1;
+        }
+        if j == ls {
+            return Err(err(i, "empty language tag"));
+        }
+        return Ok((
+            Tok::Str { lex, lang: Some(input[ls..j].to_string()), dt: None },
+            j,
+        ));
+    }
+    if b.get(i) == Some(&b'^') && b.get(i + 1) == Some(&b'^') {
+        let rest = tokenize(&input[i + 2..]).map_err(|e| err(i + 2 + e.offset, e.message))?;
+        let first = rest
+            .first()
+            .ok_or_else(|| err(i, "expected datatype after '^^'"))?;
+        let consumed = match &first.tok {
+            Tok::Iri(iri) => iri.len() + 2, // <...>
+            Tok::PName(p, l) => p.len() + 1 + l.len(),
+            _ => return Err(err(i + 2, "expected IRI or prefixed name after '^^'")),
+        };
+        return Ok((
+            Tok::Str { lex, lang: None, dt: Some(Box::new(first.tok.clone())) },
+            i + 2 + consumed,
+        ));
+    }
+    Ok((Tok::Str { lex, lang: None, dt: None }, i))
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    prefixes: HashMap<String, String>,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens.get(self.pos).map(|s| s.offset).unwrap_or(usize::MAX)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|s| s.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Punct(q)) if *q == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(err(self.offset(), format!("expected '{p}'")))
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(id)) if id.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_query(&mut self) -> Result<Query, ParseError> {
+        while self.eat_keyword("PREFIX") {
+            let (prefix, iri) = match (self.bump(), self.bump()) {
+                (Some(Tok::PName(p, l)), Some(Tok::Iri(iri))) if l.is_empty() => (p, iri),
+                // A prefix declaration like `PREFIX ub: <...>` tokenizes the
+                // `ub:` as PName("ub", ""); also accept `PREFIX : <...>`.
+                (Some(Tok::Punct(":")), Some(Tok::Iri(iri))) => (String::new(), iri),
+                _ => return Err(err(self.offset(), "malformed PREFIX declaration")),
+            };
+            self.prefixes.insert(prefix, iri);
+        }
+        if !self.eat_keyword("SELECT") {
+            return Err(err(self.offset(), "expected SELECT"));
+        }
+        let distinct = self.eat_keyword("DISTINCT");
+        let mut vars = Vec::new();
+        let mut all = false;
+        loop {
+            match self.peek() {
+                Some(Tok::Var(_)) => {
+                    if let Some(Tok::Var(v)) = self.bump() {
+                        vars.push(v);
+                    }
+                }
+                Some(Tok::Punct("*")) => {
+                    self.pos += 1;
+                    all = true;
+                    break;
+                }
+                _ => break,
+            }
+        }
+        self.eat_keyword("WHERE");
+        let body = self.parse_group()?;
+        // Solution modifiers: ORDER BY, then LIMIT / OFFSET in either order.
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            if !self.eat_keyword("BY") {
+                return Err(err(self.offset(), "expected BY after ORDER"));
+            }
+            loop {
+                match self.peek() {
+                    Some(Tok::Var(_)) => {
+                        if let Some(Tok::Var(v)) = self.bump() {
+                            order_by.push((v, false));
+                        }
+                    }
+                    Some(Tok::Ident(id))
+                        if id.eq_ignore_ascii_case("ASC") || id.eq_ignore_ascii_case("DESC") =>
+                    {
+                        let desc = id.eq_ignore_ascii_case("DESC");
+                        self.pos += 1;
+                        self.expect_punct("(")?;
+                        let v = match self.bump() {
+                            Some(Tok::Var(v)) => v,
+                            _ => return Err(err(self.offset(), "expected variable in ASC/DESC()")),
+                        };
+                        self.expect_punct(")")?;
+                        order_by.push((v, desc));
+                    }
+                    _ => break,
+                }
+            }
+            if order_by.is_empty() {
+                return Err(err(self.offset(), "empty ORDER BY clause"));
+            }
+        }
+        let mut limit = None;
+        let mut offset = None;
+        loop {
+            if self.at_keyword("LIMIT") {
+                self.pos += 1;
+                limit = Some(self.parse_unsigned("LIMIT")?);
+            } else if self.at_keyword("OFFSET") {
+                self.pos += 1;
+                offset = Some(self.parse_unsigned("OFFSET")?);
+            } else {
+                break;
+            }
+        }
+        if self.pos != self.tokens.len() {
+            return Err(err(self.offset(), "trailing tokens after query"));
+        }
+        let select =
+            if all || vars.is_empty() { Selection::All } else { Selection::Vars(vars) };
+        Ok(Query { select, distinct, body, order_by, limit, offset })
+    }
+
+    fn parse_unsigned(&mut self, what: &str) -> Result<usize, ParseError> {
+        let offset = self.offset();
+        match self.bump() {
+            Some(Tok::Num { lex, decimal: false }) => lex
+                .parse::<usize>()
+                .map_err(|_| err(offset, format!("invalid {what} value"))),
+            _ => Err(err(offset, format!("expected a non-negative integer after {what}"))),
+        }
+    }
+
+    fn parse_group(&mut self) -> Result<GroupPattern, ParseError> {
+        self.expect_punct("{")?;
+        let mut elements = Vec::new();
+        loop {
+            if self.eat_punct("}") {
+                break;
+            }
+            match self.peek() {
+                None => return Err(err(self.offset(), "unterminated group pattern")),
+                Some(Tok::Punct("{")) => {
+                    // Group, possibly a UNION chain.
+                    let first = self.parse_group()?;
+                    let mut branches = vec![first];
+                    while self.eat_keyword("UNION") {
+                        branches.push(self.parse_group()?);
+                    }
+                    if branches.len() == 1 {
+                        elements.push(Element::Group(branches.pop().unwrap()));
+                    } else {
+                        elements.push(Element::Union(branches));
+                    }
+                    self.eat_punct(".");
+                }
+                Some(Tok::Ident(_)) if self.at_keyword("OPTIONAL") => {
+                    self.pos += 1;
+                    let g = self.parse_group()?;
+                    elements.push(Element::Optional(g));
+                    self.eat_punct(".");
+                }
+                Some(Tok::Ident(_)) if self.at_keyword("MINUS") => {
+                    self.pos += 1;
+                    let g = self.parse_group()?;
+                    elements.push(Element::Minus(g));
+                    self.eat_punct(".");
+                }
+                Some(Tok::Ident(_)) if self.at_keyword("FILTER") => {
+                    self.pos += 1;
+                    self.expect_punct("(")?;
+                    let e = self.parse_or_expr()?;
+                    self.expect_punct(")")?;
+                    elements.push(Element::Filter(e));
+                    self.eat_punct(".");
+                }
+                _ => {
+                    // A triples block entry.
+                    self.parse_triples_same_subject(&mut elements)?;
+                    self.eat_punct(".");
+                }
+            }
+        }
+        Ok(GroupPattern { elements })
+    }
+
+    fn parse_triples_same_subject(
+        &mut self,
+        out: &mut Vec<Element>,
+    ) -> Result<(), ParseError> {
+        let subject = self.parse_var_or_term("subject")?;
+        loop {
+            let predicate = self.parse_verb()?;
+            loop {
+                let object = self.parse_var_or_term("object")?;
+                out.push(Element::Triple(TriplePattern::new(
+                    subject.clone(),
+                    predicate.clone(),
+                    object,
+                )));
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            if !self.eat_punct(";") {
+                break;
+            }
+            // Allow a dangling ';' before '.' or '}'.
+            if matches!(self.peek(), Some(Tok::Punct(".")) | Some(Tok::Punct("}")) | None) {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_verb(&mut self) -> Result<PatternTerm, ParseError> {
+        if let Some(Tok::Ident(id)) = self.peek() {
+            if id == "a" {
+                self.pos += 1;
+                return Ok(PatternTerm::Const(Term::iri(RDF_TYPE)));
+            }
+        }
+        self.parse_var_or_term("predicate")
+    }
+
+    fn parse_var_or_term(&mut self, what: &str) -> Result<PatternTerm, ParseError> {
+        let offset = self.offset();
+        match self.bump() {
+            Some(Tok::Var(v)) => Ok(PatternTerm::Var(v)),
+            Some(Tok::Iri(iri)) => Ok(PatternTerm::Const(Term::iri(iri))),
+            Some(Tok::PName(p, l)) => Ok(PatternTerm::Const(self.expand(&p, &l, offset)?)),
+            Some(Tok::Str { lex, lang, dt }) => {
+                let term = match (lang, dt) {
+                    (Some(lang), _) => Term::lang_literal(lex, lang),
+                    (None, Some(dt)) => {
+                        let dt_iri = match *dt {
+                            Tok::Iri(i) => i,
+                            Tok::PName(p, l) => match self.expand(&p, &l, offset)? {
+                                Term::Iri(i) => i.to_string(),
+                                _ => unreachable!(),
+                            },
+                            _ => unreachable!("lexer guarantees IRI or PName"),
+                        };
+                        Term::typed_literal(lex, dt_iri)
+                    }
+                    (None, None) => Term::literal(lex),
+                };
+                Ok(PatternTerm::Const(term))
+            }
+            Some(Tok::Num { lex, decimal }) => Ok(PatternTerm::Const(Term::typed_literal(
+                lex,
+                if decimal { XSD_DECIMAL } else { XSD_INTEGER },
+            ))),
+            other => Err(err(
+                offset,
+                format!("expected a {what} (variable or term), found {other:?}"),
+            )),
+        }
+    }
+
+    fn expand(&self, prefix: &str, local: &str, offset: usize) -> Result<Term, ParseError> {
+        let base = self
+            .prefixes
+            .get(prefix)
+            .ok_or_else(|| err(offset, format!("undeclared prefix '{prefix}:'")))?;
+        Ok(Term::iri(format!("{base}{local}")))
+    }
+
+    fn parse_or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_and_expr()?;
+        while self.eat_punct("||") {
+            let right = self.parse_and_expr()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_unary_expr()?;
+        while self.eat_punct("&&") {
+            let right = self.parse_unary_expr()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_punct("!") {
+            let inner = self.parse_unary_expr()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        if self.eat_punct("(") {
+            let e = self.parse_or_expr()?;
+            self.expect_punct(")")?;
+            return Ok(e);
+        }
+        for (kw, ctor) in [
+            ("BOUND", Expr::Bound as fn(String) -> Expr),
+            ("isIRI", Expr::IsIri),
+            ("isURI", Expr::IsIri),
+            ("isLiteral", Expr::IsLiteral),
+            ("isBlank", Expr::IsBlank),
+        ] {
+            if self.at_keyword(kw) {
+                self.pos += 1;
+                self.expect_punct("(")?;
+                let v = match self.bump() {
+                    Some(Tok::Var(v)) => v,
+                    _ => return Err(err(self.offset(), format!("expected variable in {kw}()"))),
+                };
+                self.expect_punct(")")?;
+                return Ok(ctor(v));
+            }
+        }
+        let left = self.parse_var_or_term("operand")?;
+        if self.eat_punct("=") {
+            let right = self.parse_var_or_term("operand")?;
+            Ok(Expr::Eq(left, right))
+        } else if self.eat_punct("!=") {
+            let right = self.parse_var_or_term("operand")?;
+            Ok(Expr::Ne(left, right))
+        } else if self.eat_punct("<=") {
+            let right = self.parse_var_or_term("operand")?;
+            Ok(Expr::Le(left, right))
+        } else if self.eat_punct(">=") {
+            let right = self.parse_var_or_term("operand")?;
+            Ok(Expr::Ge(left, right))
+        } else if self.eat_punct("<") {
+            let right = self.parse_var_or_term("operand")?;
+            Ok(Expr::Lt(left, right))
+        } else if self.eat_punct(">") {
+            let right = self.parse_var_or_term("operand")?;
+            Ok(Expr::Gt(left, right))
+        } else {
+            Err(err(self.offset(), "expected comparison operator in FILTER"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_bgp() {
+        let q = parse("SELECT ?x WHERE { ?x <http://p> <http://o> . }").unwrap();
+        assert_eq!(q.projection(), vec!["x"]);
+        assert_eq!(q.body.elements.len(), 1);
+    }
+
+    #[test]
+    fn bare_select_projects_all() {
+        let q = parse("SELECT WHERE { ?x <http://p> ?y . }").unwrap();
+        assert_eq!(q.select, Selection::All);
+        assert_eq!(q.projection(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn select_star() {
+        let q = parse("SELECT * WHERE { ?x <http://p> ?y }").unwrap();
+        assert_eq!(q.select, Selection::All);
+    }
+
+    #[test]
+    fn parses_prefixes_and_pnames() {
+        let q = parse(
+            "PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+             SELECT ?n WHERE { ?x foaf:name ?n . }",
+        )
+        .unwrap();
+        match &q.body.elements[0] {
+            Element::Triple(t) => assert_eq!(
+                t.predicate,
+                PatternTerm::Const(Term::iri("http://xmlns.com/foaf/0.1/name"))
+            ),
+            other => panic!("expected triple, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pname_local_with_colon() {
+        let q = parse(
+            "PREFIX dbr: <http://dbpedia.org/resource/>
+             SELECT ?x WHERE { ?x <http://p> dbr:Category:Cell_biology . }",
+        )
+        .unwrap();
+        match &q.body.elements[0] {
+            Element::Triple(t) => assert_eq!(
+                t.object,
+                PatternTerm::Const(Term::iri("http://dbpedia.org/resource/Category:Cell_biology"))
+            ),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_union_chain() {
+        let q = parse(
+            "SELECT ?x WHERE {
+               { ?x <http://p> <http://a> } UNION { ?x <http://q> <http://b> } UNION { ?x <http://r> <http://c> }
+             }",
+        )
+        .unwrap();
+        match &q.body.elements[0] {
+            Element::Union(branches) => assert_eq!(branches.len(), 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_nested_optional() {
+        let q = parse(
+            "SELECT WHERE {
+               ?x <http://p> ?y .
+               OPTIONAL { ?y <http://q> ?z . OPTIONAL { ?z <http://r> ?w } }
+             }",
+        )
+        .unwrap();
+        assert_eq!(q.body.elements.len(), 2);
+        match &q.body.elements[1] {
+            Element::Optional(g) => {
+                assert_eq!(g.elements.len(), 2);
+                assert!(matches!(g.elements[1], Element::Optional(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(q.body.depth(), 2);
+    }
+
+    #[test]
+    fn parses_predicate_object_lists() {
+        let q = parse(
+            "SELECT WHERE { ?x <http://p> ?a , ?b ; <http://q> ?c . }",
+        )
+        .unwrap();
+        let triples: Vec<_> = q
+            .body
+            .elements
+            .iter()
+            .filter(|e| matches!(e, Element::Triple(_)))
+            .collect();
+        assert_eq!(triples.len(), 3);
+    }
+
+    #[test]
+    fn parses_a_keyword() {
+        let q = parse("SELECT WHERE { ?x a <http://Class> . }").unwrap();
+        match &q.body.elements[0] {
+            Element::Triple(t) => assert_eq!(
+                t.predicate,
+                PatternTerm::Const(Term::iri(RDF_TYPE))
+            ),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_literals() {
+        let q = parse(
+            r#"SELECT WHERE { ?x <http://p> "plain" . ?x <http://q> "hi"@en . ?x <http://r> 42 . ?x <http://s> 1.5 . }"#,
+        )
+        .unwrap();
+        let objs: Vec<&PatternTerm> = q
+            .body
+            .elements
+            .iter()
+            .filter_map(|e| match e {
+                Element::Triple(t) => Some(&t.object),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(objs[0], &PatternTerm::Const(Term::literal("plain")));
+        assert_eq!(objs[1], &PatternTerm::Const(Term::lang_literal("hi", "en")));
+        assert_eq!(objs[2], &PatternTerm::Const(Term::typed_literal("42", XSD_INTEGER)));
+        assert_eq!(objs[3], &PatternTerm::Const(Term::typed_literal("1.5", XSD_DECIMAL)));
+    }
+
+    #[test]
+    fn parses_typed_literal_with_pname() {
+        let q = parse(
+            r#"PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+               SELECT WHERE { ?x <http://p> "1946-08-19"^^xsd:date . }"#,
+        )
+        .unwrap();
+        match &q.body.elements[0] {
+            Element::Triple(t) => assert_eq!(
+                t.object,
+                PatternTerm::Const(Term::typed_literal(
+                    "1946-08-19",
+                    "http://www.w3.org/2001/XMLSchema#date"
+                ))
+            ),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_filter() {
+        let q = parse(
+            "SELECT WHERE { ?x <http://p> ?y . FILTER(?y != <http://a> && BOUND(?x)) }",
+        )
+        .unwrap();
+        match &q.body.elements[1] {
+            Element::Filter(Expr::And(l, r)) => {
+                assert!(matches!(**l, Expr::Ne(_, _)));
+                assert!(matches!(**r, Expr::Bound(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_on_undeclared_prefix() {
+        let e = parse("SELECT WHERE { ?x foaf:name ?n . }").unwrap_err();
+        assert!(e.message.contains("undeclared prefix"));
+    }
+
+    #[test]
+    fn errors_on_missing_brace() {
+        assert!(parse("SELECT WHERE { ?x <http://p> ?y .").is_err());
+    }
+
+    #[test]
+    fn errors_on_trailing_tokens() {
+        assert!(parse("SELECT WHERE { ?x <http://p> ?y . } garbage").is_err());
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert!(parse("select where { ?x <http://p> ?y . optional { ?y <http://q> ?z } }").is_ok());
+    }
+
+    #[test]
+    fn group_then_union_keeps_plain_group() {
+        let q = parse("SELECT WHERE { { ?x <http://p> ?y . } ?y <http://q> ?z . }").unwrap();
+        assert!(matches!(q.body.elements[0], Element::Group(_)));
+        assert!(matches!(q.body.elements[1], Element::Triple(_)));
+    }
+
+    #[test]
+    fn parses_order_by() {
+        let q = parse("SELECT WHERE { ?x <http://p> ?y } ORDER BY ?y DESC(?x) LIMIT 2").unwrap();
+        assert_eq!(q.order_by, vec![("y".to_string(), false), ("x".to_string(), true)]);
+        assert_eq!(q.limit, Some(2));
+        assert!(parse("SELECT WHERE { ?x <http://p> ?y } ORDER BY").is_err());
+    }
+
+    #[test]
+    fn parses_comparison_filters() {
+        let q = parse("SELECT WHERE { ?x <http://p> ?y FILTER(?y < 10 && ?y >= 2) }").unwrap();
+        match &q.body.elements[1] {
+            Element::Filter(Expr::And(l, r)) => {
+                assert!(matches!(**l, Expr::Lt(_, _)));
+                assert!(matches!(**r, Expr::Ge(_, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+        // '<' followed by non-space still lexes as IRI.
+        assert!(parse("SELECT WHERE { ?x <http://p> <http://o> . }").is_ok());
+    }
+
+    #[test]
+    fn parses_type_test_functions() {
+        let q = parse(
+            "SELECT WHERE { ?x <http://p> ?y FILTER(isIRI(?y) || isLiteral(?y) || isBlank(?y)) }",
+        )
+        .unwrap();
+        assert!(matches!(q.body.elements[1], Element::Filter(Expr::Or(_, _))));
+    }
+
+    #[test]
+    fn parses_limit_offset() {
+        let q = parse("SELECT WHERE { ?x <http://p> ?y } LIMIT 10 OFFSET 5").unwrap();
+        assert_eq!(q.limit, Some(10));
+        assert_eq!(q.offset, Some(5));
+        let q2 = parse("SELECT WHERE { ?x <http://p> ?y } OFFSET 3").unwrap();
+        assert_eq!(q2.limit, None);
+        assert_eq!(q2.offset, Some(3));
+        assert!(parse("SELECT WHERE { ?x <http://p> ?y } LIMIT ?x").is_err());
+        assert!(parse("SELECT WHERE { ?x <http://p> ?y } LIMIT 1.5").is_err());
+    }
+
+    #[test]
+    fn parses_paper_figure2_query() {
+        let q = parse(
+            r#"PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+               PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+               PREFIX owl: <http://www.w3.org/2002/07/owl#>
+               PREFIX dbo: <http://dbpedia.org/ontology/>
+               PREFIX dbr: <http://dbpedia.org/resource/>
+               PREFIX dbp: <http://dbpedia.org/property/>
+               SELECT ?x ?name ?birth ?same WHERE {
+                 ?x dbo:wikiPageWikiLink dbr:President_of_the_United_States .
+                 { ?x foaf:name ?name } UNION { ?x rdfs:label ?name }
+                 OPTIONAL {
+                   { ?x owl:sameAs ?same } UNION { ?same owl:sameAs ?x }
+                 }
+                 ?x dbp:birthDate ?birth .
+               }"#,
+        )
+        .unwrap();
+        assert_eq!(q.body.elements.len(), 4);
+        assert!(matches!(q.body.elements[0], Element::Triple(_)));
+        assert!(matches!(q.body.elements[1], Element::Union(_)));
+        assert!(matches!(q.body.elements[2], Element::Optional(_)));
+        assert!(matches!(q.body.elements[3], Element::Triple(_)));
+        assert_eq!(q.body.count_triples(), 6);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the bag algebra (Section 3's operators).
+//!
+//! These check the algebraic laws the BE-tree transformations rely on:
+//! commutativity/associativity of `⋈`, the unit bag as its identity, the
+//! left-outer-join definition `Ω1 ⟕ Ω2 = (Ω1 ⋈ Ω2) ∪bag (Ω1 ∖ Ω2)`, and —
+//! most importantly — Theorems 1 and 2 of the paper stated directly on bags.
+
+use proptest::prelude::*;
+use uo_sparql::algebra::Bag;
+
+const WIDTH: usize = 4;
+
+/// A strategy producing small random bags over a 4-variable frame.
+/// Values are drawn from a tiny domain so joins actually match, and slots
+/// may be 0 (unbound) to exercise the compatibility fallback paths.
+fn arb_bag() -> impl Strategy<Value = Bag> {
+    prop::collection::vec(
+        prop::collection::vec(0u32..4, WIDTH),
+        0..8,
+    )
+    .prop_map(|rows| {
+        Bag::from_rows(WIDTH, rows.into_iter().map(|r| r.into_boxed_slice()).collect())
+    })
+}
+
+/// Bags whose rows always bind every slot (BGP-like results) — these take
+/// the hash-join fast path.
+fn arb_total_bag() -> impl Strategy<Value = Bag> {
+    prop::collection::vec(
+        prop::collection::vec(1u32..4, WIDTH),
+        0..8,
+    )
+    .prop_map(|rows| {
+        Bag::from_rows(WIDTH, rows.into_iter().map(|r| r.into_boxed_slice()).collect())
+    })
+}
+
+proptest! {
+    #[test]
+    fn join_commutative(a in arb_bag(), b in arb_bag()) {
+        prop_assert_eq!(a.join(&b).canonicalized(), b.join(&a).canonicalized());
+    }
+
+    #[test]
+    fn join_associative(a in arb_bag(), b in arb_bag(), c in arb_bag()) {
+        let lhs = a.join(&b).join(&c).canonicalized();
+        let rhs = a.join(&b.join(&c)).canonicalized();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn unit_is_join_identity(a in arb_bag()) {
+        let u = Bag::unit(WIDTH);
+        prop_assert_eq!(u.join(&a).canonicalized(), a.canonicalized());
+        prop_assert_eq!(a.join(&u).canonicalized(), a.canonicalized());
+    }
+
+    #[test]
+    fn union_commutative_as_multiset(a in arb_bag(), b in arb_bag()) {
+        let ab = a.clone().union_bag(b.clone()).canonicalized();
+        let ba = b.union_bag(a).canonicalized();
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn union_preserves_cardinality(a in arb_bag(), b in arb_bag()) {
+        let (la, lb) = (a.len(), b.len());
+        prop_assert_eq!(a.union_bag(b).len(), la + lb);
+    }
+
+    #[test]
+    fn left_join_matches_definition(a in arb_bag(), b in arb_bag()) {
+        // Ω1 ⟕ Ω2 = (Ω1 ⋈ Ω2) ∪bag (Ω1 ∖ Ω2), Definition in Section 3.
+        let lhs = a.left_join(&b).canonicalized();
+        let rhs = a.join(&b).union_bag(a.diff(&b)).canonicalized();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn left_join_never_loses_left_rows(a in arb_bag(), b in arb_bag()) {
+        prop_assert!(a.left_join(&b).len() >= a.len().min(1) * a.len() / a.len().max(1));
+        // Every left row yields at least one output row.
+        prop_assert!(a.left_join(&b).len() >= a.len());
+    }
+
+    #[test]
+    fn diff_plus_compatible_partition_left(a in arb_bag(), b in arb_bag()) {
+        // Every row of a is either in diff(a,b) or compatible with some b row.
+        let d = a.diff(&b);
+        prop_assert!(d.len() <= a.len());
+        for row in &d.rows {
+            for brow in &b.rows {
+                prop_assert!(!uo_sparql::algebra::compatible(row, brow));
+            }
+        }
+    }
+
+    #[test]
+    fn theorem1_union_distributivity(
+        p1 in arb_total_bag(), p2 in arb_total_bag(), p3 in arb_total_bag()
+    ) {
+        // [[P1 AND (P2 UNION P3)]] = [[(P1 AND P2) UNION (P1 AND P3)]]
+        let lhs = p1.join(&p2.clone().union_bag(p3.clone())).canonicalized();
+        let rhs = p1.join(&p2).union_bag(p1.join(&p3)).canonicalized();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn theorem2_optional_self_absorption(p1 in arb_total_bag(), p2 in arb_total_bag()) {
+        // [[P1 OPTIONAL P2]] = [[P1 OPTIONAL (P1 AND P2)]] requires P1
+        // duplicate-free (BGP results are sets); dedup first.
+        let mut rows = p1.canonicalized();
+        rows.dedup();
+        let p1 = Bag::from_rows(WIDTH, rows);
+        let lhs = p1.left_join(&p2).canonicalized();
+        let rhs = p1.left_join(&p1.join(&p2)).canonicalized();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn project_is_idempotent(a in arb_bag()) {
+        let vars = [0u16, 2];
+        let once = a.project(&vars);
+        let twice = once.project(&vars);
+        prop_assert_eq!(once.canonicalized(), twice.canonicalized());
+    }
+
+    #[test]
+    fn certain_mask_is_sound(a in arb_bag(), b in arb_bag()) {
+        // After any operator, every row binds all `certain` variables.
+        for bag in [a.join(&b), a.clone().union_bag(b.clone()), a.left_join(&b), a.diff(&b)] {
+            for row in &bag.rows {
+                for v in 0..WIDTH {
+                    if bag.certain & (1 << v) != 0 {
+                        prop_assert_ne!(row[v], 0, "certain var {} unbound", v);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Fuzz-style robustness tests for the SPARQL parser: it must never panic,
+//! only return structured errors; and structurally valid generated queries
+//! must parse.
+
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary ASCII input never panics the parser.
+    #[test]
+    fn never_panics_on_ascii(input in "[ -~\\n]{0,200}") {
+        let _ = uo_sparql::parse(&input);
+    }
+
+    /// Arbitrary token soup drawn from SPARQL-ish vocabulary never panics.
+    #[test]
+    fn never_panics_on_token_soup(tokens in prop::collection::vec(
+        prop::sample::select(vec![
+            "SELECT", "WHERE", "UNION", "OPTIONAL", "FILTER", "PREFIX",
+            "{", "}", "(", ")", ".", ";", ",", "?x", "?y", "<http://p>",
+            "\"lit\"", "42", "a", "BOUND", "=", "!=", "&&", "||", "!",
+            "foaf:name", "*",
+        ]),
+        0..40,
+    )) {
+        let input = tokens.join(" ");
+        let _ = uo_sparql::parse(&input);
+    }
+
+    /// Generated well-formed queries always parse.
+    #[test]
+    fn generated_queries_parse(
+        n_triples in 1usize..5,
+        with_union in any::<bool>(),
+        with_optional in any::<bool>(),
+        nest in any::<bool>(),
+    ) {
+        let mut body = String::new();
+        for i in 0..n_triples {
+            body.push_str(&format!("?v{i} <http://p{i}> ?v{} .\n", i + 1));
+        }
+        if with_union {
+            body.push_str("{ ?v0 <http://q> ?u } UNION { ?v0 <http://r> ?u }\n");
+        }
+        if with_optional {
+            if nest {
+                body.push_str(
+                    "OPTIONAL { ?v1 <http://s> ?w OPTIONAL { ?w <http://t> ?z } }\n",
+                );
+            } else {
+                body.push_str("OPTIONAL { ?v1 <http://s> ?w }\n");
+            }
+        }
+        let q = format!("SELECT WHERE {{ {body} }}");
+        let parsed = uo_sparql::parse(&q);
+        prop_assert!(parsed.is_ok(), "failed on:\n{q}\n{:?}", parsed.err());
+    }
+
+    /// Literal round-trip through the N-Triples layer: anything the parser
+    /// accepts as a quoted literal is parseable by the data layer too.
+    #[test]
+    fn literal_objects_accepted(s in "[a-zA-Z0-9 _.!@-]{0,30}") {
+        let q = format!("SELECT WHERE {{ ?x <http://p> \"{s}\" . }}");
+        prop_assert!(uo_sparql::parse(&q).is_ok());
+    }
+}

@@ -1,0 +1,148 @@
+//! Sorted permutation indexes and range lookup.
+
+use uo_rdf::Id;
+
+/// Which permutation a [`MatchSet`] slice is drawn from. Determines the
+/// component order of each row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Rows are `[s, p, o]`.
+    Spo,
+    /// Rows are `[p, o, s]`.
+    Pos,
+    /// Rows are `[o, s, p]`.
+    Osp,
+}
+
+impl IndexKind {
+    /// Reorders a permuted row back into `[s, p, o]`.
+    #[inline]
+    pub fn to_spo(self, row: [Id; 3]) -> [Id; 3] {
+        match self {
+            IndexKind::Spo => row,
+            IndexKind::Pos => [row[2], row[0], row[1]],
+            IndexKind::Osp => [row[1], row[2], row[0]],
+        }
+    }
+
+    /// Permutes an `[s, p, o]` triple into this index's component order.
+    #[inline]
+    pub fn from_spo(self, t: [Id; 3]) -> [Id; 3] {
+        match self {
+            IndexKind::Spo => t,
+            IndexKind::Pos => [t[1], t[2], t[0]],
+            IndexKind::Osp => [t[2], t[0], t[1]],
+        }
+    }
+}
+
+/// The result of a triple pattern lookup: a contiguous sorted slice of one
+/// permutation index, plus the permutation it came from.
+///
+/// The slice borrows from the store; iterating yields `[s, p, o]` rows.
+#[derive(Debug, Clone, Copy)]
+pub struct MatchSet<'a> {
+    /// The permuted rows.
+    pub rows: &'a [[Id; 3]],
+    /// The permutation `rows` is stored in.
+    pub kind: IndexKind,
+}
+
+impl<'a> MatchSet<'a> {
+    /// Number of matching triples (exact).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no triple matches.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterates over matches in `[s, p, o]` order of components.
+    pub fn iter_spo(&self) -> impl Iterator<Item = [Id; 3]> + 'a {
+        let kind = self.kind;
+        self.rows.iter().map(move |&r| kind.to_spo(r))
+    }
+}
+
+/// Finds the subrange of `sorted` whose rows start with `prefix`
+/// (`prefix.len()` ≤ 3). `sorted` must be lexicographically sorted.
+pub fn prefix_range<'a>(sorted: &'a [[Id; 3]], prefix: &[Id]) -> &'a [[Id; 3]] {
+    debug_assert!(prefix.len() <= 3);
+    if prefix.is_empty() {
+        return sorted;
+    }
+    let lo = sorted.partition_point(|row| row[..prefix.len()] < *prefix);
+    let hi = sorted.partition_point(|row| {
+        let head = &row[..prefix.len()];
+        head <= prefix
+    });
+    &sorted[lo..hi]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx() -> Vec<[Id; 3]> {
+        let mut v = vec![
+            [1, 1, 1],
+            [1, 1, 2],
+            [1, 2, 1],
+            [2, 1, 1],
+            [2, 1, 3],
+            [2, 2, 2],
+            [3, 5, 9],
+        ];
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn empty_prefix_returns_all() {
+        let v = idx();
+        assert_eq!(prefix_range(&v, &[]).len(), 7);
+    }
+
+    #[test]
+    fn one_component_prefix() {
+        let v = idx();
+        assert_eq!(prefix_range(&v, &[1]).len(), 3);
+        assert_eq!(prefix_range(&v, &[2]).len(), 3);
+        assert_eq!(prefix_range(&v, &[3]).len(), 1);
+        assert_eq!(prefix_range(&v, &[4]).len(), 0);
+    }
+
+    #[test]
+    fn two_component_prefix() {
+        let v = idx();
+        assert_eq!(prefix_range(&v, &[1, 1]).len(), 2);
+        assert_eq!(prefix_range(&v, &[2, 2]).len(), 1);
+        assert_eq!(prefix_range(&v, &[2, 9]).len(), 0);
+    }
+
+    #[test]
+    fn full_prefix_is_point_lookup() {
+        let v = idx();
+        assert_eq!(prefix_range(&v, &[1, 1, 2]).len(), 1);
+        assert_eq!(prefix_range(&v, &[1, 1, 9]).len(), 0);
+    }
+
+    #[test]
+    fn permutation_round_trip() {
+        for kind in [IndexKind::Spo, IndexKind::Pos, IndexKind::Osp] {
+            let t = [10, 20, 30];
+            assert_eq!(kind.to_spo(kind.from_spo(t)), t);
+        }
+    }
+
+    #[test]
+    fn matchset_iter_restores_spo_order() {
+        let rows = vec![IndexKind::Pos.from_spo([7, 8, 9])];
+        let ms = MatchSet { rows: &rows, kind: IndexKind::Pos };
+        assert_eq!(ms.iter_spo().next().unwrap(), [7, 8, 9]);
+    }
+}

@@ -1,0 +1,47 @@
+//! In-memory triple store with sorted permutation indexes.
+//!
+//! The store keeps every dataset triple in three sorted permutations —
+//! **SPO**, **POS** and **OSP** — which together answer any triple pattern
+//! with a bound prefix via binary search:
+//!
+//! | bound positions | index | prefix |
+//! |---|---|---|
+//! | s, p, o | SPO | (s,p,o) |
+//! | s, p    | SPO | (s,p)   |
+//! | s, o    | OSP | (o,s)   |
+//! | s       | SPO | (s)     |
+//! | p, o    | POS | (p,o)   |
+//! | p       | POS | (p)     |
+//! | o       | OSP | (o)     |
+//! | —       | SPO | full scan |
+//!
+//! The exact match count of any single triple pattern is therefore the length
+//! of a binary-searched range, which is what the paper's cardinality
+//! estimation bootstraps from (Section 5.1.2).
+//!
+//! # Example
+//!
+//! ```
+//! use uo_rdf::Term;
+//! use uo_store::TripleStore;
+//!
+//! let mut store = TripleStore::new();
+//! store.insert_terms(
+//!     &Term::iri("http://ex/alice"),
+//!     &Term::iri("http://ex/knows"),
+//!     &Term::iri("http://ex/bob"),
+//! );
+//! store.build();
+//! let p = store.dictionary().lookup(&Term::iri("http://ex/knows")).unwrap();
+//! assert_eq!(store.match_pattern(None, Some(p), None).len(), 1);
+//! ```
+
+pub mod index;
+pub mod snapshot;
+pub mod stats;
+pub mod store;
+
+pub use index::{IndexKind, MatchSet};
+pub use stats::DatasetStats;
+pub use snapshot::{load_from_file, read_snapshot, save_to_file, write_snapshot, SnapshotError};
+pub use store::TripleStore;

@@ -1,0 +1,188 @@
+//! Dataset statistics used by the cost models and by Table 2 of the paper.
+//!
+//! Besides the headline counts (triples / entities / predicates / literals),
+//! the store records per-predicate histograms used by the WCO join cost
+//! formula of Section 5.1.2: `average_size(v, p)` — the average number of
+//! edges labelled `p` incident to a subject (out-degree) or object
+//! (in-degree).
+
+use uo_rdf::{Dictionary, FxHashMap, Id};
+
+/// Per-predicate occurrence statistics.
+#[derive(Debug, Default, Clone)]
+pub struct PredicateStats {
+    /// Total triples with this predicate.
+    pub count: usize,
+    /// Distinct subjects appearing with this predicate.
+    pub distinct_subjects: usize,
+    /// Distinct objects appearing with this predicate.
+    pub distinct_objects: usize,
+}
+
+impl PredicateStats {
+    /// Average out-degree: `count / distinct_subjects` (≥ 1 when count > 0).
+    pub fn avg_out_degree(&self) -> f64 {
+        if self.distinct_subjects == 0 {
+            0.0
+        } else {
+            self.count as f64 / self.distinct_subjects as f64
+        }
+    }
+
+    /// Average in-degree: `count / distinct_objects` (≥ 1 when count > 0).
+    pub fn avg_in_degree(&self) -> f64 {
+        if self.distinct_objects == 0 {
+            0.0
+        } else {
+            self.count as f64 / self.distinct_objects as f64
+        }
+    }
+}
+
+/// Whole-dataset statistics (Table 2 columns + cost model inputs).
+#[derive(Debug, Default, Clone)]
+pub struct DatasetStats {
+    /// Total number of distinct triples.
+    pub triples: usize,
+    /// Distinct IRIs/blank nodes appearing as subject or object.
+    pub entities: usize,
+    /// Distinct predicates.
+    pub predicates: usize,
+    /// Distinct literal terms appearing as object.
+    pub literals: usize,
+    per_predicate: FxHashMap<Id, PredicateStats>,
+}
+
+impl DatasetStats {
+    /// Computes statistics over a sorted, deduplicated SPO index.
+    pub fn compute(dict: &Dictionary, spo: &[[Id; 3]]) -> Self {
+        let mut per_predicate: FxHashMap<Id, PredicateStats> = FxHashMap::default();
+        // (predicate, subject) pairs arrive sorted in SPO order, so distinct
+        // subjects per predicate can be counted with a set of pairs; objects
+        // need a set as well.
+        let mut ps_seen: uo_rdf::FxHashSet<(Id, Id)> = uo_rdf::FxHashSet::default();
+        let mut po_seen: uo_rdf::FxHashSet<(Id, Id)> = uo_rdf::FxHashSet::default();
+        let mut nodes: uo_rdf::FxHashSet<Id> = uo_rdf::FxHashSet::default();
+        let mut literal_objects: uo_rdf::FxHashSet<Id> = uo_rdf::FxHashSet::default();
+
+        for &[s, p, o] in spo {
+            let entry = per_predicate.entry(p).or_default();
+            entry.count += 1;
+            if ps_seen.insert((p, s)) {
+                entry.distinct_subjects += 1;
+            }
+            if po_seen.insert((p, o)) {
+                entry.distinct_objects += 1;
+            }
+            nodes.insert(s);
+            let obj_is_literal =
+                dict.decode(o).map(|t| t.is_literal()).unwrap_or(false);
+            if obj_is_literal {
+                literal_objects.insert(o);
+            } else {
+                nodes.insert(o);
+            }
+        }
+
+        DatasetStats {
+            triples: spo.len(),
+            entities: nodes.len(),
+            predicates: per_predicate.len(),
+            literals: literal_objects.len(),
+            per_predicate,
+        }
+    }
+
+    /// Statistics for one predicate, if it occurs in the dataset.
+    pub fn predicate(&self, p: Id) -> Option<&PredicateStats> {
+        self.per_predicate.get(&p)
+    }
+
+    /// `average_size(v, p)` from the paper's WCO cost formula: the average
+    /// number of `p`-labelled edges per distinct subject (`outgoing = true`)
+    /// or per distinct object (`outgoing = false`). Returns `1.0` for unknown
+    /// predicates so cost formulas stay well-defined.
+    pub fn average_size(&self, p: Option<Id>, outgoing: bool) -> f64 {
+        match p.and_then(|p| self.per_predicate.get(&p)) {
+            Some(ps) => {
+                if outgoing {
+                    ps.avg_out_degree().max(1.0)
+                } else {
+                    ps.avg_in_degree().max(1.0)
+                }
+            }
+            // Variable predicate: fall back to the global average degree.
+            None => {
+                if self.entities == 0 {
+                    1.0
+                } else {
+                    (self.triples as f64 / self.entities as f64).max(1.0)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uo_rdf::Term;
+
+    fn build() -> (Dictionary, Vec<[Id; 3]>) {
+        let mut d = Dictionary::new();
+        let a = d.encode(&Term::iri("a"));
+        let b = d.encode(&Term::iri("b"));
+        let c = d.encode(&Term::iri("c"));
+        let knows = d.encode(&Term::iri("knows"));
+        let name = d.encode(&Term::iri("name"));
+        let alice = d.encode(&Term::literal("Alice"));
+        let mut spo = vec![
+            [a, knows, b],
+            [a, knows, c],
+            [b, knows, c],
+            [a, name, alice],
+        ];
+        spo.sort_unstable();
+        (d, spo)
+    }
+
+    #[test]
+    fn headline_counts() {
+        let (d, spo) = build();
+        let st = DatasetStats::compute(&d, &spo);
+        assert_eq!(st.triples, 4);
+        assert_eq!(st.entities, 3); // a, b, c
+        assert_eq!(st.predicates, 2); // knows, name
+        assert_eq!(st.literals, 1); // "Alice"
+    }
+
+    #[test]
+    fn per_predicate_degrees() {
+        let (d, spo) = build();
+        let st = DatasetStats::compute(&d, &spo);
+        let knows = d.lookup(&Term::iri("knows")).unwrap();
+        let ps = st.predicate(knows).unwrap();
+        assert_eq!(ps.count, 3);
+        assert_eq!(ps.distinct_subjects, 2); // a, b
+        assert_eq!(ps.distinct_objects, 2); // b, c
+        assert!((ps.avg_out_degree() - 1.5).abs() < 1e-9);
+        assert!((ps.avg_in_degree() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_size_unknown_predicate_falls_back() {
+        let (d, spo) = build();
+        let st = DatasetStats::compute(&d, &spo);
+        assert!(st.average_size(Some(9999), true) >= 1.0);
+        assert!(st.average_size(None, true) >= 1.0);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d = Dictionary::new();
+        let st = DatasetStats::compute(&d, &[]);
+        assert_eq!(st.triples, 0);
+        assert_eq!(st.entities, 0);
+        assert_eq!(st.average_size(None, true), 1.0);
+    }
+}

@@ -1,0 +1,256 @@
+//! The [`TripleStore`] type: loading, indexing and pattern lookup.
+
+use crate::index::{prefix_range, IndexKind, MatchSet};
+use crate::stats::DatasetStats;
+use uo_rdf::ntriples;
+use uo_rdf::{Dictionary, Id, Term, Triple};
+
+/// An in-memory, read-optimized RDF triple store.
+///
+/// Usage follows a two-phase protocol: insert triples (via
+/// [`insert`](Self::insert), [`insert_terms`](Self::insert_terms) or
+/// [`load_ntriples`](Self::load_ntriples)), then call [`build`](Self::build)
+/// once to sort the permutation indexes and compute statistics. Lookups
+/// before `build` would observe partial indexes, so they panic in debug
+/// builds.
+#[derive(Debug, Default, Clone)]
+pub struct TripleStore {
+    dict: Dictionary,
+    spo: Vec<[Id; 3]>,
+    pos: Vec<[Id; 3]>,
+    osp: Vec<[Id; 3]>,
+    stats: DatasetStats,
+    built: bool,
+}
+
+impl TripleStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The term dictionary (shared by all queries on this store).
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Mutable access to the dictionary, used when encoding query constants
+    /// must observe data terms.
+    pub fn dictionary_mut(&mut self) -> &mut Dictionary {
+        &mut self.dict
+    }
+
+    /// Number of triples loaded (after deduplication at `build`).
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// True if the store holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// Dataset-wide statistics. Only meaningful after [`build`](Self::build).
+    pub fn stats(&self) -> &DatasetStats {
+        &self.stats
+    }
+
+    /// Inserts an already-encoded triple.
+    pub fn insert(&mut self, t: Triple) {
+        self.built = false;
+        self.spo.push(t.as_array());
+    }
+
+    /// Encodes the three terms and inserts the resulting triple.
+    pub fn insert_terms(&mut self, s: &Term, p: &Term, o: &Term) {
+        let t = Triple::new(self.dict.encode(s), self.dict.encode(p), self.dict.encode(o));
+        self.insert(t);
+    }
+
+    /// Parses an N-Triples document and inserts every statement.
+    pub fn load_ntriples(&mut self, doc: &str) -> Result<usize, ntriples::ParseError> {
+        let triples = ntriples::parse_document(doc)?;
+        let n = triples.len();
+        for (s, p, o) in &triples {
+            self.insert_terms(s, p, o);
+        }
+        Ok(n)
+    }
+
+    /// Parses a Turtle document and inserts every statement.
+    pub fn load_turtle(&mut self, doc: &str) -> Result<usize, uo_rdf::turtle::TurtleError> {
+        let triples = uo_rdf::turtle::parse_turtle(doc)?;
+        let n = triples.len();
+        for (s, p, o) in &triples {
+            self.insert_terms(s, p, o);
+        }
+        Ok(n)
+    }
+
+    /// Sorts and deduplicates the permutation indexes and recomputes
+    /// statistics. Must be called after the last insertion and before the
+    /// first lookup. Idempotent.
+    pub fn build(&mut self) {
+        self.spo.sort_unstable();
+        self.spo.dedup();
+        self.pos = self.spo.iter().map(|&t| IndexKind::Pos.from_spo(t)).collect();
+        self.pos.sort_unstable();
+        self.osp = self.spo.iter().map(|&t| IndexKind::Osp.from_spo(t)).collect();
+        self.osp.sort_unstable();
+        self.stats = DatasetStats::compute(&self.dict, &self.spo);
+        self.built = true;
+    }
+
+    /// Looks up all triples matching the pattern, where `None` components are
+    /// wildcards. Returns a borrowed sorted range of one permutation index.
+    pub fn match_pattern(&self, s: Option<Id>, p: Option<Id>, o: Option<Id>) -> MatchSet<'_> {
+        debug_assert!(self.built, "TripleStore::build must be called before lookups");
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                MatchSet { rows: prefix_range(&self.spo, &[s, p, o]), kind: IndexKind::Spo }
+            }
+            (Some(s), Some(p), None) => {
+                MatchSet { rows: prefix_range(&self.spo, &[s, p]), kind: IndexKind::Spo }
+            }
+            (Some(s), None, Some(o)) => {
+                MatchSet { rows: prefix_range(&self.osp, &[o, s]), kind: IndexKind::Osp }
+            }
+            (Some(s), None, None) => {
+                MatchSet { rows: prefix_range(&self.spo, &[s]), kind: IndexKind::Spo }
+            }
+            (None, Some(p), Some(o)) => {
+                MatchSet { rows: prefix_range(&self.pos, &[p, o]), kind: IndexKind::Pos }
+            }
+            (None, Some(p), None) => {
+                MatchSet { rows: prefix_range(&self.pos, &[p]), kind: IndexKind::Pos }
+            }
+            (None, None, Some(o)) => {
+                MatchSet { rows: prefix_range(&self.osp, &[o]), kind: IndexKind::Osp }
+            }
+            (None, None, None) => MatchSet { rows: &self.spo, kind: IndexKind::Spo },
+        }
+    }
+
+    /// Exact number of triples matching the pattern (a range length; O(log n)).
+    pub fn count_pattern(&self, s: Option<Id>, p: Option<Id>, o: Option<Id>) -> usize {
+        self.match_pattern(s, p, o).len()
+    }
+
+    /// Returns `true` if the fully-bound triple is in the store.
+    pub fn contains(&self, t: Triple) -> bool {
+        self.count_pattern(Some(t.subject), Some(t.predicate), Some(t.object)) > 0
+    }
+
+    /// The objects of all triples `(s, p, ·)`, in sorted order.
+    pub fn objects(&self, s: Id, p: Id) -> impl Iterator<Item = Id> + '_ {
+        prefix_range(&self.spo, &[s, p]).iter().map(|r| r[2])
+    }
+
+    /// The subjects of all triples `(·, p, o)`, in sorted order.
+    pub fn subjects(&self, p: Id, o: Id) -> impl Iterator<Item = Id> + '_ {
+        prefix_range(&self.pos, &[p, o]).iter().map(|r| r[2])
+    }
+
+    /// Iterates over every triple in SPO order.
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.spo.iter().map(|&a| Triple::from(a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_store() -> TripleStore {
+        let mut st = TripleStore::new();
+        let doc = r#"
+<http://ex/a> <http://ex/knows> <http://ex/b> .
+<http://ex/a> <http://ex/knows> <http://ex/c> .
+<http://ex/b> <http://ex/knows> <http://ex/c> .
+<http://ex/a> <http://ex/name> "Alice" .
+<http://ex/b> <http://ex/name> "Bob"@en .
+<http://ex/a> <http://ex/knows> <http://ex/b> .
+"#;
+        st.load_ntriples(doc).unwrap();
+        st.build();
+        st
+    }
+
+    fn id(st: &TripleStore, t: &Term) -> Id {
+        st.dictionary().lookup(t).unwrap()
+    }
+
+    #[test]
+    fn duplicates_removed_at_build() {
+        let st = small_store();
+        assert_eq!(st.len(), 5); // 6 statements, one duplicate
+    }
+
+    #[test]
+    fn all_eight_pattern_shapes() {
+        let st = small_store();
+        let a = id(&st, &Term::iri("http://ex/a"));
+        let b = id(&st, &Term::iri("http://ex/b"));
+        let knows = id(&st, &Term::iri("http://ex/knows"));
+        assert_eq!(st.count_pattern(Some(a), Some(knows), Some(b)), 1); // spo
+        assert_eq!(st.count_pattern(Some(a), Some(knows), None), 2); // sp-
+        assert_eq!(st.count_pattern(Some(a), None, Some(b)), 1); // s-o
+        assert_eq!(st.count_pattern(Some(a), None, None), 3); // s--
+        assert_eq!(st.count_pattern(None, Some(knows), Some(b)), 1); // -po
+        assert_eq!(st.count_pattern(None, Some(knows), None), 3); // -p-
+        assert_eq!(st.count_pattern(None, None, Some(b)), 1); // --o
+        assert_eq!(st.count_pattern(None, None, None), 5); // ---
+    }
+
+    #[test]
+    fn match_sets_restore_spo_component_order() {
+        let st = small_store();
+        let knows = id(&st, &Term::iri("http://ex/knows"));
+        for spo in st.match_pattern(None, Some(knows), None).iter_spo() {
+            assert_eq!(spo[1], knows);
+        }
+    }
+
+    #[test]
+    fn objects_and_subjects_helpers() {
+        let st = small_store();
+        let a = id(&st, &Term::iri("http://ex/a"));
+        let c = id(&st, &Term::iri("http://ex/c"));
+        let knows = id(&st, &Term::iri("http://ex/knows"));
+        assert_eq!(st.objects(a, knows).count(), 2);
+        let subs: Vec<Id> = st.subjects(knows, c).collect();
+        assert_eq!(subs.len(), 2);
+        assert!(subs.windows(2).all(|w| w[0] <= w[1]), "sorted");
+    }
+
+    #[test]
+    fn contains_checks_membership() {
+        let st = small_store();
+        let a = id(&st, &Term::iri("http://ex/a"));
+        let b = id(&st, &Term::iri("http://ex/b"));
+        let knows = id(&st, &Term::iri("http://ex/knows"));
+        assert!(st.contains(Triple::new(a, knows, b)));
+        assert!(!st.contains(Triple::new(b, knows, a)));
+    }
+
+    #[test]
+    fn rebuild_after_more_inserts() {
+        let mut st = small_store();
+        st.insert_terms(
+            &Term::iri("http://ex/c"),
+            &Term::iri("http://ex/knows"),
+            &Term::iri("http://ex/a"),
+        );
+        st.build();
+        let knows = id(&st, &Term::iri("http://ex/knows"));
+        assert_eq!(st.count_pattern(None, Some(knows), None), 4);
+    }
+
+    #[test]
+    fn empty_store_answers_zero() {
+        let mut st = TripleStore::new();
+        st.build();
+        assert_eq!(st.count_pattern(None, None, None), 0);
+        assert!(st.is_empty());
+    }
+}

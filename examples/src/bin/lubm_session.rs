@@ -1,0 +1,35 @@
+//! An end-to-end LUBM session: generate a university dataset, run several of
+//! the paper's benchmark queries under all four strategies, and print a
+//! summary comparable to Figure 10.
+//!
+//! Run with: `cargo run -p uo-examples --release --bin lubm_session`
+
+use uo_core::{run_query, Strategy};
+use uo_datagen::{generate_lubm, lubm_queries, LubmConfig};
+use uo_engine::{BgpEngine, BinaryJoinEngine, WcoEngine};
+
+fn main() {
+    let store = generate_lubm(&LubmConfig { universities: 1, ..LubmConfig::default() });
+    println!("LUBM store: {} triples\n", store.len());
+
+    let engines: Vec<(&str, Box<dyn BgpEngine>)> = vec![
+        ("wco", Box::new(WcoEngine::new())),
+        ("binary", Box::new(BinaryJoinEngine::new())),
+    ];
+
+    for q in lubm_queries().into_iter().filter(|q| q.group == 1) {
+        println!("--- {} ---", q.id);
+        for (name, engine) in &engines {
+            for strategy in Strategy::ALL {
+                let r = run_query(&store, engine.as_ref(), q.text, strategy).unwrap();
+                println!(
+                    "  {:>6} {:>5}: exec {:>12.3?}  results {}",
+                    name,
+                    strategy.label(),
+                    r.exec_time,
+                    r.results.len()
+                );
+            }
+        }
+    }
+}

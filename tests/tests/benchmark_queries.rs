@@ -1,0 +1,136 @@
+//! End-to-end integration: every benchmark query of the paper, on small
+//! versions of both datasets, under every strategy and both engines — all
+//! execution paths must produce the same result multiset, and the trees must
+//! stay structurally valid through transformation.
+
+use uo_core::{prepare, run_query, CostModel, OptimizerConfig, Strategy};
+use uo_datagen::{
+    generate_dbpedia, generate_lubm, queries_for, Dataset, DbpediaConfig, LubmConfig,
+};
+use uo_engine::{BgpEngine, BinaryJoinEngine, WcoEngine};
+use uo_lbr::evaluate_lbr;
+use uo_store::TripleStore;
+
+fn lubm() -> TripleStore {
+    generate_lubm(&LubmConfig::tiny())
+}
+
+fn dbpedia() -> TripleStore {
+    generate_dbpedia(&DbpediaConfig::tiny())
+}
+
+fn check_all_paths(store: &TripleStore, id: &str, text: &str, expect_lbr: bool) {
+    let wco = WcoEngine::new();
+    let bin = BinaryJoinEngine::new();
+    let reference = run_query(store, &wco, text, Strategy::Base).unwrap();
+    let canon = reference.bag.canonicalized();
+    for engine in [&wco as &dyn BgpEngine, &bin as &dyn BgpEngine] {
+        for strategy in Strategy::ALL {
+            let r = run_query(store, engine, text, strategy).unwrap();
+            assert_eq!(
+                r.bag.canonicalized(),
+                canon,
+                "{id}: {} under {strategy} diverged from base",
+                engine.name()
+            );
+        }
+    }
+    if expect_lbr {
+        let prepared = prepare(store, text).unwrap();
+        let (lbr_bag, _) = evaluate_lbr(&prepared.tree, store, prepared.vars.len());
+        assert_eq!(lbr_bag.canonicalized(), canon, "{id}: LBR diverged from base");
+    }
+}
+
+#[test]
+fn lubm_group1_all_strategies_agree() {
+    let store = lubm();
+    for q in queries_for(Dataset::Lubm).into_iter().filter(|q| q.group == 1) {
+        check_all_paths(&store, q.id, q.text, false);
+    }
+}
+
+#[test]
+fn lubm_group2_all_strategies_and_lbr_agree() {
+    let store = lubm();
+    for q in queries_for(Dataset::Lubm).into_iter().filter(|q| q.group == 2) {
+        check_all_paths(&store, q.id, q.text, true);
+    }
+}
+
+#[test]
+fn dbpedia_group1_all_strategies_agree() {
+    let store = dbpedia();
+    for q in queries_for(Dataset::Dbpedia).into_iter().filter(|q| q.group == 1) {
+        check_all_paths(&store, q.id, q.text, false);
+    }
+}
+
+#[test]
+fn dbpedia_group2_all_strategies_and_lbr_agree() {
+    let store = dbpedia();
+    for q in queries_for(Dataset::Dbpedia).into_iter().filter(|q| q.group == 2) {
+        check_all_paths(&store, q.id, q.text, true);
+    }
+}
+
+#[test]
+fn transformed_trees_stay_valid() {
+    let lubm_store = lubm();
+    let dbp_store = dbpedia();
+    let engine = WcoEngine::new();
+    for (store, dataset) in [(&lubm_store, Dataset::Lubm), (&dbp_store, Dataset::Dbpedia)] {
+        for q in queries_for(dataset) {
+            let mut prepared = prepare(store, q.text).unwrap();
+            prepared.tree.validate().unwrap_or_else(|e| panic!("{} original: {e}", q.id));
+            let cm = CostModel::new(store, &engine);
+            uo_core::multi_level_transform(&mut prepared.tree, &cm, OptimizerConfig::default());
+            prepared.tree.validate().unwrap_or_else(|e| panic!("{} transformed: {e}", q.id));
+        }
+    }
+}
+
+#[test]
+fn anchored_queries_find_their_constants() {
+    // Queries with IRI/email anchors must return non-empty results on the
+    // tiny stores that contain those constants.
+    let store = lubm();
+    let wco = WcoEngine::new();
+    for q in queries_for(Dataset::Lubm) {
+        if ["q1.1", "q1.2", "q2.1", "q2.2", "q2.3", "q2.4"].contains(&q.id) {
+            let r = run_query(&store, &wco, q.text, Strategy::Full).unwrap();
+            assert!(!r.results.is_empty(), "{} should be non-empty on tiny LUBM", q.id);
+        }
+    }
+}
+
+#[test]
+fn dbpedia_group1_nonempty_where_expected() {
+    let store = dbpedia();
+    let wco = WcoEngine::new();
+    for q in queries_for(Dataset::Dbpedia).into_iter().filter(|q| q.group == 1) {
+        let r = run_query(&store, &wco, q.text, Strategy::Full).unwrap();
+        // q1.3's deep redirect chain may legitimately collapse to the anchor
+        // row; everything else should produce data on the tiny store.
+        if q.id != "q1.3" {
+            assert!(!r.results.is_empty(), "{} empty on tiny DBpedia", q.id);
+        }
+    }
+}
+
+#[test]
+fn join_space_never_worse_under_full() {
+    let store = lubm();
+    let wco = WcoEngine::new();
+    for q in queries_for(Dataset::Lubm) {
+        let base = run_query(&store, &wco, q.text, Strategy::Base).unwrap();
+        let full = run_query(&store, &wco, q.text, Strategy::Full).unwrap();
+        assert!(
+            full.join_space <= base.join_space * 1.0001,
+            "{}: full JS {} > base JS {}",
+            q.id,
+            full.join_space,
+            base.join_space
+        );
+    }
+}
