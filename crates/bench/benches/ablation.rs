@@ -44,13 +44,7 @@ fn bench_ablation(c: &mut Criterion) {
         let prepared = prepare(&store, q.text).unwrap();
         group.bench_function(format!("pruning/{label}"), |b| {
             b.iter(|| {
-                black_box(evaluate(
-                    &prepared.tree,
-                    &store,
-                    &engine,
-                    prepared.vars.len(),
-                    pruning,
-                ))
+                black_box(evaluate(&prepared.tree, &store, &engine, prepared.vars.len(), pruning))
             })
         });
     }

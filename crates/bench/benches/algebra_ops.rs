@@ -23,15 +23,11 @@ fn bench_ops(c: &mut Criterion) {
     for &n in &[1_000usize, 10_000] {
         let left = make_bag(4, n, 0, &[0, 1]);
         let right = make_bag(4, n, 0, &[0, 2]);
-        group.bench_function(format!("join/{n}"), |b| {
-            b.iter(|| black_box(left.join(&right)))
-        });
+        group.bench_function(format!("join/{n}"), |b| b.iter(|| black_box(left.join(&right))));
         group.bench_function(format!("left_join/{n}"), |b| {
             b.iter(|| black_box(left.left_join(&right)))
         });
-        group.bench_function(format!("diff/{n}"), |b| {
-            b.iter(|| black_box(left.diff(&right)))
-        });
+        group.bench_function(format!("diff/{n}"), |b| b.iter(|| black_box(left.diff(&right))));
         group.bench_function(format!("union/{n}"), |b| {
             b.iter(|| black_box(left.clone().union_bag(right.clone())))
         });

@@ -10,11 +10,17 @@ use uo_engine::{BgpEngine, BinaryJoinEngine, CandidateSet, WcoEngine};
 fn bench_engines(c: &mut Criterion) {
     let store = generate_lubm(&LubmConfig::tiny());
     let queries = [
-        ("star_selective", "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+        (
+            "star_selective",
+            "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
             SELECT WHERE { ?x ub:worksFor <http://www.Department0.University0.edu> .
-                           ?x ub:emailAddress ?e . ?x ub:name ?n . }"),
-        ("path_unselective", "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
-            SELECT WHERE { ?s ub:advisor ?p . ?p ub:teacherOf ?c . ?s ub:takesCourse ?c . }"),
+                           ?x ub:emailAddress ?e . ?x ub:name ?n . }",
+        ),
+        (
+            "path_unselective",
+            "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+            SELECT WHERE { ?s ub:advisor ?p . ?p ub:teacherOf ?c . ?s ub:takesCourse ?c . }",
+        ),
     ];
     let wco = WcoEngine::new();
     let bin = BinaryJoinEngine::new();

@@ -5,7 +5,6 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use uo_datagen::{generate_lubm, LubmConfig};
 use uo_rdf::Term;
-use uo_store::TripleStore;
 
 fn bench_store(c: &mut Criterion) {
     let store = generate_lubm(&LubmConfig::tiny());

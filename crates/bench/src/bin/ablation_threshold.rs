@@ -10,10 +10,9 @@ use uo_engine::WcoEngine;
 
 fn main() {
     let engine = WcoEngine::new();
-    for (ds_name, dataset, store) in [
-        ("LUBM", Dataset::Lubm, lubm_group1()),
-        ("DBpedia", Dataset::Dbpedia, dbpedia_store()),
-    ] {
+    for (ds_name, dataset, store) in
+        [("LUBM", Dataset::Lubm, lubm_group1()), ("DBpedia", Dataset::Dbpedia, dbpedia_store())]
+    {
         println!("\n# Ablation: pruning threshold sweep on {ds_name}\n");
         header(&["Query", "off (ms)", "0.1% (ms)", "1% (ms)", "10% (ms)", "adaptive (ms)"]);
         let n = store.len();

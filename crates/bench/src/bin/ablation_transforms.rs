@@ -9,12 +9,19 @@ use uo_engine::WcoEngine;
 
 fn main() {
     let engine = WcoEngine::new();
-    for (ds_name, dataset, store) in [
-        ("LUBM", Dataset::Lubm, lubm_group1()),
-        ("DBpedia", Dataset::Dbpedia, dbpedia_store()),
-    ] {
+    for (ds_name, dataset, store) in
+        [("LUBM", Dataset::Lubm, lubm_group1()), ("DBpedia", Dataset::Dbpedia, dbpedia_store())]
+    {
         println!("\n# Ablation: transformation variants on {ds_name}\n");
-        header(&["Query", "none (ms)", "merge-only (ms)", "inject-only (ms)", "both (ms)", "merges", "injects"]);
+        header(&[
+            "Query",
+            "none (ms)",
+            "merge-only (ms)",
+            "inject-only (ms)",
+            "both (ms)",
+            "merges",
+            "injects",
+        ]);
         for q in group1(dataset) {
             let mut cells = vec![q.id.to_string()];
             let mut merges = 0;
@@ -35,7 +42,8 @@ fn main() {
                         injects = out.injects;
                     }
                 }
-                let _ = evaluate(&prepared.tree, &store, &engine, prepared.vars.len(), Pruning::Off);
+                let _ =
+                    evaluate(&prepared.tree, &store, &engine, prepared.vars.len(), Pruning::Off);
                 cells.push(ms(t.elapsed()));
             }
             cells.push(merges.to_string());

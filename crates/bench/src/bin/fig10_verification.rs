@@ -7,13 +7,21 @@ use uo_core::Strategy;
 use uo_datagen::Dataset;
 
 fn main() {
-    for (ds_name, dataset, store) in [
-        ("LUBM", Dataset::Lubm, lubm_group1()),
-        ("DBpedia", Dataset::Dbpedia, dbpedia_store()),
-    ] {
+    for (ds_name, dataset, store) in
+        [("LUBM", Dataset::Lubm, lubm_group1()), ("DBpedia", Dataset::Dbpedia, dbpedia_store())]
+    {
         for (engine_name, engine) in engines() {
             println!("\n# Figure 10: {engine_name}, {ds_name} ({} triples)\n", store.len());
-            header(&["Query", "base (ms)", "TT (ms)", "CP (ms)", "full (ms)", "TT transform (ms)", "full transform (ms)", "|results|"]);
+            header(&[
+                "Query",
+                "base (ms)",
+                "TT (ms)",
+                "CP (ms)",
+                "full (ms)",
+                "TT transform (ms)",
+                "full transform (ms)",
+                "|results|",
+            ]);
             for q in group1(dataset) {
                 let mut cells = vec![q.id.to_string()];
                 let mut tt_transform = String::new();

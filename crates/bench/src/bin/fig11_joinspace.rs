@@ -9,10 +9,9 @@ use uo_engine::WcoEngine;
 
 fn main() {
     let engine = WcoEngine::new();
-    for (ds_name, dataset, store) in [
-        ("LUBM", Dataset::Lubm, lubm_group1()),
-        ("DBpedia", Dataset::Dbpedia, dbpedia_store()),
-    ] {
+    for (ds_name, dataset, store) in
+        [("LUBM", Dataset::Lubm, lubm_group1()), ("DBpedia", Dataset::Dbpedia, dbpedia_store())]
+    {
         println!("\n# Figure 11: {ds_name} — time and join space per strategy\n");
         header(&["Query", "Strategy", "time (ms)", "join space (JS)"]);
         for q in group1(dataset) {

@@ -10,10 +10,9 @@ use uo_lbr::evaluate_lbr;
 
 fn main() {
     let engine = WcoEngine::new();
-    for (ds_name, dataset, store) in [
-        ("LUBM", Dataset::Lubm, lubm_group2()),
-        ("DBpedia", Dataset::Dbpedia, dbpedia_store()),
-    ] {
+    for (ds_name, dataset, store) in
+        [("LUBM", Dataset::Lubm, lubm_group2()), ("DBpedia", Dataset::Dbpedia, dbpedia_store())]
+    {
         println!("\n# Figure 13: {ds_name} ({} triples) — full vs LBR\n", store.len());
         header(&["Query", "LBR (ms)", "full (ms)", "speedup", "|results| (both)"]);
         for q in group2(dataset) {

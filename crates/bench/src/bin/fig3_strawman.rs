@@ -10,12 +10,17 @@ use uo_engine::WcoEngine;
 
 fn main() {
     let engine = WcoEngine::new();
-    for (ds_name, dataset, store) in [
-        ("LUBM", Dataset::Lubm, lubm_group1()),
-        ("DBpedia", Dataset::Dbpedia, dbpedia_store()),
-    ] {
+    for (ds_name, dataset, store) in
+        [("LUBM", Dataset::Lubm, lubm_group1()), ("DBpedia", Dataset::Dbpedia, dbpedia_store())]
+    {
         println!("\n# Figure 3 strawman on {ds_name} ({} triples)\n", store.len());
-        header(&["Query", "binary-tree (ms)", "base (ms)", "full (ms)", "peak intermediate (binary-tree)"]);
+        header(&[
+            "Query",
+            "binary-tree (ms)",
+            "base (ms)",
+            "full (ms)",
+            "peak intermediate (binary-tree)",
+        ]);
         for q in group1(dataset) {
             let prepared = prepare(&store, q.text).unwrap();
             let t = Instant::now();

@@ -12,7 +12,9 @@ fn main() {
     let lubm1 = lubm_group1();
     let lubm2 = lubm_group2();
     let dbp = dbpedia_store();
-    for (name, dataset) in [("Table 3 (LUBM)", Dataset::Lubm), ("Table 4 (DBpedia)", Dataset::Dbpedia)] {
+    for (name, dataset) in
+        [("Table 3 (LUBM)", Dataset::Lubm), ("Table 4 (DBpedia)", Dataset::Dbpedia)]
+    {
         println!("\n# {name}: Query Statistics\n");
         header(&["Query", "Type", "Count_BGP", "Depth", "|[[Q]]_D|"]);
         for q in queries_for(dataset) {

@@ -157,7 +157,10 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     };
     let report = run_query(&store, engine.as_ref(), &text, strategy).map_err(|e| e.to_string())?;
     if has_flag(args, "--explain") {
-        eprintln!("--- plan ({} merges, {} injects) ---", report.transforms.merges, report.transforms.injects);
+        eprintln!(
+            "--- plan ({} merges, {} injects) ---",
+            report.transforms.merges, report.transforms.injects
+        );
         eprintln!("{}", report.plan);
     }
     eprintln!(
@@ -174,14 +177,8 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn print_results(
-    results: &[Vec<Option<uo_rdf::Term>>],
-    projection: &[String],
-    args: &[String],
-) {
-    let cap: usize = flag_value(args, "--limit-print")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(20);
+fn print_results(results: &[Vec<Option<uo_rdf::Term>>], projection: &[String], args: &[String]) {
+    let cap: usize = flag_value(args, "--limit-print").and_then(|v| v.parse().ok()).unwrap_or(20);
     println!("{}", projection.iter().map(|v| format!("?{v}")).collect::<Vec<_>>().join("\t"));
     for row in results.iter().take(cap) {
         let cells: Vec<String> = row

@@ -107,7 +107,11 @@ impl EncodedExpr {
     /// to our fragment: comparisons involving unbound variables are false,
     /// which `!` then inverts). Variables decode through `dict`.
     pub fn eval(&self, row: &[Id], dict: &Dictionary) -> bool {
-        fn val<'a>(s: &'a FilterOperand, row: &[Id], dict: &'a Dictionary) -> Option<&'a uo_rdf::Term> {
+        fn val<'a>(
+            s: &'a FilterOperand,
+            row: &[Id],
+            dict: &'a Dictionary,
+        ) -> Option<&'a uo_rdf::Term> {
             match s {
                 FilterOperand::Const(t) => Some(t),
                 FilterOperand::Var(v) => {
@@ -244,10 +248,7 @@ fn node_certain_mask(node: &BeNode) -> VarMask {
     match node {
         BeNode::Bgp(b) => b.var_mask(),
         BeNode::Group(g) => g.certain_var_mask(),
-        BeNode::Union(bs) => bs
-            .iter()
-            .map(|b| b.certain_var_mask())
-            .fold(!0u64, |m, c| m & c),
+        BeNode::Union(bs) => bs.iter().map(|b| b.certain_var_mask()).fold(!0u64, |m, c| m & c),
         BeNode::Optional(_) | BeNode::Minus(_) | BeNode::Filter(_) => 0,
     }
 }
@@ -380,12 +381,9 @@ fn build_group(group: &GroupPattern, vars: &mut VarTable, dict: &Dictionary) -> 
                 children.push(BeNode::Bgp(BgpNode::new(enc)));
             }
             Element::Group(g) => children.push(BeNode::Group(build_group(g, vars, dict))),
-            Element::Union(branches) => children.push(BeNode::Union(
-                branches.iter().map(|b| build_group(b, vars, dict)).collect(),
-            )),
-            Element::Optional(g) => {
-                children.push(BeNode::Optional(build_group(g, vars, dict)))
-            }
+            Element::Union(branches) => children
+                .push(BeNode::Union(branches.iter().map(|b| build_group(b, vars, dict)).collect())),
+            Element::Optional(g) => children.push(BeNode::Optional(build_group(g, vars, dict))),
             Element::Minus(g) => children.push(BeNode::Minus(build_group(g, vars, dict))),
             Element::Filter(e) => children.push(BeNode::Filter(encode_expr(e, vars, dict))),
         }
@@ -399,13 +397,8 @@ fn build_group(group: &GroupPattern, vars: &mut VarTable, dict: &Dictionary) -> 
 /// Each coalesced BGP is placed at the position of its leftmost constituent.
 pub fn coalesce_group(g: &mut GroupNode) {
     loop {
-        let bgp_positions: Vec<usize> = g
-            .children
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.is_bgp())
-            .map(|(i, _)| i)
-            .collect();
+        let bgp_positions: Vec<usize> =
+            g.children.iter().enumerate().filter(|(_, c)| c.is_bgp()).map(|(i, _)| i).collect();
         let mut merged = false;
         'outer: for (ai, &i) in bgp_positions.iter().enumerate() {
             for &j in bgp_positions.iter().skip(ai + 1) {
@@ -486,10 +479,7 @@ fn fmt_group(g: &GroupNode, vars: &VarTable, dict: &Dictionary, depth: usize, ou
     for c in &g.children {
         match c {
             BeNode::Bgp(b) => {
-                let card = b
-                    .est_cardinality
-                    .map(|c| format!(" (est {c:.0})"))
-                    .unwrap_or_default();
+                let card = b.est_cardinality.map(|c| format!(" (est {c:.0})")).unwrap_or_default();
                 out.push_str(&format!("{pad}  BGP{card}\n"));
                 for p in &b.bgp.patterns {
                     out.push_str(&format!("{pad}    {}\n", fmt_pattern(p, vars, dict)));
@@ -538,10 +528,7 @@ mod tests {
     #[test]
     fn coalesces_adjacent_triples() {
         let dict = dict_with(&["http://p", "http://q"]);
-        let (tree, _) = build(
-            "SELECT WHERE { ?x <http://p> ?y . ?y <http://q> ?z . }",
-            &dict,
-        );
+        let (tree, _) = build("SELECT WHERE { ?x <http://p> ?y . ?y <http://q> ?z . }", &dict);
         assert_eq!(tree.root.children.len(), 1);
         match &tree.root.children[0] {
             BeNode::Bgp(b) => assert_eq!(b.bgp.patterns.len(), 2),
@@ -553,10 +540,7 @@ mod tests {
     #[test]
     fn non_coalescable_triples_stay_separate() {
         let dict = dict_with(&["http://p"]);
-        let (tree, _) = build(
-            "SELECT WHERE { ?x <http://p> ?y . ?a <http://p> ?b . }",
-            &dict,
-        );
+        let (tree, _) = build("SELECT WHERE { ?x <http://p> ?y . ?a <http://p> ?b . }", &dict);
         assert_eq!(tree.root.children.len(), 2);
         tree.validate().unwrap();
     }
@@ -613,10 +597,8 @@ mod tests {
     #[test]
     fn nested_groups_coalesce_locally() {
         let dict = dict_with(&["http://p", "http://q"]);
-        let (tree, _) = build(
-            "SELECT WHERE { OPTIONAL { ?a <http://p> ?b . ?b <http://q> ?c . } }",
-            &dict,
-        );
+        let (tree, _) =
+            build("SELECT WHERE { OPTIONAL { ?a <http://p> ?b . ?b <http://q> ?c . } }", &dict);
         match &tree.root.children[0] {
             BeNode::Optional(g) => {
                 assert_eq!(g.children.len(), 1);
@@ -632,9 +614,7 @@ mod tests {
     #[test]
     fn validate_rejects_single_branch_union() {
         let tree = BeTree {
-            root: GroupNode {
-                children: vec![BeNode::Union(vec![GroupNode::default()])],
-            },
+            root: GroupNode { children: vec![BeNode::Union(vec![GroupNode::default()])] },
         };
         assert!(tree.validate().is_err());
     }
@@ -648,9 +628,7 @@ mod tests {
         let BeNode::Bgp(b) = &tree0.root.children[0] else { panic!() };
         // Duplicate the BGP as a sibling: now two coalescable siblings.
         let tree = BeTree {
-            root: GroupNode {
-                children: vec![BeNode::Bgp(b.clone()), BeNode::Bgp(b.clone())],
-            },
+            root: GroupNode { children: vec![BeNode::Bgp(b.clone()), BeNode::Bgp(b.clone())] },
         };
         assert!(tree.validate().is_err());
     }
@@ -658,10 +636,7 @@ mod tests {
     #[test]
     fn filter_is_kept_as_child() {
         let dict = dict_with(&["http://p"]);
-        let (tree, _) = build(
-            "SELECT WHERE { ?x <http://p> ?y . FILTER(?x != ?y) }",
-            &dict,
-        );
+        let (tree, _) = build("SELECT WHERE { ?x <http://p> ?y . FILTER(?x != ?y) }", &dict);
         assert_eq!(tree.root.children.len(), 2);
         assert!(matches!(tree.root.children[1], BeNode::Filter(_)));
     }
@@ -683,8 +658,10 @@ mod tests {
     #[test]
     fn encoded_numeric_comparison() {
         let mut d = Dictionary::new();
-        let i5 = d.encode(&uo_rdf::Term::typed_literal("5", "http://www.w3.org/2001/XMLSchema#integer"));
-        let i40 = d.encode(&uo_rdf::Term::typed_literal("40", "http://www.w3.org/2001/XMLSchema#integer"));
+        let i5 =
+            d.encode(&uo_rdf::Term::typed_literal("5", "http://www.w3.org/2001/XMLSchema#integer"));
+        let i40 = d
+            .encode(&uo_rdf::Term::typed_literal("40", "http://www.w3.org/2001/XMLSchema#integer"));
         // Numeric: 5 < 40 even though "40" < "5" lexicographically.
         let lt = EncodedExpr::Lt(FilterOperand::Var(0), FilterOperand::Var(1));
         assert!(lt.eval(&[i5, i40], &d));
@@ -710,10 +687,8 @@ mod tests {
     #[test]
     fn explain_renders_tree() {
         let dict = dict_with(&["http://p"]);
-        let (tree, vars) = build(
-            "SELECT WHERE { ?x <http://p> ?y . OPTIONAL { ?y <http://p> ?z } }",
-            &dict,
-        );
+        let (tree, vars) =
+            build("SELECT WHERE { ?x <http://p> ?y . OPTIONAL { ?y <http://p> ?z } }", &dict);
         let s = explain(&tree, &vars, &dict);
         assert!(s.contains("BGP"));
         assert!(s.contains("Optional"));

@@ -122,11 +122,7 @@ mod tests {
                 &Term::literal(format!("19{i:02}-01-01")),
             );
             if i < 3 {
-                st.insert_terms(
-                    &p,
-                    &Term::iri("http://link"),
-                    &Term::iri("http://POTUS"),
-                );
+                st.insert_terms(&p, &Term::iri("http://link"), &Term::iri("http://POTUS"));
             }
         }
         st.build();

@@ -82,9 +82,7 @@ impl<'a> CostModel<'a> {
         match node {
             BeNode::Bgp(b) => self.bgp_cardinality(&b.bgp),
             BeNode::Group(g) => self.res_of_group(g),
-            BeNode::Union(branches) => {
-                branches.iter().map(|b| self.res_of_group(b)).sum()
-            }
+            BeNode::Union(branches) => branches.iter().map(|b| self.res_of_group(b)).sum(),
             BeNode::Optional(g) => self.res_of_group(g),
             // MINUS can only shrink the left side; as a sibling factor we
             // bound it by 1 (no growth).
@@ -268,10 +266,7 @@ mod tests {
         let st = store();
         let engine = WcoEngine::new();
         let cm = CostModel::new(&st, &engine);
-        let (t, _) = tree(
-            "SELECT WHERE { ?x <http://p> ?y . ?a <http://q> ?b . }",
-            &st,
-        );
+        let (t, _) = tree("SELECT WHERE { ?x <http://p> ?y . ?a <http://q> ?b . }", &st);
         // Two non-coalescable BGPs: product 100 × 5.
         assert_eq!(cm.res_of_group(&t.root), 500.0);
     }
@@ -285,10 +280,8 @@ mod tests {
             "SELECT WHERE { <http://hub> <http://q> ?y . OPTIONAL { ?y <http://p> ?z } }",
             &st,
         );
-        let (dear, _) = tree(
-            "SELECT WHERE { ?x <http://p> ?y . OPTIONAL { ?y <http://p> ?z } }",
-            &st,
-        );
+        let (dear, _) =
+            tree("SELECT WHERE { ?x <http://p> ?y . OPTIONAL { ?y <http://p> ?z } }", &st);
         assert!(cm.level_cost(&cheap.root) < cm.level_cost(&dear.root));
     }
 

@@ -152,12 +152,7 @@ impl CandSource {
 
     /// Builds the [`CandidateSet`] for one BGP: only variables of the BGP,
     /// only lists below the threshold.
-    fn for_bgp(
-        &self,
-        bgp_vars: u64,
-        threshold: usize,
-        stats: &mut ExecStats,
-    ) -> CandidateSet {
+    fn for_bgp(&self, bgp_vars: u64, threshold: usize, stats: &mut ExecStats) -> CandidateSet {
         let mut cs = CandidateSet::none();
         for (&v, vals) in &self.per_var {
             if bgp_vars & (1u64 << v) != 0 && vals.len() < threshold {
@@ -235,12 +230,8 @@ fn eval_group(
         match child {
             BeNode::Bgp(b) => {
                 let cs = if pruning.enabled() {
-                    let source = CandSource::derive(
-                        &r,
-                        inherited,
-                        b.var_mask(),
-                        pruning.collection_cap(),
-                    );
+                    let source =
+                        CandSource::derive(&r, inherited, b.var_mask(), pruning.collection_cap());
                     let threshold = pruning.threshold(b.est_cardinality);
                     source.for_bgp(b.var_mask(), threshold, stats)
                 } else {

@@ -88,12 +88,8 @@ pub enum Strategy {
 
 impl Strategy {
     /// All four, in the paper's presentation order.
-    pub const ALL: [Strategy; 4] = [
-        Strategy::Base,
-        Strategy::TreeTransform,
-        Strategy::CandidatePruning,
-        Strategy::Full,
-    ];
+    pub const ALL: [Strategy; 4] =
+        [Strategy::Base, Strategy::TreeTransform, Strategy::CandidatePruning, Strategy::Full];
 
     /// The paper's abbreviation (base / TT / CP / full).
     pub fn label(&self) -> &'static str {
@@ -135,8 +131,7 @@ pub fn prepare(store: &TripleStore, text: &str) -> Result<Prepared, uo_sparql::P
 pub fn prepare_parsed(store: &TripleStore, query: Query) -> Prepared {
     let mut vars = VarTable::new();
     let tree = BeTree::build(&query, &mut vars, store.dictionary());
-    let projection =
-        query.projection().iter().map(|name| vars.intern(name)).collect();
+    let projection = query.projection().iter().map(|name| vars.intern(name)).collect();
     Prepared { query, vars, tree, projection }
 }
 
@@ -255,10 +250,8 @@ fn sort_solutions(
     vars: &VarTable,
     store: &TripleStore,
 ) {
-    let keys: Vec<(VarId, bool)> = order_by
-        .iter()
-        .filter_map(|(name, desc)| vars.get(name).map(|v| (v, *desc)))
-        .collect();
+    let keys: Vec<(VarId, bool)> =
+        order_by.iter().filter_map(|(name, desc)| vars.get(name).map(|v| (v, *desc))).collect();
     let dict = store.dictionary();
     let sort_key = |id: uo_rdf::Id| -> (u8, f64, String) {
         match dict.decode(id) {
@@ -275,9 +268,10 @@ fn sort_solutions(
         for &(v, desc) in &keys {
             let ka = sort_key(a[v as usize]);
             let kb = sort_key(b[v as usize]);
-            let ord = ka.0.cmp(&kb.0).then_with(|| {
-                ka.1.partial_cmp(&kb.1).unwrap_or(std::cmp::Ordering::Equal)
-            }).then_with(|| ka.2.cmp(&kb.2));
+            let ord =
+                ka.0.cmp(&kb.0)
+                    .then_with(|| ka.1.partial_cmp(&kb.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .then_with(|| ka.2.cmp(&kb.2));
             let ord = if desc { ord.reverse() } else { ord };
             if ord != std::cmp::Ordering::Equal {
                 return ord;
@@ -313,9 +307,7 @@ mod tests {
         let mut st = TripleStore::new();
         let mut doc = String::new();
         for i in 0..200 {
-            doc.push_str(&format!(
-                "<http://p{i}> <http://sameAs> <http://ext{i}> .\n"
-            ));
+            doc.push_str(&format!("<http://p{i}> <http://sameAs> <http://ext{i}> .\n"));
             if i % 2 == 0 {
                 doc.push_str(&format!("<http://p{i}> <http://name> \"n{i}\" .\n"));
             } else {
@@ -431,13 +423,37 @@ mod tests {
     fn limit_offset_applied_to_results() {
         let st = store();
         let wco = WcoEngine::new();
-        let all = run_query(&st, &wco, "SELECT ?x WHERE { ?x <http://link> <http://POTUS> . }", Strategy::Base).unwrap();
+        let all = run_query(
+            &st,
+            &wco,
+            "SELECT ?x WHERE { ?x <http://link> <http://POTUS> . }",
+            Strategy::Base,
+        )
+        .unwrap();
         assert_eq!(all.results.len(), 5);
-        let limited = run_query(&st, &wco, "SELECT ?x WHERE { ?x <http://link> <http://POTUS> . } LIMIT 2", Strategy::Base).unwrap();
+        let limited = run_query(
+            &st,
+            &wco,
+            "SELECT ?x WHERE { ?x <http://link> <http://POTUS> . } LIMIT 2",
+            Strategy::Base,
+        )
+        .unwrap();
         assert_eq!(limited.results.len(), 2);
-        let paged = run_query(&st, &wco, "SELECT ?x WHERE { ?x <http://link> <http://POTUS> . } LIMIT 3 OFFSET 4", Strategy::Base).unwrap();
+        let paged = run_query(
+            &st,
+            &wco,
+            "SELECT ?x WHERE { ?x <http://link> <http://POTUS> . } LIMIT 3 OFFSET 4",
+            Strategy::Base,
+        )
+        .unwrap();
         assert_eq!(paged.results.len(), 1, "only one row after offset 4 of 5");
-        let past = run_query(&st, &wco, "SELECT ?x WHERE { ?x <http://link> <http://POTUS> . } OFFSET 99", Strategy::Base).unwrap();
+        let past = run_query(
+            &st,
+            &wco,
+            "SELECT ?x WHERE { ?x <http://link> <http://POTUS> . } OFFSET 99",
+            Strategy::Base,
+        )
+        .unwrap();
         assert!(past.results.is_empty());
     }
 
@@ -453,14 +469,26 @@ mod tests {
         }
         st.build();
         let wco = WcoEngine::new();
-        let asc = run_query(&st, &wco, "SELECT ?x ?a WHERE { ?x <http://age> ?a } ORDER BY ?a", Strategy::Base).unwrap();
+        let asc = run_query(
+            &st,
+            &wco,
+            "SELECT ?x ?a WHERE { ?x <http://age> ?a } ORDER BY ?a",
+            Strategy::Base,
+        )
+        .unwrap();
         let ages: Vec<String> = asc
             .results
             .iter()
             .map(|r| r[1].as_ref().unwrap().as_literal().unwrap().to_string())
             .collect();
         assert_eq!(ages, vec!["7", "35", "42"], "numeric order, not lexicographic");
-        let desc = run_query(&st, &wco, "SELECT ?x WHERE { ?x <http://age> ?a } ORDER BY DESC(?a) LIMIT 1", Strategy::Base).unwrap();
+        let desc = run_query(
+            &st,
+            &wco,
+            "SELECT ?x WHERE { ?x <http://age> ?a } ORDER BY DESC(?a) LIMIT 1",
+            Strategy::Base,
+        )
+        .unwrap();
         assert_eq!(desc.results[0][0].as_ref().unwrap(), &Term::iri("http://alice"));
     }
 

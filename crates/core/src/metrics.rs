@@ -113,14 +113,9 @@ mod tests {
 
     #[test]
     fn classification() {
+        assert_eq!(query_type(&body("SELECT WHERE { ?x <http://p> ?y }")), QueryType::Bgp);
         assert_eq!(
-            query_type(&body("SELECT WHERE { ?x <http://p> ?y }")),
-            QueryType::Bgp
-        );
-        assert_eq!(
-            query_type(&body(
-                "SELECT WHERE { { ?x <http://p> ?y } UNION { ?x <http://q> ?y } }"
-            )),
+            query_type(&body("SELECT WHERE { { ?x <http://p> ?y } UNION { ?x <http://q> ?y } }")),
             QueryType::U
         );
         assert_eq!(

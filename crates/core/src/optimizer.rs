@@ -50,11 +50,7 @@ pub struct OptimizerConfig {
 
 impl Default for OptimizerConfig {
     fn default() -> Self {
-        OptimizerConfig {
-            skip_pruning_equivalent: false,
-            enable_merge: true,
-            enable_inject: true,
-        }
+        OptimizerConfig { skip_pruning_equivalent: false, enable_merge: true, enable_inject: true }
     }
 }
 
@@ -293,8 +289,7 @@ mod tests {
         );
         assert_eq!(out.injects, 0, "special case: CP will handle it");
         let mut without_cp = build(q, &st);
-        let out2 =
-            multi_level_transform(&mut without_cp, &cm, OptimizerConfig::default());
+        let out2 = multi_level_transform(&mut without_cp, &cm, OptimizerConfig::default());
         assert_eq!(out2.injects, 1, "without CP the inject is taken");
     }
 

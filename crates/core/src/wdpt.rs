@@ -15,8 +15,8 @@
 //! the conjunction of its *preceding siblings* plus the enclosing scopes'
 //! preceding siblings.
 
-use uo_sparql::ast::{Element, GroupPattern};
 use uo_rdf::FxHashSet;
+use uo_sparql::ast::{Element, GroupPattern};
 
 /// A violation of the well-designedness condition.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -102,10 +102,7 @@ fn walk(
                 let outside = vars_outside(outer_vars_excluding, g, i, &r_vars);
                 for v in &r_vars {
                     if outside.contains(v) && !bound.contains(v) {
-                        out.push(Violation {
-                            variable: v.clone(),
-                            optional_path: path.clone(),
-                        });
+                        out.push(Violation { variable: v.clone(), optional_path: path.clone() });
                     }
                 }
                 walk(r, &bound, outer_vars_excluding, path, out);
@@ -180,9 +177,7 @@ mod tests {
 
     #[test]
     fn simple_optional_is_well_designed() {
-        let b = body(
-            "SELECT WHERE { ?x <http://p> ?y OPTIONAL { ?x <http://q> ?z } }",
-        );
+        let b = body("SELECT WHERE { ?x <http://p> ?y OPTIONAL { ?x <http://q> ?z } }");
         assert!(is_well_designed(&b));
     }
 

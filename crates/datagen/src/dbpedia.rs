@@ -105,8 +105,16 @@ pub fn generate_dbpedia(cfg: &DbpediaConfig) -> TripleStore {
     let cell_bio = dbr("Category:Cell_biology");
     for c in 0..ncat {
         let cat = category(c);
-        store.insert_terms(&cat, &p(ns::SKOS, "prefLabel"), &Term::lang_literal(format!("Topic {c}"), "en"));
-        store.insert_terms(&cat, &p(ns::RDFS, "label"), &Term::lang_literal(format!("Topic {c}"), "en"));
+        store.insert_terms(
+            &cat,
+            &p(ns::SKOS, "prefLabel"),
+            &Term::lang_literal(format!("Topic {c}"), "en"),
+        );
+        store.insert_terms(
+            &cat,
+            &p(ns::RDFS, "label"),
+            &Term::lang_literal(format!("Topic {c}"), "en"),
+        );
         // skos:related links between categories (sparse graph).
         if c > 0 {
             let other = category(rng.gen_range(0..c));
@@ -122,14 +130,26 @@ pub fn generate_dbpedia(cfg: &DbpediaConfig) -> TripleStore {
             );
         }
     }
-    store.insert_terms(&cell_bio, &p(ns::SKOS, "prefLabel"), &Term::lang_literal("Cell biology", "en"));
+    store.insert_terms(
+        &cell_bio,
+        &p(ns::SKOS, "prefLabel"),
+        &Term::lang_literal("Cell biology", "en"),
+    );
     store.insert_terms(&cell_bio, &p(ns::RDFS, "label"), &Term::lang_literal("Cell biology", "en"));
 
     // --- landmark articles ---
     for lm in LANDMARKS.iter().filter(|l| !l.starts_with("Category:")) {
         let a = dbr(lm);
-        store.insert_terms(&a, &p(ns::RDFS, "label"), &Term::lang_literal(lm.replace('_', " "), "en"));
-        store.insert_terms(&a, &p(ns::FOAF, "name"), &Term::lang_literal(lm.replace('_', " "), "en"));
+        store.insert_terms(
+            &a,
+            &p(ns::RDFS, "label"),
+            &Term::lang_literal(lm.replace('_', " "), "en"),
+        );
+        store.insert_terms(
+            &a,
+            &p(ns::FOAF, "name"),
+            &Term::lang_literal(lm.replace('_', " "), "en"),
+        );
         store.insert_terms(&a, &p(ns::PURL, "subject"), &category(0));
         let pg = Term::iri(format!("http://en.wikipedia.org/wiki/{lm}"));
         store.insert_terms(&a, &p(ns::FOAF, "isPrimaryTopicOf"), &pg);
@@ -150,14 +170,30 @@ pub fn generate_dbpedia(cfg: &DbpediaConfig) -> TripleStore {
     for i in 0..n {
         let a = article(i);
         // Labels: everyone has rdfs:label; 60% also foaf:name (diversity).
-        store.insert_terms(&a, &p(ns::RDFS, "label"), &Term::lang_literal(format!("Entity {i}"), "en"));
+        store.insert_terms(
+            &a,
+            &p(ns::RDFS, "label"),
+            &Term::lang_literal(format!("Entity {i}"), "en"),
+        );
         if i % 5 < 3 {
-            store.insert_terms(&a, &p(ns::FOAF, "name"), &Term::lang_literal(format!("Entity {i}"), "en"));
+            store.insert_terms(
+                &a,
+                &p(ns::FOAF, "name"),
+                &Term::lang_literal(format!("Entity {i}"), "en"),
+            );
         }
         // Comments/abstracts for 50%.
         if i % 2 == 0 {
-            store.insert_terms(&a, &p(ns::RDFS, "comment"), &Term::lang_literal(format!("About entity {i}"), "en"));
-            store.insert_terms(&a, &p(ns::DBO, "abstract"), &Term::lang_literal(format!("Abstract {i}"), "en"));
+            store.insert_terms(
+                &a,
+                &p(ns::RDFS, "comment"),
+                &Term::lang_literal(format!("About entity {i}"), "en"),
+            );
+            store.insert_terms(
+                &a,
+                &p(ns::DBO, "abstract"),
+                &Term::lang_literal(format!("Abstract {i}"), "en"),
+            );
         }
         // Categories: purl:subject for even, legacy skos:subject for odd.
         let cat = category(i % ncat);
@@ -225,7 +261,11 @@ pub fn generate_dbpedia(cfg: &DbpediaConfig) -> TripleStore {
         // Homepages for ~45% (including the soccer players at i % 10 == 5,
         // whom q2.2 anchors on).
         if i % 4 == 0 || i % 5 == 0 {
-            store.insert_terms(&a, &p(ns::FOAF, "homepage"), &Term::iri(format!("http://example.org/site{i}")));
+            store.insert_terms(
+                &a,
+                &p(ns::FOAF, "homepage"),
+                &Term::iri(format!("http://example.org/site{i}")),
+            );
         }
 
         // Typed sub-populations.
@@ -234,7 +274,11 @@ pub fn generate_dbpedia(cfg: &DbpediaConfig) -> TripleStore {
             0..=2 => {
                 store.insert_terms(&a, &p(ns::RDF, "type"), &p(ns::DBO, "Person"));
                 if i % 3 == 0 {
-                    store.insert_terms(&a, &p(ns::DBO, "thumbnail"), &Term::iri(format!("http://img.example.org/{i}.png")));
+                    store.insert_terms(
+                        &a,
+                        &p(ns::DBO, "thumbnail"),
+                        &Term::iri(format!("http://img.example.org/{i}.png")),
+                    );
                 }
             }
             // Populated places / settlements (20%).
@@ -245,30 +289,77 @@ pub fn generate_dbpedia(cfg: &DbpediaConfig) -> TripleStore {
                 }
                 let lat = -90.0 + (i as f64 * 0.77) % 180.0;
                 let lon = -180.0 + (i as f64 * 1.31) % 360.0;
-                store.insert_terms(&a, &p(ns::GEO, "lat"), &Term::typed_literal(format!("{lat:.4}"), "http://www.w3.org/2001/XMLSchema#float"));
-                store.insert_terms(&a, &p(ns::GEO, "long"), &Term::typed_literal(format!("{lon:.4}"), "http://www.w3.org/2001/XMLSchema#float"));
+                store.insert_terms(
+                    &a,
+                    &p(ns::GEO, "lat"),
+                    &Term::typed_literal(
+                        format!("{lat:.4}"),
+                        "http://www.w3.org/2001/XMLSchema#float",
+                    ),
+                );
+                store.insert_terms(
+                    &a,
+                    &p(ns::GEO, "long"),
+                    &Term::typed_literal(
+                        format!("{lon:.4}"),
+                        "http://www.w3.org/2001/XMLSchema#float",
+                    ),
+                );
                 if i % 3 != 0 {
-                    store.insert_terms(&a, &p(ns::DBO, "populationTotal"), &Term::typed_literal(format!("{}", 1000 + i * 13), "http://www.w3.org/2001/XMLSchema#nonNegativeInteger"));
+                    store.insert_terms(
+                        &a,
+                        &p(ns::DBO, "populationTotal"),
+                        &Term::typed_literal(
+                            format!("{}", 1000 + i * 13),
+                            "http://www.w3.org/2001/XMLSchema#nonNegativeInteger",
+                        ),
+                    );
                 }
                 if i % 4 == 0 {
-                    store.insert_terms(&a, &p(ns::DBO, "thumbnail"), &Term::iri(format!("http://img.example.org/{i}.png")));
+                    store.insert_terms(
+                        &a,
+                        &p(ns::DBO, "thumbnail"),
+                        &Term::iri(format!("http://img.example.org/{i}.png")),
+                    );
                 }
                 if i % 5 == 0 {
-                    store.insert_terms(&a, &p(ns::FOAF, "depiction"), &Term::iri(format!("http://img.example.org/d{i}.png")));
+                    store.insert_terms(
+                        &a,
+                        &p(ns::FOAF, "depiction"),
+                        &Term::iri(format!("http://img.example.org/d{i}.png")),
+                    );
                 }
             }
             // Soccer players (10%).
             5 => {
                 store.insert_terms(&a, &p(ns::RDF, "type"), &p(ns::DBO, "SoccerPlayer"));
                 store.insert_terms(&a, &p(ns::RDF, "type"), &p(ns::DBO, "Person"));
-                store.insert_terms(&a, &p(ns::DBP, "position"), &Term::literal(["Goalkeeper", "Defender", "Midfielder", "Forward"][i % 4]));
+                store.insert_terms(
+                    &a,
+                    &p(ns::DBP, "position"),
+                    &Term::literal(["Goalkeeper", "Defender", "Midfielder", "Forward"][i % 4]),
+                );
                 let club = article((i + 1) % n);
                 store.insert_terms(&a, &p(ns::DBP, "clubs"), &club);
-                store.insert_terms(&club, &p(ns::DBO, "capacity"), &Term::typed_literal(format!("{}", 10_000 + i % 60_000), "http://www.w3.org/2001/XMLSchema#nonNegativeInteger"));
+                store.insert_terms(
+                    &club,
+                    &p(ns::DBO, "capacity"),
+                    &Term::typed_literal(
+                        format!("{}", 10_000 + i % 60_000),
+                        "http://www.w3.org/2001/XMLSchema#nonNegativeInteger",
+                    ),
+                );
                 let birth = article((i + 3) % n);
                 store.insert_terms(&a, &p(ns::DBO, "birthPlace"), &birth);
                 if i % 2 == 0 {
-                    store.insert_terms(&a, &p(ns::DBO, "number"), &Term::typed_literal(format!("{}", i % 30), "http://www.w3.org/2001/XMLSchema#integer"));
+                    store.insert_terms(
+                        &a,
+                        &p(ns::DBO, "number"),
+                        &Term::typed_literal(
+                            format!("{}", i % 30),
+                            "http://www.w3.org/2001/XMLSchema#integer",
+                        ),
+                    );
                 }
             }
             // Airports (10%).
@@ -289,19 +380,35 @@ pub fn generate_dbpedia(cfg: &DbpediaConfig) -> TripleStore {
                     )),
                 );
                 if i % 3 == 0 {
-                    store.insert_terms(&a, &p(ns::DBP, "nativename"), &Term::lang_literal(format!("Aeropuerto {i}"), "es"));
+                    store.insert_terms(
+                        &a,
+                        &p(ns::DBP, "nativename"),
+                        &Term::lang_literal(format!("Aeropuerto {i}"), "es"),
+                    );
                 }
             }
             // Companies (10%).
             7 => {
                 store.insert_terms(&a, &p(ns::RDF, "type"), &p(ns::DBO, "Company"));
-                store.insert_terms(&a, &p(ns::DBP, "industry"), &Term::literal(["Software", "Automotive", "Retail", "Energy"][i % 4]));
+                store.insert_terms(
+                    &a,
+                    &p(ns::DBP, "industry"),
+                    &Term::literal(["Software", "Automotive", "Retail", "Energy"][i % 4]),
+                );
                 store.insert_terms(&a, &p(ns::DBP, "location"), &article(((i / 10) * 10 + 4) % n));
                 if i % 2 == 0 {
-                    store.insert_terms(&a, &p(ns::DBP, "locationCountry"), &article(((i / 10) * 10 + 3) % n));
+                    store.insert_terms(
+                        &a,
+                        &p(ns::DBP, "locationCountry"),
+                        &article(((i / 10) * 10 + 3) % n),
+                    );
                 }
                 if i % 3 == 0 {
-                    store.insert_terms(&a, &p(ns::DBP, "locationCity"), &article(((i / 10) * 10 + 4) % n));
+                    store.insert_terms(
+                        &a,
+                        &p(ns::DBP, "locationCity"),
+                        &article(((i / 10) * 10 + 4) % n),
+                    );
                     // Some product is manufactured by this company.
                     let product = article((i + 5) % n);
                     store.insert_terms(&product, &p(ns::DBP, "manufacturer"), &a);
@@ -312,7 +419,11 @@ pub fn generate_dbpedia(cfg: &DbpediaConfig) -> TripleStore {
                     store.insert_terms(&model, &p(ns::DBP, "model"), &a);
                 }
                 if i % 5 == 0 {
-                    store.insert_terms(&a, &p(ns::GEORSS, "point"), &Term::literal(format!("{} {}", i % 90, i % 180)));
+                    store.insert_terms(
+                        &a,
+                        &p(ns::GEORSS, "point"),
+                        &Term::literal(format!("{} {}", i % 90, i % 180)),
+                    );
                 }
             }
             // Organisms with a phylum (10%) — q1.6.
@@ -359,9 +470,8 @@ mod tests {
         }
         // Landmarks are heavily linked.
         let link = d.lookup(&Term::iri(format!("{}wikiPageWikiLink", ns::DBO))).unwrap();
-        let potus = d
-            .lookup(&Term::iri(format!("{}President_of_the_United_States", ns::DBR)))
-            .unwrap();
+        let potus =
+            d.lookup(&Term::iri(format!("{}President_of_the_United_States", ns::DBR))).unwrap();
         assert!(st.count_pattern(None, Some(link), Some(potus)) > 5);
     }
 
@@ -396,7 +506,9 @@ mod tests {
         let st = tiny();
         let d = st.dictionary();
         let ty = d.lookup(&Term::iri(format!("{}type", ns::RDF))).unwrap();
-        for class in ["Person", "PopulatedPlace", "Settlement", "SoccerPlayer", "Airport", "Company"] {
+        for class in
+            ["Person", "PopulatedPlace", "Settlement", "SoccerPlayer", "Airport", "Company"]
+        {
             let c = d.lookup(&Term::iri(format!("{}{}", ns::DBO, class))).unwrap();
             assert!(st.count_pattern(None, Some(ty), Some(c)) > 0, "no {class}");
         }

@@ -95,9 +95,8 @@ pub fn generate_lubm(cfg: &LubmConfig) -> TripleStore {
     let mut g = Gen { store: &mut store, rng: StdRng::seed_from_u64(cfg.seed) };
 
     let univ_iri = |u: usize| Term::iri(format!("http://www.University{u}.edu"));
-    let dept_iri = |u: usize, d: usize| {
-        Term::iri(format!("http://www.Department{d}.University{u}.edu"))
-    };
+    let dept_iri =
+        |u: usize, d: usize| Term::iri(format!("http://www.Department{d}.University{u}.edu"));
     let member_iri = |u: usize, d: usize, kind: &str, i: usize| {
         Term::iri(format!("http://www.Department{d}.University{u}.edu/{kind}{i}"))
     };
@@ -147,8 +146,7 @@ pub fn generate_lubm(cfg: &LubmConfig) -> TripleStore {
                 1 => "AssociateProfessor",
                 _ => "AssistantProfessor",
             };
-            let prof_iri =
-                |i: usize| member_iri(u, d, prof_kind(i), i / 3);
+            let prof_iri = |i: usize| member_iri(u, d, prof_kind(i), i / 3);
             for i in 0..n_prof {
                 let p = prof_iri(i);
                 g.add_type(&p, prof_kind(i));
@@ -231,9 +229,7 @@ pub fn generate_lubm(cfg: &LubmConfig) -> TripleStore {
                 g.add(
                     &stu,
                     "emailAddress",
-                    Term::literal(format!(
-                        "GraduateStudent{s}@Department{d}.University{u}.edu"
-                    )),
+                    Term::literal(format!("GraduateStudent{s}@Department{d}.University{u}.edu")),
                 );
                 g.add(&stu, "telephone", Term::literal(format!("yyy-yyy-{:04}", s)));
                 let from = g.rng.gen_range(0..cfg.universities.max(1));
@@ -294,15 +290,11 @@ mod tests {
         let st = tiny();
         let d = st.dictionary();
         assert!(d
-            .lookup(&Term::iri(
-                "http://www.Department0.University0.edu/UndergraduateStudent91"
-            ))
+            .lookup(&Term::iri("http://www.Department0.University0.edu/UndergraduateStudent91"))
             .is_some());
         assert!(d.lookup(&Term::iri("http://www.Department0.University0.edu")).is_some());
         assert!(d
-            .lookup(&Term::literal(
-                "UndergraduateStudent91@Department0.University0.edu"
-            ))
+            .lookup(&Term::literal("UndergraduateStudent91@Department0.University0.edu"))
             .is_some());
     }
 
@@ -356,14 +348,10 @@ mod tests {
         let st = generate_lubm(&LubmConfig::default());
         let d = st.dictionary();
         assert!(d
-            .lookup(&Term::iri(
-                "http://www.Department1.University0.edu/UndergraduateStudent363"
-            ))
+            .lookup(&Term::iri("http://www.Department1.University0.edu/UndergraduateStudent363"))
             .is_some());
         assert!(d
-            .lookup(&Term::literal(
-                "UndergraduateStudent309@Department12.University0.edu"
-            ))
+            .lookup(&Term::literal("UndergraduateStudent309@Department12.University0.edu"))
             .is_some());
     }
 }

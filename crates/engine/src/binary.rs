@@ -35,9 +35,7 @@ pub fn scan_pattern(
 ) -> Bag {
     let empty: Box<[Id]> = vec![NO_ID; width].into_boxed_slice();
     let mut rows = Vec::new();
-    for spo in store
-        .match_pattern(pat.s.as_const(), pat.p.as_const(), pat.o.as_const())
-        .iter_spo()
+    for spo in store.match_pattern(pat.s.as_const(), pat.p.as_const(), pat.o.as_const()).iter_spo()
     {
         if let Some(row) = pat.bind(spo, &empty) {
             if candidates.admits_row(&row) {
@@ -130,7 +128,11 @@ mod tests {
         let knows = Term::iri("http://knows");
         let name = Term::iri("http://name");
         for (s, o) in [("alice", "bob"), ("alice", "carol"), ("bob", "carol")] {
-            st.insert_terms(&Term::iri(format!("http://{s}")), &knows, &Term::iri(format!("http://{o}")));
+            st.insert_terms(
+                &Term::iri(format!("http://{s}")),
+                &knows,
+                &Term::iri(format!("http://{o}")),
+            );
         }
         for n in ["alice", "bob", "carol"] {
             st.insert_terms(&Term::iri(format!("http://{n}")), &name, &Term::literal(n));
@@ -177,12 +179,8 @@ mod tests {
     #[test]
     fn empty_bgp_yields_unit() {
         let st = store();
-        let bag = BinaryJoinEngine::new().evaluate(
-            &st,
-            &EncodedBgp::default(),
-            3,
-            &CandidateSet::none(),
-        );
+        let bag =
+            BinaryJoinEngine::new().evaluate(&st, &EncodedBgp::default(), 3, &CandidateSet::none());
         assert!(bag.is_unit());
     }
 
@@ -211,11 +209,8 @@ mod tests {
     fn cost_positive_and_orders_sanely() {
         let st = store();
         let mut vt = VarTable::new();
-        let small = encode_bgp(
-            &[tp("http://alice", "http://name", "?n")],
-            &mut vt,
-            st.dictionary(),
-        );
+        let small =
+            encode_bgp(&[tp("http://alice", "http://name", "?n")], &mut vt, st.dictionary());
         let big = encode_bgp(
             &[tp("?x", "http://knows", "?y"), tp("?y", "http://name", "?n")],
             &mut vt,

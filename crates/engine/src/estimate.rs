@@ -114,11 +114,8 @@ impl Estimator {
                     }
                 }
             }
-            let ratio = if sample.is_empty() {
-                0.0
-            } else {
-                total_ext as f64 / sample.len() as f64
-            };
+            let ratio =
+                if sample.is_empty() { 0.0 } else { total_ext as f64 / sample.len() as f64 };
             card = if is_seed {
                 // A seed multiplies the prefix by the component's own size
                 // (cartesian product between components).
@@ -144,11 +141,7 @@ impl Estimator {
                     extended.clear();
                     if let Some(base) = base {
                         for spo in store
-                            .match_pattern(
-                                pat.s.as_const(),
-                                pat.p.as_const(),
-                                pat.o.as_const(),
-                            )
+                            .match_pattern(pat.s.as_const(), pat.p.as_const(), pat.o.as_const())
                             .iter_spo()
                             .take(SAMPLE_SIZE)
                         {

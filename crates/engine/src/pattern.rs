@@ -141,9 +141,7 @@ impl EncodedBgp {
     /// True if any pattern matches nothing because a constant is absent from
     /// the dictionary.
     pub fn has_dead_constant(&self) -> bool {
-        self.patterns
-            .iter()
-            .any(|p| p.slots().iter().any(|s| s.as_const() == Some(NO_ID)))
+        self.patterns.iter().any(|p| p.slots().iter().any(|s| s.as_const() == Some(NO_ID)))
     }
 }
 

@@ -181,10 +181,7 @@ mod tests {
         let st = store();
         let mut vt = VarTable::new();
         let bgp = encode_bgp(
-            &[
-                tp("http://root", "http://child", "?a"),
-                tp("http://c0", "http://child", "?b"),
-            ],
+            &[tp("http://root", "http://child", "?a"), tp("http://c0", "http://child", "?b")],
             &mut vt,
             st.dictionary(),
         );
@@ -199,10 +196,7 @@ mod tests {
         // ?c must be a child of root AND have c3 as itself (via existence of
         // the root->c3 edge expressed with consts).
         let bgp = encode_bgp(
-            &[
-                tp("http://root", "http://child", "?c"),
-                tp("?c", "http://child", "http://g3_7"),
-            ],
+            &[tp("http://root", "http://child", "?c"), tp("?c", "http://child", "http://g3_7")],
             &mut vt,
             st.dictionary(),
         );
@@ -214,11 +208,8 @@ mod tests {
     fn wco_cost_grows_with_fanout() {
         let st = store();
         let mut vt = VarTable::new();
-        let narrow = encode_bgp(
-            &[tp("http://root", "http://child", "?c")],
-            &mut vt,
-            st.dictionary(),
-        );
+        let narrow =
+            encode_bgp(&[tp("http://root", "http://child", "?c")], &mut vt, st.dictionary());
         let wide = encode_bgp(
             &[tp("?a", "http://child", "?b"), tp("?b", "http://child", "?c")],
             &mut vt,

@@ -222,8 +222,7 @@ pub fn evaluate_lbr(tree: &BeTree, store: &TripleStore, width: usize) -> (Bag, L
     let n = rels.len();
     let masks: Vec<u64> = q.patterns.iter().map(|p| p.var_mask()).collect();
     let run_pass = |rels: &mut Vec<Bag>, stats: &mut LbrStats, forward: bool| {
-        let order: Vec<usize> =
-            if forward { (0..n).collect() } else { (0..n).rev().collect() };
+        let order: Vec<usize> = if forward { (0..n).collect() } else { (0..n).rev().collect() };
         for &i in &order {
             for j in 0..n {
                 if i == j || masks[i] & masks[j] == 0 || !q.may_prune(i, j) {

@@ -96,11 +96,13 @@ mod tests {
     #[test]
     fn decode_round_trips() {
         let mut d = Dictionary::new();
-        let terms = [Term::iri("http://a"),
+        let terms = [
+            Term::iri("http://a"),
             Term::blank("b1"),
             Term::literal("plain"),
             Term::lang_literal("hello", "en"),
-            Term::typed_literal("3", "http://www.w3.org/2001/XMLSchema#integer")];
+            Term::typed_literal("3", "http://www.w3.org/2001/XMLSchema#integer"),
+        ];
         let ids: Vec<Id> = terms.iter().map(|t| d.encode(t)).collect();
         for (t, id) in terms.iter().zip(&ids) {
             assert_eq!(d.decode(*id), Some(t));

@@ -29,8 +29,8 @@ pub mod dictionary;
 pub mod fxhash;
 pub mod ntriples;
 pub mod term;
-pub mod turtle;
 pub mod triple;
+pub mod turtle;
 
 pub use dictionary::{Dictionary, Id, NO_ID};
 pub use fxhash::{FxHashMap, FxHashSet};

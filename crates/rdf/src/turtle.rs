@@ -277,7 +277,16 @@ impl<'a> TurtleParser<'a> {
         self.skip_ws();
         if self.peek() == Some(b'a') {
             let next = self.input.get(self.pos + 1).copied();
-            let terminator = matches!(next, Some(b' ') | Some(b'\t') | Some(b'\n') | Some(b'\r') | Some(b'<') | Some(b'[') | Some(b'?'));
+            let terminator = matches!(
+                next,
+                Some(b' ')
+                    | Some(b'\t')
+                    | Some(b'\n')
+                    | Some(b'\r')
+                    | Some(b'<')
+                    | Some(b'[')
+                    | Some(b'?')
+            );
             if terminator {
                 self.pos += 1;
                 return Ok(Term::iri(format!("{RDF_NS}type")));
@@ -514,8 +523,8 @@ impl<'a> TurtleParser<'a> {
         }
         let hex = std::str::from_utf8(&self.input[self.pos..end])
             .map_err(|_| self.error("invalid unicode escape"))?;
-        let code = u32::from_str_radix(hex, 16)
-            .map_err(|_| self.error("invalid unicode escape"))?;
+        let code =
+            u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid unicode escape"))?;
         self.pos = end;
         char::from_u32(code).ok_or_else(|| self.error(format!("invalid code point U+{code:X}")))
     }
@@ -634,10 +643,7 @@ ex:alice ex:address [ ex:city "Springfield" ; ex:zip "12345" ] .
         let triples = parse_turtle(doc).unwrap();
         // 2 first + 2 rest + 1 main triple.
         assert_eq!(triples.len(), 5);
-        let firsts = triples
-            .iter()
-            .filter(|t| t.1 == Term::iri(format!("{RDF_NS}first")))
-            .count();
+        let firsts = triples.iter().filter(|t| t.1 == Term::iri(format!("{RDF_NS}first"))).count();
         assert_eq!(firsts, 2);
     }
 

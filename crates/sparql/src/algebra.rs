@@ -170,8 +170,7 @@ impl Bag {
                 }
             }
         } else if can_hash {
-            let keys: Vec<usize> =
-                (0..self.width).filter(|&i| common & (1 << i) != 0).collect();
+            let keys: Vec<usize> = (0..self.width).filter(|&i| common & (1 << i) != 0).collect();
             // Build on the smaller side.
             let (build, probe, build_is_left) = if self.rows.len() <= other.rows.len() {
                 (&self.rows, &other.rows, true)
@@ -237,9 +236,8 @@ impl Bag {
     /// `other`.
     pub fn diff(&self, other: &Bag) -> Bag {
         let common = self.maybe & other.maybe;
-        let can_hash = common != 0
-            && common & self.certain == common
-            && common & other.certain == common;
+        let can_hash =
+            common != 0 && common & self.certain == common && common & other.certain == common;
         let mut rows = Vec::new();
         if other.rows.is_empty() {
             rows = self.rows.clone();
@@ -247,8 +245,7 @@ impl Bag {
             // Every µ2 is compatible with every µ1 (no shared vars), so the
             // difference is empty whenever Ω2 is non-empty.
         } else if can_hash {
-            let keys: Vec<usize> =
-                (0..self.width).filter(|&i| common & (1 << i) != 0).collect();
+            let keys: Vec<usize> = (0..self.width).filter(|&i| common & (1 << i) != 0).collect();
             let mut table: uo_rdf::FxHashSet<Vec<Id>> = uo_rdf::FxHashSet::default();
             for r in &other.rows {
                 table.insert(keys.iter().map(|&k| r[k]).collect());
@@ -301,9 +298,8 @@ impl Bag {
     pub fn left_join(&self, other: &Bag) -> Bag {
         debug_assert_eq!(self.width, other.width);
         let common = self.maybe & other.maybe;
-        let can_hash = common != 0
-            && common & self.certain == common
-            && common & other.certain == common;
+        let can_hash =
+            common != 0 && common & self.certain == common && common & other.certain == common;
         let mut rows = Vec::new();
         if other.rows.is_empty() {
             rows = self.rows.clone();
@@ -316,8 +312,7 @@ impl Bag {
                 }
             }
         } else if can_hash {
-            let keys: Vec<usize> =
-                (0..self.width).filter(|&i| common & (1 << i) != 0).collect();
+            let keys: Vec<usize> = (0..self.width).filter(|&i| common & (1 << i) != 0).collect();
             let mut table: FxHashMap<Vec<Id>, Vec<usize>> = FxHashMap::default();
             for (i, r) in other.rows.iter().enumerate() {
                 table.entry(keys.iter().map(|&k| r[k]).collect()).or_default().push(i);
@@ -366,9 +361,7 @@ impl Bag {
             .rows
             .iter()
             .map(|r| {
-                (0..self.width)
-                    .map(|i| if mask & (1 << i) != 0 { r[i] } else { NO_ID })
-                    .collect()
+                (0..self.width).map(|i| if mask & (1 << i) != 0 { r[i] } else { NO_ID }).collect()
             })
             .collect();
         Bag {

@@ -253,9 +253,7 @@ impl GroupPattern {
             .iter()
             .map(|e| match e {
                 Element::Triple(_) => 1,
-                Element::Group(g) | Element::Optional(g) | Element::Minus(g) => {
-                    g.count_triples()
-                }
+                Element::Group(g) | Element::Optional(g) | Element::Minus(g) => g.count_triples(),
                 Element::Union(bs) => bs.iter().map(|b| b.count_triples()).sum(),
                 Element::Filter(_) => 0,
             })
@@ -405,7 +403,14 @@ mod tests {
         let body = GroupPattern {
             elements: vec![Element::Triple(TriplePattern::new(var("a"), iri("p"), var("b")))],
         };
-        let q = Query { select: Selection::All, distinct: false, body: body.clone(), order_by: Vec::new(), limit: None, offset: None };
+        let q = Query {
+            select: Selection::All,
+            distinct: false,
+            body: body.clone(),
+            order_by: Vec::new(),
+            limit: None,
+            offset: None,
+        };
         assert_eq!(q.projection(), vec!["a", "b"]);
         let q2 = Query {
             select: Selection::Vars(vec!["b".into()]),

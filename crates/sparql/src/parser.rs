@@ -102,10 +102,7 @@ fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
                 if j >= b.len() {
                     return Err(err(i, "unterminated IRI"));
                 }
-                out.push(Spanned {
-                    tok: Tok::Iri(input[start..j].to_string()),
-                    offset: i,
-                });
+                out.push(Spanned { tok: Tok::Iri(input[start..j].to_string()), offset: i });
                 i = j + 1;
             }
             b'?' | b'$' => {
@@ -307,16 +304,11 @@ fn lex_string(input: &str, start: usize) -> Result<(Tok, usize), ParseError> {
         if j == ls {
             return Err(err(i, "empty language tag"));
         }
-        return Ok((
-            Tok::Str { lex, lang: Some(input[ls..j].to_string()), dt: None },
-            j,
-        ));
+        return Ok((Tok::Str { lex, lang: Some(input[ls..j].to_string()), dt: None }, j));
     }
     if b.get(i) == Some(&b'^') && b.get(i + 1) == Some(&b'^') {
         let rest = tokenize(&input[i + 2..]).map_err(|e| err(i + 2 + e.offset, e.message))?;
-        let first = rest
-            .first()
-            .ok_or_else(|| err(i, "expected datatype after '^^'"))?;
+        let first = rest.first().ok_or_else(|| err(i, "expected datatype after '^^'"))?;
         let consumed = match &first.tok {
             Tok::Iri(iri) => iri.len() + 2, // <...>
             Tok::PName(p, l) => p.len() + 1 + l.len(),
@@ -466,17 +458,16 @@ impl Parser {
         if self.pos != self.tokens.len() {
             return Err(err(self.offset(), "trailing tokens after query"));
         }
-        let select =
-            if all || vars.is_empty() { Selection::All } else { Selection::Vars(vars) };
+        let select = if all || vars.is_empty() { Selection::All } else { Selection::Vars(vars) };
         Ok(Query { select, distinct, body, order_by, limit, offset })
     }
 
     fn parse_unsigned(&mut self, what: &str) -> Result<usize, ParseError> {
         let offset = self.offset();
         match self.bump() {
-            Some(Tok::Num { lex, decimal: false }) => lex
-                .parse::<usize>()
-                .map_err(|_| err(offset, format!("invalid {what} value"))),
+            Some(Tok::Num { lex, decimal: false }) => {
+                lex.parse::<usize>().map_err(|_| err(offset, format!("invalid {what} value")))
+            }
             _ => Err(err(offset, format!("expected a non-negative integer after {what}"))),
         }
     }
@@ -534,10 +525,7 @@ impl Parser {
         Ok(GroupPattern { elements })
     }
 
-    fn parse_triples_same_subject(
-        &mut self,
-        out: &mut Vec<Element>,
-    ) -> Result<(), ParseError> {
+    fn parse_triples_same_subject(&mut self, out: &mut Vec<Element>) -> Result<(), ParseError> {
         let subject = self.parse_var_or_term("subject")?;
         loop {
             let predicate = self.parse_verb()?;
@@ -601,10 +589,9 @@ impl Parser {
                 lex,
                 if decimal { XSD_DECIMAL } else { XSD_INTEGER },
             ))),
-            other => Err(err(
-                offset,
-                format!("expected a {what} (variable or term), found {other:?}"),
-            )),
+            other => {
+                Err(err(offset, format!("expected a {what} (variable or term), found {other:?}")))
+            }
         }
     }
 
@@ -779,16 +766,9 @@ mod tests {
 
     #[test]
     fn parses_predicate_object_lists() {
-        let q = parse(
-            "SELECT WHERE { ?x <http://p> ?a , ?b ; <http://q> ?c . }",
-        )
-        .unwrap();
-        let triples: Vec<_> = q
-            .body
-            .elements
-            .iter()
-            .filter(|e| matches!(e, Element::Triple(_)))
-            .collect();
+        let q = parse("SELECT WHERE { ?x <http://p> ?a , ?b ; <http://q> ?c . }").unwrap();
+        let triples: Vec<_> =
+            q.body.elements.iter().filter(|e| matches!(e, Element::Triple(_))).collect();
         assert_eq!(triples.len(), 3);
     }
 
@@ -796,10 +776,7 @@ mod tests {
     fn parses_a_keyword() {
         let q = parse("SELECT WHERE { ?x a <http://Class> . }").unwrap();
         match &q.body.elements[0] {
-            Element::Triple(t) => assert_eq!(
-                t.predicate,
-                PatternTerm::Const(Term::iri(RDF_TYPE))
-            ),
+            Element::Triple(t) => assert_eq!(t.predicate, PatternTerm::Const(Term::iri(RDF_TYPE))),
             other => panic!("{other:?}"),
         }
     }
@@ -846,10 +823,8 @@ mod tests {
 
     #[test]
     fn parses_filter() {
-        let q = parse(
-            "SELECT WHERE { ?x <http://p> ?y . FILTER(?y != <http://a> && BOUND(?x)) }",
-        )
-        .unwrap();
+        let q = parse("SELECT WHERE { ?x <http://p> ?y . FILTER(?y != <http://a> && BOUND(?x)) }")
+            .unwrap();
         match &q.body.elements[1] {
             Element::Filter(Expr::And(l, r)) => {
                 assert!(matches!(**l, Expr::Ne(_, _)));

@@ -56,7 +56,13 @@ fn write_group(g: &GroupPattern, out: &mut String, depth: usize) {
         indent(out, depth + 1);
         match el {
             Element::Triple(t) => {
-                let _ = write!(out, "{} {} {} .", term(&t.subject), term(&t.predicate), term(&t.object));
+                let _ = write!(
+                    out,
+                    "{} {} {} .",
+                    term(&t.subject),
+                    term(&t.predicate),
+                    term(&t.object)
+                );
             }
             Element::Group(inner) => write_group(inner, out, depth + 1),
             Element::Union(branches) => {
@@ -201,7 +207,8 @@ mod tests {
 
     #[test]
     fn serialized_form_is_readable() {
-        let q = parse("SELECT ?x WHERE { ?x <http://p> ?y OPTIONAL { ?y <http://q> ?z } }").unwrap();
+        let q =
+            parse("SELECT ?x WHERE { ?x <http://p> ?y OPTIONAL { ?y <http://q> ?z } }").unwrap();
         let text = serialize(&q);
         assert!(text.contains("OPTIONAL {"));
         assert!(text.starts_with("SELECT ?x WHERE {"));

@@ -14,11 +14,7 @@ const WIDTH: usize = 4;
 /// Values are drawn from a tiny domain so joins actually match, and slots
 /// may be 0 (unbound) to exercise the compatibility fallback paths.
 fn arb_bag() -> impl Strategy<Value = Bag> {
-    prop::collection::vec(
-        prop::collection::vec(0u32..4, WIDTH),
-        0..8,
-    )
-    .prop_map(|rows| {
+    prop::collection::vec(prop::collection::vec(0u32..4, WIDTH), 0..8).prop_map(|rows| {
         Bag::from_rows(WIDTH, rows.into_iter().map(|r| r.into_boxed_slice()).collect())
     })
 }
@@ -26,11 +22,7 @@ fn arb_bag() -> impl Strategy<Value = Bag> {
 /// Bags whose rows always bind every slot (BGP-like results) — these take
 /// the hash-join fast path.
 fn arb_total_bag() -> impl Strategy<Value = Bag> {
-    prop::collection::vec(
-        prop::collection::vec(1u32..4, WIDTH),
-        0..8,
-    )
-    .prop_map(|rows| {
+    prop::collection::vec(prop::collection::vec(1u32..4, WIDTH), 0..8).prop_map(|rows| {
         Bag::from_rows(WIDTH, rows.into_iter().map(|r| r.into_boxed_slice()).collect())
     })
 }

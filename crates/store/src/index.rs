@@ -88,15 +88,8 @@ mod tests {
     use super::*;
 
     fn idx() -> Vec<[Id; 3]> {
-        let mut v = vec![
-            [1, 1, 1],
-            [1, 1, 2],
-            [1, 2, 1],
-            [2, 1, 1],
-            [2, 1, 3],
-            [2, 2, 2],
-            [3, 5, 9],
-        ];
+        let mut v =
+            vec![[1, 1, 1], [1, 1, 2], [1, 2, 1], [2, 1, 1], [2, 1, 3], [2, 2, 2], [3, 5, 9]];
         v.sort_unstable();
         v
     }

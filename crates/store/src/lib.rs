@@ -42,6 +42,6 @@ pub mod stats;
 pub mod store;
 
 pub use index::{IndexKind, MatchSet};
-pub use stats::DatasetStats;
 pub use snapshot::{load_from_file, read_snapshot, save_to_file, write_snapshot, SnapshotError};
+pub use stats::DatasetStats;
 pub use store::TripleStore;

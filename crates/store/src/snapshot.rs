@@ -228,10 +228,7 @@ _:b0 <http://ex/knows> <http://ex/a> .
         let mut buf = Vec::new();
         write_snapshot(&sample(), &mut buf).unwrap();
         buf[0] = b'X';
-        assert!(matches!(
-            read_snapshot(&mut buf.as_slice()),
-            Err(SnapshotError::Corrupt(_))
-        ));
+        assert!(matches!(read_snapshot(&mut buf.as_slice()), Err(SnapshotError::Corrupt(_))));
     }
 
     #[test]
@@ -250,10 +247,7 @@ _:b0 <http://ex/knows> <http://ex/a> .
         // Corrupt the last triple's object id to an enormous value.
         let n = buf.len();
         buf[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
-        assert!(matches!(
-            read_snapshot(&mut buf.as_slice()),
-            Err(SnapshotError::Corrupt(_))
-        ));
+        assert!(matches!(read_snapshot(&mut buf.as_slice()), Err(SnapshotError::Corrupt(_))));
     }
 
     #[test]

@@ -75,8 +75,7 @@ impl DatasetStats {
                 entry.distinct_objects += 1;
             }
             nodes.insert(s);
-            let obj_is_literal =
-                dict.decode(o).map(|t| t.is_literal()).unwrap_or(false);
+            let obj_is_literal = dict.decode(o).map(|t| t.is_literal()).unwrap_or(false);
             if obj_is_literal {
                 literal_objects.insert(o);
             } else {
@@ -136,12 +135,7 @@ mod tests {
         let knows = d.encode(&Term::iri("knows"));
         let name = d.encode(&Term::iri("name"));
         let alice = d.encode(&Term::literal("Alice"));
-        let mut spo = vec![
-            [a, knows, b],
-            [a, knows, c],
-            [b, knows, c],
-            [a, name, alice],
-        ];
+        let mut spo = vec![[a, knows, b], [a, knows, c], [b, knows, c], [a, name, alice]];
         spo.sort_unstable();
         (d, spo)
     }

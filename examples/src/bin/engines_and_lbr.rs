@@ -2,7 +2,7 @@
 //! BGP engines × four strategies, plus the LBR baseline — all must agree on
 //! the result multiset (the repository's central correctness invariant).
 //!
-//! Run with: `cargo run -p uo-examples --release --bin engines_and_lbr`
+//! Run with: `cargo run -p uo_examples --release --bin engines_and_lbr`
 
 use std::time::Instant;
 use uo_core::{prepare, run_query, Strategy};
@@ -17,10 +17,8 @@ fn main() {
     let q = lubm_queries().into_iter().find(|q| q.id == "q2.1").unwrap();
     println!("query {}:\n{}\n", q.id, q.text);
 
-    let engines: Vec<(&str, Box<dyn BgpEngine>)> = vec![
-        ("wco", Box::new(WcoEngine::new())),
-        ("binary", Box::new(BinaryJoinEngine::new())),
-    ];
+    let engines: Vec<(&str, Box<dyn BgpEngine>)> =
+        vec![("wco", Box::new(WcoEngine::new())), ("binary", Box::new(BinaryJoinEngine::new()))];
 
     let mut reference: Option<Vec<Box<[u32]>>> = None;
     for (name, engine) in &engines {
@@ -31,7 +29,12 @@ fn main() {
                 None => reference = Some(canon),
                 Some(prev) => assert_eq!(prev, &canon, "{name}/{strategy} diverged"),
             }
-            println!("{name:>7}/{:<5} exec {:>10.3?}  results {}", strategy.label(), r.exec_time, r.results.len());
+            println!(
+                "{name:>7}/{:<5} exec {:>10.3?}  results {}",
+                strategy.label(),
+                r.exec_time,
+                r.results.len()
+            );
         }
     }
 

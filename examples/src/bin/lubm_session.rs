@@ -2,7 +2,7 @@
 //! the paper's benchmark queries under all four strategies, and print a
 //! summary comparable to Figure 10.
 //!
-//! Run with: `cargo run -p uo-examples --release --bin lubm_session`
+//! Run with: `cargo run -p uo_examples --release --bin lubm_session`
 
 use uo_core::{run_query, Strategy};
 use uo_datagen::{generate_lubm, lubm_queries, LubmConfig};
@@ -12,10 +12,8 @@ fn main() {
     let store = generate_lubm(&LubmConfig { universities: 1, ..LubmConfig::default() });
     println!("LUBM store: {} triples\n", store.len());
 
-    let engines: Vec<(&str, Box<dyn BgpEngine>)> = vec![
-        ("wco", Box::new(WcoEngine::new())),
-        ("binary", Box::new(BinaryJoinEngine::new())),
-    ];
+    let engines: Vec<(&str, Box<dyn BgpEngine>)> =
+        vec![("wco", Box::new(WcoEngine::new())), ("binary", Box::new(BinaryJoinEngine::new()))];
 
     for q in lubm_queries().into_iter().filter(|q| q.group == 1) {
         println!("--- {} ---", q.id);

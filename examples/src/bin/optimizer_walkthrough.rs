@@ -3,9 +3,11 @@
 //! transformation, the Δ-driven decisions taken, and the effect of candidate
 //! pruning on the join space.
 //!
-//! Run with: `cargo run -p uo-examples --release --bin optimizer_walkthrough`
+//! Run with: `cargo run -p uo_examples --release --bin optimizer_walkthrough`
 
-use uo_core::{explain, multi_level_transform, prepare, run_query, CostModel, OptimizerConfig, Strategy};
+use uo_core::{
+    explain, multi_level_transform, prepare, run_query, CostModel, OptimizerConfig, Strategy,
+};
 use uo_datagen::{generate_dbpedia, DbpediaConfig};
 use uo_engine::WcoEngine;
 
@@ -32,8 +34,10 @@ fn main() {
 
     let cm = CostModel::new(&store, &engine);
     let outcome = multi_level_transform(&mut prepared.tree, &cm, OptimizerConfig::default());
-    println!("transformations: {} merge(s), {} inject(s), {} candidates evaluated\n",
-        outcome.merges, outcome.injects, outcome.evaluated);
+    println!(
+        "transformations: {} merge(s), {} inject(s), {} candidates evaluated\n",
+        outcome.merges, outcome.injects, outcome.evaluated
+    );
     println!("=== transformed BE-tree ===");
     println!("{}", explain(&prepared.tree, &prepared.vars, store.dictionary()));
 

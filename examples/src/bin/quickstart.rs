@@ -1,7 +1,7 @@
 //! Quickstart: load a small RDF dataset, run a SPARQL-UO query under the
 //! paper's `full` strategy, and print the results and the optimized plan.
 //!
-//! Run with: `cargo run -p uo-examples --bin quickstart`
+//! Run with: `cargo run -p uo_examples --bin quickstart`
 
 use uo_core::{run_query, Strategy};
 use uo_engine::WcoEngine;

@@ -1,0 +1,47 @@
+//! Smoke tests for the example binaries: referencing each binary through
+//! `CARGO_BIN_EXE_*` forces cargo to build it, and the fast ones are run to
+//! completion. `lubm_session` generates a multi-university dataset and takes
+//! tens of seconds in debug builds, so it is build-verified but only executed
+//! under `--ignored`.
+
+use std::process::Command;
+
+fn run(path: &str) -> String {
+    let out = Command::new(path).output().unwrap_or_else(|e| panic!("failed to spawn {path}: {e}"));
+    assert!(
+        out.status.success(),
+        "{path} exited with {:?}\nstderr:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn quickstart_runs_to_completion() {
+    let stdout = run(env!("CARGO_BIN_EXE_quickstart"));
+    assert!(stdout.contains("Loaded 7 triples"), "unexpected output:\n{stdout}");
+    assert!(stdout.contains("Executed plan:"), "unexpected output:\n{stdout}");
+}
+
+#[test]
+fn optimizer_walkthrough_runs_to_completion() {
+    run(env!("CARGO_BIN_EXE_optimizer_walkthrough"));
+}
+
+#[test]
+fn engines_and_lbr_runs_to_completion() {
+    run(env!("CARGO_BIN_EXE_engines_and_lbr"));
+}
+
+#[test]
+fn lubm_session_binary_builds() {
+    // Existence is enough: cargo built it because of the env! reference.
+    assert!(std::path::Path::new(env!("CARGO_BIN_EXE_lubm_session")).exists());
+}
+
+#[test]
+#[ignore = "generates a full LUBM dataset; slow in debug builds"]
+fn lubm_session_runs_to_completion() {
+    run(env!("CARGO_BIN_EXE_lubm_session"));
+}

@@ -76,11 +76,8 @@ fn minus_agrees_across_strategies_and_engines() {
 #[test]
 fn concurrent_queries_on_shared_store() {
     let st = Arc::new(uo_datagen::generate_lubm(&uo_datagen::LubmConfig::tiny()));
-    let queries: Vec<&'static str> = uo_datagen::lubm_queries()
-        .into_iter()
-        .filter(|q| q.group == 1)
-        .map(|q| q.text)
-        .collect();
+    let queries: Vec<&'static str> =
+        uo_datagen::lubm_queries().into_iter().filter(|q| q.group == 1).map(|q| q.text).collect();
     // Sequential reference.
     let wco = WcoEngine::new();
     let expected: Vec<_> = queries

@@ -21,7 +21,8 @@ fn run(st: &TripleStore, q: &str) -> Vec<Vec<Option<Term>>> {
 #[test]
 fn table1_example_queries() {
     // The exact dataset of Table 1.
-    let st = store(r#"
+    let st = store(
+        r#"
 <http://dbpedia.org/resource/George_W._Bush> <http://xmlns.com/foaf/0.1/name> "George Walker Bush"@en .
 <http://dbpedia.org/resource/George_W._Bush> <http://www.w3.org/2000/01/rdf-schema#label> "George W. Bush"@en .
 <http://dbpedia.org/resource/George_W._Bush> <http://dbpedia.org/ontology/wikiPageWikiLink> <http://dbpedia.org/resource/President_of_the_United_States> .
@@ -29,7 +30,8 @@ fn table1_example_queries() {
 <http://dbpedia.org/resource/Bill_Clinton> <http://dbpedia.org/ontology/wikiPageWikiLink> <http://dbpedia.org/resource/President_of_the_United_States> .
 <http://dbpedia.org/resource/Bill_Clinton> <http://dbpedia.org/property/birthDate> "1946-08-19"^^<http://www.w3.org/2001/XMLSchema#date> .
 <http://dbpedia.org/resource/Bill_Clinton> <http://www.w3.org/2002/07/owl#sameAs> <http://rdf.freebase.com/ns/Clinton_William_Jefferson_1946-> .
-"#);
+"#,
+    );
     // Figure 1(a): UNION collects names from both predicates.
     let union_q = r#"
         PREFIX foaf: <http://xmlns.com/foaf/0.1/>
@@ -60,27 +62,29 @@ fn table1_example_queries() {
 
 #[test]
 fn bag_semantics_preserves_duplicates_through_union() {
-    let st = store(r#"
+    let st = store(
+        r#"
 <http://e/a> <http://p/p> <http://e/b> .
 <http://e/a> <http://p/q> <http://e/b> .
-"#);
-    // Both branches produce the same mapping — bag union keeps both.
-    let rows = run(
-        &st,
-        "SELECT ?x ?y WHERE { { ?x <http://p/p> ?y } UNION { ?x <http://p/p> ?y } }",
+"#,
     );
+    // Both branches produce the same mapping — bag union keeps both.
+    let rows =
+        run(&st, "SELECT ?x ?y WHERE { { ?x <http://p/p> ?y } UNION { ?x <http://p/p> ?y } }");
     assert_eq!(rows.len(), 2, "duplicate mappings must be preserved");
 }
 
 #[test]
 fn join_multiplicity_is_product() {
-    let st = store(r#"
+    let st = store(
+        r#"
 <http://e/a> <http://p/p> <http://e/b1> .
 <http://e/a> <http://p/p> <http://e/b2> .
 <http://e/a> <http://p/q> <http://e/c1> .
 <http://e/a> <http://p/q> <http://e/c2> .
 <http://e/a> <http://p/q> <http://e/c3> .
-"#);
+"#,
+    );
     let rows = run(&st, "SELECT WHERE { ?x <http://p/p> ?y . ?x <http://p/q> ?z . }");
     assert_eq!(rows.len(), 6, "2 × 3 join results");
 }
@@ -88,12 +92,14 @@ fn join_multiplicity_is_product() {
 #[test]
 fn optional_is_left_associative() {
     // (A OPT B) OPT C — B and C both optional against A, independently.
-    let st = store(r#"
+    let st = store(
+        r#"
 <http://e/a1> <http://p/p> <http://e/x> .
 <http://e/a2> <http://p/p> <http://e/x> .
 <http://e/a1> <http://p/q> <http://e/y> .
 <http://e/a2> <http://p/r> <http://e/z> .
-"#);
+"#,
+    );
     let rows = run(
         &st,
         "SELECT ?a ?b ?c WHERE {
@@ -115,12 +121,14 @@ fn optional_is_left_associative() {
 
 #[test]
 fn nested_optional_binds_inner_only_when_outer_matches() {
-    let st = store(r#"
+    let st = store(
+        r#"
 <http://e/a> <http://p/p> <http://e/b> .
 <http://e/b> <http://p/q> <http://e/c> .
 <http://e/c> <http://p/r> <http://e/d> .
 <http://e/a2> <http://p/p> <http://e/b2> .
-"#);
+"#,
+    );
     let rows = run(
         &st,
         "SELECT ?x ?y ?z ?w WHERE {
@@ -138,10 +146,12 @@ fn nested_optional_binds_inner_only_when_outer_matches() {
 
 #[test]
 fn union_branches_may_bind_different_variables() {
-    let st = store(r#"
+    let st = store(
+        r#"
 <http://e/a> <http://p/p> <http://e/b> .
 <http://e/c> <http://p/q> <http://e/d> .
-"#);
+"#,
+    );
     let rows = run(
         &st,
         "SELECT ?x ?y ?u ?v WHERE {
@@ -157,12 +167,14 @@ fn union_branches_may_bind_different_variables() {
 #[test]
 fn compatibility_join_after_union_with_unbound() {
     // A variable bound in only one UNION branch joins compatibly afterwards.
-    let st = store(r#"
+    let st = store(
+        r#"
 <http://e/a> <http://p/p> <http://e/b> .
 <http://e/a> <http://p/q> <http://e/c> .
 <http://e/b> <http://p/r> <http://e/d> .
 <http://e/c> <http://p/r> <http://e/e> .
-"#);
+"#,
+    );
     let rows = run(
         &st,
         "SELECT ?x ?m ?r WHERE {
@@ -177,10 +189,12 @@ fn compatibility_join_after_union_with_unbound() {
 fn optional_with_shared_variable_must_agree() {
     // The optional part shares ?y with the required part: incompatible
     // bindings are dropped (the mapping stays unextended), not combined.
-    let st = store(r#"
+    let st = store(
+        r#"
 <http://e/a> <http://p/p> <http://e/y1> .
 <http://e/a> <http://p/q> <http://e/y2> .
-"#);
+"#,
+    );
     let rows = run(
         &st,
         "SELECT ?x ?y WHERE {
@@ -199,10 +213,8 @@ fn optional_with_shared_variable_must_agree() {
 #[test]
 fn empty_optional_right_keeps_all_left_rows() {
     let st = store("<http://e/a> <http://p/p> <http://e/b> .\n");
-    let rows = run(
-        &st,
-        "SELECT WHERE { ?x <http://p/p> ?y OPTIONAL { ?y <http://p/missing> ?z } }",
-    );
+    let rows =
+        run(&st, "SELECT WHERE { ?x <http://p/p> ?y OPTIONAL { ?y <http://p/missing> ?z } }");
     assert_eq!(rows.len(), 1);
 }
 
@@ -216,11 +228,13 @@ fn projection_order_and_distinct_columns() {
 
 #[test]
 fn filter_bound_and_negation() {
-    let st = store(r#"
+    let st = store(
+        r#"
 <http://e/a> <http://p/p> <http://e/b> .
 <http://e/b> <http://p/q> <http://e/c> .
 <http://e/x> <http://p/p> <http://e/y> .
-"#);
+"#,
+    );
     let with = run(
         &st,
         "SELECT WHERE { ?s <http://p/p> ?o OPTIONAL { ?o <http://p/q> ?t } FILTER(BOUND(?t)) }",

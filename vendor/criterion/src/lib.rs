@@ -1,0 +1,221 @@
+//! Offline stand-in for the subset of the
+//! [`criterion`](https://crates.io/crates/criterion) crate this workspace
+//! uses: `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! `benchmark_group` (with `sample_size`), and `Bencher::{iter,
+//! iter_batched}`.
+//!
+//! Instead of criterion's statistical machinery, each benchmark runs a short
+//! warm-up, then samples the routine in a time box and prints the mean and
+//! best iteration time to stdout. That is enough to compare orders of
+//! magnitude between strategies, which is what the paper-reproduction
+//! benches are for. Wall-clock per bench function is bounded (~1s measure
+//! budget, tunable with `CRITERION_MEASURE_MS`), so full `cargo bench` runs
+//! stay tractable.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's historical name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The stub runs one routine call
+/// per setup call regardless, so the variants only document intent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Collects per-iteration timings for one benchmark function.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    max_samples: usize,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(max_samples: usize, budget: Duration) -> Self {
+        Bencher { samples: Vec::new(), max_samples, budget }
+    }
+
+    /// Times `routine` repeatedly until the sample or time budget runs out.
+    ///
+    /// Each sample times a *batch* of calls and divides, sized so a batch
+    /// takes ≥ ~10µs; otherwise the two `Instant::now()` calls around a
+    /// nanosecond-scale routine would mostly measure timer overhead.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up doubles as calibration (and catches panics early).
+        let t = Instant::now();
+        std_black_box(routine());
+        let once = t.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_micros(10).as_nanos() / once.as_nanos()).clamp(1, 1024) as u32;
+        let started = Instant::now();
+        while self.samples.len() < self.max_samples && started.elapsed() < self.budget {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            self.samples.push(t.elapsed() / batch);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    /// No batching here: `setup` must run between routine calls, and batched
+    /// routines are heavyweight (index rebuilds, plan transforms), so timer
+    /// overhead is noise.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std_black_box(routine(setup()));
+        let started = Instant::now();
+        while self.samples.len() < self.max_samples && started.elapsed() < self.budget {
+            let input = setup();
+            let t = Instant::now();
+            std_black_box(routine(input));
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let best = samples.iter().min().copied().unwrap_or_default();
+    println!("{id:<40} mean {:>12?}   best {:>12?}   ({} samples)", mean, best, samples.len());
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    measure_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Read once at construction so nothing touches the environment
+        // while benchmarks (or this crate's own tests) are running.
+        let ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1000u64);
+        Criterion { sample_size: 100, measure_budget: Duration::from_millis(ms) }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark sample-count ceiling.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the per-benchmark wall-clock budget (real criterion's
+    /// `measurement_time`).
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.measure_budget = budget;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.sample_size, self.measure_budget);
+        f(&mut bencher);
+        report(&id, &bencher.samples);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}:");
+        BenchmarkGroup { criterion: self, name, sample_size: None }
+    }
+}
+
+/// A named group of related benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let cap = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut bencher = Bencher::new(cap, self.criterion.measure_budget);
+        f(&mut bencher);
+        report(&id, &bencher.samples);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a function running each listed benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default();
+        c.measurement_time(Duration::from_millis(50))
+            .sample_size(10)
+            .bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn groups_and_batched() {
+        let mut c = Criterion::default();
+        c.measurement_time(Duration::from_millis(50));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,67 @@
+//! The [`Arbitrary`] trait and [`any`] (type-driven strategies).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized + Debug {
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `A`: uniform over its whole domain.
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(PhantomData)
+}
+
+pub struct Any<A>(PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+
+    fn new_value(&self, rng: &mut TestRng) -> A {
+        A::arbitrary_value(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary_value(rng: &mut TestRng) -> u32 {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary_value(rng: &mut TestRng) -> u64 {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary_value(rng: &mut TestRng) -> usize {
+        rng.gen::<u64>() as usize
+    }
+}
+
+impl Arbitrary for i32 {
+    fn arbitrary_value(rng: &mut TestRng) -> i32 {
+        rng.gen::<u32>() as i32
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary_value(rng: &mut TestRng) -> i64 {
+        rng.gen::<u64>() as i64
+    }
+}
+
+impl Arbitrary for () {
+    fn arbitrary_value(_rng: &mut TestRng) {}
+}

@@ -1,0 +1,164 @@
+//! Offline stand-in for the subset of the
+//! [`proptest`](https://crates.io/crates/proptest) crate this workspace uses.
+//!
+//! The build environment has no cargo-registry access, so external
+//! dependencies are vendored as minimal, API-compatible implementations.
+//! This crate supports:
+//!
+//! - the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(ProptestConfig { .. })]` inner attribute) generating
+//!   `#[test]` functions that run a closure over random inputs;
+//! - [`strategy::Strategy`] with `prop_map`, implemented for integer ranges,
+//!   tuples, and regex-like `&str` patterns (character classes with bounded
+//!   repetition);
+//! - [`collection::vec`], [`option::of`], [`sample::select`], and
+//!   [`arbitrary::any`];
+//! - [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`].
+//!
+//! Differences from real proptest, by design:
+//!
+//! - **no shrinking** — a failing case reports its inputs but is not
+//!   minimized;
+//! - **deterministic by default** — each test derives its RNG seed from the
+//!   test's module path and name, so runs are reproducible; set
+//!   `PROPTEST_SEED=<u64>` to perturb every stream, and `PROPTEST_CASES=<n>`
+//!   to override the default case count (64) globally.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude`.
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    pub mod prop {
+        //! Namespaced re-exports, mirroring `proptest::prelude::prop`.
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+    }
+}
+
+/// Generates `#[test]` functions that evaluate a body over random inputs
+/// drawn from strategies.
+///
+/// The `#[test]` attribute on each function is passed through verbatim, so
+/// the doctest below omits it to call the generated function directly:
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+///
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (config = ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut runner = $crate::test_runner::TestRunner::new(
+                config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let strategy = ($($strat,)*);
+            runner.run(&strategy, |($($arg,)*)| -> $crate::test_runner::TestCaseResult {
+                $body
+                Ok(())
+            });
+        }
+    )*};
+}
+
+/// Asserts a condition inside a proptest body, returning a structured
+/// failure (instead of panicking) so the runner can report the inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a proptest body; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            lhs,
+            rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            lhs,
+            rhs,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts inequality inside a proptest body; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            lhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "assertion failed: `(left != right)`\n  both: `{:?}`: {}",
+            lhs,
+            format!($($fmt)*)
+        );
+    }};
+}

@@ -1,0 +1,24 @@
+//! Sampling strategies (`prop::sample`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::fmt::Debug;
+
+/// Picks one element of `options` uniformly per case.
+pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select() needs at least one option");
+    Select { options }
+}
+
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone + Debug> Strategy for Select<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.options[rng.gen_range(0..self.options.len())].clone()
+    }
+}

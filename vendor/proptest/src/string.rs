@@ -1,0 +1,199 @@
+//! Regex-like string generation for `&str` strategies.
+//!
+//! Supports the fragment the workspace's tests use: a sequence of literal
+//! characters, escapes (`\n`, `\t`, `\\`, `\-`, …) and character classes
+//! `[...]` (with `a-z` ranges), each optionally repeated with `{n}`,
+//! `{n,m}`, `?`, `*` (up to 8), or `+` (1 up to 8). Anything fancier —
+//! alternation, groups, anchors — is rejected with a panic naming the
+//! unsupported construct, so a future test using one fails loudly rather
+//! than silently generating the wrong language.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+#[derive(Debug)]
+enum Atom {
+    /// A set of candidate characters (singleton for a literal).
+    Class(Vec<char>),
+}
+
+#[derive(Debug)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize, // inclusive
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let n = rng.gen_range(piece.min..=piece.max);
+        let Atom::Class(chars) = &piece.atom;
+        for _ in 0..n {
+            out.push(chars[rng.gen_range(0..chars.len())]);
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(&chars, i + 1, pattern);
+                i = next;
+                Atom::Class(set)
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 1;
+                Atom::Class(vec![unescape(c)])
+            }
+            c @ ('(' | ')' | '|' | '^' | '$' | '.') => {
+                panic!("unsupported regex construct {c:?} in pattern {pattern:?}")
+            }
+            c => {
+                i += 1;
+                Atom::Class(vec![c])
+            }
+        };
+        let (min, max) = parse_repeat(&chars, &mut i, pattern);
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn parse_repeat(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    match chars.get(*i) {
+        Some('{') => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"))
+                + *i;
+            let body: String = chars[*i + 1..close].iter().collect();
+            *i = close + 1;
+            let (lo, hi) = match body.split_once(',') {
+                None => {
+                    let n = body.parse().expect("bad repeat count");
+                    (n, n)
+                }
+                Some((_, "")) => {
+                    panic!("open-ended repeat {{n,}} unsupported in pattern {pattern:?}")
+                }
+                Some((lo, hi)) => {
+                    (lo.parse().expect("bad repeat bound"), hi.parse().expect("bad repeat bound"))
+                }
+            };
+            assert!(lo <= hi, "inverted repeat bounds in pattern {pattern:?}");
+            (lo, hi)
+        }
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        Some('*') => {
+            *i += 1;
+            (0, 8)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    assert!(chars.get(i) != Some(&'^'), "negated classes unsupported in pattern {pattern:?}");
+    while i < chars.len() && chars[i] != ']' {
+        let lo = if chars[i] == '\\' {
+            i += 1;
+            unescape(chars[i])
+        } else {
+            chars[i]
+        };
+        i += 1;
+        // `a-z` range (a trailing `-` right before `]` is a literal).
+        if chars.get(i) == Some(&'-') && i + 1 < chars.len() && chars[i + 1] != ']' {
+            i += 1;
+            let hi = if chars[i] == '\\' {
+                i += 1;
+                unescape(chars[i])
+            } else {
+                chars[i]
+            };
+            i += 1;
+            assert!(lo <= hi, "inverted class range in pattern {pattern:?}");
+            set.extend(lo..=hi);
+        } else {
+            set.push(lo);
+        }
+    }
+    assert!(chars.get(i) == Some(&']'), "unclosed [ in pattern {pattern:?}");
+    assert!(!set.is_empty(), "empty character class in pattern {pattern:?}");
+    (set, i + 1)
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn ascii_class_with_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[ -~\\n]{0,300}", &mut r);
+            assert!(s.chars().count() <= 300);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn alnum_with_literals() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[a-zA-Z0-9 _.!@-]{0,30}", &mut r);
+            assert!(s.chars().count() <= 30);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || " _.!@-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn literal_sequences_and_quantifiers() {
+        let mut r = rng();
+        let s = generate("ab{2}c?", &mut r);
+        assert!(s.starts_with("abb"));
+        assert!(s == "abb" || s == "abbc");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex construct")]
+    fn rejects_groups() {
+        generate("(ab)+", &mut rng());
+    }
+}

@@ -1,0 +1,135 @@
+//! Configuration, errors, and the case-running loop.
+
+use crate::strategy::Strategy;
+
+/// The RNG driving all strategies. A type alias so strategies and user code
+/// agree on one concrete type.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Subset of proptest's run configuration.
+///
+/// `cases` defaults to 64 (not proptest's 256) to keep the full workspace
+/// suite CI-friendly; override globally with `PROPTEST_CASES`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property does not hold for this input.
+    Fail(String),
+    /// The input should not count toward the case budget.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+        }
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runs `config.cases` random cases of a property.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl TestRunner {
+    /// `name` (the test's module path and function name) determines the RNG
+    /// stream, so every test is deterministic but streams differ across
+    /// tests. `PROPTEST_SEED` perturbs all streams at once.
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        use rand::SeedableRng;
+        let env_seed: u64 =
+            std::env::var("PROPTEST_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(0);
+        TestRunner { config, rng: TestRng::seed_from_u64(fnv1a(name.as_bytes()) ^ env_seed) }
+    }
+
+    /// Generates inputs and applies `test` until `cases` successes, a
+    /// failure or body panic (both report the offending input), or too
+    /// many rejects.
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F)
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> TestCaseResult,
+    {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let max_rejects = self.config.cases.saturating_mul(8).max(256);
+        while passed < self.config.cases {
+            // Checkpoint the (small, cloneable) RNG so the failing input can
+            // be regenerated for the report without Debug-formatting every
+            // passing case in the hot loop.
+            let checkpoint = self.rng.clone();
+            let value = strategy.new_value(&mut self.rng);
+            // Catch panics from the body (e.g. the fuzz tests' "never
+            // panics" properties) so the offending input is reported;
+            // without this the panic escapes before the Fail arm runs.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(value)));
+            let result = match outcome {
+                Ok(result) => result,
+                Err(payload) => {
+                    let mut replay = checkpoint;
+                    eprintln!(
+                        "proptest: panic after {passed} passing case(s) on input: {:?}",
+                        strategy.new_value(&mut replay)
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            };
+            match result {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > max_rejects {
+                        panic!(
+                            "proptest: too many rejected cases ({rejected}) after {passed} passes"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(reason)) => {
+                    let mut replay = checkpoint;
+                    let shown = format!("{:?}", strategy.new_value(&mut replay));
+                    panic!(
+                        "proptest: property failed after {passed} passing case(s)\n\
+                         input: {shown}\n{reason}"
+                    );
+                }
+            }
+        }
+    }
+}
