@@ -1,0 +1,91 @@
+//! CI regression gate: compares a `perf_suite` artifact against the
+//! checked-in baseline.
+//!
+//! ```text
+//! perf_gate <current.json> <baseline.json>
+//!           [--tolerance 0.25] [--min-ms 1.0] [--slack-ms 5.0]
+//! ```
+//!
+//! Exits non-zero if any suite query regressed more than the tolerance
+//! beyond the suite-wide median current/baseline ratio (which calibrates
+//! away machine-speed differences), or if any deterministic metric
+//! (result count, BGP evaluations, join space) changed at all. See
+//! `uo_bench::perf::check_regressions`.
+
+use std::process::ExitCode;
+use uo_bench::json;
+use uo_bench::perf::{check_regressions, GateConfig};
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn load(path: &str) -> Result<json::Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let positional: Vec<&String> = {
+        let mut skip_next = false;
+        args.iter()
+            .filter(|a| {
+                if skip_next {
+                    skip_next = false;
+                    return false;
+                }
+                if a.starts_with("--") {
+                    skip_next = true;
+                    return false;
+                }
+                true
+            })
+            .collect()
+    };
+    let [current_path, baseline_path] = positional[..] else {
+        eprintln!(
+            "usage: perf_gate <current.json> <baseline.json> \
+             [--tolerance F] [--min-ms F] [--slack-ms F]"
+        );
+        return ExitCode::FAILURE;
+    };
+    let mut cfg = GateConfig::default();
+    if let Some(t) = flag(&args, "--tolerance").and_then(|v| v.parse().ok()) {
+        cfg.tolerance = t;
+    }
+    if let Some(m) = flag(&args, "--min-ms").and_then(|v| v.parse().ok()) {
+        cfg.min_ms = m;
+    }
+    if let Some(s) = flag(&args, "--slack-ms").and_then(|v| v.parse().ok()) {
+        cfg.abs_slack_ms = s;
+    }
+
+    let (current, baseline) = match (load(current_path), load(baseline_path)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check_regressions(&current, &baseline, cfg) {
+        Err(e) => {
+            eprintln!("error: artifacts not comparable: {e}");
+            ExitCode::FAILURE
+        }
+        Ok(failures) if failures.is_empty() => {
+            eprintln!(
+                "perf gate passed: no query regressed more than {:.0}% vs {baseline_path}",
+                cfg.tolerance * 100.0
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(failures) => {
+            eprintln!("perf gate FAILED ({} problem(s)):", failures.len());
+            for f in &failures {
+                eprintln!("  - {f}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Runs the measured perf suite and emits the `BENCH_PR2.json` artifact.
+//!
+//! ```text
+//! perf_suite [--out BENCH_PR2.json] [--threads N] [--repeat K]
+//! ```
+//!
+//! The workload is fixed (LUBM + synthetic-DBpedia group-1 queries × four
+//! strategies × both engines); dataset size scales with `UO_SCALE`. Every
+//! query runs sequentially and at the configured worker count; the run
+//! aborts if the two ever disagree. See `uo_bench::perf` for the artifact
+//! schema and `perf_gate` for the CI regression check.
+
+use std::process::ExitCode;
+use uo_bench::perf;
+use uo_core::Parallelism;
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = flag(&args, "--out").unwrap_or("BENCH_PR2.json").to_string();
+    let threads = match flag(&args, "--threads") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("error: --threads expects a positive integer, got '{v}'");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Parallelism::from_env().threads(),
+    };
+    let repeats = flag(&args, "--repeat")
+        .or(std::env::var("UO_PERF_REPEAT").ok().as_deref())
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(3);
+
+    eprintln!(
+        "perf_suite: {} worker(s), {} repeat(s), UO_SCALE={} ...",
+        threads,
+        repeats,
+        uo_bench::scale()
+    );
+    let report = perf::run_suite(threads, repeats);
+
+    // Human-readable summary: per-dataset totals plus the headline speedup.
+    uo_bench::header(&["dataset", "entries", "seq total (ms)", "par total (ms)", "speedup"]);
+    for ds in ["lubm", "dbpedia"] {
+        let entries: Vec<_> = report.entries.iter().filter(|e| e.dataset == ds).collect();
+        let seq: f64 = entries.iter().map(|e| e.wall_ms_seq).sum();
+        let par: f64 = entries.iter().map(|e| e.wall_ms_par).sum();
+        uo_bench::row(&[
+            ds.to_string(),
+            entries.len().to_string(),
+            format!("{seq:.3}"),
+            format!("{par:.3}"),
+            format!("{:.2}x", seq / par.max(1e-9)),
+        ]);
+    }
+    let total_seq = report.total_seq_ms();
+    let total_par = report.total_par_ms();
+    eprintln!(
+        "total: seq {total_seq:.1} ms, par {total_par:.1} ms ({:.2}x at {} worker(s), host has {})",
+        total_seq / total_par.max(1e-9),
+        report.threads,
+        report.host_threads
+    );
+    if report.threads > 1 && report.host_threads == 1 {
+        eprintln!("note: single-core host — parallel timings cannot beat sequential here");
+    }
+
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("error: failed to write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out} ({} entries)", report.entries.len());
+    ExitCode::SUCCESS
+}

@@ -17,6 +17,9 @@
 //! `UO_SCALE` (a small positive float, default 1.0) to grow or shrink every
 //! dataset proportionally.
 
+pub mod json;
+pub mod perf;
+
 use std::time::{Duration, Instant};
 use uo_core::{run_query, RunReport, Strategy};
 use uo_datagen::{

@@ -1,0 +1,485 @@
+//! The measured perf suite and its CI regression gate.
+//!
+//! [`run_suite`] executes a fixed LUBM + synthetic-DBpedia workload (the
+//! group-1 queries) across all four strategies and both engines, once
+//! sequentially and once with the configured worker count, and records
+//! wall times plus the deterministic join-space metrics. The result
+//! serializes to the `BENCH_PR2.json` artifact — the schema every future
+//! PR's bench trajectory builds on (see README, "Benchmarking & perf CI").
+//!
+//! [`check_regressions`] compares a current artifact against a checked-in
+//! baseline. Sequential wall times are compared *after normalizing by the
+//! median current/baseline ratio* — CI runners and developer machines
+//! differ in absolute speed, but a single query regressing relative to the
+//! rest of the suite shows up in its ratio. (Parallel times are recorded
+//! but not gated: they scale with the host's core count per-query, which a
+//! single calibration factor cannot absorb.) Deterministic metrics (result
+//! counts, BGP evaluations, join space) must match exactly; they catch
+//! semantic regressions that timing noise would hide.
+
+use crate::json::{self, Json};
+use crate::{dbpedia_store, group1, scale};
+use std::time::Instant;
+use uo_core::{run_query_with, Parallelism, Strategy};
+use uo_datagen::Dataset;
+use uo_engine::{BgpEngine, BinaryJoinEngine, WcoEngine};
+use uo_store::TripleStore;
+
+/// Artifact schema identifier; bump when the layout changes.
+pub const SCHEMA: &str = "uo-perf/1";
+
+/// One (dataset, query, engine, strategy) measurement.
+#[derive(Debug, Clone)]
+pub struct PerfEntry {
+    /// Dataset label ("lubm" / "dbpedia").
+    pub dataset: String,
+    /// The paper's query id, e.g. "q1.3".
+    pub query: String,
+    /// Engine name ("wco" / "binary").
+    pub engine: String,
+    /// Strategy label ("base" / "TT" / "CP" / "full").
+    pub strategy: String,
+    /// Best-of-`repeats` wall time, sequential (1 worker), in ms.
+    pub wall_ms_seq: f64,
+    /// Best-of-`repeats` wall time at the configured worker count, in ms.
+    pub wall_ms_par: f64,
+    /// Number of results (deterministic).
+    pub results: usize,
+    /// The run's join space `JS(Q)` (deterministic).
+    pub join_space: f64,
+    /// Number of BGP evaluations performed (deterministic).
+    pub bgp_evals: usize,
+}
+
+/// A full suite run ready for serialization.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Worker count of the parallel measurements.
+    pub threads: usize,
+    /// The host's available parallelism when the suite ran.
+    pub host_threads: usize,
+    /// The `UO_SCALE` dataset multiplier the suite ran at.
+    pub uo_scale: f64,
+    /// Repeats per measurement (wall times are the minimum).
+    pub repeats: usize,
+    /// All measurements.
+    pub entries: Vec<PerfEntry>,
+}
+
+impl PerfReport {
+    /// Total sequential wall time across all entries, ms.
+    pub fn total_seq_ms(&self) -> f64 {
+        self.entries.iter().map(|e| e.wall_ms_seq).sum()
+    }
+
+    /// Total parallel wall time across all entries, ms.
+    pub fn total_par_ms(&self) -> f64 {
+        self.entries.iter().map(|e| e.wall_ms_par).sum()
+    }
+
+    /// Serializes to the `BENCH_PR2.json` layout.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{}\",\n", SCHEMA));
+        out.push_str("  \"bench\": \"perf_suite\",\n");
+        out.push_str("  \"pr\": 2,\n");
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
+        out.push_str(&format!("  \"uo_scale\": {},\n", json::num(self.uo_scale)));
+        out.push_str(&format!("  \"repeats\": {},\n", self.repeats));
+        out.push_str(&format!("  \"total_seq_ms\": {},\n", json::num(self.total_seq_ms())));
+        out.push_str(&format!("  \"total_par_ms\": {},\n", json::num(self.total_par_ms())));
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"dataset\": \"{}\", \"query\": \"{}\", \"engine\": \"{}\", \
+                 \"strategy\": \"{}\", \"wall_ms_seq\": {}, \"wall_ms_par\": {}, \
+                 \"results\": {}, \"join_space\": {}, \"bgp_evals\": {}}}{}\n",
+                json::escape(&e.dataset),
+                json::escape(&e.query),
+                json::escape(&e.engine),
+                json::escape(&e.strategy),
+                json::num(e.wall_ms_seq),
+                json::num(e.wall_ms_par),
+                e.results,
+                json::num(e.join_space),
+                e.bgp_evals,
+                if i + 1 < self.entries.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn engine_pair(name: &str, threads: usize) -> (Box<dyn BgpEngine>, Box<dyn BgpEngine>) {
+    match name {
+        "wco" => (Box::new(WcoEngine::sequential()), Box::new(WcoEngine::with_threads(threads))),
+        _ => (
+            Box::new(BinaryJoinEngine::sequential()),
+            Box::new(BinaryJoinEngine::with_threads(threads)),
+        ),
+    }
+}
+
+/// Runs the fixed workload. `threads` is the parallel worker count
+/// (measurements at 1 worker are always taken as the sequential baseline);
+/// wall times are best-of-`repeats`.
+///
+/// # Panics
+/// Panics if any parallel run returns a bag that is not bit-identical to
+/// the sequential run — determinism is part of the suite's contract.
+pub fn run_suite(threads: usize, repeats: usize) -> PerfReport {
+    let repeats = repeats.max(1);
+    let datasets: Vec<(&str, Dataset, TripleStore)> = vec![
+        ("lubm", Dataset::Lubm, crate::lubm_group1()),
+        ("dbpedia", Dataset::Dbpedia, dbpedia_store()),
+    ];
+    let mut entries = Vec::new();
+    for (ds_name, dataset, store) in &datasets {
+        for q in group1(*dataset) {
+            for strategy in Strategy::ALL {
+                for eng_name in ["wco", "binary"] {
+                    let (seq_engine, par_engine) = engine_pair(eng_name, threads);
+                    let mut wall_ms_seq = f64::INFINITY;
+                    let mut wall_ms_par = f64::INFINITY;
+                    let mut reference = None;
+                    for rep in 0..repeats {
+                        let t = Instant::now();
+                        let seq = run_query_with(
+                            store,
+                            seq_engine.as_ref(),
+                            q.text,
+                            strategy,
+                            Parallelism::sequential(),
+                        )
+                        .unwrap_or_else(|e| panic!("{} failed to parse: {e}", q.id));
+                        wall_ms_seq = wall_ms_seq.min(t.elapsed().as_secs_f64() * 1e3);
+                        let t = Instant::now();
+                        let par = run_query_with(
+                            store,
+                            par_engine.as_ref(),
+                            q.text,
+                            strategy,
+                            Parallelism::new(threads),
+                        )
+                        .unwrap();
+                        wall_ms_par = wall_ms_par.min(t.elapsed().as_secs_f64() * 1e3);
+                        if rep == 0 {
+                            assert_eq!(
+                                par.bag.rows, seq.bag.rows,
+                                "parallel evaluation diverged on {}/{}/{}/{}",
+                                ds_name, q.id, eng_name, strategy
+                            );
+                            reference = Some(seq);
+                        }
+                    }
+                    let reference = reference.expect("at least one repeat ran");
+                    entries.push(PerfEntry {
+                        dataset: ds_name.to_string(),
+                        query: q.id.to_string(),
+                        engine: eng_name.to_string(),
+                        strategy: strategy.label().to_string(),
+                        wall_ms_seq,
+                        wall_ms_par,
+                        results: reference.results.len(),
+                        join_space: reference.join_space,
+                        bgp_evals: reference.exec_stats.bgp_evals,
+                    });
+                }
+            }
+        }
+    }
+    PerfReport {
+        threads,
+        host_threads: uo_par::default_threads(),
+        uo_scale: scale(),
+        repeats,
+        entries,
+    }
+}
+
+/// Gate configuration. An entry fails the timing check only when it exceeds
+/// **both** the relative tolerance and the absolute slack: short queries
+/// wobble by large factors but tiny absolute amounts (scheduler noise),
+/// while a real regression on a query that matters moves both.
+#[derive(Debug, Clone, Copy)]
+pub struct GateConfig {
+    /// Maximum tolerated per-query slowdown beyond the suite-wide
+    /// calibration ratio (0.25 = 25%).
+    pub tolerance: f64,
+    /// Entries faster than this (in either artifact) are exempt from the
+    /// timing check — sub-millisecond measurements are noise-dominated.
+    pub min_ms: f64,
+    /// Minimum absolute excess (ms) over the calibrated expectation before
+    /// a relative regression counts.
+    pub abs_slack_ms: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig { tolerance: 0.25, min_ms: 1.0, abs_slack_ms: 5.0 }
+    }
+}
+
+fn entry_key(e: &Json) -> Option<String> {
+    Some(format!(
+        "{}/{}/{}/{}",
+        e.get("dataset")?.as_str()?,
+        e.get("query")?.as_str()?,
+        e.get("engine")?.as_str()?,
+        e.get("strategy")?.as_str()?
+    ))
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    if v.is_empty() {
+        1.0
+    } else {
+        v[v.len() / 2]
+    }
+}
+
+/// Compares a current perf artifact against a baseline. Returns the list of
+/// failures (empty = gate passes), or an error when the artifacts are not
+/// comparable at all (schema/scale mismatch, malformed JSON values).
+pub fn check_regressions(
+    current: &Json,
+    baseline: &Json,
+    cfg: GateConfig,
+) -> Result<Vec<String>, String> {
+    for (label, doc) in [("current", current), ("baseline", baseline)] {
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(SCHEMA) => {}
+            other => return Err(format!("{label}: unsupported schema {other:?}")),
+        }
+    }
+    let cur_scale = current.get("uo_scale").and_then(Json::as_f64).unwrap_or(1.0);
+    let base_scale = baseline.get("uo_scale").and_then(Json::as_f64).unwrap_or(1.0);
+    if (cur_scale - base_scale).abs() > 1e-9 {
+        return Err(format!(
+            "scale mismatch: current ran at UO_SCALE={cur_scale}, baseline at \
+             UO_SCALE={base_scale}; re-run the suite at the baseline's scale"
+        ));
+    }
+    let empty: Vec<Json> = Vec::new();
+    let cur_entries = current.get("entries").and_then(Json::as_arr).unwrap_or(&empty);
+    let base_entries = baseline.get("entries").and_then(Json::as_arr).unwrap_or(&empty);
+    if base_entries.is_empty() {
+        return Err("baseline has no entries".to_string());
+    }
+
+    let mut cur_by_key = std::collections::BTreeMap::new();
+    for e in cur_entries {
+        if let Some(k) = entry_key(e) {
+            cur_by_key.insert(k, e);
+        }
+    }
+
+    let mut failures = Vec::new();
+    let mut ratios = Vec::new();
+    let mut timed: Vec<(String, f64, f64, f64)> = Vec::new();
+    for base in base_entries {
+        let Some(key) = entry_key(base) else {
+            return Err("baseline entry missing key fields".to_string());
+        };
+        let Some(cur) = cur_by_key.get(&key) else {
+            failures.push(format!("{key}: present in baseline but missing from current run"));
+            continue;
+        };
+        // Deterministic metrics must match exactly.
+        for field in ["results", "bgp_evals"] {
+            let b = base.get(field).and_then(Json::as_f64);
+            let c = cur.get(field).and_then(Json::as_f64);
+            if b != c {
+                failures.push(format!("{key}: {field} changed from {b:?} to {c:?}"));
+            }
+        }
+        let b_js = base.get("join_space").and_then(Json::as_f64).unwrap_or(f64::NAN);
+        let c_js = cur.get("join_space").and_then(Json::as_f64).unwrap_or(f64::NAN);
+        if (b_js - c_js).abs() > 1e-6 * b_js.abs().max(1.0) {
+            failures.push(format!("{key}: join_space changed from {b_js} to {c_js}"));
+        }
+        // Timing ratio, exempting noise-dominated entries. The gate reads
+        // the *sequential* wall times: machine-speed differences between
+        // the baseline host and the CI runner scale them uniformly (the
+        // median calibrates that away), whereas parallel times scale by
+        // each query's parallelizability — comparing those across hosts
+        // with different core counts would flag phantom regressions. The
+        // engines share one scan/join implementation between the
+        // sequential and parallel paths, so code regressions show up in
+        // sequential times too; `wall_ms_par` stays in the artifact for
+        // trajectory tracking.
+        let b_ms = base.get("wall_ms_seq").and_then(Json::as_f64).unwrap_or(0.0);
+        let c_ms = cur.get("wall_ms_seq").and_then(Json::as_f64).unwrap_or(0.0);
+        if b_ms >= cfg.min_ms && c_ms >= cfg.min_ms {
+            let ratio = c_ms / b_ms;
+            ratios.push(ratio);
+            timed.push((key, ratio, b_ms, c_ms));
+        }
+    }
+    // Normalize by the suite-wide median ratio: machines differ in absolute
+    // speed, but a genuine single-query regression sticks out of the
+    // distribution.
+    let calibration = median(ratios);
+    for (key, ratio, b_ms, c_ms) in timed {
+        let excess_ms = c_ms - b_ms * calibration;
+        if ratio > calibration * (1.0 + cfg.tolerance) && excess_ms > cfg.abs_slack_ms {
+            failures.push(format!(
+                "{key}: wall time regressed {:.0}% / {excess_ms:.1} ms beyond the suite median \
+                 (ratio {ratio:.2} vs calibration {calibration:.2}, tolerance {:.0}% and \
+                 {:.1} ms)",
+                (ratio / calibration - 1.0) * 100.0,
+                cfg.tolerance * 100.0,
+                cfg.abs_slack_ms
+            ));
+        }
+    }
+    Ok(failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(entries: &[(&str, f64, f64, usize)]) -> Json {
+        // (query, wall_ms_par, join_space, results)
+        let body: Vec<String> = entries
+            .iter()
+            .map(|(q, ms, js, n)| {
+                format!(
+                    "{{\"dataset\": \"lubm\", \"query\": \"{q}\", \"engine\": \"wco\", \
+                     \"strategy\": \"full\", \"wall_ms_seq\": {ms}, \"wall_ms_par\": {ms}, \
+                     \"results\": {n}, \"join_space\": {js}, \"bgp_evals\": 3}}"
+                )
+            })
+            .collect();
+        json::parse(&format!(
+            "{{\"schema\": \"{SCHEMA}\", \"uo_scale\": 1, \"entries\": [{}]}}",
+            body.join(",")
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_artifacts_pass() {
+        let a = artifact(&[("q1.1", 10.0, 100.0, 5), ("q1.2", 20.0, 200.0, 7)]);
+        let failures = check_regressions(&a, &a, GateConfig::default()).unwrap();
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn uniform_slowdown_is_calibrated_away() {
+        let base = artifact(&[("q1.1", 10.0, 100.0, 5), ("q1.2", 20.0, 200.0, 7)]);
+        // A 3x-slower machine: every entry scales equally.
+        let cur = artifact(&[("q1.1", 30.0, 100.0, 5), ("q1.2", 60.0, 200.0, 7)]);
+        let failures = check_regressions(&cur, &base, GateConfig::default()).unwrap();
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn single_query_regression_fails() {
+        let base =
+            artifact(&[("q1.1", 10.0, 100.0, 5), ("q1.2", 20.0, 200.0, 7), ("q1.3", 5.0, 1.0, 1)]);
+        let cur =
+            artifact(&[("q1.1", 10.0, 100.0, 5), ("q1.2", 80.0, 200.0, 7), ("q1.3", 5.0, 1.0, 1)]);
+        let failures = check_regressions(&cur, &base, GateConfig::default()).unwrap();
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("q1.2"));
+    }
+
+    #[test]
+    fn semantic_changes_fail_regardless_of_timing() {
+        let base = artifact(&[("q1.1", 10.0, 100.0, 5)]);
+        let cur = artifact(&[("q1.1", 10.0, 400.0, 6)]);
+        let failures = check_regressions(&cur, &base, GateConfig::default()).unwrap();
+        assert_eq!(failures.len(), 2, "join_space and results both flagged: {failures:?}");
+    }
+
+    #[test]
+    fn missing_entry_fails() {
+        let base = artifact(&[("q1.1", 10.0, 100.0, 5), ("q1.2", 20.0, 200.0, 7)]);
+        let cur = artifact(&[("q1.1", 10.0, 100.0, 5)]);
+        let failures = check_regressions(&cur, &base, GateConfig::default()).unwrap();
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("missing"));
+    }
+
+    #[test]
+    fn scale_mismatch_is_an_error() {
+        let base = artifact(&[("q1.1", 10.0, 100.0, 5)]);
+        let mut doc = base.clone();
+        if let Json::Obj(m) = &mut doc {
+            m.insert("uo_scale".to_string(), Json::Num(2.0));
+        }
+        assert!(check_regressions(&doc, &base, GateConfig::default()).is_err());
+    }
+
+    #[test]
+    fn small_absolute_wobble_is_within_slack() {
+        // 3 ms → 4.6 ms is a 53% relative jump but only 1.6 ms of excess:
+        // scheduler noise, not a regression.
+        let base = artifact(&[
+            ("q1.1", 3.0, 100.0, 5),
+            ("q1.2", 50.0, 200.0, 7),
+            ("q1.3", 30.0, 300.0, 9),
+        ]);
+        let cur = artifact(&[
+            ("q1.1", 4.6, 100.0, 5),
+            ("q1.2", 50.0, 200.0, 7),
+            ("q1.3", 30.0, 300.0, 9),
+        ]);
+        let failures = check_regressions(&cur, &base, GateConfig::default()).unwrap();
+        assert!(failures.is_empty(), "{failures:?}");
+        // The same 53% on a 50 ms query is 26 ms of excess: a real failure.
+        let cur2 = artifact(&[
+            ("q1.1", 3.0, 100.0, 5),
+            ("q1.2", 77.0, 200.0, 7),
+            ("q1.3", 30.0, 300.0, 9),
+        ]);
+        let failures2 = check_regressions(&cur2, &base, GateConfig::default()).unwrap();
+        assert_eq!(failures2.len(), 1, "{failures2:?}");
+        assert!(failures2[0].contains("q1.2"));
+    }
+
+    #[test]
+    fn sub_millisecond_noise_is_exempt() {
+        let base = artifact(&[("q1.1", 0.01, 100.0, 5), ("q1.2", 20.0, 200.0, 7)]);
+        // q1.1 "regressed" 50x but is below the noise floor.
+        let cur = artifact(&[("q1.1", 0.5, 100.0, 5), ("q1.2", 20.0, 200.0, 7)]);
+        let failures = check_regressions(&cur, &base, GateConfig::default()).unwrap();
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn report_serializes_and_reparses() {
+        let report = PerfReport {
+            threads: 4,
+            host_threads: 8,
+            uo_scale: 0.25,
+            repeats: 3,
+            entries: vec![PerfEntry {
+                dataset: "lubm".to_string(),
+                query: "q1.1".to_string(),
+                engine: "wco".to_string(),
+                strategy: "full".to_string(),
+                wall_ms_seq: 12.5,
+                wall_ms_par: 4.5,
+                results: 42,
+                join_space: 1234.0,
+                bgp_evals: 3,
+            }],
+        };
+        let doc = json::parse(&report.to_json()).unwrap();
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some(SCHEMA));
+        assert_eq!(doc.get("threads").unwrap().as_f64(), Some(4.0));
+        let entries = doc.get("entries").unwrap().as_arr().unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].get("wall_ms_par").unwrap().as_f64(), Some(4.5));
+        // The artifact is self-comparable through the gate.
+        let failures = check_regressions(&doc, &doc, GateConfig::default()).unwrap();
+        assert!(failures.is_empty());
+    }
+}

@@ -5,9 +5,13 @@
 //! sparql-uo stats  <data.{nt,ttl,uost}>
 //! sparql-uo query  <data.{nt,ttl,uost}> (--query <file> | --text <sparql>)
 //!                  [--strategy base|tt|cp|full] [--engine wco|binary|lbr]
-//!                  [--explain] [--check-wd] [--limit-print N]
+//!                  [--threads N] [--explain] [--check-wd] [--limit-print N]
 //! sparql-uo gen    lubm|dbpedia [--scale N] --out <file.nt>
 //! ```
+//!
+//! `--threads N` (or the `UO_THREADS` environment variable) sets the worker
+//! count for store building and query evaluation; `1` forces sequential
+//! execution. Parallel runs return results bit-identical to sequential ones.
 //!
 //! Argument parsing is hand-rolled to keep the dependency set minimal.
 
@@ -36,10 +40,21 @@ const USAGE: &str = "usage:
   sparql-uo stats  <data.{nt,ttl,uost}>
   sparql-uo query  <data.{nt,ttl,uost}> (--query <file> | --text <sparql>)
                    [--strategy base|tt|cp|full] [--engine wco|binary|lbr]
-                   [--explain] [--check-wd] [--limit-print N]
-  sparql-uo gen    lubm|dbpedia [--scale N] --out <file.nt>";
+                   [--threads N] [--explain] [--check-wd] [--limit-print N]
+  sparql-uo gen    lubm|dbpedia [--scale N] --out <file.nt>
+
+  --threads N / env UO_THREADS: worker count (1 = sequential; default: all cores)";
 
 fn run(args: &[String]) -> Result<(), String> {
+    // `--threads` overrides the UO_THREADS environment knob for the whole
+    // process (store building, engines, and the UNION fan-out all read it).
+    if let Some(n) = flag_value(args, "--threads") {
+        let n: usize = n.parse().map_err(|_| format!("--threads: invalid count '{n}'"))?;
+        if n == 0 {
+            return Err("--threads: count must be at least 1".into());
+        }
+        std::env::set_var("UO_THREADS", n.to_string());
+    }
     match args.first().map(String::as_str) {
         Some("load") => cmd_load(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
@@ -164,13 +179,14 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         eprintln!("{}", report.plan);
     }
     eprintln!(
-        "{}/{}: {} results | transform {:.2?} | exec {:.2?} | join space {:.3e}",
+        "{}/{}: {} results | transform {:.2?} | exec {:.2?} | join space {:.3e} | {} thread(s)",
         engine.name(),
         strategy.label(),
         report.results.len(),
         report.transform_time,
         report.exec_time,
-        report.join_space
+        report.join_space,
+        report.threads
     );
     let parsed = uo_sparql::parse(&text).map_err(|e| e.to_string())?;
     print_results(&report.results, &parsed.projection(), args);
@@ -244,6 +260,12 @@ mod tests {
     fn unknown_command_errors() {
         assert!(run(&s(&["frobnicate"])).is_err());
         assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn invalid_thread_counts_rejected() {
+        assert!(run(&s(&["stats", "x.nt", "--threads", "0"])).is_err());
+        assert!(run(&s(&["stats", "x.nt", "--threads", "lots"])).is_err());
     }
 
     #[test]

@@ -348,7 +348,7 @@ fn encode_operand(t: &PatternTerm, vars: &mut VarTable) -> FilterOperand {
     }
 }
 
-fn encode_expr(e: &Expr, vars: &mut VarTable, dict: &Dictionary) -> EncodedExpr {
+fn encode_expr(e: &Expr, vars: &mut VarTable) -> EncodedExpr {
     match e {
         Expr::Eq(a, b) => EncodedExpr::Eq(encode_operand(a, vars), encode_operand(b, vars)),
         Expr::Ne(a, b) => EncodedExpr::Ne(encode_operand(a, vars), encode_operand(b, vars)),
@@ -360,15 +360,13 @@ fn encode_expr(e: &Expr, vars: &mut VarTable, dict: &Dictionary) -> EncodedExpr 
         Expr::IsIri(v) => EncodedExpr::IsIri(vars.intern(v)),
         Expr::IsLiteral(v) => EncodedExpr::IsLiteral(vars.intern(v)),
         Expr::IsBlank(v) => EncodedExpr::IsBlank(vars.intern(v)),
-        Expr::And(a, b) => EncodedExpr::And(
-            Box::new(encode_expr(a, vars, dict)),
-            Box::new(encode_expr(b, vars, dict)),
-        ),
-        Expr::Or(a, b) => EncodedExpr::Or(
-            Box::new(encode_expr(a, vars, dict)),
-            Box::new(encode_expr(b, vars, dict)),
-        ),
-        Expr::Not(a) => EncodedExpr::Not(Box::new(encode_expr(a, vars, dict))),
+        Expr::And(a, b) => {
+            EncodedExpr::And(Box::new(encode_expr(a, vars)), Box::new(encode_expr(b, vars)))
+        }
+        Expr::Or(a, b) => {
+            EncodedExpr::Or(Box::new(encode_expr(a, vars)), Box::new(encode_expr(b, vars)))
+        }
+        Expr::Not(a) => EncodedExpr::Not(Box::new(encode_expr(a, vars))),
     }
 }
 
@@ -385,7 +383,7 @@ fn build_group(group: &GroupPattern, vars: &mut VarTable, dict: &Dictionary) -> 
                 .push(BeNode::Union(branches.iter().map(|b| build_group(b, vars, dict)).collect())),
             Element::Optional(g) => children.push(BeNode::Optional(build_group(g, vars, dict))),
             Element::Minus(g) => children.push(BeNode::Minus(build_group(g, vars, dict))),
-            Element::Filter(e) => children.push(BeNode::Filter(encode_expr(e, vars, dict))),
+            Element::Filter(e) => children.push(BeNode::Filter(encode_expr(e, vars))),
         }
     }
     let mut node = GroupNode { children };

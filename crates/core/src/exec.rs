@@ -23,6 +23,7 @@
 
 use crate::betree::{BeNode, BeTree, GroupNode};
 use uo_engine::{BgpEngine, CandidateSet};
+use uo_par::Parallelism;
 use uo_rdf::{FxHashMap, Id};
 use uo_sparql::algebra::{Bag, VarId};
 use uo_store::TripleStore;
@@ -200,7 +201,8 @@ fn intersect_sorted(a: &[Id], b: &[Id]) -> Vec<Id> {
 }
 
 /// Evaluates a BE-tree over `width` query variables (Algorithm 1, optionally
-/// augmented with candidate pruning).
+/// augmented with candidate pruning). Worker count comes from the
+/// `UO_THREADS` environment knob; see [`evaluate_with`].
 pub fn evaluate(
     tree: &BeTree,
     store: &TripleStore,
@@ -208,13 +210,37 @@ pub fn evaluate(
     width: usize,
     pruning: Pruning,
 ) -> (Bag, ExecStats) {
+    evaluate_with(tree, store, engine, width, pruning, Parallelism::from_env())
+}
+
+/// [`evaluate`] with an explicit parallelism policy. Above one worker the
+/// branches of every UNION node are evaluated concurrently and merged in
+/// branch order, so the result (and the recorded statistics) are identical
+/// to a sequential evaluation.
+pub fn evaluate_with(
+    tree: &BeTree,
+    store: &TripleStore,
+    engine: &dyn BgpEngine,
+    width: usize,
+    pruning: Pruning,
+    par: Parallelism,
+) -> (Bag, ExecStats) {
     let mut stats = ExecStats::default();
-    let (bag, js) =
-        eval_group(&tree.root, store, engine, width, pruning, &CandSource::default(), &mut stats);
+    let (bag, js) = eval_group(
+        &tree.root,
+        store,
+        engine,
+        width,
+        pruning,
+        &CandSource::default(),
+        &mut stats,
+        par,
+    );
     stats.join_space = js;
     (bag, stats)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn eval_group(
     g: &GroupNode,
     store: &TripleStore,
@@ -223,6 +249,7 @@ fn eval_group(
     pruning: Pruning,
     inherited: &CandSource,
     stats: &mut ExecStats,
+    par: Parallelism,
 ) -> (Bag, f64) {
     let mut r = Bag::unit(width);
     let mut js = 1.0f64;
@@ -249,7 +276,7 @@ fn eval_group(
                 } else {
                     CandSource::default()
                 };
-                let (bag, j) = eval_group(gg, store, engine, width, pruning, &down, stats);
+                let (bag, j) = eval_group(gg, store, engine, width, pruning, &down, stats, par);
                 js *= j;
                 r = r.join(&bag);
             }
@@ -260,12 +287,38 @@ fn eval_group(
                 } else {
                     CandSource::default()
                 };
+                // Branches are independent: evaluate them concurrently, each
+                // into a local statistics block, then merge in branch order —
+                // bag rows and statistics come out identical to a sequential
+                // left-to-right pass. The thread budget is divided among the
+                // branches so nested UNIONs don't multiply the worker count
+                // (the result never depends on worker counts, only the
+                // oversubscription does).
+                let inner = Parallelism::new(par.threads().div_ceil(branches.len().max(1)));
+                let evals: Vec<(Bag, f64, ExecStats)> =
+                    uo_par::map_chunks(par, branches, |chunk| {
+                        chunk
+                            .iter()
+                            .map(|b| {
+                                let mut local = ExecStats::default();
+                                let (bag, j) = eval_group(
+                                    b, store, engine, width, pruning, &down, &mut local, inner,
+                                );
+                                (bag, j, local)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                    .into_iter()
+                    .flatten()
+                    .collect();
                 let mut u = Bag::empty(width);
                 let mut js_u = 0.0f64;
-                for b in branches {
-                    let (bag, j) = eval_group(b, store, engine, width, pruning, &down, stats);
+                for (bag, j, local) in evals {
                     js_u += j;
                     u = u.union_bag(bag);
+                    stats.bgp_evals += local.bgp_evals;
+                    stats.bgp_result_sizes.extend(local.bgp_result_sizes);
+                    stats.pruned_vars += local.pruned_vars;
                 }
                 js *= js_u;
                 r = r.join(&u);
@@ -293,7 +346,7 @@ fn eval_group(
                 } else {
                     CandSource::default()
                 };
-                let (bag, j) = eval_group(gg, store, engine, width, pruning, &down, stats);
+                let (bag, j) = eval_group(gg, store, engine, width, pruning, &down, stats, par);
                 js *= j;
                 r = r.left_join(&bag);
             }
@@ -302,8 +355,16 @@ fn eval_group(
                 // is evaluated without candidates (pruning there could only
                 // be done for certain vars, like OPTIONAL; we keep it simple
                 // and sound by not pruning at all).
-                let (bag, j) =
-                    eval_group(gg, store, engine, width, pruning, &CandSource::default(), stats);
+                let (bag, j) = eval_group(
+                    gg,
+                    store,
+                    engine,
+                    width,
+                    pruning,
+                    &CandSource::default(),
+                    stats,
+                    par,
+                );
                 js *= j.max(1.0);
                 r = r.minus(&bag);
             }
@@ -469,6 +530,35 @@ mod tests {
         let (a, _) = evaluate(&tree, &st, &wco, vars.len(), Pruning::Off);
         let (b, _) = evaluate(&tree, &st, &bin, vars.len(), Pruning::Off);
         assert_eq!(a.canonicalized(), b.canonicalized());
+    }
+
+    #[test]
+    fn parallel_union_evaluation_is_identical() {
+        let st = store();
+        let query = uo_sparql::parse(UNION_Q).unwrap();
+        let mut vars = VarTable::new();
+        let tree = BeTree::build(&query, &mut vars, st.dictionary());
+        for pruning in [Pruning::Off, Pruning::fixed_for(&st)] {
+            let engine = WcoEngine::sequential();
+            let (seq, seq_stats) =
+                evaluate_with(&tree, &st, &engine, vars.len(), pruning, Parallelism::sequential());
+            for threads in [2, 4, 8] {
+                let engine = WcoEngine::with_threads(threads);
+                let (par, par_stats) = evaluate_with(
+                    &tree,
+                    &st,
+                    &engine,
+                    vars.len(),
+                    pruning,
+                    Parallelism::new(threads),
+                );
+                assert_eq!(par.rows, seq.rows, "rows must be bit-identical at {threads} threads");
+                assert_eq!(par_stats.bgp_evals, seq_stats.bgp_evals);
+                assert_eq!(par_stats.bgp_result_sizes, seq_stats.bgp_result_sizes);
+                assert_eq!(par_stats.join_space, seq_stats.join_space);
+                assert_eq!(par_stats.pruned_vars, seq_stats.pruned_vars);
+            }
+        }
     }
 
     #[test]

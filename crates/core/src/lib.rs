@@ -58,9 +58,10 @@ pub mod wdpt;
 pub use betree::{explain, BeNode, BeTree, BgpNode, GroupNode};
 pub use binarytree::{evaluate_binary_tree, BinaryTreeStats};
 pub use cost::CostModel;
-pub use exec::{evaluate, ExecStats, Pruning};
+pub use exec::{evaluate, evaluate_with, ExecStats, Pruning};
 pub use metrics::{count_bgp, query_type, QueryType};
 pub use optimizer::{multi_level_transform, OptimizerConfig, TransformOutcome};
+pub use uo_par::Parallelism;
 pub use wdpt::{check_well_designed, is_well_designed};
 
 use std::time::{Duration, Instant};
@@ -157,25 +158,58 @@ pub struct RunReport {
     pub exec_stats: ExecStats,
     /// A rendering of the executed plan.
     pub plan: String,
+    /// Effective worker count: the larger of the evaluator policy and the
+    /// engine's own configured workers (`1` = fully sequential).
+    pub threads: usize,
 }
 
 /// Parses, optimizes (per `strategy`) and executes a query.
+///
+/// Worker count comes from the `UO_THREADS` environment knob (see
+/// [`Parallelism::from_env`]); parallel evaluation returns bags
+/// bit-identical to sequential. Use [`run_query_with`] for an explicit
+/// count.
 pub fn run_query(
     store: &TripleStore,
     engine: &dyn BgpEngine,
     text: &str,
     strategy: Strategy,
 ) -> Result<RunReport, uo_sparql::ParseError> {
-    let prepared = prepare(store, text)?;
-    Ok(run_prepared(store, engine, prepared, strategy))
+    run_query_with(store, engine, text, strategy, Parallelism::from_env())
 }
 
-/// Optimizes and executes a prepared query under the given strategy.
+/// [`run_query`] with an explicit parallelism policy for the evaluator's
+/// UNION fan-out (the engine's own scan/join parallelism is configured on
+/// the engine itself).
+pub fn run_query_with(
+    store: &TripleStore,
+    engine: &dyn BgpEngine,
+    text: &str,
+    strategy: Strategy,
+    par: Parallelism,
+) -> Result<RunReport, uo_sparql::ParseError> {
+    let prepared = prepare(store, text)?;
+    Ok(run_prepared_with(store, engine, prepared, strategy, par))
+}
+
+/// Optimizes and executes a prepared query under the given strategy, with
+/// the worker count of the `UO_THREADS` environment knob.
 pub fn run_prepared(
+    store: &TripleStore,
+    engine: &dyn BgpEngine,
+    prepared: Prepared,
+    strategy: Strategy,
+) -> RunReport {
+    run_prepared_with(store, engine, prepared, strategy, Parallelism::from_env())
+}
+
+/// [`run_prepared`] with an explicit parallelism policy.
+pub fn run_prepared_with(
     store: &TripleStore,
     engine: &dyn BgpEngine,
     mut prepared: Prepared,
     strategy: Strategy,
+    par: Parallelism,
 ) -> RunReport {
     let cm = CostModel::new(store, engine);
 
@@ -206,7 +240,7 @@ pub fn run_prepared(
 
     let t1 = Instant::now();
     let (mut bag, exec_stats) =
-        evaluate(&prepared.tree, store, engine, prepared.vars.len(), pruning);
+        evaluate_with(&prepared.tree, store, engine, prepared.vars.len(), pruning, par);
     let exec_time = t1.elapsed();
 
     if !prepared.query.order_by.is_empty() {
@@ -238,6 +272,7 @@ pub fn run_prepared(
         exec_stats,
         plan,
         bag,
+        threads: par.threads().max(engine.threads()),
     }
 }
 

@@ -4,6 +4,7 @@
 use crate::estimate::Estimator;
 use crate::pattern::{CandidateSet, EncodedBgp, EncodedTriplePattern};
 use crate::BgpEngine;
+use uo_par::Parallelism;
 use uo_rdf::{Id, NO_ID};
 use uo_sparql::algebra::Bag;
 use uo_store::TripleStore;
@@ -15,13 +16,38 @@ use uo_store::TripleStore;
 /// bag-semantics hash join of `uo_sparql::algebra`. Its cost model is
 /// Equation 9: `2·min(card(V1), card(V2)) + max(card(V1), card(V2))`
 /// (hash-build twice-weighted plus probe).
-#[derive(Debug, Default, Clone, Copy)]
-pub struct BinaryJoinEngine;
+///
+/// With more than one worker, pattern scans partition their index range and
+/// joins partition their probe side ([`Bag::join_par`]); both merge
+/// per-worker results in chunk order, so parallel evaluation is
+/// bit-identical to sequential.
+#[derive(Debug, Clone, Copy)]
+pub struct BinaryJoinEngine {
+    threads: usize,
+}
 
 impl BinaryJoinEngine {
-    /// Creates the engine.
+    /// Creates the engine with the worker count of the `UO_THREADS`
+    /// environment knob (falling back to the host's parallelism; `1` =
+    /// sequential).
     pub fn new() -> Self {
-        BinaryJoinEngine
+        Self::with_threads(Parallelism::from_env().threads())
+    }
+
+    /// Creates the engine with an explicit worker count (`1` = sequential).
+    pub fn with_threads(threads: usize) -> Self {
+        BinaryJoinEngine { threads: threads.max(1) }
+    }
+
+    /// A strictly sequential engine.
+    pub fn sequential() -> Self {
+        Self::with_threads(1)
+    }
+}
+
+impl Default for BinaryJoinEngine {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -33,16 +59,41 @@ pub fn scan_pattern(
     width: usize,
     candidates: &CandidateSet,
 ) -> Bag {
+    scan_pattern_par(store, pat, width, candidates, Parallelism::sequential())
+}
+
+/// Minimum index-range rows before [`scan_pattern_par`] fans out to
+/// workers; per-row bind/filter work is cheap, so small ranges run inline.
+const SCAN_PAR_THRESHOLD: usize = 4096;
+
+/// [`scan_pattern`] with the index range partitioned across workers.
+/// Per-chunk rows concatenate in range order, identical to the sequential
+/// scan.
+pub fn scan_pattern_par(
+    store: &TripleStore,
+    pat: &EncodedTriplePattern,
+    width: usize,
+    candidates: &CandidateSet,
+    par: Parallelism,
+) -> Bag {
     let empty: Box<[Id]> = vec![NO_ID; width].into_boxed_slice();
-    let mut rows = Vec::new();
-    for spo in store.match_pattern(pat.s.as_const(), pat.p.as_const(), pat.o.as_const()).iter_spo()
-    {
-        if let Some(row) = pat.bind(spo, &empty) {
-            if candidates.admits_row(&row) {
-                rows.push(row);
+    let matches = store.match_pattern(pat.s.as_const(), pat.p.as_const(), pat.o.as_const());
+    let par = if matches.len() < SCAN_PAR_THRESHOLD { Parallelism::sequential() } else { par };
+    let kind = matches.kind;
+    let rows: Vec<Box<[Id]>> = uo_par::map_chunks(par, matches.rows, |chunk| {
+        let mut out: Vec<Box<[Id]>> = Vec::new();
+        for &permuted in chunk {
+            if let Some(row) = pat.bind(kind.to_spo(permuted), &empty) {
+                if candidates.admits_row(&row) {
+                    out.push(row);
+                }
             }
         }
-    }
+        out
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     let mask = pat.var_mask();
     Bag { width, maybe: mask, certain: if rows.is_empty() { 0 } else { mask }, rows }
 }
@@ -50,6 +101,10 @@ pub fn scan_pattern(
 impl BgpEngine for BinaryJoinEngine {
     fn name(&self) -> &'static str {
         "binary"
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
     }
 
     fn evaluate(
@@ -62,10 +117,11 @@ impl BgpEngine for BinaryJoinEngine {
         if bgp.patterns.is_empty() {
             return Bag::unit(width);
         }
+        let par = Parallelism::new(self.threads);
         let order = Estimator::sketch(store, bgp).order();
         let mut acc: Option<Bag> = None;
         for idx in order {
-            let rel = scan_pattern(store, &bgp.patterns[idx], width, candidates);
+            let rel = scan_pattern_par(store, &bgp.patterns[idx], width, candidates, par);
             acc = Some(match acc {
                 None => rel,
                 Some(prev) => {
@@ -75,7 +131,7 @@ impl BgpEngine for BinaryJoinEngine {
                         // needed to keep this branch simple and correct).
                         prev
                     } else {
-                        prev.join(&rel)
+                        prev.join_par(&rel, par)
                     }
                 }
             });

@@ -18,13 +18,19 @@
 //! (Equations 2 and 6), and both accept [`CandidateSet`]s — the hook that
 //! the paper's query-time *candidate pruning* (Section 6) uses to restrict
 //! the search space of BGP evaluation on the fly.
+//!
+//! Both engines carry a worker count (the `UO_THREADS` knob, or
+//! `with_threads`): above one worker, scans and extension levels partition
+//! their input across scoped threads (`uo_par`) and merge per-worker
+//! results in input order, so parallel evaluation returns bags
+//! **bit-identical** to sequential evaluation.
 
 pub mod binary;
 pub mod estimate;
 pub mod pattern;
 pub mod wco;
 
-pub use binary::BinaryJoinEngine;
+pub use binary::{scan_pattern, scan_pattern_par, BinaryJoinEngine};
 pub use estimate::Estimator;
 pub use pattern::{encode_bgp, CandidateSet, EncodedBgp, EncodedTriplePattern, Slot};
 pub use wco::WcoEngine;
@@ -36,6 +42,12 @@ use uo_store::TripleStore;
 pub trait BgpEngine: Send + Sync {
     /// A short name for reports ("wco" / "binary").
     fn name(&self) -> &'static str;
+
+    /// The engine's configured worker count (`1` = sequential). Purely
+    /// informational — results never depend on it.
+    fn threads(&self) -> usize {
+        1
+    }
 
     /// Evaluates a BGP, returning all matches as a [`Bag`] over a row frame
     /// of `width` variables. `candidates` restricts the admissible values of

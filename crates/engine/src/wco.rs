@@ -14,24 +14,58 @@
 use crate::estimate::Estimator;
 use crate::pattern::{CandidateSet, EncodedBgp};
 use crate::BgpEngine;
-use uo_rdf::{Id, NO_ID};
+use uo_par::Parallelism;
+use uo_rdf::Id;
 use uo_sparql::algebra::Bag;
 use uo_store::TripleStore;
 
+/// Minimum partial matches at an extension level before the WCO engine fans
+/// out to workers; below this, thread spawns outweigh the per-row scans.
+const WCO_PAR_THRESHOLD: usize = 64;
+
 /// The worst-case-optimal join engine (the paper's gStore stand-in).
-#[derive(Debug, Default, Clone, Copy)]
-pub struct WcoEngine;
+///
+/// With more than one worker, each extension level partitions the current
+/// partial matches into contiguous chunks evaluated concurrently; per-chunk
+/// results are concatenated in chunk order, so parallel evaluation is
+/// bit-identical to sequential.
+#[derive(Debug, Clone, Copy)]
+pub struct WcoEngine {
+    threads: usize,
+}
 
 impl WcoEngine {
-    /// Creates the engine.
+    /// Creates the engine with the worker count of the `UO_THREADS`
+    /// environment knob (falling back to the host's parallelism; `1` =
+    /// sequential).
     pub fn new() -> Self {
-        WcoEngine
+        Self::with_threads(Parallelism::from_env().threads())
+    }
+
+    /// Creates the engine with an explicit worker count (`1` = sequential).
+    pub fn with_threads(threads: usize) -> Self {
+        WcoEngine { threads: threads.max(1) }
+    }
+
+    /// A strictly sequential engine.
+    pub fn sequential() -> Self {
+        Self::with_threads(1)
+    }
+}
+
+impl Default for WcoEngine {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
 impl BgpEngine for WcoEngine {
     fn name(&self) -> &'static str {
         "wco"
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
     }
 
     fn evaluate(
@@ -44,27 +78,43 @@ impl BgpEngine for WcoEngine {
         if bgp.patterns.is_empty() {
             return Bag::unit(width);
         }
+        let par = Parallelism::new(self.threads);
         let order = Estimator::sketch(store, bgp).order();
-        let mut rows: Vec<Box<[Id]>> = vec![vec![NO_ID; width].into_boxed_slice()];
-        for idx in order {
+        // Seed: partition the first pattern's candidate range across workers
+        // (the shared scan primitive; later levels partition the
+        // partial-match vector instead).
+        let seed = &bgp.patterns[order[0]];
+        let mut rows: Vec<Box<[Id]>> =
+            crate::binary::scan_pattern_par(store, seed, width, candidates, par).rows;
+        for idx in order.into_iter().skip(1) {
             if rows.is_empty() {
                 break;
             }
+            // Each extension does a full index scan per row, so fan out even
+            // for modest row counts — but not for trivial ones, where thread
+            // spawns cost more than the scans.
+            let level_par =
+                if rows.len() < WCO_PAR_THRESHOLD { Parallelism::sequential() } else { par };
             let pat = &bgp.patterns[idx];
-            let mut next: Vec<Box<[Id]>> = Vec::new();
-            for row in &rows {
-                let s = pat.s.resolve(row);
-                let p = pat.p.resolve(row);
-                let o = pat.o.resolve(row);
-                for spo in store.match_pattern(s, p, o).iter_spo() {
-                    if let Some(ext) = pat.bind(spo, row) {
-                        if candidates.admits_row(&ext) {
-                            next.push(ext);
+            rows = uo_par::map_chunks(level_par, &rows, |chunk| {
+                let mut next: Vec<Box<[Id]>> = Vec::new();
+                for row in chunk {
+                    let s = pat.s.resolve(row);
+                    let p = pat.p.resolve(row);
+                    let o = pat.o.resolve(row);
+                    for spo in store.match_pattern(s, p, o).iter_spo() {
+                        if let Some(ext) = pat.bind(spo, row) {
+                            if candidates.admits_row(&ext) {
+                                next.push(ext);
+                            }
                         }
                     }
                 }
-            }
-            rows = next;
+                next
+            })
+            .into_iter()
+            .flatten()
+            .collect();
         }
         let mask = bgp.var_mask();
         Bag { width, maybe: mask, certain: if rows.is_empty() { 0 } else { mask }, rows }

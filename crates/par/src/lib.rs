@@ -1,0 +1,302 @@
+//! Deterministic data parallelism on scoped threads.
+//!
+//! The build environment has no access to crates.io, so instead of `rayon`
+//! this crate provides the small subset of primitives the query engine
+//! needs, built directly on [`std::thread::scope`]:
+//!
+//! - [`map_chunks`] — a chunked work pool: the input slice is split into
+//!   contiguous chunks, workers pull chunks from a shared atomic counter,
+//!   and per-chunk results are returned **in chunk order**. Concatenating
+//!   them therefore yields exactly the output a sequential left-to-right
+//!   pass would produce, no matter how many workers ran — the property the
+//!   engines rely on for bit-identical parallel query results.
+//! - [`join2`] / [`join3`] — run two or three heterogeneous closures
+//!   concurrently (index building, statistics).
+//! - [`sort_unstable`] — parallel chunk sort plus k-way merge.
+//!
+//! Thread counts flow through [`Parallelism`], which reads the `UO_THREADS`
+//! environment knob (`1` = fully sequential fallback, the default behaviour
+//! on single-core hosts).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How many chunks each worker gets on average in [`map_chunks`]; more
+/// chunks than workers smooths out skewed per-item costs.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// Below this many elements a parallel sort is not worth the merge copy.
+const MIN_PARALLEL_SORT: usize = 4096;
+
+/// A thread-count policy for the parallel helpers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    threads: usize,
+}
+
+impl Parallelism {
+    /// Exactly `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Parallelism { threads: threads.max(1) }
+    }
+
+    /// One worker: every helper degenerates to a plain sequential loop.
+    pub fn sequential() -> Self {
+        Parallelism { threads: 1 }
+    }
+
+    /// The `UO_THREADS` environment knob: a positive integer forces that
+    /// worker count (`1` = sequential); unset or unparsable falls back to
+    /// the host's available parallelism.
+    pub fn from_env() -> Self {
+        match std::env::var("UO_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n > 0 => Parallelism { threads: n },
+            _ => Parallelism { threads: default_threads() },
+        }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// True if the helpers will run inline on the calling thread.
+    pub fn is_sequential(&self) -> bool {
+        self.threads == 1
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::from_env()
+    }
+}
+
+/// The host's available parallelism (1 if it cannot be determined).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Applies `f` to contiguous chunks of `items` on up to
+/// `par.threads()` workers and returns the per-chunk results **in chunk
+/// order**.
+///
+/// Workers pull chunk indexes from a shared counter (a chunked work pool),
+/// so finishing order is nondeterministic, but the returned `Vec` is always
+/// ordered by input position: `map_chunks(par, items, f)` concatenated
+/// equals `f` applied to sequential slices of `items` left to right.
+///
+/// With one worker (or fewer than two items) `f` runs inline on the whole
+/// slice, making the sequential path allocation-light.
+pub fn map_chunks<T, R, F>(par: Parallelism, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = par.threads().min(items.len());
+    if threads <= 1 {
+        return vec![f(items)];
+    }
+    let chunk_size = items.len().div_ceil(threads * CHUNKS_PER_THREAD);
+    let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..chunks.len()).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(chunk) = chunks.get(i) else { break };
+                        out.push((i, f(chunk)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("uo_par worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots.into_iter().map(|r| r.expect("every chunk produced a result")).collect()
+}
+
+/// Runs two closures concurrently and returns both results.
+pub fn join2<A, B, FA, FB>(par: Parallelism, fa: FA, fb: FB) -> (A, B)
+where
+    A: Send,
+    B: Send,
+    FA: FnOnce() -> A + Send,
+    FB: FnOnce() -> B + Send,
+{
+    if par.is_sequential() {
+        let a = fa();
+        let b = fb();
+        return (a, b);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(fb);
+        let a = fa();
+        (a, hb.join().expect("uo_par join2 worker panicked"))
+    })
+}
+
+/// Runs three closures concurrently and returns all three results.
+pub fn join3<A, B, C, FA, FB, FC>(par: Parallelism, fa: FA, fb: FB, fc: FC) -> (A, B, C)
+where
+    A: Send,
+    B: Send,
+    C: Send,
+    FA: FnOnce() -> A + Send,
+    FB: FnOnce() -> B + Send,
+    FC: FnOnce() -> C + Send,
+{
+    if par.is_sequential() {
+        let a = fa();
+        let b = fb();
+        let c = fc();
+        return (a, b, c);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(fb);
+        let hc = s.spawn(fc);
+        let a = fa();
+        (
+            a,
+            hb.join().expect("uo_par join3 worker panicked"),
+            hc.join().expect("uo_par join3 worker panicked"),
+        )
+    })
+}
+
+/// Sorts `v` like `slice::sort_unstable`, splitting the chunk sorts across
+/// workers and k-way merging the sorted runs. Small inputs (or one worker)
+/// sort inline.
+pub fn sort_unstable<T>(par: Parallelism, v: &mut [T])
+where
+    T: Ord + Copy + Send + Sync,
+{
+    let threads = par.threads().min(v.len() / MIN_PARALLEL_SORT.max(1) + 1);
+    if threads <= 1 || v.len() < MIN_PARALLEL_SORT {
+        v.sort_unstable();
+        return;
+    }
+    let chunk_size = v.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        for chunk in v.chunks_mut(chunk_size) {
+            s.spawn(move || chunk.sort_unstable());
+        }
+    });
+    let merged = {
+        let runs: Vec<&[T]> = v.chunks(chunk_size).collect();
+        kway_merge(&runs)
+    };
+    v.copy_from_slice(&merged);
+}
+
+/// Merges sorted runs into one sorted `Vec` by repeatedly picking the
+/// smallest head (runs are few — one per worker — so a linear scan beats a
+/// heap).
+fn kway_merge<T: Ord + Copy>(runs: &[&[T]]) -> Vec<T> {
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut pos = vec![0usize; runs.len()];
+    while out.len() < total {
+        let mut best: Option<usize> = None;
+        for (i, run) in runs.iter().enumerate() {
+            if pos[i] < run.len() {
+                match best {
+                    Some(b) if runs[b][pos[b]] <= run[pos[i]] => {}
+                    _ => best = Some(i),
+                }
+            }
+        }
+        let b = best.expect("a non-exhausted run exists");
+        out.push(runs[b][pos[b]]);
+        pos[b] += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_chunks_preserves_order() {
+        let items: Vec<u32> = (0..1000).collect();
+        for threads in [1, 2, 4, 8] {
+            let par = Parallelism::new(threads);
+            let out: Vec<u32> =
+                map_chunks(par, &items, |chunk| chunk.iter().map(|x| x * 2).collect::<Vec<_>>())
+                    .into_iter()
+                    .flatten()
+                    .collect();
+            let expected: Vec<u32> = items.iter().map(|x| x * 2).collect();
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_chunks_empty_input() {
+        let out: Vec<usize> = map_chunks(Parallelism::new(4), &[] as &[u8], |c| c.len());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn map_chunks_single_item() {
+        let out = map_chunks(Parallelism::new(8), &[42u8], |c| c.to_vec());
+        assert_eq!(out, vec![vec![42u8]]);
+    }
+
+    #[test]
+    fn join_helpers_return_in_declaration_order() {
+        for threads in [1, 3] {
+            let par = Parallelism::new(threads);
+            assert_eq!(join2(par, || 1, || "b"), (1, "b"));
+            assert_eq!(join3(par, || 1, || 2.5, || "c"), (1, 2.5, "c"));
+        }
+    }
+
+    #[test]
+    fn parallel_sort_matches_sequential() {
+        let mut rng_state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            rng_state
+        };
+        let original: Vec<[u32; 3]> = (0..20_000)
+            .map(|_| [(next() % 97) as u32, (next() % 13) as u32, (next() % 997) as u32])
+            .collect();
+        let mut expected = original.clone();
+        expected.sort_unstable();
+        for threads in [1, 2, 4, 8] {
+            let mut v = original.clone();
+            sort_unstable(Parallelism::new(threads), &mut v);
+            assert_eq!(v, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sequential_policy_is_inline() {
+        let par = Parallelism::sequential();
+        assert!(par.is_sequential());
+        assert_eq!(par.threads(), 1);
+        // new() clamps zero to one.
+        assert!(Parallelism::new(0).is_sequential());
+    }
+
+    #[test]
+    fn kway_merge_handles_uneven_runs() {
+        let merged = kway_merge(&[&[1, 4, 9][..], &[][..], &[2, 3][..], &[0][..]]);
+        assert_eq!(merged, vec![0, 1, 2, 3, 4, 9]);
+    }
+}

@@ -25,6 +25,9 @@ pub type VarId = u16;
 /// Maximum number of distinct variables per query (rows use a `u64` bitmask).
 pub const MAX_VARS: usize = 64;
 
+/// Minimum probe-side rows before [`Bag::join_par`] fans out to workers.
+pub const JOIN_PAR_THRESHOLD: usize = 1024;
+
 /// The variable frame of a query: maps names to dense [`VarId`]s.
 #[derive(Debug, Default, Clone)]
 pub struct VarTable {
@@ -156,22 +159,60 @@ impl Bag {
         self.rows.len() == 1 && self.maybe == 0
     }
 
-    /// Compatibility join `Ω1 ⋈ Ω2` (bag semantics).
-    pub fn join(&self, other: &Bag) -> Bag {
+    /// [`join`](Self::join) with the probe phase (or outer loop) chunked
+    /// across workers. This is the single join implementation — the
+    /// sequential [`join`](Self::join) delegates here with one worker, where
+    /// `map_chunks` runs inline.
+    ///
+    /// The build side is chosen from the *full* bag sizes regardless of the
+    /// worker count, and per-chunk outputs are concatenated in chunk order,
+    /// so the result is bit-identical at any worker count. Probe sides below
+    /// [`JOIN_PAR_THRESHOLD`] rows run inline: per-row join work is too
+    /// cheap to amortize thread spawns.
+    pub fn join_par(&self, other: &Bag, par: uo_par::Parallelism) -> Bag {
+        let par = if self.rows.len().max(other.rows.len()) < JOIN_PAR_THRESHOLD {
+            uo_par::Parallelism::sequential()
+        } else {
+            par
+        };
         debug_assert_eq!(self.width, other.width);
         let common = self.maybe & other.maybe;
         let can_hash = common & self.certain == common && common & other.certain == common;
-        let mut rows = Vec::new();
-        if common == 0 {
-            // Cartesian product.
-            for a in &self.rows {
-                for b in &other.rows {
-                    rows.push(merge_rows(a, b));
+        let rows: Vec<Box<[Id]>> = if common == 0 {
+            // Cartesian product. Output order is left-major, so partition
+            // whichever side is larger: over left rows directly, or — when
+            // the left side is too small to fill the workers — over right
+            // chunks per left row (concatenation keeps left-major order).
+            if self.rows.len() >= other.rows.len() {
+                uo_par::map_chunks(par, &self.rows, |chunk| {
+                    let mut out = Vec::new();
+                    for a in chunk {
+                        for b in &other.rows {
+                            out.push(merge_rows(a, b));
+                        }
+                    }
+                    out
+                })
+                .into_iter()
+                .flatten()
+                .collect()
+            } else {
+                let mut rows = Vec::new();
+                for a in &self.rows {
+                    rows.extend(
+                        uo_par::map_chunks(par, &other.rows, |chunk| {
+                            chunk.iter().map(|b| merge_rows(a, b)).collect::<Vec<_>>()
+                        })
+                        .into_iter()
+                        .flatten(),
+                    );
                 }
+                rows
             }
         } else if can_hash {
             let keys: Vec<usize> = (0..self.width).filter(|&i| common & (1 << i) != 0).collect();
-            // Build on the smaller side.
+            // Build on the smaller side (same decision as the sequential
+            // path), probe the larger one in parallel chunks.
             let (build, probe, build_is_left) = if self.rows.len() <= other.rows.len() {
                 (&self.rows, &other.rows, true)
             } else {
@@ -182,38 +223,77 @@ impl Bag {
                 let key: Vec<Id> = keys.iter().map(|&k| r[k]).collect();
                 table.entry(key).or_default().push(i);
             }
-            let mut key = Vec::with_capacity(keys.len());
-            for p in probe.iter() {
-                key.clear();
-                key.extend(keys.iter().map(|&k| p[k]));
-                if let Some(matches) = table.get(&key) {
-                    for &bi in matches {
-                        let b = &build[bi];
-                        if build_is_left {
-                            rows.push(merge_rows(b, p));
-                        } else {
-                            rows.push(merge_rows(p, b));
+            uo_par::map_chunks(par, probe, |chunk| {
+                let mut out = Vec::new();
+                let mut key = Vec::with_capacity(keys.len());
+                for p in chunk {
+                    key.clear();
+                    key.extend(keys.iter().map(|&k| p[k]));
+                    if let Some(matches) = table.get(&key) {
+                        for &bi in matches {
+                            let b = &build[bi];
+                            if build_is_left {
+                                out.push(merge_rows(b, p));
+                            } else {
+                                out.push(merge_rows(p, b));
+                            }
                         }
                     }
                 }
-            }
+                out
+            })
+            .into_iter()
+            .flatten()
+            .collect()
         } else {
-            // General compatibility join (some rows may leave common
-            // variables unbound).
-            for a in &self.rows {
-                for b in &other.rows {
-                    if compatible(a, b) {
-                        rows.push(merge_rows(a, b));
+            // General compatibility join; same larger-side partitioning as
+            // the cartesian path.
+            if self.rows.len() >= other.rows.len() {
+                uo_par::map_chunks(par, &self.rows, |chunk| {
+                    let mut out = Vec::new();
+                    for a in chunk {
+                        for b in &other.rows {
+                            if compatible(a, b) {
+                                out.push(merge_rows(a, b));
+                            }
+                        }
                     }
+                    out
+                })
+                .into_iter()
+                .flatten()
+                .collect()
+            } else {
+                let mut rows = Vec::new();
+                for a in &self.rows {
+                    rows.extend(
+                        uo_par::map_chunks(par, &other.rows, |chunk| {
+                            let mut out = Vec::new();
+                            for b in chunk {
+                                if compatible(a, b) {
+                                    out.push(merge_rows(a, b));
+                                }
+                            }
+                            out
+                        })
+                        .into_iter()
+                        .flatten(),
+                    );
                 }
+                rows
             }
-        }
+        };
         Bag {
             width: self.width,
             maybe: self.maybe | other.maybe,
             certain: if rows.is_empty() { 0 } else { self.certain | other.certain },
             rows,
         }
+    }
+
+    /// Compatibility join `Ω1 ⋈ Ω2` (bag semantics).
+    pub fn join(&self, other: &Bag) -> Bag {
+        self.join_par(other, uo_par::Parallelism::sequential())
     }
 
     /// Bag union `Ω1 ∪bag Ω2`.
@@ -555,6 +635,40 @@ mod tests {
         let a = bag(2, &[&[3, 0], &[1, 0], &[3, 0]]);
         assert_eq!(a.distinct_values(0), vec![1, 3]);
         assert_eq!(a.distinct_values(1), Vec::<Id>::new());
+    }
+
+    #[test]
+    fn join_par_is_bit_identical_on_all_paths() {
+        // Each pair is sized above JOIN_PAR_THRESHOLD so the chunked paths
+        // actually fan out (smaller inputs run inline by design).
+        let n = (JOIN_PAR_THRESHOLD + 200) as Id;
+        // Hash path: var 0 shared, certain on both sides, skewed key counts.
+        let hash_l = Bag::from_rows(3, (0..n).map(|i| row(&[i % 97 + 1, i + 1, 0])).collect());
+        let hash_r = Bag::from_rows(3, (0..n).map(|i| row(&[i % 89 + 1, 0, i + 1])).collect());
+        // Cartesian path: disjoint variables (right side small to bound size).
+        let cart_l = Bag::from_rows(3, (1..=n).map(|i| row(&[i, 0, 0])).collect());
+        let cart_r = bag(3, &[&[0, 5, 0], &[0, 6, 0]]);
+        // Fallback path: var 0 shared but unbound in some left rows.
+        let fb_l = Bag::from_rows(3, (0..n).map(|i| row(&[i % 5, i + 1, 0])).collect());
+        let fb_r = bag(3, &[&[1, 0, 50], &[2, 0, 51], &[0, 0, 52]]);
+        // Swapped pairs exercise the small-left/large-right partitioning of
+        // the cartesian and fallback paths.
+        for (a, b) in [
+            (&hash_l, &hash_r),
+            (&cart_l, &cart_r),
+            (&cart_r, &cart_l),
+            (&fb_l, &fb_r),
+            (&fb_r, &fb_l),
+        ] {
+            let seq = a.join_par(b, uo_par::Parallelism::sequential());
+            assert!(!seq.rows.is_empty(), "test join must produce rows");
+            for threads in [2, 4, 8] {
+                let par = a.join_par(b, uo_par::Parallelism::new(threads));
+                assert_eq!(par.rows, seq.rows, "row order must match at {threads} threads");
+                assert_eq!(par.maybe, seq.maybe);
+                assert_eq!(par.certain, seq.certain);
+            }
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::index::{prefix_range, IndexKind, MatchSet};
 use crate::stats::DatasetStats;
+use uo_par::Parallelism;
 use uo_rdf::ntriples;
 use uo_rdf::{Dictionary, Id, Term, Triple};
 
@@ -11,8 +12,8 @@ use uo_rdf::{Dictionary, Id, Term, Triple};
 /// [`insert`](Self::insert), [`insert_terms`](Self::insert_terms) or
 /// [`load_ntriples`](Self::load_ntriples)), then call [`build`](Self::build)
 /// once to sort the permutation indexes and compute statistics. Lookups
-/// before `build` would observe partial indexes, so they panic in debug
-/// builds.
+/// before `build` would observe partial indexes and silently return wrong
+/// answers, so they panic — in release builds too.
 #[derive(Debug, Default, Clone)]
 pub struct TripleStore {
     dict: Dictionary,
@@ -90,21 +91,52 @@ impl TripleStore {
     /// Sorts and deduplicates the permutation indexes and recomputes
     /// statistics. Must be called after the last insertion and before the
     /// first lookup. Idempotent.
+    ///
+    /// Worker count comes from the `UO_THREADS` environment knob (see
+    /// [`Parallelism::from_env`]); use [`build_with`](Self::build_with) for
+    /// an explicit count.
     pub fn build(&mut self) {
-        self.spo.sort_unstable();
+        self.build_with(Parallelism::from_env());
+    }
+
+    /// [`build`](Self::build) with an explicit parallelism policy: the SPO
+    /// sort is chunked across workers, then the POS index, the OSP index and
+    /// the dataset statistics are produced concurrently. The result is
+    /// identical to a sequential build.
+    pub fn build_with(&mut self, par: Parallelism) {
+        uo_par::sort_unstable(par, &mut self.spo);
         self.spo.dedup();
-        self.pos = self.spo.iter().map(|&t| IndexKind::Pos.from_spo(t)).collect();
-        self.pos.sort_unstable();
-        self.osp = self.spo.iter().map(|&t| IndexKind::Osp.from_spo(t)).collect();
-        self.osp.sort_unstable();
-        self.stats = DatasetStats::compute(&self.dict, &self.spo);
+        let spo = &self.spo;
+        let dict = &self.dict;
+        let (pos, osp, stats) = uo_par::join3(
+            par,
+            || {
+                let mut v: Vec<[Id; 3]> = spo.iter().map(|&t| IndexKind::Pos.from_spo(t)).collect();
+                v.sort_unstable();
+                v
+            },
+            || {
+                let mut v: Vec<[Id; 3]> = spo.iter().map(|&t| IndexKind::Osp.from_spo(t)).collect();
+                v.sort_unstable();
+                v
+            },
+            || DatasetStats::compute(dict, spo),
+        );
+        self.pos = pos;
+        self.osp = osp;
+        self.stats = stats;
         self.built = true;
     }
 
     /// Looks up all triples matching the pattern, where `None` components are
     /// wildcards. Returns a borrowed sorted range of one permutation index.
+    ///
+    /// # Panics
+    /// Panics if [`build`](Self::build) has not been called since the last
+    /// insertion: a lookup on a partial index would silently return wrong
+    /// answers, so the misuse is a hard error in release builds too.
     pub fn match_pattern(&self, s: Option<Id>, p: Option<Id>, o: Option<Id>) -> MatchSet<'_> {
-        debug_assert!(self.built, "TripleStore::build must be called before lookups");
+        assert!(self.built, "TripleStore::build must be called before lookups");
         match (s, p, o) {
             (Some(s), Some(p), Some(o)) => {
                 MatchSet { rows: prefix_range(&self.spo, &[s, p, o]), kind: IndexKind::Spo }
@@ -142,12 +174,22 @@ impl TripleStore {
     }
 
     /// The objects of all triples `(s, p, ·)`, in sorted order.
+    ///
+    /// # Panics
+    /// Panics if [`build`](Self::build) has not been called (see
+    /// [`match_pattern`](Self::match_pattern)).
     pub fn objects(&self, s: Id, p: Id) -> impl Iterator<Item = Id> + '_ {
+        assert!(self.built, "TripleStore::build must be called before lookups");
         prefix_range(&self.spo, &[s, p]).iter().map(|r| r[2])
     }
 
     /// The subjects of all triples `(·, p, o)`, in sorted order.
+    ///
+    /// # Panics
+    /// Panics if [`build`](Self::build) has not been called (see
+    /// [`match_pattern`](Self::match_pattern)).
     pub fn subjects(&self, p: Id, o: Id) -> impl Iterator<Item = Id> + '_ {
+        assert!(self.built, "TripleStore::build must be called before lookups");
         prefix_range(&self.pos, &[p, o]).iter().map(|r| r[2])
     }
 
@@ -252,5 +294,65 @@ mod tests {
         st.build();
         assert_eq!(st.count_pattern(None, None, None), 0);
         assert!(st.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "TripleStore::build must be called before lookups")]
+    fn lookup_before_build_is_a_hard_error() {
+        let mut st = TripleStore::new();
+        st.insert_terms(
+            &Term::iri("http://ex/a"),
+            &Term::iri("http://ex/p"),
+            &Term::iri("http://ex/b"),
+        );
+        let _ = st.count_pattern(None, None, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "TripleStore::build must be called before lookups")]
+    fn lookup_after_post_build_insert_is_a_hard_error() {
+        let mut st = small_store();
+        st.insert_terms(
+            &Term::iri("http://ex/z"),
+            &Term::iri("http://ex/knows"),
+            &Term::iri("http://ex/a"),
+        );
+        // The insert invalidated the indexes; lookups must panic until the
+        // next build().
+        let _ = st.count_pattern(None, None, None);
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let mut doc = String::new();
+        for i in 0..500 {
+            doc.push_str(&format!(
+                "<http://e/{}> <http://p/{}> <http://e/{}> .\n",
+                i % 89,
+                i % 7,
+                (i * 31) % 97
+            ));
+        }
+        let mut seq = TripleStore::new();
+        seq.load_ntriples(&doc).unwrap();
+        seq.build_with(Parallelism::sequential());
+        for threads in [2, 4, 8] {
+            let mut par = TripleStore::new();
+            par.load_ntriples(&doc).unwrap();
+            par.build_with(Parallelism::new(threads));
+            assert_eq!(par.len(), seq.len(), "threads={threads}");
+            let all: Vec<Triple> = seq.iter().collect();
+            let all_par: Vec<Triple> = par.iter().collect();
+            assert_eq!(all, all_par, "threads={threads}");
+            assert_eq!(par.stats().triples, seq.stats().triples);
+            assert_eq!(par.stats().entities, seq.stats().entities);
+            assert_eq!(par.stats().predicates, seq.stats().predicates);
+            // Spot-check a non-SPO permutation range.
+            let p0 = par.dictionary().lookup(&Term::iri("http://p/0")).unwrap();
+            assert_eq!(
+                par.match_pattern(None, Some(p0), None).rows,
+                seq.match_pattern(None, Some(p0), None).rows
+            );
+        }
     }
 }

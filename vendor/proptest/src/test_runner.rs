@@ -14,12 +14,16 @@ pub type TestRng = rand::rngs::StdRng;
 pub struct ProptestConfig {
     /// Number of successful cases required for the test to pass.
     pub cases: u32,
+    /// Maximum number of whole-case rejects (`prop_assume` style) before the
+    /// run aborts; 0 means "derive from `cases`" (proptest's field of the
+    /// same name).
+    pub max_global_rejects: u32,
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
         let cases = std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64);
-        ProptestConfig { cases }
+        ProptestConfig { cases, max_global_rejects: 0 }
     }
 }
 
@@ -89,7 +93,11 @@ impl TestRunner {
     {
         let mut passed = 0u32;
         let mut rejected = 0u32;
-        let max_rejects = self.config.cases.saturating_mul(8).max(256);
+        let max_rejects = if self.config.max_global_rejects > 0 {
+            self.config.max_global_rejects
+        } else {
+            self.config.cases.saturating_mul(8).max(256)
+        };
         while passed < self.config.cases {
             // Checkpoint the (small, cloneable) RNG so the failing input can
             // be regenerated for the report without Debug-formatting every
