@@ -17,7 +17,8 @@
 //! `UO_SCALE` (a small positive float, default 1.0) to grow or shrink every
 //! dataset proportionally.
 
-pub mod json;
+pub use uo_json as json;
+
 pub mod perf;
 
 use std::time::{Duration, Instant};

@@ -17,12 +17,12 @@
 //! counts, BGP evaluations, join space) must match exactly; they catch
 //! semantic regressions that timing noise would hide.
 
-use crate::json::{self, Json};
 use crate::{dbpedia_store, group1, scale};
 use std::time::Instant;
 use uo_core::{run_query_with, Parallelism, Strategy};
 use uo_datagen::Dataset;
 use uo_engine::{BgpEngine, BinaryJoinEngine, WcoEngine};
+use uo_json::{self as json, Json};
 use uo_store::TripleStore;
 
 /// Artifact schema identifier; bump when the layout changes.

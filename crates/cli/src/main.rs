@@ -6,19 +6,29 @@
 //! sparql-uo query  <data.{nt,ttl,uost}> (--query <file> | --text <sparql>)
 //!                  [--strategy base|tt|cp|full] [--engine wco|binary|lbr]
 //!                  [--threads N] [--explain] [--check-wd] [--limit-print N]
+//! sparql-uo serve  <data.{nt,ttl,uost}> [--port N] [--threads K]
+//!                  [--engine wco|binary] [--strategy base|tt|cp|full]
+//!                  [--engine-threads N] [--cache N] [--max-inflight N]
+//!                  [--timeout-ms N] [--host ADDR]
 //! sparql-uo gen    lubm|dbpedia [--scale N] --out <file.nt>
 //! ```
 //!
-//! `--threads N` (or the `UO_THREADS` environment variable) sets the worker
-//! count for store building and query evaluation; `1` forces sequential
-//! execution. Parallel runs return results bit-identical to sequential ones.
+//! `--threads N` sets the worker count for store building and query
+//! evaluation (`1` forces sequential execution); for `serve` it sets the
+//! connection-worker pool size. When the flag is absent, the `UO_THREADS`
+//! environment variable is consulted once at startup as a fallback. The
+//! explicit count is plumbed through `Parallelism`/engine constructors —
+//! the CLI never mutates process-global environment state, which would be
+//! racy once the multi-threaded server is running. Parallel runs return
+//! results bit-identical to sequential ones.
 //!
 //! Argument parsing is hand-rolled to keep the dependency set minimal.
 
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
-use uo_core::{prepare, run_query, Strategy};
+use uo_core::{prepare, run_query_with, Parallelism, Strategy};
 use uo_engine::{BgpEngine, BinaryJoinEngine, WcoEngine};
 use uo_store::TripleStore;
 
@@ -41,24 +51,36 @@ const USAGE: &str = "usage:
   sparql-uo query  <data.{nt,ttl,uost}> (--query <file> | --text <sparql>)
                    [--strategy base|tt|cp|full] [--engine wco|binary|lbr]
                    [--threads N] [--explain] [--check-wd] [--limit-print N]
+  sparql-uo serve  <data.{nt,ttl,uost}> [--port N] [--threads K]
+                   [--engine wco|binary] [--strategy base|tt|cp|full]
+                   [--engine-threads N] [--cache N] [--max-inflight N]
+                   [--timeout-ms N] [--host ADDR]
   sparql-uo gen    lubm|dbpedia [--scale N] --out <file.nt>
 
-  --threads N / env UO_THREADS: worker count (1 = sequential; default: all cores)";
+  --threads N: worker count (1 = sequential; default: env UO_THREADS, else all cores)";
+
+/// The worker-count policy for this invocation: the explicit `--threads`
+/// flag wins; the `UO_THREADS` environment knob is read once as a fallback.
+fn parallelism(args: &[String]) -> Result<Parallelism, String> {
+    match flag_value(args, "--threads") {
+        Some(n) => {
+            let n: usize = n.parse().map_err(|_| format!("--threads: invalid count '{n}'"))?;
+            if n == 0 {
+                return Err("--threads: count must be at least 1".into());
+            }
+            Ok(Parallelism::new(n))
+        }
+        None => Ok(Parallelism::from_env()),
+    }
+}
 
 fn run(args: &[String]) -> Result<(), String> {
-    // `--threads` overrides the UO_THREADS environment knob for the whole
-    // process (store building, engines, and the UNION fan-out all read it).
-    if let Some(n) = flag_value(args, "--threads") {
-        let n: usize = n.parse().map_err(|_| format!("--threads: invalid count '{n}'"))?;
-        if n == 0 {
-            return Err("--threads: count must be at least 1".into());
-        }
-        std::env::set_var("UO_THREADS", n.to_string());
-    }
+    let par = parallelism(args)?;
     match args.first().map(String::as_str) {
-        Some("load") => cmd_load(&args[1..]),
-        Some("stats") => cmd_stats(&args[1..]),
-        Some("query") => cmd_query(&args[1..]),
+        Some("load") => cmd_load(&args[1..], par),
+        Some("stats") => cmd_stats(&args[1..], par),
+        Some("query") => cmd_query(&args[1..], par),
+        Some("serve") => cmd_serve(&args[1..], par),
         Some("gen") => cmd_gen(&args[1..]),
         Some(other) => Err(format!("unknown command '{other}'")),
         None => Err("no command given".into()),
@@ -73,7 +95,7 @@ fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
 }
 
-fn load_store(path_str: &str) -> Result<TripleStore, String> {
+fn load_store(path_str: &str, par: Parallelism) -> Result<TripleStore, String> {
     let path = Path::new(path_str);
     let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
     let t0 = Instant::now();
@@ -83,14 +105,14 @@ fn load_store(path_str: &str) -> Result<TripleStore, String> {
             let doc = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
             let mut st = TripleStore::new();
             st.load_turtle(&doc).map_err(|e| e.to_string())?;
-            st.build();
+            st.build_with(par);
             st
         }
         _ => {
             let doc = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
             let mut st = TripleStore::new();
             st.load_ntriples(&doc).map_err(|e| e.to_string())?;
-            st.build();
+            st.build_with(par);
             st
         }
     };
@@ -98,19 +120,19 @@ fn load_store(path_str: &str) -> Result<TripleStore, String> {
     Ok(store)
 }
 
-fn cmd_load(args: &[String]) -> Result<(), String> {
+fn cmd_load(args: &[String], par: Parallelism) -> Result<(), String> {
     let input = args.first().ok_or("load: missing input file")?;
     let out = flag_value(args, "--out").ok_or("load: missing --out <store.uost>")?;
-    let store = load_store(input)?;
+    let store = load_store(input, par)?;
     let t0 = Instant::now();
     uo_store::save_to_file(&store, Path::new(out)).map_err(|e| e.to_string())?;
     eprintln!("snapshot written to {out} in {:.2?}", t0.elapsed());
     Ok(())
 }
 
-fn cmd_stats(args: &[String]) -> Result<(), String> {
+fn cmd_stats(args: &[String], par: Parallelism) -> Result<(), String> {
     let input = args.first().ok_or("stats: missing input file")?;
-    let store = load_store(input)?;
+    let store = load_store(input, par)?;
     let s = store.stats();
     println!("triples:    {}", s.triples);
     println!("entities:   {}", s.entities);
@@ -119,22 +141,26 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_query(args: &[String]) -> Result<(), String> {
+fn parse_strategy(args: &[String]) -> Result<Strategy, String> {
+    match flag_value(args, "--strategy").unwrap_or("full") {
+        "base" => Ok(Strategy::Base),
+        "tt" | "TT" => Ok(Strategy::TreeTransform),
+        "cp" | "CP" => Ok(Strategy::CandidatePruning),
+        "full" => Ok(Strategy::Full),
+        other => Err(format!("unknown strategy '{other}'")),
+    }
+}
+
+fn cmd_query(args: &[String], par: Parallelism) -> Result<(), String> {
     let input = args.first().ok_or("query: missing data file")?;
     let text = match (flag_value(args, "--query"), flag_value(args, "--text")) {
         (Some(f), _) => std::fs::read_to_string(f).map_err(|e| e.to_string())?,
         (None, Some(t)) => t.to_string(),
         (None, None) => return Err("query: need --query <file> or --text <sparql>".into()),
     };
-    let strategy = match flag_value(args, "--strategy").unwrap_or("full") {
-        "base" => Strategy::Base,
-        "tt" | "TT" => Strategy::TreeTransform,
-        "cp" | "CP" => Strategy::CandidatePruning,
-        "full" => Strategy::Full,
-        other => return Err(format!("unknown strategy '{other}'")),
-    };
+    let strategy = parse_strategy(args)?;
     let engine_name = flag_value(args, "--engine").unwrap_or("wco");
-    let store = load_store(input)?;
+    let store = load_store(input, par)?;
 
     if has_flag(args, "--check-wd") {
         let parsed = uo_sparql::parse(&text).map_err(|e| e.to_string())?;
@@ -166,11 +192,12 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     }
 
     let engine: Box<dyn BgpEngine> = match engine_name {
-        "wco" => Box::new(WcoEngine::new()),
-        "binary" => Box::new(BinaryJoinEngine::new()),
+        "wco" => Box::new(WcoEngine::with_threads(par.threads())),
+        "binary" => Box::new(BinaryJoinEngine::with_threads(par.threads())),
         other => return Err(format!("unknown engine '{other}'")),
     };
-    let report = run_query(&store, engine.as_ref(), &text, strategy).map_err(|e| e.to_string())?;
+    let report =
+        run_query_with(&store, engine.as_ref(), &text, strategy, par).map_err(|e| e.to_string())?;
     if has_flag(args, "--explain") {
         eprintln!(
             "--- plan ({} merges, {} injects) ---",
@@ -205,6 +232,55 @@ fn print_results(results: &[Vec<Option<uo_rdf::Term>>], projection: &[String], a
     }
     if results.len() > cap {
         println!("... ({} more rows; raise with --limit-print)", results.len() - cap);
+    }
+}
+
+/// `sparql-uo serve`: load a dataset and expose it over the SPARQL HTTP
+/// protocol until the process is killed.
+fn cmd_serve(args: &[String], par: Parallelism) -> Result<(), String> {
+    let input = args.first().ok_or("serve: missing data file")?;
+    let port: u16 = match flag_value(args, "--port") {
+        Some(p) => p.parse().map_err(|_| format!("--port: invalid port '{p}'"))?,
+        None => 7878,
+    };
+    let num = |name: &str, default: usize| -> Result<usize, String> {
+        match flag_value(args, name) {
+            Some(v) => v.parse().map_err(|_| format!("{name}: invalid count '{v}'")),
+            None => Ok(default),
+        }
+    };
+    let defaults = uo_server::ServerConfig::default();
+    let engine = match flag_value(args, "--engine").unwrap_or("wco") {
+        "wco" => uo_server::EngineChoice::Wco,
+        "binary" => uo_server::EngineChoice::Binary,
+        other => return Err(format!("unknown engine '{other}' (serve supports wco|binary)")),
+    };
+    let cfg = uo_server::ServerConfig {
+        host: flag_value(args, "--host").unwrap_or("127.0.0.1").to_string(),
+        threads: par.threads(),
+        engine_threads: num("--engine-threads", defaults.engine_threads)?,
+        engine,
+        strategy: parse_strategy(args)?,
+        cache_capacity: num("--cache", defaults.cache_capacity)?,
+        max_inflight: num("--max-inflight", defaults.max_inflight)?,
+        default_timeout_ms: num("--timeout-ms", defaults.default_timeout_ms as usize)? as u64,
+        ..defaults
+    };
+    let store = Arc::new(load_store(input, par)?);
+    let handle = uo_server::start(store, cfg.clone(), port).map_err(|e| e.to_string())?;
+    eprintln!(
+        "serving SPARQL on http://{} ({} workers, plan cache {}, max in-flight {}, \
+         timeout {} ms)\nendpoints: GET/POST /sparql, GET /metrics, GET /healthz — ctrl-c to stop",
+        handle.addr(),
+        cfg.threads,
+        cfg.cache_capacity,
+        cfg.max_inflight,
+        cfg.default_timeout_ms,
+    );
+    // Serve until the process is killed; the handle joins worker threads on
+    // drop, which never happens here — parking keeps the main thread alive.
+    loop {
+        std::thread::park();
     }
 }
 

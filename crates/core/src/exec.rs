@@ -22,11 +22,79 @@
 //! to the fixed bound when no estimate is cached.
 
 use crate::betree::{BeNode, BeTree, GroupNode};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 use uo_engine::{BgpEngine, CandidateSet};
 use uo_par::Parallelism;
 use uo_rdf::{FxHashMap, Id};
 use uo_sparql::algebra::{Bag, VarId};
 use uo_store::TripleStore;
+
+/// Cooperative cancellation for long-running evaluations.
+///
+/// Evaluation checks the token at every **BGP-evaluation boundary** (before
+/// each BGP is handed to the engine) — the granularity the serving layer's
+/// per-query deadlines rely on: a BGP evaluation itself is never interrupted,
+/// but no further BGP work starts once the token trips. A token combines an
+/// optional wall-clock deadline with an optional shared flag (used for
+/// server shutdown); either firing cancels the evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct Cancellation {
+    deadline: Option<Instant>,
+    flag: Option<Arc<AtomicBool>>,
+}
+
+impl Cancellation {
+    /// A token that never fires (the default for library callers).
+    pub fn none() -> Self {
+        Cancellation::default()
+    }
+
+    /// Cancels once the wall clock reaches `deadline`.
+    pub fn at(deadline: Instant) -> Self {
+        Cancellation { deadline: Some(deadline), flag: None }
+    }
+
+    /// Cancels `timeout` from now.
+    pub fn after(timeout: Duration) -> Self {
+        Cancellation::at(Instant::now() + timeout)
+    }
+
+    /// Adds a shared cancel flag (set it to `true` to cancel from outside).
+    pub fn with_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.flag = Some(flag);
+        self
+    }
+
+    /// True once the deadline has passed or the flag has been raised.
+    pub fn is_cancelled(&self) -> bool {
+        if let Some(f) = &self.flag {
+            if f.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        matches!(self.deadline, Some(d) if Instant::now() >= d)
+    }
+
+    /// True if this token can never fire (lets hot paths skip the clock).
+    pub fn is_none(&self) -> bool {
+        self.deadline.is_none() && self.flag.is_none()
+    }
+}
+
+/// Error returned when an evaluation is cancelled (deadline exceeded or
+/// cancel flag raised) before completing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "query evaluation cancelled (deadline exceeded or shutdown)")
+    }
+}
+
+impl std::error::Error for Cancelled {}
 
 /// Candidate-pruning configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -225,6 +293,23 @@ pub fn evaluate_with(
     pruning: Pruning,
     par: Parallelism,
 ) -> (Bag, ExecStats) {
+    try_evaluate_with(tree, store, engine, width, pruning, par, &Cancellation::none())
+        .expect("evaluation without a cancellation token cannot be cancelled")
+}
+
+/// [`evaluate_with`] under a [`Cancellation`] token, checked before every
+/// BGP evaluation. Returns `Err(Cancelled)` as soon as the token fires; the
+/// partial bag is discarded.
+#[allow(clippy::too_many_arguments)]
+pub fn try_evaluate_with(
+    tree: &BeTree,
+    store: &TripleStore,
+    engine: &dyn BgpEngine,
+    width: usize,
+    pruning: Pruning,
+    par: Parallelism,
+    cancel: &Cancellation,
+) -> Result<(Bag, ExecStats), Cancelled> {
     let mut stats = ExecStats::default();
     let (bag, js) = eval_group(
         &tree.root,
@@ -235,9 +320,10 @@ pub fn evaluate_with(
         &CandSource::default(),
         &mut stats,
         par,
-    );
+        cancel,
+    )?;
     stats.join_space = js;
-    (bag, stats)
+    Ok((bag, stats))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -250,12 +336,19 @@ fn eval_group(
     inherited: &CandSource,
     stats: &mut ExecStats,
     par: Parallelism,
-) -> (Bag, f64) {
+    cancel: &Cancellation,
+) -> Result<(Bag, f64), Cancelled> {
     let mut r = Bag::unit(width);
     let mut js = 1.0f64;
     for child in &g.children {
         match child {
             BeNode::Bgp(b) => {
+                // The BGP-evaluation boundary: the one place a running query
+                // yields to cancellation (a single BGP evaluation is never
+                // interrupted).
+                if cancel.is_cancelled() {
+                    return Err(Cancelled);
+                }
                 let cs = if pruning.enabled() {
                     let source =
                         CandSource::derive(&r, inherited, b.var_mask(), pruning.collection_cap());
@@ -276,7 +369,8 @@ fn eval_group(
                 } else {
                     CandSource::default()
                 };
-                let (bag, j) = eval_group(gg, store, engine, width, pruning, &down, stats, par);
+                let (bag, j) =
+                    eval_group(gg, store, engine, width, pruning, &down, stats, par, cancel)?;
                 js *= j;
                 r = r.join(&bag);
             }
@@ -293,9 +387,11 @@ fn eval_group(
                 // left-to-right pass. The thread budget is divided among the
                 // branches so nested UNIONs don't multiply the worker count
                 // (the result never depends on worker counts, only the
-                // oversubscription does).
+                // oversubscription does). A cancelled branch surfaces after
+                // the fan-in: sibling branches finish their current BGP and
+                // stop at their own next boundary.
                 let inner = Parallelism::new(par.threads().div_ceil(branches.len().max(1)));
-                let evals: Vec<(Bag, f64, ExecStats)> =
+                let evals: Vec<Result<(Bag, f64, ExecStats), Cancelled>> =
                     uo_par::map_chunks(par, branches, |chunk| {
                         chunk
                             .iter()
@@ -303,8 +399,9 @@ fn eval_group(
                                 let mut local = ExecStats::default();
                                 let (bag, j) = eval_group(
                                     b, store, engine, width, pruning, &down, &mut local, inner,
-                                );
-                                (bag, j, local)
+                                    cancel,
+                                )?;
+                                Ok((bag, j, local))
                             })
                             .collect::<Vec<_>>()
                     })
@@ -313,7 +410,8 @@ fn eval_group(
                     .collect();
                 let mut u = Bag::empty(width);
                 let mut js_u = 0.0f64;
-                for (bag, j, local) in evals {
+                for eval in evals {
+                    let (bag, j, local) = eval?;
                     js_u += j;
                     u = u.union_bag(bag);
                     stats.bgp_evals += local.bgp_evals;
@@ -346,7 +444,8 @@ fn eval_group(
                 } else {
                     CandSource::default()
                 };
-                let (bag, j) = eval_group(gg, store, engine, width, pruning, &down, stats, par);
+                let (bag, j) =
+                    eval_group(gg, store, engine, width, pruning, &down, stats, par, cancel)?;
                 js *= j;
                 r = r.left_join(&bag);
             }
@@ -364,7 +463,8 @@ fn eval_group(
                     &CandSource::default(),
                     stats,
                     par,
-                );
+                    cancel,
+                )?;
                 js *= j.max(1.0);
                 r = r.minus(&bag);
             }
@@ -381,7 +481,7 @@ fn eval_group(
             }
         }
     }
-    (r, js)
+    Ok((r, js))
 }
 
 #[cfg(test)]
@@ -568,5 +668,76 @@ mod tests {
         let engine = WcoEngine::new();
         let (bag, _) = evaluate(&tree, &st, &engine, 2, Pruning::Off);
         assert!(bag.is_unit());
+    }
+
+    #[test]
+    fn expired_deadline_cancels_before_first_bgp() {
+        let st = store();
+        let query = uo_sparql::parse(UNION_Q).unwrap();
+        let mut vars = VarTable::new();
+        let tree = BeTree::build(&query, &mut vars, st.dictionary());
+        let engine = WcoEngine::new();
+        let cancel = Cancellation::at(Instant::now() - Duration::from_millis(1));
+        assert!(cancel.is_cancelled());
+        for par in [Parallelism::sequential(), Parallelism::new(4)] {
+            let got =
+                try_evaluate_with(&tree, &st, &engine, vars.len(), Pruning::Off, par, &cancel);
+            assert_eq!(got.err(), Some(Cancelled));
+        }
+    }
+
+    #[test]
+    fn raised_flag_cancels_and_cleared_flag_does_not() {
+        let st = store();
+        let query = uo_sparql::parse(OPT_Q).unwrap();
+        let mut vars = VarTable::new();
+        let tree = BeTree::build(&query, &mut vars, st.dictionary());
+        let engine = WcoEngine::new();
+        let flag = Arc::new(AtomicBool::new(false));
+        let cancel = Cancellation::none().with_flag(flag.clone());
+        assert!(!cancel.is_none());
+        let ok = try_evaluate_with(
+            &tree,
+            &st,
+            &engine,
+            vars.len(),
+            Pruning::Off,
+            Parallelism::sequential(),
+            &cancel,
+        );
+        assert_eq!(ok.unwrap().0.len(), 4);
+        flag.store(true, Ordering::Relaxed);
+        let cancelled = try_evaluate_with(
+            &tree,
+            &st,
+            &engine,
+            vars.len(),
+            Pruning::Off,
+            Parallelism::sequential(),
+            &cancel,
+        );
+        assert_eq!(cancelled.err(), Some(Cancelled));
+    }
+
+    #[test]
+    fn no_cancellation_matches_plain_evaluate() {
+        let st = store();
+        let query = uo_sparql::parse(UNION_Q).unwrap();
+        let mut vars = VarTable::new();
+        let tree = BeTree::build(&query, &mut vars, st.dictionary());
+        let engine = WcoEngine::new();
+        let (plain, plain_stats) = evaluate(&tree, &st, &engine, vars.len(), Pruning::Off);
+        let (tried, tried_stats) = try_evaluate_with(
+            &tree,
+            &st,
+            &engine,
+            vars.len(),
+            Pruning::Off,
+            Parallelism::from_env(),
+            &Cancellation::after(Duration::from_secs(3600)),
+        )
+        .unwrap();
+        assert_eq!(plain.rows, tried.rows);
+        assert_eq!(plain_stats.bgp_evals, tried_stats.bgp_evals);
     }
 }

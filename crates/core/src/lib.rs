@@ -58,8 +58,10 @@ pub mod wdpt;
 pub use betree::{explain, BeNode, BeTree, BgpNode, GroupNode};
 pub use binarytree::{evaluate_binary_tree, BinaryTreeStats};
 pub use cost::CostModel;
-pub use exec::{evaluate, evaluate_with, ExecStats, Pruning};
-pub use metrics::{count_bgp, query_type, QueryType};
+pub use exec::{
+    evaluate, evaluate_with, try_evaluate_with, Cancellation, Cancelled, ExecStats, Pruning,
+};
+pub use metrics::{count_bgp, query_type, QueryCounters, QueryCountersSnapshot, QueryType};
 pub use optimizer::{multi_level_transform, OptimizerConfig, TransformOutcome};
 pub use uo_par::Parallelism;
 pub use wdpt::{check_well_designed, is_well_designed};
@@ -211,8 +213,30 @@ pub fn run_prepared_with(
     strategy: Strategy,
     par: Parallelism,
 ) -> RunReport {
-    let cm = CostModel::new(store, engine);
+    let (transforms, transform_time) = optimize_prepared(store, engine, &mut prepared, strategy);
+    let mut report =
+        try_execute_prepared(store, engine, &prepared, strategy, par, &Cancellation::none())
+            .expect("execution without a cancellation token cannot be cancelled");
+    report.transforms = transforms;
+    report.transform_time = transform_time;
+    report
+}
 
+/// Applies the plan-level work of `strategy` to `prepared` in place: tree
+/// transformation for `TT`/`full` plus cardinality annotation (the adaptive
+/// pruning thresholds) for `full`. Returns the transformation counters and
+/// the time spent.
+///
+/// Splitting this from [`try_execute_prepared`] lets a serving layer
+/// optimize a query once, cache the optimized [`Prepared`], and then
+/// execute it many times — repeat queries skip parse *and* optimize.
+pub fn optimize_prepared(
+    store: &TripleStore,
+    engine: &dyn BgpEngine,
+    prepared: &mut Prepared,
+    strategy: Strategy,
+) -> (TransformOutcome, Duration) {
+    let cm = CostModel::new(store, engine);
     let t0 = Instant::now();
     let transforms = match strategy {
         Strategy::TreeTransform => {
@@ -230,8 +254,23 @@ pub fn run_prepared_with(
         }
         Strategy::Base | Strategy::CandidatePruning => TransformOutcome::default(),
     };
-    let transform_time = t0.elapsed();
+    (transforms, t0.elapsed())
+}
 
+/// Executes an already-optimized [`Prepared`] under `strategy`'s pruning
+/// mode and a [`Cancellation`] token (checked at BGP-evaluation
+/// boundaries). Does **not** re-run the optimizer — pair with
+/// [`optimize_prepared`], or use [`run_prepared_with`] for the one-shot
+/// path. The returned report's `transforms`/`transform_time` are zeroed;
+/// the one-shot wrappers fill them in.
+pub fn try_execute_prepared(
+    store: &TripleStore,
+    engine: &dyn BgpEngine,
+    prepared: &Prepared,
+    strategy: Strategy,
+    par: Parallelism,
+    cancel: &Cancellation,
+) -> Result<RunReport, Cancelled> {
     let pruning = match strategy {
         Strategy::Base | Strategy::TreeTransform => Pruning::Off,
         Strategy::CandidatePruning => Pruning::fixed_for(store),
@@ -239,8 +278,15 @@ pub fn run_prepared_with(
     };
 
     let t1 = Instant::now();
-    let (mut bag, exec_stats) =
-        evaluate_with(&prepared.tree, store, engine, prepared.vars.len(), pruning, par);
+    let (mut bag, exec_stats) = try_evaluate_with(
+        &prepared.tree,
+        store,
+        engine,
+        prepared.vars.len(),
+        pruning,
+        par,
+        cancel,
+    )?;
     let exec_time = t1.elapsed();
 
     if !prepared.query.order_by.is_empty() {
@@ -262,18 +308,18 @@ pub fn run_prepared_with(
         results.truncate(lim);
     }
     let plan = explain(&prepared.tree, &prepared.vars, store.dictionary());
-    RunReport {
+    Ok(RunReport {
         join_space: exec_stats.join_space,
         results,
-        vars: prepared.vars,
-        transform_time,
+        vars: prepared.vars.clone(),
+        transform_time: Duration::ZERO,
         exec_time,
-        transforms,
+        transforms: TransformOutcome::default(),
         exec_stats,
         plan,
         bag,
         threads: par.threads().max(engine.threads()),
-    }
+    })
 }
 
 /// Sorts a solution bag by ORDER BY keys. Unbound sorts first (SPARQL's

@@ -1,7 +1,10 @@
-//! Query complexity metrics (Section 7.1): `Count_BGP`, `Depth`, and the
-//! query type classification (U / O / UO) used by Tables 3 and 4.
+//! Query complexity metrics (Section 7.1): `Count_BGP`, `Depth`, the
+//! query type classification (U / O / UO) used by Tables 3 and 4, and the
+//! thread-safe workload counters ([`QueryCounters`]) the serving layer
+//! reports through its `/metrics` endpoint.
 
 use crate::betree::{BeNode, BeTree, GroupNode};
+use std::sync::atomic::{AtomicU64, Ordering};
 use uo_sparql::ast::{Element, GroupPattern};
 
 /// Whether a query uses UNION, OPTIONAL, or both.
@@ -15,6 +18,21 @@ pub enum QueryType {
     UO,
     /// Neither (a plain BGP query).
     Bgp,
+}
+
+impl QueryType {
+    /// All four classes, in presentation order.
+    pub const ALL: [QueryType; 4] = [QueryType::U, QueryType::O, QueryType::UO, QueryType::Bgp];
+
+    /// A stable index for per-class counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            QueryType::U => 0,
+            QueryType::O => 1,
+            QueryType::UO => 2,
+            QueryType::Bgp => 3,
+        }
+    }
 }
 
 impl std::fmt::Display for QueryType {
@@ -103,6 +121,93 @@ pub fn estimated_join_space(tree: &BeTree, cm: &crate::cost::CostModel<'_>) -> f
     walk(&tree.root, cm)
 }
 
+/// Monotonic workload counters, safe to bump from many threads. The serving
+/// layer owns one instance per endpoint and reads it out via [`snapshot`]
+/// for its `/metrics` view; per-class counts reuse the [`QueryType`]
+/// taxonomy of the evaluation section.
+///
+/// [`snapshot`]: QueryCounters::snapshot
+#[derive(Debug, Default)]
+pub struct QueryCounters {
+    /// Query requests admitted for execution.
+    pub queries: AtomicU64,
+    /// Queries that completed successfully.
+    pub ok: AtomicU64,
+    /// Queries rejected because they failed to parse.
+    pub parse_errors: AtomicU64,
+    /// Queries cancelled at a BGP boundary (deadline exceeded or shutdown).
+    pub cancelled: AtomicU64,
+    /// Queries rejected up front by admission control (overload).
+    pub rejected: AtomicU64,
+    /// Plan-cache hits (plan construction + optimization skipped).
+    pub cache_hits: AtomicU64,
+    /// Plan-cache misses (full plan construction + optimization performed).
+    pub cache_misses: AtomicU64,
+    /// Total result rows returned by successful queries.
+    pub rows: AtomicU64,
+    /// Requests whose handler panicked (caught; the connection dropped).
+    pub panics: AtomicU64,
+    /// Successful queries by [`QueryType`] (indexed by [`QueryType::index`]).
+    pub by_type: [AtomicU64; 4],
+}
+
+impl QueryCounters {
+    /// Adds one to a counter (relaxed — counters are independent).
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one successful query of class `qt` returning `rows` rows.
+    pub fn record_ok(&self, qt: QueryType, rows: usize) {
+        Self::bump(&self.ok);
+        Self::bump(&self.by_type[qt.index()]);
+        self.rows.fetch_add(rows as u64, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy (individual loads are
+    /// relaxed; totals may be mid-update by at most the in-flight queries).
+    pub fn snapshot(&self) -> QueryCountersSnapshot {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        QueryCountersSnapshot {
+            queries: get(&self.queries),
+            ok: get(&self.ok),
+            parse_errors: get(&self.parse_errors),
+            cancelled: get(&self.cancelled),
+            rejected: get(&self.rejected),
+            cache_hits: get(&self.cache_hits),
+            cache_misses: get(&self.cache_misses),
+            rows: get(&self.rows),
+            panics: get(&self.panics),
+            by_type: QueryType::ALL.map(|qt| (qt, get(&self.by_type[qt.index()]))),
+        }
+    }
+}
+
+/// Plain-integer copy of [`QueryCounters`] for rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryCountersSnapshot {
+    /// See [`QueryCounters::queries`].
+    pub queries: u64,
+    /// See [`QueryCounters::ok`].
+    pub ok: u64,
+    /// See [`QueryCounters::parse_errors`].
+    pub parse_errors: u64,
+    /// See [`QueryCounters::cancelled`].
+    pub cancelled: u64,
+    /// See [`QueryCounters::rejected`].
+    pub rejected: u64,
+    /// See [`QueryCounters::cache_hits`].
+    pub cache_hits: u64,
+    /// See [`QueryCounters::cache_misses`].
+    pub cache_misses: u64,
+    /// See [`QueryCounters::rows`].
+    pub rows: u64,
+    /// See [`QueryCounters::panics`].
+    pub panics: u64,
+    /// Successful queries per class, in [`QueryType::ALL`] order.
+    pub by_type: [(QueryType, u64); 4],
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +241,27 @@ mod tests {
             "SELECT WHERE { ?x <http://p> ?y OPTIONAL { { ?y <http://q> ?z } UNION { ?z <http://q> ?y } } }",
         );
         assert_eq!(query_type(&q), QueryType::UO);
+    }
+
+    #[test]
+    fn counters_record_and_snapshot() {
+        let c = QueryCounters::default();
+        QueryCounters::bump(&c.queries);
+        QueryCounters::bump(&c.queries);
+        QueryCounters::bump(&c.cache_hits);
+        QueryCounters::bump(&c.rejected);
+        c.record_ok(QueryType::UO, 7);
+        c.record_ok(QueryType::UO, 3);
+        c.record_ok(QueryType::Bgp, 0);
+        let s = c.snapshot();
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.ok, 3);
+        assert_eq!(s.rows, 10);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.by_type[QueryType::UO.index()], (QueryType::UO, 2));
+        assert_eq!(s.by_type[QueryType::Bgp.index()], (QueryType::Bgp, 1));
+        assert_eq!(s.by_type[QueryType::U.index()], (QueryType::U, 0));
     }
 
     #[test]

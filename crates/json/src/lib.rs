@@ -1,9 +1,13 @@
-//! Minimal JSON reading/writing for the perf artifacts.
+//! Minimal JSON reading/writing shared across the workspace.
 //!
 //! The build environment has no registry access, so instead of `serde_json`
-//! this module implements the small subset the perf harness needs: a
-//! recursive-descent parser into a [`Json`] value tree and a writer with
-//! stable key order (insertion order) so emitted artifacts diff cleanly.
+//! this crate implements the small subset its consumers need: a
+//! recursive-descent parser into a [`Json`] value tree, an [`escape`]r for
+//! embedding strings in hand-written JSON output, and a number formatter.
+//! It started life inside `uo_bench` (perf artifacts) and moved here so the
+//! SPARQL results serializer (`uo_sparql::serializer`) and the HTTP
+//! endpoint's `/metrics` view (`uo_server`) reuse the same escaping logic
+//! instead of duplicating it.
 
 use std::collections::BTreeMap;
 use std::fmt;

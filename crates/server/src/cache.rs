@@ -1,0 +1,147 @@
+//! A bounded LRU cache of optimized query plans.
+//!
+//! Keys are *canonicalized* query text — the re-serialization of the parsed
+//! query (`uo_sparql::serialize`), so whitespace, prefix, and comment
+//! variants of the same query share one entry. Values are the optimized
+//! [`Prepared`] (BE-tree already transformed and, for `full`, annotated
+//! with pruning thresholds) plus the transformation counters; a hit skips
+//! BE-tree construction *and* optimization and goes straight to execution
+//! (the raw text is still parsed once per request to compute the canonical
+//! key). Plans are shared as [`Arc`]s so the mutex critical section is a
+//! pointer clone, not a deep copy of the plan tree.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use uo_core::{Prepared, TransformOutcome};
+
+struct Entry {
+    prepared: Arc<Prepared>,
+    transforms: TransformOutcome,
+    last_used: u64,
+}
+
+/// A thread-safe LRU plan cache. Capacity 0 disables caching entirely
+/// (every lookup misses, inserts are dropped).
+pub struct PlanCache {
+    capacity: usize,
+    tick: AtomicU64,
+    entries: Mutex<HashMap<String, Entry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `capacity` plans.
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity,
+            tick: AtomicU64::new(0),
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a plan by canonical query text, refreshing its recency.
+    pub fn get(&self, key: &str) -> Option<(Arc<Prepared>, TransformOutcome)> {
+        let now = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        match entries.get_mut(key) {
+            Some(e) => {
+                e.last_used = now;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some((Arc::clone(&e.prepared), e.transforms))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts an optimized plan, evicting the least-recently-used entry
+    /// when full. Concurrent inserts of the same key keep the newer value —
+    /// both are equivalent plans of the same canonical text.
+    pub fn insert(&self, key: String, prepared: Arc<Prepared>, transforms: TransformOutcome) {
+        if self.capacity == 0 {
+            return;
+        }
+        let now = self.tick.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        if entries.len() >= self.capacity && !entries.contains_key(&key) {
+            // O(n) scan for the LRU victim: capacities are small (hundreds)
+            // and eviction only happens on misses of a full cache.
+            if let Some(victim) =
+                entries.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
+            {
+                entries.remove(&victim);
+            }
+        }
+        entries.insert(key, Entry { prepared, transforms, last_used: now });
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner).len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// (hits, misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uo_core::prepare;
+    use uo_rdf::Term;
+    use uo_store::TripleStore;
+
+    fn store() -> TripleStore {
+        let mut st = TripleStore::new();
+        st.insert_terms(&Term::iri("http://a"), &Term::iri("http://p"), &Term::iri("http://b"));
+        st.build();
+        st
+    }
+
+    fn plan(st: &TripleStore, q: &str) -> Arc<Prepared> {
+        Arc::new(prepare(st, q).unwrap())
+    }
+
+    #[test]
+    fn hit_after_insert_and_lru_eviction() {
+        let st = store();
+        let cache = PlanCache::new(2);
+        let q = |n: usize| format!("SELECT ?x WHERE {{ ?x <http://p{n}> ?y }}");
+        assert!(cache.get(&q(1)).is_none());
+        cache.insert(q(1), plan(&st, &q(1)), TransformOutcome::default());
+        cache.insert(q(2), plan(&st, &q(2)), TransformOutcome::default());
+        assert!(cache.get(&q(1)).is_some());
+        // Inserting a third evicts the LRU entry — q2, since q1 was just
+        // touched.
+        cache.insert(q(3), plan(&st, &q(3)), TransformOutcome::default());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&q(2)).is_none());
+        assert!(cache.get(&q(1)).is_some());
+        assert!(cache.get(&q(3)).is_some());
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (3, 2));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let st = store();
+        let cache = PlanCache::new(0);
+        let q = "SELECT ?x WHERE { ?x <http://p> ?y }";
+        cache.insert(q.to_string(), plan(&st, q), TransformOutcome::default());
+        assert!(cache.is_empty());
+        assert!(cache.get(q).is_none());
+    }
+}

@@ -1,0 +1,584 @@
+//! # uo-server — a concurrent SPARQL-over-HTTP endpoint.
+//!
+//! Implements the query half of the W3C SPARQL 1.1 Protocol over a
+//! hand-rolled HTTP/1.1 server on [`std::net::TcpListener`] (the build
+//! environment has no registry access, so no hyper/tokio — a thread-pool
+//! accept loop in the spirit of `uo_par`'s scoped workers). Many concurrent
+//! clients multiplex over one shared immutable [`TripleStore`]:
+//!
+//! - `GET /sparql?query=…` and `POST /sparql` (`application/sparql-query`
+//!   or form-encoded bodies) with content negotiation between SPARQL JSON
+//!   results, TSV, and a debug text table;
+//! - a bounded LRU **plan cache** keyed on canonicalized query text
+//!   ([`cache::PlanCache`]) — repeat queries skip BE-tree construction and
+//!   optimization and go straight to `try_execute_prepared` (raw text is
+//!   still parsed once per request to compute the canonical key);
+//! - **admission control**: at most `max_inflight` queries execute at once
+//!   (503 + `Retry-After` beyond that) and every query carries a wall-clock
+//!   deadline enforced cooperatively at BGP-evaluation boundaries
+//!   ([`uo_core::Cancellation`]);
+//! - `GET /metrics` (JSON counters via [`uo_core::QueryCounters`]) and
+//!   `GET /healthz`.
+//!
+//! Responses are deterministic: the JSON/TSV serializations are exactly
+//! `uo_sparql::results_json`/`results_tsv` of the same rows a direct
+//! [`uo_core::run_query`] returns, so a response body is byte-identical to
+//! an in-process run of the same query.
+
+pub mod cache;
+pub mod http;
+
+pub use cache::PlanCache;
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use uo_core::{
+    optimize_prepared, prepare_parsed, query_type, try_execute_prepared, Cancellation,
+    QueryCounters, Strategy,
+};
+use uo_engine::{BgpEngine, BinaryJoinEngine, WcoEngine};
+use uo_store::TripleStore;
+
+/// Which BGP engine backs the endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// gStore-style worst-case-optimal joins.
+    Wco,
+    /// Jena-style binary hash joins.
+    Binary,
+}
+
+impl EngineChoice {
+    fn build(self, threads: usize) -> Box<dyn BgpEngine> {
+        match self {
+            EngineChoice::Wco => Box::new(WcoEngine::with_threads(threads)),
+            EngineChoice::Binary => Box::new(BinaryJoinEngine::with_threads(threads)),
+        }
+    }
+}
+
+/// Endpoint configuration; [`Default`] gives sensible interactive values.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Interface to bind ("127.0.0.1" by default).
+    pub host: String,
+    /// Connection-handling worker threads (each serves one request at a
+    /// time; also the upper bound on concurrently *executing* queries).
+    pub threads: usize,
+    /// Worker count inside each query evaluation (`1` = sequential BGP
+    /// evaluation, the right default when `threads` already saturates the
+    /// host's cores with independent queries).
+    pub engine_threads: usize,
+    /// Which BGP engine evaluates queries.
+    pub engine: EngineChoice,
+    /// Optimization strategy applied to every query.
+    pub strategy: Strategy,
+    /// Plan-cache capacity in entries (0 disables the cache).
+    pub cache_capacity: usize,
+    /// Admission-control limit on in-flight queries (requests beyond it get
+    /// 503 + `Retry-After`).
+    pub max_inflight: usize,
+    /// Default per-query wall-clock deadline in ms (requests may lower or
+    /// raise it via the `timeout` parameter, up to `max_timeout_ms`).
+    pub default_timeout_ms: u64,
+    /// Upper bound on the per-request `timeout` parameter.
+    pub max_timeout_ms: u64,
+    /// Socket read timeout (slow/stalled clients are dropped after this).
+    pub read_timeout_ms: u64,
+    /// Maximum accepted request-body size.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            host: "127.0.0.1".to_string(),
+            threads: 4,
+            engine_threads: 1,
+            engine: EngineChoice::Wco,
+            strategy: Strategy::Full,
+            cache_capacity: 256,
+            max_inflight: 32,
+            default_timeout_ms: 10_000,
+            max_timeout_ms: 60_000,
+            read_timeout_ms: 10_000,
+            max_body_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Negotiated response format for query results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    /// SPARQL 1.1 Query Results JSON (`application/sparql-results+json`).
+    Json,
+    /// SPARQL 1.1 Query Results TSV (`text/tab-separated-values`).
+    Tsv,
+    /// Human-readable debug table (`text/plain`).
+    Debug,
+}
+
+impl Format {
+    fn content_type(self) -> &'static str {
+        match self {
+            Format::Json => "application/sparql-results+json",
+            Format::Tsv => "text/tab-separated-values; charset=utf-8",
+            Format::Debug => "text/plain; charset=utf-8",
+        }
+    }
+}
+
+/// Picks a result format from an `Accept` header (first supported media
+/// range in client order wins; absent header or `*/*` means JSON).
+fn negotiate(accept: Option<&str>) -> Option<Format> {
+    let Some(accept) = accept else { return Some(Format::Json) };
+    for range in accept.split(',') {
+        let media = range.split(';').next().unwrap_or("").trim().to_ascii_lowercase();
+        match media.as_str() {
+            "application/sparql-results+json"
+            | "application/json"
+            | "application/*"
+            | "*/*"
+            | "" => return Some(Format::Json),
+            "text/tab-separated-values" => return Some(Format::Tsv),
+            "text/plain" | "text/*" => return Some(Format::Debug),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Shared, immutable-after-start endpoint state.
+struct ServerState {
+    store: Arc<TripleStore>,
+    engine: Box<dyn BgpEngine>,
+    cfg: ServerConfig,
+    cache: PlanCache,
+    counters: QueryCounters,
+    inflight: AtomicUsize,
+    shutting_down: AtomicBool,
+    query_cancel: Arc<AtomicBool>,
+    started: Instant,
+}
+
+/// Decrements the in-flight gauge when a query finishes (however it ends).
+struct AdmissionGuard<'a>(&'a ServerState);
+
+impl Drop for AdmissionGuard<'_> {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A running endpoint. Dropping the handle shuts the server down
+/// gracefully (stops accepting, drains queued connections, joins workers).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (use port 0 at start for an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop accepting, let queued and in-flight requests
+    /// finish (long-running evaluations are cancelled at their next BGP
+    /// boundary), join all threads. Idempotent.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.state.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.state.query_cancel.store(true, Ordering::Relaxed);
+        // Wake the acceptor if it is parked in accept().
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Binds `host:port` (port 0 = ephemeral) and starts the accept loop plus
+/// `cfg.threads` connection workers. The store must already be built.
+pub fn start(store: Arc<TripleStore>, cfg: ServerConfig, port: u16) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind((cfg.host.as_str(), port))?;
+    let addr = listener.local_addr()?;
+    let threads = cfg.threads.max(1);
+    let state = Arc::new(ServerState {
+        engine: cfg.engine.build(cfg.engine_threads.max(1)),
+        cache: PlanCache::new(cfg.cache_capacity),
+        counters: QueryCounters::default(),
+        inflight: AtomicUsize::new(0),
+        shutting_down: AtomicBool::new(false),
+        query_cancel: Arc::new(AtomicBool::new(false)),
+        started: Instant::now(),
+        store,
+        cfg,
+    });
+
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    let workers: Vec<JoinHandle<()>> = (0..threads)
+        .map(|i| {
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name(format!("uo-server-worker-{i}"))
+                .spawn(move || loop {
+                    // Take the next connection, releasing the lock before
+                    // handling it so workers run concurrently.
+                    let next = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner).recv();
+                    match next {
+                        Ok(stream) => {
+                            // A panicking request (engine bug, adversarial
+                            // query) must cost one connection, not a worker
+                            // thread for the server's lifetime.
+                            let caught =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    handle_connection(&state, stream)
+                                }));
+                            if caught.is_err() {
+                                QueryCounters::bump(&state.counters.panics);
+                            }
+                        }
+                        Err(_) => break, // acceptor gone: drained and done
+                    }
+                })
+                .expect("failed to spawn server worker")
+        })
+        .collect();
+
+    let acceptor = {
+        let state = Arc::clone(&state);
+        std::thread::Builder::new()
+            .name("uo-server-acceptor".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if state.shutting_down.load(Ordering::SeqCst) {
+                        break; // wake-up connection (or racing client) dropped
+                    }
+                    match stream {
+                        Ok(s) => {
+                            if tx.send(s).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => {
+                            // Transient accept errors (EMFILE, aborted
+                            // handshakes) should not kill the endpoint.
+                            continue;
+                        }
+                    }
+                }
+                // tx drops here; workers drain the queue and exit.
+            })
+            .expect("failed to spawn server acceptor")
+    };
+
+    Ok(ServerHandle { addr, state, acceptor: Some(acceptor), workers })
+}
+
+fn handle_connection(state: &ServerState, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(state.cfg.read_timeout_ms.max(1))));
+    let _ = stream.set_nodelay(true);
+    let head = match http::read_head(&mut stream) {
+        Ok(Some(head)) => head,
+        Ok(None) => return, // client connected and left (shutdown wake-up)
+        Err(_) => {
+            let _ = respond_text(&mut stream, 400, "Bad Request", "malformed request head\n");
+            return;
+        }
+    };
+    let _ = route(state, &mut stream, &head);
+}
+
+fn respond_text(stream: &mut TcpStream, status: u16, reason: &str, body: &str) -> io::Result<()> {
+    http::write_response(stream, status, reason, "text/plain; charset=utf-8", &[], body.as_bytes())
+}
+
+fn route(state: &ServerState, stream: &mut TcpStream, head: &http::Head) -> io::Result<()> {
+    match (head.method.as_str(), head.path.as_str()) {
+        ("GET", "/healthz") => respond_text(stream, 200, "OK", "ok\n"),
+        ("GET", "/metrics") => http::write_response(
+            stream,
+            200,
+            "OK",
+            "application/json",
+            &[],
+            metrics_json(state).as_bytes(),
+        ),
+        ("GET", "/sparql") | ("POST", "/sparql") => handle_sparql(state, stream, head),
+        ("GET", "/") => respond_text(
+            stream,
+            200,
+            "OK",
+            "sparql-uo endpoint: GET/POST /sparql, GET /metrics, GET /healthz\n",
+        ),
+        (_, "/sparql") | (_, "/healthz") | (_, "/metrics") | (_, "/") => {
+            respond_text(stream, 405, "Method Not Allowed", "method not allowed\n")
+        }
+        _ => respond_text(stream, 404, "Not Found", "unknown path\n"),
+    }
+}
+
+fn handle_sparql(state: &ServerState, stream: &mut TcpStream, head: &http::Head) -> io::Result<()> {
+    // Content negotiation first: a 406 should not consume an admission slot.
+    let Some(format) = negotiate(head.header("accept")) else {
+        return respond_text(
+            stream,
+            406,
+            "Not Acceptable",
+            "supported: application/sparql-results+json, text/tab-separated-values, text/plain\n",
+        );
+    };
+
+    // A client announcing `Expect: 100-continue` (curl does for bodies
+    // over ~1 KiB) has not sent its body yet; everyone else may already be
+    // mid-body, so early error responses must drain what was sent (closing
+    // with unread data RSTs the response away).
+    let expects_continue =
+        head.header("expect").is_some_and(|v| v.to_ascii_lowercase().contains("100-continue"));
+    let pending_body = if head.method == "POST" && !expects_continue {
+        head.content_length().unwrap_or(0)
+    } else {
+        0
+    };
+
+    // Admission control. The slot covers body read + execution, so a client
+    // that trickles its body in holds (and exhausts) capacity — exactly the
+    // resource the limit protects.
+    if state.inflight.fetch_add(1, Ordering::SeqCst) >= state.cfg.max_inflight {
+        state.inflight.fetch_sub(1, Ordering::SeqCst);
+        QueryCounters::bump(&state.counters.rejected);
+        http::drain(stream, pending_body);
+        return http::write_response(
+            stream,
+            503,
+            "Service Unavailable",
+            "text/plain; charset=utf-8",
+            &[("Retry-After", "1")],
+            b"overloaded: too many queries in flight\n",
+        );
+    }
+    let _guard = AdmissionGuard(state);
+
+    // Extract the query text and optional per-request timeout.
+    let mut query_text: Option<String> = None;
+    let mut timeout_ms: Option<u64> = None;
+    let mut read_params = |params: Vec<(String, String)>| {
+        for (k, v) in params {
+            match k.as_str() {
+                "query" => query_text = Some(v),
+                "timeout" => timeout_ms = v.parse().ok(),
+                _ => {}
+            }
+        }
+    };
+    if head.method == "GET" {
+        read_params(http::parse_form(&head.query));
+    } else {
+        let len = head.content_length().unwrap_or(0);
+        if len > state.cfg.max_body_bytes {
+            http::drain(stream, pending_body);
+            return respond_text(stream, 413, "Payload Too Large", "request body too large\n");
+        }
+        if expects_continue {
+            http::write_continue(stream)?;
+        }
+        let body = match http::read_body(stream, len) {
+            Ok(b) => b,
+            Err(_) => return respond_text(stream, 400, "Bad Request", "truncated request body\n"),
+        };
+        // Per-request parameters may also ride on the POST target's query
+        // string (the SPARQL protocol allows it for sparql-query bodies).
+        read_params(http::parse_form(&head.query));
+        let content_type =
+            head.header("content-type").unwrap_or("").split(';').next().unwrap_or("").trim();
+        match content_type {
+            "application/sparql-query" => {
+                query_text = Some(String::from_utf8_lossy(&body).into_owned());
+            }
+            "application/x-www-form-urlencoded" | "" => {
+                read_params(http::parse_form(&String::from_utf8_lossy(&body)));
+            }
+            other => {
+                let msg = format!("unsupported content type {other:?}\n");
+                return respond_text(stream, 415, "Unsupported Media Type", &msg);
+            }
+        }
+    }
+    let Some(text) = query_text else {
+        return respond_text(stream, 400, "Bad Request", "missing 'query' parameter\n");
+    };
+
+    QueryCounters::bump(&state.counters.queries);
+
+    // Parse (needed for the canonical cache key either way).
+    let parsed = match uo_sparql::parse(&text) {
+        Ok(q) => q,
+        Err(e) => {
+            QueryCounters::bump(&state.counters.parse_errors);
+            let msg = format!("parse error: {e}\n");
+            return respond_text(stream, 400, "Bad Request", &msg);
+        }
+    };
+    let qtype = query_type(&parsed.body);
+    let canonical = uo_sparql::serialize(&parsed);
+
+    // Plan cache: hit ⇒ skip plan construction + optimization.
+    let prepared: Arc<uo_core::Prepared> = match state.cache.get(&canonical) {
+        Some((prepared, _)) => {
+            QueryCounters::bump(&state.counters.cache_hits);
+            prepared
+        }
+        None => {
+            QueryCounters::bump(&state.counters.cache_misses);
+            let mut prepared = prepare_parsed(&state.store, parsed);
+            let (outcome, _) = optimize_prepared(
+                &state.store,
+                state.engine.as_ref(),
+                &mut prepared,
+                state.cfg.strategy,
+            );
+            let prepared = Arc::new(prepared);
+            state.cache.insert(canonical, Arc::clone(&prepared), outcome);
+            prepared
+        }
+    };
+
+    // Per-query deadline (cooperative, checked at BGP boundaries), plus the
+    // endpoint-wide cancel flag raised on shutdown.
+    let timeout = Duration::from_millis(
+        timeout_ms.unwrap_or(state.cfg.default_timeout_ms).min(state.cfg.max_timeout_ms),
+    );
+    let cancel = Cancellation::after(timeout).with_flag(Arc::clone(&state.query_cancel));
+
+    let projection = prepared.query.projection();
+    let report = match try_execute_prepared(
+        &state.store,
+        state.engine.as_ref(),
+        &prepared,
+        state.cfg.strategy,
+        uo_par::Parallelism::new(state.cfg.engine_threads.max(1)),
+        &cancel,
+    ) {
+        Ok(report) => report,
+        Err(_) => {
+            QueryCounters::bump(&state.counters.cancelled);
+            return respond_text(
+                stream,
+                408,
+                "Request Timeout",
+                "query deadline exceeded (raise the 'timeout' parameter)\n",
+            );
+        }
+    };
+    state.counters.record_ok(qtype, report.results.len());
+
+    let body = match format {
+        Format::Json => uo_sparql::results_json(&projection, &report.results),
+        Format::Tsv => uo_sparql::results_tsv(&projection, &report.results),
+        Format::Debug => debug_table(&projection, &report.results),
+    };
+    http::write_response(stream, 200, "OK", format.content_type(), &[], body.as_bytes())
+}
+
+/// The CLI-style human-readable table (debug format).
+fn debug_table(vars: &[String], rows: &[Vec<Option<uo_rdf::Term>>]) -> String {
+    let mut out = String::new();
+    out.push_str(&vars.iter().map(|v| format!("?{v}")).collect::<Vec<_>>().join("\t"));
+    out.push('\n');
+    for row in rows {
+        let cells: Vec<String> = row
+            .iter()
+            .map(|t| t.as_ref().map(|t| t.to_string()).unwrap_or_else(|| "—".into()))
+            .collect();
+        out.push_str(&cells.join("\t"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the `/metrics` JSON document.
+fn metrics_json(state: &ServerState) -> String {
+    let snap = state.counters.snapshot();
+    let (cache_hits, cache_misses) = state.cache.stats();
+    let by_type: Vec<String> = snap
+        .by_type
+        .iter()
+        .map(|(qt, n)| format!("\"{}\": {n}", uo_json::escape(&qt.to_string())))
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"uo-server-metrics/1\",\n  \"uptime_s\": {},\n  \
+         \"engine\": \"{}\",\n  \"strategy\": \"{}\",\n  \"threads\": {},\n  \
+         \"engine_threads\": {},\n  \"store_triples\": {},\n  \"inflight\": {},\n  \
+         \"max_inflight\": {},\n  \"plan_cache\": {{\"capacity\": {}, \"entries\": {}, \
+         \"hits\": {cache_hits}, \"misses\": {cache_misses}}},\n  \
+         \"queries\": {{\"admitted\": {}, \"ok\": {}, \"parse_errors\": {}, \
+         \"cancelled\": {}, \"rejected\": {}, \"rows\": {}, \"panics\": {}}},\n  \
+         \"by_type\": {{{}}}\n}}\n",
+        uo_json::num(state.started.elapsed().as_secs_f64()),
+        uo_json::escape(state.engine.name()),
+        uo_json::escape(state.cfg.strategy.label()),
+        state.cfg.threads,
+        state.cfg.engine_threads,
+        state.store.len(),
+        state.inflight.load(Ordering::SeqCst),
+        state.cfg.max_inflight,
+        state.cfg.cache_capacity,
+        state.cache.len(),
+        snap.queries,
+        snap.ok,
+        snap.parse_errors,
+        snap.cancelled,
+        snap.rejected,
+        snap.rows,
+        snap.panics,
+        by_type.join(", "),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negotiation_prefers_first_supported_range() {
+        assert_eq!(negotiate(None), Some(Format::Json));
+        assert_eq!(negotiate(Some("*/*")), Some(Format::Json));
+        assert_eq!(negotiate(Some("application/sparql-results+json")), Some(Format::Json));
+        assert_eq!(negotiate(Some("application/json; q=0.9")), Some(Format::Json));
+        assert_eq!(negotiate(Some("text/tab-separated-values")), Some(Format::Tsv));
+        assert_eq!(negotiate(Some("text/plain, application/json")), Some(Format::Debug));
+        assert_eq!(negotiate(Some("text/csv, text/tab-separated-values")), Some(Format::Tsv));
+        assert_eq!(negotiate(Some("application/xml")), None);
+    }
+
+    #[test]
+    fn debug_table_renders_unbound() {
+        let rows = vec![vec![Some(uo_rdf::Term::iri("http://a")), None]];
+        let got = debug_table(&["x".to_string(), "y".to_string()], &rows);
+        assert_eq!(got, "?x\t?y\n<http://a>\t—\n");
+    }
+}

@@ -35,4 +35,4 @@ pub mod serializer;
 pub use algebra::{Bag, VarId, VarTable};
 pub use ast::{Element, Expr, GroupPattern, PatternTerm, Query, Selection, TriplePattern};
 pub use parser::{parse, ParseError};
-pub use serializer::serialize;
+pub use serializer::{results_json, results_tsv, serialize};

@@ -1,0 +1,108 @@
+//! Property tests for the W3C result serializers: every term the
+//! generators produce — IRIs, blank nodes, and literals stuffed with
+//! quotes, backslashes, control characters, and multi-byte code points,
+//! with or without language tags / datatypes — round-trips through JSON
+//! escaping, and the TSV rows stay well-formed (one cell per variable).
+
+use proptest::prelude::*;
+use uo_json::Json;
+use uo_rdf::Term;
+use uo_sparql::{results_json, results_tsv};
+
+/// Lexical soup: ASCII, JSON-special characters (`"`, `\`), whitespace
+/// escapes, a C0 control character, and multi-byte UTF-8.
+const LEXICAL: &str = "[a-zA-Z0-9 \"\\\\\n\t\r\u{1}\u{e9}\u{4e16}\u{1f600}]{0,16}";
+/// Language tags / IRI suffixes stay in their grammars' safe subsets.
+const NAME: &str = "[a-zA-Z][a-zA-Z0-9]{0,8}";
+
+fn build_term(kind: u8, lexical: String, name: String) -> Term {
+    match kind % 5 {
+        0 => Term::iri(format!("http://example.org/{name}")),
+        1 => Term::blank(name),
+        2 => Term::lang_literal(lexical, name),
+        3 => Term::typed_literal(lexical, format!("http://www.w3.org/2001/XMLSchema#{name}")),
+        _ => Term::literal(lexical),
+    }
+}
+
+/// Digs the single binding object out of a parsed results document.
+fn binding(doc: &Json) -> &Json {
+    doc.get("results")
+        .and_then(|r| r.get("bindings"))
+        .and_then(Json::as_arr)
+        .and_then(|b| b.first())
+        .and_then(|row| row.get("v"))
+        .expect("one binding for ?v")
+}
+
+proptest! {
+    /// The satellite property: serializing any generated term to SPARQL
+    /// JSON and re-parsing it recovers the exact value, language tag, and
+    /// datatype — i.e. escaping is lossless for every producible term.
+    #[test]
+    fn every_term_round_trips_through_json_escaping(
+        kind in 0u8..=255,
+        lexical in LEXICAL,
+        name in NAME,
+    ) {
+        let term = build_term(kind, lexical, name);
+        let vars = vec!["v".to_string()];
+        let rows = vec![vec![Some(term.clone())]];
+        let doc = uo_json::parse(&results_json(&vars, &rows))
+            .expect("serializer output is valid JSON");
+        let b = binding(&doc);
+        let value = b.get("value").and_then(Json::as_str).expect("value is a string");
+        match &term {
+            Term::Iri(iri) => {
+                prop_assert_eq!(b.get("type").and_then(Json::as_str), Some("uri"));
+                prop_assert_eq!(value, &**iri);
+            }
+            Term::Blank(label) => {
+                prop_assert_eq!(b.get("type").and_then(Json::as_str), Some("bnode"));
+                prop_assert_eq!(value, &**label);
+            }
+            Term::Literal { lexical, lang, datatype } => {
+                prop_assert_eq!(b.get("type").and_then(Json::as_str), Some("literal"));
+                prop_assert_eq!(value, &**lexical);
+                prop_assert_eq!(
+                    b.get("xml:lang").and_then(Json::as_str),
+                    lang.as_deref()
+                );
+                prop_assert_eq!(
+                    b.get("datatype").and_then(Json::as_str),
+                    datatype.as_deref()
+                );
+            }
+        }
+    }
+
+    /// Raw string escaping (the layer under the serializer) is lossless on
+    /// its own: parse(quote(escape(s))) == s for arbitrary soup.
+    #[test]
+    fn json_escape_round_trips_arbitrary_strings(s in LEXICAL) {
+        let doc = format!("\"{}\"", uo_json::escape(&s));
+        prop_assert_eq!(uo_json::parse(&doc).unwrap(), Json::Str(s));
+    }
+
+    /// TSV rows never leak raw tabs/newlines out of a cell: every data row
+    /// has exactly one cell per variable, whatever the term contains.
+    #[test]
+    fn tsv_rows_stay_rectangular(
+        kind_a in 0u8..=255,
+        kind_b in 0u8..=255,
+        lexical in LEXICAL,
+        name in NAME,
+    ) {
+        let vars = vec!["a".to_string(), "b".to_string()];
+        let rows = vec![vec![
+            Some(build_term(kind_a, lexical.clone(), name.clone())),
+            Some(build_term(kind_b, lexical, name)),
+        ]];
+        let tsv = results_tsv(&vars, &rows);
+        let lines: Vec<&str> = tsv.lines().collect();
+        prop_assert_eq!(lines.len(), 2);
+        for line in lines {
+            prop_assert_eq!(line.split('\t').count(), 2, "row {:?}", line);
+        }
+    }
+}
