@@ -96,7 +96,7 @@ fn main() {
         max_inflight: clients.max(4) * 2,
         ..uo_server::ServerConfig::default()
     };
-    let handle = uo_server::start(Arc::clone(&store), cfg, 0).expect("start server");
+    let handle = uo_server::start(store.snapshot(), cfg, 0).expect("start server");
     let addr = handle.addr();
     eprintln!(
         "perf_serve: {} clients x {} requests against http://{addr} ({threads} workers)",

@@ -1,14 +1,19 @@
-//! Runs the measured perf suite and emits the `BENCH_PR2.json` artifact.
+//! Runs the measured perf suite and emits the `BENCH_PR2.json` artifact,
+//! plus the mixed read/write scenario's `BENCH_UPDATE.json`.
 //!
 //! ```text
-//! perf_suite [--out BENCH_PR2.json] [--threads N] [--repeat K]
+//! perf_suite [--out BENCH_PR2.json] [--update-out BENCH_UPDATE.json]
+//!            [--threads N] [--repeat K] [--no-update]
 //! ```
 //!
-//! The workload is fixed (LUBM + synthetic-DBpedia group-1 queries × four
-//! strategies × both engines); dataset size scales with `UO_SCALE`. Every
-//! query runs sequentially and at the configured worker count; the run
-//! aborts if the two ever disagree. See `uo_bench::perf` for the artifact
-//! schema and `perf_gate` for the CI regression check.
+//! The query workload is fixed (LUBM + synthetic-DBpedia group-1 queries ×
+//! four strategies × both engines); dataset size scales with `UO_SCALE`.
+//! Every query runs sequentially and at the configured worker count; the
+//! run aborts if the two ever disagree. The update scenario interleaves 19
+//! queries with every commit (a 95/5 read/write mix over the MVCC writer)
+//! and is determinism-gated only — wall times are recorded for trajectory
+//! tracking, not gated (single-core CI containers). See `uo_bench::perf`
+//! for the artifact schemas and `perf_gate` for the CI regression check.
 
 use std::process::ExitCode;
 use uo_bench::perf;
@@ -75,5 +80,31 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("wrote {out} ({} entries)", report.entries.len());
+
+    if !args.iter().any(|a| a == "--no-update") {
+        let update_out = flag(&args, "--update-out").unwrap_or("BENCH_UPDATE.json").to_string();
+        eprintln!("perf_suite: mixed read/write scenario (95/5, determinism-gated) ...");
+        let update_report = perf::run_update_suite(threads, repeats);
+        eprintln!(
+            "mixed: {} queries + {} updates | query seq {:.1} ms / par {:.1} ms | \
+             update seq {:.1} ms / par {:.1} ms | {} triples at epoch {} | \
+             merge accounting: {} delta rows sorted vs {} base rows merged",
+            update_report.outcome.query_results.len(),
+            update_report.rounds,
+            update_report.seq.query_ms,
+            update_report.par.query_ms,
+            update_report.seq.update_ms,
+            update_report.par.update_ms,
+            update_report.outcome.triples_final,
+            update_report.outcome.epoch_final,
+            update_report.outcome.rows_sorted,
+            update_report.outcome.rows_merged,
+        );
+        if let Err(e) = std::fs::write(&update_out, update_report.to_json()) {
+            eprintln!("error: failed to write {update_out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {update_out}");
+    }
     ExitCode::SUCCESS
 }

@@ -200,6 +200,208 @@ pub fn run_suite(threads: usize, repeats: usize) -> PerfReport {
     }
 }
 
+/// One deterministic outcome of the mixed read/write scenario; two runs of
+/// the scenario must agree on all of it regardless of worker count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MixedOutcome {
+    /// Result count of every query execution, in order.
+    pub query_results: Vec<usize>,
+    /// Triple count after the final commit.
+    pub triples_final: usize,
+    /// Epoch after the final commit.
+    pub epoch_final: u64,
+    /// Delta rows sorted across all commits (merge contract: stays
+    /// proportional to the deltas, not the store).
+    pub rows_sorted: usize,
+    /// Base rows merged across all commits.
+    pub rows_merged: usize,
+}
+
+/// Timings of one mixed scenario run.
+#[derive(Debug, Clone)]
+pub struct MixedTiming {
+    /// Total wall time in queries, ms.
+    pub query_ms: f64,
+    /// Total wall time in updates (apply + commit), ms.
+    pub update_ms: f64,
+}
+
+/// The `BENCH_UPDATE.json` artifact: a 95/5 read/write mix over the LUBM
+/// store, run once sequentially and once at the configured worker count.
+/// Only the deterministic fields are gated (single-core CI containers make
+/// wall times pure noise); the run itself aborts if the two worker counts
+/// ever disagree on a deterministic outcome.
+#[derive(Debug, Clone)]
+pub struct UpdatePerfReport {
+    /// Worker count of the parallel measurements.
+    pub threads: usize,
+    /// Host parallelism when the suite ran.
+    pub host_threads: usize,
+    /// The `UO_SCALE` multiplier.
+    pub uo_scale: f64,
+    /// Best-of-`repeats` timings.
+    pub repeats: usize,
+    /// Scenario shape: queries per update.
+    pub queries_per_update: usize,
+    /// Number of update rounds.
+    pub rounds: usize,
+    /// The deterministic outcome (identical at every worker count).
+    pub outcome: MixedOutcome,
+    /// Sequential timings (best of repeats).
+    pub seq: MixedTiming,
+    /// Parallel timings at `threads` workers (best of repeats).
+    pub par: MixedTiming,
+}
+
+impl UpdatePerfReport {
+    /// Serializes to the `BENCH_UPDATE.json` layout (schema `uo-perf/1`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"schema\": \"{}\",\n  \"bench\": \"perf_update\",\n  \"pr\": 4,\n  \
+             \"threads\": {},\n  \"host_threads\": {},\n  \"uo_scale\": {},\n  \
+             \"repeats\": {},\n  \"queries_per_update\": {},\n  \"rounds\": {},\n  \
+             \"queries_total\": {},\n  \"results_total\": {},\n  \"triples_final\": {},\n  \
+             \"epoch_final\": {},\n  \"rows_sorted\": {},\n  \"rows_merged\": {},\n  \
+             \"wall_ms\": {{\"query_seq\": {}, \"update_seq\": {}, \"query_par\": {}, \
+             \"update_par\": {}}}\n}}\n",
+            SCHEMA,
+            self.threads,
+            self.host_threads,
+            json::num(self.uo_scale),
+            self.repeats,
+            self.queries_per_update,
+            self.rounds,
+            self.outcome.query_results.len(),
+            self.outcome.query_results.iter().sum::<usize>(),
+            self.outcome.triples_final,
+            self.outcome.epoch_final,
+            self.outcome.rows_sorted,
+            self.outcome.rows_merged,
+            json::num(self.seq.query_ms),
+            json::num(self.seq.update_ms),
+            json::num(self.par.query_ms),
+            json::num(self.par.update_ms),
+        )
+    }
+}
+
+/// Queries per update in the mixed scenario (a 95/5 read/write mix).
+const MIXED_QUERIES_PER_UPDATE: usize = 19;
+/// Update rounds in the mixed scenario.
+const MIXED_ROUNDS: usize = 8;
+/// Triples inserted per update round.
+const MIXED_BATCH: usize = 25;
+
+fn run_mixed_once(store: &TripleStore, workers: usize) -> (MixedOutcome, MixedTiming) {
+    let par = Parallelism::new(workers);
+    let engine = WcoEngine::with_threads(workers);
+    let queries = group1(Dataset::Lubm);
+    let mut writer = uo_store::StoreWriter::from_snapshot(store.snapshot());
+    let mut outcome = MixedOutcome {
+        query_results: Vec::new(),
+        triples_final: 0,
+        epoch_final: 0,
+        rows_sorted: 0,
+        rows_merged: 0,
+    };
+    let (mut query_ms, mut update_ms) = (0.0f64, 0.0f64);
+    let mut qi = 0usize;
+    for round in 0..MIXED_ROUNDS {
+        let snapshot = writer.snapshot();
+        for _ in 0..MIXED_QUERIES_PER_UPDATE {
+            let q = &queries[qi % queries.len()];
+            qi += 1;
+            let t = Instant::now();
+            let report = run_query_with(&snapshot, &engine, q.text, Strategy::Full, par)
+                .unwrap_or_else(|e| panic!("{} failed to parse: {e}", q.id));
+            query_ms += t.elapsed().as_secs_f64() * 1e3;
+            outcome.query_results.push(report.results.len());
+        }
+        // The write slice: every third round cleans up via DELETE WHERE,
+        // otherwise a batch insert of tagged triples.
+        let t = Instant::now();
+        let request = if round % 3 == 2 {
+            uo_sparql::parse_update("DELETE WHERE { ?s <http://upd/tag> ?o }").unwrap()
+        } else {
+            let mut text = String::from("INSERT DATA {\n");
+            for i in 0..MIXED_BATCH {
+                text.push_str(&format!(
+                    "<http://upd/e{round}_{i}> <http://upd/tag> <http://upd/v{i}> .\n"
+                ));
+            }
+            text.push('}');
+            uo_sparql::parse_update(&text).unwrap()
+        };
+        uo_core::run_update(&mut writer, &engine, &request, par);
+        update_ms += t.elapsed().as_secs_f64() * 1e3;
+        let cs = writer.last_commit();
+        outcome.rows_sorted += cs.rows_sorted;
+        outcome.rows_merged += cs.rows_merged;
+    }
+    let final_snap = writer.snapshot();
+    outcome.triples_final = final_snap.len();
+    outcome.epoch_final = final_snap.epoch();
+    (outcome, MixedTiming { query_ms, update_ms })
+}
+
+/// Runs the mixed read/write scenario sequentially and at `threads`
+/// workers, best-of-`repeats` timings.
+///
+/// # Panics
+/// Panics if the parallel run's deterministic outcome (every query's result
+/// count, the final triple count/epoch, the commit accounting) differs from
+/// the sequential run, or if any commit re-sorted more rows than the deltas
+/// account for.
+pub fn run_update_suite(threads: usize, repeats: usize) -> UpdatePerfReport {
+    let repeats = repeats.max(1);
+    let store = crate::lubm_group1();
+    let mut reference: Option<MixedOutcome> = None;
+    let best = |timings: &mut MixedTiming, t: MixedTiming| {
+        timings.query_ms = timings.query_ms.min(t.query_ms);
+        timings.update_ms = timings.update_ms.min(t.update_ms);
+    };
+    let mut seq = MixedTiming { query_ms: f64::INFINITY, update_ms: f64::INFINITY };
+    let mut par = MixedTiming { query_ms: f64::INFINITY, update_ms: f64::INFINITY };
+    for _ in 0..repeats {
+        for (workers, slot) in [(1usize, &mut seq), (threads, &mut par)] {
+            let (outcome, timing) = run_mixed_once(&store, workers);
+            match &reference {
+                Some(r) => assert_eq!(
+                    *r, outcome,
+                    "mixed scenario diverged at {workers} worker(s) — updates must be \
+                     bit-deterministic"
+                ),
+                None => {
+                    // Merge contract: commits sorted only delta rows. Every
+                    // round touches at most MIXED_BATCH triples per index
+                    // (x3 indexes, x2 commits for the flush in DELETE WHERE
+                    // rounds), while the base store is orders of magnitude
+                    // larger.
+                    assert!(
+                        outcome.rows_sorted <= MIXED_ROUNDS * 6 * MIXED_BATCH,
+                        "commits re-sorted {} rows — merge path not taken",
+                        outcome.rows_sorted
+                    );
+                    assert!(outcome.rows_merged > outcome.rows_sorted * 10);
+                    reference = Some(outcome);
+                }
+            }
+            best(slot, timing);
+        }
+    }
+    UpdatePerfReport {
+        threads,
+        host_threads: uo_par::default_threads(),
+        uo_scale: scale(),
+        repeats,
+        queries_per_update: MIXED_QUERIES_PER_UPDATE,
+        rounds: MIXED_ROUNDS,
+        outcome: reference.expect("at least one repeat ran"),
+        seq,
+        par,
+    }
+}
+
 /// Gate configuration. An entry fails the timing check only when it exceeds
 /// **both** the relative tolerance and the absolute slack: short queries
 /// wobble by large factors but tiny absolute amounts (scheduler noise),

@@ -26,7 +26,6 @@
 
 use std::path::Path;
 use std::process::ExitCode;
-use std::sync::Arc;
 use std::time::Instant;
 use uo_core::{prepare, run_query_with, Parallelism, Strategy};
 use uo_engine::{BgpEngine, BinaryJoinEngine, WcoEngine};
@@ -51,13 +50,18 @@ const USAGE: &str = "usage:
   sparql-uo query  <data.{nt,ttl,uost}> (--query <file> | --text <sparql>)
                    [--strategy base|tt|cp|full] [--engine wco|binary|lbr]
                    [--threads N] [--explain] [--check-wd] [--limit-print N]
-  sparql-uo serve  <data.{nt,ttl,uost}> [--port N] [--threads K]
+  sparql-uo update <data.{nt,ttl,uost}> (--query <file> | --text <update>)
+                   [--out <store.uost>] [--threads N]
+  sparql-uo serve  <data.{nt,ttl,uost}> [--port N] [--threads K] [--writable]
                    [--engine wco|binary] [--strategy base|tt|cp|full]
                    [--engine-threads N] [--cache N] [--max-inflight N]
                    [--timeout-ms N] [--host ADDR]
   sparql-uo gen    lubm|dbpedia [--scale N] --out <file.nt>
 
-  --threads N: worker count (1 = sequential; default: env UO_THREADS, else all cores)";
+  --threads N: worker count (1 = sequential; default: env UO_THREADS, else all cores)
+  update applies INSERT DATA / DELETE DATA / DELETE WHERE and prints the
+  commit report; --out persists the resulting snapshot (format v2, epoch).
+  serve --writable additionally accepts POST /update on the endpoint.";
 
 /// The worker-count policy for this invocation: the explicit `--threads`
 /// flag wins; the `UO_THREADS` environment knob is read once as a fallback.
@@ -80,6 +84,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("load") => cmd_load(&args[1..], par),
         Some("stats") => cmd_stats(&args[1..], par),
         Some("query") => cmd_query(&args[1..], par),
+        Some("update") => cmd_update(&args[1..], par),
         Some("serve") => cmd_serve(&args[1..], par),
         Some("gen") => cmd_gen(&args[1..]),
         Some(other) => Err(format!("unknown command '{other}'")),
@@ -235,6 +240,32 @@ fn print_results(results: &[Vec<Option<uo_rdf::Term>>], projection: &[String], a
     }
 }
 
+/// `sparql-uo update`: apply a SPARQL Update request to a dataset and
+/// report the commit (optionally persisting the new snapshot).
+fn cmd_update(args: &[String], par: Parallelism) -> Result<(), String> {
+    let input = args.first().ok_or("update: missing data file")?;
+    let text = match (flag_value(args, "--query"), flag_value(args, "--text")) {
+        (Some(f), _) => std::fs::read_to_string(f).map_err(|e| e.to_string())?,
+        (None, Some(t)) => t.to_string(),
+        (None, None) => return Err("update: need --query <file> or --text <update>".into()),
+    };
+    let request = uo_sparql::parse_update(&text).map_err(|e| e.to_string())?;
+    let store = load_store(input, par)?;
+    let mut writer = uo_store::StoreWriter::from_snapshot(store.snapshot());
+    let engine = WcoEngine::with_threads(par.threads());
+    let report = uo_core::run_update(&mut writer, &engine, &request, par);
+    eprintln!(
+        "applied {} op(s) in {:.2?}: +{} / -{} statements, {} triples at epoch {}",
+        report.ops, report.exec_time, report.inserted, report.deleted, report.triples, report.epoch
+    );
+    if let Some(out) = flag_value(args, "--out") {
+        let t0 = Instant::now();
+        uo_store::save_to_file(&report.snapshot, Path::new(out)).map_err(|e| e.to_string())?;
+        eprintln!("snapshot written to {out} in {:.2?}", t0.elapsed());
+    }
+    Ok(())
+}
+
 /// `sparql-uo serve`: load a dataset and expose it over the SPARQL HTTP
 /// protocol until the process is killed.
 fn cmd_serve(args: &[String], par: Parallelism) -> Result<(), String> {
@@ -264,18 +295,23 @@ fn cmd_serve(args: &[String], par: Parallelism) -> Result<(), String> {
         cache_capacity: num("--cache", defaults.cache_capacity)?,
         max_inflight: num("--max-inflight", defaults.max_inflight)?,
         default_timeout_ms: num("--timeout-ms", defaults.default_timeout_ms as usize)? as u64,
+        writable: has_flag(args, "--writable"),
         ..defaults
     };
-    let store = Arc::new(load_store(input, par)?);
-    let handle = uo_server::start(store, cfg.clone(), port).map_err(|e| e.to_string())?;
+    let store = load_store(input, par)?;
+    let handle =
+        uo_server::start(store.snapshot(), cfg.clone(), port).map_err(|e| e.to_string())?;
     eprintln!(
         "serving SPARQL on http://{} ({} workers, plan cache {}, max in-flight {}, \
-         timeout {} ms)\nendpoints: GET/POST /sparql, GET /metrics, GET /healthz — ctrl-c to stop",
+         timeout {} ms{})\nendpoints: GET/POST /sparql{}, GET /metrics, GET /healthz — \
+         ctrl-c to stop",
         handle.addr(),
         cfg.threads,
         cfg.cache_capacity,
         cfg.max_inflight,
         cfg.default_timeout_ms,
+        if cfg.writable { ", writable" } else { "" },
+        if cfg.writable { ", POST /update" } else { "" },
     );
     // Serve until the process is killed; the handle joins worker threads on
     // drop, which never happens here — parking keeps the main thread alive.
@@ -342,6 +378,49 @@ mod tests {
     fn invalid_thread_counts_rejected() {
         assert!(run(&s(&["stats", "x.nt", "--threads", "0"])).is_err());
         assert!(run(&s(&["stats", "x.nt", "--threads", "lots"])).is_err());
+    }
+
+    #[test]
+    fn end_to_end_update_roundtrip() {
+        let dir = std::env::temp_dir().join("uo_cli_update_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let nt = dir.join("mini.nt");
+        std::fs::write(
+            &nt,
+            "<http://e/a> <http://p/link> <http://e/b> .\n<http://e/a> <http://p/name> \"A\" .\n",
+        )
+        .unwrap();
+        let snap = dir.join("mini.uost");
+        // Apply an update and persist the new snapshot.
+        run(&s(&[
+            "update",
+            nt.to_str().unwrap(),
+            "--text",
+            "INSERT DATA { <http://e/b> <http://p/link> <http://e/c> } ;
+             DELETE WHERE { ?x <http://p/name> ?n }",
+            "--out",
+            snap.to_str().unwrap(),
+            "--threads",
+            "1",
+        ]))
+        .unwrap();
+        // The persisted snapshot reflects the update (2 link triples, no
+        // name) and carries the bumped epoch.
+        let loaded = uo_store::load_from_file(&snap).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert!(loaded.snapshot().epoch() >= 2);
+        let name = loaded.dictionary().lookup(&uo_rdf::Term::iri("http://p/name"));
+        assert!(name.is_none() || loaded.count_pattern(None, name, None) == 0);
+        run(&s(&[
+            "query",
+            snap.to_str().unwrap(),
+            "--text",
+            "SELECT ?x WHERE { ?x <http://p/link> ?y }",
+        ]))
+        .unwrap();
+        // Missing update text errors.
+        assert!(run(&s(&["update", nt.to_str().unwrap()])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

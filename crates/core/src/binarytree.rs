@@ -16,7 +16,7 @@ use crate::betree::{BeNode, BeTree, GroupNode};
 use uo_engine::binary::scan_pattern;
 use uo_engine::CandidateSet;
 use uo_sparql::algebra::Bag;
-use uo_store::TripleStore;
+use uo_store::Snapshot;
 
 /// Statistics from a binary-tree evaluation.
 #[derive(Debug, Default, Clone)]
@@ -33,7 +33,7 @@ pub struct BinaryTreeStats {
 /// pattern becomes its own relation, combined strictly left to right.
 pub fn evaluate_binary_tree(
     tree: &BeTree,
-    store: &TripleStore,
+    store: &Snapshot,
     width: usize,
 ) -> (Bag, BinaryTreeStats) {
     let mut stats = BinaryTreeStats::default();
@@ -45,12 +45,7 @@ fn track(stats: &mut BinaryTreeStats, bag: &Bag) {
     stats.peak_intermediate = stats.peak_intermediate.max(bag.len());
 }
 
-fn eval_group(
-    g: &GroupNode,
-    store: &TripleStore,
-    width: usize,
-    stats: &mut BinaryTreeStats,
-) -> Bag {
+fn eval_group(g: &GroupNode, store: &Snapshot, width: usize, stats: &mut BinaryTreeStats) -> Bag {
     let mut r = Bag::unit(width);
     for child in &g.children {
         match child {
@@ -111,6 +106,7 @@ mod tests {
     use crate::{run_query, Strategy};
     use uo_engine::WcoEngine;
     use uo_rdf::Term;
+    use uo_store::TripleStore;
 
     fn store() -> TripleStore {
         let mut st = TripleStore::new();

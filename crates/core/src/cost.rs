@@ -29,23 +29,23 @@ use crate::betree::{BeNode, BgpNode, GroupNode};
 use std::cell::RefCell;
 use uo_engine::{BgpEngine, EncodedBgp};
 use uo_rdf::FxHashMap;
-use uo_store::TripleStore;
+use uo_store::Snapshot;
 
 /// Cost/cardinality oracle over a BGP engine, with memoization.
 pub struct CostModel<'a> {
-    store: &'a TripleStore,
+    store: &'a Snapshot,
     engine: &'a dyn BgpEngine,
     memo: RefCell<FxHashMap<EncodedBgp, (f64, f64)>>,
 }
 
 impl<'a> CostModel<'a> {
     /// Creates a cost model bound to a store and BGP engine.
-    pub fn new(store: &'a TripleStore, engine: &'a dyn BgpEngine) -> Self {
+    pub fn new(store: &'a Snapshot, engine: &'a dyn BgpEngine) -> Self {
         CostModel { store, engine, memo: RefCell::new(FxHashMap::default()) }
     }
 
     /// The underlying store.
-    pub fn store(&self) -> &TripleStore {
+    pub fn store(&self) -> &Snapshot {
         self.store
     }
 
@@ -196,6 +196,7 @@ mod tests {
     use uo_engine::WcoEngine;
     use uo_rdf::Term;
     use uo_sparql::algebra::VarTable;
+    use uo_store::TripleStore;
 
     /// hub has 5 q-edges; 100 p-edges chain.
     fn store() -> TripleStore {
@@ -218,7 +219,7 @@ mod tests {
         st
     }
 
-    fn tree(q: &str, st: &TripleStore) -> (BeTree, VarTable) {
+    fn tree(q: &str, st: &Snapshot) -> (BeTree, VarTable) {
         let query = uo_sparql::parse(q).unwrap();
         let mut vars = VarTable::new();
         let t = BeTree::build(&query, &mut vars, st.dictionary());

@@ -29,7 +29,7 @@ use uo_engine::{BgpEngine, CandidateSet};
 use uo_par::Parallelism;
 use uo_rdf::{FxHashMap, Id};
 use uo_sparql::algebra::{Bag, VarId};
-use uo_store::TripleStore;
+use uo_store::Snapshot;
 
 /// Cooperative cancellation for long-running evaluations.
 ///
@@ -111,12 +111,12 @@ pub enum Pruning {
 
 impl Pruning {
     /// The paper's fixed setting: 1% of the dataset's triple count.
-    pub fn fixed_for(store: &TripleStore) -> Pruning {
+    pub fn fixed_for(store: &Snapshot) -> Pruning {
         Pruning::Fixed((store.len() / 100).max(1))
     }
 
     /// The paper's adaptive setting with the 1% fallback.
-    pub fn adaptive_for(store: &TripleStore) -> Pruning {
+    pub fn adaptive_for(store: &Snapshot) -> Pruning {
         Pruning::Adaptive((store.len() / 100).max(1))
     }
 
@@ -273,7 +273,7 @@ fn intersect_sorted(a: &[Id], b: &[Id]) -> Vec<Id> {
 /// `UO_THREADS` environment knob; see [`evaluate_with`].
 pub fn evaluate(
     tree: &BeTree,
-    store: &TripleStore,
+    store: &Snapshot,
     engine: &dyn BgpEngine,
     width: usize,
     pruning: Pruning,
@@ -287,7 +287,7 @@ pub fn evaluate(
 /// to a sequential evaluation.
 pub fn evaluate_with(
     tree: &BeTree,
-    store: &TripleStore,
+    store: &Snapshot,
     engine: &dyn BgpEngine,
     width: usize,
     pruning: Pruning,
@@ -303,7 +303,7 @@ pub fn evaluate_with(
 #[allow(clippy::too_many_arguments)]
 pub fn try_evaluate_with(
     tree: &BeTree,
-    store: &TripleStore,
+    store: &Snapshot,
     engine: &dyn BgpEngine,
     width: usize,
     pruning: Pruning,
@@ -329,7 +329,7 @@ pub fn try_evaluate_with(
 #[allow(clippy::too_many_arguments)]
 fn eval_group(
     g: &GroupNode,
-    store: &TripleStore,
+    store: &Snapshot,
     engine: &dyn BgpEngine,
     width: usize,
     pruning: Pruning,
@@ -491,6 +491,7 @@ mod tests {
     use uo_engine::{BinaryJoinEngine, WcoEngine};
     use uo_rdf::Term;
     use uo_sparql::algebra::VarTable;
+    use uo_store::TripleStore;
 
     fn store() -> TripleStore {
         let mut st = TripleStore::new();
@@ -517,7 +518,7 @@ mod tests {
         st
     }
 
-    fn run(q: &str, st: &TripleStore, pruning: Pruning) -> (Bag, ExecStats, VarTable) {
+    fn run(q: &str, st: &Snapshot, pruning: Pruning) -> (Bag, ExecStats, VarTable) {
         let query = uo_sparql::parse(q).unwrap();
         let mut vars = VarTable::new();
         let tree = BeTree::build(&query, &mut vars, st.dictionary());

@@ -53,6 +53,7 @@ pub mod exec;
 pub mod metrics;
 pub mod optimizer;
 pub mod transform;
+pub mod update;
 pub mod wdpt;
 
 pub use betree::{explain, BeNode, BeTree, BgpNode, GroupNode};
@@ -64,6 +65,7 @@ pub use exec::{
 pub use metrics::{count_bgp, query_type, QueryCounters, QueryCountersSnapshot, QueryType};
 pub use optimizer::{multi_level_transform, OptimizerConfig, TransformOutcome};
 pub use uo_par::Parallelism;
+pub use update::{run_update, try_run_update, UpdateReport};
 pub use wdpt::{check_well_designed, is_well_designed};
 
 use std::time::{Duration, Instant};
@@ -71,7 +73,7 @@ use uo_engine::BgpEngine;
 use uo_rdf::Term;
 use uo_sparql::algebra::{Bag, VarId, VarTable};
 use uo_sparql::ast::Query;
-use uo_store::TripleStore;
+use uo_store::Snapshot;
 
 /// The four evaluation strategies compared in Section 7.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,13 +127,13 @@ pub struct Prepared {
 }
 
 /// Parses a query and constructs its BE-tree against `store`'s dictionary.
-pub fn prepare(store: &TripleStore, text: &str) -> Result<Prepared, uo_sparql::ParseError> {
+pub fn prepare(store: &Snapshot, text: &str) -> Result<Prepared, uo_sparql::ParseError> {
     let query = uo_sparql::parse(text)?;
     Ok(prepare_parsed(store, query))
 }
 
 /// Builds a [`Prepared`] from an already-parsed query.
-pub fn prepare_parsed(store: &TripleStore, query: Query) -> Prepared {
+pub fn prepare_parsed(store: &Snapshot, query: Query) -> Prepared {
     let mut vars = VarTable::new();
     let tree = BeTree::build(&query, &mut vars, store.dictionary());
     let projection = query.projection().iter().map(|name| vars.intern(name)).collect();
@@ -172,7 +174,7 @@ pub struct RunReport {
 /// bit-identical to sequential. Use [`run_query_with`] for an explicit
 /// count.
 pub fn run_query(
-    store: &TripleStore,
+    store: &Snapshot,
     engine: &dyn BgpEngine,
     text: &str,
     strategy: Strategy,
@@ -184,7 +186,7 @@ pub fn run_query(
 /// UNION fan-out (the engine's own scan/join parallelism is configured on
 /// the engine itself).
 pub fn run_query_with(
-    store: &TripleStore,
+    store: &Snapshot,
     engine: &dyn BgpEngine,
     text: &str,
     strategy: Strategy,
@@ -197,7 +199,7 @@ pub fn run_query_with(
 /// Optimizes and executes a prepared query under the given strategy, with
 /// the worker count of the `UO_THREADS` environment knob.
 pub fn run_prepared(
-    store: &TripleStore,
+    store: &Snapshot,
     engine: &dyn BgpEngine,
     prepared: Prepared,
     strategy: Strategy,
@@ -207,7 +209,7 @@ pub fn run_prepared(
 
 /// [`run_prepared`] with an explicit parallelism policy.
 pub fn run_prepared_with(
-    store: &TripleStore,
+    store: &Snapshot,
     engine: &dyn BgpEngine,
     mut prepared: Prepared,
     strategy: Strategy,
@@ -231,7 +233,7 @@ pub fn run_prepared_with(
 /// optimize a query once, cache the optimized [`Prepared`], and then
 /// execute it many times — repeat queries skip parse *and* optimize.
 pub fn optimize_prepared(
-    store: &TripleStore,
+    store: &Snapshot,
     engine: &dyn BgpEngine,
     prepared: &mut Prepared,
     strategy: Strategy,
@@ -264,7 +266,7 @@ pub fn optimize_prepared(
 /// path. The returned report's `transforms`/`transform_time` are zeroed;
 /// the one-shot wrappers fill them in.
 pub fn try_execute_prepared(
-    store: &TripleStore,
+    store: &Snapshot,
     engine: &dyn BgpEngine,
     prepared: &Prepared,
     strategy: Strategy,
@@ -325,12 +327,7 @@ pub fn try_execute_prepared(
 /// Sorts a solution bag by ORDER BY keys. Unbound sorts first (SPARQL's
 /// ordering), then blank nodes, IRIs and literals; numeric literals compare
 /// by value, everything else by display form.
-fn sort_solutions(
-    bag: &mut Bag,
-    order_by: &[(String, bool)],
-    vars: &VarTable,
-    store: &TripleStore,
-) {
+fn sort_solutions(bag: &mut Bag, order_by: &[(String, bool)], vars: &VarTable, store: &Snapshot) {
     let keys: Vec<(VarId, bool)> =
         order_by.iter().filter_map(|(name, desc)| vars.get(name).map(|v| (v, *desc))).collect();
     let dict = store.dictionary();
@@ -366,7 +363,7 @@ fn sort_solutions(
 pub fn decode_projection(
     bag: &Bag,
     projection: &[VarId],
-    store: &TripleStore,
+    store: &Snapshot,
 ) -> Vec<Vec<Option<Term>>> {
     bag.rows
         .iter()
@@ -383,6 +380,7 @@ pub fn decode_projection(
 mod tests {
     use super::*;
     use uo_engine::{BinaryJoinEngine, WcoEngine};
+    use uo_store::TripleStore;
 
     fn store() -> TripleStore {
         let mut st = TripleStore::new();

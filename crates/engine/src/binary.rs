@@ -7,7 +7,7 @@ use crate::BgpEngine;
 use uo_par::Parallelism;
 use uo_rdf::{Id, NO_ID};
 use uo_sparql::algebra::Bag;
-use uo_store::TripleStore;
+use uo_store::Snapshot;
 
 /// The binary hash-join engine (the paper's Jena stand-in).
 ///
@@ -54,7 +54,7 @@ impl Default for BinaryJoinEngine {
 /// Scans one triple pattern into a bag of rows over a `width`-variable frame,
 /// applying candidate restrictions during the scan.
 pub fn scan_pattern(
-    store: &TripleStore,
+    store: &Snapshot,
     pat: &EncodedTriplePattern,
     width: usize,
     candidates: &CandidateSet,
@@ -70,7 +70,7 @@ const SCAN_PAR_THRESHOLD: usize = 4096;
 /// Per-chunk rows concatenate in range order, identical to the sequential
 /// scan.
 pub fn scan_pattern_par(
-    store: &TripleStore,
+    store: &Snapshot,
     pat: &EncodedTriplePattern,
     width: usize,
     candidates: &CandidateSet,
@@ -109,7 +109,7 @@ impl BgpEngine for BinaryJoinEngine {
 
     fn evaluate(
         &self,
-        store: &TripleStore,
+        store: &Snapshot,
         bgp: &EncodedBgp,
         width: usize,
         candidates: &CandidateSet,
@@ -139,11 +139,11 @@ impl BgpEngine for BinaryJoinEngine {
         acc.unwrap_or_else(|| Bag::unit(width))
     }
 
-    fn estimate_cardinality(&self, store: &TripleStore, bgp: &EncodedBgp) -> f64 {
+    fn estimate_cardinality(&self, store: &Snapshot, bgp: &EncodedBgp) -> f64 {
         Estimator::sketch(store, bgp).cardinality
     }
 
-    fn estimate_cost(&self, store: &TripleStore, bgp: &EncodedBgp) -> f64 {
+    fn estimate_cost(&self, store: &Snapshot, bgp: &EncodedBgp) -> f64 {
         let sketch = Estimator::sketch(store, bgp);
         let mut cost = 0.0;
         for (i, step) in sketch.steps.iter().enumerate() {
@@ -166,6 +166,7 @@ mod tests {
     use uo_rdf::Term;
     use uo_sparql::algebra::VarTable;
     use uo_sparql::ast::{PatternTerm, TriplePattern};
+    use uo_store::TripleStore;
 
     fn tp(s: &str, p: &str, o: &str) -> TriplePattern {
         let conv = |x: &str| {

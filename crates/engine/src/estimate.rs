@@ -18,7 +18,7 @@
 use crate::pattern::{EncodedBgp, EncodedTriplePattern, Slot};
 use uo_rdf::{Id, NO_ID};
 use uo_sparql::algebra::VarMask;
-use uo_store::TripleStore;
+use uo_store::Snapshot;
 
 /// Number of partial results sampled per join step.
 const SAMPLE_SIZE: usize = 64;
@@ -57,7 +57,7 @@ impl Estimator {
     /// the pattern with the smallest exact scan count, then repeatedly take
     /// the *connected* pattern (sharing a variable with the bound prefix)
     /// with the smallest scan count; re-seed on disconnection.
-    pub fn sketch(store: &TripleStore, bgp: &EncodedBgp) -> Estimator {
+    pub fn sketch(store: &Snapshot, bgp: &EncodedBgp) -> Estimator {
         let n = bgp.patterns.len();
         if n == 0 {
             return Estimator { steps: Vec::new(), cardinality: 1.0 };
@@ -191,7 +191,7 @@ impl Estimator {
 
 /// `min_i average_size(v_i, p)` over the pattern's endpoints bound before
 /// this step — the per-tuple cost of a WCO extension (Section 5.1.2).
-fn min_avg_size(store: &TripleStore, pat: &EncodedTriplePattern, bound: VarMask) -> f64 {
+fn min_avg_size(store: &Snapshot, pat: &EncodedTriplePattern, bound: VarMask) -> f64 {
     let p_const = pat.p.as_const();
     let s_bound = match pat.s {
         Slot::Const(_) => true,
@@ -223,6 +223,7 @@ mod tests {
     use uo_rdf::Term;
     use uo_sparql::algebra::VarTable;
     use uo_sparql::ast::{PatternTerm, TriplePattern};
+    use uo_store::TripleStore;
 
     fn tp(s: &str, p: &str, o: &str) -> TriplePattern {
         let conv = |x: &str| {

@@ -36,7 +36,7 @@ pub use pattern::{encode_bgp, CandidateSet, EncodedBgp, EncodedTriplePattern, Sl
 pub use wco::WcoEngine;
 
 use uo_sparql::algebra::Bag;
-use uo_store::TripleStore;
+use uo_store::Snapshot;
 
 /// A BGP evaluation engine: the pluggable building block of Algorithm 1.
 pub trait BgpEngine: Send + Sync {
@@ -54,7 +54,7 @@ pub trait BgpEngine: Send + Sync {
     /// specific variables (empty set = unrestricted).
     fn evaluate(
         &self,
-        store: &TripleStore,
+        store: &Snapshot,
         bgp: &EncodedBgp,
         width: usize,
         candidates: &CandidateSet,
@@ -63,9 +63,9 @@ pub trait BgpEngine: Send + Sync {
     /// Estimated number of results of the BGP (Section 5.1.2's sampling
     /// scheme). Used both by the SPARQL-UO cost model and as the adaptive
     /// candidate-pruning threshold.
-    fn estimate_cardinality(&self, store: &TripleStore, bgp: &EncodedBgp) -> f64;
+    fn estimate_cardinality(&self, store: &Snapshot, bgp: &EncodedBgp) -> f64;
 
     /// Estimated evaluation cost of the BGP under this engine's join
     /// paradigm (`cost(P)` in Equations 2 and 6).
-    fn estimate_cost(&self, store: &TripleStore, bgp: &EncodedBgp) -> f64;
+    fn estimate_cost(&self, store: &Snapshot, bgp: &EncodedBgp) -> f64;
 }

@@ -3,7 +3,7 @@
 use uo_rdf::{Dictionary, Id, NO_ID};
 use uo_sparql::algebra::{bit, VarId, VarMask, VarTable};
 use uo_sparql::ast::{PatternTerm, TriplePattern};
-use uo_store::TripleStore;
+use uo_store::Snapshot;
 
 /// One slot of an encoded triple pattern.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -74,7 +74,7 @@ impl EncodedTriplePattern {
     /// Exact number of dataset triples matching the pattern with all
     /// variables treated as wildcards (repeated-variable constraints are not
     /// applied here; they can only shrink the count).
-    pub fn scan_count(&self, store: &TripleStore) -> usize {
+    pub fn scan_count(&self, store: &Snapshot) -> usize {
         store.count_pattern(self.s.as_const(), self.p.as_const(), self.o.as_const())
     }
 
@@ -229,6 +229,7 @@ impl CandidateSet {
 mod tests {
     use super::*;
     use uo_rdf::Term;
+    use uo_store::TripleStore;
 
     fn setup() -> (TripleStore, VarTable) {
         let mut st = TripleStore::new();

@@ -17,7 +17,7 @@ use crate::BgpEngine;
 use uo_par::Parallelism;
 use uo_rdf::Id;
 use uo_sparql::algebra::Bag;
-use uo_store::TripleStore;
+use uo_store::Snapshot;
 
 /// Minimum partial matches at an extension level before the WCO engine fans
 /// out to workers; below this, thread spawns outweigh the per-row scans.
@@ -70,7 +70,7 @@ impl BgpEngine for WcoEngine {
 
     fn evaluate(
         &self,
-        store: &TripleStore,
+        store: &Snapshot,
         bgp: &EncodedBgp,
         width: usize,
         candidates: &CandidateSet,
@@ -120,11 +120,11 @@ impl BgpEngine for WcoEngine {
         Bag { width, maybe: mask, certain: if rows.is_empty() { 0 } else { mask }, rows }
     }
 
-    fn estimate_cardinality(&self, store: &TripleStore, bgp: &EncodedBgp) -> f64 {
+    fn estimate_cardinality(&self, store: &Snapshot, bgp: &EncodedBgp) -> f64 {
         Estimator::sketch(store, bgp).cardinality
     }
 
-    fn estimate_cost(&self, store: &TripleStore, bgp: &EncodedBgp) -> f64 {
+    fn estimate_cost(&self, store: &Snapshot, bgp: &EncodedBgp) -> f64 {
         let sketch = Estimator::sketch(store, bgp);
         let mut cost = 0.0;
         for step in &sketch.steps {
@@ -146,6 +146,7 @@ mod tests {
     use uo_rdf::Term;
     use uo_sparql::algebra::VarTable;
     use uo_sparql::ast::{PatternTerm, TriplePattern};
+    use uo_store::TripleStore;
 
     fn tp(s: &str, p: &str, o: &str) -> TriplePattern {
         let conv = |x: &str| {

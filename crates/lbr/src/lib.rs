@@ -32,7 +32,7 @@ use uo_engine::binary::scan_pattern;
 use uo_engine::{CandidateSet, EncodedTriplePattern};
 use uo_rdf::Id;
 use uo_sparql::algebra::Bag;
-use uo_store::TripleStore;
+use uo_store::Snapshot;
 
 /// Statistics from one LBR evaluation.
 #[derive(Debug, Default, Clone)]
@@ -202,7 +202,7 @@ impl LbrQuery {
 }
 
 /// Evaluates a BE-tree with the LBR strategy.
-pub fn evaluate_lbr(tree: &BeTree, store: &TripleStore, width: usize) -> (Bag, LbrStats) {
+pub fn evaluate_lbr(tree: &BeTree, store: &Snapshot, width: usize) -> (Bag, LbrStats) {
     let q = LbrQuery::compile(tree);
     let mut stats = LbrStats::default();
 
@@ -315,6 +315,7 @@ mod tests {
     use uo_core::{prepare, run_query, Strategy};
     use uo_engine::WcoEngine;
     use uo_rdf::Term;
+    use uo_store::TripleStore;
 
     fn store() -> TripleStore {
         let mut st = TripleStore::new();
@@ -340,7 +341,7 @@ mod tests {
         st
     }
 
-    fn lbr_run(q: &str, st: &TripleStore) -> (Bag, LbrStats) {
+    fn lbr_run(q: &str, st: &Snapshot) -> (Bag, LbrStats) {
         let prepared = prepare(st, q).unwrap();
         evaluate_lbr(&prepared.tree, st, prepared.vars.len())
     }

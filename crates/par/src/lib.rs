@@ -200,6 +200,84 @@ where
     v.copy_from_slice(&merged);
 }
 
+/// Merges a sorted, deduplicated `base` run with a sorted, deduplicated
+/// `inserts` run, dropping every row that appears in the sorted `deletes`
+/// run (deletions apply to base and insert rows alike). The output is
+/// sorted and deduplicated; rows present in both `base` and `inserts`
+/// appear once.
+///
+/// This is the MVCC commit primitive: folding a K-row delta into an N-row
+/// index costs O(N + K) — no re-sort of the base. Above one worker the base
+/// is split into contiguous chunks, each delta run is partitioned to the
+/// chunks by binary search on the chunk boundary values, and the per-chunk
+/// merges run on the [`map_chunks`] pool; concatenating the chunk outputs
+/// in order reproduces the sequential merge exactly.
+pub fn merge_diff<T>(par: Parallelism, base: &[T], inserts: &[T], deletes: &[T]) -> Vec<T>
+where
+    T: Ord + Copy + Send + Sync,
+{
+    let threads = par.threads();
+    if threads <= 1 || base.len() < MIN_PARALLEL_SORT {
+        return merge_diff_seq(base, inserts, deletes);
+    }
+    let chunk_size = base.len().div_ceil(threads);
+    // Descriptor per base chunk: the chunk itself plus the half-open delta
+    // ranges it owns. Chunk i owns delta rows in [first(chunk i), first(chunk
+    // i+1)) — with -inf for the first chunk and +inf for the last — so every
+    // delta row lands in exactly one chunk and equal rows meet their base
+    // counterpart for deduplication.
+    let chunks: Vec<&[T]> = base.chunks(chunk_size).collect();
+    let mut descs: Vec<(&[T], &[T], &[T])> = Vec::with_capacity(chunks.len());
+    let (mut ins_lo, mut del_lo) = (0usize, 0usize);
+    for (i, chunk) in chunks.iter().enumerate() {
+        let (ins_hi, del_hi) = match chunks.get(i + 1).map(|next| next[0]) {
+            Some(bound) => {
+                (inserts.partition_point(|x| *x < bound), deletes.partition_point(|x| *x < bound))
+            }
+            None => (inserts.len(), deletes.len()),
+        };
+        descs.push((chunk, &inserts[ins_lo..ins_hi], &deletes[del_lo..del_hi]));
+        ins_lo = ins_hi;
+        del_lo = del_hi;
+    }
+    let pieces = map_chunks(par, &descs, |ds| {
+        ds.iter().map(|(b, i, d)| merge_diff_seq(b, i, d)).collect::<Vec<_>>()
+    });
+    let mut out = Vec::with_capacity(base.len() + inserts.len());
+    for piece in pieces.into_iter().flatten() {
+        out.extend_from_slice(&piece);
+    }
+    out
+}
+
+fn merge_diff_seq<T: Ord + Copy>(base: &[T], inserts: &[T], deletes: &[T]) -> Vec<T> {
+    let mut out = Vec::with_capacity(base.len() + inserts.len());
+    let (mut i, mut j, mut k) = (0usize, 0usize, 0usize);
+    while i < base.len() || j < inserts.len() {
+        let take_base = j >= inserts.len() || (i < base.len() && base[i] <= inserts[j]);
+        let v = if take_base {
+            let v = base[i];
+            i += 1;
+            if j < inserts.len() && inserts[j] == v {
+                j += 1; // row inserted although already present: dedup
+            }
+            v
+        } else {
+            let v = inserts[j];
+            j += 1;
+            v
+        };
+        while k < deletes.len() && deletes[k] < v {
+            k += 1;
+        }
+        if k < deletes.len() && deletes[k] == v {
+            continue;
+        }
+        out.push(v);
+    }
+    out
+}
+
 /// Merges sorted runs into one sorted `Vec` by repeatedly picking the
 /// smallest head (runs are few — one per worker — so a linear scan beats a
 /// heap).
@@ -292,6 +370,52 @@ mod tests {
         assert_eq!(par.threads(), 1);
         // new() clamps zero to one.
         assert!(Parallelism::new(0).is_sequential());
+    }
+
+    #[test]
+    fn merge_diff_matches_rebuild() {
+        // Deterministic xorshift data, large enough to hit the parallel path.
+        let mut s = 0x243f6a8885a308d3u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut base: Vec<u64> = (0..10_000).map(|_| next() % 50_000).collect();
+        base.sort_unstable();
+        base.dedup();
+        let mut inserts: Vec<u64> = (0..500).map(|_| next() % 50_000).collect();
+        inserts.sort_unstable();
+        inserts.dedup();
+        // Delete a mix of present and absent rows, disjoint from inserts.
+        let mut deletes: Vec<u64> =
+            base.iter().step_by(7).copied().chain((0..100).map(|_| next() % 50_000)).collect();
+        deletes.sort_unstable();
+        deletes.dedup();
+        deletes.retain(|d| inserts.binary_search(d).is_err());
+
+        let mut expected: Vec<u64> = base.iter().chain(inserts.iter()).copied().collect();
+        expected.sort_unstable();
+        expected.dedup();
+        expected.retain(|v| deletes.binary_search(v).is_err());
+
+        for threads in [1, 2, 4, 8] {
+            let got = merge_diff(Parallelism::new(threads), &base, &inserts, &deletes);
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn merge_diff_edge_cases() {
+        let par = Parallelism::new(4);
+        assert_eq!(merge_diff(par, &[], &[1, 2], &[2]), vec![1]);
+        assert_eq!(merge_diff(par, &[1, 2, 3], &[], &[]), vec![1, 2, 3]);
+        assert_eq!(merge_diff(par, &[1, 2, 3], &[2, 4], &[1, 9]), vec![2, 3, 4]);
+        // Inserts entirely before and after the base range.
+        assert_eq!(merge_diff(par, &[5, 6], &[1, 9], &[]), vec![1, 5, 6, 9]);
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(merge_diff(par, &[], &[], &[1]), empty);
     }
 
     #[test]

@@ -28,14 +28,30 @@ impl std::error::Error for ParseError {}
 /// term triples.
 pub fn parse_document(input: &str) -> Result<Vec<(Term, Term, Term)>, ParseError> {
     let mut out = Vec::new();
+    parse_document_each(input, |s, p, o| out.push((s, p, o)))?;
+    Ok(out)
+}
+
+/// Streaming variant of [`parse_document`]: invokes `sink` once per
+/// statement instead of materializing a `Vec` of decoded terms. Store
+/// loaders use this to encode statements as they are parsed, keeping peak
+/// ingest memory at the document plus the encoded triples.
+pub fn parse_document_each(
+    input: &str,
+    mut sink: impl FnMut(Term, Term, Term),
+) -> Result<usize, ParseError> {
+    let mut n = 0usize;
     for (lineno, line) in input.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        out.push(parse_line(line).map_err(|message| ParseError { line: lineno + 1, message })?);
+        let (s, p, o) =
+            parse_line(line).map_err(|message| ParseError { line: lineno + 1, message })?;
+        sink(s, p, o);
+        n += 1;
     }
-    Ok(out)
+    Ok(n)
 }
 
 /// Parses a single N-Triples statement (without trailing newline).

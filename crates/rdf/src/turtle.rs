@@ -39,28 +39,47 @@ impl std::error::Error for TurtleError {}
 
 /// Parses a Turtle document into triples.
 pub fn parse_turtle(input: &str) -> Result<Vec<(Term, Term, Term)>, TurtleError> {
+    let mut out = Vec::new();
+    parse_turtle_each(input, &mut |s, p, o| out.push((s, p, o)))?;
+    Ok(out)
+}
+
+/// Streaming variant of [`parse_turtle`]: invokes `sink` once per statement
+/// (in document order, including triples expanded from blank-node property
+/// lists and collections) instead of materializing a `Vec`, and returns the
+/// statement count. Store loaders use this to encode statements as they
+/// are parsed.
+pub fn parse_turtle_each(
+    input: &str,
+    sink: &mut dyn FnMut(Term, Term, Term),
+) -> Result<usize, TurtleError> {
+    let mut n = 0usize;
+    let mut counting = |s: Term, p: Term, o: Term| {
+        n += 1;
+        sink(s, p, o)
+    };
     let mut p = TurtleParser {
         input: input.as_bytes(),
         pos: 0,
         prefixes: HashMap::new(),
         base: String::new(),
-        out: Vec::new(),
+        sink: &mut counting,
         blank_counter: 0,
     };
     p.parse_document()?;
-    Ok(p.out)
+    Ok(n)
 }
 
-struct TurtleParser<'a> {
+struct TurtleParser<'a, 's> {
     input: &'a [u8],
     pos: usize,
     prefixes: HashMap<String, String>,
     base: String,
-    out: Vec<(Term, Term, Term)>,
+    sink: &'s mut dyn FnMut(Term, Term, Term),
     blank_counter: usize,
 }
 
-impl<'a> TurtleParser<'a> {
+impl<'a, 's> TurtleParser<'a, 's> {
     fn error(&self, message: impl Into<String>) -> TurtleError {
         let mut line = 1;
         let mut col = 1;
@@ -255,7 +274,7 @@ impl<'a> TurtleParser<'a> {
             loop {
                 self.skip_ws();
                 let object = self.parse_object()?;
-                self.out.push((subject.clone(), predicate.clone(), object));
+                (self.sink)(subject.clone(), predicate.clone(), object);
                 self.skip_ws();
                 if !self.eat(b',') {
                     break;
@@ -416,9 +435,9 @@ impl<'a> TurtleParser<'a> {
         }
         let nodes: Vec<Term> = (0..items.len()).map(|_| self.fresh_blank()).collect();
         for (i, item) in items.into_iter().enumerate() {
-            self.out.push((nodes[i].clone(), first.clone(), item));
+            (self.sink)(nodes[i].clone(), first.clone(), item);
             let tail = nodes.get(i + 1).cloned().unwrap_or_else(|| nil.clone());
-            self.out.push((nodes[i].clone(), rest.clone(), tail));
+            (self.sink)(nodes[i].clone(), rest.clone(), tail);
         }
         Ok(nodes[0].clone())
     }

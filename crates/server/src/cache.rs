@@ -1,4 +1,5 @@
-//! A bounded LRU cache of optimized query plans.
+//! A bounded LRU cache of optimized query plans, tagged with the store
+//! epoch they were planned against.
 //!
 //! Keys are *canonicalized* query text — the re-serialization of the parsed
 //! query (`uo_sparql::serialize`), so whitespace, prefix, and comment
@@ -9,6 +10,15 @@
 //! (the raw text is still parsed once per request to compute the canonical
 //! key). Plans are shared as [`Arc`]s so the mutex critical section is a
 //! pointer clone, not a deep copy of the plan tree.
+//!
+//! Every entry records the **epoch** of the snapshot it was planned
+//! against. A plan holds dictionary-encoded constants and cardinality
+//! annotations of its snapshot, so after a commit it may be wrong for the
+//! new data; [`get`](PlanCache::get) therefore only returns entries whose
+//! epoch matches the caller's snapshot. Stale entries are *not* flushed —
+//! they count as misses and are overwritten in place by the re-plan, so a
+//! commit invalidates the whole cache logically at zero cost while the
+//! cache structure (capacity, recency) survives.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -18,17 +28,19 @@ use uo_core::{Prepared, TransformOutcome};
 struct Entry {
     prepared: Arc<Prepared>,
     transforms: TransformOutcome,
+    epoch: u64,
     last_used: u64,
 }
 
-/// A thread-safe LRU plan cache. Capacity 0 disables caching entirely
-/// (every lookup misses, inserts are dropped).
+/// A thread-safe, epoch-aware LRU plan cache. Capacity 0 disables caching
+/// entirely (every lookup misses, inserts are dropped).
 pub struct PlanCache {
     capacity: usize,
     tick: AtomicU64,
     entries: Mutex<HashMap<String, Entry>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    stale: AtomicU64,
 }
 
 impl PlanCache {
@@ -40,18 +52,26 @@ impl PlanCache {
             entries: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            stale: AtomicU64::new(0),
         }
     }
 
-    /// Looks up a plan by canonical query text, refreshing its recency.
-    pub fn get(&self, key: &str) -> Option<(Arc<Prepared>, TransformOutcome)> {
+    /// Looks up a plan by canonical query text, refreshing its recency. Only
+    /// entries planned at `epoch` hit; an entry from another epoch counts as
+    /// a stale miss (and stays until the re-plan overwrites it).
+    pub fn get(&self, key: &str, epoch: u64) -> Option<(Arc<Prepared>, TransformOutcome)> {
         let now = self.tick.fetch_add(1, Ordering::Relaxed);
         let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
         match entries.get_mut(key) {
-            Some(e) => {
+            Some(e) if e.epoch == epoch => {
                 e.last_used = now;
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some((Arc::clone(&e.prepared), e.transforms))
+            }
+            Some(_) => {
+                self.stale.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -60,10 +80,18 @@ impl PlanCache {
         }
     }
 
-    /// Inserts an optimized plan, evicting the least-recently-used entry
-    /// when full. Concurrent inserts of the same key keep the newer value —
-    /// both are equivalent plans of the same canonical text.
-    pub fn insert(&self, key: String, prepared: Arc<Prepared>, transforms: TransformOutcome) {
+    /// Inserts a plan optimized at `epoch`, evicting the least-recently-used
+    /// entry when full. Concurrent inserts of the same key keep the newer
+    /// value — both are equivalent plans of the same canonical text (a
+    /// racing insert from an older epoch is corrected by the next lookup's
+    /// stale miss).
+    pub fn insert(
+        &self,
+        key: String,
+        epoch: u64,
+        prepared: Arc<Prepared>,
+        transforms: TransformOutcome,
+    ) {
         if self.capacity == 0 {
             return;
         }
@@ -78,7 +106,7 @@ impl PlanCache {
                 entries.remove(&victim);
             }
         }
-        entries.insert(key, Entry { prepared, transforms, last_used: now });
+        entries.insert(key, Entry { prepared, transforms, epoch, last_used: now });
     }
 
     /// Number of cached plans.
@@ -91,9 +119,15 @@ impl PlanCache {
         self.len() == 0
     }
 
-    /// (hits, misses) so far.
-    pub fn stats(&self) -> (u64, u64) {
-        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    /// `(hits, misses, stale)` so far; `stale` counts the misses caused by
+    /// an epoch mismatch (plan invalidated by a commit) and is included in
+    /// `misses`.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.stale.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -120,19 +154,37 @@ mod tests {
         let st = store();
         let cache = PlanCache::new(2);
         let q = |n: usize| format!("SELECT ?x WHERE {{ ?x <http://p{n}> ?y }}");
-        assert!(cache.get(&q(1)).is_none());
-        cache.insert(q(1), plan(&st, &q(1)), TransformOutcome::default());
-        cache.insert(q(2), plan(&st, &q(2)), TransformOutcome::default());
-        assert!(cache.get(&q(1)).is_some());
+        assert!(cache.get(&q(1), 1).is_none());
+        cache.insert(q(1), 1, plan(&st, &q(1)), TransformOutcome::default());
+        cache.insert(q(2), 1, plan(&st, &q(2)), TransformOutcome::default());
+        assert!(cache.get(&q(1), 1).is_some());
         // Inserting a third evicts the LRU entry — q2, since q1 was just
         // touched.
-        cache.insert(q(3), plan(&st, &q(3)), TransformOutcome::default());
+        cache.insert(q(3), 1, plan(&st, &q(3)), TransformOutcome::default());
         assert_eq!(cache.len(), 2);
-        assert!(cache.get(&q(2)).is_none());
-        assert!(cache.get(&q(1)).is_some());
-        assert!(cache.get(&q(3)).is_some());
-        let (hits, misses) = cache.stats();
-        assert_eq!((hits, misses), (3, 2));
+        assert!(cache.get(&q(2), 1).is_none());
+        assert!(cache.get(&q(1), 1).is_some());
+        assert!(cache.get(&q(3), 1).is_some());
+        let (hits, misses, stale) = cache.stats();
+        assert_eq!((hits, misses, stale), (3, 2, 0));
+    }
+
+    #[test]
+    fn epoch_mismatch_is_a_stale_miss_and_replan_overwrites() {
+        let st = store();
+        let cache = PlanCache::new(4);
+        let q = "SELECT ?x WHERE { ?x <http://p> ?y }".to_string();
+        cache.insert(q.clone(), 1, plan(&st, &q), TransformOutcome::default());
+        assert!(cache.get(&q, 1).is_some(), "same epoch hits");
+        assert!(cache.get(&q, 2).is_none(), "a commit invalidates the plan");
+        let (_, _, stale) = cache.stats();
+        assert_eq!(stale, 1);
+        assert_eq!(cache.len(), 1, "structure survives invalidation");
+        // The re-plan replaces the entry in place; the old epoch now misses.
+        cache.insert(q.clone(), 2, plan(&st, &q), TransformOutcome::default());
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&q, 2).is_some());
+        assert!(cache.get(&q, 1).is_none());
     }
 
     #[test]
@@ -140,8 +192,8 @@ mod tests {
         let st = store();
         let cache = PlanCache::new(0);
         let q = "SELECT ?x WHERE { ?x <http://p> ?y }";
-        cache.insert(q.to_string(), plan(&st, q), TransformOutcome::default());
+        cache.insert(q.to_string(), 1, plan(&st, q), TransformOutcome::default());
         assert!(cache.is_empty());
-        assert!(cache.get(q).is_none());
+        assert!(cache.get(q, 1).is_none());
     }
 }

@@ -1,29 +1,38 @@
-//! # uo-server — a concurrent SPARQL-over-HTTP endpoint.
+//! # uo-server — a concurrent SPARQL-over-HTTP endpoint with live updates.
 //!
-//! Implements the query half of the W3C SPARQL 1.1 Protocol over a
-//! hand-rolled HTTP/1.1 server on [`std::net::TcpListener`] (the build
+//! Implements the query + update halves of the W3C SPARQL 1.1 Protocol over
+//! a hand-rolled HTTP/1.1 server on [`std::net::TcpListener`] (the build
 //! environment has no registry access, so no hyper/tokio — a thread-pool
 //! accept loop in the spirit of `uo_par`'s scoped workers). Many concurrent
-//! clients multiplex over one shared immutable [`TripleStore`]:
+//! clients multiplex over one MVCC store:
 //!
+//! - **snapshot isolation**: each query request clones the current
+//!   `Arc<Snapshot>` exactly once at admission and answers from it
+//!   end-to-end, so a query in flight during a commit returns answers
+//!   consistent with its admission-time version; writers are serialized
+//!   behind a mutex and publish by swapping the shared snapshot handle;
 //! - `GET /sparql?query=…` and `POST /sparql` (`application/sparql-query`
 //!   or form-encoded bodies) with content negotiation between SPARQL JSON
 //!   results, TSV, and a debug text table;
-//! - a bounded LRU **plan cache** keyed on canonicalized query text
+//! - `POST /update` (`application/sparql-update` or form-encoded,
+//!   [`ServerConfig::writable`] only): `INSERT DATA`, `DELETE DATA` and
+//!   single-BGP `DELETE WHERE`, executed via [`uo_core::run_update`];
+//! - a bounded LRU **plan cache** keyed on canonicalized query text and
+//!   tagged with the snapshot **epoch** it was planned at
 //!   ([`cache::PlanCache`]) — repeat queries skip BE-tree construction and
-//!   optimization and go straight to `try_execute_prepared` (raw text is
-//!   still parsed once per request to compute the canonical key);
-//! - **admission control**: at most `max_inflight` queries execute at once
+//!   optimization, and a commit invalidates stale plans without flushing
+//!   the cache structure;
+//! - **admission control**: at most `max_inflight` requests execute at once
 //!   (503 + `Retry-After` beyond that) and every query carries a wall-clock
 //!   deadline enforced cooperatively at BGP-evaluation boundaries
 //!   ([`uo_core::Cancellation`]);
-//! - `GET /metrics` (JSON counters via [`uo_core::QueryCounters`]) and
-//!   `GET /healthz`.
+//! - `GET /metrics` (JSON counters incl. `triples`, `snapshot_epoch` and
+//!   `updates`) and `GET /healthz`.
 //!
 //! Responses are deterministic: the JSON/TSV serializations are exactly
 //! `uo_sparql::results_json`/`results_tsv` of the same rows a direct
-//! [`uo_core::run_query`] returns, so a response body is byte-identical to
-//! an in-process run of the same query.
+//! [`uo_core::run_query`] returns against the same snapshot, so a response
+//! body is byte-identical to an in-process run of the same query.
 
 pub mod cache;
 pub mod http;
@@ -32,17 +41,17 @@ pub use cache::PlanCache;
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use uo_core::{
-    optimize_prepared, prepare_parsed, query_type, try_execute_prepared, Cancellation,
-    QueryCounters, Strategy,
+    optimize_prepared, prepare_parsed, query_type, try_execute_prepared, try_run_update,
+    Cancellation, QueryCounters, Strategy,
 };
 use uo_engine::{BgpEngine, BinaryJoinEngine, WcoEngine};
-use uo_store::TripleStore;
+use uo_store::{Snapshot, StoreWriter};
 
 /// Which BGP engine backs the endpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +101,9 @@ pub struct ServerConfig {
     pub read_timeout_ms: u64,
     /// Maximum accepted request-body size.
     pub max_body_bytes: usize,
+    /// Accept SPARQL Update requests on `POST /update`. Off by default: a
+    /// read-only endpoint cannot be mutated by any client.
+    pub writable: bool,
 }
 
 impl Default for ServerConfig {
@@ -108,6 +120,7 @@ impl Default for ServerConfig {
             max_timeout_ms: 60_000,
             read_timeout_ms: 10_000,
             max_body_bytes: 1 << 20,
+            writable: false,
         }
     }
 }
@@ -153,17 +166,37 @@ fn negotiate(accept: Option<&str>) -> Option<Format> {
     None
 }
 
-/// Shared, immutable-after-start endpoint state.
+/// Shared endpoint state. Everything is immutable after start except the
+/// current snapshot handle (swapped by commits) and the writer delta.
 struct ServerState {
-    store: Arc<TripleStore>,
+    /// The latest committed snapshot. Readers clone the `Arc` once per
+    /// request (a momentary read lock around a pointer clone); the update
+    /// path swaps it after each commit. Queries never hold the lock during
+    /// evaluation, so writers cannot block readers and vice versa.
+    snapshot: RwLock<Arc<Snapshot>>,
+    /// The single mutation endpoint, present when the config is writable.
+    /// The mutex serializes updates; its base always equals the latest
+    /// committed snapshot because only this writer commits.
+    writer: Option<Mutex<StoreWriter>>,
     engine: Box<dyn BgpEngine>,
     cfg: ServerConfig,
     cache: PlanCache,
     counters: QueryCounters,
+    updates_total: AtomicU64,
+    update_errors: AtomicU64,
+    updates_cancelled: AtomicU64,
     inflight: AtomicUsize,
     shutting_down: AtomicBool,
     query_cancel: Arc<AtomicBool>,
     started: Instant,
+}
+
+impl ServerState {
+    /// The current snapshot — one `Arc` clone per request, no lock held
+    /// afterwards.
+    fn current_snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.snapshot.read().unwrap_or_else(PoisonError::into_inner))
+    }
 }
 
 /// Decrements the in-flight gauge when a query finishes (however it ends).
@@ -220,20 +253,29 @@ impl Drop for ServerHandle {
 }
 
 /// Binds `host:port` (port 0 = ephemeral) and starts the accept loop plus
-/// `cfg.threads` connection workers. The store must already be built.
-pub fn start(store: Arc<TripleStore>, cfg: ServerConfig, port: u16) -> io::Result<ServerHandle> {
+/// `cfg.threads` connection workers, serving `snapshot` (obtain one from
+/// `TripleStore::snapshot()` after a build, or from a `StoreWriter`).
+/// When `cfg.writable` is set the endpoint also accepts `POST /update`,
+/// committing new snapshots on top of this one.
+pub fn start(snapshot: Arc<Snapshot>, cfg: ServerConfig, port: u16) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind((cfg.host.as_str(), port))?;
     let addr = listener.local_addr()?;
     let threads = cfg.threads.max(1);
+    let writer =
+        cfg.writable.then(|| Mutex::new(StoreWriter::from_snapshot(Arc::clone(&snapshot))));
     let state = Arc::new(ServerState {
         engine: cfg.engine.build(cfg.engine_threads.max(1)),
         cache: PlanCache::new(cfg.cache_capacity),
         counters: QueryCounters::default(),
+        updates_total: AtomicU64::new(0),
+        update_errors: AtomicU64::new(0),
+        updates_cancelled: AtomicU64::new(0),
         inflight: AtomicUsize::new(0),
         shutting_down: AtomicBool::new(false),
         query_cancel: Arc::new(AtomicBool::new(false)),
         started: Instant::now(),
-        store,
+        snapshot: RwLock::new(snapshot),
+        writer,
         cfg,
     });
 
@@ -329,16 +371,77 @@ fn route(state: &ServerState, stream: &mut TcpStream, head: &http::Head) -> io::
             metrics_json(state).as_bytes(),
         ),
         ("GET", "/sparql") | ("POST", "/sparql") => handle_sparql(state, stream, head),
+        ("POST", "/update") => handle_update(state, stream, head),
         ("GET", "/") => respond_text(
             stream,
             200,
             "OK",
-            "sparql-uo endpoint: GET/POST /sparql, GET /metrics, GET /healthz\n",
+            "sparql-uo endpoint: GET/POST /sparql, POST /update, GET /metrics, GET /healthz\n",
         ),
-        (_, "/sparql") | (_, "/healthz") | (_, "/metrics") | (_, "/") => {
+        (_, "/sparql") | (_, "/update") | (_, "/healthz") | (_, "/metrics") | (_, "/") => {
             respond_text(stream, 405, "Method Not Allowed", "method not allowed\n")
         }
         _ => respond_text(stream, 404, "Not Found", "unknown path\n"),
+    }
+}
+
+/// Admission control + request-body read, shared by the query and update
+/// handlers. Takes an in-flight slot (503 + `Retry-After` when the endpoint
+/// is full — the slot covers body read + execution, so a client trickling
+/// its body in holds, and exhausts, exactly the capacity the limit
+/// protects), enforces `max_body_bytes` (413), honours
+/// `Expect: 100-continue` (curl sends it for bodies over ~1 KiB; everyone
+/// else may already be mid-body, so early error responses drain what was
+/// sent — closing with unread data RSTs the response away), and reads the
+/// POST body (400 on truncation; empty for GET). Returns `None` when a
+/// response has already been written.
+fn admit_and_read_body<'a>(
+    state: &'a ServerState,
+    stream: &mut TcpStream,
+    head: &http::Head,
+) -> io::Result<Option<(AdmissionGuard<'a>, Vec<u8>)>> {
+    let expects_continue =
+        head.header("expect").is_some_and(|v| v.to_ascii_lowercase().contains("100-continue"));
+    let pending_body = if head.method == "POST" && !expects_continue {
+        head.content_length().unwrap_or(0)
+    } else {
+        0
+    };
+
+    if state.inflight.fetch_add(1, Ordering::SeqCst) >= state.cfg.max_inflight {
+        state.inflight.fetch_sub(1, Ordering::SeqCst);
+        QueryCounters::bump(&state.counters.rejected);
+        http::drain(stream, pending_body);
+        http::write_response(
+            stream,
+            503,
+            "Service Unavailable",
+            "text/plain; charset=utf-8",
+            &[("Retry-After", "1")],
+            b"overloaded: too many requests in flight\n",
+        )?;
+        return Ok(None);
+    }
+    let guard = AdmissionGuard(state);
+
+    if head.method != "POST" {
+        return Ok(Some((guard, Vec::new())));
+    }
+    let len = head.content_length().unwrap_or(0);
+    if len > state.cfg.max_body_bytes {
+        http::drain(stream, pending_body);
+        respond_text(stream, 413, "Payload Too Large", "request body too large\n")?;
+        return Ok(None);
+    }
+    if expects_continue {
+        http::write_continue(stream)?;
+    }
+    match http::read_body(stream, len) {
+        Ok(body) => Ok(Some((guard, body))),
+        Err(_) => {
+            respond_text(stream, 400, "Bad Request", "truncated request body\n")?;
+            Ok(None)
+        }
     }
 }
 
@@ -353,35 +456,9 @@ fn handle_sparql(state: &ServerState, stream: &mut TcpStream, head: &http::Head)
         );
     };
 
-    // A client announcing `Expect: 100-continue` (curl does for bodies
-    // over ~1 KiB) has not sent its body yet; everyone else may already be
-    // mid-body, so early error responses must drain what was sent (closing
-    // with unread data RSTs the response away).
-    let expects_continue =
-        head.header("expect").is_some_and(|v| v.to_ascii_lowercase().contains("100-continue"));
-    let pending_body = if head.method == "POST" && !expects_continue {
-        head.content_length().unwrap_or(0)
-    } else {
-        0
+    let Some((_guard, body)) = admit_and_read_body(state, stream, head)? else {
+        return Ok(());
     };
-
-    // Admission control. The slot covers body read + execution, so a client
-    // that trickles its body in holds (and exhausts) capacity — exactly the
-    // resource the limit protects.
-    if state.inflight.fetch_add(1, Ordering::SeqCst) >= state.cfg.max_inflight {
-        state.inflight.fetch_sub(1, Ordering::SeqCst);
-        QueryCounters::bump(&state.counters.rejected);
-        http::drain(stream, pending_body);
-        return http::write_response(
-            stream,
-            503,
-            "Service Unavailable",
-            "text/plain; charset=utf-8",
-            &[("Retry-After", "1")],
-            b"overloaded: too many queries in flight\n",
-        );
-    }
-    let _guard = AdmissionGuard(state);
 
     // Extract the query text and optional per-request timeout.
     let mut query_text: Option<String> = None;
@@ -395,24 +472,11 @@ fn handle_sparql(state: &ServerState, stream: &mut TcpStream, head: &http::Head)
             }
         }
     };
-    if head.method == "GET" {
-        read_params(http::parse_form(&head.query));
-    } else {
-        let len = head.content_length().unwrap_or(0);
-        if len > state.cfg.max_body_bytes {
-            http::drain(stream, pending_body);
-            return respond_text(stream, 413, "Payload Too Large", "request body too large\n");
-        }
-        if expects_continue {
-            http::write_continue(stream)?;
-        }
-        let body = match http::read_body(stream, len) {
-            Ok(b) => b,
-            Err(_) => return respond_text(stream, 400, "Bad Request", "truncated request body\n"),
-        };
-        // Per-request parameters may also ride on the POST target's query
-        // string (the SPARQL protocol allows it for sparql-query bodies).
-        read_params(http::parse_form(&head.query));
+    // Per-request parameters may ride on the request target's query string
+    // for GET and (the SPARQL protocol allows it for sparql-query bodies)
+    // for POST alike.
+    read_params(http::parse_form(&head.query));
+    if head.method == "POST" {
         let content_type =
             head.header("content-type").unwrap_or("").split(';').next().unwrap_or("").trim();
         match content_type {
@@ -446,23 +510,30 @@ fn handle_sparql(state: &ServerState, stream: &mut TcpStream, head: &http::Head)
     let qtype = query_type(&parsed.body);
     let canonical = uo_sparql::serialize(&parsed);
 
-    // Plan cache: hit ⇒ skip plan construction + optimization.
-    let prepared: Arc<uo_core::Prepared> = match state.cache.get(&canonical) {
+    // MVCC admission point: grab the current snapshot exactly once. Plan
+    // lookup, planning, execution and decoding all use this version, so the
+    // response is consistent with it even if commits land mid-query.
+    let snapshot = state.current_snapshot();
+    let epoch = snapshot.epoch();
+
+    // Plan cache: an epoch-matched hit skips plan construction +
+    // optimization; plans from older epochs are stale misses.
+    let prepared: Arc<uo_core::Prepared> = match state.cache.get(&canonical, epoch) {
         Some((prepared, _)) => {
             QueryCounters::bump(&state.counters.cache_hits);
             prepared
         }
         None => {
             QueryCounters::bump(&state.counters.cache_misses);
-            let mut prepared = prepare_parsed(&state.store, parsed);
+            let mut prepared = prepare_parsed(&snapshot, parsed);
             let (outcome, _) = optimize_prepared(
-                &state.store,
+                &snapshot,
                 state.engine.as_ref(),
                 &mut prepared,
                 state.cfg.strategy,
             );
             let prepared = Arc::new(prepared);
-            state.cache.insert(canonical, Arc::clone(&prepared), outcome);
+            state.cache.insert(canonical, epoch, Arc::clone(&prepared), outcome);
             prepared
         }
     };
@@ -476,7 +547,7 @@ fn handle_sparql(state: &ServerState, stream: &mut TcpStream, head: &http::Head)
 
     let projection = prepared.query.projection();
     let report = match try_execute_prepared(
-        &state.store,
+        &snapshot,
         state.engine.as_ref(),
         &prepared,
         state.cfg.strategy,
@@ -504,6 +575,110 @@ fn handle_sparql(state: &ServerState, stream: &mut TcpStream, head: &http::Head)
     http::write_response(stream, 200, "OK", format.content_type(), &[], body.as_bytes())
 }
 
+/// `POST /update`: applies a SPARQL Update request (writable endpoints
+/// only). Writers are serialized on the writer mutex; the commit swaps the
+/// shared snapshot, so subsequent queries observe the new epoch while
+/// queries already in flight keep answering from their admission-time
+/// snapshot.
+fn handle_update(state: &ServerState, stream: &mut TcpStream, head: &http::Head) -> io::Result<()> {
+    let Some(writer) = state.writer.as_ref() else {
+        let expects_continue =
+            head.header("expect").is_some_and(|v| v.to_ascii_lowercase().contains("100-continue"));
+        let pending_body = if expects_continue { 0 } else { head.content_length().unwrap_or(0) };
+        http::drain(stream, pending_body);
+        return respond_text(
+            stream,
+            403,
+            "Forbidden",
+            "read-only endpoint: restart with --writable to accept updates\n",
+        );
+    };
+
+    // Updates share the admission-control slots with queries: an update
+    // holds capacity for its body read + execution + commit.
+    let Some((_guard, body)) = admit_and_read_body(state, stream, head)? else {
+        return Ok(());
+    };
+    let content_type =
+        head.header("content-type").unwrap_or("").split(';').next().unwrap_or("").trim();
+    let text = match content_type {
+        "application/sparql-update" => String::from_utf8_lossy(&body).into_owned(),
+        "application/x-www-form-urlencoded" | "" => {
+            let mut update_text = None;
+            for (k, v) in http::parse_form(&String::from_utf8_lossy(&body)) {
+                if k == "update" {
+                    update_text = Some(v);
+                }
+            }
+            match update_text {
+                Some(t) => t,
+                None => {
+                    return respond_text(stream, 400, "Bad Request", "missing 'update' parameter\n")
+                }
+            }
+        }
+        other => {
+            let msg = format!("unsupported content type {other:?}\n");
+            return respond_text(stream, 415, "Unsupported Media Type", &msg);
+        }
+    };
+
+    let request = match uo_sparql::parse_update(&text) {
+        Ok(u) => u,
+        Err(e) => {
+            state.update_errors.fetch_add(1, Ordering::Relaxed);
+            let msg = format!("parse error: {e}\n");
+            return respond_text(stream, 400, "Bad Request", &msg);
+        }
+    };
+
+    // Serialize writers; queries keep flowing off the previous snapshot
+    // until the swap below. The update runs under the endpoint's default
+    // deadline (checked at operation boundaries) plus the shutdown flag, so
+    // a runaway request cannot hold the writer mutex forever.
+    let cancel = Cancellation::after(Duration::from_millis(state.cfg.default_timeout_ms))
+        .with_flag(Arc::clone(&state.query_cancel));
+    let report = {
+        let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let result = try_run_update(
+            &mut w,
+            state.engine.as_ref(),
+            &request,
+            uo_par::Parallelism::new(state.cfg.engine_threads.max(1)),
+            &cancel,
+        );
+        match result {
+            Ok(report) => {
+                *state.snapshot.write().unwrap_or_else(PoisonError::into_inner) =
+                    Arc::clone(&report.snapshot);
+                report
+            }
+            Err(_) => {
+                // Abandon the half-applied request: drop the pending delta
+                // (commits that already landed keep their epochs) and make
+                // sure queries see the writer's last committed snapshot.
+                w.rollback();
+                *state.snapshot.write().unwrap_or_else(PoisonError::into_inner) = w.snapshot();
+                state.updates_cancelled.fetch_add(1, Ordering::Relaxed);
+                return respond_text(
+                    stream,
+                    408,
+                    "Request Timeout",
+                    "update deadline exceeded; operations before the deadline may have \
+                     committed\n",
+                );
+            }
+        }
+    };
+    state.updates_total.fetch_add(1, Ordering::Relaxed);
+
+    let body = format!(
+        "{{\"ops\": {}, \"inserted\": {}, \"deleted\": {}, \"triples\": {}, \"epoch\": {}}}\n",
+        report.ops, report.inserted, report.deleted, report.triples, report.epoch
+    );
+    http::write_response(stream, 200, "OK", "application/json", &[], body.as_bytes())
+}
+
 /// The CLI-style human-readable table (debug format).
 fn debug_table(vars: &[String], rows: &[Vec<Option<uo_rdf::Term>>]) -> String {
     let mut out = String::new();
@@ -523,18 +698,21 @@ fn debug_table(vars: &[String], rows: &[Vec<Option<uo_rdf::Term>>]) -> String {
 /// Renders the `/metrics` JSON document.
 fn metrics_json(state: &ServerState) -> String {
     let snap = state.counters.snapshot();
-    let (cache_hits, cache_misses) = state.cache.stats();
+    let (cache_hits, cache_misses, cache_stale) = state.cache.stats();
+    let store = state.current_snapshot();
     let by_type: Vec<String> = snap
         .by_type
         .iter()
         .map(|(qt, n)| format!("\"{}\": {n}", uo_json::escape(&qt.to_string())))
         .collect();
     format!(
-        "{{\n  \"schema\": \"uo-server-metrics/1\",\n  \"uptime_s\": {},\n  \
+        "{{\n  \"schema\": \"uo-server-metrics/2\",\n  \"uptime_s\": {},\n  \
          \"engine\": \"{}\",\n  \"strategy\": \"{}\",\n  \"threads\": {},\n  \
-         \"engine_threads\": {},\n  \"store_triples\": {},\n  \"inflight\": {},\n  \
+         \"engine_threads\": {},\n  \"triples\": {},\n  \"snapshot_epoch\": {},\n  \
+         \"writable\": {},\n  \"inflight\": {},\n  \
          \"max_inflight\": {},\n  \"plan_cache\": {{\"capacity\": {}, \"entries\": {}, \
-         \"hits\": {cache_hits}, \"misses\": {cache_misses}}},\n  \
+         \"hits\": {cache_hits}, \"misses\": {cache_misses}, \"stale\": {cache_stale}}},\n  \
+         \"updates\": {{\"updates_total\": {}, \"errors\": {}, \"cancelled\": {}}},\n  \
          \"queries\": {{\"admitted\": {}, \"ok\": {}, \"parse_errors\": {}, \
          \"cancelled\": {}, \"rejected\": {}, \"rows\": {}, \"panics\": {}}},\n  \
          \"by_type\": {{{}}}\n}}\n",
@@ -543,11 +721,16 @@ fn metrics_json(state: &ServerState) -> String {
         uo_json::escape(state.cfg.strategy.label()),
         state.cfg.threads,
         state.cfg.engine_threads,
-        state.store.len(),
+        store.len(),
+        store.epoch(),
+        state.cfg.writable,
         state.inflight.load(Ordering::SeqCst),
         state.cfg.max_inflight,
         state.cfg.cache_capacity,
         state.cache.len(),
+        state.updates_total.load(Ordering::Relaxed),
+        state.update_errors.load(Ordering::Relaxed),
+        state.updates_cancelled.load(Ordering::Relaxed),
         snap.queries,
         snap.ok,
         snap.parse_errors,

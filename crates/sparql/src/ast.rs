@@ -312,6 +312,56 @@ impl Query {
     }
 }
 
+/// A ground (variable-free) triple in a SPARQL Update data block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataTriple {
+    /// Subject term.
+    pub subject: Term,
+    /// Predicate term.
+    pub predicate: Term,
+    /// Object term.
+    pub object: Term,
+}
+
+impl fmt::Display for DataTriple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+/// One SPARQL 1.1 Update operation (the fragment the engine executes).
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateOp {
+    /// `INSERT DATA { ... }` — ground triples added to the store.
+    InsertData(Vec<DataTriple>),
+    /// `DELETE DATA { ... }` — ground triples removed from the store.
+    DeleteData(Vec<DataTriple>),
+    /// `DELETE WHERE { ... }` with a single BGP: every instantiation of the
+    /// patterns under a matching binding is removed.
+    DeleteWhere(Vec<TriplePattern>),
+}
+
+/// A parsed SPARQL Update request: one or more operations separated by
+/// `;`, applied in order (later operations observe earlier ones).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateRequest {
+    /// The operations in source order.
+    pub ops: Vec<UpdateOp>,
+}
+
+impl UpdateRequest {
+    /// Total number of data triples / patterns across all operations.
+    pub fn statement_count(&self) -> usize {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                UpdateOp::InsertData(ts) | UpdateOp::DeleteData(ts) => ts.len(),
+                UpdateOp::DeleteWhere(ps) => ps.len(),
+            })
+            .sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

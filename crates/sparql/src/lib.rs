@@ -33,6 +33,9 @@ pub mod parser;
 pub mod serializer;
 
 pub use algebra::{Bag, VarId, VarTable};
-pub use ast::{Element, Expr, GroupPattern, PatternTerm, Query, Selection, TriplePattern};
-pub use parser::{parse, ParseError};
-pub use serializer::{results_json, results_tsv, serialize};
+pub use ast::{
+    DataTriple, Element, Expr, GroupPattern, PatternTerm, Query, Selection, TriplePattern,
+    UpdateOp, UpdateRequest,
+};
+pub use parser::{parse, parse_update, ParseError};
+pub use serializer::{results_json, results_tsv, serialize, serialize_update};

@@ -38,8 +38,18 @@ impl std::error::Error for ParseError {}
 /// Parses a SPARQL `SELECT` query.
 pub fn parse(input: &str) -> Result<Query, ParseError> {
     let tokens = tokenize(input)?;
-    let mut p = Parser { tokens, pos: 0, prefixes: HashMap::new() };
+    let mut p = Parser { tokens, pos: 0, prefixes: HashMap::new(), allow_blank_nodes: false };
     p.parse_query()
+}
+
+/// Parses a SPARQL 1.1 Update request: one or more of `INSERT DATA`,
+/// `DELETE DATA` and `DELETE WHERE` (single-BGP form), separated by `;`.
+/// `PREFIX` declarations may precede any operation and scope to the rest of
+/// the request.
+pub fn parse_update(input: &str) -> Result<UpdateRequest, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0, prefixes: HashMap::new(), allow_blank_nodes: false };
+    p.parse_update_request()
 }
 
 const XSD_INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
@@ -326,6 +336,10 @@ struct Parser {
     tokens: Vec<Spanned>,
     pos: usize,
     prefixes: HashMap<String, String>,
+    /// `_:label` terms are only legal inside `INSERT DATA` blocks; in query
+    /// patterns a blank node is an existential variable (unsupported), and
+    /// SPARQL 1.1 forbids them in `DELETE DATA` / `DELETE WHERE`.
+    allow_blank_nodes: bool,
 }
 
 impl Parser {
@@ -376,16 +390,9 @@ impl Parser {
     }
 
     fn parse_query(&mut self) -> Result<Query, ParseError> {
-        while self.eat_keyword("PREFIX") {
-            let (prefix, iri) = match (self.bump(), self.bump()) {
-                (Some(Tok::PName(p, l)), Some(Tok::Iri(iri))) if l.is_empty() => (p, iri),
-                // A prefix declaration like `PREFIX ub: <...>` tokenizes the
-                // `ub:` as PName("ub", ""); also accept `PREFIX : <...>`.
-                (Some(Tok::Punct(":")), Some(Tok::Iri(iri))) => (String::new(), iri),
-                _ => return Err(err(self.offset(), "malformed PREFIX declaration")),
-            };
-            self.prefixes.insert(prefix, iri);
-        }
+        // A prefix declaration like `PREFIX ub: <...>` tokenizes the `ub:`
+        // as PName("ub", ""); `PREFIX : <...>` is also accepted.
+        self.parse_prefix_decls()?;
         if !self.eat_keyword("SELECT") {
             return Err(err(self.offset(), "expected SELECT"));
         }
@@ -596,11 +603,119 @@ impl Parser {
     }
 
     fn expand(&self, prefix: &str, local: &str, offset: usize) -> Result<Term, ParseError> {
+        // `_:label` is a blank node, not a prefixed name.
+        if prefix == "_" {
+            if self.allow_blank_nodes {
+                return Ok(Term::blank(local));
+            }
+            return Err(err(offset, "blank nodes are only allowed in INSERT DATA"));
+        }
         let base = self
             .prefixes
             .get(prefix)
             .ok_or_else(|| err(offset, format!("undeclared prefix '{prefix}:'")))?;
         Ok(Term::iri(format!("{base}{local}")))
+    }
+
+    fn parse_update_request(&mut self) -> Result<UpdateRequest, ParseError> {
+        let mut ops = Vec::new();
+        loop {
+            self.parse_prefix_decls()?;
+            if self.pos >= self.tokens.len() {
+                break;
+            }
+            ops.push(self.parse_update_op()?);
+            if !self.eat_punct(";") {
+                break;
+            }
+        }
+        if self.pos != self.tokens.len() {
+            return Err(err(self.offset(), "trailing tokens after update"));
+        }
+        if ops.is_empty() {
+            return Err(err(self.offset(), "empty update request"));
+        }
+        Ok(UpdateRequest { ops })
+    }
+
+    fn parse_prefix_decls(&mut self) -> Result<(), ParseError> {
+        while self.eat_keyword("PREFIX") {
+            let (prefix, iri) = match (self.bump(), self.bump()) {
+                (Some(Tok::PName(p, l)), Some(Tok::Iri(iri))) if l.is_empty() => (p, iri),
+                (Some(Tok::Punct(":")), Some(Tok::Iri(iri))) => (String::new(), iri),
+                _ => return Err(err(self.offset(), "malformed PREFIX declaration")),
+            };
+            self.prefixes.insert(prefix, iri);
+        }
+        Ok(())
+    }
+
+    fn parse_update_op(&mut self) -> Result<UpdateOp, ParseError> {
+        if self.eat_keyword("INSERT") {
+            if !self.eat_keyword("DATA") {
+                return Err(err(self.offset(), "expected DATA after INSERT"));
+            }
+            return Ok(UpdateOp::InsertData(self.parse_data_block("INSERT DATA")?));
+        }
+        if self.eat_keyword("DELETE") {
+            if self.eat_keyword("DATA") {
+                return Ok(UpdateOp::DeleteData(self.parse_data_block("DELETE DATA")?));
+            }
+            if self.eat_keyword("WHERE") {
+                return Ok(UpdateOp::DeleteWhere(self.parse_bgp_block()?));
+            }
+            return Err(err(self.offset(), "expected DATA or WHERE after DELETE"));
+        }
+        Err(err(self.offset(), "expected INSERT DATA, DELETE DATA or DELETE WHERE"))
+    }
+
+    /// Parses `{ triples }` where every slot must be a ground term. Blank
+    /// node labels are accepted in `INSERT DATA` only (per SPARQL 1.1).
+    fn parse_data_block(&mut self, what: &str) -> Result<Vec<DataTriple>, ParseError> {
+        let offset = self.offset();
+        self.allow_blank_nodes = what == "INSERT DATA";
+        let patterns = self.parse_bgp_block();
+        self.allow_blank_nodes = false;
+        let patterns = patterns?;
+        patterns
+            .into_iter()
+            .map(|tp| {
+                let ground = |t: PatternTerm| match t {
+                    PatternTerm::Const(term) => Ok(term),
+                    PatternTerm::Var(v) => {
+                        Err(err(offset, format!("variable ?{v} not allowed in {what}")))
+                    }
+                };
+                let predicate = ground(tp.predicate)?;
+                if matches!(predicate, Term::Blank(_)) {
+                    return Err(err(offset, "blank nodes cannot be predicates"));
+                }
+                Ok(DataTriple {
+                    subject: ground(tp.subject)?,
+                    predicate,
+                    object: ground(tp.object)?,
+                })
+            })
+            .collect()
+    }
+
+    /// Parses `{ triples }` allowing variables but no nested groups, UNION,
+    /// OPTIONAL, MINUS or FILTER — the single-BGP form `DELETE WHERE`
+    /// supports.
+    fn parse_bgp_block(&mut self) -> Result<Vec<TriplePattern>, ParseError> {
+        let offset = self.offset();
+        let group = self.parse_group()?;
+        group
+            .elements
+            .into_iter()
+            .map(|el| match el {
+                Element::Triple(t) => Ok(t),
+                other => Err(err(
+                    offset,
+                    format!("only triple patterns are allowed here, found {other:?}"),
+                )),
+            })
+            .collect()
     }
 
     fn parse_or_expr(&mut self) -> Result<Expr, ParseError> {
@@ -903,6 +1018,93 @@ mod tests {
         assert_eq!(q2.offset, Some(3));
         assert!(parse("SELECT WHERE { ?x <http://p> ?y } LIMIT ?x").is_err());
         assert!(parse("SELECT WHERE { ?x <http://p> ?y } LIMIT 1.5").is_err());
+    }
+
+    #[test]
+    fn parses_insert_data() {
+        let u = parse_update(
+            r#"INSERT DATA {
+                 <http://ex/a> <http://ex/p> "chat"@en .
+                 _:b0 <http://ex/p> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .
+               }"#,
+        )
+        .unwrap();
+        assert_eq!(u.ops.len(), 1);
+        let UpdateOp::InsertData(ts) = &u.ops[0] else { panic!("{:?}", u.ops[0]) };
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].object, Term::lang_literal("chat", "en"));
+        assert_eq!(ts[1].subject, Term::blank("b0"));
+    }
+
+    #[test]
+    fn parses_update_with_prefixes_and_sequences() {
+        let u = parse_update(
+            "PREFIX ex: <http://ex/>
+             INSERT DATA { ex:a ex:p ex:b . ex:a ex:p ex:c . } ;
+             DELETE DATA { ex:a ex:p ex:b } ;
+             PREFIX f: <http://f/>
+             DELETE WHERE { ?s f:q ?o . ?o ex:p ?z }",
+        )
+        .unwrap();
+        assert_eq!(u.ops.len(), 3);
+        assert_eq!(u.statement_count(), 5);
+        let UpdateOp::DeleteWhere(ps) = &u.ops[2] else { panic!() };
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].predicate, PatternTerm::Const(Term::iri("http://f/q")));
+    }
+
+    #[test]
+    fn insert_data_rejects_variables() {
+        let e = parse_update("INSERT DATA { ?x <http://p> <http://o> . }").unwrap_err();
+        assert!(e.message.contains("not allowed"), "{e}");
+    }
+
+    #[test]
+    fn delete_where_rejects_non_bgp_elements() {
+        let e = parse_update("DELETE WHERE { ?x <http://p> ?y OPTIONAL { ?y <http://q> ?z } }")
+            .unwrap_err();
+        assert!(e.message.contains("only triple patterns"), "{e}");
+        assert!(parse_update("DELETE WHERE { { ?x <http://p> ?y } UNION { ?x <http://q> ?y } }")
+            .is_err());
+    }
+
+    #[test]
+    fn update_error_cases() {
+        assert!(parse_update("").is_err(), "empty request");
+        assert!(parse_update("INSERT { <http://a> <http://p> <http://b> }").is_err());
+        assert!(parse_update("DELETE STUFF { }").is_err());
+        assert!(parse_update("SELECT ?x WHERE { ?x <http://p> ?y }").is_err());
+        assert!(
+            parse_update("INSERT DATA { <http://a> <http://p> <http://b> } garbage").is_err(),
+            "trailing tokens"
+        );
+    }
+
+    #[test]
+    fn blank_nodes_scoped_to_insert_data() {
+        // Legal in INSERT DATA...
+        assert!(parse_update("INSERT DATA { _:b0 <http://p> <http://o> }").is_ok());
+        // ...forbidden in DELETE DATA and DELETE WHERE (SPARQL 1.1) and in
+        // query patterns (a blank node there is an existential variable,
+        // which this fragment does not support — erroring beats silently
+        // matching a stored label).
+        for text in
+            ["DELETE DATA { _:b0 <http://p> <http://o> }", "DELETE WHERE { _:b0 <http://p> ?o }"]
+        {
+            let e = parse_update(text).unwrap_err();
+            assert!(e.message.contains("blank nodes"), "{text}: {e}");
+        }
+        let e = parse("SELECT ?x WHERE { _:b0 <http://p> ?x }").unwrap_err();
+        assert!(e.message.contains("blank nodes"), "{e}");
+        // A blank node can never be a predicate (invalid RDF).
+        let e = parse_update("INSERT DATA { <http://s> _:p <http://o> }").unwrap_err();
+        assert!(e.message.contains("predicates"), "{e}");
+    }
+
+    #[test]
+    fn update_keywords_case_insensitive() {
+        assert!(parse_update("insert data { <http://a> <http://p> <http://b> }").is_ok());
+        assert!(parse_update("delete where { ?x <http://p> ?y }").is_ok());
     }
 
     #[test]

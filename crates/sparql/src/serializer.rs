@@ -13,7 +13,9 @@
 //! formats the HTTP endpoint (`uo_server`) negotiates. JSON string escaping
 //! is shared with the rest of the workspace via `uo_json`.
 
-use crate::ast::{Element, Expr, GroupPattern, PatternTerm, Query, Selection};
+use crate::ast::{
+    Element, Expr, GroupPattern, PatternTerm, Query, Selection, UpdateOp, UpdateRequest,
+};
 use std::fmt::Write;
 use uo_rdf::Term;
 
@@ -161,6 +163,45 @@ fn write_expr(e: &Expr, out: &mut String) {
             out.push(')');
         }
     }
+}
+
+/// Renders an update request as canonical SPARQL Update text (full IRIs,
+/// canonical whitespace, one statement per line, operations separated by
+/// `;`). Re-parseable: `parse_update(serialize_update(u))` equals `u` up to
+/// prefix expansion.
+pub fn serialize_update(u: &UpdateRequest) -> String {
+    let mut out = String::new();
+    for (i, op) in u.ops.iter().enumerate() {
+        if i > 0 {
+            out.push_str(" ;\n");
+        }
+        match op {
+            UpdateOp::InsertData(ts) => write_data_block("INSERT DATA", ts, &mut out),
+            UpdateOp::DeleteData(ts) => write_data_block("DELETE DATA", ts, &mut out),
+            UpdateOp::DeleteWhere(ps) => {
+                out.push_str("DELETE WHERE {\n");
+                for p in ps {
+                    let _ = writeln!(
+                        out,
+                        "  {} {} {} .",
+                        term(&p.subject),
+                        term(&p.predicate),
+                        term(&p.object)
+                    );
+                }
+                out.push('}');
+            }
+        }
+    }
+    out
+}
+
+fn write_data_block(keyword: &str, triples: &[crate::ast::DataTriple], out: &mut String) {
+    let _ = writeln!(out, "{keyword} {{");
+    for t in triples {
+        let _ = writeln!(out, "  {} {} {} .", t.subject, t.predicate, t.object);
+    }
+    out.push('}');
 }
 
 /// Renders one binding value in the SPARQL 1.1 Results JSON layout.
@@ -325,6 +366,41 @@ mod tests {
 
     fn vars(names: &[&str]) -> Vec<String> {
         names.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn round_trip_update(u: &str) {
+        let first = crate::parse_update(u).unwrap();
+        let text = serialize_update(&first);
+        let second =
+            crate::parse_update(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        assert_eq!(first, second, "round trip changed the update:\n{text}");
+    }
+
+    #[test]
+    fn update_round_trips() {
+        round_trip_update(r#"INSERT DATA { <http://a> <http://p> "x\"y"@en . }"#);
+        round_trip_update(
+            "PREFIX ex: <http://ex/>
+             INSERT DATA { ex:a ex:p ex:b . _:n ex:p 42 } ;
+             DELETE DATA { ex:a ex:p ex:b } ;
+             DELETE WHERE { ?s ex:p ?o . ?o ex:q ?z }",
+        );
+    }
+
+    #[test]
+    fn update_serialization_is_canonical() {
+        // Whitespace/prefix variants of the same request share one canonical
+        // form — the property the (future) caching layers key on.
+        let a = crate::parse_update("PREFIX ex: <http://ex/>\nINSERT DATA { ex:a   ex:p   ex:b }")
+            .unwrap();
+        let b =
+            crate::parse_update("INSERT DATA {\n <http://ex/a> <http://ex/p> <http://ex/b> . }")
+                .unwrap();
+        assert_eq!(serialize_update(&a), serialize_update(&b));
+        assert_eq!(
+            serialize_update(&a),
+            "INSERT DATA {\n  <http://ex/a> <http://ex/p> <http://ex/b> .\n}"
+        );
     }
 
     /// Golden output covering every term shape: IRI, blank node, plain /

@@ -19,6 +19,19 @@
 //! of a binary-searched range, which is what the paper's cardinality
 //! estimation bootstraps from (Section 5.1.2).
 //!
+//! # MVCC architecture
+//!
+//! The store is split into an immutable [`Snapshot`] (the indexes, the
+//! statistics and an `Arc`-shared dictionary, stamped with a monotonically
+//! increasing *epoch*) and a [`StoreWriter`] that buffers inserts/deletes
+//! and publishes them by **merging** the delta into the previous snapshot's
+//! sorted runs — O(N + K) for a K-triple commit, never a re-sort of the N
+//! base rows. Readers clone the `Arc<Snapshot>` once and are never blocked
+//! or disturbed by commits; queries in flight during a commit answer from
+//! their admission-time version. [`TripleStore`] remains as a thin facade
+//! (insert → `build()` → read) over the same machinery and dereferences to
+//! its current [`Snapshot`].
+//!
 //! # Example
 //!
 //! ```
@@ -37,11 +50,15 @@
 //! ```
 
 pub mod index;
+pub mod persist;
 pub mod snapshot;
 pub mod stats;
 pub mod store;
+pub mod writer;
 
 pub use index::{IndexKind, MatchSet};
-pub use snapshot::{load_from_file, read_snapshot, save_to_file, write_snapshot, SnapshotError};
+pub use persist::{load_from_file, read_snapshot, save_to_file, write_snapshot, SnapshotError};
+pub use snapshot::Snapshot;
 pub use stats::DatasetStats;
 pub use store::TripleStore;
+pub use writer::{CommitStats, StoreWriter};

@@ -1,0 +1,365 @@
+//! Binary persistence of a [`Snapshot`] (the `.uost` file format).
+//!
+//! Loading a large dataset from N-Triples/Turtle re-parses and re-encodes
+//! every term; a snapshot file stores the dictionary and the encoded SPO
+//! index directly, making reloads I/O-bound. The format is a simple
+//! length-prefixed layout:
+//!
+//! ```text
+//! magic "UOST" | version u32 | epoch u64 (v2+) | term-count u32
+//!   per term: tag u8, then tag-dependent length-prefixed UTF-8 strings
+//! triple-count u64
+//!   per triple: s u32, p u32, o u32     (SPO order, deduplicated)
+//! ```
+//!
+//! All integers are little-endian. Version 2 added the MVCC **epoch**
+//! right after the version field; version-1 files (no epoch) are still
+//! readable and load at epoch 0. Permutation indexes and statistics are
+//! recomputed on load (they derive from the SPO index).
+
+use crate::{Snapshot, TripleStore};
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+use uo_par::Parallelism;
+use uo_rdf::{Dictionary, Term};
+
+const MAGIC: &[u8; 4] = b"UOST";
+const VERSION: u32 = 2;
+
+/// An error while reading a snapshot.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structurally invalid snapshot data.
+    Corrupt(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::Corrupt(m) => write!(f, "corrupt snapshot: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+fn corrupt(msg: impl Into<String>) -> SnapshotError {
+    SnapshotError::Corrupt(msg.into())
+}
+
+fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
+    w.write_all(&(s.len() as u32).to_le_bytes())?;
+    w.write_all(s.as_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32, SnapshotError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> Result<u64, SnapshotError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_str(r: &mut impl Read) -> Result<String, SnapshotError> {
+    let len = read_u32(r)? as usize;
+    if len > 1 << 28 {
+        return Err(corrupt("string length out of range"));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| corrupt("invalid UTF-8 in term"))
+}
+
+fn write_term(w: &mut impl Write, term: &Term) -> io::Result<()> {
+    match term {
+        Term::Iri(i) => {
+            w.write_all(&[0])?;
+            write_str(w, i)
+        }
+        Term::Blank(b) => {
+            w.write_all(&[1])?;
+            write_str(w, b)
+        }
+        Term::Literal { lexical, lang: None, datatype: None } => {
+            w.write_all(&[2])?;
+            write_str(w, lexical)
+        }
+        Term::Literal { lexical, lang: Some(l), .. } => {
+            w.write_all(&[3])?;
+            write_str(w, lexical)?;
+            write_str(w, l)
+        }
+        Term::Literal { lexical, lang: None, datatype: Some(dt) } => {
+            w.write_all(&[4])?;
+            write_str(w, lexical)?;
+            write_str(w, dt)
+        }
+    }
+}
+
+/// Writes a version-2 snapshot of `snap` (a built `TripleStore` coerces).
+pub fn write_snapshot(snap: &Snapshot, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&snap.epoch().to_le_bytes())?;
+    let dict = snap.dictionary();
+    w.write_all(&(dict.len() as u32).to_le_bytes())?;
+    for (_, term) in dict.iter() {
+        write_term(w, term)?;
+    }
+    w.write_all(&(snap.len() as u64).to_le_bytes())?;
+    for t in snap.iter() {
+        for c in t.as_array() {
+            w.write_all(&c.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a snapshot (version 1 or 2) into a fresh, built store. Version-1
+/// files predate the epoch field and load at epoch 0.
+pub fn read_snapshot(r: &mut impl Read) -> Result<TripleStore, SnapshotError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let version = read_u32(r)?;
+    let epoch = match version {
+        1 => 0,
+        2 => read_u64(r)?,
+        v => return Err(corrupt(format!("unsupported version {v}"))),
+    };
+    let mut dict = Dictionary::new();
+    let n_terms = read_u32(r)? as usize;
+    for i in 0..n_terms {
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)?;
+        let term = match tag[0] {
+            0 => Term::iri(read_str(r)?),
+            1 => Term::blank(read_str(r)?),
+            2 => Term::literal(read_str(r)?),
+            3 => {
+                let lex = read_str(r)?;
+                let lang = read_str(r)?;
+                Term::lang_literal(lex, lang)
+            }
+            4 => {
+                let lex = read_str(r)?;
+                let dt = read_str(r)?;
+                Term::typed_literal(lex, dt)
+            }
+            t => return Err(corrupt(format!("unknown term tag {t}"))),
+        };
+        let id = dict.encode(&term);
+        if id as usize != i + 1 {
+            return Err(corrupt("duplicate term in dictionary section"));
+        }
+    }
+    let n_triples = read_u64(r)? as usize;
+    let max_id = n_terms as u32;
+    let mut spo = Vec::with_capacity(n_triples.min(1 << 24));
+    for _ in 0..n_triples {
+        let s = read_u32(r)?;
+        let p = read_u32(r)?;
+        let o = read_u32(r)?;
+        if s == 0 || p == 0 || o == 0 || s > max_id || p > max_id || o > max_id {
+            return Err(corrupt("triple id out of range"));
+        }
+        spo.push([s, p, o]);
+    }
+    let snap = Snapshot::build_from(Arc::new(dict), spo, epoch, Parallelism::from_env());
+    Ok(TripleStore::from_snapshot(Arc::new(snap)))
+}
+
+/// Convenience: snapshot to a file.
+pub fn save_to_file(snap: &Snapshot, path: &std::path::Path) -> io::Result<()> {
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    write_snapshot(snap, &mut f)
+}
+
+/// Convenience: load a snapshot from a file.
+pub fn load_from_file(path: &std::path::Path) -> Result<TripleStore, SnapshotError> {
+    let mut f = io::BufReader::new(std::fs::File::open(path)?);
+    read_snapshot(&mut f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TripleStore {
+        let mut st = TripleStore::new();
+        st.load_ntriples(
+            r#"
+<http://ex/a> <http://ex/knows> <http://ex/b> .
+<http://ex/a> <http://ex/name> "Alice"@en .
+<http://ex/b> <http://ex/age> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .
+_:b0 <http://ex/knows> <http://ex/a> .
+<http://ex/c> <http://ex/name> "plain" .
+"#,
+        )
+        .unwrap();
+        st.build();
+        st
+    }
+
+    /// Serializes in the version-1 layout (no epoch field) — the format
+    /// every pre-MVCC build wrote. Kept as a test fixture generator for the
+    /// backward-compatibility guarantee.
+    fn write_snapshot_v1(snap: &Snapshot, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&1u32.to_le_bytes())?;
+        let dict = snap.dictionary();
+        w.write_all(&(dict.len() as u32).to_le_bytes())?;
+        for (_, term) in dict.iter() {
+            write_term(w, term)?;
+        }
+        w.write_all(&(snap.len() as u64).to_le_bytes())?;
+        for t in snap.iter() {
+            for c in t.as_array() {
+                w.write_all(&c.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let st = sample();
+        let mut buf = Vec::new();
+        write_snapshot(&st, &mut buf).unwrap();
+        let loaded = read_snapshot(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.len(), st.len());
+        assert_eq!(loaded.dictionary().len(), st.dictionary().len());
+        assert!(st.iter().eq(loaded.iter()));
+        // Decoded terms identical.
+        for (id, term) in st.dictionary().iter() {
+            assert_eq!(loaded.dictionary().decode(id), Some(term));
+        }
+        // Stats recomputed.
+        assert_eq!(loaded.stats().triples, st.stats().triples);
+        assert_eq!(loaded.stats().entities, st.stats().entities);
+        // The epoch survives the round trip.
+        assert_eq!(loaded.snapshot().epoch(), st.snapshot().epoch());
+    }
+
+    #[test]
+    fn epoch_round_trips_beyond_one() {
+        // Advance the epoch with incremental rebuilds, then persist.
+        let mut st = sample();
+        for i in 0..3 {
+            st.insert_terms(
+                &Term::iri(format!("http://ex/extra{i}")),
+                &Term::iri("http://ex/knows"),
+                &Term::iri("http://ex/a"),
+            );
+            st.build();
+        }
+        let epoch = st.snapshot().epoch();
+        assert!(epoch >= 4);
+        let mut buf = Vec::new();
+        write_snapshot(&st, &mut buf).unwrap();
+        let loaded = read_snapshot(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.snapshot().epoch(), epoch);
+    }
+
+    #[test]
+    fn reads_version1_files_at_epoch_zero() {
+        let st = sample();
+        let mut buf = Vec::new();
+        write_snapshot_v1(&st, &mut buf).unwrap();
+        let loaded = read_snapshot(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.len(), st.len());
+        assert!(st.iter().eq(loaded.iter()));
+        assert_eq!(loaded.snapshot().epoch(), 0, "v1 files predate epochs");
+        for (id, term) in st.dictionary().iter() {
+            assert_eq!(loaded.dictionary().decode(id), Some(term));
+        }
+    }
+
+    #[test]
+    fn rejects_truncation_inside_epoch_field() {
+        let st = sample();
+        let mut buf = Vec::new();
+        write_snapshot(&st, &mut buf).unwrap();
+        // magic (4) + version (4) + half of the epoch u64.
+        buf.truncate(4 + 4 + 4);
+        assert!(read_snapshot(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_corrupt_version_field() {
+        let st = sample();
+        let mut buf = Vec::new();
+        write_snapshot(&st, &mut buf).unwrap();
+        buf[4..8].copy_from_slice(&99u32.to_le_bytes());
+        match read_snapshot(&mut buf.as_slice()) {
+            Err(SnapshotError::Corrupt(m)) => assert!(m.contains("unsupported version")),
+            other => panic!("expected corrupt-version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut buf = Vec::new();
+        write_snapshot(&sample(), &mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(matches!(read_snapshot(&mut buf.as_slice()), Err(SnapshotError::Corrupt(_))));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let mut buf = Vec::new();
+        write_snapshot(&sample(), &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_snapshot(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_ids() {
+        let st = sample();
+        let mut buf = Vec::new();
+        write_snapshot(&st, &mut buf).unwrap();
+        // Corrupt the last triple's object id to an enormous value.
+        let n = buf.len();
+        buf[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(read_snapshot(&mut buf.as_slice()), Err(SnapshotError::Corrupt(_))));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("uo_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.uost");
+        let st = sample();
+        save_to_file(&st, &path).unwrap();
+        let loaded = load_from_file(&path).unwrap();
+        assert_eq!(loaded.len(), st.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let mut st = TripleStore::new();
+        st.build();
+        let mut buf = Vec::new();
+        write_snapshot(&st, &mut buf).unwrap();
+        let loaded = read_snapshot(&mut buf.as_slice()).unwrap();
+        assert!(loaded.is_empty());
+    }
+}

@@ -1,274 +1,219 @@
-//! Binary snapshots of a [`TripleStore`](crate::TripleStore).
+//! The immutable, shareable [`Snapshot`]: one MVCC version of the dataset.
 //!
-//! Loading a large dataset from N-Triples/Turtle re-parses and re-encodes
-//! every term; a snapshot stores the dictionary and the encoded SPO index
-//! directly, making reloads I/O-bound. The format is a simple
-//! length-prefixed layout:
+//! A snapshot owns the three sorted permutation indexes (SPO / POS / OSP),
+//! the dataset statistics and an [`Arc`]-shared dictionary, and carries a
+//! monotonically increasing **epoch**. Snapshots are cheap to share
+//! (`Arc<Snapshot>`) and never change after construction: readers that
+//! clone the `Arc` keep answering from their version no matter how many
+//! commits land afterwards — that is the whole concurrency story, no locks
+//! on the read path.
 //!
-//! ```text
-//! magic "UOST" | version u32 | term-count u32
-//!   per term: tag u8, then tag-dependent length-prefixed UTF-8 strings
-//! triple-count u64
-//!   per triple: s u32, p u32, o u32     (SPO order, deduplicated)
-//! ```
+//! New snapshots come from two places:
 //!
-//! All integers are little-endian. Permutation indexes and statistics are
-//! recomputed on load (they derive from the SPO index).
+//! - [`Snapshot::build_from`] — a bulk build (sort + dedup + derive), used
+//!   for initial loads;
+//! - [`StoreWriter::commit`](crate::StoreWriter::commit) — a merge-based
+//!   commit that folds a small delta into the previous snapshot's sorted
+//!   runs in O(N + K) without re-sorting the base.
 
-use crate::TripleStore;
-use std::fmt;
-use std::io::{self, Read, Write};
-use uo_rdf::{Term, Triple};
+use crate::index::{prefix_range, IndexKind, MatchSet};
+use crate::stats::DatasetStats;
+use std::sync::Arc;
+use uo_par::Parallelism;
+use uo_rdf::{Dictionary, Id, Triple};
 
-const MAGIC: &[u8; 4] = b"UOST";
-const VERSION: u32 = 1;
-
-/// An error while reading a snapshot.
-#[derive(Debug)]
-pub enum SnapshotError {
-    /// Underlying I/O failure.
-    Io(io::Error),
-    /// Structurally invalid snapshot data.
-    Corrupt(String),
+/// An immutable, fully-indexed version of the dataset. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    pub(crate) dict: Arc<Dictionary>,
+    pub(crate) epoch: u64,
+    pub(crate) spo: Vec<[Id; 3]>,
+    pub(crate) pos: Vec<[Id; 3]>,
+    pub(crate) osp: Vec<[Id; 3]>,
+    pub(crate) stats: DatasetStats,
 }
 
-impl fmt::Display for SnapshotError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
-            SnapshotError::Corrupt(m) => write!(f, "corrupt snapshot: {m}"),
+impl Snapshot {
+    /// The empty snapshot at epoch 0.
+    pub fn empty() -> Snapshot {
+        Snapshot {
+            dict: Arc::new(Dictionary::new()),
+            epoch: 0,
+            spo: Vec::new(),
+            pos: Vec::new(),
+            osp: Vec::new(),
+            stats: DatasetStats::default(),
         }
     }
-}
 
-impl std::error::Error for SnapshotError {}
-
-impl From<io::Error> for SnapshotError {
-    fn from(e: io::Error) -> Self {
-        SnapshotError::Io(e)
+    /// Bulk-builds a snapshot from unsorted SPO rows: parallel sort + dedup,
+    /// then the POS index, the OSP index and the statistics are derived
+    /// concurrently. Every id in `spo` must be valid in `dict`.
+    pub fn build_from(
+        dict: Arc<Dictionary>,
+        mut spo: Vec<[Id; 3]>,
+        epoch: u64,
+        par: Parallelism,
+    ) -> Snapshot {
+        uo_par::sort_unstable(par, &mut spo);
+        spo.dedup();
+        let (pos, osp, stats) = derive_indexes(&dict, &spo, par);
+        Snapshot { dict, epoch, spo, pos, osp, stats }
     }
-}
 
-fn corrupt(msg: impl Into<String>) -> SnapshotError {
-    SnapshotError::Corrupt(msg.into())
-}
-
-fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
-    w.write_all(&(s.len() as u32).to_le_bytes())?;
-    w.write_all(s.as_bytes())
-}
-
-fn read_u32(r: &mut impl Read) -> Result<u32, SnapshotError> {
-    let mut b = [0u8; 4];
-    r.read_exact(&mut b)?;
-    Ok(u32::from_le_bytes(b))
-}
-
-fn read_u64(r: &mut impl Read) -> Result<u64, SnapshotError> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
-    Ok(u64::from_le_bytes(b))
-}
-
-fn read_str(r: &mut impl Read) -> Result<String, SnapshotError> {
-    let len = read_u32(r)? as usize;
-    if len > 1 << 28 {
-        return Err(corrupt("string length out of range"));
+    /// The term dictionary of this version.
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dict
     }
-    let mut buf = vec![0u8; len];
-    r.read_exact(&mut buf)?;
-    String::from_utf8(buf).map_err(|_| corrupt("invalid UTF-8 in term"))
-}
 
-/// Writes a snapshot of `store` (which must be built).
-pub fn write_snapshot(store: &TripleStore, w: &mut impl Write) -> io::Result<()> {
-    w.write_all(MAGIC)?;
-    w.write_all(&VERSION.to_le_bytes())?;
-    let dict = store.dictionary();
-    w.write_all(&(dict.len() as u32).to_le_bytes())?;
-    for (_, term) in dict.iter() {
-        match term {
-            Term::Iri(i) => {
-                w.write_all(&[0])?;
-                write_str(w, i)?;
+    /// The shared dictionary handle (cheap to clone).
+    pub fn dict_arc(&self) -> &Arc<Dictionary> {
+        &self.dict
+    }
+
+    /// This version's epoch. Epochs increase by one per commit; two
+    /// snapshots of the same store with equal epochs hold identical data,
+    /// which is what the serving layer's plan-cache invalidation keys on.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of triples in this version.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// True if this version holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// Dataset-wide statistics of this version.
+    pub fn stats(&self) -> &DatasetStats {
+        &self.stats
+    }
+
+    /// Looks up all triples matching the pattern, where `None` components
+    /// are wildcards. Returns a borrowed sorted range of one permutation
+    /// index.
+    pub fn match_pattern(&self, s: Option<Id>, p: Option<Id>, o: Option<Id>) -> MatchSet<'_> {
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                MatchSet { rows: prefix_range(&self.spo, &[s, p, o]), kind: IndexKind::Spo }
             }
-            Term::Blank(b) => {
-                w.write_all(&[1])?;
-                write_str(w, b)?;
+            (Some(s), Some(p), None) => {
+                MatchSet { rows: prefix_range(&self.spo, &[s, p]), kind: IndexKind::Spo }
             }
-            Term::Literal { lexical, lang: None, datatype: None } => {
-                w.write_all(&[2])?;
-                write_str(w, lexical)?;
+            (Some(s), None, Some(o)) => {
+                MatchSet { rows: prefix_range(&self.osp, &[o, s]), kind: IndexKind::Osp }
             }
-            Term::Literal { lexical, lang: Some(l), .. } => {
-                w.write_all(&[3])?;
-                write_str(w, lexical)?;
-                write_str(w, l)?;
+            (Some(s), None, None) => {
+                MatchSet { rows: prefix_range(&self.spo, &[s]), kind: IndexKind::Spo }
             }
-            Term::Literal { lexical, lang: None, datatype: Some(dt) } => {
-                w.write_all(&[4])?;
-                write_str(w, lexical)?;
-                write_str(w, dt)?;
+            (None, Some(p), Some(o)) => {
+                MatchSet { rows: prefix_range(&self.pos, &[p, o]), kind: IndexKind::Pos }
             }
+            (None, Some(p), None) => {
+                MatchSet { rows: prefix_range(&self.pos, &[p]), kind: IndexKind::Pos }
+            }
+            (None, None, Some(o)) => {
+                MatchSet { rows: prefix_range(&self.osp, &[o]), kind: IndexKind::Osp }
+            }
+            (None, None, None) => MatchSet { rows: &self.spo, kind: IndexKind::Spo },
         }
     }
-    w.write_all(&(store.len() as u64).to_le_bytes())?;
-    for t in store.iter() {
-        for c in t.as_array() {
-            w.write_all(&c.to_le_bytes())?;
-        }
+
+    /// Exact number of triples matching the pattern (a range length;
+    /// O(log n)).
+    pub fn count_pattern(&self, s: Option<Id>, p: Option<Id>, o: Option<Id>) -> usize {
+        self.match_pattern(s, p, o).len()
     }
-    Ok(())
+
+    /// Returns `true` if the fully-bound triple is in this version.
+    pub fn contains(&self, t: Triple) -> bool {
+        self.count_pattern(Some(t.subject), Some(t.predicate), Some(t.object)) > 0
+    }
+
+    /// The objects of all triples `(s, p, ·)`, in sorted order.
+    pub fn objects(&self, s: Id, p: Id) -> impl Iterator<Item = Id> + '_ {
+        prefix_range(&self.spo, &[s, p]).iter().map(|r| r[2])
+    }
+
+    /// The subjects of all triples `(·, p, o)`, in sorted order.
+    pub fn subjects(&self, p: Id, o: Id) -> impl Iterator<Item = Id> + '_ {
+        prefix_range(&self.pos, &[p, o]).iter().map(|r| r[2])
+    }
+
+    /// Iterates over every triple in SPO order.
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.spo.iter().map(|&a| Triple::from(a))
+    }
 }
 
-/// Reads a snapshot into a fresh, built store.
-pub fn read_snapshot(r: &mut impl Read) -> Result<TripleStore, SnapshotError> {
-    let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(corrupt("bad magic"));
-    }
-    let version = read_u32(r)?;
-    if version != VERSION {
-        return Err(corrupt(format!("unsupported version {version}")));
-    }
-    let mut store = TripleStore::new();
-    let n_terms = read_u32(r)? as usize;
-    for i in 0..n_terms {
-        let mut tag = [0u8; 1];
-        r.read_exact(&mut tag)?;
-        let term = match tag[0] {
-            0 => Term::iri(read_str(r)?),
-            1 => Term::blank(read_str(r)?),
-            2 => Term::literal(read_str(r)?),
-            3 => {
-                let lex = read_str(r)?;
-                let lang = read_str(r)?;
-                Term::lang_literal(lex, lang)
-            }
-            4 => {
-                let lex = read_str(r)?;
-                let dt = read_str(r)?;
-                Term::typed_literal(lex, dt)
-            }
-            t => return Err(corrupt(format!("unknown term tag {t}"))),
-        };
-        let id = store.dictionary_mut().encode(&term);
-        if id as usize != i + 1 {
-            return Err(corrupt("duplicate term in dictionary section"));
-        }
-    }
-    let n_triples = read_u64(r)? as usize;
-    let max_id = n_terms as u32;
-    for _ in 0..n_triples {
-        let s = read_u32(r)?;
-        let p = read_u32(r)?;
-        let o = read_u32(r)?;
-        if s == 0 || p == 0 || o == 0 || s > max_id || p > max_id || o > max_id {
-            return Err(corrupt("triple id out of range"));
-        }
-        store.insert(Triple::new(s, p, o));
-    }
-    store.build();
-    Ok(store)
-}
-
-/// Convenience: snapshot to a file.
-pub fn save_to_file(store: &TripleStore, path: &std::path::Path) -> io::Result<()> {
-    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
-    write_snapshot(store, &mut f)
-}
-
-/// Convenience: load a snapshot from a file.
-pub fn load_from_file(path: &std::path::Path) -> Result<TripleStore, SnapshotError> {
-    let mut f = io::BufReader::new(std::fs::File::open(path)?);
-    read_snapshot(&mut f)
+/// Derives the POS index, the OSP index and the statistics from a sorted,
+/// deduplicated SPO index — the three jobs run concurrently.
+pub(crate) fn derive_indexes(
+    dict: &Dictionary,
+    spo: &[[Id; 3]],
+    par: Parallelism,
+) -> (Vec<[Id; 3]>, Vec<[Id; 3]>, DatasetStats) {
+    uo_par::join3(
+        par,
+        || {
+            let mut v: Vec<[Id; 3]> = spo.iter().map(|&t| IndexKind::Pos.from_spo(t)).collect();
+            v.sort_unstable();
+            v
+        },
+        || {
+            let mut v: Vec<[Id; 3]> = spo.iter().map(|&t| IndexKind::Osp.from_spo(t)).collect();
+            v.sort_unstable();
+            v
+        },
+        || DatasetStats::compute(dict, spo),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use uo_rdf::Term;
 
-    fn sample() -> TripleStore {
-        let mut st = TripleStore::new();
-        st.load_ntriples(
-            r#"
-<http://ex/a> <http://ex/knows> <http://ex/b> .
-<http://ex/a> <http://ex/name> "Alice"@en .
-<http://ex/b> <http://ex/age> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .
-_:b0 <http://ex/knows> <http://ex/a> .
-<http://ex/c> <http://ex/name> "plain" .
-"#,
-        )
-        .unwrap();
-        st.build();
-        st
+    fn sample() -> Snapshot {
+        let mut dict = Dictionary::new();
+        let a = dict.encode(&Term::iri("http://a"));
+        let b = dict.encode(&Term::iri("http://b"));
+        let p = dict.encode(&Term::iri("http://p"));
+        let q = dict.encode(&Term::iri("http://q"));
+        let spo = vec![[a, p, b], [b, p, a], [a, q, a], [a, p, b]];
+        Snapshot::build_from(Arc::new(dict), spo, 7, Parallelism::sequential())
     }
 
     #[test]
-    fn round_trip_preserves_everything() {
-        let st = sample();
-        let mut buf = Vec::new();
-        write_snapshot(&st, &mut buf).unwrap();
-        let loaded = read_snapshot(&mut buf.as_slice()).unwrap();
-        assert_eq!(loaded.len(), st.len());
-        assert_eq!(loaded.dictionary().len(), st.dictionary().len());
-        assert!(st.iter().eq(loaded.iter()));
-        // Decoded terms identical.
-        for (id, term) in st.dictionary().iter() {
-            assert_eq!(loaded.dictionary().decode(id), Some(term));
-        }
-        // Stats recomputed.
-        assert_eq!(loaded.stats().triples, st.stats().triples);
-        assert_eq!(loaded.stats().entities, st.stats().entities);
+    fn build_from_sorts_and_dedups() {
+        let s = sample();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.epoch(), 7);
+        let rows: Vec<[Id; 3]> = s.iter().map(|t| t.as_array()).collect();
+        assert!(rows.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
     }
 
     #[test]
-    fn rejects_bad_magic() {
-        let mut buf = Vec::new();
-        write_snapshot(&sample(), &mut buf).unwrap();
-        buf[0] = b'X';
-        assert!(matches!(read_snapshot(&mut buf.as_slice()), Err(SnapshotError::Corrupt(_))));
+    fn empty_snapshot_is_epoch_zero() {
+        let s = Snapshot::empty();
+        assert_eq!(s.epoch(), 0);
+        assert!(s.is_empty());
+        assert_eq!(s.count_pattern(None, None, None), 0);
     }
 
     #[test]
-    fn rejects_truncation() {
-        let mut buf = Vec::new();
-        write_snapshot(&sample(), &mut buf).unwrap();
-        buf.truncate(buf.len() - 3);
-        assert!(read_snapshot(&mut buf.as_slice()).is_err());
-    }
-
-    #[test]
-    fn rejects_out_of_range_ids() {
-        let st = sample();
-        let mut buf = Vec::new();
-        write_snapshot(&st, &mut buf).unwrap();
-        // Corrupt the last triple's object id to an enormous value.
-        let n = buf.len();
-        buf[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
-        assert!(matches!(read_snapshot(&mut buf.as_slice()), Err(SnapshotError::Corrupt(_))));
-    }
-
-    #[test]
-    fn file_round_trip() {
-        let dir = std::env::temp_dir().join("uo_snapshot_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("store.uost");
-        let st = sample();
-        save_to_file(&st, &path).unwrap();
-        let loaded = load_from_file(&path).unwrap();
-        assert_eq!(loaded.len(), st.len());
-        std::fs::remove_file(&path).ok();
-    }
-
-    #[test]
-    fn empty_store_round_trips() {
-        let mut st = TripleStore::new();
-        st.build();
-        let mut buf = Vec::new();
-        write_snapshot(&st, &mut buf).unwrap();
-        let loaded = read_snapshot(&mut buf.as_slice()).unwrap();
-        assert!(loaded.is_empty());
+    fn pattern_shapes_answer_from_permutations() {
+        let s = sample();
+        let a = s.dictionary().lookup(&Term::iri("http://a")).unwrap();
+        let p = s.dictionary().lookup(&Term::iri("http://p")).unwrap();
+        assert_eq!(s.count_pattern(Some(a), None, None), 2);
+        assert_eq!(s.count_pattern(None, Some(p), None), 2);
+        assert_eq!(s.count_pattern(None, None, Some(a)), 2);
+        assert_eq!(s.objects(a, p).count(), 1);
+        assert_eq!(s.subjects(p, a).count(), 1);
     }
 }

@@ -1,27 +1,65 @@
-//! The [`TripleStore`] type: loading, indexing and pattern lookup.
+//! The [`TripleStore`] facade: the classic two-phase (insert → `build` →
+//! read) API, now layered on the MVCC [`Snapshot`]/[`StoreWriter`] split.
+//!
+//! The facade keeps every pre-MVCC call site compiling: examples, the data
+//! generators, benches and tests construct a `TripleStore`, load triples
+//! and call [`build`](TripleStore::build) exactly as before. Internally the
+//! store owns an `Arc<Snapshot>` plus a pending-insert buffer, and `build`
+//! publishes a new snapshot (a bulk build the first time, a merge commit
+//! for incremental rebuilds). All *read* methods live on [`Snapshot`]; the
+//! facade [`Deref`]s to its current snapshot, so `&TripleStore` coerces to
+//! `&Snapshot` at every query-layer call site — and panics (in release
+//! builds too) if the store has not been built since the last insertion,
+//! because a lookup on a stale snapshot would silently return wrong
+//! answers.
 
-use crate::index::{prefix_range, IndexKind, MatchSet};
-use crate::stats::DatasetStats;
+use crate::snapshot::Snapshot;
+use crate::writer::commit_delta;
+use std::ops::Deref;
+use std::sync::Arc;
 use uo_par::Parallelism;
 use uo_rdf::ntriples;
 use uo_rdf::{Dictionary, Id, Term, Triple};
 
-/// An in-memory, read-optimized RDF triple store.
-///
-/// Usage follows a two-phase protocol: insert triples (via
-/// [`insert`](Self::insert), [`insert_terms`](Self::insert_terms) or
-/// [`load_ntriples`](Self::load_ntriples)), then call [`build`](Self::build)
-/// once to sort the permutation indexes and compute statistics. Lookups
-/// before `build` would observe partial indexes and silently return wrong
-/// answers, so they panic — in release builds too.
-#[derive(Debug, Default, Clone)]
+/// An in-memory RDF triple store with a two-phase protocol: insert triples
+/// (via [`insert`](Self::insert), [`insert_terms`](Self::insert_terms) or
+/// the streaming loaders), then call [`build`](Self::build) once to publish
+/// a queryable [`Snapshot`]. For live read/write workloads use
+/// [`StoreWriter`](crate::StoreWriter) directly.
+#[derive(Debug, Clone)]
 pub struct TripleStore {
-    dict: Dictionary,
-    spo: Vec<[Id; 3]>,
-    pos: Vec<[Id; 3]>,
-    osp: Vec<[Id; 3]>,
-    stats: DatasetStats,
+    dict: Arc<Dictionary>,
+    pending: Vec<[Id; 3]>,
+    snap: Arc<Snapshot>,
     built: bool,
+}
+
+impl Default for TripleStore {
+    fn default() -> Self {
+        TripleStore {
+            dict: Arc::new(Dictionary::new()),
+            pending: Vec::new(),
+            snap: Arc::new(Snapshot::empty()),
+            built: false,
+        }
+    }
+}
+
+impl Deref for TripleStore {
+    type Target = Snapshot;
+
+    /// The current snapshot — every read method
+    /// ([`match_pattern`](Snapshot::match_pattern), [`iter`](Snapshot::iter),
+    /// [`stats`](Snapshot::stats), …) resolves through here.
+    ///
+    /// # Panics
+    /// Panics if [`build`](TripleStore::build) has not been called since the
+    /// last insertion: the snapshot would not include pending rows, so the
+    /// misuse is a hard error in release builds too.
+    fn deref(&self) -> &Snapshot {
+        assert!(self.built, "TripleStore::build must be called before lookups");
+        &self.snap
+    }
 }
 
 impl TripleStore {
@@ -30,67 +68,89 @@ impl TripleStore {
         Self::default()
     }
 
-    /// The term dictionary (shared by all queries on this store).
+    /// Wraps an already-built snapshot in the facade (built state).
+    pub fn from_snapshot(snap: Arc<Snapshot>) -> Self {
+        TripleStore { dict: Arc::clone(snap.dict_arc()), pending: Vec::new(), snap, built: true }
+    }
+
+    /// The current snapshot handle — share this with readers (e.g. the HTTP
+    /// server) for lock-free concurrent queries.
+    ///
+    /// # Panics
+    /// Panics if the store has not been built since the last insertion.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        assert!(self.built, "TripleStore::build must be called before lookups");
+        Arc::clone(&self.snap)
+    }
+
+    /// The term dictionary (valid before and after `build`; shared by all
+    /// queries on this store).
     pub fn dictionary(&self) -> &Dictionary {
         &self.dict
     }
 
     /// Mutable access to the dictionary, used when encoding query constants
-    /// must observe data terms.
+    /// must observe data terms. Copy-on-write: the published snapshot's
+    /// dictionary is never mutated through this.
     pub fn dictionary_mut(&mut self) -> &mut Dictionary {
-        &mut self.dict
+        Arc::make_mut(&mut self.dict)
     }
 
-    /// Number of triples loaded (after deduplication at `build`).
+    /// Number of triples: the built snapshot's count plus any pending
+    /// (not yet deduplicated) insertions.
     pub fn len(&self) -> usize {
-        self.spo.len()
+        self.snap.len() + self.pending.len()
     }
 
     /// True if the store holds no triples.
     pub fn is_empty(&self) -> bool {
-        self.spo.is_empty()
+        self.snap.is_empty() && self.pending.is_empty()
     }
 
-    /// Dataset-wide statistics. Only meaningful after [`build`](Self::build).
-    pub fn stats(&self) -> &DatasetStats {
-        &self.stats
-    }
-
-    /// Inserts an already-encoded triple.
+    /// Inserts an already-encoded triple (ids must come from this store's
+    /// dictionary).
     pub fn insert(&mut self, t: Triple) {
         self.built = false;
-        self.spo.push(t.as_array());
+        self.pending.push(t.as_array());
     }
 
     /// Encodes the three terms and inserts the resulting triple.
     pub fn insert_terms(&mut self, s: &Term, p: &Term, o: &Term) {
-        let t = Triple::new(self.dict.encode(s), self.dict.encode(p), self.dict.encode(o));
+        let dict = Arc::make_mut(&mut self.dict);
+        let t = Triple::new(dict.encode(s), dict.encode(p), dict.encode(o));
         self.insert(t);
     }
 
-    /// Parses an N-Triples document and inserts every statement.
+    /// Parses an N-Triples document and inserts every statement, streaming
+    /// (statement-by-statement — no intermediate term buffer). Atomic on
+    /// error: a malformed document leaves the store exactly as it was.
     pub fn load_ntriples(&mut self, doc: &str) -> Result<usize, ntriples::ParseError> {
-        let triples = ntriples::parse_document(doc)?;
-        let n = triples.len();
-        for (s, p, o) in &triples {
-            self.insert_terms(s, p, o);
-        }
-        Ok(n)
+        let undo = (Arc::clone(&self.dict), self.pending.len(), self.built);
+        ntriples::parse_document_each(doc, |s, p, o| self.insert_terms(&s, &p, &o))
+            .inspect_err(|_| self.unwind_load(undo))
     }
 
-    /// Parses a Turtle document and inserts every statement.
+    /// Parses a Turtle document and inserts every statement, streaming.
+    /// Atomic on error, like [`load_ntriples`](Self::load_ntriples).
     pub fn load_turtle(&mut self, doc: &str) -> Result<usize, uo_rdf::turtle::TurtleError> {
-        let triples = uo_rdf::turtle::parse_turtle(doc)?;
-        let n = triples.len();
-        for (s, p, o) in &triples {
-            self.insert_terms(s, p, o);
-        }
-        Ok(n)
+        let undo = (Arc::clone(&self.dict), self.pending.len(), self.built);
+        uo_rdf::turtle::parse_turtle_each(doc, &mut |s, p, o| self.insert_terms(&s, &p, &o))
+            .inspect_err(|_| self.unwind_load(undo))
     }
 
-    /// Sorts and deduplicates the permutation indexes and recomputes
-    /// statistics. Must be called after the last insertion and before the
-    /// first lookup. Idempotent.
+    /// Restores the pre-load dictionary handle, pending length and built
+    /// flag after a failed streaming load (the captured `Arc` keeps the old
+    /// dictionary alive, so the partial load's copy-on-write clone is
+    /// simply dropped).
+    fn unwind_load(&mut self, (dict, pending_len, built): (Arc<Dictionary>, usize, bool)) {
+        self.dict = dict;
+        self.pending.truncate(pending_len);
+        self.built = built;
+    }
+
+    /// Publishes the pending insertions as a new snapshot. Must be called
+    /// after the last insertion and before the first lookup. Idempotent: a
+    /// `build` with nothing pending keeps the current snapshot (and epoch).
     ///
     /// Worker count comes from the `UO_THREADS` environment knob (see
     /// [`Parallelism::from_env`]); use [`build_with`](Self::build_with) for
@@ -99,103 +159,33 @@ impl TripleStore {
         self.build_with(Parallelism::from_env());
     }
 
-    /// [`build`](Self::build) with an explicit parallelism policy: the SPO
-    /// sort is chunked across workers, then the POS index, the OSP index and
-    /// the dataset statistics are produced concurrently. The result is
-    /// identical to a sequential build.
+    /// [`build`](Self::build) with an explicit parallelism policy. The first
+    /// build is a bulk build (parallel sort + concurrent index/statistics
+    /// derivation); a rebuild after further insertions merges the new rows
+    /// into the existing snapshot instead of re-sorting everything. The
+    /// result is identical to a sequential from-scratch build.
     pub fn build_with(&mut self, par: Parallelism) {
-        uo_par::sort_unstable(par, &mut self.spo);
-        self.spo.dedup();
-        let spo = &self.spo;
-        let dict = &self.dict;
-        let (pos, osp, stats) = uo_par::join3(
-            par,
-            || {
-                let mut v: Vec<[Id; 3]> = spo.iter().map(|&t| IndexKind::Pos.from_spo(t)).collect();
-                v.sort_unstable();
-                v
-            },
-            || {
-                let mut v: Vec<[Id; 3]> = spo.iter().map(|&t| IndexKind::Osp.from_spo(t)).collect();
-                v.sort_unstable();
-                v
-            },
-            || DatasetStats::compute(dict, spo),
-        );
-        self.pos = pos;
-        self.osp = osp;
-        self.stats = stats;
+        if self.built && self.pending.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending);
+        let dict = Arc::clone(&self.dict);
+        self.snap = if self.snap.is_empty() {
+            Arc::new(Snapshot::build_from(dict, pending, self.snap.epoch() + 1, par))
+        } else {
+            let (snap, _) = commit_delta(&self.snap, dict, pending, Vec::new(), par);
+            Arc::new(snap)
+        };
         self.built = true;
     }
 
-    /// Looks up all triples matching the pattern, where `None` components are
-    /// wildcards. Returns a borrowed sorted range of one permutation index.
+    /// Consumes the facade, returning the built snapshot.
     ///
     /// # Panics
-    /// Panics if [`build`](Self::build) has not been called since the last
-    /// insertion: a lookup on a partial index would silently return wrong
-    /// answers, so the misuse is a hard error in release builds too.
-    pub fn match_pattern(&self, s: Option<Id>, p: Option<Id>, o: Option<Id>) -> MatchSet<'_> {
+    /// Panics if the store has not been built since the last insertion.
+    pub fn into_snapshot(self) -> Arc<Snapshot> {
         assert!(self.built, "TripleStore::build must be called before lookups");
-        match (s, p, o) {
-            (Some(s), Some(p), Some(o)) => {
-                MatchSet { rows: prefix_range(&self.spo, &[s, p, o]), kind: IndexKind::Spo }
-            }
-            (Some(s), Some(p), None) => {
-                MatchSet { rows: prefix_range(&self.spo, &[s, p]), kind: IndexKind::Spo }
-            }
-            (Some(s), None, Some(o)) => {
-                MatchSet { rows: prefix_range(&self.osp, &[o, s]), kind: IndexKind::Osp }
-            }
-            (Some(s), None, None) => {
-                MatchSet { rows: prefix_range(&self.spo, &[s]), kind: IndexKind::Spo }
-            }
-            (None, Some(p), Some(o)) => {
-                MatchSet { rows: prefix_range(&self.pos, &[p, o]), kind: IndexKind::Pos }
-            }
-            (None, Some(p), None) => {
-                MatchSet { rows: prefix_range(&self.pos, &[p]), kind: IndexKind::Pos }
-            }
-            (None, None, Some(o)) => {
-                MatchSet { rows: prefix_range(&self.osp, &[o]), kind: IndexKind::Osp }
-            }
-            (None, None, None) => MatchSet { rows: &self.spo, kind: IndexKind::Spo },
-        }
-    }
-
-    /// Exact number of triples matching the pattern (a range length; O(log n)).
-    pub fn count_pattern(&self, s: Option<Id>, p: Option<Id>, o: Option<Id>) -> usize {
-        self.match_pattern(s, p, o).len()
-    }
-
-    /// Returns `true` if the fully-bound triple is in the store.
-    pub fn contains(&self, t: Triple) -> bool {
-        self.count_pattern(Some(t.subject), Some(t.predicate), Some(t.object)) > 0
-    }
-
-    /// The objects of all triples `(s, p, ·)`, in sorted order.
-    ///
-    /// # Panics
-    /// Panics if [`build`](Self::build) has not been called (see
-    /// [`match_pattern`](Self::match_pattern)).
-    pub fn objects(&self, s: Id, p: Id) -> impl Iterator<Item = Id> + '_ {
-        assert!(self.built, "TripleStore::build must be called before lookups");
-        prefix_range(&self.spo, &[s, p]).iter().map(|r| r[2])
-    }
-
-    /// The subjects of all triples `(·, p, o)`, in sorted order.
-    ///
-    /// # Panics
-    /// Panics if [`build`](Self::build) has not been called (see
-    /// [`match_pattern`](Self::match_pattern)).
-    pub fn subjects(&self, p: Id, o: Id) -> impl Iterator<Item = Id> + '_ {
-        assert!(self.built, "TripleStore::build must be called before lookups");
-        prefix_range(&self.pos, &[p, o]).iter().map(|r| r[2])
-    }
-
-    /// Iterates over every triple in SPO order.
-    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
-        self.spo.iter().map(|&a| Triple::from(a))
+        self.snap
     }
 }
 
@@ -278,6 +268,7 @@ mod tests {
     #[test]
     fn rebuild_after_more_inserts() {
         let mut st = small_store();
+        let epoch_before = st.snapshot().epoch();
         st.insert_terms(
             &Term::iri("http://ex/c"),
             &Term::iri("http://ex/knows"),
@@ -286,6 +277,15 @@ mod tests {
         st.build();
         let knows = id(&st, &Term::iri("http://ex/knows"));
         assert_eq!(st.count_pattern(None, Some(knows), None), 4);
+        assert_eq!(st.snapshot().epoch(), epoch_before + 1, "rebuild bumps the epoch");
+    }
+
+    #[test]
+    fn build_is_idempotent() {
+        let mut st = small_store();
+        let snap = st.snapshot();
+        st.build();
+        assert!(Arc::ptr_eq(&snap, &st.snapshot()), "no-op build keeps the snapshot");
     }
 
     #[test]
@@ -317,9 +317,36 @@ mod tests {
             &Term::iri("http://ex/knows"),
             &Term::iri("http://ex/a"),
         );
-        // The insert invalidated the indexes; lookups must panic until the
+        // The insert invalidated the snapshot; lookups must panic until the
         // next build().
         let _ = st.count_pattern(None, None, None);
+    }
+
+    #[test]
+    fn dictionary_mut_does_not_disturb_snapshot() {
+        let mut st = small_store();
+        let before = st.snapshot();
+        let qid = st.dictionary_mut().encode(&Term::iri("http://ex/query-constant"));
+        assert!(qid > 0);
+        // The published snapshot's dictionary is unchanged (copy-on-write).
+        assert!(before.dictionary().lookup(&Term::iri("http://ex/query-constant")).is_none());
+        // The store is still built and queryable.
+        assert_eq!(st.count_pattern(None, None, None), 5);
+    }
+
+    #[test]
+    fn failed_load_is_atomic() {
+        let mut st = small_store();
+        let len = st.len();
+        let dict_len = st.dictionary().len();
+        let bad = "<http://ex/new1> <http://ex/p> <http://ex/new2> .\nbroken line\n";
+        assert!(st.load_ntriples(bad).is_err());
+        assert_eq!(st.len(), len, "no partial statements buffered");
+        assert_eq!(st.dictionary().len(), dict_len, "no partial terms encoded");
+        // The store is still built and queryable (nothing was invalidated).
+        assert_eq!(st.count_pattern(None, None, None), 5);
+        assert!(st.load_turtle("@prefix ex: <http://ex/> .\nex:a ex:p [ broken").is_err());
+        assert_eq!(st.dictionary().len(), dict_len);
     }
 
     #[test]

@@ -1,0 +1,461 @@
+//! The [`StoreWriter`]: mutation endpoint of the MVCC store.
+//!
+//! A writer buffers inserts and deletes in a small delta and publishes them
+//! with [`commit`](StoreWriter::commit), which produces a **new**
+//! [`Snapshot`] by *merging* the sorted delta into the previous snapshot's
+//! sorted permutation runs (`uo_par::merge_diff`). A commit of K triples
+//! into an N-triple snapshot therefore sorts only the K delta rows (per
+//! permutation) and streams the N base rows through a linear merge —
+//! O(N + K), never an O((N + K) log (N + K)) re-sort of the base. The
+//! [`CommitStats`] of every commit record exactly that split, which the
+//! test suite asserts on.
+//!
+//! Readers are completely undisturbed: anyone holding an `Arc<Snapshot>`
+//! keeps answering from it; a commit only swaps which snapshot *future*
+//! readers pick up. One writer at a time per lineage is the caller's
+//! contract (the HTTP server serializes writers behind a mutex).
+//!
+//! The dictionary is shared with the base snapshot via `Arc` and cloned
+//! lazily (copy-on-write) the first time a commit cycle encounters a term
+//! the base does not know; delta-only commits and commits over known terms
+//! reuse the base dictionary allocation outright.
+
+use crate::index::IndexKind;
+use crate::snapshot::{derive_indexes, Snapshot};
+use crate::stats::DatasetStats;
+use std::sync::Arc;
+use uo_par::Parallelism;
+use uo_rdf::{ntriples, Dictionary, FxHashSet, Id, Term, Triple};
+
+/// What one [`StoreWriter::commit`] did — the observability hook for the
+/// "merge, don't re-sort" contract.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CommitStats {
+    /// Epoch of the snapshot the commit produced.
+    pub epoch: u64,
+    /// Distinct delta insertions folded in.
+    pub delta_inserts: usize,
+    /// Distinct delta deletions folded in.
+    pub delta_deletes: usize,
+    /// Rows that went through a sort: delta rows only, once per permutation
+    /// index. A commit of K triples sorts at most `3 * (inserts + deletes)`
+    /// rows regardless of the base size.
+    pub rows_sorted: usize,
+    /// Base rows that were merged (not re-sorted), across the three
+    /// permutation indexes.
+    pub rows_merged: usize,
+    /// True when the commit reused the base snapshot's dictionary
+    /// allocation (no unknown term was encoded this cycle).
+    pub dict_reused: bool,
+}
+
+/// A mutation buffer over a base [`Snapshot`]. See the module docs.
+///
+/// The pending delta is a pair of hash sets (row → present exactly once),
+/// so buffering an operation is O(1) — including the cancellation of an
+/// opposing pending op — and mixed insert/delete batches stay linear.
+#[derive(Debug, Clone)]
+pub struct StoreWriter {
+    base: Arc<Snapshot>,
+    dict: Arc<Dictionary>,
+    inserts: FxHashSet<[Id; 3]>,
+    deletes: FxHashSet<[Id; 3]>,
+    last_commit: CommitStats,
+}
+
+impl StoreWriter {
+    /// A writer over the empty dataset (epoch 0).
+    pub fn new() -> StoreWriter {
+        StoreWriter::from_snapshot(Arc::new(Snapshot::empty()))
+    }
+
+    /// A writer whose first commit will extend `base`. Cheap: the dictionary
+    /// and indexes stay shared until a commit actually changes them.
+    pub fn from_snapshot(base: Arc<Snapshot>) -> StoreWriter {
+        let dict = Arc::clone(base.dict_arc());
+        StoreWriter {
+            base,
+            dict,
+            inserts: FxHashSet::default(),
+            deletes: FxHashSet::default(),
+            last_commit: CommitStats::default(),
+        }
+    }
+
+    /// The latest committed snapshot (the base of the pending delta).
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.base)
+    }
+
+    /// The working dictionary: the base snapshot's terms plus any terms
+    /// encoded by pending (uncommitted) insertions.
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Number of pending (uncommitted) insertions.
+    pub fn pending_inserts(&self) -> usize {
+        self.inserts.len()
+    }
+
+    /// Number of pending (uncommitted) deletions.
+    pub fn pending_deletes(&self) -> usize {
+        self.deletes.len()
+    }
+
+    /// Statistics of the most recent commit.
+    pub fn last_commit(&self) -> CommitStats {
+        self.last_commit
+    }
+
+    /// Encodes a term against the shared dictionary, cloning it
+    /// copy-on-write only when the term is genuinely new.
+    fn encode(&mut self, term: &Term) -> Id {
+        if let Some(id) = self.dict.lookup(term) {
+            return id;
+        }
+        Arc::make_mut(&mut self.dict).encode(term)
+    }
+
+    /// Buffers an insertion of an already-encoded triple. A pending deletion
+    /// of the same triple is cancelled (last operation wins).
+    pub fn insert(&mut self, t: Triple) {
+        let row = t.as_array();
+        self.deletes.remove(&row);
+        self.inserts.insert(row);
+    }
+
+    /// Encodes the three terms and buffers the insertion.
+    pub fn insert_terms(&mut self, s: &Term, p: &Term, o: &Term) {
+        let t = Triple::new(self.encode(s), self.encode(p), self.encode(o));
+        self.insert(t);
+    }
+
+    /// Buffers a deletion of an already-encoded triple. A pending insertion
+    /// of the same triple is cancelled (last operation wins). Deleting a
+    /// triple that is not in the store is a no-op at commit.
+    pub fn delete(&mut self, t: Triple) {
+        let row = t.as_array();
+        self.inserts.remove(&row);
+        self.deletes.insert(row);
+    }
+
+    /// Looks the three terms up and buffers the deletion. Returns `false`
+    /// (doing nothing) when any term is unknown — the triple cannot exist.
+    pub fn delete_terms(&mut self, s: &Term, p: &Term, o: &Term) -> bool {
+        let (Some(s), Some(p), Some(o)) =
+            (self.dict.lookup(s), self.dict.lookup(p), self.dict.lookup(o))
+        else {
+            return false;
+        };
+        self.delete(Triple::new(s, p, o));
+        true
+    }
+
+    /// Parses an N-Triples document and buffers every statement, one at a
+    /// time — no intermediate `Vec` of decoded terms is materialized, so
+    /// peak memory during ingest is the document plus the encoded delta.
+    /// Atomic on error: a malformed document leaves the pending delta and
+    /// dictionary exactly as they were (the pre-load delta is snapshotted,
+    /// which is cheap in the common bulk-load-into-empty-delta case).
+    pub fn load_ntriples(&mut self, doc: &str) -> Result<usize, ntriples::ParseError> {
+        let undo = (Arc::clone(&self.dict), self.inserts.clone(), self.deletes.clone());
+        ntriples::parse_document_each(doc, |s, p, o| self.insert_terms(&s, &p, &o))
+            .inspect_err(|_| self.unwind_load(undo))
+    }
+
+    /// Parses a Turtle document and buffers every statement, streaming and
+    /// atomic-on-error like [`load_ntriples`](Self::load_ntriples).
+    pub fn load_turtle(&mut self, doc: &str) -> Result<usize, uo_rdf::turtle::TurtleError> {
+        let undo = (Arc::clone(&self.dict), self.inserts.clone(), self.deletes.clone());
+        uo_rdf::turtle::parse_turtle_each(doc, &mut |s, p, o| self.insert_terms(&s, &p, &o))
+            .inspect_err(|_| self.unwind_load(undo))
+    }
+
+    /// Restores the pre-load state after a failed streaming load.
+    #[allow(clippy::type_complexity)]
+    fn unwind_load(&mut self, undo: (Arc<Dictionary>, FxHashSet<[Id; 3]>, FxHashSet<[Id; 3]>)) {
+        (self.dict, self.inserts, self.deletes) = undo;
+    }
+
+    /// Publishes the pending delta as a new snapshot with `UO_THREADS`
+    /// parallelism. See [`commit_with`](Self::commit_with).
+    pub fn commit(&mut self) -> Arc<Snapshot> {
+        self.commit_with(Parallelism::from_env())
+    }
+
+    /// Publishes the pending delta: sorts the delta (K log K), merges it
+    /// into the base's three sorted permutation runs (O(N + K), chunked
+    /// across workers), recomputes statistics, and bumps the epoch. The
+    /// writer's base advances to the new snapshot; the old snapshot is
+    /// untouched, so concurrent readers holding it are unaffected.
+    ///
+    /// A commit with an empty delta and an unchanged dictionary returns the
+    /// current base unchanged (same epoch).
+    pub fn commit_with(&mut self, par: Parallelism) -> Arc<Snapshot> {
+        let dict_reused = Arc::ptr_eq(&self.dict, self.base.dict_arc());
+        if self.inserts.is_empty() && self.deletes.is_empty() && dict_reused {
+            return Arc::clone(&self.base);
+        }
+        let inserts: Vec<[Id; 3]> = std::mem::take(&mut self.inserts).into_iter().collect();
+        let deletes: Vec<[Id; 3]> = std::mem::take(&mut self.deletes).into_iter().collect();
+        let (snap, mut stats) =
+            commit_delta(&self.base, Arc::clone(&self.dict), inserts, deletes, par);
+        stats.dict_reused = dict_reused;
+        self.last_commit = stats;
+        let arc = Arc::new(snap);
+        self.base = Arc::clone(&arc);
+        arc
+    }
+
+    /// Discards the pending (uncommitted) delta and any terms it encoded,
+    /// restoring the writer to its last committed state. Used to abandon a
+    /// cancelled or failed update request without leaking half its
+    /// operations into the next one.
+    pub fn rollback(&mut self) {
+        self.inserts.clear();
+        self.deletes.clear();
+        self.dict = Arc::clone(self.base.dict_arc());
+    }
+}
+
+impl Default for StoreWriter {
+    fn default() -> Self {
+        StoreWriter::new()
+    }
+}
+
+/// Folds a delta into `base`, producing the next snapshot and the commit
+/// accounting. Shared by [`StoreWriter::commit_with`] and the
+/// [`TripleStore`](crate::TripleStore) facade's incremental rebuild.
+pub(crate) fn commit_delta(
+    base: &Snapshot,
+    dict: Arc<Dictionary>,
+    mut inserts: Vec<[Id; 3]>,
+    mut deletes: Vec<[Id; 3]>,
+    par: Parallelism,
+) -> (Snapshot, CommitStats) {
+    let epoch = base.epoch + 1;
+    let mut stats = CommitStats { epoch, ..CommitStats::default() };
+
+    stats.rows_sorted += inserts.len() + deletes.len();
+    inserts.sort_unstable();
+    inserts.dedup();
+    deletes.sort_unstable();
+    deletes.dedup();
+    stats.delta_inserts = inserts.len();
+    stats.delta_deletes = deletes.len();
+
+    // An initial bulk load arrives here with an empty base; derive
+    // everything from the (already sorted) insert run directly.
+    if base.spo.is_empty() && deletes.is_empty() {
+        let spo = inserts;
+        let (pos, osp, ds) = derive_indexes(&dict, &spo, par);
+        stats.rows_sorted += 2 * spo.len();
+        return (Snapshot { dict, epoch, spo, pos, osp, stats: ds }, stats);
+    }
+
+    let permute = |kind: IndexKind, rows: &[[Id; 3]]| -> Vec<[Id; 3]> {
+        let mut v: Vec<[Id; 3]> = rows.iter().map(|&t| kind.from_spo(t)).collect();
+        v.sort_unstable();
+        v
+    };
+
+    let spo = uo_par::merge_diff(par, &base.spo, &inserts, &deletes);
+    stats.rows_merged += base.spo.len();
+
+    let (pos, osp, ds) = uo_par::join3(
+        par,
+        || {
+            let (ins, del) = (permute(IndexKind::Pos, &inserts), permute(IndexKind::Pos, &deletes));
+            uo_par::merge_diff(Parallelism::sequential(), &base.pos, &ins, &del)
+        },
+        || {
+            let (ins, del) = (permute(IndexKind::Osp, &inserts), permute(IndexKind::Osp, &deletes));
+            uo_par::merge_diff(Parallelism::sequential(), &base.osp, &ins, &del)
+        },
+        || DatasetStats::compute(&dict, &spo),
+    );
+    stats.rows_sorted += 2 * (inserts.len() + deletes.len());
+    stats.rows_merged += base.pos.len() + base.osp.len();
+
+    (Snapshot { dict, epoch, spo, pos, osp, stats: ds }, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn term(s: &str) -> Term {
+        Term::iri(format!("http://{s}"))
+    }
+
+    fn bulk(n: usize) -> Arc<Snapshot> {
+        let mut w = StoreWriter::new();
+        for i in 0..n {
+            w.insert_terms(&term(&format!("s{}", i % 97)), &term("p"), &term(&format!("o{i}")));
+        }
+        w.commit_with(Parallelism::sequential())
+    }
+
+    #[test]
+    fn commit_merges_without_resorting_base() {
+        let base = bulk(5_000);
+        let n = base.len();
+        let mut w = StoreWriter::from_snapshot(Arc::clone(&base));
+        for i in 0..5 {
+            w.insert_terms(&term("new"), &term("p"), &term(&format!("fresh{i}")));
+        }
+        let snap = w.commit_with(Parallelism::sequential());
+        assert_eq!(snap.len(), n + 5);
+        assert_eq!(snap.epoch(), base.epoch() + 1);
+        let st = w.last_commit();
+        assert_eq!(st.delta_inserts, 5);
+        // The merge contract: only delta rows are sorted (3 permutations'
+        // worth), the N base rows are merged.
+        assert_eq!(st.rows_sorted, 3 * 5);
+        assert_eq!(st.rows_merged, 3 * n);
+        assert!(st.rows_sorted < n, "a K-row commit must not re-sort N rows");
+    }
+
+    #[test]
+    fn commit_equals_bulk_rebuild() {
+        let base = bulk(500);
+        let mut w = StoreWriter::from_snapshot(Arc::clone(&base));
+        w.insert_terms(&term("x"), &term("p"), &term("y"));
+        w.insert_terms(&term("s0"), &term("q"), &term("o1"));
+        assert!(w.delete_terms(&term("s1"), &term("p"), &term("o1")));
+        assert!(!w.delete_terms(&term("never-seen"), &term("p"), &term("o1")));
+        let snap = w.commit_with(Parallelism::sequential());
+
+        // Rebuild the surviving set from scratch and compare everything.
+        let mut rebuilt = StoreWriter::new();
+        for t in snap.iter() {
+            let d = snap.dictionary();
+            rebuilt.insert_terms(
+                d.decode(t.subject).unwrap(),
+                d.decode(t.predicate).unwrap(),
+                d.decode(t.object).unwrap(),
+            );
+        }
+        let fresh = rebuilt.commit_with(Parallelism::sequential());
+        assert_eq!(fresh.len(), snap.len());
+        let decode_all = |s: &Snapshot| {
+            s.iter()
+                .map(|t| {
+                    let d = s.dictionary();
+                    (
+                        d.decode(t.subject).unwrap().clone(),
+                        d.decode(t.predicate).unwrap().clone(),
+                        d.decode(t.object).unwrap().clone(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let mut a = decode_all(&snap);
+        let mut b = decode_all(&fresh);
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_eq!(snap.stats().triples, fresh.stats().triples);
+        assert_eq!(snap.stats().entities, fresh.stats().entities);
+        assert_eq!(snap.stats().predicates, fresh.stats().predicates);
+    }
+
+    #[test]
+    fn readers_keep_their_snapshot_across_commits() {
+        let base = bulk(100);
+        let reader = Arc::clone(&base);
+        let before: Vec<Triple> = reader.iter().collect();
+        let mut w = StoreWriter::from_snapshot(base);
+        w.insert_terms(&term("brand"), &term("new"), &term("triple"));
+        let after = w.commit_with(Parallelism::sequential());
+        assert_eq!(reader.iter().collect::<Vec<_>>(), before, "reader view unchanged");
+        assert_eq!(after.len(), before.len() + 1);
+        assert_eq!(after.epoch(), reader.epoch() + 1);
+    }
+
+    #[test]
+    fn empty_commit_keeps_epoch_and_identity() {
+        let base = bulk(10);
+        let mut w = StoreWriter::from_snapshot(Arc::clone(&base));
+        let same = w.commit_with(Parallelism::sequential());
+        assert!(Arc::ptr_eq(&base, &same));
+        assert_eq!(same.epoch(), base.epoch());
+    }
+
+    #[test]
+    fn insert_then_delete_cancels_and_vice_versa() {
+        let base = bulk(10);
+        let mut w = StoreWriter::from_snapshot(Arc::clone(&base));
+        // Insert then delete in the same delta: absent.
+        w.insert_terms(&term("t"), &term("p"), &term("u"));
+        assert!(w.delete_terms(&term("t"), &term("p"), &term("u")));
+        // Delete then re-insert an existing triple: present.
+        assert!(w.delete_terms(&term("s0"), &term("p"), &term("o0")));
+        w.insert_terms(&term("s0"), &term("p"), &term("o0"));
+        let snap = w.commit_with(Parallelism::sequential());
+        let d = snap.dictionary();
+        let id = |t: &Term| d.lookup(t);
+        assert_eq!(
+            snap.count_pattern(id(&term("t")), id(&term("p")), id(&term("u"))),
+            0,
+            "insert+delete cancelled"
+        );
+        assert_eq!(snap.count_pattern(id(&term("s0")), id(&term("p")), id(&term("o0"))), 1);
+        assert_eq!(snap.len(), base.len());
+    }
+
+    #[test]
+    fn dictionary_reuse_is_reported() {
+        let base = bulk(10);
+        let mut w = StoreWriter::from_snapshot(Arc::clone(&base));
+        // Only known terms: the dictionary allocation is shared.
+        assert!(w.delete_terms(&term("s0"), &term("p"), &term("o0")));
+        let snap = w.commit_with(Parallelism::sequential());
+        assert!(w.last_commit().dict_reused);
+        assert!(Arc::ptr_eq(snap.dict_arc(), base.dict_arc()));
+        // A new term forces a copy-on-write clone.
+        w.insert_terms(&term("unseen"), &term("p"), &term("o0"));
+        let snap2 = w.commit_with(Parallelism::sequential());
+        assert!(!w.last_commit().dict_reused);
+        assert!(snap2.dictionary().lookup(&term("unseen")).is_some());
+        assert!(base.dictionary().lookup(&term("unseen")).is_none(), "base dict untouched");
+    }
+
+    #[test]
+    fn parallel_commit_matches_sequential() {
+        let base = bulk(3_000);
+        let apply = |par: Parallelism| {
+            let mut w = StoreWriter::from_snapshot(Arc::clone(&base));
+            for i in 0..40 {
+                w.insert_terms(&term(&format!("n{i}")), &term("p2"), &term(&format!("m{i}")));
+            }
+            for i in 0..20 {
+                w.delete_terms(&term(&format!("s{}", i % 97)), &term("p"), &term(&format!("o{i}")));
+            }
+            w.commit_with(par)
+        };
+        let seq = apply(Parallelism::sequential());
+        for threads in [2, 4, 8] {
+            let par = apply(Parallelism::new(threads));
+            assert_eq!(par.len(), seq.len(), "threads={threads}");
+            assert!(seq.iter().eq(par.iter()), "threads={threads}");
+            assert_eq!(par.epoch(), seq.epoch());
+            assert_eq!(par.stats().triples, seq.stats().triples);
+            assert_eq!(par.stats().entities, seq.stats().entities);
+        }
+    }
+
+    #[test]
+    fn streaming_loaders_buffer_statements() {
+        let mut w = StoreWriter::new();
+        let n = w
+            .load_ntriples("<http://a> <http://p> <http://b> .\n<http://a> <http://p> \"x\" .\n")
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(w.pending_inserts(), 2);
+        let snap = w.commit_with(Parallelism::sequential());
+        assert_eq!(snap.len(), 2);
+    }
+}

@@ -51,7 +51,7 @@ const Q_BGP: &str = "SELECT ?x WHERE { ?x <http://link> <http://POTUS> . }";
 
 fn start(cfg: ServerConfig) -> (Arc<TripleStore>, ServerHandle) {
     let st = store();
-    let handle = uo_server::start(Arc::clone(&st), cfg, 0).expect("server start");
+    let handle = uo_server::start(st.snapshot(), cfg, 0).expect("server start");
     (st, handle)
 }
 
@@ -362,9 +362,7 @@ fn tsv_covers_literal_annotations() {
         &Term::typed_literal("7", "http://www.w3.org/2001/XMLSchema#integer"),
     );
     st.build();
-    let st = Arc::new(st);
-    let handle =
-        uo_server::start(Arc::clone(&st), ServerConfig::default(), 0).expect("server start");
+    let handle = uo_server::start(st.snapshot(), ServerConfig::default(), 0).expect("server start");
     let q = "SELECT ?o WHERE { <http://s> <http://p> ?o }";
     let (status, body) = get_query(handle.addr(), q, Some("text/tab-separated-values"));
     assert_eq!(status, 200);
