@@ -53,14 +53,6 @@ fn post_query(addr: std::net::SocketAddr, query: &str) -> (u16, String) {
     (status, body)
 }
 
-fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
-    if sorted_ms.is_empty() {
-        return 0.0;
-    }
-    let idx = ((p / 100.0) * (sorted_ms.len() - 1) as f64).round() as usize;
-    sorted_ms[idx.min(sorted_ms.len() - 1)]
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let threads: usize = flag(&args, "--threads").and_then(|v| v.parse().ok()).unwrap_or(4);
@@ -181,9 +173,9 @@ fn main() {
              \"p99_ms\": {}}}{}\n",
             json::escape(q.id),
             ms.len(),
-            json::num(percentile(ms, 50.0)),
-            json::num(percentile(ms, 90.0)),
-            json::num(percentile(ms, 99.0)),
+            json::num(uo_bench::percentile(ms, 50.0)),
+            json::num(uo_bench::percentile(ms, 90.0)),
+            json::num(uo_bench::percentile(ms, 99.0)),
             if qi + 1 < queries.len() { "," } else { "" }
         ));
     }
@@ -199,9 +191,9 @@ fn main() {
         json::num(scale()),
         json::num(wall_ms),
         json::num(qps),
-        json::num(percentile(&all_ms, 50.0)),
-        json::num(percentile(&all_ms, 90.0)),
-        json::num(percentile(&all_ms, 99.0)),
+        json::num(uo_bench::percentile(&all_ms, 50.0)),
+        json::num(uo_bench::percentile(&all_ms, 90.0)),
+        json::num(uo_bench::percentile(&all_ms, 99.0)),
         json::num(all_ms.last().copied().unwrap_or(0.0)),
         json::num(cache_hits),
         json::num(cache_misses),
@@ -215,8 +207,8 @@ fn main() {
          cache {cache_hits}/{} hits; artifact: {out}",
         wall_ms,
         qps,
-        percentile(&all_ms, 50.0),
-        percentile(&all_ms, 99.0),
+        uo_bench::percentile(&all_ms, 50.0),
+        uo_bench::percentile(&all_ms, 99.0),
         cache_hits + cache_misses,
     );
 

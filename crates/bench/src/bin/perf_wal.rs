@@ -1,0 +1,71 @@
+//! Measures durable-commit latency per WAL fsync policy and emits the
+//! `BENCH_WAL.json` artifact (schema `uo-perf/1`).
+//!
+//! ```text
+//! perf_wal [--out BENCH_WAL.json] [--rounds N] [--batch N]
+//! ```
+//!
+//! Each policy (`always`, `every-8`, `never`) gets a fresh durable store
+//! seeded with the LUBM fixture; `--rounds` batch-INSERT updates are
+//! applied and timed end-to-end (apply + journal + fsync), then the
+//! directory is reopened to prove recovery is replay-exact. Only the
+//! determinism contract is gated — identical final state across policies
+//! and across a reopen; wall times are recorded for trajectory tracking
+//! (single-core CI containers make them noise). See `uo_bench::perf`.
+
+use std::process::ExitCode;
+use uo_bench::perf;
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = flag(&args, "--out").unwrap_or("BENCH_WAL.json").to_string();
+    let num = |name: &str, default: usize| -> Result<usize, String> {
+        match flag(&args, name) {
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) if n > 0 => Ok(n),
+                _ => Err(format!("{name} expects a positive integer, got '{v}'")),
+            },
+            None => Ok(default),
+        }
+    };
+    let (rounds, batch) = match (num("--rounds", 48), num("--batch", 10)) {
+        (Ok(r), Ok(b)) => (r, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "perf_wal: {rounds} update(s) x {batch} triple(s) per fsync policy, UO_SCALE={} ...",
+        uo_bench::scale()
+    );
+    let report = perf::run_wal_suite(rounds, batch);
+
+    uo_bench::header(&["fsync", "updates", "total (ms)", "p50 (us)", "p99 (us)", "recovered"]);
+    for e in &report.entries {
+        uo_bench::row(&[
+            e.fsync.clone(),
+            e.updates.to_string(),
+            format!("{:.2}", e.wall_ms_total),
+            format!("{:.1}", e.p50_us),
+            format!("{:.1}", e.p99_us),
+            e.recovered_ops.to_string(),
+        ]);
+    }
+    eprintln!(
+        "determinism: all policies at {} triples / epoch {}, recovery replay-exact",
+        report.entries[0].triples_final, report.entries[0].epoch_final
+    );
+
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("error: failed to write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out} ({} policies)", report.entries.len());
+    ExitCode::SUCCESS
+}

@@ -97,6 +97,16 @@ pub fn ms(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64() * 1e3)
 }
 
+/// The `p`-th percentile (0..=100) of an ascending-sorted slice
+/// (nearest-rank; 0.0 when empty). Shared by the latency harnesses.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
 /// Prints a markdown table row.
 pub fn row(cells: &[String]) {
     println!("| {} |", cells.join(" | "));

@@ -200,6 +200,21 @@ pub fn run_suite(threads: usize, repeats: usize) -> PerfReport {
     }
 }
 
+/// Deterministic outcome of the durable re-run + recovery of the mixed
+/// scenario (gated: recovery must be replay-exact and take the merge
+/// path).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryOutcome {
+    /// Requests journaled by the durable run.
+    pub journaled_ops: usize,
+    /// Records replayed when the directory was reopened.
+    pub recovered_ops: usize,
+    /// Delta rows sorted across every replayed commit.
+    pub replay_rows_sorted: usize,
+    /// Base rows merged across every replayed commit.
+    pub replay_rows_merged: usize,
+}
+
 /// One deterministic outcome of the mixed read/write scenario; two runs of
 /// the scenario must agree on all of it regardless of worker count.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -247,6 +262,8 @@ pub struct UpdatePerfReport {
     pub rounds: usize,
     /// The deterministic outcome (identical at every worker count).
     pub outcome: MixedOutcome,
+    /// The durable re-run's recovery outcome (replay-exact, merge path).
+    pub recovery: RecoveryOutcome,
     /// Sequential timings (best of repeats).
     pub seq: MixedTiming,
     /// Parallel timings at `threads` workers (best of repeats).
@@ -262,6 +279,8 @@ impl UpdatePerfReport {
              \"repeats\": {},\n  \"queries_per_update\": {},\n  \"rounds\": {},\n  \
              \"queries_total\": {},\n  \"results_total\": {},\n  \"triples_final\": {},\n  \
              \"epoch_final\": {},\n  \"rows_sorted\": {},\n  \"rows_merged\": {},\n  \
+             \"recovery\": {{\"journaled_ops\": {}, \"recovered_ops\": {}, \
+             \"replay_rows_sorted\": {}, \"replay_rows_merged\": {}}},\n  \
              \"wall_ms\": {{\"query_seq\": {}, \"update_seq\": {}, \"query_par\": {}, \
              \"update_par\": {}}}\n}}\n",
             SCHEMA,
@@ -277,6 +296,10 @@ impl UpdatePerfReport {
             self.outcome.epoch_final,
             self.outcome.rows_sorted,
             self.outcome.rows_merged,
+            self.recovery.journaled_ops,
+            self.recovery.recovered_ops,
+            self.recovery.replay_rows_sorted,
+            self.recovery.replay_rows_merged,
             json::num(self.seq.query_ms),
             json::num(self.seq.update_ms),
             json::num(self.par.query_ms),
@@ -291,6 +314,23 @@ const MIXED_QUERIES_PER_UPDATE: usize = 19;
 const MIXED_ROUNDS: usize = 8;
 /// Triples inserted per update round.
 const MIXED_BATCH: usize = 25;
+
+/// The write slice of round `round`: every third round cleans up via
+/// DELETE WHERE, otherwise a batch insert of tagged triples.
+fn mixed_update_request(round: usize) -> uo_sparql::UpdateRequest {
+    if round % 3 == 2 {
+        uo_sparql::parse_update("DELETE WHERE { ?s <http://upd/tag> ?o }").unwrap()
+    } else {
+        let mut text = String::from("INSERT DATA {\n");
+        for i in 0..MIXED_BATCH {
+            text.push_str(&format!(
+                "<http://upd/e{round}_{i}> <http://upd/tag> <http://upd/v{i}> .\n"
+            ));
+        }
+        text.push('}');
+        uo_sparql::parse_update(&text).unwrap()
+    }
+}
 
 fn run_mixed_once(store: &TripleStore, workers: usize) -> (MixedOutcome, MixedTiming) {
     let par = Parallelism::new(workers);
@@ -317,21 +357,8 @@ fn run_mixed_once(store: &TripleStore, workers: usize) -> (MixedOutcome, MixedTi
             query_ms += t.elapsed().as_secs_f64() * 1e3;
             outcome.query_results.push(report.results.len());
         }
-        // The write slice: every third round cleans up via DELETE WHERE,
-        // otherwise a batch insert of tagged triples.
         let t = Instant::now();
-        let request = if round % 3 == 2 {
-            uo_sparql::parse_update("DELETE WHERE { ?s <http://upd/tag> ?o }").unwrap()
-        } else {
-            let mut text = String::from("INSERT DATA {\n");
-            for i in 0..MIXED_BATCH {
-                text.push_str(&format!(
-                    "<http://upd/e{round}_{i}> <http://upd/tag> <http://upd/v{i}> .\n"
-                ));
-            }
-            text.push('}');
-            uo_sparql::parse_update(&text).unwrap()
-        };
+        let request = mixed_update_request(round);
         uo_core::run_update(&mut writer, &engine, &request, par);
         update_ms += t.elapsed().as_secs_f64() * 1e3;
         let cs = writer.last_commit();
@@ -344,14 +371,75 @@ fn run_mixed_once(store: &TripleStore, workers: usize) -> (MixedOutcome, MixedTi
     (outcome, MixedTiming { query_ms, update_ms })
 }
 
+/// Re-runs the mixed scenario's update stream through a [`DurableStore`]
+/// in a throwaway directory, reopens it, and asserts the acceptance
+/// contract: recovery is **replay-exact** (same triples, same epoch as the
+/// in-memory reference) and the replay reuses the O(N + K) `merge_diff`
+/// path — the per-commit [`CommitStats`](uo_store::CommitStats), plumbed
+/// through replay, bound the sorted rows by the deltas, never the base.
+fn run_mixed_durable_recovery(store: &TripleStore, reference: &MixedOutcome) -> RecoveryOutcome {
+    use uo_store::DurableOptions;
+    let engine = WcoEngine::sequential();
+    let par = Parallelism::sequential();
+    let dir = std::env::temp_dir().join(format!("uo_perf_update_wal_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut outcome = RecoveryOutcome::default();
+    {
+        let mut ds = uo_core::open_durable(&dir, DurableOptions::default(), &engine, par)
+            .expect("open durable store");
+        ds.seed(store.snapshot()).expect("seed durable store");
+        for round in 0..MIXED_ROUNDS {
+            let request = mixed_update_request(round);
+            uo_core::run_update_durable(&mut ds, &engine, &request, par).expect("durable update");
+        }
+        outcome.journaled_ops = ds.wal_stats().records as usize;
+        let live = ds.snapshot();
+        assert_eq!(
+            (live.len(), live.epoch()),
+            (reference.triples_final, reference.epoch_final),
+            "durable run diverged from the in-memory reference"
+        );
+    }
+    let ds = uo_core::open_durable(&dir, DurableOptions::default(), &engine, par)
+        .expect("reopen durable store");
+    let recovered = ds.snapshot();
+    assert_eq!(
+        (recovered.len(), recovered.epoch()),
+        (reference.triples_final, reference.epoch_final),
+        "recovery is not replay-exact"
+    );
+    let r = ds.recovery();
+    outcome.recovered_ops = r.replayed_ops;
+    outcome.replay_rows_sorted = r.replay_rows_sorted;
+    outcome.replay_rows_merged = r.replay_rows_merged;
+    assert_eq!(outcome.recovered_ops, outcome.journaled_ops);
+    // The merge contract, across recovery: replay sorts only delta rows
+    // (3 permutations, at most 2 commits per DELETE WHERE round), while
+    // the merged base rows dwarf them.
+    assert!(
+        outcome.replay_rows_sorted <= MIXED_ROUNDS * 6 * MIXED_BATCH,
+        "recovery replay sorted {} rows — merge path not taken",
+        outcome.replay_rows_sorted
+    );
+    assert!(
+        outcome.replay_rows_merged > outcome.replay_rows_sorted * 10,
+        "recovery replay merged {} vs sorted {} — base re-sort suspected",
+        outcome.replay_rows_merged,
+        outcome.replay_rows_sorted
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    outcome
+}
+
 /// Runs the mixed read/write scenario sequentially and at `threads`
-/// workers, best-of-`repeats` timings.
+/// workers, best-of-`repeats` timings, then once more durably (journal +
+/// recover, see [`run_mixed_durable_recovery`]).
 ///
 /// # Panics
 /// Panics if the parallel run's deterministic outcome (every query's result
 /// count, the final triple count/epoch, the commit accounting) differs from
-/// the sequential run, or if any commit re-sorted more rows than the deltas
-/// account for.
+/// the sequential run, if any commit re-sorted more rows than the deltas
+/// account for, or if durable recovery is not replay-exact.
 pub fn run_update_suite(threads: usize, repeats: usize) -> UpdatePerfReport {
     let repeats = repeats.max(1);
     let store = crate::lubm_group1();
@@ -389,6 +477,8 @@ pub fn run_update_suite(threads: usize, repeats: usize) -> UpdatePerfReport {
             best(slot, timing);
         }
     }
+    let outcome = reference.expect("at least one repeat ran");
+    let recovery = run_mixed_durable_recovery(&store, &outcome);
     UpdatePerfReport {
         threads,
         host_threads: uo_par::default_threads(),
@@ -396,9 +486,175 @@ pub fn run_update_suite(threads: usize, repeats: usize) -> UpdatePerfReport {
         repeats,
         queries_per_update: MIXED_QUERIES_PER_UPDATE,
         rounds: MIXED_ROUNDS,
-        outcome: reference.expect("at least one repeat ran"),
+        outcome,
+        recovery,
         seq,
         par,
+    }
+}
+
+/// One fsync policy's measurements in the WAL commit-latency scenario.
+#[derive(Debug, Clone)]
+pub struct WalPolicyEntry {
+    /// Policy label ("always" / "every-8" / "never").
+    pub fsync: String,
+    /// Updates applied (= journal appends).
+    pub updates: usize,
+    /// Total wall time across all updates (apply + journal + fsync), ms.
+    pub wall_ms_total: f64,
+    /// Median per-update latency, µs.
+    pub p50_us: f64,
+    /// 99th-percentile per-update latency, µs.
+    pub p99_us: f64,
+    /// Triples after the final commit (deterministic, equal across
+    /// policies).
+    pub triples_final: usize,
+    /// Epoch after the final commit (deterministic, equal across policies).
+    pub epoch_final: u64,
+    /// Records replayed when the directory was reopened (= `updates`).
+    pub recovered_ops: usize,
+}
+
+/// The `BENCH_WAL.json` artifact: commit latency per fsync policy over the
+/// LUBM store. Wall times are trajectory data only (single-core CI
+/// containers, shared disks); the gates are determinism — every policy
+/// must land on the identical final state, and reopening each directory
+/// must recover it replay-exactly.
+#[derive(Debug, Clone)]
+pub struct WalPerfReport {
+    /// Host parallelism when the suite ran.
+    pub host_threads: usize,
+    /// The `UO_SCALE` multiplier.
+    pub uo_scale: f64,
+    /// Update rounds per policy.
+    pub rounds: usize,
+    /// Triples inserted per update.
+    pub batch: usize,
+    /// One entry per fsync policy.
+    pub entries: Vec<WalPolicyEntry>,
+}
+
+impl WalPerfReport {
+    /// Serializes to the `BENCH_WAL.json` layout (schema `uo-perf/1`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{}\",\n", SCHEMA));
+        out.push_str("  \"bench\": \"perf_wal\",\n");
+        out.push_str("  \"pr\": 5,\n");
+        out.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
+        out.push_str(&format!("  \"uo_scale\": {},\n", json::num(self.uo_scale)));
+        out.push_str(&format!("  \"rounds\": {},\n", self.rounds));
+        out.push_str(&format!("  \"batch\": {},\n", self.batch));
+        out.push_str("  \"policies\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"fsync\": \"{}\", \"updates\": {}, \"wall_ms_total\": {}, \
+                 \"p50_us\": {}, \"p99_us\": {}, \"triples_final\": {}, \"epoch_final\": {}, \
+                 \"recovered_ops\": {}}}{}\n",
+                json::escape(&e.fsync),
+                e.updates,
+                json::num(e.wall_ms_total),
+                json::num(e.p50_us),
+                json::num(e.p99_us),
+                e.triples_final,
+                e.epoch_final,
+                e.recovered_ops,
+                if i + 1 < self.entries.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Measures per-update commit latency (apply + journal + fsync) under each
+/// fsync policy, over a fresh durable store seeded with the LUBM fixture.
+///
+/// # Panics
+/// Panics on any determinism violation: the policies disagreeing on the
+/// final state, or a reopened directory not recovering it replay-exactly.
+pub fn run_wal_suite(rounds: usize, batch: usize) -> WalPerfReport {
+    use uo_store::{DurableOptions, FsyncPolicy};
+    let store = crate::lubm_group1();
+    let engine = WcoEngine::sequential();
+    let par = Parallelism::sequential();
+    let policies = [FsyncPolicy::Always, FsyncPolicy::EveryN(8), FsyncPolicy::Never];
+    let mut entries = Vec::new();
+    for policy in policies {
+        let dir = std::env::temp_dir().join(format!(
+            "uo_perf_wal_{}_{}",
+            std::process::id(),
+            policy.label()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = DurableOptions { fsync: policy, ..DurableOptions::default() };
+        let mut latencies_us = Vec::with_capacity(rounds);
+        let (triples_final, epoch_final) = {
+            let mut ds =
+                uo_core::open_durable(&dir, opts, &engine, par).expect("open durable store");
+            ds.seed(store.snapshot()).expect("seed durable store");
+            for round in 0..rounds {
+                let mut text = String::from("INSERT DATA {\n");
+                for i in 0..batch {
+                    text.push_str(&format!(
+                        "<http://wal/e{round}_{i}> <http://wal/tag> <http://wal/v{i}> .\n"
+                    ));
+                }
+                text.push('}');
+                let request = uo_sparql::parse_update(&text).unwrap();
+                let t = Instant::now();
+                uo_core::run_update_durable(&mut ds, &engine, &request, par)
+                    .expect("durable update");
+                latencies_us.push(t.elapsed().as_secs_f64() * 1e6);
+            }
+            ds.sync().expect("final sync");
+            let snap = ds.snapshot();
+            (snap.len(), snap.epoch())
+        };
+        // Determinism gate 1: reopen must recover the exact final state.
+        let ds = uo_core::open_durable(&dir, opts, &engine, par).expect("reopen durable store");
+        let recovered = ds.snapshot();
+        assert_eq!(
+            (recovered.len(), recovered.epoch()),
+            (triples_final, epoch_final),
+            "policy {} did not recover replay-exactly",
+            policy.label()
+        );
+        let recovered_ops = ds.recovery().replayed_ops;
+        assert_eq!(recovered_ops, rounds, "policy {}: one record per update", policy.label());
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let wall_ms_total = latencies_us.iter().sum::<f64>() / 1e3;
+        latencies_us.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        entries.push(WalPolicyEntry {
+            fsync: policy.label(),
+            updates: rounds,
+            wall_ms_total,
+            p50_us: crate::percentile(&latencies_us, 50.0),
+            p99_us: crate::percentile(&latencies_us, 99.0),
+            triples_final,
+            epoch_final,
+            recovered_ops,
+        });
+    }
+    // Determinism gate 2: the fsync policy must not change a single bit of
+    // the committed state, only when it reaches stable storage.
+    for pair in entries.windows(2) {
+        assert_eq!(
+            (pair[0].triples_final, pair[0].epoch_final),
+            (pair[1].triples_final, pair[1].epoch_final),
+            "policies {} and {} disagree on the final state",
+            pair[0].fsync,
+            pair[1].fsync
+        );
+    }
+    WalPerfReport {
+        host_threads: uo_par::default_threads(),
+        uo_scale: scale(),
+        rounds,
+        batch,
+        entries,
     }
 }
 

@@ -9,9 +9,18 @@
 //! sparql-uo serve  <data.{nt,ttl,uost}> [--port N] [--threads K]
 //!                  [--engine wco|binary] [--strategy base|tt|cp|full]
 //!                  [--engine-threads N] [--cache N] [--max-inflight N]
-//!                  [--timeout-ms N] [--host ADDR]
+//!                  [--timeout-ms N] [--host ADDR] [--writable]
+//!                  [--data-dir DIR] [--fsync always|never|N]
+//! sparql-uo recover <data-dir> [--out <store.uost>]
+//! sparql-uo compact <data-dir>
 //! sparql-uo gen    lubm|dbpedia [--scale N] --out <file.nt>
 //! ```
+//!
+//! `serve --writable --data-dir DIR` turns on **durability**: every
+//! acknowledged update is journaled (write-ahead log, fsynced per
+//! `--fsync`) before its snapshot is published, and a restart recovers
+//! newest-checkpoint + log-tail. `recover` and `compact` operate on such a
+//! directory offline.
 //!
 //! `--threads N` sets the worker count for store building and query
 //! evaluation (`1` forces sequential execution); for `serve` it sets the
@@ -56,12 +65,23 @@ const USAGE: &str = "usage:
                    [--engine wco|binary] [--strategy base|tt|cp|full]
                    [--engine-threads N] [--cache N] [--max-inflight N]
                    [--timeout-ms N] [--host ADDR]
+                   [--data-dir DIR] [--fsync always|never|N]
+                   [--checkpoint-every N] [--checkpoint-interval-ms N]
+  sparql-uo recover <data-dir> [--out <store.uost>] [--threads N]
+  sparql-uo compact <data-dir> [--fsync always|never|N] [--threads N]
   sparql-uo gen    lubm|dbpedia [--scale N] --out <file.nt>
 
   --threads N: worker count (1 = sequential; default: env UO_THREADS, else all cores)
   update applies INSERT DATA / DELETE DATA / DELETE WHERE and prints the
   commit report; --out persists the resulting snapshot (format v2, epoch).
-  serve --writable additionally accepts POST /update on the endpoint.";
+  serve --writable additionally accepts POST /update on the endpoint.
+  serve --writable --data-dir journals every update to a write-ahead log
+  before acknowledging it (crash-safe by default: --fsync always); on
+  restart the directory's newest checkpoint + log tail are recovered and
+  the positional data file only seeds a fresh, empty directory.
+  recover replays a data-dir and reports (or exports) the durable state;
+  compact additionally writes a fresh checkpoint and retires covered log
+  segments.";
 
 /// The worker-count policy for this invocation: the explicit `--threads`
 /// flag wins; the `UO_THREADS` environment knob is read once as a fallback.
@@ -86,6 +106,8 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("query") => cmd_query(&args[1..], par),
         Some("update") => cmd_update(&args[1..], par),
         Some("serve") => cmd_serve(&args[1..], par),
+        Some("recover") => cmd_recover(&args[1..], par),
+        Some("compact") => cmd_compact(&args[1..], par),
         Some("gen") => cmd_gen(&args[1..]),
         Some(other) => Err(format!("unknown command '{other}'")),
         None => Err("no command given".into()),
@@ -266,8 +288,70 @@ fn cmd_update(args: &[String], par: Parallelism) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses the durable-store knobs shared by `serve`, `recover`, `compact`.
+fn parse_durable_options(args: &[String]) -> Result<uo_store::DurableOptions, String> {
+    let mut opts = uo_store::DurableOptions::default();
+    if let Some(v) = flag_value(args, "--fsync") {
+        opts.fsync = uo_store::FsyncPolicy::parse(v).map_err(|e| format!("--fsync: {e}"))?;
+    }
+    Ok(opts)
+}
+
+/// Guards `recover`/`compact` against typo'd paths: opening a durable
+/// store *creates* scaffolding (LOCK, an empty log), which would mask the
+/// mistake and report a successful empty recovery.
+fn require_durable_dir(dir: &str) -> Result<(), String> {
+    let path = Path::new(dir);
+    if !path.is_dir() {
+        return Err(format!("{dir}: no such directory"));
+    }
+    let has_wal = path.join("wal").is_dir();
+    let has_checkpoint = std::fs::read_dir(path)
+        .map_err(|e| e.to_string())?
+        .filter_map(|e| e.ok())
+        .any(|e| e.file_name().to_string_lossy().ends_with(".uost"));
+    if !has_wal && !has_checkpoint {
+        return Err(format!(
+            "{dir}: not a durable data dir (no wal/ and no snapshot-*.uost); \
+             a fresh dir is created by serve --writable --data-dir"
+        ));
+    }
+    Ok(())
+}
+
+/// Opens a durable data dir (recovering checkpoint + log tail) and prints
+/// the recovery report.
+fn open_data_dir(
+    dir: &str,
+    opts: uo_store::DurableOptions,
+    par: Parallelism,
+) -> Result<uo_store::DurableStore, String> {
+    let t0 = Instant::now();
+    let engine = WcoEngine::with_threads(par.threads());
+    let ds =
+        uo_core::open_durable(Path::new(dir), opts, &engine, par).map_err(|e| e.to_string())?;
+    let r = ds.recovery();
+    let snap = ds.snapshot();
+    eprintln!(
+        "recovered {dir} in {:.2?}: checkpoint epoch {}, {} journaled op(s) replayed \
+         ({} row(s) sorted / {} merged), {} torn byte(s) truncated — {} triples at epoch {}",
+        t0.elapsed(),
+        r.checkpoint_epoch,
+        r.replayed_ops,
+        r.replay_rows_sorted,
+        r.replay_rows_merged,
+        r.truncated_bytes,
+        snap.len(),
+        snap.epoch(),
+    );
+    Ok(ds)
+}
+
 /// `sparql-uo serve`: load a dataset and expose it over the SPARQL HTTP
-/// protocol until the process is killed.
+/// protocol until the process is killed. With `--data-dir` the endpoint is
+/// durable: the directory is recovered first (the positional data file
+/// only seeds a fresh directory) and, when writable, every acknowledged
+/// update is journaled before it becomes visible.
 fn cmd_serve(args: &[String], par: Parallelism) -> Result<(), String> {
     let input = args.first().ok_or("serve: missing data file")?;
     let port: u16 = match flag_value(args, "--port") {
@@ -296,11 +380,51 @@ fn cmd_serve(args: &[String], par: Parallelism) -> Result<(), String> {
         max_inflight: num("--max-inflight", defaults.max_inflight)?,
         default_timeout_ms: num("--timeout-ms", defaults.default_timeout_ms as usize)? as u64,
         writable: has_flag(args, "--writable"),
+        checkpoint_every: num("--checkpoint-every", defaults.checkpoint_every as usize)? as u64,
+        checkpoint_interval_ms: num(
+            "--checkpoint-interval-ms",
+            defaults.checkpoint_interval_ms as usize,
+        )? as u64,
         ..defaults
     };
-    let store = load_store(input, par)?;
-    let handle =
-        uo_server::start(store.snapshot(), cfg.clone(), port).map_err(|e| e.to_string())?;
+
+    let handle = match flag_value(args, "--data-dir") {
+        Some(dir) => {
+            let mut ds = open_data_dir(dir, parse_durable_options(args)?, par)?;
+            if ds.is_fresh() {
+                let store = load_store(input, par)?;
+                if !store.is_empty() {
+                    ds.seed(store.snapshot()).map_err(|e| e.to_string())?;
+                    eprintln!("seeded {dir} from {input} (checkpoint written)");
+                }
+            } else {
+                eprintln!("{dir} already has durable state; ignoring the seed file {input}");
+            }
+            if cfg.writable {
+                eprintln!(
+                    "durability: fsync={}, checkpoint every {} epoch(s)",
+                    ds.options().fsync,
+                    cfg.checkpoint_every.max(1),
+                );
+                uo_server::start_durable(ds, cfg.clone(), port).map_err(|e| e.to_string())?
+            } else {
+                // Read-only over a recovered directory: serve the snapshot,
+                // journal nothing.
+                uo_server::start(ds.snapshot(), cfg.clone(), port).map_err(|e| e.to_string())?
+            }
+        }
+        None => {
+            // Durable-only flags without --data-dir would be silently
+            // dead — and the operator would believe updates are journaled.
+            for flag in ["--fsync", "--checkpoint-every", "--checkpoint-interval-ms"] {
+                if flag_value(args, flag).is_some() {
+                    return Err(format!("{flag} requires --data-dir (nothing is journaled)"));
+                }
+            }
+            let store = load_store(input, par)?;
+            uo_server::start(store.snapshot(), cfg.clone(), port).map_err(|e| e.to_string())?
+        }
+    };
     eprintln!(
         "serving SPARQL on http://{} ({} workers, plan cache {}, max in-flight {}, \
          timeout {} ms{})\nendpoints: GET/POST /sparql{}, GET /metrics, GET /healthz — \
@@ -318,6 +442,47 @@ fn cmd_serve(args: &[String], par: Parallelism) -> Result<(), String> {
     loop {
         std::thread::park();
     }
+}
+
+/// `sparql-uo recover`: open a durable data dir, replay its log tail, and
+/// report (optionally exporting the recovered snapshot).
+fn cmd_recover(args: &[String], par: Parallelism) -> Result<(), String> {
+    let dir = args.first().ok_or("recover: missing <data-dir>")?;
+    require_durable_dir(dir)?;
+    let ds = open_data_dir(dir, parse_durable_options(args)?, par)?;
+    let w = ds.wal_stats();
+    eprintln!(
+        "wal: {} segment(s), {} byte(s), {} record(s), synced epoch {}",
+        w.segments, w.bytes, w.records, w.synced_epoch
+    );
+    if let Some(out) = flag_value(args, "--out") {
+        let t0 = Instant::now();
+        uo_store::save_to_file(&ds.snapshot(), Path::new(out)).map_err(|e| e.to_string())?;
+        eprintln!("recovered snapshot written to {out} in {:.2?}", t0.elapsed());
+    }
+    Ok(())
+}
+
+/// `sparql-uo compact`: recover a durable data dir, write a fresh
+/// checkpoint at the current epoch, and retire fully-covered log segments.
+fn cmd_compact(args: &[String], par: Parallelism) -> Result<(), String> {
+    let dir = args.first().ok_or("compact: missing <data-dir>")?;
+    require_durable_dir(dir)?;
+    let mut ds = open_data_dir(dir, parse_durable_options(args)?, par)?;
+    let before = ds.wal_stats();
+    let report = ds.checkpoint().map_err(|e| e.to_string())?;
+    let after = ds.wal_stats();
+    eprintln!(
+        "checkpoint at epoch {}: retired {} segment(s) / {} byte(s); wal {} -> {} byte(s) \
+         in {} segment(s)",
+        report.epoch,
+        report.segments_removed,
+        report.bytes_removed,
+        before.bytes,
+        after.bytes,
+        after.segments,
+    );
+    Ok(())
 }
 
 fn cmd_gen(args: &[String]) -> Result<(), String> {
@@ -420,6 +585,85 @@ mod tests {
         .unwrap();
         // Missing update text errors.
         assert!(run(&s(&["update", nt.to_str().unwrap()])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_and_compact_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("uo_cli_durable_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let data_dir = dir.join("data");
+        // Build a durable store the way the server would, then drive it
+        // through the CLI verbs. One-byte segments: every record rotates
+        // into its own segment, so compaction has something to retire.
+        let tiny_segments =
+            uo_store::DurableOptions { segment_bytes: 1, ..uo_store::DurableOptions::default() };
+        let apply = |range: std::ops::Range<usize>| {
+            let engine = WcoEngine::sequential();
+            let mut ds =
+                uo_core::open_durable(&data_dir, tiny_segments, &engine, Parallelism::sequential())
+                    .unwrap();
+            for i in range {
+                let req = uo_sparql::parse_update(&format!(
+                    "INSERT DATA {{ <http://e/n{i}> <http://p/link> <http://e/hub> }}"
+                ))
+                .unwrap();
+                uo_core::run_update_durable(&mut ds, &engine, &req, Parallelism::sequential())
+                    .unwrap();
+            }
+        };
+        apply(0..3);
+        // recover --out exports exactly the journaled state.
+        let out = dir.join("recovered.uost");
+        run(&s(&[
+            "recover",
+            data_dir.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+            "--threads",
+            "1",
+        ]))
+        .unwrap();
+        let loaded = uo_store::load_from_file(&out).unwrap();
+        assert_eq!(loaded.len(), 3);
+        assert_eq!(loaded.snapshot().epoch(), 3);
+        // First compact checkpoints at epoch 3 (nothing retired yet —
+        // retention wants two checkpoints). Two more updates advance the
+        // epoch, then a second compact checkpoints at 5 and retires every
+        // segment covered by the older checkpoint (epochs 1..=3).
+        run(&s(&["compact", data_dir.to_str().unwrap(), "--threads", "1"])).unwrap();
+        apply(3..5);
+        run(&s(&["compact", data_dir.to_str().unwrap(), "--threads", "1"])).unwrap();
+        {
+            let engine = WcoEngine::sequential();
+            let ds =
+                uo_core::open_durable(&data_dir, tiny_segments, &engine, Parallelism::sequential())
+                    .unwrap();
+            assert_eq!(
+                ds.wal_stats().records,
+                2,
+                "segments for epochs 1..=3 must be retired (4 and 5 stay as the fallback \
+                 lineage over checkpoint 3), got {:?}",
+                ds.wal_stats()
+            );
+            assert_eq!(ds.snapshot().len(), 5);
+            assert_eq!(ds.snapshot().epoch(), 5);
+            assert_eq!(ds.recovery().replayed_ops, 0, "newest checkpoint covers the whole log");
+        }
+        // After compaction the state still recovers byte-identically.
+        run(&s(&["recover", data_dir.to_str().unwrap(), "--threads", "1"])).unwrap();
+        // Invalid durable flags / paths error without creating scaffolding.
+        assert!(run(&s(&["recover"])).is_err());
+        assert!(run(&s(&["compact", data_dir.to_str().unwrap(), "--fsync", "bogus"])).is_err());
+        let typo = dir.join("no-such-dir");
+        assert!(run(&s(&["recover", typo.to_str().unwrap()])).is_err());
+        assert!(!typo.exists(), "a typo'd recover must not create a fresh data dir");
+        let not_durable = dir.join("plain");
+        std::fs::create_dir_all(&not_durable).unwrap();
+        assert!(run(&s(&["compact", not_durable.to_str().unwrap()])).is_err());
+        // Durable-only flags without --data-dir are a hard error.
+        assert!(run(&s(&["serve", "x.nt", "--writable", "--fsync", "always"])).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -49,6 +49,7 @@
 pub mod betree;
 pub mod binarytree;
 pub mod cost;
+pub mod durable;
 pub mod exec;
 pub mod metrics;
 pub mod optimizer;
@@ -59,6 +60,9 @@ pub mod wdpt;
 pub use betree::{explain, BeNode, BeTree, BgpNode, GroupNode};
 pub use binarytree::{evaluate_binary_tree, BinaryTreeStats};
 pub use cost::CostModel;
+pub use durable::{
+    open_durable, replay_update, run_update_durable, try_run_update_durable, DurableUpdateError,
+};
 pub use exec::{
     evaluate, evaluate_with, try_evaluate_with, Cancellation, Cancelled, ExecStats, Pruning,
 };

@@ -26,8 +26,14 @@
 //!   (503 + `Retry-After` beyond that) and every query carries a wall-clock
 //!   deadline enforced cooperatively at BGP-evaluation boundaries
 //!   ([`uo_core::Cancellation`]);
-//! - `GET /metrics` (JSON counters incl. `triples`, `snapshot_epoch` and
-//!   `updates`) and `GET /healthz`.
+//! - `GET /metrics` (JSON counters incl. `triples`, `snapshot_epoch`,
+//!   `updates` and the durable-mode `wal` block) and `GET /healthz`;
+//! - optional **durability** ([`start_durable`]): updates are applied,
+//!   journaled to a segmented CRC-checksummed write-ahead log and fsynced
+//!   per policy *before* the new snapshot is published or the response
+//!   written, so an acknowledged `POST /update` survives `kill -9`; a
+//!   background checkpointer persists snapshots and retires covered log
+//!   segments.
 //!
 //! Responses are deterministic: the JSON/TSV serializations are exactly
 //! `uo_sparql::results_json`/`results_tsv` of the same rows a direct
@@ -41,17 +47,18 @@ pub use cache::PlanCache;
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use uo_core::{
     optimize_prepared, prepare_parsed, query_type, try_execute_prepared, try_run_update,
-    Cancellation, QueryCounters, Strategy,
+    try_run_update_durable, Cancellation, DurableUpdateError, QueryCounters, Strategy,
 };
 use uo_engine::{BgpEngine, BinaryJoinEngine, WcoEngine};
-use uo_store::{Snapshot, StoreWriter};
+use uo_store::{durable, DurableMetrics, DurableStore, Snapshot, StoreWriter};
 
 /// Which BGP engine backs the endpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,6 +111,11 @@ pub struct ServerConfig {
     /// Accept SPARQL Update requests on `POST /update`. Off by default: a
     /// read-only endpoint cannot be mutated by any client.
     pub writable: bool,
+    /// Durable mode only ([`start_durable`]): background-checkpoint once
+    /// the published epoch is this far past the last checkpoint.
+    pub checkpoint_every: u64,
+    /// Durable mode only: how often the checkpointer thread wakes to look.
+    pub checkpoint_interval_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -121,6 +133,8 @@ impl Default for ServerConfig {
             read_timeout_ms: 10_000,
             max_body_bytes: 1 << 20,
             writable: false,
+            checkpoint_every: 64,
+            checkpoint_interval_ms: 500,
         }
     }
 }
@@ -166,6 +180,25 @@ fn negotiate(accept: Option<&str>) -> Option<Format> {
     None
 }
 
+/// The mutation endpoint behind the writer mutex: a plain in-memory
+/// writer, or a crash-safe [`DurableStore`] whose commits are journaled
+/// before they are published or acknowledged.
+enum WriteBackend {
+    Memory(StoreWriter),
+    Durable(Box<DurableStore>),
+}
+
+/// Durable-mode bookkeeping the request path and checkpointer share.
+struct DurableInfo {
+    /// Lock-free gauges mirrored out of the [`DurableStore`].
+    metrics: Arc<DurableMetrics>,
+    /// Fsync policy label for `/metrics`.
+    fsync: String,
+    /// The data directory (checkpoint files are written here, outside the
+    /// writer lock).
+    dir: PathBuf,
+}
+
 /// Shared endpoint state. Everything is immutable after start except the
 /// current snapshot handle (swapped by commits) and the writer delta.
 struct ServerState {
@@ -177,7 +210,9 @@ struct ServerState {
     /// The single mutation endpoint, present when the config is writable.
     /// The mutex serializes updates; its base always equals the latest
     /// committed snapshot because only this writer commits.
-    writer: Option<Mutex<StoreWriter>>,
+    writer: Option<Mutex<WriteBackend>>,
+    /// Present in durable mode.
+    durable: Option<DurableInfo>,
     engine: Box<dyn BgpEngine>,
     cfg: ServerConfig,
     cache: PlanCache,
@@ -185,9 +220,12 @@ struct ServerState {
     updates_total: AtomicU64,
     update_errors: AtomicU64,
     updates_cancelled: AtomicU64,
+    journal_errors: AtomicU64,
     inflight: AtomicUsize,
     shutting_down: AtomicBool,
     query_cancel: Arc<AtomicBool>,
+    /// Wakes the checkpointer early (on shutdown).
+    checkpoint_signal: (Mutex<()>, Condvar),
     started: Instant,
 }
 
@@ -214,6 +252,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<ServerState>,
     acceptor: Option<JoinHandle<()>>,
+    checkpointer: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -235,13 +274,39 @@ impl ServerHandle {
             return;
         }
         self.state.query_cancel.store(true, Ordering::Relaxed);
-        // Wake the acceptor if it is parked in accept().
+        // Wake the acceptor if it is parked in accept(), and the
+        // checkpointer if it is parked in its interval wait. The notify
+        // happens while holding the signal mutex: the checkpointer checks
+        // the shutdown flag under the same mutex before waiting, so the
+        // wake can never land in the gap between its check and its wait
+        // (a lost wakeup would stall this join a full interval).
         let _ = TcpStream::connect(self.addr);
+        {
+            let _g = self.state.checkpoint_signal.0.lock().unwrap_or_else(PoisonError::into_inner);
+            self.state.checkpoint_signal.1.notify_all();
+        }
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        // Workers have drained: no more journal appends can happen. Force
+        // the log to disk so `every-N` / `never` fsync policies lose
+        // nothing across a graceful shutdown.
+        if let Some(writer) = &self.state.writer {
+            let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
+            if let WriteBackend::Durable(ds) = &mut *w {
+                if let Err(e) = ds.sync() {
+                    eprintln!(
+                        "wal sync on shutdown failed: {e} — updates journaled since the last \
+                         fsync may not be on stable storage"
+                    );
+                }
+            }
+        }
+        if let Some(checkpointer) = self.checkpointer.take() {
+            let _ = checkpointer.join();
         }
     }
 }
@@ -258,11 +323,40 @@ impl Drop for ServerHandle {
 /// When `cfg.writable` is set the endpoint also accepts `POST /update`,
 /// committing new snapshots on top of this one.
 pub fn start(snapshot: Arc<Snapshot>, cfg: ServerConfig, port: u16) -> io::Result<ServerHandle> {
+    let writer = cfg
+        .writable
+        .then(|| WriteBackend::Memory(StoreWriter::from_snapshot(Arc::clone(&snapshot))));
+    start_inner(snapshot, writer, None, cfg, port)
+}
+
+/// [`start`] in **durable** mode: serves the store recovered into `ds`
+/// (obtain one from [`uo_core::open_durable`]) and accepts `POST /update`
+/// with the log-before-acknowledge discipline — a 200 means the update is
+/// journaled at the store's fsync policy and survives `kill -9`. A
+/// background checkpointer persists the current snapshot every
+/// [`ServerConfig::checkpoint_every`] epochs and retires covered log
+/// segments. Implies `writable`.
+pub fn start_durable(ds: DurableStore, cfg: ServerConfig, port: u16) -> io::Result<ServerHandle> {
+    let cfg = ServerConfig { writable: true, ..cfg };
+    let snapshot = ds.snapshot();
+    let info = DurableInfo {
+        metrics: ds.metrics(),
+        fsync: ds.options().fsync.label(),
+        dir: ds.dir().to_path_buf(),
+    };
+    start_inner(snapshot, Some(WriteBackend::Durable(Box::new(ds))), Some(info), cfg, port)
+}
+
+fn start_inner(
+    snapshot: Arc<Snapshot>,
+    writer: Option<WriteBackend>,
+    durable: Option<DurableInfo>,
+    cfg: ServerConfig,
+    port: u16,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind((cfg.host.as_str(), port))?;
     let addr = listener.local_addr()?;
     let threads = cfg.threads.max(1);
-    let writer =
-        cfg.writable.then(|| Mutex::new(StoreWriter::from_snapshot(Arc::clone(&snapshot))));
     let state = Arc::new(ServerState {
         engine: cfg.engine.build(cfg.engine_threads.max(1)),
         cache: PlanCache::new(cfg.cache_capacity),
@@ -270,13 +364,24 @@ pub fn start(snapshot: Arc<Snapshot>, cfg: ServerConfig, port: u16) -> io::Resul
         updates_total: AtomicU64::new(0),
         update_errors: AtomicU64::new(0),
         updates_cancelled: AtomicU64::new(0),
+        journal_errors: AtomicU64::new(0),
         inflight: AtomicUsize::new(0),
         shutting_down: AtomicBool::new(false),
         query_cancel: Arc::new(AtomicBool::new(false)),
+        checkpoint_signal: (Mutex::new(()), Condvar::new()),
         started: Instant::now(),
         snapshot: RwLock::new(snapshot),
-        writer,
+        writer: writer.map(Mutex::new),
+        durable,
         cfg,
+    });
+
+    let checkpointer = state.durable.is_some().then(|| {
+        let state = Arc::clone(&state);
+        std::thread::Builder::new()
+            .name("uo-server-checkpointer".to_string())
+            .spawn(move || run_checkpointer(&state))
+            .expect("failed to spawn checkpointer")
     });
 
     let (tx, rx) = mpsc::channel::<TcpStream>();
@@ -338,7 +443,55 @@ pub fn start(snapshot: Arc<Snapshot>, cfg: ServerConfig, port: u16) -> io::Resul
             .expect("failed to spawn server acceptor")
     };
 
-    Ok(ServerHandle { addr, state, acceptor: Some(acceptor), workers })
+    Ok(ServerHandle { addr, state, acceptor: Some(acceptor), checkpointer, workers })
+}
+
+/// The background checkpointer loop (durable mode): every interval, if the
+/// published epoch has advanced `checkpoint_every` past the last
+/// checkpoint, write the current snapshot to a checkpoint file — *outside*
+/// the writer lock, snapshots are immutable — then briefly take the lock
+/// to retire fully-covered log segments. (The final graceful-shutdown log
+/// sync lives in `ServerHandle::shutdown_inner`, *after* the workers have
+/// drained — updates acknowledged during the drain must be covered too.)
+fn run_checkpointer(state: &ServerState) {
+    let info = state.durable.as_ref().expect("checkpointer requires durable mode");
+    let interval = Duration::from_millis(state.cfg.checkpoint_interval_ms.max(10));
+    let every = state.cfg.checkpoint_every.max(1);
+    loop {
+        {
+            let (lock, cv) = &state.checkpoint_signal;
+            let guard = lock.lock().unwrap_or_else(PoisonError::into_inner);
+            // Re-check the flag under the mutex: shutdown notifies while
+            // holding it, so a wake cannot slip in before this wait.
+            if !state.shutting_down.load(Ordering::SeqCst) {
+                let _ = cv.wait_timeout(guard, interval);
+            }
+        }
+        let shutting_down = state.shutting_down.load(Ordering::SeqCst);
+        let snap = state.current_snapshot();
+        let last_cp = info.metrics.last_checkpoint_epoch.load(Ordering::Relaxed);
+        if snap.epoch() > last_cp && snap.epoch() - last_cp >= every {
+            match durable::write_checkpoint_file(&info.dir, &snap) {
+                Ok(_) => {
+                    if let Some(writer) = &state.writer {
+                        let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
+                        if let WriteBackend::Durable(ds) = &mut *w {
+                            if let Err(e) = ds.note_checkpoint(snap.epoch()) {
+                                eprintln!("checkpoint bookkeeping failed: {e}");
+                            }
+                        }
+                    }
+                }
+                Err(e) => eprintln!("checkpoint write failed: {e}"),
+            }
+        }
+        // Re-load the flag: a shutdown signalled *during* the (possibly
+        // long) checkpoint work above had no waiter to wake, and waiting
+        // out another full interval would stall ServerHandle::shutdown.
+        if shutting_down || state.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+    }
 }
 
 fn handle_connection(state: &ServerState, mut stream: TcpStream) {
@@ -638,35 +791,64 @@ fn handle_update(state: &ServerState, stream: &mut TcpStream, head: &http::Head)
     // a runaway request cannot hold the writer mutex forever.
     let cancel = Cancellation::after(Duration::from_millis(state.cfg.default_timeout_ms))
         .with_flag(Arc::clone(&state.query_cancel));
+    let par = uo_par::Parallelism::new(state.cfg.engine_threads.max(1));
+    let publish = |snap: &Arc<Snapshot>| {
+        *state.snapshot.write().unwrap_or_else(PoisonError::into_inner) = Arc::clone(snap);
+    };
     let report = {
         let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
-        let result = try_run_update(
-            &mut w,
-            state.engine.as_ref(),
-            &request,
-            uo_par::Parallelism::new(state.cfg.engine_threads.max(1)),
-            &cancel,
-        );
-        match result {
-            Ok(report) => {
-                *state.snapshot.write().unwrap_or_else(PoisonError::into_inner) =
-                    Arc::clone(&report.snapshot);
-                report
+        match &mut *w {
+            WriteBackend::Memory(mw) => {
+                match try_run_update(mw, state.engine.as_ref(), &request, par, &cancel) {
+                    Ok(report) => {
+                        publish(&report.snapshot);
+                        report
+                    }
+                    Err(_) => {
+                        // Abandon the half-applied request: drop the
+                        // pending delta (commits that already landed keep
+                        // their epochs) and make sure queries see the
+                        // writer's last committed snapshot.
+                        mw.rollback();
+                        publish(&mw.snapshot());
+                        state.updates_cancelled.fetch_add(1, Ordering::Relaxed);
+                        return respond_text(
+                            stream,
+                            408,
+                            "Request Timeout",
+                            "update deadline exceeded; operations before the deadline may have \
+                             committed\n",
+                        );
+                    }
+                }
             }
-            Err(_) => {
-                // Abandon the half-applied request: drop the pending delta
-                // (commits that already landed keep their epochs) and make
-                // sure queries see the writer's last committed snapshot.
-                w.rollback();
-                *state.snapshot.write().unwrap_or_else(PoisonError::into_inner) = w.snapshot();
-                state.updates_cancelled.fetch_add(1, Ordering::Relaxed);
-                return respond_text(
-                    stream,
-                    408,
-                    "Request Timeout",
-                    "update deadline exceeded; operations before the deadline may have \
-                     committed\n",
-                );
+            WriteBackend::Durable(ds) => {
+                // Journal-before-acknowledge: on success the record is on
+                // disk (per the fsync policy) before the snapshot is
+                // published or the 200 is written. Both failure modes roll
+                // the store back to its pre-request state — in durable
+                // mode a request is atomic, never half-committed.
+                match try_run_update_durable(ds, state.engine.as_ref(), &request, par, &cancel) {
+                    Ok(report) => {
+                        publish(&report.snapshot);
+                        report
+                    }
+                    Err(DurableUpdateError::Cancelled) => {
+                        state.updates_cancelled.fetch_add(1, Ordering::Relaxed);
+                        return respond_text(
+                            stream,
+                            408,
+                            "Request Timeout",
+                            "update deadline exceeded; request rolled back (nothing was \
+                             journaled)\n",
+                        );
+                    }
+                    Err(DurableUpdateError::Journal(e)) => {
+                        state.journal_errors.fetch_add(1, Ordering::Relaxed);
+                        let msg = format!("journal write failed ({e}); update rolled back\n");
+                        return respond_text(stream, 500, "Internal Server Error", &msg);
+                    }
+                }
             }
         }
     };
@@ -695,7 +877,8 @@ fn debug_table(vars: &[String], rows: &[Vec<Option<uo_rdf::Term>>]) -> String {
     out
 }
 
-/// Renders the `/metrics` JSON document.
+/// Renders the `/metrics` JSON document (schema v3: adds the `wal` block —
+/// `null` on non-durable endpoints — and `journal_errors`).
 fn metrics_json(state: &ServerState) -> String {
     let snap = state.counters.snapshot();
     let (cache_hits, cache_misses, cache_stale) = state.cache.stats();
@@ -705,14 +888,32 @@ fn metrics_json(state: &ServerState) -> String {
         .iter()
         .map(|(qt, n)| format!("\"{}\": {n}", uo_json::escape(&qt.to_string())))
         .collect();
+    let wal = match &state.durable {
+        Some(info) => {
+            let m = &info.metrics;
+            format!(
+                "{{\"fsync\": \"{}\", \"segments\": {}, \"bytes\": {}, \"records\": {}, \
+                 \"synced_epoch\": {}, \"last_checkpoint_epoch\": {}, \"recovered_ops\": {}}}",
+                uo_json::escape(&info.fsync),
+                m.wal_segments.load(Ordering::Relaxed),
+                m.wal_bytes.load(Ordering::Relaxed),
+                m.wal_records.load(Ordering::Relaxed),
+                m.synced_epoch.load(Ordering::Relaxed),
+                m.last_checkpoint_epoch.load(Ordering::Relaxed),
+                m.recovered_ops.load(Ordering::Relaxed),
+            )
+        }
+        None => "null".to_string(),
+    };
     format!(
-        "{{\n  \"schema\": \"uo-server-metrics/2\",\n  \"uptime_s\": {},\n  \
+        "{{\n  \"schema\": \"uo-server-metrics/3\",\n  \"uptime_s\": {},\n  \
          \"engine\": \"{}\",\n  \"strategy\": \"{}\",\n  \"threads\": {},\n  \
          \"engine_threads\": {},\n  \"triples\": {},\n  \"snapshot_epoch\": {},\n  \
          \"writable\": {},\n  \"inflight\": {},\n  \
          \"max_inflight\": {},\n  \"plan_cache\": {{\"capacity\": {}, \"entries\": {}, \
          \"hits\": {cache_hits}, \"misses\": {cache_misses}, \"stale\": {cache_stale}}},\n  \
-         \"updates\": {{\"updates_total\": {}, \"errors\": {}, \"cancelled\": {}}},\n  \
+         \"updates\": {{\"updates_total\": {}, \"errors\": {}, \"cancelled\": {}, \
+         \"journal_errors\": {}}},\n  \"wal\": {wal},\n  \
          \"queries\": {{\"admitted\": {}, \"ok\": {}, \"parse_errors\": {}, \
          \"cancelled\": {}, \"rejected\": {}, \"rows\": {}, \"panics\": {}}},\n  \
          \"by_type\": {{{}}}\n}}\n",
@@ -731,6 +932,7 @@ fn metrics_json(state: &ServerState) -> String {
         state.updates_total.load(Ordering::Relaxed),
         state.update_errors.load(Ordering::Relaxed),
         state.updates_cancelled.load(Ordering::Relaxed),
+        state.journal_errors.load(Ordering::Relaxed),
         snap.queries,
         snap.ok,
         snap.parse_errors,

@@ -1,0 +1,779 @@
+//! The [`DurableStore`]: crash-safe persistence under the MVCC store.
+//!
+//! A durable store owns one **data directory** with a simple layout:
+//!
+//! ```text
+//! <data-dir>/
+//!   snapshot-<epoch>.uost   checkpoints (v2 snapshot files, atomic writes)
+//!   wal/wal-<epoch>.log     the segmented write-ahead log (uo_wal)
+//! ```
+//!
+//! and enforces the log-before-visibility discipline: an update is applied
+//! to the in-memory [`StoreWriter`] (which has no externally visible
+//! effect), **journaled + fsynced** per the configured [`FsyncPolicy`], and
+//! only then published to readers / acknowledged to the client. A crash at
+//! any point therefore loses only updates that were never acknowledged;
+//! under `fsync=always` an acknowledged update is *never* lost.
+//!
+//! [`DurableStore::open`] recovers: it loads the **newest valid
+//! checkpoint** (tolerating a corrupt or missing newest by falling back to
+//! the previous one, and to the empty store when the directory is fresh),
+//! then **replays the log tail** — every record with an epoch above the
+//! checkpoint's — through a caller-supplied replay function, verifying
+//! after each record that the writer landed on exactly the epoch the
+//! record was stamped with. Replay goes through the ordinary
+//! `StoreWriter::commit` machinery, so it takes the O(N + K) merge path,
+//! never a re-sort; [`RecoveryReport`] carries the accumulated
+//! [`CommitStats`](crate::CommitStats) totals as proof.
+//!
+//! The replay function is injected (rather than baked in) because payloads
+//! are canonical SPARQL Update serializations: parsing and re-running them
+//! needs the query engine, which lives *above* this crate. `uo_core`
+//! provides the standard replayer and the `run_update`-shaped entry points.
+//!
+//! **Checkpoints** bound recovery time and log growth: persisting the
+//! current snapshot lets every log segment whose records are all at or
+//! below a *retained* checkpoint be deleted. Two checkpoints are kept (the
+//! newest and the one before it); segments are retired against the
+//! **older** of the two, so even if the newest checkpoint file were lost,
+//! the previous checkpoint plus the surviving log still reconstructs every
+//! acknowledged commit.
+
+use crate::writer::StoreWriter;
+use crate::{save_to_file, Snapshot, SnapshotError};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+pub use uo_wal::{FsyncPolicy, WalOptions, WalStats};
+
+/// Configuration of a [`DurableStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct DurableOptions {
+    /// When journal appends reach stable storage.
+    pub fsync: FsyncPolicy,
+    /// Log segment rotation threshold in bytes.
+    pub segment_bytes: u64,
+    /// How many checkpoint snapshots to retain (minimum 1). With 2 (the
+    /// default), log segments are retired against the *older* retained
+    /// checkpoint, keeping a full fallback lineage on disk.
+    pub retain_checkpoints: usize,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        DurableOptions { fsync: FsyncPolicy::Always, segment_bytes: 8 << 20, retain_checkpoints: 2 }
+    }
+}
+
+/// An error while opening or operating a durable store.
+#[derive(Debug)]
+pub enum DurableError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structurally invalid data that recovery cannot repair.
+    Corrupt(String),
+    /// A journaled record failed to replay (unparsable payload, or the
+    /// replay landed on a different epoch than the record was stamped
+    /// with — both mean the log and the store disagree).
+    Replay(String),
+    /// Another process holds the data directory's advisory lock.
+    Locked(String),
+}
+
+impl fmt::Display for DurableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableError::Io(e) => write!(f, "durable store I/O error: {e}"),
+            DurableError::Corrupt(m) => write!(f, "corrupt durable store: {m}"),
+            DurableError::Replay(m) => write!(f, "wal replay failed: {m}"),
+            DurableError::Locked(m) => write!(f, "durable store locked: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+impl From<io::Error> for DurableError {
+    fn from(e: io::Error) -> Self {
+        DurableError::Io(e)
+    }
+}
+
+impl From<uo_wal::WalError> for DurableError {
+    fn from(e: uo_wal::WalError) -> Self {
+        match e {
+            uo_wal::WalError::Io(e) => DurableError::Io(e),
+            uo_wal::WalError::Corrupt(m) => DurableError::Corrupt(m),
+        }
+    }
+}
+
+/// What [`DurableStore::open`] reconstructed.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Epoch of the checkpoint the recovery started from (0 = none).
+    pub checkpoint_epoch: u64,
+    /// Checkpoint files that failed to load and were skipped.
+    pub checkpoints_skipped: usize,
+    /// Log records replayed on top of the checkpoint.
+    pub replayed_ops: usize,
+    /// Bytes cut from the log's torn tail (0 = clean shutdown).
+    pub truncated_bytes: u64,
+    /// Delta rows sorted across every replayed commit — bounded by the
+    /// replayed deltas, proof that replay merged instead of re-sorting.
+    pub replay_rows_sorted: usize,
+    /// Base rows merged across every replayed commit.
+    pub replay_rows_merged: usize,
+}
+
+/// Live gauges a serving layer can read without locking the store: every
+/// mutating operation on the [`DurableStore`] refreshes them.
+#[derive(Debug, Default)]
+pub struct DurableMetrics {
+    /// Log segment files.
+    pub wal_segments: AtomicUsize,
+    /// Total log bytes on disk.
+    pub wal_bytes: AtomicU64,
+    /// Records currently in the log.
+    pub wal_records: AtomicU64,
+    /// Highest epoch guaranteed fsynced.
+    pub synced_epoch: AtomicU64,
+    /// Epoch of the newest checkpoint.
+    pub last_checkpoint_epoch: AtomicU64,
+    /// Records replayed by the most recent open.
+    pub recovered_ops: AtomicUsize,
+}
+
+/// What one checkpoint did.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointReport {
+    /// Epoch the checkpoint persisted.
+    pub epoch: u64,
+    /// Log segments retired.
+    pub segments_removed: usize,
+    /// Log bytes freed.
+    pub bytes_removed: u64,
+}
+
+/// Crash-safe wrapper around a [`StoreWriter`]. See the module docs.
+pub struct DurableStore {
+    dir: PathBuf,
+    opts: DurableOptions,
+    wal: uo_wal::Wal,
+    writer: StoreWriter,
+    recovery: RecoveryReport,
+    metrics: Arc<DurableMetrics>,
+    /// Checkpoint epochs proven loadable (validated by this open, or
+    /// written by this store), newest first. Retention — pruning old
+    /// checkpoint files and retiring log segments — only ever counts
+    /// these: an on-disk checkpoint that was never validated must not
+    /// cost the log segments the real fallback needs.
+    trusted_checkpoints: Vec<u64>,
+    /// Advisory `flock` on `<dir>/LOCK`, held for the store's lifetime so
+    /// a second process (another server, an offline `compact`) cannot
+    /// interleave writes into the same log. The OS releases it on any
+    /// exit, including `kill -9` — no stale-lock recovery needed.
+    _lock: fs::File,
+}
+
+impl fmt::Debug for DurableStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DurableStore")
+            .field("dir", &self.dir)
+            .field("epoch", &self.writer.snapshot().epoch())
+            .field("wal", &self.wal.stats())
+            .finish()
+    }
+}
+
+/// The file name of a checkpoint at `epoch`, inside the data dir.
+pub fn checkpoint_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("snapshot-{epoch:020}.uost"))
+}
+
+fn parse_checkpoint_name(name: &str) -> Option<u64> {
+    name.strip_prefix("snapshot-")?.strip_suffix(".uost")?.parse().ok()
+}
+
+/// Epochs of all checkpoint files in `dir`, newest first.
+fn list_checkpoints(dir: &Path) -> io::Result<Vec<u64>> {
+    let mut epochs = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(e) = entry.file_name().to_str().and_then(parse_checkpoint_name) {
+            epochs.push(e);
+        }
+    }
+    epochs.sort_unstable_by(|a, b| b.cmp(a));
+    Ok(epochs)
+}
+
+/// Atomically writes `snap` as a checkpoint file in `dir` and returns its
+/// path. Safe to call without any store lock — a snapshot is immutable —
+/// which is how the server's background checkpointer avoids stalling
+/// writers during the (potentially large) file write.
+pub fn write_checkpoint_file(dir: &Path, snap: &Snapshot) -> io::Result<PathBuf> {
+    let path = checkpoint_path(dir, snap.epoch());
+    save_to_file(snap, &path)?;
+    Ok(path)
+}
+
+impl DurableStore {
+    /// Opens (or creates) the durable store in `dir`, recovering to the
+    /// last durable state: newest loadable checkpoint + full log-tail
+    /// replay. `replay` applies one journaled payload to the writer **and
+    /// commits it** (typically: parse the canonical update serialization,
+    /// run it); after each record the writer must sit at exactly the
+    /// record's stamped epoch, or the open fails with
+    /// [`DurableError::Replay`].
+    pub fn open(
+        dir: &Path,
+        opts: DurableOptions,
+        mut replay: impl FnMut(&mut StoreWriter, &[u8]) -> Result<(), String>,
+    ) -> Result<DurableStore, DurableError> {
+        fs::create_dir_all(dir)?;
+        // One process per data dir: two writers interleaving appends into
+        // the same active segment would corrupt the log even though each
+        // follows the protocol. Advisory flock, auto-released on death.
+        let lock = fs::OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(dir.join("LOCK"))?;
+        if let Err(e) = lock.try_lock() {
+            return Err(DurableError::Locked(format!(
+                "{} is in use by another process ({e})",
+                dir.display()
+            )));
+        }
+        // Sweep checkpoint temp files orphaned by a crash mid-write (the
+        // atomic rename never promoted them); each can be full-store-sized,
+        // and a crash loop would otherwise accumulate them indefinitely.
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry.file_name().to_str().is_some_and(|n| n.ends_with(".uost.tmp")) {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+        let mut recovery = RecoveryReport::default();
+
+        // Newest valid checkpoint wins; unloadable ones are skipped (the
+        // atomic writer makes them near-impossible, but a half-copied
+        // backup or a bad disk should degrade, not brick the store) and
+        // structurally-corrupt ones deleted — they must never be counted
+        // as retention fallbacks, or a later checkpoint would retire the
+        // log segments the *real* fallback still needs.
+        let mut base: Option<Arc<Snapshot>> = None;
+        for epoch in list_checkpoints(dir)? {
+            match crate::load_from_file(&checkpoint_path(dir, epoch)) {
+                Ok(store) => {
+                    let snap = store.snapshot();
+                    if snap.epoch() != epoch {
+                        recovery.checkpoints_skipped += 1;
+                        let _ = fs::remove_file(checkpoint_path(dir, epoch));
+                        continue; // file name lies about its content
+                    }
+                    recovery.checkpoint_epoch = epoch;
+                    base = Some(snap);
+                    break;
+                }
+                Err(SnapshotError::Io(e)) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(SnapshotError::Corrupt(_)) => {
+                    recovery.checkpoints_skipped += 1;
+                    let _ = fs::remove_file(checkpoint_path(dir, epoch));
+                }
+                // A transient read error: skip but keep the file — it may
+                // be fine on a healthier day, we just cannot vouch for it.
+                Err(_) => recovery.checkpoints_skipped += 1,
+            }
+        }
+        let base = base.unwrap_or_else(|| Arc::new(Snapshot::empty()));
+        // Checkpoints proven loadable: the one recovery validated now, plus
+        // every one this store writes itself. Only these count for
+        // retention decisions (pruning and segment retirement).
+        let trusted_checkpoints: Vec<u64> = if recovery.checkpoint_epoch > 0 {
+            vec![recovery.checkpoint_epoch]
+        } else {
+            Vec::new()
+        };
+
+        let wal_opts = WalOptions { fsync: opts.fsync, segment_bytes: opts.segment_bytes };
+        let (wal, log) = uo_wal::Wal::open(&dir.join("wal"), wal_opts)?;
+        recovery.truncated_bytes = log.truncated_bytes;
+
+        let mut writer = StoreWriter::from_snapshot(base);
+        let before = writer.merge_totals();
+        for record in &log.records {
+            if record.epoch <= writer.snapshot().epoch() {
+                continue; // already covered by the checkpoint
+            }
+            replay(&mut writer, &record.payload).map_err(DurableError::Replay)?;
+            let landed = writer.snapshot().epoch();
+            if landed != record.epoch {
+                return Err(DurableError::Replay(format!(
+                    "record stamped epoch {} replayed to epoch {landed} — the log does not \
+                     describe this store",
+                    record.epoch
+                )));
+            }
+            recovery.replayed_ops += 1;
+        }
+        let after = writer.merge_totals();
+        recovery.replay_rows_sorted = after.0 - before.0;
+        recovery.replay_rows_merged = after.1 - before.1;
+
+        let metrics = Arc::new(DurableMetrics::default());
+        metrics.recovered_ops.store(recovery.replayed_ops, Ordering::Relaxed);
+        metrics.last_checkpoint_epoch.store(recovery.checkpoint_epoch, Ordering::Relaxed);
+        let ds = DurableStore {
+            dir: dir.to_path_buf(),
+            opts,
+            wal,
+            writer,
+            recovery,
+            metrics,
+            trusted_checkpoints,
+            _lock: lock,
+        };
+        ds.publish_wal_metrics();
+        Ok(ds)
+    }
+
+    /// The latest committed snapshot.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.writer.snapshot()
+    }
+
+    /// Mutable access to the writer, for applying updates. The caller owns
+    /// the protocol: apply + commit, then [`journal`](Self::journal) the
+    /// canonical serialization before publishing or acknowledging.
+    pub fn writer_mut(&mut self) -> &mut StoreWriter {
+        &mut self.writer
+    }
+
+    /// Journals one applied request, stamped with its post-commit epoch,
+    /// and fsyncs per policy. Must be called in epoch order — exactly the
+    /// order requests commit in.
+    pub fn journal(&mut self, epoch: u64, payload: &[u8]) -> io::Result<()> {
+        self.wal.append(epoch, payload)?;
+        self.publish_wal_metrics();
+        Ok(())
+    }
+
+    /// Forces the log to stable storage regardless of the fsync policy
+    /// (called on graceful shutdown so `every-N` / `never` lose nothing).
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.wal.sync()?;
+        self.publish_wal_metrics();
+        Ok(())
+    }
+
+    /// Abandons everything since `base`: pending delta *and* any
+    /// intermediate commits a cancelled or failed request performed. The
+    /// next request continues from `base` as if the abandoned one never
+    /// happened — which is true durably, because nothing was journaled.
+    pub fn reset_to(&mut self, base: Arc<Snapshot>) {
+        self.writer = StoreWriter::from_snapshot(base);
+    }
+
+    /// Persists the current snapshot as a checkpoint and retires
+    /// fully-covered log segments. Convenience for single-threaded callers
+    /// (CLI `compact`); the server splits the two phases so the file write
+    /// happens outside the writer lock (see [`write_checkpoint_file`]).
+    pub fn checkpoint(&mut self) -> io::Result<CheckpointReport> {
+        let snap = self.writer.snapshot();
+        write_checkpoint_file(&self.dir, &snap)?;
+        self.note_checkpoint(snap.epoch())
+    }
+
+    /// Records that a checkpoint file at `epoch` exists (written via
+    /// [`write_checkpoint_file`]): prunes old checkpoints beyond the
+    /// retention count and retires every log segment fully covered by the
+    /// **oldest retained** checkpoint.
+    pub fn note_checkpoint(&mut self, epoch: u64) -> io::Result<CheckpointReport> {
+        let mut report = CheckpointReport { epoch, ..CheckpointReport::default() };
+        let retain = self.opts.retain_checkpoints.max(1);
+        // Retention reasons over *trusted* checkpoints only (ones this
+        // store validated at open or wrote itself): an unvalidated file
+        // sitting in the directory must neither count toward the retain
+        // quota nor become the epoch segments are retired against — if it
+        // turned out corrupt, the double-fault fallback (previous good
+        // checkpoint + log) would be missing exactly the retired records.
+        if !self.trusted_checkpoints.contains(&epoch) {
+            self.trusted_checkpoints.push(epoch);
+            self.trusted_checkpoints.sort_unstable_by(|a, b| b.cmp(a));
+        }
+        self.trusted_checkpoints.truncate(retain);
+        let oldest_retained = *self.trusted_checkpoints.last().expect("just pushed");
+        // Prune checkpoint files strictly older than the oldest retained
+        // trusted one. (Unvalidated files newer than it stay; open sweeps
+        // them if they are corrupt.)
+        for old in list_checkpoints(&self.dir)? {
+            if old < oldest_retained {
+                let _ = fs::remove_file(checkpoint_path(&self.dir, old));
+            }
+        }
+        // Publish the checkpoint gauge *before* attempting retirement: the
+        // checkpoint file exists and is trusted regardless of whether a
+        // segment deletion below fails, and the server's checkpointer
+        // gates on this gauge — a stale value would make it re-serialize
+        // the whole store every interval for as long as the error lasts.
+        self.metrics
+            .last_checkpoint_epoch
+            .store(self.trusted_checkpoints.first().copied().unwrap_or(0), Ordering::Relaxed);
+        // Retire only once `retain` trusted checkpoints exist, and against
+        // the oldest retained one — the fallback lineage (previous good
+        // checkpoint + surviving log) always reconstructs every commit.
+        let retired = if self.trusted_checkpoints.len() >= retain {
+            self.wal.retire_through(oldest_retained)
+        } else {
+            Ok(uo_wal::RetireReport::default())
+        };
+        self.publish_wal_metrics();
+        let retired = retired?;
+        report.segments_removed = retired.segments_removed;
+        report.bytes_removed = retired.bytes_removed;
+        Ok(report)
+    }
+
+    /// Adopts `snap` as the initial content of a **fresh** store (empty
+    /// checkpointless directory) and checkpoints it immediately, so the
+    /// seed itself is durable before any update is accepted.
+    ///
+    /// # Panics
+    /// Panics if the store is not fresh — seeding would silently shadow
+    /// recovered data.
+    pub fn seed(&mut self, snap: Arc<Snapshot>) -> io::Result<CheckpointReport> {
+        assert!(self.is_fresh(), "DurableStore::seed on a directory that already has state");
+        self.writer = StoreWriter::from_snapshot(snap);
+        self.checkpoint()
+    }
+
+    /// True when the directory held no durable state at open: no
+    /// checkpoint, no journaled record, nothing replayed.
+    pub fn is_fresh(&self) -> bool {
+        self.recovery.checkpoint_epoch == 0
+            && self.recovery.replayed_ops == 0
+            && self.wal.stats().records == 0
+            && self.writer.snapshot().is_empty()
+    }
+
+    /// What the open recovered.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Current log statistics.
+    pub fn wal_stats(&self) -> WalStats {
+        self.wal.stats()
+    }
+
+    /// Lock-free gauges for a serving layer (shared `Arc`).
+    pub fn metrics(&self) -> Arc<DurableMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// The data directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> DurableOptions {
+        self.opts
+    }
+
+    fn publish_wal_metrics(&self) {
+        let s = self.wal.stats();
+        self.metrics.wal_segments.store(s.segments, Ordering::Relaxed);
+        self.metrics.wal_bytes.store(s.bytes, Ordering::Relaxed);
+        self.metrics.wal_records.store(s.records, Ordering::Relaxed);
+        self.metrics.synced_epoch.store(s.synced_epoch, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "uo_durable_{tag}_{}_{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Test replayer: payloads are N-Triples documents; replay = load +
+    /// commit. (The real replayer — canonical SPARQL Update — lives in
+    /// uo_core, above this crate.)
+    fn nt_replay(w: &mut StoreWriter, payload: &[u8]) -> Result<(), String> {
+        let doc = std::str::from_utf8(payload).map_err(|e| e.to_string())?;
+        w.load_ntriples(doc).map_err(|e| e.to_string())?;
+        w.commit_with(uo_par::Parallelism::sequential());
+        Ok(())
+    }
+
+    fn apply_nt(ds: &mut DurableStore, doc: &str) {
+        nt_replay(ds.writer_mut(), doc.as_bytes()).unwrap();
+        let epoch = ds.snapshot().epoch();
+        ds.journal(epoch, doc.as_bytes()).unwrap();
+    }
+
+    fn open(dir: &Path, opts: DurableOptions) -> DurableStore {
+        DurableStore::open(dir, opts, nt_replay).expect("durable open")
+    }
+
+    #[test]
+    fn fresh_open_journal_recover() {
+        let dir = temp_dir("basic");
+        {
+            let mut ds = open(&dir, DurableOptions::default());
+            assert!(ds.is_fresh());
+            apply_nt(&mut ds, "<http://a> <http://p> <http://b> .\n");
+            apply_nt(&mut ds, "<http://a> <http://p> <http://c> .\n");
+            assert_eq!(ds.snapshot().len(), 2);
+            assert_eq!(ds.wal_stats().records, 2);
+            assert_eq!(ds.wal_stats().synced_epoch, ds.snapshot().epoch());
+        } // no checkpoint: everything must come back from the log alone
+        let ds = open(&dir, DurableOptions::default());
+        assert!(!ds.is_fresh());
+        assert_eq!(ds.recovery().replayed_ops, 2);
+        assert_eq!(ds.recovery().checkpoint_epoch, 0);
+        assert_eq!(ds.snapshot().len(), 2);
+        assert_eq!(ds.snapshot().epoch(), 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_bounds_replay_and_retires_segments() {
+        let dir = temp_dir("checkpoint");
+        // Tiny segments so every record rotates; retention 2.
+        let opts = DurableOptions { segment_bytes: 1, ..DurableOptions::default() };
+        {
+            let mut ds = open(&dir, opts);
+            for i in 0..6 {
+                apply_nt(&mut ds, &format!("<http://s{i}> <http://p> <http://o{i}> .\n"));
+            }
+            assert!(ds.wal_stats().segments >= 6);
+            let cp = ds.checkpoint().unwrap();
+            assert_eq!(cp.epoch, 6);
+            // First checkpoint: retirement is held back until an *older*
+            // retained checkpoint exists (retain_checkpoints = 2).
+            apply_nt(&mut ds, "<http://s6> <http://p> <http://o6> .\n");
+            let cp2 = ds.checkpoint().unwrap();
+            assert_eq!(cp2.epoch, 7);
+            assert!(cp2.segments_removed > 0, "segments covered by checkpoint 6 retired");
+        }
+        let ds = open(&dir, opts);
+        assert_eq!(ds.recovery().checkpoint_epoch, 7);
+        assert_eq!(ds.recovery().replayed_ops, 0, "checkpoint covers the whole log");
+        assert_eq!(ds.snapshot().len(), 7);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_falls_back_to_previous_checkpoint_when_newest_is_corrupt() {
+        let dir = temp_dir("fallback");
+        {
+            let mut ds = open(&dir, DurableOptions::default());
+            apply_nt(&mut ds, "<http://a> <http://p> <http://b> .\n");
+            ds.checkpoint().unwrap(); // snapshot-…1
+            apply_nt(&mut ds, "<http://a> <http://p> <http://c> .\n");
+            ds.checkpoint().unwrap(); // snapshot-…2
+        }
+        // Vandalize the newest checkpoint.
+        let newest = checkpoint_path(&dir, 2);
+        fs::write(&newest, b"UOSTgarbage").unwrap();
+        let ds = open(&dir, DurableOptions::default());
+        assert_eq!(ds.recovery().checkpoints_skipped, 1);
+        assert_eq!(ds.recovery().checkpoint_epoch, 1, "fell back to the previous checkpoint");
+        // Segments were retired against checkpoint 1 (the older retained
+        // one), so the record for epoch 2 is still in the log and replays.
+        assert_eq!(ds.recovery().replayed_ops, 1);
+        assert_eq!(ds.snapshot().len(), 2);
+        assert_eq!(ds.snapshot().epoch(), 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_log_tail_recovers_longest_prefix() {
+        let dir = temp_dir("torn");
+        {
+            let mut ds = open(&dir, DurableOptions::default());
+            apply_nt(&mut ds, "<http://a> <http://p> <http://b> .\n");
+            apply_nt(&mut ds, "<http://a> <http://p> <http://c> .\n");
+        }
+        // Cut the single log segment mid-way through the final record.
+        let wal_dir = dir.join("wal");
+        let seg = fs::read_dir(&wal_dir).unwrap().next().unwrap().unwrap().path();
+        let len = fs::metadata(&seg).unwrap().len();
+        fs::OpenOptions::new().write(true).open(&seg).unwrap().set_len(len - 3).unwrap();
+        let ds = open(&dir, DurableOptions::default());
+        assert_eq!(ds.recovery().replayed_ops, 1, "only the intact record replays");
+        assert!(ds.recovery().truncated_bytes > 0);
+        assert_eq!(ds.snapshot().len(), 1);
+        assert_eq!(ds.snapshot().epoch(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_epoch_mismatch_is_detected() {
+        let dir = temp_dir("mismatch");
+        {
+            let mut ds = open(&dir, DurableOptions::default());
+            // Journal a record stamped with the wrong epoch on purpose by
+            // bypassing apply_nt: the replayer will land on epoch 1.
+            let doc = "<http://a> <http://p> <http://b> .\n";
+            nt_replay(ds.writer_mut(), doc.as_bytes()).unwrap();
+            ds.journal(99, doc.as_bytes()).unwrap();
+        }
+        match DurableStore::open(&dir, DurableOptions::default(), nt_replay) {
+            Err(DurableError::Replay(m)) => assert!(m.contains("stamped epoch 99"), "{m}"),
+            other => panic!("expected replay mismatch, got {:?}", other.map(|_| ())),
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn seed_checkpoints_immediately() {
+        let dir = temp_dir("seed");
+        {
+            let mut st = crate::TripleStore::new();
+            st.load_ntriples("<http://x> <http://p> <http://y> .\n").unwrap();
+            st.build_with(uo_par::Parallelism::sequential());
+            let mut ds = open(&dir, DurableOptions::default());
+            ds.seed(st.snapshot()).unwrap();
+            assert!(!ds.is_fresh());
+        } // crash right after seeding: the checkpoint alone must restore it
+        let ds = open(&dir, DurableOptions::default());
+        assert_eq!(ds.snapshot().len(), 1);
+        assert_eq!(ds.recovery().replayed_ops, 0);
+        assert!(ds.recovery().checkpoint_epoch >= 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reset_to_discards_unjournaled_commits() {
+        let dir = temp_dir("reset");
+        let mut ds = open(&dir, DurableOptions::default());
+        apply_nt(&mut ds, "<http://a> <http://p> <http://b> .\n");
+        let base = ds.snapshot();
+        // A request applies + commits but is then cancelled before its
+        // journal write: reset must take the writer back to base.
+        nt_replay(ds.writer_mut(), "<http://z> <http://p> <http://w> .\n".as_bytes()).unwrap();
+        assert_eq!(ds.snapshot().epoch(), base.epoch() + 1);
+        ds.reset_to(Arc::clone(&base));
+        assert!(Arc::ptr_eq(&ds.snapshot(), &base));
+        // And recovery agrees: only the journaled request survives.
+        drop(ds);
+        let ds = open(&dir, DurableOptions::default());
+        assert_eq!(ds.snapshot().len(), 1);
+        assert_eq!(ds.snapshot().epoch(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_track_log_and_checkpoints() {
+        let dir = temp_dir("metrics");
+        let mut ds = open(&dir, DurableOptions::default());
+        let m = ds.metrics();
+        apply_nt(&mut ds, "<http://a> <http://p> <http://b> .\n");
+        assert_eq!(m.wal_records.load(Ordering::Relaxed), 1);
+        assert!(m.wal_bytes.load(Ordering::Relaxed) > 0);
+        assert_eq!(m.synced_epoch.load(Ordering::Relaxed), 1);
+        assert_eq!(m.last_checkpoint_epoch.load(Ordering::Relaxed), 0);
+        ds.checkpoint().unwrap();
+        assert_eq!(m.last_checkpoint_epoch.load(Ordering::Relaxed), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retention_never_counts_unvalidated_checkpoints() {
+        // The double-fault drill: a corrupt checkpoint planted between two
+        // good ones must not soak up a retention slot or become the epoch
+        // segments are retired against — else losing the newest good
+        // checkpoint would strand commits with neither checkpoint nor log.
+        let dir = temp_dir("untrusted");
+        let opts = DurableOptions { segment_bytes: 1, ..DurableOptions::default() };
+        {
+            let mut ds = open(&dir, opts);
+            for i in 0..3 {
+                apply_nt(&mut ds, &format!("<http://s{i}> <http://p> <http://o{i}> .\n"));
+            }
+            ds.checkpoint().unwrap(); // good checkpoint at 3
+            apply_nt(&mut ds, "<http://s3> <http://p> <http://o3> .\n");
+            apply_nt(&mut ds, "<http://s4> <http://p> <http://o4> .\n");
+        }
+        // A corrupt checkpoint appears at epoch 4 (bad disk, half copy).
+        fs::write(checkpoint_path(&dir, 4), b"UOSTgarbage").unwrap();
+        {
+            let mut ds = open(&dir, opts);
+            assert_eq!(ds.recovery().checkpoint_epoch, 3, "good checkpoint wins");
+            assert_eq!(ds.recovery().replayed_ops, 2);
+            // New checkpoint at 5: retirement must reason over [5, 3] —
+            // the trusted pair — not the corrupt 4, so records 4 and 5
+            // stay in the log as checkpoint 3's fallback lineage.
+            ds.checkpoint().unwrap();
+            assert_eq!(ds.wal_stats().records, 2, "records above the trusted fallback stay");
+        }
+        // Double fault: the newest good checkpoint dies too.
+        fs::write(checkpoint_path(&dir, 5), b"UOSTgarbage").unwrap();
+        let ds = open(&dir, opts);
+        assert_eq!(ds.recovery().checkpoint_epoch, 3);
+        assert_eq!(ds.recovery().replayed_ops, 2, "fallback + log reconstructs everything");
+        assert_eq!(ds.snapshot().len(), 5);
+        assert_eq!(ds.snapshot().epoch(), 5);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn data_dir_is_single_process() {
+        let dir = temp_dir("lock");
+        let ds = open(&dir, DurableOptions::default());
+        // A second open (same process, distinct file description — flock
+        // semantics match a second process) must be refused.
+        match DurableStore::open(&dir, DurableOptions::default(), nt_replay) {
+            Err(DurableError::Locked(m)) => assert!(m.contains("in use"), "{m}"),
+            other => panic!("expected Locked, got {:?}", other.map(|_| ())),
+        }
+        // Dropping the store releases the lock.
+        drop(ds);
+        let _ds = open(&dir, DurableOptions::default());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn orphaned_checkpoint_temp_files_are_swept() {
+        let dir = temp_dir("tmpsweep");
+        {
+            let mut ds = open(&dir, DurableOptions::default());
+            apply_nt(&mut ds, "<http://a> <http://p> <http://b> .\n");
+            ds.checkpoint().unwrap();
+        }
+        // A crash mid-checkpoint leaves a .uost.tmp behind.
+        let orphan = dir.join("snapshot-00000000000000000009.uost.tmp");
+        fs::write(&orphan, b"half-written checkpoint").unwrap();
+        let ds = open(&dir, DurableOptions::default());
+        assert!(!orphan.exists(), "open must sweep checkpoint temp files");
+        assert_eq!(ds.snapshot().len(), 1, "real state untouched");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_directory_degrades_to_empty_store() {
+        let dir = temp_dir("empty");
+        let ds = open(&dir, DurableOptions::default());
+        assert!(ds.is_fresh());
+        assert!(ds.snapshot().is_empty());
+        assert_eq!(ds.snapshot().epoch(), 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -49,6 +49,7 @@
 //! assert_eq!(store.match_pattern(None, Some(p), None).len(), 1);
 //! ```
 
+pub mod durable;
 pub mod index;
 pub mod persist;
 pub mod snapshot;
@@ -56,6 +57,10 @@ pub mod stats;
 pub mod store;
 pub mod writer;
 
+pub use durable::{
+    CheckpointReport, DurableError, DurableMetrics, DurableOptions, DurableStore, FsyncPolicy,
+    RecoveryReport,
+};
 pub use index::{IndexKind, MatchSet};
 pub use persist::{load_from_file, read_snapshot, save_to_file, write_snapshot, SnapshotError};
 pub use snapshot::Snapshot;

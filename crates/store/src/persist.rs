@@ -186,10 +186,33 @@ pub fn read_snapshot(r: &mut impl Read) -> Result<TripleStore, SnapshotError> {
     Ok(TripleStore::from_snapshot(Arc::new(snap)))
 }
 
-/// Convenience: snapshot to a file.
+/// Snapshot to a file, **atomically**: the bytes are written to a
+/// temporary file in the same directory, fsynced, and renamed over `path`.
+/// A crash at any point leaves either the previous file intact or the new
+/// one complete — never a half-written snapshot, which matters when `path`
+/// is the only checkpoint a durable store has.
 pub fn save_to_file(snap: &Snapshot, path: &std::path::Path) -> io::Result<()> {
-    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
-    write_snapshot(snap, &mut f)
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let file = std::fs::File::create(&tmp)?;
+    let mut w = io::BufWriter::new(file);
+    let write =
+        write_snapshot(snap, &mut w).and_then(|()| w.flush()).and_then(|()| w.get_ref().sync_all());
+    if let Err(e) = write {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    std::fs::rename(&tmp, path)?;
+    // Make the rename itself durable (best-effort: not every platform
+    // supports opening directories).
+    if let Some(dir) = dir {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
 }
 
 /// Convenience: load a snapshot from a file.
@@ -351,6 +374,52 @@ _:b0 <http://ex/knows> <http://ex/a> .
         let loaded = load_from_file(&path).unwrap();
         assert_eq!(loaded.len(), st.len());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_is_atomic_no_temp_left_and_overwrite_is_safe() {
+        let dir = std::env::temp_dir().join(format!("uo_snapshot_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.uost");
+        let st = sample();
+        save_to_file(&st, &path).unwrap();
+        // Overwrite with a different (larger) snapshot: the reader must see
+        // either version, and afterwards exactly the new one.
+        let mut st2 = sample();
+        st2.insert_terms(
+            &Term::iri("http://ex/extra"),
+            &Term::iri("http://ex/knows"),
+            &Term::iri("http://ex/a"),
+        );
+        st2.build();
+        save_to_file(&st2, &path).unwrap();
+        let loaded = load_from_file(&path).unwrap();
+        assert_eq!(loaded.len(), st2.len());
+        // No temporary residue in the directory.
+        let residue: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(residue.is_empty(), "temp files left behind: {residue:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_save_preserves_existing_snapshot() {
+        let dir = std::env::temp_dir().join(format!("uo_snapshot_keep_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.uost");
+        let st = sample();
+        save_to_file(&st, &path).unwrap();
+        // A save whose temp file cannot even be created (the parent is a
+        // file, not a directory) must leave the original untouched.
+        let bogus = path.join("impossible.uost");
+        assert!(save_to_file(&st, &bogus).is_err());
+        let loaded = load_from_file(&path).unwrap();
+        assert_eq!(loaded.len(), st.len());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

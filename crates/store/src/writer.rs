@@ -61,6 +61,8 @@ pub struct StoreWriter {
     inserts: FxHashSet<[Id; 3]>,
     deletes: FxHashSet<[Id; 3]>,
     last_commit: CommitStats,
+    total_rows_sorted: usize,
+    total_rows_merged: usize,
 }
 
 impl StoreWriter {
@@ -79,6 +81,8 @@ impl StoreWriter {
             inserts: FxHashSet::default(),
             deletes: FxHashSet::default(),
             last_commit: CommitStats::default(),
+            total_rows_sorted: 0,
+            total_rows_merged: 0,
         }
     }
 
@@ -106,6 +110,14 @@ impl StoreWriter {
     /// Statistics of the most recent commit.
     pub fn last_commit(&self) -> CommitStats {
         self.last_commit
+    }
+
+    /// Cumulative `(rows_sorted, rows_merged)` across every commit this
+    /// writer has performed — the observability hook for proving that a
+    /// whole *sequence* of commits (e.g. a WAL recovery replay) stayed on
+    /// the O(N + K) merge path instead of re-sorting the base.
+    pub fn merge_totals(&self) -> (usize, usize) {
+        (self.total_rows_sorted, self.total_rows_merged)
     }
 
     /// Encodes a term against the shared dictionary, cloning it
@@ -202,6 +214,8 @@ impl StoreWriter {
         let (snap, mut stats) =
             commit_delta(&self.base, Arc::clone(&self.dict), inserts, deletes, par);
         stats.dict_reused = dict_reused;
+        self.total_rows_sorted += stats.rows_sorted;
+        self.total_rows_merged += stats.rows_merged;
         self.last_commit = stats;
         let arc = Arc::new(snap);
         self.base = Arc::clone(&arc);

@@ -1,0 +1,980 @@
+//! # uo-wal — an append-only, segmented, CRC-checksummed write-ahead log.
+//!
+//! The durability layer under the MVCC store. Every committed update is
+//! journaled here as one **record** *before* its snapshot becomes visible
+//! to readers or its HTTP response is acknowledged, so an acknowledged
+//! commit survives `kill -9`: recovery replays the log tail on top of the
+//! newest checkpoint.
+//!
+//! The log is a sequence of **segments** (`wal-<base-epoch>.log` files in
+//! one directory). Each segment starts with a 16-byte header and holds
+//! length-prefixed records:
+//!
+//! ```text
+//! segment header: magic "UOWL" | version u32 | base_epoch u64
+//! record:         len u32 | epoch u64 | crc u32 | payload (len bytes)
+//! ```
+//!
+//! All integers are little-endian. `crc` is the CRC-32 (IEEE) of the epoch
+//! bytes followed by the payload, so a torn write — truncated length,
+//! truncated payload, or bits flipped by a crashing disk — is detected on
+//! open. Recovery policy, mirroring ARIES-style logs:
+//!
+//! - a corrupt record in any segment but the **last** is real corruption
+//!   and fails the open (the data after it was once acknowledged);
+//! - a corrupt or truncated record at the **tail of the last segment** is
+//!   a torn final write: the file is truncated back to the last valid
+//!   prefix and the open succeeds — exactly the commits that were fully
+//!   journaled are recovered, which is the most any log can promise.
+//!
+//! Record epochs must increase strictly; a segment's records all have
+//! epochs greater than its file-name `base_epoch`, which is what lets a
+//! checkpoint at epoch `E` retire every segment whose records are all
+//! `<= E` ([`Wal::retire_through`]).
+//!
+//! Durability is tunable per [`FsyncPolicy`]: `Always` fsyncs after every
+//! append (zero acknowledged commits lost to a crash), `EveryN(n)` fsyncs
+//! every n-th append (bounded loss window, much cheaper on spinning media),
+//! `Never` leaves flushing to the OS (crash-consistent but lossy).
+//! [`WalStats::synced_epoch`] reports the highest epoch guaranteed on disk.
+
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 4] = b"UOWL";
+const VERSION: u32 = 1;
+const HEADER_BYTES: u64 = 16;
+const RECORD_OVERHEAD: u64 = 4 + 8 + 4;
+/// Upper bound on a single record payload; larger lengths on disk are
+/// treated as corruption rather than attempted as allocations.
+const MAX_PAYLOAD: u32 = 1 << 30;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, the zlib/PNG polynomial), table-driven.
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32 (IEEE) of `data` — the checksum guarding every record.
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+fn crc32_update(mut state: u32, data: &[u8]) -> u32 {
+    for &b in data {
+        state = CRC_TABLE[((state ^ b as u32) & 0xFF) as usize] ^ (state >> 8);
+    }
+    state
+}
+
+fn record_crc(epoch: u64, payload: &[u8]) -> u32 {
+    let state = crc32_update(0xFFFF_FFFF, &epoch.to_le_bytes());
+    crc32_update(state, payload) ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Errors and options.
+
+/// An error while opening or writing the log.
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structurally invalid log data that truncation cannot repair (a bad
+    /// record in a non-final segment, epochs out of order, ...).
+    Corrupt(String),
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal I/O error: {e}"),
+            WalError::Corrupt(m) => write!(f, "corrupt wal: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<io::Error> for WalError {
+    fn from(e: io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+fn corrupt(msg: impl Into<String>) -> WalError {
+    WalError::Corrupt(msg.into())
+}
+
+/// When appended records are fsynced to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync after every append: an acknowledged commit is never lost.
+    Always,
+    /// fsync once every `n` appends: at most `n - 1` acknowledged commits
+    /// can be lost to a crash. `EveryN(1)` behaves like `Always`.
+    EveryN(u32),
+    /// Never fsync explicitly; the OS flushes when it pleases. Fastest, and
+    /// still *consistent* after a crash (the CRC prefix discipline holds) —
+    /// just not lossless.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parses `always`, `never`, or a positive integer `n` (= every n).
+    pub fn parse(s: &str) -> Result<FsyncPolicy, String> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "never" => Ok(FsyncPolicy::Never),
+            n => match n.parse::<u32>() {
+                Ok(n) if n > 0 => Ok(FsyncPolicy::EveryN(n)),
+                _ => Err(format!("fsync policy must be 'always', 'never' or a count, got '{s}'")),
+            },
+        }
+    }
+
+    /// Stable label for logs and metrics ("always" / "every-8" / "never").
+    pub fn label(&self) -> String {
+        match self {
+            FsyncPolicy::Always => "always".to_string(),
+            FsyncPolicy::EveryN(n) => format!("every-{n}"),
+            FsyncPolicy::Never => "never".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Log configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct WalOptions {
+    /// Fsync policy for appends.
+    pub fsync: FsyncPolicy,
+    /// Rotate to a new segment once the active one exceeds this many bytes.
+    pub segment_bytes: u64,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        WalOptions { fsync: FsyncPolicy::Always, segment_bytes: 8 << 20 }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery output.
+
+/// One recovered record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Post-commit epoch the record was stamped with.
+    pub epoch: u64,
+    /// The journaled payload (a canonical update serialization upstream).
+    pub payload: Vec<u8>,
+}
+
+/// What [`Wal::open`] found on disk.
+#[derive(Debug, Clone, Default)]
+pub struct WalRecovery {
+    /// Every valid record across all segments, in epoch order.
+    pub records: Vec<WalRecord>,
+    /// Bytes cut from the final segment's torn tail (0 = clean shutdown).
+    pub truncated_bytes: u64,
+}
+
+/// A point-in-time summary of the log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Number of segment files (including the active one).
+    pub segments: usize,
+    /// Total bytes across all segment files.
+    pub bytes: u64,
+    /// Records currently held across all segments.
+    pub records: u64,
+    /// Epoch of the most recently appended record (0 = none).
+    pub last_epoch: u64,
+    /// Highest epoch guaranteed fsynced to stable storage.
+    pub synced_epoch: u64,
+}
+
+/// What one [`Wal::retire_through`] removed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetireReport {
+    /// Segment files deleted.
+    pub segments_removed: usize,
+    /// Bytes freed.
+    pub bytes_removed: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Segments.
+
+#[derive(Debug)]
+struct Segment {
+    path: PathBuf,
+    /// Epoch of the segment's last record (None = header only).
+    last_epoch: Option<u64>,
+    bytes: u64,
+    records: u64,
+}
+
+fn segment_path(dir: &Path, base_epoch: u64) -> PathBuf {
+    dir.join(format!("wal-{base_epoch:020}.log"))
+}
+
+fn parse_segment_name(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?.strip_suffix(".log")?.parse().ok()
+}
+
+fn write_header(f: &mut File, base_epoch: u64) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(HEADER_BYTES as usize);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&base_epoch.to_le_bytes());
+    f.write_all(&buf)
+}
+
+/// Outcome of scanning one segment file.
+struct SegmentScan {
+    records: Vec<WalRecord>,
+    /// Byte offset of the end of the last *valid* record (or the header).
+    valid_bytes: u64,
+    /// Why the scan stopped early, if it did (a torn/corrupt suffix).
+    torn: Option<String>,
+    header_ok: bool,
+    /// A problem no crash can produce (foreign magic, alien version,
+    /// header/name disagreement): never repairable by truncation, always
+    /// a hard error — deleting such a file could destroy acknowledged
+    /// records written by a different (e.g. newer) binary.
+    fatal: bool,
+}
+
+/// Reads a segment, collecting valid records and locating the first
+/// invalid byte (if any). Never errors on content — the caller decides
+/// whether a torn suffix is tolerable (final segment) or fatal.
+fn scan_segment(path: &Path, base_epoch: u64) -> io::Result<SegmentScan> {
+    let data = fs::read(path)?;
+    let mut scan = SegmentScan {
+        records: Vec::new(),
+        valid_bytes: 0,
+        torn: None,
+        header_ok: false,
+        fatal: false,
+    };
+    if data.len() < HEADER_BYTES as usize {
+        // The 16-byte header is written in one write; only a crash
+        // mid-rotation leaves a shorter file — recoverable by dropping it.
+        scan.torn = Some("truncated segment header".to_string());
+        return Ok(scan);
+    }
+    if &data[0..4] != MAGIC {
+        scan.torn = Some("bad segment magic".to_string());
+        scan.fatal = true;
+        return Ok(scan);
+    }
+    let version = u32::from_le_bytes(data[4..8].try_into().unwrap());
+    if version != VERSION {
+        scan.torn = Some(format!("unsupported segment version {version}"));
+        scan.fatal = true;
+        return Ok(scan);
+    }
+    let header_base = u64::from_le_bytes(data[8..16].try_into().unwrap());
+    if header_base != base_epoch {
+        scan.torn = Some(format!(
+            "segment header epoch {header_base} disagrees with file name {base_epoch}"
+        ));
+        scan.fatal = true;
+        return Ok(scan);
+    }
+    scan.header_ok = true;
+    scan.valid_bytes = HEADER_BYTES;
+    let mut pos = HEADER_BYTES as usize;
+    loop {
+        if pos == data.len() {
+            return Ok(scan); // clean end
+        }
+        if data.len() - pos < RECORD_OVERHEAD as usize {
+            scan.torn = Some("truncated record header".to_string());
+            return Ok(scan);
+        }
+        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap());
+        if len > MAX_PAYLOAD {
+            scan.torn = Some(format!("record length {len} out of range"));
+            return Ok(scan);
+        }
+        let epoch = u64::from_le_bytes(data[pos + 4..pos + 12].try_into().unwrap());
+        let crc = u32::from_le_bytes(data[pos + 12..pos + 16].try_into().unwrap());
+        let body_start = pos + RECORD_OVERHEAD as usize;
+        if data.len() - body_start < len as usize {
+            scan.torn = Some("truncated record payload".to_string());
+            return Ok(scan);
+        }
+        let payload = &data[body_start..body_start + len as usize];
+        if record_crc(epoch, payload) != crc {
+            scan.torn = Some(format!("checksum mismatch on record at offset {pos}"));
+            return Ok(scan);
+        }
+        if epoch <= base_epoch {
+            scan.torn = Some(format!("record epoch {epoch} not above segment base {base_epoch}"));
+            return Ok(scan);
+        }
+        scan.records.push(WalRecord { epoch, payload: payload.to_vec() });
+        pos = body_start + len as usize;
+        scan.valid_bytes = pos as u64;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The log itself.
+
+/// An open write-ahead log over one directory. See the module docs.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    opts: WalOptions,
+    /// Sealed segments (never written again), oldest first.
+    sealed: Vec<Segment>,
+    /// The active segment's bookkeeping.
+    active: Segment,
+    /// The active segment's file handle, positioned at the end.
+    file: File,
+    last_epoch: u64,
+    synced_epoch: u64,
+    unsynced: u32,
+    total_records: u64,
+    /// Set when a failed append could not be rewound: the log can no
+    /// longer promise a clean tail, so it refuses further writes.
+    damaged: bool,
+}
+
+impl Wal {
+    /// Opens (or creates) the log in `dir`, scanning every segment. Returns
+    /// the log positioned for appending plus everything recovered. A torn
+    /// tail on the final segment is truncated away; torn data anywhere else
+    /// is a hard error.
+    pub fn open(dir: &Path, opts: WalOptions) -> Result<(Wal, WalRecovery), WalError> {
+        fs::create_dir_all(dir)?;
+        let mut bases: Vec<u64> = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            if let Some(base) = entry.file_name().to_str().and_then(parse_segment_name) {
+                bases.push(base);
+            }
+        }
+        bases.sort_unstable();
+
+        let mut recovery = WalRecovery::default();
+        let mut sealed: Vec<Segment> = Vec::new();
+        let mut last_epoch = 0u64;
+        let mut total_records = 0u64;
+        for (i, &base) in bases.iter().enumerate() {
+            let path = segment_path(dir, base);
+            let is_last = i + 1 == bases.len();
+            let scan = scan_segment(&path, base)?;
+            if let Some(why) = &scan.torn {
+                if !is_last {
+                    return Err(corrupt(format!(
+                        "{}: {why} (not the final segment)",
+                        path.display()
+                    )));
+                }
+                if scan.fatal {
+                    return Err(corrupt(format!(
+                        "{}: {why} (no crash produces this; refusing to truncate it away)",
+                        path.display()
+                    )));
+                }
+                // Torn tail of the final segment: cut back to the valid
+                // prefix. A segment whose *header* is torn (a crash during
+                // rotation) is dropped entirely and recreated below.
+                let on_disk = fs::metadata(&path)?.len();
+                recovery.truncated_bytes += on_disk.saturating_sub(scan.valid_bytes);
+                if scan.header_ok {
+                    let f = OpenOptions::new().write(true).open(&path)?;
+                    f.set_len(scan.valid_bytes)?;
+                    f.sync_all()?;
+                } else {
+                    fs::remove_file(&path)?;
+                    continue;
+                }
+            }
+            for r in &scan.records {
+                if r.epoch <= last_epoch {
+                    return Err(corrupt(format!(
+                        "record epochs out of order: {} after {last_epoch}",
+                        r.epoch
+                    )));
+                }
+                last_epoch = r.epoch;
+            }
+            total_records += scan.records.len() as u64;
+            let seg = Segment {
+                path,
+                last_epoch: scan.records.last().map(|r| r.epoch),
+                bytes: scan.valid_bytes.max(HEADER_BYTES),
+                records: scan.records.len() as u64,
+            };
+            recovery.records.extend(scan.records);
+            sealed.push(seg);
+        }
+
+        // The newest surviving segment becomes the active one; with none, a
+        // fresh segment is created at base 0.
+        let active = match sealed.pop() {
+            Some(seg) => seg,
+            None => {
+                let path = segment_path(dir, 0);
+                let mut f =
+                    OpenOptions::new().create(true).truncate(true).write(true).open(&path)?;
+                write_header(&mut f, 0)?;
+                f.sync_all()?;
+                sync_dir(dir);
+                Segment { path, last_epoch: None, bytes: HEADER_BYTES, records: 0 }
+            }
+        };
+        let mut file = OpenOptions::new().write(true).open(&active.path)?;
+        file.seek(SeekFrom::End(0))?;
+        // The scan proves the records are in the *file*, not that they ever
+        // reached stable storage (a crash under every-N/never leaves valid
+        // bytes only in page cache). One fsync makes the recovered prefix
+        // genuinely durable, so synced_epoch = last_epoch is truthful.
+        file.sync_data()?;
+        let wal = Wal {
+            dir: dir.to_path_buf(),
+            opts,
+            sealed,
+            active,
+            file,
+            last_epoch,
+            synced_epoch: last_epoch,
+            unsynced: 0,
+            total_records,
+            damaged: false,
+        };
+        Ok((wal, recovery))
+    }
+
+    /// Appends one record and applies the fsync policy. `epoch` must exceed
+    /// every previously appended epoch — records are post-commit stamps of
+    /// a monotonically increasing MVCC lineage.
+    ///
+    /// On **any** failure — a partial write, or the record's own fsync —
+    /// the append is undone: the file is truncated back to its pre-append
+    /// length and the bookkeeping rewound, so a caller that rolls its
+    /// store back on `Err` leaves the log exactly describing the store
+    /// (the same epoch can be journaled again) and no garbage bytes ever
+    /// sit in front of later acknowledged records. If even the truncation
+    /// fails, the log latches into a damaged state and every further
+    /// append errors — better a loudly read-only log than recovery
+    /// silently discarding acknowledged records behind a torn middle.
+    pub fn append(&mut self, epoch: u64, payload: &[u8]) -> io::Result<()> {
+        if self.damaged {
+            return Err(io::Error::other(
+                "wal damaged by an earlier failed append; restart to recover the valid prefix",
+            ));
+        }
+        assert!(
+            epoch > self.last_epoch,
+            "wal append epoch {epoch} must exceed the last appended epoch {}",
+            self.last_epoch
+        );
+        assert!(payload.len() as u64 <= MAX_PAYLOAD as u64, "wal payload too large");
+        if self.active.records > 0 && self.active.bytes >= self.opts.segment_bytes {
+            self.rotate()?;
+        }
+        let undo = (self.active.bytes, self.active.last_epoch, self.last_epoch, self.unsynced);
+        let mut buf = Vec::with_capacity(RECORD_OVERHEAD as usize + payload.len());
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&epoch.to_le_bytes());
+        buf.extend_from_slice(&record_crc(epoch, payload).to_le_bytes());
+        buf.extend_from_slice(payload);
+        let write = self.file.write_all(&buf).and_then(|()| {
+            self.active.bytes += buf.len() as u64;
+            self.active.records += 1;
+            self.active.last_epoch = Some(epoch);
+            self.last_epoch = epoch;
+            self.total_records += 1;
+            match self.opts.fsync {
+                FsyncPolicy::Always => self.sync(),
+                FsyncPolicy::EveryN(n) => {
+                    self.unsynced += 1;
+                    if self.unsynced >= n {
+                        self.sync()
+                    } else {
+                        Ok(())
+                    }
+                }
+                FsyncPolicy::Never => Ok(()),
+            }
+        });
+        if let Err(e) = write {
+            self.rewind_active(epoch, undo);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Undoes a failed append of `epoch`: truncates the active segment
+    /// back to `bytes` and restores the bookkeeping. Latches the damaged
+    /// flag if the truncation itself fails.
+    fn rewind_active(&mut self, epoch: u64, undo: (u64, Option<u64>, u64, u32)) {
+        let (bytes, active_last, wal_last, unsynced) = undo;
+        let rewound = self
+            .file
+            .set_len(bytes)
+            .and_then(|()| self.file.seek(SeekFrom::Start(bytes)).map(|_| ()));
+        if rewound.is_err() {
+            self.damaged = true;
+            return;
+        }
+        // The write may have failed before the bookkeeping advanced.
+        if self.last_epoch == epoch {
+            self.active.bytes = bytes;
+            self.active.records -= 1;
+            self.active.last_epoch = active_last;
+            self.last_epoch = wal_last;
+            self.total_records -= 1;
+            self.unsynced = unsynced;
+        }
+    }
+
+    /// Forces everything appended so far to stable storage, regardless of
+    /// policy. After it returns, [`WalStats::synced_epoch`] equals the last
+    /// appended epoch.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()?;
+        self.synced_epoch = self.last_epoch;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Seals the active segment and starts a new one whose base epoch is
+    /// the last appended epoch (so every future record's epoch exceeds it).
+    fn rotate(&mut self) -> io::Result<()> {
+        // Seal: everything in the old segment must be durable before the
+        // log moves on, or retirement ordering gets murky.
+        self.file.sync_data()?;
+        self.synced_epoch = self.last_epoch;
+        self.unsynced = 0;
+        let base = self.last_epoch;
+        let path = segment_path(&self.dir, base);
+        // truncate (not create_new): the base epoch is unique per rotation,
+        // so an existing file here can only be the orphan of a *failed*
+        // previous attempt at this same rotation — overwrite it, else the
+        // log could never rotate again after a transient error cleared.
+        let mut f = OpenOptions::new().create(true).truncate(true).write(true).open(&path)?;
+        if let Err(e) = write_header(&mut f, base).and_then(|()| f.sync_all()) {
+            let _ = fs::remove_file(&path);
+            return Err(e);
+        }
+        sync_dir(&self.dir);
+        let fresh = Segment { path, last_epoch: None, bytes: HEADER_BYTES, records: 0 };
+        let old = std::mem::replace(&mut self.active, fresh);
+        self.sealed.push(old);
+        self.file = f;
+        Ok(())
+    }
+
+    /// Deletes every segment fully covered by a checkpoint at `epoch`: a
+    /// segment may go once *all* its records have epochs `<= epoch` and it
+    /// is no longer the active file. When the active segment itself is
+    /// fully covered (and non-empty), it is sealed first so its space is
+    /// reclaimed too.
+    pub fn retire_through(&mut self, epoch: u64) -> io::Result<RetireReport> {
+        if self.active.records > 0 && self.active.last_epoch.is_some_and(|e| e <= epoch) {
+            self.rotate()?;
+        }
+        let mut report = RetireReport::default();
+        let mut kept = Vec::new();
+        let mut failure: Option<io::Error> = None;
+        for seg in std::mem::take(&mut self.sealed) {
+            // Header-only sealed segments hold nothing to lose.
+            let covered = seg.last_epoch.is_none_or(|last| last <= epoch);
+            if covered && failure.is_none() {
+                match fs::remove_file(&seg.path) {
+                    Ok(()) => {
+                        report.segments_removed += 1;
+                        report.bytes_removed += seg.bytes;
+                        self.total_records -= seg.records;
+                    }
+                    // Keep tracking the segment — it is still on disk — and
+                    // stop deleting, but finish the loop so every surviving
+                    // segment stays in the bookkeeping for a later retry.
+                    Err(e) => {
+                        failure = Some(e);
+                        kept.push(seg);
+                    }
+                }
+            } else {
+                kept.push(seg);
+            }
+        }
+        self.sealed = kept;
+        if report.segments_removed > 0 {
+            sync_dir(&self.dir);
+        }
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(report),
+        }
+    }
+
+    /// Current log statistics.
+    pub fn stats(&self) -> WalStats {
+        WalStats {
+            segments: self.sealed.len() + 1,
+            bytes: self.sealed.iter().map(|s| s.bytes).sum::<u64>() + self.active.bytes,
+            records: self.total_records,
+            last_epoch: self.last_epoch,
+            synced_epoch: self.synced_epoch,
+        }
+    }
+
+    /// The directory this log lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> WalOptions {
+        self.opts
+    }
+}
+
+/// Fsyncs a directory so file creations/removals inside it are durable
+/// (best-effort: not every platform supports opening directories).
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "uo_wal_{tag}_{}_{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn open(dir: &Path, opts: WalOptions) -> (Wal, WalRecovery) {
+        Wal::open(dir, opts).expect("wal open")
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_and_recover_round_trip() {
+        let dir = temp_dir("roundtrip");
+        {
+            let (mut wal, rec) = open(&dir, WalOptions::default());
+            assert!(rec.records.is_empty());
+            wal.append(1, b"first").unwrap();
+            wal.append(2, b"second").unwrap();
+            wal.append(5, b"gap in epochs is fine").unwrap();
+            assert_eq!(wal.stats().records, 3);
+            assert_eq!(wal.stats().synced_epoch, 5, "fsync=always syncs every append");
+        }
+        let (wal, rec) = open(&dir, WalOptions::default());
+        assert_eq!(rec.truncated_bytes, 0);
+        let epochs: Vec<u64> = rec.records.iter().map(|r| r.epoch).collect();
+        assert_eq!(epochs, vec![1, 2, 5]);
+        assert_eq!(rec.records[0].payload, b"first");
+        assert_eq!(rec.records[2].payload, b"gap in epochs is fine");
+        assert_eq!(wal.stats().last_epoch, 5);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_to_last_valid_prefix() {
+        let dir = temp_dir("torn");
+        let path;
+        {
+            let (mut wal, _) = open(&dir, WalOptions::default());
+            wal.append(1, b"keep me").unwrap();
+            wal.append(2, b"this record gets torn").unwrap();
+            path = wal.active.path.clone();
+        }
+        // Cut the last record's payload short.
+        let len = fs::metadata(&path).unwrap().len();
+        OpenOptions::new().write(true).open(&path).unwrap().set_len(len - 5).unwrap();
+        let (mut wal, rec) = open(&dir, WalOptions::default());
+        assert_eq!(rec.records.len(), 1);
+        assert_eq!(rec.records[0].payload, b"keep me");
+        assert!(rec.truncated_bytes > 0);
+        // The log is immediately appendable again at the cut point.
+        wal.append(2, b"rewritten").unwrap();
+        drop(wal);
+        let (_, rec) = open(&dir, WalOptions::default());
+        assert_eq!(rec.records.len(), 2);
+        assert_eq!(rec.records[1].payload, b"rewritten");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flipped_bit_in_tail_record_is_detected_and_cut() {
+        let dir = temp_dir("bitflip");
+        let path;
+        {
+            let (mut wal, _) = open(&dir, WalOptions::default());
+            wal.append(1, b"good").unwrap();
+            wal.append(2, b"evil").unwrap();
+            path = wal.active.path.clone();
+        }
+        let mut data = fs::read(&path).unwrap();
+        let n = data.len();
+        data[n - 1] ^= 0x40; // flip a payload bit in the final record
+        fs::write(&path, &data).unwrap();
+        let (_, rec) = open(&dir, WalOptions::default());
+        assert_eq!(rec.records.len(), 1, "checksum must catch the flip");
+        assert_eq!(rec.records[0].payload, b"good");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corruption_in_non_final_segment_is_fatal() {
+        let dir = temp_dir("midcorrupt");
+        let first_path;
+        {
+            // Tiny segments force a rotation per append.
+            let opts = WalOptions { segment_bytes: 1, ..WalOptions::default() };
+            let (mut wal, _) = open(&dir, opts);
+            wal.append(1, b"segment one").unwrap();
+            wal.append(2, b"segment two").unwrap();
+            first_path = wal.sealed[0].path.clone();
+            assert_eq!(wal.stats().segments, 2);
+        }
+        let mut data = fs::read(&first_path).unwrap();
+        let n = data.len();
+        data[n - 2] ^= 0xFF;
+        fs::write(&first_path, &data).unwrap();
+        match Wal::open(&dir, WalOptions::default()) {
+            Err(WalError::Corrupt(m)) => assert!(m.contains("not the final segment"), "{m}"),
+            other => panic!("expected corruption error, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_and_retirement() {
+        let dir = temp_dir("retire");
+        let opts = WalOptions { segment_bytes: 64, ..WalOptions::default() };
+        let (mut wal, _) = open(&dir, opts);
+        for e in 1..=10u64 {
+            wal.append(e, format!("record number {e} with some padding").as_bytes()).unwrap();
+        }
+        let before = wal.stats();
+        assert!(before.segments > 2, "tiny segment size must force rotations");
+
+        // A checkpoint at epoch 4 retires only segments fully below it.
+        let report = wal.retire_through(4).unwrap();
+        assert!(report.segments_removed > 0);
+        let mid = wal.stats();
+        assert!(mid.segments < before.segments);
+        // Recovery after partial retirement still yields epochs 5..=10.
+        drop(wal);
+        let (mut wal, rec) = open(&dir, opts);
+        let epochs: Vec<u64> = rec.records.iter().map(|r| r.epoch).collect();
+        assert_eq!(epochs, (5..=10).collect::<Vec<u64>>());
+
+        // A checkpoint at the head retires everything, including the active
+        // segment's contents (via a seal).
+        wal.retire_through(10).unwrap();
+        let after = wal.stats();
+        assert_eq!(after.records, 0);
+        assert_eq!(after.segments, 1, "only the fresh active segment remains");
+        drop(wal);
+        let (_, rec) = open(&dir, opts);
+        assert!(rec.records.is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retirement_preserves_appendability() {
+        let dir = temp_dir("retire_append");
+        let (mut wal, _) = open(&dir, WalOptions::default());
+        wal.append(1, b"a").unwrap();
+        wal.retire_through(1).unwrap();
+        wal.append(2, b"b").unwrap();
+        drop(wal);
+        let (_, rec) = open(&dir, WalOptions::default());
+        assert_eq!(rec.records.len(), 1);
+        assert_eq!(rec.records[0].epoch, 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_n_policy_tracks_synced_epoch() {
+        let dir = temp_dir("everyn");
+        let opts = WalOptions { fsync: FsyncPolicy::EveryN(3), ..WalOptions::default() };
+        let (mut wal, _) = open(&dir, opts);
+        wal.append(1, b"x").unwrap();
+        wal.append(2, b"y").unwrap();
+        assert_eq!(wal.stats().synced_epoch, 0, "two unsynced appends pending");
+        wal.append(3, b"z").unwrap();
+        assert_eq!(wal.stats().synced_epoch, 3, "third append triggers the sync");
+        wal.append(4, b"w").unwrap();
+        assert_eq!(wal.stats().synced_epoch, 3);
+        wal.sync().unwrap();
+        assert_eq!(wal.stats().synced_epoch, 4, "explicit sync catches up");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn never_policy_still_recovers_whats_on_disk() {
+        let dir = temp_dir("never");
+        let opts = WalOptions { fsync: FsyncPolicy::Never, ..WalOptions::default() };
+        {
+            let (mut wal, _) = open(&dir, opts);
+            wal.append(1, b"lazy").unwrap();
+            assert_eq!(wal.stats().synced_epoch, 0);
+        } // dropped without an explicit sync; the OS file close flushes
+        let (_, rec) = open(&dir, opts);
+        assert_eq!(rec.records.len(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed")]
+    fn non_monotonic_epochs_panic() {
+        let dir = temp_dir("monotonic");
+        let (mut wal, _) = open(&dir, WalOptions::default());
+        wal.append(5, b"five").unwrap();
+        let _ = wal.append(5, b"five again");
+    }
+
+    #[test]
+    fn header_only_torn_segment_is_dropped() {
+        let dir = temp_dir("tornheader");
+        {
+            let (mut wal, _) = open(&dir, WalOptions::default());
+            wal.append(1, b"solid").unwrap();
+        }
+        // Simulate a crash during rotation: a second segment with a partial
+        // header.
+        fs::write(segment_path(&dir, 1), b"UOW").unwrap();
+        let (mut wal, rec) = open(&dir, WalOptions::default());
+        assert_eq!(rec.records.len(), 1);
+        assert!(rec.truncated_bytes > 0);
+        wal.append(2, b"continues").unwrap();
+        drop(wal);
+        let (_, rec) = open(&dir, WalOptions::default());
+        assert_eq!(rec.records.len(), 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_append_rewinds_so_epoch_can_be_rejournaled() {
+        // Simulates the journal-failure path: a record fully written (and
+        // bookkeeping advanced) must be undone so the caller's rollback
+        // leaves the log describing the store — the same epoch journals
+        // again, and recovery sees no trace of the failed attempt.
+        let dir = temp_dir("rewind");
+        let (mut wal, _) = open(&dir, WalOptions::default());
+        wal.append(1, b"keep").unwrap();
+        let undo = (wal.active.bytes, wal.active.last_epoch, wal.last_epoch, wal.unsynced);
+        wal.append(2, b"doomed").unwrap();
+        wal.rewind_active(2, undo);
+        assert_eq!(wal.stats().records, 1);
+        assert_eq!(wal.stats().last_epoch, 1);
+        // Epoch 2 is free again — exactly what a rolled-back store re-uses.
+        wal.append(2, b"second attempt").unwrap();
+        drop(wal);
+        let (_, rec) = open(&dir, WalOptions::default());
+        let payloads: Vec<&[u8]> = rec.records.iter().map(|r| r.payload.as_slice()).collect();
+        assert_eq!(payloads, vec![b"keep".as_slice(), b"second attempt".as_slice()]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn alien_version_in_final_segment_is_fatal_not_truncated() {
+        // A fully-written header with a future version is not crash
+        // debris — deleting it would destroy another binary's records.
+        let dir = temp_dir("alienversion");
+        {
+            let (mut wal, _) = open(&dir, WalOptions::default());
+            wal.append(1, b"from the future").unwrap();
+        }
+        let seg = segment_path(&dir, 0);
+        let mut data = fs::read(&seg).unwrap();
+        data[4..8].copy_from_slice(&2u32.to_le_bytes());
+        fs::write(&seg, &data).unwrap();
+        match Wal::open(&dir, WalOptions::default()) {
+            Err(WalError::Corrupt(m)) => assert!(m.contains("unsupported segment version"), "{m}"),
+            other => panic!("expected corruption error, got {other:?}"),
+        }
+        assert!(seg.exists(), "the file must survive for the right binary to read");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_overwrites_orphan_from_failed_attempt() {
+        // A failed rotation leaves wal-<K>.log on disk; the retry at the
+        // same base epoch must overwrite it instead of erroring forever.
+        let dir = temp_dir("rotateorphan");
+        let opts = WalOptions { segment_bytes: 1, ..WalOptions::default() };
+        let (mut wal, _) = open(&dir, opts);
+        wal.append(1, b"first").unwrap();
+        fs::write(segment_path(&dir, 1), b"orphan of a failed rotation").unwrap();
+        // Next append rotates to base 1 — the orphan's path.
+        wal.append(2, b"second").unwrap();
+        drop(wal);
+        let (_, rec) = open(&dir, opts);
+        assert_eq!(rec.records.len(), 2);
+        assert_eq!(rec.records[1].payload, b"second");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsync_policy_parse_and_label() {
+        assert_eq!(FsyncPolicy::parse("always").unwrap(), FsyncPolicy::Always);
+        assert_eq!(FsyncPolicy::parse("never").unwrap(), FsyncPolicy::Never);
+        assert_eq!(FsyncPolicy::parse("8").unwrap(), FsyncPolicy::EveryN(8));
+        assert!(FsyncPolicy::parse("0").is_err());
+        assert!(FsyncPolicy::parse("sometimes").is_err());
+        assert_eq!(FsyncPolicy::EveryN(8).label(), "every-8");
+        assert_eq!(FsyncPolicy::Always.label(), "always");
+    }
+
+    #[test]
+    fn fresh_directory_is_created() {
+        let dir = temp_dir("fresh").join("nested").join("deeper");
+        let (wal, rec) = open(&dir, WalOptions::default());
+        assert!(rec.records.is_empty());
+        assert_eq!(wal.stats().segments, 1);
+        fs::remove_dir_all(dir.parent().unwrap().parent().unwrap()).ok();
+    }
+}

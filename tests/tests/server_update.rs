@@ -258,6 +258,157 @@ fn concurrent_readers_never_observe_torn_snapshots() {
     handle.shutdown();
 }
 
+/// ISSUE 5 acceptance: a durable endpoint journals every acknowledged
+/// update (visible in the `/metrics` v3 `wal` block), and a restarted
+/// server recovers them — replay-exactly, answering queries byte-identically
+/// to the pre-restart endpoint.
+#[test]
+fn durable_server_journals_updates_and_survives_restart() {
+    let dir = std::env::temp_dir().join(format!("uo_server_durable_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let open = || {
+        let engine = uo_engine::WcoEngine::sequential();
+        uo_core::open_durable(
+            &dir,
+            uo_store::DurableOptions::default(),
+            &engine,
+            Parallelism::sequential(),
+        )
+        .expect("open durable store")
+    };
+
+    // First life: seed, serve, write.
+    let seed_epoch;
+    let answer_before;
+    {
+        let mut ds = open();
+        assert!(ds.is_fresh());
+        ds.seed(base_store()).unwrap();
+        seed_epoch = ds.snapshot().epoch();
+        // Large checkpoint_every so these commits stay wal-only: the
+        // restart below must come entirely from log replay.
+        let cfg = ServerConfig { checkpoint_every: 1_000_000, ..writable() };
+        let handle = uo_server::start_durable(ds, cfg, 0).expect("server start");
+        let addr = handle.addr();
+        for i in 0..3 {
+            let (status, body) = post_update(
+                addr,
+                &format!("INSERT DATA {{ <http://p{}> <http://link> <http://HUB> . }}", 40 + i),
+            );
+            assert_eq!(status, 200, "{body}");
+        }
+        let m = metrics(addr);
+        let wal = m.get("wal").expect("metrics v3 has a wal block");
+        assert!(!matches!(wal, Json::Null), "durable endpoint exposes wal gauges");
+        let wal_field = |f: &str| wal.get(f).and_then(Json::as_f64).unwrap_or(-1.0);
+        assert!(wal_field("segments") >= 1.0);
+        assert!(wal_field("bytes") > 0.0, "journaled records occupy bytes");
+        assert_eq!(wal_field("records"), 3.0, "one record per acknowledged update");
+        assert_eq!(
+            wal_field("synced_epoch") as u64,
+            seed_epoch + 3,
+            "fsync=always: every acknowledged epoch is already on disk"
+        );
+        assert_eq!(wal_field("last_checkpoint_epoch") as u64, seed_epoch);
+        assert_eq!(wal_field("recovered_ops"), 0.0, "first life recovered nothing");
+        assert_eq!(wal.get("fsync").and_then(Json::as_str), Some("always"));
+        let (status, body) = get_query(addr, Q);
+        assert_eq!(status, 200);
+        answer_before = body;
+        handle.shutdown();
+    }
+
+    // Second life: reopen the directory, serve again, observe the writes.
+    {
+        let ds = open();
+        assert_eq!(ds.recovery().replayed_ops, 3, "log tail replayed");
+        assert_eq!(ds.snapshot().epoch(), seed_epoch + 3);
+        let handle = uo_server::start_durable(ds, writable(), 0).expect("server restart");
+        let addr = handle.addr();
+        let (status, body) = get_query(addr, Q);
+        assert_eq!(status, 200);
+        assert_eq!(body, answer_before, "recovered endpoint answers byte-identically");
+        for i in 0..3 {
+            assert!(body.contains(&format!("p{}", 40 + i)), "p{} missing: {body}", 40 + i);
+        }
+        let m = metrics(addr);
+        let wal = m.get("wal").unwrap();
+        assert_eq!(wal.get("recovered_ops").and_then(Json::as_f64), Some(3.0));
+        handle.shutdown();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The background checkpointer persists a snapshot once the epoch advances
+/// `checkpoint_every` past the last checkpoint, after which a restart
+/// replays nothing — and a compacted log stays short.
+#[test]
+fn background_checkpointer_bounds_recovery() {
+    let dir = std::env::temp_dir().join(format!("uo_server_checkpoint_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let open = || {
+        let engine = uo_engine::WcoEngine::sequential();
+        uo_core::open_durable(
+            &dir,
+            uo_store::DurableOptions::default(),
+            &engine,
+            Parallelism::sequential(),
+        )
+        .expect("open durable store")
+    };
+    let seed_epoch;
+    {
+        let mut ds = open();
+        ds.seed(base_store()).unwrap();
+        seed_epoch = ds.snapshot().epoch();
+        let cfg = ServerConfig { checkpoint_every: 1, checkpoint_interval_ms: 25, ..writable() };
+        let handle = uo_server::start_durable(ds, cfg, 0).expect("server start");
+        let addr = handle.addr();
+        let (status, body) =
+            post_update(addr, "INSERT DATA { <http://cp> <http://link> <http://HUB> . }");
+        assert_eq!(status, 200, "{body}");
+        // Poll until the checkpointer has caught up (generous deadline for
+        // the single-core CI container).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        loop {
+            let m = metrics(addr);
+            let cp = m
+                .get("wal")
+                .and_then(|w| w.get("last_checkpoint_epoch"))
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0) as u64;
+            if cp > seed_epoch {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "checkpointer never advanced past {cp} (want >= {})",
+                seed_epoch + 1
+            );
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        handle.shutdown();
+    }
+    let ds = open();
+    assert_eq!(ds.recovery().replayed_ops, 0, "checkpoint covers the whole log");
+    assert_eq!(ds.recovery().checkpoint_epoch, seed_epoch + 1);
+    assert_eq!(ds.snapshot().len(), base_store().len() + 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn in_memory_endpoint_reports_null_wal() {
+    let snap = base_store();
+    let handle = uo_server::start(snap, writable(), 0).expect("server start");
+    let m = metrics(handle.addr());
+    assert_eq!(m.get("wal"), Some(&Json::Null), "no durability, no wal gauges");
+    assert_eq!(
+        m.get("updates").and_then(|u| u.get("journal_errors")).and_then(Json::as_f64),
+        Some(0.0)
+    );
+    handle.shutdown();
+}
+
 #[test]
 fn read_only_endpoint_rejects_updates() {
     let snap = base_store();
