@@ -242,6 +242,10 @@ fn cmd_query(args: &[String], par: Parallelism) -> Result<(), String> {
         report.join_space,
         report.threads
     );
+    if let Some(verdict) = report.ask {
+        println!("{verdict}");
+        return Ok(());
+    }
     let parsed = uo_sparql::parse(&text).map_err(|e| e.to_string())?;
     print_results(&report.results, &parsed.projection(), args);
     Ok(())

@@ -12,9 +12,10 @@
 //! baseline (`bench`'s ablations use it); it shares the algebra with the
 //! real evaluator, so it also serves as a semantics oracle in tests.
 
-use crate::betree::{BeNode, BeTree, GroupNode};
+use crate::betree::{BeNode, BeTree, EvalCtx, GroupNode};
 use uo_engine::binary::scan_pattern;
 use uo_engine::CandidateSet;
+use uo_rdf::{Id, NO_ID};
 use uo_sparql::algebra::Bag;
 use uo_store::Snapshot;
 
@@ -36,8 +37,22 @@ pub fn evaluate_binary_tree(
     store: &Snapshot,
     width: usize,
 ) -> (Bag, BinaryTreeStats) {
+    let ctx = EvalCtx::new(store.dictionary());
+    evaluate_binary_tree_ctx(tree, store, width, &ctx)
+}
+
+/// [`evaluate_binary_tree`] against a caller-supplied [`EvalCtx`]. Sharing
+/// one context with another evaluator makes their result bags directly
+/// comparable even when BIND/VALUES mint synthetic ids (equal terms get
+/// equal ids across both runs).
+pub fn evaluate_binary_tree_ctx(
+    tree: &BeTree,
+    store: &Snapshot,
+    width: usize,
+    ctx: &EvalCtx,
+) -> (Bag, BinaryTreeStats) {
     let mut stats = BinaryTreeStats::default();
-    let bag = eval_group(&tree.root, store, width, &mut stats);
+    let bag = eval_group(&tree.root, store, width, &mut stats, ctx);
     (bag, stats)
 }
 
@@ -45,7 +60,13 @@ fn track(stats: &mut BinaryTreeStats, bag: &Bag) {
     stats.peak_intermediate = stats.peak_intermediate.max(bag.len());
 }
 
-fn eval_group(g: &GroupNode, store: &Snapshot, width: usize, stats: &mut BinaryTreeStats) -> Bag {
+fn eval_group(
+    g: &GroupNode,
+    store: &Snapshot,
+    width: usize,
+    stats: &mut BinaryTreeStats,
+    ctx: &EvalCtx,
+) -> Bag {
     let mut r = Bag::unit(width);
     for child in &g.children {
         match child {
@@ -62,27 +83,61 @@ fn eval_group(g: &GroupNode, store: &Snapshot, width: usize, stats: &mut BinaryT
                 }
             }
             BeNode::Group(gg) => {
-                let inner = eval_group(gg, store, width, stats);
+                let inner = eval_group(gg, store, width, stats, ctx);
                 r = r.join(&inner);
                 track(stats, &r);
             }
             BeNode::Union(branches) => {
                 let mut u = Bag::empty(width);
                 for b in branches {
-                    u = u.union_bag(eval_group(b, store, width, stats));
+                    u = u.union_bag(eval_group(b, store, width, stats, ctx));
                 }
                 track(stats, &u);
                 r = r.join(&u);
                 track(stats, &r);
             }
             BeNode::Optional(gg) => {
-                let inner = eval_group(gg, store, width, stats);
+                let inner = eval_group(gg, store, width, stats, ctx);
                 r = r.left_join(&inner);
                 track(stats, &r);
             }
             BeNode::Minus(gg) => {
-                let inner = eval_group(gg, store, width, stats);
+                let inner = eval_group(gg, store, width, stats, ctx);
                 r = r.minus(&inner);
+                track(stats, &r);
+            }
+            BeNode::Bind(expr, v) => {
+                let vi = *v as usize;
+                for row in &mut r.rows {
+                    if row[vi] != NO_ID {
+                        continue;
+                    }
+                    if let Ok(t) = expr.eval_term(row, ctx) {
+                        row[vi] = ctx.intern(&t);
+                    }
+                }
+                r.maybe |= 1u64 << *v;
+                if !r.rows.is_empty() && r.rows.iter().all(|row| row[vi] != NO_ID) {
+                    r.certain |= 1u64 << *v;
+                }
+            }
+            BeNode::Values(vals) => {
+                let rows: Vec<Box<[Id]>> = vals
+                    .rows
+                    .iter()
+                    .map(|vrow| {
+                        let mut row = vec![NO_ID; width].into_boxed_slice();
+                        for (i, cell) in vrow.iter().enumerate() {
+                            if let Some(t) = cell {
+                                row[vals.vars[i] as usize] = ctx.intern(t);
+                            }
+                        }
+                        row
+                    })
+                    .collect();
+                let rel = Bag::from_rows(width, rows);
+                track(stats, &rel);
+                r = r.join(&rel);
                 track(stats, &r);
             }
             BeNode::Filter(_) => {}
@@ -90,8 +145,7 @@ fn eval_group(g: &GroupNode, store: &Snapshot, width: usize, stats: &mut BinaryT
     }
     for child in &g.children {
         if let BeNode::Filter(expr) = child {
-            let dict = store.dictionary();
-            r.rows.retain(|row| expr.eval(row, dict));
+            r.rows.retain(|row| expr.eval_ebv(row, ctx).unwrap_or(false));
             if r.rows.is_empty() {
                 r.certain = 0;
             }

@@ -88,6 +88,9 @@ impl<'a> CostModel<'a> {
             // bound it by 1 (no growth).
             BeNode::Minus(_) => 1.0,
             BeNode::Filter(_) => 1.0,
+            // BIND extends rows without multiplying them.
+            BeNode::Bind(..) => 1.0,
+            BeNode::Values(vals) => vals.rows.len().max(1) as f64,
         }
     }
 
@@ -122,7 +125,11 @@ impl<'a> CostModel<'a> {
                     total += left_prod(&res, i) * self.res_of_group(og);
                     total += self.inner_bgp_terms(og);
                 }
-                BeNode::Group(_) | BeNode::Minus(_) | BeNode::Filter(_) => {}
+                BeNode::Group(_)
+                | BeNode::Minus(_)
+                | BeNode::Filter(_)
+                | BeNode::Bind(..)
+                | BeNode::Values(_) => {}
             }
         }
         total
@@ -159,7 +166,7 @@ impl<'a> CostModel<'a> {
                         self.annotate_cardinalities(b);
                     }
                 }
-                BeNode::Filter(_) => {}
+                BeNode::Filter(_) | BeNode::Bind(..) | BeNode::Values(_) => {}
             }
         }
     }
@@ -314,7 +321,7 @@ mod tests {
                     BeNode::Bgp(b) => assert!(b.est_cardinality.is_some()),
                     BeNode::Group(g) | BeNode::Optional(g) | BeNode::Minus(g) => check(g),
                     BeNode::Union(bs) => bs.iter().for_each(check),
-                    BeNode::Filter(_) => {}
+                    BeNode::Filter(_) | BeNode::Bind(..) | BeNode::Values(_) => {}
                 }
             }
         }

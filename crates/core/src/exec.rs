@@ -21,13 +21,13 @@
 //! the target BGP's result size (the adaptive `full` strategy), falling back
 //! to the fixed bound when no estimate is cached.
 
-use crate::betree::{BeNode, BeTree, GroupNode};
+use crate::betree::{BeNode, BeTree, EvalCtx, GroupNode};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use uo_engine::{BgpEngine, CandidateSet};
 use uo_par::Parallelism;
-use uo_rdf::{FxHashMap, Id};
+use uo_rdf::{FxHashMap, Id, NO_ID};
 use uo_sparql::algebra::{Bag, VarId};
 use uo_store::Snapshot;
 
@@ -310,6 +310,25 @@ pub fn try_evaluate_with(
     par: Parallelism,
     cancel: &Cancellation,
 ) -> Result<(Bag, ExecStats), Cancelled> {
+    let ctx = EvalCtx::new(store.dictionary());
+    try_evaluate_with_ctx(tree, store, engine, width, pruning, par, cancel, &ctx)
+}
+
+/// [`try_evaluate_with`] against a caller-supplied [`EvalCtx`]. Required
+/// whenever the caller must decode the result bag afterwards: BIND, VALUES
+/// and aggregate outputs may mint synthetic ids that only this context can
+/// resolve back to terms.
+#[allow(clippy::too_many_arguments)]
+pub fn try_evaluate_with_ctx(
+    tree: &BeTree,
+    store: &Snapshot,
+    engine: &dyn BgpEngine,
+    width: usize,
+    pruning: Pruning,
+    par: Parallelism,
+    cancel: &Cancellation,
+    ctx: &EvalCtx,
+) -> Result<(Bag, ExecStats), Cancelled> {
     let mut stats = ExecStats::default();
     let (bag, js) = eval_group(
         &tree.root,
@@ -321,9 +340,23 @@ pub fn try_evaluate_with(
         &mut stats,
         par,
         cancel,
+        ctx,
     )?;
     stats.join_space = js;
     Ok((bag, stats))
+}
+
+/// True if the subtree contains a BIND or VALUES node, i.e. evaluation may
+/// intern synthetic terms. Such subtrees are evaluated sequentially inside
+/// UNION fan-outs so synthetic id assignment stays in branch order and the
+/// result bag is bit-identical at any worker count.
+fn group_interns_terms(g: &GroupNode) -> bool {
+    g.children.iter().any(|c| match c {
+        BeNode::Bind(..) | BeNode::Values(_) => true,
+        BeNode::Group(gg) | BeNode::Optional(gg) | BeNode::Minus(gg) => group_interns_terms(gg),
+        BeNode::Union(bs) => bs.iter().any(group_interns_terms),
+        BeNode::Bgp(_) | BeNode::Filter(_) => false,
+    })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -337,6 +370,7 @@ fn eval_group(
     stats: &mut ExecStats,
     par: Parallelism,
     cancel: &Cancellation,
+    ctx: &EvalCtx,
 ) -> Result<(Bag, f64), Cancelled> {
     let mut r = Bag::unit(width);
     let mut js = 1.0f64;
@@ -370,7 +404,7 @@ fn eval_group(
                     CandSource::default()
                 };
                 let (bag, j) =
-                    eval_group(gg, store, engine, width, pruning, &down, stats, par, cancel)?;
+                    eval_group(gg, store, engine, width, pruning, &down, stats, par, cancel, ctx)?;
                 js *= j;
                 r = r.join(&bag);
             }
@@ -390,16 +424,25 @@ fn eval_group(
                 // oversubscription does). A cancelled branch surfaces after
                 // the fan-in: sibling branches finish their current BGP and
                 // stop at their own next boundary.
-                let inner = Parallelism::new(par.threads().div_ceil(branches.len().max(1)));
+                // Branches that intern synthetic terms (BIND/VALUES inside)
+                // are evaluated sequentially so the shared context assigns
+                // ids in branch order — keeping the result bag bit-identical
+                // at any worker count.
+                let fan_out = if branches.iter().any(group_interns_terms) {
+                    Parallelism::sequential()
+                } else {
+                    par
+                };
+                let inner = Parallelism::new(fan_out.threads().div_ceil(branches.len().max(1)));
                 let evals: Vec<Result<(Bag, f64, ExecStats), Cancelled>> =
-                    uo_par::map_chunks(par, branches, |chunk| {
+                    uo_par::map_chunks(fan_out, branches, |chunk| {
                         chunk
                             .iter()
                             .map(|b| {
                                 let mut local = ExecStats::default();
                                 let (bag, j) = eval_group(
                                     b, store, engine, width, pruning, &down, &mut local, inner,
-                                    cancel,
+                                    cancel, ctx,
                                 )?;
                                 Ok((bag, j, local))
                             })
@@ -445,7 +488,7 @@ fn eval_group(
                     CandSource::default()
                 };
                 let (bag, j) =
-                    eval_group(gg, store, engine, width, pruning, &down, stats, par, cancel)?;
+                    eval_group(gg, store, engine, width, pruning, &down, stats, par, cancel, ctx)?;
                 js *= j;
                 r = r.left_join(&bag);
             }
@@ -464,18 +507,55 @@ fn eval_group(
                     stats,
                     par,
                     cancel,
+                    ctx,
                 )?;
                 js *= j.max(1.0);
                 r = r.minus(&bag);
             }
+            BeNode::Bind(expr, v) => {
+                // BIND extends each solution of the preceding siblings with
+                // the expression value; an expression error leaves the
+                // target unbound (SPARQL 1.1 §10.1).
+                let vi = *v as usize;
+                for row in &mut r.rows {
+                    if row[vi] != NO_ID {
+                        continue;
+                    }
+                    if let Ok(t) = expr.eval_term(row, ctx) {
+                        row[vi] = ctx.intern(&t);
+                    }
+                }
+                r.maybe |= 1u64 << *v;
+                if !r.rows.is_empty() && r.rows.iter().all(|row| row[vi] != NO_ID) {
+                    r.certain |= 1u64 << *v;
+                }
+            }
+            BeNode::Values(vals) => {
+                let rows: Vec<Box<[Id]>> = vals
+                    .rows
+                    .iter()
+                    .map(|vrow| {
+                        let mut row = vec![NO_ID; width].into_boxed_slice();
+                        for (i, cell) in vrow.iter().enumerate() {
+                            if let Some(t) = cell {
+                                row[vals.vars[i] as usize] = ctx.intern(t);
+                            }
+                        }
+                        row
+                    })
+                    .collect();
+                let bag = Bag::from_rows(width, rows);
+                js *= (bag.len() as f64).max(1.0);
+                r = r.join(&bag);
+            }
             BeNode::Filter(_) => {}
         }
     }
-    // FILTERs scope over the whole group (applied once at the end).
+    // FILTERs scope over the whole group (applied once at the end). An
+    // expression error drops the row, per SPARQL.
     for child in &g.children {
         if let BeNode::Filter(expr) = child {
-            let dict = store.dictionary();
-            r.rows.retain(|row| expr.eval(row, dict));
+            r.rows.retain(|row| expr.eval_ebv(row, ctx).unwrap_or(false));
             if r.rows.is_empty() {
                 r.certain = 0;
             }

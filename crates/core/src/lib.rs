@@ -57,14 +57,15 @@ pub mod transform;
 pub mod update;
 pub mod wdpt;
 
-pub use betree::{explain, BeNode, BeTree, BgpNode, GroupNode};
-pub use binarytree::{evaluate_binary_tree, BinaryTreeStats};
+pub use betree::{explain, BeNode, BeTree, BgpNode, EvalCtx, ExprError, GroupNode};
+pub use binarytree::{evaluate_binary_tree, evaluate_binary_tree_ctx, BinaryTreeStats};
 pub use cost::CostModel;
 pub use durable::{
     open_durable, replay_update, run_update_durable, try_run_update_durable, DurableUpdateError,
 };
 pub use exec::{
-    evaluate, evaluate_with, try_evaluate_with, Cancellation, Cancelled, ExecStats, Pruning,
+    evaluate, evaluate_with, try_evaluate_with, try_evaluate_with_ctx, Cancellation, Cancelled,
+    ExecStats, Pruning,
 };
 pub use metrics::{count_bgp, query_type, QueryCounters, QueryCountersSnapshot, QueryType};
 pub use optimizer::{multi_level_transform, OptimizerConfig, TransformOutcome};
@@ -72,12 +73,16 @@ pub use uo_par::Parallelism;
 pub use update::{run_update, try_run_update, UpdateReport};
 pub use wdpt::{check_well_designed, is_well_designed};
 
+use crate::betree::EncodedExpr;
 use std::time::{Duration, Instant};
 use uo_engine::BgpEngine;
-use uo_rdf::Term;
+use uo_rdf::{Id, Term, NO_ID};
 use uo_sparql::algebra::{Bag, VarId, VarTable};
-use uo_sparql::ast::Query;
+use uo_sparql::ast::{AggFunc, Query};
 use uo_store::Snapshot;
+
+const XSD_INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+const XSD_DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
 
 /// The four evaluation strategies compared in Section 7.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,6 +133,36 @@ pub struct Prepared {
     pub tree: BeTree,
     /// Projected variables (resolved from the SELECT clause).
     pub projection: Vec<VarId>,
+    /// Grouped-query plan (`GROUP BY` / aggregates / `HAVING`), if any.
+    pub aggregation: Option<EncodedAggregation>,
+}
+
+/// A grouped-query plan: `GROUP BY` keys, aggregate computations and the
+/// `HAVING` constraint, resolved against the query's variable frame. Runs
+/// as a post-pass over the solution bag of either join engine, so grouped
+/// results inherit the evaluator's bit-identical parallel determinism.
+#[derive(Debug, Clone)]
+pub struct EncodedAggregation {
+    /// Grouping variables, in clause order.
+    pub group_by: Vec<VarId>,
+    /// Aggregate computations, in SELECT-clause order.
+    pub aggs: Vec<EncodedAggregate>,
+    /// The `HAVING` constraint, evaluated over each grouped row (group
+    /// variables plus aggregate aliases are in scope).
+    pub having: Option<EncodedExpr>,
+}
+
+/// One aggregate computation: `(FUNC([DISTINCT] expr|*) AS ?alias)`.
+#[derive(Debug, Clone)]
+pub struct EncodedAggregate {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Whether `DISTINCT` was specified inside the call.
+    pub distinct: bool,
+    /// The argument expression; `None` encodes `COUNT(*)`.
+    pub arg: Option<EncodedExpr>,
+    /// The output (alias) variable slot.
+    pub out: VarId,
 }
 
 /// Parses a query and constructs its BE-tree against `store`'s dictionary.
@@ -140,8 +175,25 @@ pub fn prepare(store: &Snapshot, text: &str) -> Result<Prepared, uo_sparql::Pars
 pub fn prepare_parsed(store: &Snapshot, query: Query) -> Prepared {
     let mut vars = VarTable::new();
     let tree = BeTree::build(&query, &mut vars, store.dictionary());
+    let aggregation = if query.is_aggregated() || query.having.is_some() {
+        let group_by = query.group_by.iter().map(|name| vars.intern(name)).collect();
+        let aggs = query
+            .aggregates
+            .iter()
+            .map(|a| EncodedAggregate {
+                func: a.func,
+                distinct: a.distinct,
+                arg: a.arg.as_ref().map(|e| betree::encode_expr(e, &mut vars)),
+                out: vars.intern(&a.alias),
+            })
+            .collect();
+        let having = query.having.as_ref().map(|e| betree::encode_expr(e, &mut vars));
+        Some(EncodedAggregation { group_by, aggs, having })
+    } else {
+        None
+    };
     let projection = query.projection().iter().map(|name| vars.intern(name)).collect();
-    Prepared { query, vars, tree, projection }
+    Prepared { query, vars, tree, projection, aggregation }
 }
 
 /// The outcome of running one query under one strategy.
@@ -169,6 +221,8 @@ pub struct RunReport {
     /// Effective worker count: the larger of the evaluator policy and the
     /// engine's own configured workers (`1` = fully sequential).
     pub threads: usize,
+    /// The `ASK` verdict: `Some(_)` for ASK queries, `None` for SELECT.
+    pub ask: Option<bool>,
 }
 
 /// Parses, optimizes (per `strategy`) and executes a query.
@@ -284,7 +338,8 @@ pub fn try_execute_prepared(
     };
 
     let t1 = Instant::now();
-    let (mut bag, exec_stats) = try_evaluate_with(
+    let ctx = EvalCtx::new(store.dictionary());
+    let (mut bag, exec_stats) = try_evaluate_with_ctx(
         &prepared.tree,
         store,
         engine,
@@ -292,14 +347,22 @@ pub fn try_execute_prepared(
         pruning,
         par,
         cancel,
+        &ctx,
     )?;
+    if let Some(agg) = &prepared.aggregation {
+        bag = apply_aggregation(&bag, agg, &ctx, prepared.vars.len());
+    }
     let exec_time = t1.elapsed();
 
+    // ASK is true iff the pattern has at least one solution; modifiers
+    // below don't apply (the grammar forbids them on ASK).
+    let ask = prepared.query.ask.then(|| !bag.is_empty());
+
     if !prepared.query.order_by.is_empty() {
-        sort_solutions(&mut bag, &prepared.query.order_by, &prepared.vars, store);
+        sort_solutions(&mut bag, &prepared.query.order_by, &prepared.vars, &ctx);
     }
 
-    let mut results = decode_projection(&bag, &prepared.projection, store);
+    let mut results = decode_projection_ctx(&bag, &prepared.projection, &ctx);
     if prepared.query.distinct {
         // SELECT DISTINCT: set semantics over the projected rows.
         results.sort();
@@ -325,35 +388,164 @@ pub fn try_execute_prepared(
         plan,
         bag,
         threads: par.threads().max(engine.threads()),
+        ask,
     })
 }
 
+/// Applies grouped-query semantics as a post-pass over the solution bag:
+/// hash-group on the `GROUP BY` key, compute each aggregate per group, then
+/// filter the grouped rows through `HAVING`. Group output order is the
+/// first-occurrence order of each key, which is deterministic because the
+/// evaluator's bags are bit-identical at any worker count.
+fn apply_aggregation(bag: &Bag, agg: &EncodedAggregation, ctx: &EvalCtx, width: usize) -> Bag {
+    use std::collections::hash_map::Entry;
+    use std::collections::HashMap;
+    let mut order: Vec<Vec<Id>> = Vec::new();
+    let mut groups: HashMap<Vec<Id>, Vec<usize>> = HashMap::new();
+    for (ri, row) in bag.rows.iter().enumerate() {
+        let key: Vec<Id> = agg.group_by.iter().map(|&v| row[v as usize]).collect();
+        match groups.entry(key) {
+            Entry::Occupied(mut e) => e.get_mut().push(ri),
+            Entry::Vacant(e) => {
+                order.push(e.key().clone());
+                e.insert(vec![ri]);
+            }
+        }
+    }
+    if order.is_empty() && agg.group_by.is_empty() {
+        // Aggregation without GROUP BY always has exactly one group, even
+        // over an empty input: COUNT(*) = 0, SUM = 0, MIN/MAX unbound.
+        order.push(Vec::new());
+        groups.insert(Vec::new(), Vec::new());
+    }
+    let mut rows = Vec::with_capacity(order.len());
+    for key in &order {
+        let members = &groups[key];
+        let mut out = vec![NO_ID; width].into_boxed_slice();
+        for (i, &v) in agg.group_by.iter().enumerate() {
+            out[v as usize] = key[i];
+        }
+        for a in &agg.aggs {
+            if let Some(t) = eval_aggregate(a, members, bag, ctx) {
+                out[a.out as usize] = ctx.intern(&t);
+            }
+        }
+        rows.push(out);
+    }
+    let mut grouped = Bag::from_rows(width, rows);
+    if let Some(h) = &agg.having {
+        grouped.rows.retain(|row| h.eval_ebv(row, ctx).unwrap_or(false));
+        if grouped.rows.is_empty() {
+            grouped.certain = 0;
+        }
+    }
+    grouped
+}
+
+/// Computes one aggregate over a group. `None` means the aggregate errored
+/// (e.g. SUM over a non-numeric element, MIN of an empty group) and its
+/// alias stays unbound in the grouped row.
+fn eval_aggregate(
+    a: &EncodedAggregate,
+    members: &[usize],
+    bag: &Bag,
+    ctx: &EvalCtx,
+) -> Option<Term> {
+    let int_term = |n: i64| Term::typed_literal(n.to_string(), XSD_INTEGER);
+    let Some(arg) = &a.arg else {
+        // COUNT(*): the cardinality of the group; DISTINCT dedupes whole
+        // solution rows.
+        let n = if a.distinct {
+            let mut seen: std::collections::HashSet<&[Id]> = std::collections::HashSet::new();
+            members.iter().filter(|&&ri| seen.insert(&bag.rows[ri])).count()
+        } else {
+            members.len()
+        };
+        return Some(int_term(n as i64));
+    };
+    // Rows where the argument errors (e.g. an unbound variable) contribute
+    // nothing, per the spec's error handling inside aggregates.
+    let mut terms: Vec<Term> = Vec::with_capacity(members.len());
+    for &ri in members {
+        if let Ok(t) = arg.eval_term(&bag.rows[ri], ctx) {
+            terms.push(t);
+        }
+    }
+    if a.distinct {
+        let mut seen = std::collections::HashSet::new();
+        terms.retain(|t| seen.insert(t.clone()));
+    }
+    match a.func {
+        AggFunc::Count => Some(int_term(terms.len() as i64)),
+        AggFunc::Sum | AggFunc::Avg => {
+            let mut sum = 0.0;
+            let mut all_int = true;
+            for t in &terms {
+                sum += t.numeric_value()?; // non-numeric element → error → unbound
+                all_int &= betree::is_integer_term(t);
+            }
+            if a.func == AggFunc::Sum {
+                Some(betree::numeric_term(sum, all_int))
+            } else if terms.is_empty() {
+                Some(Term::typed_literal("0", XSD_DECIMAL))
+            } else {
+                Some(betree::numeric_term(sum / terms.len() as f64, false))
+            }
+        }
+        AggFunc::Min => terms.into_iter().min_by(cmp_terms),
+        AggFunc::Max => terms.into_iter().max_by(cmp_terms),
+    }
+}
+
+/// The ORDER BY / MIN / MAX sort key of a bound term, following the SPARQL
+/// operator-mapping order: blank nodes < IRIs < literals, with numeric
+/// literals compared by value (and ordered before non-numeric ones), and
+/// non-numeric literals compared by (lexical form, language tag, datatype).
+/// Equal-valued numerics of different lexical forms tie-break on the full
+/// term rendering so the order is total and deterministic.
+fn term_order_key(t: &Term) -> (u8, f64, String) {
+    match t {
+        Term::Blank(_) => (1, 0.0, t.to_string()),
+        Term::Iri(_) => (2, 0.0, t.to_string()),
+        Term::Literal { lexical, lang, datatype } => match t.numeric_value() {
+            Some(n) => (3, n, t.to_string()),
+            None => {
+                let lang = lang.as_deref().unwrap_or("");
+                let datatype = datatype.as_deref().unwrap_or("");
+                (4, 0.0, format!("{lexical}\u{0}{lang}\u{0}{datatype}"))
+            }
+        },
+    }
+}
+
+fn cmp_keys(ka: &(u8, f64, String), kb: &(u8, f64, String)) -> std::cmp::Ordering {
+    ka.0.cmp(&kb.0)
+        .then_with(|| ka.1.partial_cmp(&kb.1).unwrap_or(std::cmp::Ordering::Equal))
+        .then_with(|| ka.2.cmp(&kb.2))
+}
+
+fn cmp_terms(a: &Term, b: &Term) -> std::cmp::Ordering {
+    cmp_keys(&term_order_key(a), &term_order_key(b))
+}
+
 /// Sorts a solution bag by ORDER BY keys. Unbound sorts first (SPARQL's
-/// ordering), then blank nodes, IRIs and literals; numeric literals compare
-/// by value, everything else by display form.
-fn sort_solutions(bag: &mut Bag, order_by: &[(String, bool)], vars: &VarTable, store: &Snapshot) {
+/// ordering), then blank nodes, IRIs and literals per [`term_order_key`].
+/// Decoding goes through the [`EvalCtx`] so BIND/VALUES/aggregate outputs
+/// (synthetic ids) sort by their term value like everything else.
+fn sort_solutions(bag: &mut Bag, order_by: &[(String, bool)], vars: &VarTable, ctx: &EvalCtx) {
     let keys: Vec<(VarId, bool)> =
         order_by.iter().filter_map(|(name, desc)| vars.get(name).map(|v| (v, *desc))).collect();
-    let dict = store.dictionary();
-    let sort_key = |id: uo_rdf::Id| -> (u8, f64, String) {
-        match dict.decode(id) {
+    let sort_key = |id: Id| -> (u8, f64, String) {
+        match ctx.decode(id) {
             None => (0, 0.0, String::new()),
-            Some(t @ Term::Blank(_)) => (1, 0.0, t.to_string()),
-            Some(t @ Term::Iri(_)) => (2, 0.0, t.to_string()),
-            Some(t @ Term::Literal { .. }) => match t.numeric_value() {
-                Some(n) => (3, n, String::new()),
-                None => (4, 0.0, t.to_string()),
-            },
+            Some(t) => term_order_key(&t),
         }
     };
     bag.rows.sort_by(|a, b| {
         for &(v, desc) in &keys {
             let ka = sort_key(a[v as usize]);
             let kb = sort_key(b[v as usize]);
-            let ord =
-                ka.0.cmp(&kb.0)
-                    .then_with(|| ka.1.partial_cmp(&kb.1).unwrap_or(std::cmp::Ordering::Equal))
-                    .then_with(|| ka.2.cmp(&kb.2));
+            let ord = cmp_keys(&ka, &kb);
             let ord = if desc { ord.reverse() } else { ord };
             if ord != std::cmp::Ordering::Equal {
                 return ord;
@@ -369,14 +561,19 @@ pub fn decode_projection(
     projection: &[VarId],
     store: &Snapshot,
 ) -> Vec<Vec<Option<Term>>> {
+    decode_projection_ctx(bag, projection, &EvalCtx::new(store.dictionary()))
+}
+
+/// [`decode_projection`] through an [`EvalCtx`], which additionally resolves
+/// the synthetic ids minted by BIND / VALUES / aggregates.
+pub fn decode_projection_ctx(
+    bag: &Bag,
+    projection: &[VarId],
+    ctx: &EvalCtx,
+) -> Vec<Vec<Option<Term>>> {
     bag.rows
         .iter()
-        .map(|row| {
-            projection
-                .iter()
-                .map(|&v| store.dictionary().decode(row[v as usize]).cloned())
-                .collect()
-        })
+        .map(|row| projection.iter().map(|&v| ctx.decode(row[v as usize])).collect())
         .collect()
 }
 
@@ -633,6 +830,128 @@ mod tests {
         let st = store();
         let wco = WcoEngine::new();
         assert!(run_query(&st, &wco, "SELECT WHERE {", Strategy::Base).is_err());
+    }
+
+    #[test]
+    fn group_by_count_and_having() {
+        let mut st = TripleStore::new();
+        for (person, city) in [
+            ("a", "rome"),
+            ("b", "rome"),
+            ("c", "rome"),
+            ("d", "oslo"),
+            ("e", "oslo"),
+            ("f", "lima"),
+        ] {
+            st.insert_terms(
+                &Term::iri(format!("http://{person}")),
+                &Term::iri("http://in"),
+                &Term::iri(format!("http://{city}")),
+            );
+        }
+        st.build();
+        let wco = WcoEngine::new();
+        let r = run_query(
+            &st,
+            &wco,
+            "SELECT ?c (COUNT(?x) AS ?n) WHERE { ?x <http://in> ?c }
+             GROUP BY ?c HAVING(?n >= 2) ORDER BY DESC(?n)",
+            Strategy::Base,
+        )
+        .unwrap();
+        assert_eq!(r.results.len(), 2, "lima's group of 1 fails HAVING");
+        assert_eq!(r.results[0][0].as_ref().unwrap(), &Term::iri("http://rome"));
+        assert_eq!(
+            r.results[0][1].as_ref().unwrap(),
+            &Term::typed_literal("3", "http://www.w3.org/2001/XMLSchema#integer")
+        );
+    }
+
+    #[test]
+    fn aggregates_without_group_by_collapse_to_one_row() {
+        let mut st = TripleStore::new();
+        for (name, age) in [("carol", 35), ("alice", 42), ("bob", 7)] {
+            st.insert_terms(
+                &Term::iri(format!("http://{name}")),
+                &Term::iri("http://age"),
+                &Term::typed_literal(age.to_string(), "http://www.w3.org/2001/XMLSchema#integer"),
+            );
+        }
+        st.build();
+        let wco = WcoEngine::new();
+        let r = run_query(
+            &st,
+            &wco,
+            "SELECT (SUM(?a) AS ?s) (AVG(?a) AS ?m) (MIN(?a) AS ?lo) (MAX(?a) AS ?hi)
+             WHERE { ?x <http://age> ?a }",
+            Strategy::Base,
+        )
+        .unwrap();
+        assert_eq!(r.results.len(), 1);
+        let lex = |i: usize| r.results[0][i].as_ref().unwrap().as_literal().unwrap().to_string();
+        assert_eq!(lex(0), "84");
+        assert_eq!(lex(1), "28");
+        assert_eq!(lex(2), "7");
+        assert_eq!(lex(3), "42");
+        // COUNT over an empty pattern still yields one row with 0.
+        let empty = run_query(
+            &st,
+            &wco,
+            "SELECT (COUNT(*) AS ?n) WHERE { ?x <http://missing> ?a }",
+            Strategy::Base,
+        )
+        .unwrap();
+        assert_eq!(empty.results.len(), 1);
+        assert_eq!(empty.results[0][0].as_ref().unwrap().as_literal().unwrap().to_string(), "0");
+    }
+
+    #[test]
+    fn bind_and_values_flow_through_projection() {
+        let mut st = TripleStore::new();
+        for (name, age) in [("carol", 35), ("alice", 42)] {
+            st.insert_terms(
+                &Term::iri(format!("http://{name}")),
+                &Term::iri("http://age"),
+                &Term::typed_literal(age.to_string(), "http://www.w3.org/2001/XMLSchema#integer"),
+            );
+        }
+        st.build();
+        let wco = WcoEngine::new();
+        let r = run_query(
+            &st,
+            &wco,
+            "SELECT ?x ?next WHERE { ?x <http://age> ?a BIND(?a + 1 AS ?next) } ORDER BY ?next",
+            Strategy::Base,
+        )
+        .unwrap();
+        assert_eq!(r.results.len(), 2);
+        assert_eq!(
+            r.results[0][1].as_ref().unwrap().as_literal().unwrap().to_string(),
+            "36",
+            "synthetic BIND output decodes through the context"
+        );
+        let v = run_query(
+            &st,
+            &wco,
+            "SELECT ?x WHERE { VALUES ?x { <http://carol> <http://nobody> } ?x <http://age> ?a }",
+            Strategy::Base,
+        )
+        .unwrap();
+        assert_eq!(v.results.len(), 1);
+        assert_eq!(v.results[0][0].as_ref().unwrap(), &Term::iri("http://carol"));
+    }
+
+    #[test]
+    fn ask_reports_verdict() {
+        let st = store();
+        let wco = WcoEngine::new();
+        let yes = run_query(&st, &wco, "ASK { ?x <http://link> <http://POTUS> }", Strategy::Base)
+            .unwrap();
+        assert_eq!(yes.ask, Some(true));
+        let no = run_query(&st, &wco, "ASK { ?x <http://absent> ?y }", Strategy::Full).unwrap();
+        assert_eq!(no.ask, Some(false));
+        let select = run_query(&st, &wco, Q, Strategy::Base).unwrap();
+        assert_eq!(select.ask, None);
     }
 
     #[test]

@@ -63,7 +63,10 @@ pub fn query_type(g: &GroupPattern) -> QueryType {
                     walk(inner, has_u, has_o);
                 }
                 Element::Group(inner) | Element::Minus(inner) => walk(inner, has_u, has_o),
-                Element::Triple(_) | Element::Filter(_) => {}
+                Element::Triple(_)
+                | Element::Filter(_)
+                | Element::Bind(..)
+                | Element::Values(..) => {}
             }
         }
     }
@@ -113,7 +116,8 @@ pub fn estimated_join_space(tree: &BeTree, cm: &crate::cost::CostModel<'_>) -> f
                 BeNode::Bgp(b) => cm.bgp_cardinality(&b.bgp),
                 BeNode::Group(gg) | BeNode::Optional(gg) => walk(gg, cm),
                 BeNode::Union(bs) => bs.iter().map(|b| walk(b, cm)).sum(),
-                BeNode::Minus(_) | BeNode::Filter(_) => 1.0,
+                BeNode::Minus(_) | BeNode::Filter(_) | BeNode::Bind(..) => 1.0,
+                BeNode::Values(vals) => vals.rows.len().max(1) as f64,
             };
         }
         js

@@ -93,7 +93,7 @@ fn post_order(
                     post_order(b, cm, cfg, out);
                 }
             }
-            BeNode::Bgp(_) | BeNode::Filter(_) => {}
+            BeNode::Bgp(_) | BeNode::Filter(_) | BeNode::Bind(..) | BeNode::Values(_) => {}
         }
     }
     single_level_transform(g, cm, cfg, out);

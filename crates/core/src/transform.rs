@@ -47,22 +47,34 @@ pub fn can_merge(g: &GroupNode, p1_idx: usize, union_idx: usize) -> bool {
     // interleaved OPTIONALs.
     let (lo, hi) = (p1_idx.min(union_idx), p1_idx.max(union_idx));
     for k in lo + 1..hi {
-        if let BeNode::Optional(opt) = &g.children[k] {
-            let shared = opt.bgp_var_mask() & p1.var_mask();
-            let mut left = crate::betree::certain_mask_of(&g.children[..k]);
-            if p1_idx < k {
-                // Recompute the prefix mask without P1.
-                let without: Vec<_> = g.children[..k]
-                    .iter()
-                    .enumerate()
-                    .filter(|(idx, _)| *idx != p1_idx)
-                    .map(|(_, c)| c.clone())
-                    .collect();
-                left = crate::betree::certain_mask_of(&without);
+        match &g.children[k] {
+            BeNode::Optional(opt) => {
+                let shared = opt.bgp_var_mask() & p1.var_mask();
+                let mut left = crate::betree::certain_mask_of(&g.children[..k]);
+                if p1_idx < k {
+                    // Recompute the prefix mask without P1.
+                    let without: Vec<_> = g.children[..k]
+                        .iter()
+                        .enumerate()
+                        .filter(|(idx, _)| *idx != p1_idx)
+                        .map(|(_, c)| c.clone())
+                        .collect();
+                    left = crate::betree::certain_mask_of(&without);
+                }
+                if shared & !left != 0 {
+                    return false;
+                }
             }
-            if shared & !left != 0 {
+            // A BIND between P1 and the UNION is evaluated over the
+            // solutions of the siblings to its left; moving P1's join
+            // point across it changes the expression's input whenever
+            // they share variables. (VALUES is a plain join and commutes.)
+            BeNode::Bind(e, v)
+                if (e.var_mask() | uo_sparql::algebra::bit(*v)) & p1.var_mask() != 0 =>
+            {
                 return false;
             }
+            _ => {}
         }
     }
     true
@@ -406,6 +418,30 @@ mod guard_tests {
             branches[1].children
         );
         t.validate().unwrap();
+    }
+
+    #[test]
+    fn merge_blocked_across_dependent_bind() {
+        // The BIND reads ?y, which P1 binds: moving P1's join point across
+        // it would change the expression's input.
+        let t = tree(
+            "SELECT WHERE {
+               ?x <http://p> ?y .
+               BIND(?y AS ?z)
+               { ?y <http://r> ?n } UNION { ?x <http://s> ?n }
+             }",
+        );
+        assert!(!can_merge(&t.root, 0, 2), "P1 shares ?y with the BIND");
+        // A BIND over disjoint variables does not block the merge.
+        let t2 = tree(
+            "SELECT WHERE {
+               ?x <http://p> ?y .
+               ?a <http://q> ?b .
+               BIND(?b AS ?c)
+               { ?y <http://r> ?n } UNION { ?x <http://s> ?n }
+             }",
+        );
+        assert!(can_merge(&t2.root, 0, 3), "the BIND only reads ?b");
     }
 
     #[test]

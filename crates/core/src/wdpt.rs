@@ -123,6 +123,17 @@ fn walk(
                     bound.insert(v.to_string());
                 }
             }
+            Element::Bind(e, v) => {
+                for x in e.variables() {
+                    bound.insert(x.to_string());
+                }
+                bound.insert(v.clone());
+            }
+            Element::Values(vs, _) => {
+                for v in vs {
+                    bound.insert(v.clone());
+                }
+            }
         }
         path.pop();
     }
@@ -156,6 +167,12 @@ fn vars_outside(
             }
             Element::Union(bs) => bs.iter().flat_map(|b| b.all_variables()).collect(),
             Element::Filter(e) => e.variables().iter().map(|v| v.to_string()).collect(),
+            Element::Bind(e, v) => {
+                let mut vs: Vec<String> = e.variables().iter().map(|v| v.to_string()).collect();
+                vs.push(v.clone());
+                vs
+            }
+            Element::Values(vs, _) => vs.clone(),
         };
         for v in vars {
             if r_vars.contains(&v) {

@@ -165,9 +165,9 @@ impl LbrQuery {
                     // silently ignore it, so fail loudly in debug builds.
                     debug_assert!(false, "MINUS is not supported by the LBR baseline");
                 }
-                BeNode::Filter(_) => {
-                    // LBR predates our FILTER fragment; the paper's
-                    // comparison queries contain none.
+                BeNode::Filter(_) | BeNode::Bind(..) | BeNode::Values(_) => {
+                    // LBR predates our FILTER/BIND/VALUES fragment; the
+                    // paper's comparison queries contain none.
                 }
             }
         }

@@ -720,10 +720,13 @@ fn handle_sparql(state: &ServerState, stream: &mut TcpStream, head: &http::Head)
     };
     state.counters.record_ok(qtype, report.results.len());
 
-    let body = match format {
-        Format::Json => uo_sparql::results_json(&projection, &report.results),
-        Format::Tsv => uo_sparql::results_tsv(&projection, &report.results),
-        Format::Debug => debug_table(&projection, &report.results),
+    let body = match (report.ask, format) {
+        // ASK gets the boolean result document of the negotiated format.
+        (Some(b), Format::Json) => uo_sparql::ask_json(b),
+        (Some(b), Format::Tsv | Format::Debug) => uo_sparql::ask_text(b),
+        (None, Format::Json) => uo_sparql::results_json(&projection, &report.results),
+        (None, Format::Tsv) => uo_sparql::results_tsv(&projection, &report.results),
+        (None, Format::Debug) => debug_table(&projection, &report.results),
     };
     http::write_response(stream, 200, "OK", format.content_type(), &[], body.as_bytes())
 }

@@ -108,23 +108,97 @@ impl fmt::Display for TriplePattern {
     }
 }
 
-/// A FILTER expression (small fragment: enough to express the built-in
-/// conditions that Definition 6 allows alongside the UO operators).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// A numeric/boolean/string cast function (the XSD constructor functions of
+/// SPARQL 1.1 §17.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CastKind {
+    /// `xsd:integer(...)`.
+    Integer,
+    /// `xsd:decimal(...)`.
+    Decimal,
+    /// `xsd:double(...)`.
+    Double,
+    /// `xsd:boolean(...)`.
+    Boolean,
+    /// `xsd:string(...)`.
+    String,
+}
+
+impl CastKind {
+    /// The full XSD datatype IRI this cast constructs.
+    pub fn iri(&self) -> &'static str {
+        match self {
+            CastKind::Integer => "http://www.w3.org/2001/XMLSchema#integer",
+            CastKind::Decimal => "http://www.w3.org/2001/XMLSchema#decimal",
+            CastKind::Double => "http://www.w3.org/2001/XMLSchema#double",
+            CastKind::Boolean => "http://www.w3.org/2001/XMLSchema#boolean",
+            CastKind::String => "http://www.w3.org/2001/XMLSchema#string",
+        }
+    }
+
+    /// Resolves a datatype IRI to a cast kind.
+    pub fn from_iri(iri: &str) -> Option<CastKind> {
+        match iri {
+            "http://www.w3.org/2001/XMLSchema#integer" => Some(CastKind::Integer),
+            "http://www.w3.org/2001/XMLSchema#decimal" => Some(CastKind::Decimal),
+            "http://www.w3.org/2001/XMLSchema#double" => Some(CastKind::Double),
+            "http://www.w3.org/2001/XMLSchema#boolean" => Some(CastKind::Boolean),
+            "http://www.w3.org/2001/XMLSchema#string" => Some(CastKind::String),
+            _ => None,
+        }
+    }
+}
+
+/// A SPARQL expression (FILTER / BIND / HAVING operand grammar).
+///
+/// Expressions evaluate to RDF terms under SPARQL's error semantics: an
+/// operation over an unbound variable or ill-typed operand raises an
+/// expression *error*, which makes the enclosing FILTER reject the row and a
+/// BIND leave its target unbound (§17.2 of the SPARQL 1.1 spec).
+#[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
-    /// `?v = other` — both sides are pattern terms.
-    Eq(PatternTerm, PatternTerm),
-    /// `?v != other`.
-    Ne(PatternTerm, PatternTerm),
+    /// A leaf: a variable reference or a constant term.
+    Term(PatternTerm),
+    /// `a = b` (RDF term equality, with numeric value equality for typed
+    /// numeric literals).
+    Eq(Box<Expr>, Box<Expr>),
+    /// `a != b`.
+    Ne(Box<Expr>, Box<Expr>),
     /// `a < b` (numeric when both sides are numeric literals, else
     /// lexicographic on the term's string form).
-    Lt(PatternTerm, PatternTerm),
+    Lt(Box<Expr>, Box<Expr>),
     /// `a <= b`.
-    Le(PatternTerm, PatternTerm),
+    Le(Box<Expr>, Box<Expr>),
     /// `a > b`.
-    Gt(PatternTerm, PatternTerm),
+    Gt(Box<Expr>, Box<Expr>),
     /// `a >= b`.
-    Ge(PatternTerm, PatternTerm),
+    Ge(Box<Expr>, Box<Expr>),
+    /// `a + b` (numeric).
+    Add(Box<Expr>, Box<Expr>),
+    /// `a - b` (numeric).
+    Sub(Box<Expr>, Box<Expr>),
+    /// `a * b` (numeric).
+    Mul(Box<Expr>, Box<Expr>),
+    /// `a / b` (numeric; integer division yields `xsd:decimal` per §17.4).
+    Div(Box<Expr>, Box<Expr>),
+    /// `expr IN (e1, e2, ...)`; the flag marks `NOT IN`.
+    In(Box<Expr>, Vec<Expr>, bool),
+    /// `REGEX(text, pattern)` / `REGEX(text, pattern, flags)`.
+    Regex(Box<Expr>, Box<Expr>, Option<Box<Expr>>),
+    /// `STRSTARTS(a, b)`.
+    StrStarts(Box<Expr>, Box<Expr>),
+    /// `STRENDS(a, b)`.
+    StrEnds(Box<Expr>, Box<Expr>),
+    /// `CONTAINS(a, b)`.
+    Contains(Box<Expr>, Box<Expr>),
+    /// `STR(a)` — the lexical form (IRI string or literal lexical form).
+    Str(Box<Expr>),
+    /// `LANG(a)` — the language tag of a literal (empty string if none).
+    Lang(Box<Expr>),
+    /// `DATATYPE(a)` — the datatype IRI of a literal.
+    Datatype(Box<Expr>),
+    /// An XSD constructor cast, e.g. `xsd:integer(?x)`.
+    Cast(CastKind, Box<Expr>),
     /// `BOUND(?v)`.
     Bound(String),
     /// `isIRI(?v)`.
@@ -145,31 +219,50 @@ impl Expr {
     /// All variable names referenced by the expression.
     pub fn variables(&self) -> Vec<&str> {
         fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a str>) {
-            let mut push = |t: &'a PatternTerm| {
-                if let Some(v) = t.as_var() {
-                    if !out.contains(&v) {
-                        out.push(v);
+            match e {
+                Expr::Term(t) => {
+                    if let Some(v) = t.as_var() {
+                        if !out.contains(&v) {
+                            out.push(v);
+                        }
                     }
                 }
-            };
-            match e {
                 Expr::Eq(a, b)
                 | Expr::Ne(a, b)
                 | Expr::Lt(a, b)
                 | Expr::Le(a, b)
                 | Expr::Gt(a, b)
-                | Expr::Ge(a, b) => {
-                    push(a);
-                    push(b);
+                | Expr::Ge(a, b)
+                | Expr::Add(a, b)
+                | Expr::Sub(a, b)
+                | Expr::Mul(a, b)
+                | Expr::Div(a, b)
+                | Expr::StrStarts(a, b)
+                | Expr::StrEnds(a, b)
+                | Expr::Contains(a, b)
+                | Expr::And(a, b)
+                | Expr::Or(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
                 }
+                Expr::In(a, list, _) => {
+                    walk(a, out);
+                    for e in list {
+                        walk(e, out);
+                    }
+                }
+                Expr::Regex(a, b, f) => {
+                    walk(a, out);
+                    walk(b, out);
+                    if let Some(f) = f {
+                        walk(f, out);
+                    }
+                }
+                Expr::Str(a) | Expr::Lang(a) | Expr::Datatype(a) | Expr::Cast(_, a) => walk(a, out),
                 Expr::Bound(v) | Expr::IsIri(v) | Expr::IsLiteral(v) | Expr::IsBlank(v) => {
                     if !out.contains(&v.as_str()) {
                         out.push(v);
                     }
-                }
-                Expr::And(a, b) | Expr::Or(a, b) => {
-                    walk(a, out);
-                    walk(b, out);
                 }
                 Expr::Not(a) => walk(a, out),
             }
@@ -198,6 +291,13 @@ pub enum Element {
     Minus(GroupPattern),
     /// A `FILTER (...)` constraint, applied to the enclosing group's results.
     Filter(Expr),
+    /// A `BIND (expr AS ?v)` assignment: evaluates the expression over each
+    /// solution of the preceding siblings and binds the result to `?v`
+    /// (unbound if the expression errors).
+    Bind(Expr, String),
+    /// An inline `VALUES (?v1 ?v2) { (t1 t2) ... }` data block; `None` marks
+    /// `UNDEF` cells. Joined with the surrounding group.
+    Values(Vec<String>, Vec<Vec<Option<Term>>>),
 }
 
 /// A group graph pattern: an ordered list of elements (Definition 6).
@@ -217,13 +317,16 @@ impl GroupPattern {
     }
 
     fn collect_variables(&self, out: &mut Vec<String>) {
+        let push = |v: &str, out: &mut Vec<String>| {
+            if !out.iter().any(|o| o == v) {
+                out.push(v.to_string());
+            }
+        };
         for e in &self.elements {
             match e {
                 Element::Triple(t) => {
                     for v in t.variables() {
-                        if !out.iter().any(|o| o == v) {
-                            out.push(v.to_string());
-                        }
+                        push(v, out);
                     }
                 }
                 Element::Group(g) | Element::Optional(g) | Element::Minus(g) => {
@@ -236,9 +339,18 @@ impl GroupPattern {
                 }
                 Element::Filter(expr) => {
                     for v in expr.variables() {
-                        if !out.iter().any(|o| o == v) {
-                            out.push(v.to_string());
-                        }
+                        push(v, out);
+                    }
+                }
+                Element::Bind(expr, var) => {
+                    for v in expr.variables() {
+                        push(v, out);
+                    }
+                    push(var, out);
+                }
+                Element::Values(vars, _) => {
+                    for v in vars {
+                        push(v, out);
                     }
                 }
             }
@@ -255,7 +367,7 @@ impl GroupPattern {
                 Element::Triple(_) => 1,
                 Element::Group(g) | Element::Optional(g) | Element::Minus(g) => g.count_triples(),
                 Element::Union(bs) => bs.iter().map(|b| b.count_triples()).sum(),
-                Element::Filter(_) => 0,
+                Element::Filter(_) | Element::Bind(..) | Element::Values(..) => 0,
             })
             .sum()
     }
@@ -266,7 +378,10 @@ impl GroupPattern {
         self.elements
             .iter()
             .map(|e| match e {
-                Element::Triple(_) | Element::Filter(_) => 0,
+                Element::Triple(_)
+                | Element::Filter(_)
+                | Element::Bind(..)
+                | Element::Values(..) => 0,
                 Element::Group(g) | Element::Optional(g) | Element::Minus(g) => g.depth() + 1,
                 Element::Union(bs) => bs.iter().map(|b| b.depth() + 1).max().unwrap_or(1),
             })
@@ -280,11 +395,53 @@ impl GroupPattern {
 pub enum Selection {
     /// `SELECT *` (or the paper's bare `SELECT WHERE`): all variables.
     All,
-    /// An explicit list of variable names.
+    /// An explicit list of variable names (aggregate aliases included, in
+    /// SELECT-clause order).
     Vars(Vec<String>),
 }
 
-/// A parsed `SELECT` query.
+/// An aggregate function name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(expr)` / `COUNT(*)`.
+    Count,
+    /// `SUM(expr)`.
+    Sum,
+    /// `AVG(expr)`.
+    Avg,
+    /// `MIN(expr)`.
+    Min,
+    /// `MAX(expr)`.
+    Max,
+}
+
+impl AggFunc {
+    /// The SPARQL keyword for this function.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+}
+
+/// One aggregate of a SELECT clause: `(FUNC([DISTINCT] expr|*) AS ?alias)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aggregate {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Whether `DISTINCT` was specified inside the call.
+    pub distinct: bool,
+    /// The argument expression; `None` encodes `COUNT(*)`.
+    pub arg: Option<Expr>,
+    /// The output variable name (without `?`).
+    pub alias: String,
+}
+
+/// A parsed `SELECT` (or `ASK`) query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Query {
     /// The projection.
@@ -299,6 +456,16 @@ pub struct Query {
     pub limit: Option<usize>,
     /// `OFFSET n`, if present.
     pub offset: Option<usize>,
+    /// True for the `ASK` query form (projection is ignored; the result is
+    /// a single boolean).
+    pub ask: bool,
+    /// `GROUP BY` variables, in clause order.
+    pub group_by: Vec<String>,
+    /// `HAVING (...)` constraint over the grouped solutions.
+    pub having: Option<Expr>,
+    /// Aggregates of the SELECT clause, in clause order. Non-empty (or a
+    /// non-empty `group_by`) switches execution to grouped semantics.
+    pub aggregates: Vec<Aggregate>,
 }
 
 impl Query {
@@ -309,6 +476,11 @@ impl Query {
             Selection::All => self.body.all_variables(),
             Selection::Vars(vs) => vs.clone(),
         }
+    }
+
+    /// True when execution must run the grouping/aggregation post-pass.
+    pub fn is_aggregated(&self) -> bool {
+        !self.aggregates.is_empty() || !self.group_by.is_empty()
     }
 }
 
@@ -372,6 +544,10 @@ mod tests {
 
     fn iri(i: &str) -> PatternTerm {
         PatternTerm::Const(Term::iri(i))
+    }
+
+    fn term(t: PatternTerm) -> Box<Expr> {
+        Box::new(Expr::Term(t))
     }
 
     #[test]
@@ -442,10 +618,37 @@ mod tests {
     #[test]
     fn expr_variables() {
         let e = Expr::And(
-            Box::new(Expr::Eq(var("x"), iri("v"))),
+            Box::new(Expr::Eq(term(var("x")), term(iri("v")))),
             Box::new(Expr::Not(Box::new(Expr::Bound("y".into())))),
         );
         assert_eq!(e.variables(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn expr_variables_cover_new_forms() {
+        let e = Expr::Or(
+            Box::new(Expr::Regex(term(var("s")), term(var("p")), None)),
+            Box::new(Expr::In(
+                Box::new(Expr::Add(term(var("a")), term(var("b")))),
+                vec![Expr::Term(var("c"))],
+                false,
+            )),
+        );
+        assert_eq!(e.variables(), vec!["s", "p", "a", "b", "c"]);
+    }
+
+    #[test]
+    fn bind_and_values_contribute_variables() {
+        let g = GroupPattern {
+            elements: vec![
+                Element::Triple(TriplePattern::new(var("a"), iri("p"), var("b"))),
+                Element::Bind(Expr::Term(var("b")), "c".into()),
+                Element::Values(vec!["d".into()], vec![vec![None]]),
+            ],
+        };
+        assert_eq!(g.all_variables(), vec!["a", "b", "c", "d"]);
+        assert_eq!(g.count_triples(), 1);
+        assert_eq!(g.depth(), 0);
     }
 
     #[test]
@@ -460,8 +663,13 @@ mod tests {
             order_by: Vec::new(),
             limit: None,
             offset: None,
+            ask: false,
+            group_by: Vec::new(),
+            having: None,
+            aggregates: Vec::new(),
         };
         assert_eq!(q.projection(), vec!["a", "b"]);
+        assert!(!q.is_aggregated());
         let q2 = Query {
             select: Selection::Vars(vec!["b".into()]),
             distinct: false,
@@ -469,6 +677,10 @@ mod tests {
             order_by: Vec::new(),
             limit: None,
             offset: None,
+            ask: false,
+            group_by: Vec::new(),
+            having: None,
+            aggregates: Vec::new(),
         };
         assert_eq!(q2.projection(), vec!["b"]);
     }

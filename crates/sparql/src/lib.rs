@@ -30,12 +30,14 @@
 pub mod algebra;
 pub mod ast;
 pub mod parser;
+pub mod regex_lite;
 pub mod serializer;
 
 pub use algebra::{Bag, VarId, VarTable};
 pub use ast::{
-    DataTriple, Element, Expr, GroupPattern, PatternTerm, Query, Selection, TriplePattern,
-    UpdateOp, UpdateRequest,
+    AggFunc, Aggregate, CastKind, DataTriple, Element, Expr, GroupPattern, PatternTerm, Query,
+    Selection, TriplePattern, UpdateOp, UpdateRequest,
 };
 pub use parser::{parse, parse_update, ParseError};
-pub use serializer::{results_json, results_tsv, serialize, serialize_update};
+pub use regex_lite::{Regex, RegexError};
+pub use serializer::{ask_json, ask_text, results_json, results_tsv, serialize, serialize_update};

@@ -9,8 +9,14 @@
 //!   projects all variables, as the paper's appendix queries do;
 //! - triple patterns with predicate-object lists (`;`, `,`) and the `a`
 //!   keyword;
-//! - nested group graph patterns, `UNION` chains, `OPTIONAL`;
-//! - `FILTER` with `=`, `!=`, `BOUND`, `!`, `&&`, `||` and parentheses;
+//! - nested group graph patterns, `UNION` chains, `OPTIONAL`, `MINUS`,
+//!   `BIND (expr AS ?v)` and inline `VALUES` blocks;
+//! - full `FILTER`/`BIND`/`HAVING` expressions: comparisons, arithmetic
+//!   (`+ - * /`), `IN`/`NOT IN`, `REGEX`, `STRSTARTS`/`STRENDS`/`CONTAINS`,
+//!   `STR`/`LANG`/`DATATYPE`, XSD casts, `BOUND`, type tests, `!`, `&&`,
+//!   `||` and parentheses;
+//! - the `ASK` query form and aggregate SELECT items
+//!   (`(COUNT(DISTINCT ?x) AS ?c)` etc.) with `GROUP BY` / `HAVING`;
 //! - string literals with language tags / datatypes, integers and decimals.
 
 use crate::ast::*;
@@ -132,7 +138,7 @@ fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
                 out.push(Spanned { tok, offset: i });
                 i = next;
             }
-            b'{' | b'}' | b'(' | b')' | b'.' | b';' | b',' | b'*' => {
+            b'{' | b'}' | b'(' | b')' | b'.' | b';' | b',' | b'*' | b'/' => {
                 let p: &'static str = match c {
                     b'{' => "{",
                     b'}' => "}",
@@ -141,7 +147,8 @@ fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
                     b'.' => ".",
                     b';' => ";",
                     b',' => ",",
-                    _ => "*",
+                    b'*' => "*",
+                    _ => "/",
                 };
                 out.push(Spanned { tok: Tok::Punct(p), offset: i });
                 i += 1;
@@ -185,6 +192,16 @@ fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
                 }
             }
             b'0'..=b'9' | b'+' | b'-' => {
+                // A sign not immediately followed by a digit is an arithmetic
+                // operator, not a signed numeric literal.
+                if (c == b'+' || c == b'-') && !b.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+                    out.push(Spanned {
+                        tok: Tok::Punct(if c == b'+' { "+" } else { "-" }),
+                        offset: i,
+                    });
+                    i += 1;
+                    continue;
+                }
                 let start = i;
                 let mut j = i;
                 if b[j] == b'+' || b[j] == b'-' {
@@ -393,30 +410,63 @@ impl Parser {
         // A prefix declaration like `PREFIX ub: <...>` tokenizes the `ub:`
         // as PName("ub", ""); `PREFIX : <...>` is also accepted.
         self.parse_prefix_decls()?;
-        if !self.eat_keyword("SELECT") {
-            return Err(err(self.offset(), "expected SELECT"));
-        }
-        let distinct = self.eat_keyword("DISTINCT");
+        let ask = self.eat_keyword("ASK");
+        let mut distinct = false;
         let mut vars = Vec::new();
         let mut all = false;
-        loop {
-            match self.peek() {
-                Some(Tok::Var(_)) => {
-                    if let Some(Tok::Var(v)) = self.bump() {
-                        vars.push(v);
+        let mut aggregates = Vec::new();
+        if !ask {
+            if !self.eat_keyword("SELECT") {
+                return Err(err(self.offset(), "expected SELECT or ASK"));
+            }
+            distinct = self.eat_keyword("DISTINCT");
+            loop {
+                match self.peek() {
+                    Some(Tok::Var(_)) => {
+                        if let Some(Tok::Var(v)) = self.bump() {
+                            vars.push(v);
+                        }
                     }
+                    Some(Tok::Punct("*")) => {
+                        self.pos += 1;
+                        all = true;
+                        break;
+                    }
+                    Some(Tok::Punct("(")) => {
+                        // `(AGG([DISTINCT] expr | *) AS ?alias)`.
+                        self.pos += 1;
+                        let agg = self.parse_aggregate()?;
+                        vars.push(agg.alias.clone());
+                        aggregates.push(agg);
+                    }
+                    _ => break,
                 }
-                Some(Tok::Punct("*")) => {
-                    self.pos += 1;
-                    all = true;
-                    break;
-                }
-                _ => break,
             }
         }
         self.eat_keyword("WHERE");
         let body = self.parse_group()?;
-        // Solution modifiers: ORDER BY, then LIMIT / OFFSET in either order.
+        // Solution modifiers: GROUP BY, HAVING, ORDER BY, then LIMIT /
+        // OFFSET in either order.
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            if !self.eat_keyword("BY") {
+                return Err(err(self.offset(), "expected BY after GROUP"));
+            }
+            while matches!(self.peek(), Some(Tok::Var(_))) {
+                if let Some(Tok::Var(v)) = self.bump() {
+                    group_by.push(v);
+                }
+            }
+            if group_by.is_empty() {
+                return Err(err(self.offset(), "empty GROUP BY clause"));
+            }
+        }
+        let mut having = None;
+        if self.eat_keyword("HAVING") {
+            self.expect_punct("(")?;
+            having = Some(self.parse_or_expr()?);
+            self.expect_punct(")")?;
+        }
         let mut order_by = Vec::new();
         if self.eat_keyword("ORDER") {
             if !self.eat_keyword("BY") {
@@ -466,7 +516,55 @@ impl Parser {
             return Err(err(self.offset(), "trailing tokens after query"));
         }
         let select = if all || vars.is_empty() { Selection::All } else { Selection::Vars(vars) };
-        Ok(Query { select, distinct, body, order_by, limit, offset })
+        Ok(Query {
+            select,
+            distinct,
+            body,
+            order_by,
+            limit,
+            offset,
+            ask,
+            group_by,
+            having,
+            aggregates,
+        })
+    }
+
+    /// Parses `AGG([DISTINCT] expr | *) AS ?alias)` — the opening `(` of the
+    /// select item has already been consumed.
+    fn parse_aggregate(&mut self) -> Result<Aggregate, ParseError> {
+        let offset = self.offset();
+        let func = match self.bump() {
+            Some(Tok::Ident(id)) => match id.to_ascii_uppercase().as_str() {
+                "COUNT" => AggFunc::Count,
+                "SUM" => AggFunc::Sum,
+                "AVG" => AggFunc::Avg,
+                "MIN" => AggFunc::Min,
+                "MAX" => AggFunc::Max,
+                _ => return Err(err(offset, format!("unknown aggregate function '{id}'"))),
+            },
+            _ => return Err(err(offset, "expected an aggregate function")),
+        };
+        self.expect_punct("(")?;
+        let distinct = self.eat_keyword("DISTINCT");
+        let arg = if self.eat_punct("*") {
+            if func != AggFunc::Count {
+                return Err(err(self.offset(), "'*' is only valid as a COUNT argument"));
+            }
+            None
+        } else {
+            Some(self.parse_or_expr()?)
+        };
+        self.expect_punct(")")?;
+        if !self.eat_keyword("AS") {
+            return Err(err(self.offset(), "expected AS after aggregate expression"));
+        }
+        let alias = match self.bump() {
+            Some(Tok::Var(v)) => v,
+            _ => return Err(err(self.offset(), "expected variable after AS")),
+        };
+        self.expect_punct(")")?;
+        Ok(Aggregate { func, distinct, arg, alias })
     }
 
     fn parse_unsigned(&mut self, what: &str) -> Result<usize, ParseError> {
@@ -520,6 +618,26 @@ impl Parser {
                     let e = self.parse_or_expr()?;
                     self.expect_punct(")")?;
                     elements.push(Element::Filter(e));
+                    self.eat_punct(".");
+                }
+                Some(Tok::Ident(_)) if self.at_keyword("BIND") => {
+                    self.pos += 1;
+                    self.expect_punct("(")?;
+                    let e = self.parse_or_expr()?;
+                    if !self.eat_keyword("AS") {
+                        return Err(err(self.offset(), "expected AS in BIND"));
+                    }
+                    let v = match self.bump() {
+                        Some(Tok::Var(v)) => v,
+                        _ => return Err(err(self.offset(), "expected variable after AS in BIND")),
+                    };
+                    self.expect_punct(")")?;
+                    elements.push(Element::Bind(e, v));
+                    self.eat_punct(".");
+                }
+                Some(Tok::Ident(_)) if self.at_keyword("VALUES") => {
+                    self.pos += 1;
+                    elements.push(self.parse_values()?);
                     self.eat_punct(".");
                 }
                 _ => {
@@ -728,10 +846,93 @@ impl Parser {
     }
 
     fn parse_and_expr(&mut self) -> Result<Expr, ParseError> {
-        let mut left = self.parse_unary_expr()?;
+        let mut left = self.parse_rel_expr()?;
         while self.eat_punct("&&") {
-            let right = self.parse_unary_expr()?;
+            let right = self.parse_rel_expr()?;
             left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    /// Relational expressions: an additive expression optionally followed by
+    /// one comparison operator or an `IN` / `NOT IN` list (SPARQL grammar
+    /// rule [114], which allows at most one relational operator per level).
+    fn parse_rel_expr(&mut self) -> Result<Expr, ParseError> {
+        let left = self.parse_add_expr()?;
+        type Binary = fn(Box<Expr>, Box<Expr>) -> Expr;
+        for (op, ctor) in [
+            ("=", Expr::Eq as Binary),
+            ("!=", Expr::Ne),
+            ("<=", Expr::Le),
+            (">=", Expr::Ge),
+            ("<", Expr::Lt),
+            (">", Expr::Gt),
+        ] {
+            if self.eat_punct(op) {
+                let right = self.parse_add_expr()?;
+                return Ok(ctor(Box::new(left), Box::new(right)));
+            }
+        }
+        if self.eat_keyword("IN") {
+            let list = self.parse_expr_list()?;
+            return Ok(Expr::In(Box::new(left), list, false));
+        }
+        if self.at_keyword("NOT") {
+            self.pos += 1;
+            if !self.eat_keyword("IN") {
+                return Err(err(self.offset(), "expected IN after NOT"));
+            }
+            let list = self.parse_expr_list()?;
+            return Ok(Expr::In(Box::new(left), list, true));
+        }
+        Ok(left)
+    }
+
+    /// A parenthesized, comma-separated expression list (the `IN` operand).
+    fn parse_expr_list(&mut self) -> Result<Vec<Expr>, ParseError> {
+        self.expect_punct("(")?;
+        let mut list = Vec::new();
+        if self.eat_punct(")") {
+            return Ok(list);
+        }
+        loop {
+            list.push(self.parse_or_expr()?);
+            if !self.eat_punct(",") {
+                break;
+            }
+        }
+        self.expect_punct(")")?;
+        Ok(list)
+    }
+
+    fn parse_add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_mul_expr()?;
+        loop {
+            if self.eat_punct("+") {
+                let right = self.parse_mul_expr()?;
+                left = Expr::Add(Box::new(left), Box::new(right));
+            } else if self.eat_punct("-") {
+                let right = self.parse_mul_expr()?;
+                left = Expr::Sub(Box::new(left), Box::new(right));
+            } else {
+                break;
+            }
+        }
+        Ok(left)
+    }
+
+    fn parse_mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_unary_expr()?;
+        loop {
+            if self.eat_punct("*") {
+                let right = self.parse_unary_expr()?;
+                left = Expr::Mul(Box::new(left), Box::new(right));
+            } else if self.eat_punct("/") {
+                let right = self.parse_unary_expr()?;
+                left = Expr::Div(Box::new(left), Box::new(right));
+            } else {
+                break;
+            }
         }
         Ok(left)
     }
@@ -741,11 +942,16 @@ impl Parser {
             let inner = self.parse_unary_expr()?;
             return Ok(Expr::Not(Box::new(inner)));
         }
+        self.parse_primary_expr()
+    }
+
+    fn parse_primary_expr(&mut self) -> Result<Expr, ParseError> {
         if self.eat_punct("(") {
             let e = self.parse_or_expr()?;
             self.expect_punct(")")?;
             return Ok(e);
         }
+        // Variable-argument built-ins.
         for (kw, ctor) in [
             ("BOUND", Expr::Bound as fn(String) -> Expr),
             ("isIRI", Expr::IsIri),
@@ -764,27 +970,143 @@ impl Parser {
                 return Ok(ctor(v));
             }
         }
-        let left = self.parse_var_or_term("operand")?;
-        if self.eat_punct("=") {
-            let right = self.parse_var_or_term("operand")?;
-            Ok(Expr::Eq(left, right))
-        } else if self.eat_punct("!=") {
-            let right = self.parse_var_or_term("operand")?;
-            Ok(Expr::Ne(left, right))
-        } else if self.eat_punct("<=") {
-            let right = self.parse_var_or_term("operand")?;
-            Ok(Expr::Le(left, right))
-        } else if self.eat_punct(">=") {
-            let right = self.parse_var_or_term("operand")?;
-            Ok(Expr::Ge(left, right))
-        } else if self.eat_punct("<") {
-            let right = self.parse_var_or_term("operand")?;
-            Ok(Expr::Lt(left, right))
-        } else if self.eat_punct(">") {
-            let right = self.parse_var_or_term("operand")?;
-            Ok(Expr::Gt(left, right))
+        // One-argument term accessors.
+        for (kw, ctor) in [
+            ("STR", Expr::Str as fn(Box<Expr>) -> Expr),
+            ("LANG", Expr::Lang),
+            ("DATATYPE", Expr::Datatype),
+        ] {
+            if self.at_keyword(kw) {
+                self.pos += 1;
+                self.expect_punct("(")?;
+                let a = self.parse_or_expr()?;
+                self.expect_punct(")")?;
+                return Ok(ctor(Box::new(a)));
+            }
+        }
+        // Two-argument string tests.
+        for (kw, ctor) in [
+            ("STRSTARTS", Expr::StrStarts as fn(Box<Expr>, Box<Expr>) -> Expr),
+            ("STRENDS", Expr::StrEnds),
+            ("CONTAINS", Expr::Contains),
+        ] {
+            if self.at_keyword(kw) {
+                self.pos += 1;
+                self.expect_punct("(")?;
+                let a = self.parse_or_expr()?;
+                self.expect_punct(",")?;
+                let b = self.parse_or_expr()?;
+                self.expect_punct(")")?;
+                return Ok(ctor(Box::new(a), Box::new(b)));
+            }
+        }
+        if self.at_keyword("REGEX") {
+            self.pos += 1;
+            self.expect_punct("(")?;
+            let text = self.parse_or_expr()?;
+            self.expect_punct(",")?;
+            let pattern = self.parse_or_expr()?;
+            let flags =
+                if self.eat_punct(",") { Some(Box::new(self.parse_or_expr()?)) } else { None };
+            self.expect_punct(")")?;
+            return Ok(Expr::Regex(Box::new(text), Box::new(pattern), flags));
+        }
+        // An IRI (or prefixed name) followed by '(' is an XSD cast call.
+        let cast_iri = match self.peek() {
+            Some(Tok::Iri(iri)) if matches!(self.peek2(), Some(Tok::Punct("("))) => {
+                Some(iri.clone())
+            }
+            Some(Tok::PName(p, l)) if matches!(self.peek2(), Some(Tok::Punct("("))) => {
+                let (p, l) = (p.clone(), l.clone());
+                match self.expand(&p, &l, self.offset())? {
+                    Term::Iri(i) => Some(i.to_string()),
+                    _ => None,
+                }
+            }
+            _ => None,
+        };
+        if let Some(iri) = cast_iri {
+            let offset = self.offset();
+            let kind = CastKind::from_iri(&iri)
+                .ok_or_else(|| err(offset, format!("unsupported function <{iri}>")))?;
+            self.pos += 1;
+            self.expect_punct("(")?;
+            let a = self.parse_or_expr()?;
+            self.expect_punct(")")?;
+            return Ok(Expr::Cast(kind, Box::new(a)));
+        }
+        Ok(Expr::Term(self.parse_var_or_term("operand")?))
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos + 1).map(|s| &s.tok)
+    }
+
+    /// Parses a `VALUES` data block (after the keyword): either the single-
+    /// variable short form `VALUES ?v { t ... }` or the general form
+    /// `VALUES (?v1 ?v2) { (t1 t2) ... }`; `UNDEF` marks an unbound cell.
+    fn parse_values(&mut self) -> Result<Element, ParseError> {
+        let offset = self.offset();
+        let mut vars = Vec::new();
+        let single = if self.eat_punct("(") {
+            while matches!(self.peek(), Some(Tok::Var(_))) {
+                if let Some(Tok::Var(v)) = self.bump() {
+                    vars.push(v);
+                }
+            }
+            self.expect_punct(")")?;
+            false
         } else {
-            Err(err(self.offset(), "expected comparison operator in FILTER"))
+            match self.bump() {
+                Some(Tok::Var(v)) => vars.push(v),
+                _ => return Err(err(offset, "expected variable or '(' after VALUES")),
+            }
+            true
+        };
+        if vars.is_empty() {
+            return Err(err(offset, "empty VALUES variable list"));
+        }
+        self.expect_punct("{")?;
+        let mut rows = Vec::new();
+        loop {
+            if self.eat_punct("}") {
+                break;
+            }
+            if self.pos >= self.tokens.len() {
+                return Err(err(self.offset(), "unterminated VALUES block"));
+            }
+            if single {
+                rows.push(vec![self.parse_values_cell()?]);
+            } else {
+                self.expect_punct("(")?;
+                let row_offset = self.offset();
+                let mut row = Vec::new();
+                while !self.eat_punct(")") {
+                    row.push(self.parse_values_cell()?);
+                }
+                if row.len() != vars.len() {
+                    return Err(err(
+                        row_offset,
+                        format!("VALUES row has {} terms, expected {}", row.len(), vars.len()),
+                    ));
+                }
+                rows.push(row);
+            }
+        }
+        Ok(Element::Values(vars, rows))
+    }
+
+    fn parse_values_cell(&mut self) -> Result<Option<Term>, ParseError> {
+        if self.at_keyword("UNDEF") {
+            self.pos += 1;
+            return Ok(None);
+        }
+        let offset = self.offset();
+        match self.parse_var_or_term("VALUES term")? {
+            PatternTerm::Const(t) => Ok(Some(t)),
+            PatternTerm::Var(v) => {
+                Err(err(offset, format!("variable ?{v} not allowed in VALUES data")))
+            }
         }
     }
 }
@@ -1105,6 +1427,126 @@ mod tests {
     fn update_keywords_case_insensitive() {
         assert!(parse_update("insert data { <http://a> <http://p> <http://b> }").is_ok());
         assert!(parse_update("delete where { ?x <http://p> ?y }").is_ok());
+    }
+
+    #[test]
+    fn parses_ask_form() {
+        let q = parse("ASK { ?x <http://p> ?y }").unwrap();
+        assert!(q.ask);
+        assert_eq!(q.select, Selection::All);
+        let q2 = parse("ASK WHERE { ?x <http://p> ?y }").unwrap();
+        assert!(q2.ask);
+        assert!(!parse("SELECT ?x WHERE { ?x <http://p> ?y }").unwrap().ask);
+    }
+
+    #[test]
+    fn parses_aggregate_select_items() {
+        let q = parse(
+            "SELECT ?g (COUNT(*) AS ?n) (SUM(?v) AS ?s) (AVG(DISTINCT ?v) AS ?a)
+             WHERE { ?x <http://g> ?g . ?x <http://v> ?v } GROUP BY ?g",
+        )
+        .unwrap();
+        assert_eq!(q.projection(), vec!["g", "n", "s", "a"]);
+        assert_eq!(q.group_by, vec!["g"]);
+        assert_eq!(q.aggregates.len(), 3);
+        assert_eq!(q.aggregates[0].func, AggFunc::Count);
+        assert!(q.aggregates[0].arg.is_none(), "COUNT(*) has no argument");
+        assert_eq!(q.aggregates[1].func, AggFunc::Sum);
+        assert!(!q.aggregates[1].distinct);
+        assert!(q.aggregates[2].distinct);
+        assert!(q.is_aggregated());
+        // '*' is only a COUNT argument.
+        assert!(parse("SELECT (SUM(*) AS ?s) WHERE { ?x <http://p> ?v }").is_err());
+        assert!(parse("SELECT (COUNT(?v) AS) WHERE { ?x <http://p> ?v }").is_err());
+    }
+
+    #[test]
+    fn parses_having() {
+        let q = parse(
+            "SELECT ?g (COUNT(*) AS ?n) WHERE { ?x <http://g> ?g } GROUP BY ?g HAVING(?n > 1)",
+        )
+        .unwrap();
+        assert!(matches!(q.having, Some(Expr::Gt(_, _))));
+        assert!(parse("SELECT ?g WHERE { ?x <http://g> ?g } GROUP BY").is_err());
+    }
+
+    #[test]
+    fn parses_bind() {
+        let q = parse("SELECT WHERE { ?x <http://p> ?y BIND(?y + 1 AS ?z) }").unwrap();
+        match &q.body.elements[1] {
+            Element::Bind(Expr::Add(_, _), v) => assert_eq!(v, "z"),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse("SELECT WHERE { BIND(1 ?z) }").is_err());
+    }
+
+    #[test]
+    fn parses_values_forms() {
+        let q = parse(
+            r#"SELECT WHERE { ?x <http://p> ?y VALUES (?x ?y) { (<http://a> 1) (UNDEF "b") } }"#,
+        )
+        .unwrap();
+        match &q.body.elements[1] {
+            Element::Values(vars, rows) => {
+                assert_eq!(vars, &["x".to_string(), "y".to_string()]);
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[0][0], Some(Term::iri("http://a")));
+                assert_eq!(rows[1][0], None, "UNDEF is an unbound cell");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Single-variable short form.
+        let q2 = parse("SELECT WHERE { VALUES ?x { <http://a> <http://b> } }").unwrap();
+        match &q2.body.elements[0] {
+            Element::Values(vars, rows) => {
+                assert_eq!(vars.len(), 1);
+                assert_eq!(rows.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Arity mismatch and variables in data are rejected.
+        assert!(parse("SELECT WHERE { VALUES (?x ?y) { (<http://a>) } }").is_err());
+        assert!(parse("SELECT WHERE { VALUES ?x { ?y } }").is_err());
+    }
+
+    #[test]
+    fn parses_arithmetic_with_precedence() {
+        let q = parse("SELECT WHERE { ?x <http://p> ?y FILTER(?y + 2 * 3 = 7) }").unwrap();
+        let Element::Filter(Expr::Eq(l, _)) = &q.body.elements[1] else { panic!() };
+        // Multiplication binds tighter than addition.
+        let Expr::Add(_, r) = &**l else { panic!("{l:?}") };
+        assert!(matches!(**r, Expr::Mul(_, _)));
+        // Division tokenizes and parses.
+        let q2 = parse("SELECT WHERE { ?x <http://p> ?y FILTER(?y / 2 >= 1) }").unwrap();
+        let Element::Filter(Expr::Ge(l2, _)) = &q2.body.elements[1] else { panic!() };
+        assert!(matches!(**l2, Expr::Div(_, _)));
+    }
+
+    #[test]
+    fn parses_in_and_not_in() {
+        let q = parse("SELECT WHERE { ?x <http://p> ?y FILTER(?y IN (1, 2, 3)) }").unwrap();
+        let Element::Filter(Expr::In(_, list, negated)) = &q.body.elements[1] else { panic!() };
+        assert_eq!(list.len(), 3);
+        assert!(!negated);
+        let q2 = parse("SELECT WHERE { ?x <http://p> ?y FILTER(?y NOT IN (<http://a>)) }").unwrap();
+        assert!(matches!(&q2.body.elements[1], Element::Filter(Expr::In(_, _, true))));
+    }
+
+    #[test]
+    fn parses_string_builtins_and_casts() {
+        let q = parse(
+            r#"PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+               SELECT WHERE { ?x <http://p> ?y
+                 FILTER(REGEX(STR(?y), "^a", "i") || STRSTARTS(?y, "b")
+                        || CONTAINS(?y, "c") || STRENDS(LANG(?y), "n")
+                        || DATATYPE(?y) = xsd:integer || xsd:integer(?y) > 3) }"#,
+        )
+        .unwrap();
+        assert!(matches!(q.body.elements[1], Element::Filter(Expr::Or(_, _))));
+        // Unknown function IRIs error rather than parse as triples.
+        assert!(
+            parse("SELECT WHERE { ?x <http://p> ?y FILTER(<http://fn/unknown>(?y) = 1) }").is_err()
+        );
     }
 
     #[test]

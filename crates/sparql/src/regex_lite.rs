@@ -1,0 +1,459 @@
+//! A small, dependency-free regular-expression engine for the SPARQL
+//! `REGEX` built-in.
+//!
+//! Supports the fragment the conformance suite (and typical SPARQL
+//! workloads) exercise: literal characters, `.`, the quantifiers `*` `+`
+//! `?`, anchors `^` `$`, character classes `[a-z0-9_]` / `[^...]`,
+//! alternation `|`, grouping `(...)`, and the escapes `\d \D \w \W \s \S`
+//! plus escaped metacharacters. Matching is *unanchored search* (the SPARQL
+//! `REGEX` semantics): the pattern may match any substring unless anchored.
+//!
+//! The implementation compiles to a tiny NFA bytecode executed by a
+//! backtracking interpreter with a step budget, so malformed or pathological
+//! patterns degrade to an error / non-match instead of hanging the server.
+
+/// A compiled pattern.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    prog: Vec<Inst>,
+    case_insensitive: bool,
+}
+
+/// Compilation error: the pattern (or flags) are not in the supported
+/// fragment. SPARQL treats this as an expression error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexError(pub String);
+
+impl std::fmt::Display for RegexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid regular expression: {}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Inst {
+    Char(char),
+    Any,
+    Class {
+        neg: bool,
+        items: Vec<ClassItem>,
+    },
+    Start,
+    End,
+    /// Try `a` first, then `b` (backtracking preference order).
+    Split(usize, usize),
+    Jmp(usize),
+    Match,
+}
+
+#[derive(Debug, Clone)]
+enum ClassItem {
+    Char(char),
+    Range(char, char),
+    Digit(bool),
+    Word(bool),
+    Space(bool),
+}
+
+const STEP_BUDGET: usize = 1 << 20;
+
+impl Regex {
+    /// Compiles `pattern` with SPARQL `REGEX` flags (only `i` and the
+    /// no-op-here `s`/`m` subset `""` are accepted).
+    pub fn new(pattern: &str, flags: &str) -> Result<Regex, RegexError> {
+        let mut case_insensitive = false;
+        for f in flags.chars() {
+            match f {
+                'i' => case_insensitive = true,
+                's' => {} // `.` already matches every char here
+                _ => return Err(RegexError(format!("unsupported flag '{f}'"))),
+            }
+        }
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut p = Compiler { chars, pos: 0, case_insensitive };
+        let frag = p.alt()?;
+        if p.pos != p.chars.len() {
+            return Err(RegexError(format!("unexpected ')' at {}", p.pos)));
+        }
+        let mut prog = frag;
+        prog.push(Inst::Match);
+        Ok(Regex { prog, case_insensitive })
+    }
+
+    /// Unanchored search: does any substring of `text` match?
+    pub fn is_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = if self.case_insensitive {
+            text.chars().flat_map(|c| c.to_lowercase()).collect()
+        } else {
+            text.chars().collect()
+        };
+        let mut budget = STEP_BUDGET;
+        for start in 0..=chars.len() {
+            if self.run(0, &chars, start, &mut budget) {
+                return true;
+            }
+            if budget == 0 {
+                return false;
+            }
+        }
+        false
+    }
+
+    fn run(&self, mut pc: usize, chars: &[char], mut sp: usize, budget: &mut usize) -> bool {
+        loop {
+            if *budget == 0 {
+                return false;
+            }
+            *budget -= 1;
+            match &self.prog[pc] {
+                Inst::Match => return true,
+                Inst::Jmp(t) => pc = *t,
+                Inst::Split(a, b) => {
+                    if self.run(*a, chars, sp, budget) {
+                        return true;
+                    }
+                    pc = *b;
+                }
+                Inst::Start => {
+                    if sp != 0 {
+                        return false;
+                    }
+                    pc += 1;
+                }
+                Inst::End => {
+                    if sp != chars.len() {
+                        return false;
+                    }
+                    pc += 1;
+                }
+                Inst::Char(c) => {
+                    if sp >= chars.len() || chars[sp] != *c {
+                        return false;
+                    }
+                    sp += 1;
+                    pc += 1;
+                }
+                Inst::Any => {
+                    if sp >= chars.len() {
+                        return false;
+                    }
+                    sp += 1;
+                    pc += 1;
+                }
+                Inst::Class { neg, items } => {
+                    if sp >= chars.len() {
+                        return false;
+                    }
+                    let c = chars[sp];
+                    let mut hit = false;
+                    for item in items {
+                        let m = match item {
+                            ClassItem::Char(k) => c == *k,
+                            ClassItem::Range(lo, hi) => *lo <= c && c <= *hi,
+                            ClassItem::Digit(pos) => c.is_ascii_digit() == *pos,
+                            ClassItem::Word(pos) => (c.is_alphanumeric() || c == '_') == *pos,
+                            ClassItem::Space(pos) => c.is_whitespace() == *pos,
+                        };
+                        if m {
+                            hit = true;
+                            break;
+                        }
+                    }
+                    if hit == *neg {
+                        return false;
+                    }
+                    sp += 1;
+                    pc += 1;
+                }
+            }
+        }
+    }
+}
+
+struct Compiler {
+    chars: Vec<char>,
+    pos: usize,
+    case_insensitive: bool,
+}
+
+impl Compiler {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    /// `alt := seq ('|' seq)*`
+    fn alt(&mut self) -> Result<Vec<Inst>, RegexError> {
+        let mut branches = vec![self.seq()?];
+        while self.peek() == Some('|') {
+            self.pos += 1;
+            branches.push(self.seq()?);
+        }
+        if branches.len() == 1 {
+            return Ok(branches.pop().unwrap());
+        }
+        // A chain of Splits; every non-final branch jumps to the common end:
+        //   Split(b1, next); b1; Jmp(end); Split(b2, next2); b2; Jmp(end); bn
+        let n = branches.len();
+        let end: usize = branches
+            .iter()
+            .enumerate()
+            .map(|(i, b)| if i + 1 < n { b.len() + 2 } else { b.len() })
+            .sum();
+        let mut out = Vec::new();
+        for (i, branch) in branches.iter().enumerate() {
+            if i + 1 < n {
+                let branch_start = out.len() + 1;
+                let next = branch_start + branch.len() + 1;
+                out.push(Inst::Split(branch_start, next));
+                append_shifted(&mut out, branch, branch_start);
+                out.push(Inst::Jmp(end));
+            } else {
+                let base = out.len();
+                append_shifted(&mut out, branch, base);
+            }
+        }
+        debug_assert_eq!(out.len(), end);
+        Ok(out)
+    }
+
+    /// `seq := piece*`
+    fn seq(&mut self) -> Result<Vec<Inst>, RegexError> {
+        let mut out = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.atom()?;
+            match self.peek() {
+                Some('*') => {
+                    self.pos += 1;
+                    // L1: Split(L2, L3); L2: atom; Jmp L1; L3:
+                    let base = out.len();
+                    let l2 = base + 1;
+                    let l3 = l2 + atom.len() + 1;
+                    out.push(Inst::Split(l2, l3));
+                    append_shifted(&mut out, &atom, l2);
+                    out.push(Inst::Jmp(base));
+                }
+                Some('+') => {
+                    self.pos += 1;
+                    // L1: atom; Split(L1, L2); L2:
+                    let l1 = out.len();
+                    append_shifted(&mut out, &atom, l1);
+                    let after = out.len() + 1;
+                    out.push(Inst::Split(l1, after));
+                }
+                Some('?') => {
+                    self.pos += 1;
+                    // Split(L1, L2); L1: atom; L2:
+                    let base = out.len();
+                    let l1 = base + 1;
+                    let l2 = l1 + atom.len();
+                    out.push(Inst::Split(l1, l2));
+                    append_shifted(&mut out, &atom, l1);
+                }
+                _ => {
+                    let base = out.len();
+                    append_shifted(&mut out, &atom, base);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// One atom, compiled with targets relative to position 0.
+    fn atom(&mut self) -> Result<Vec<Inst>, RegexError> {
+        let c = self.bump().ok_or_else(|| RegexError("unexpected end of pattern".into()))?;
+        match c {
+            '(' => {
+                let inner = self.alt()?;
+                if self.bump() != Some(')') {
+                    return Err(RegexError("unterminated group".into()));
+                }
+                Ok(inner)
+            }
+            '[' => Ok(vec![self.class()?]),
+            '.' => Ok(vec![Inst::Any]),
+            '^' => Ok(vec![Inst::Start]),
+            '$' => Ok(vec![Inst::End]),
+            '\\' => {
+                let e = self.bump().ok_or_else(|| RegexError("dangling escape".into()))?;
+                Ok(vec![self.escape(e)?])
+            }
+            '*' | '+' | '?' => Err(RegexError(format!("dangling quantifier '{c}'"))),
+            _ => Ok(vec![Inst::Char(self.fold(c))]),
+        }
+    }
+
+    fn fold(&self, c: char) -> char {
+        if self.case_insensitive {
+            c.to_lowercase().next().unwrap_or(c)
+        } else {
+            c
+        }
+    }
+
+    fn escape(&self, e: char) -> Result<Inst, RegexError> {
+        let item = match e {
+            'd' => ClassItem::Digit(true),
+            'D' => ClassItem::Digit(false),
+            'w' => ClassItem::Word(true),
+            'W' => ClassItem::Word(false),
+            's' => ClassItem::Space(true),
+            'S' => ClassItem::Space(false),
+            'n' => return Ok(Inst::Char('\n')),
+            't' => return Ok(Inst::Char('\t')),
+            'r' => return Ok(Inst::Char('\r')),
+            '.' | '*' | '+' | '?' | '(' | ')' | '[' | ']' | '{' | '}' | '^' | '$' | '|' | '\\'
+            | '/' | '-' => return Ok(Inst::Char(e)),
+            _ => return Err(RegexError(format!("unsupported escape '\\{e}'"))),
+        };
+        Ok(Inst::Class { neg: false, items: vec![item] })
+    }
+
+    fn class(&mut self) -> Result<Inst, RegexError> {
+        let neg = if self.peek() == Some('^') {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        let mut items = Vec::new();
+        loop {
+            let c = self.bump().ok_or_else(|| RegexError("unterminated class".into()))?;
+            if c == ']' && !items.is_empty() {
+                break;
+            }
+            let lo = if c == '\\' {
+                let e = self.bump().ok_or_else(|| RegexError("dangling escape".into()))?;
+                match self.escape(e)? {
+                    Inst::Char(k) => k,
+                    Inst::Class { items: sub, .. } => {
+                        items.extend(sub);
+                        continue;
+                    }
+                    _ => unreachable!(),
+                }
+            } else {
+                c
+            };
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1).is_some_and(|&n| n != ']') {
+                self.pos += 1; // '-'
+                let hi = self.bump().unwrap();
+                if hi < lo {
+                    return Err(RegexError(format!("invalid range {lo}-{hi}")));
+                }
+                items.push(ClassItem::Range(self.fold(lo), self.fold(hi)));
+            } else {
+                items.push(ClassItem::Char(self.fold(lo)));
+            }
+        }
+        Ok(Inst::Class { neg, items })
+    }
+}
+
+/// Re-bases an instruction compiled at relative position `at - base` for
+/// appending at absolute position `at`.
+fn append_shifted(out: &mut Vec<Inst>, frag: &[Inst], base: usize) {
+    for inst in frag {
+        out.push(match inst {
+            Inst::Split(a, b) => Inst::Split(a + base, b + base),
+            Inst::Jmp(t) => Inst::Jmp(t + base),
+            other => other.clone(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, text: &str) -> bool {
+        Regex::new(pat, "").unwrap().is_match(text)
+    }
+
+    #[test]
+    fn literal_substring_search() {
+        assert!(m("bc", "abcd"));
+        assert!(!m("bd", "abcd"));
+        assert!(m("", "anything"));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(m("^ab", "abcd"));
+        assert!(!m("^bc", "abcd"));
+        assert!(m("cd$", "abcd"));
+        assert!(!m("bc$", "abcd"));
+        assert!(m("^abcd$", "abcd"));
+        assert!(!m("^abcd$", "abcde"));
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert!(m("ab*c", "ac"));
+        assert!(m("ab*c", "abbbc"));
+        assert!(m("ab+c", "abbc"));
+        assert!(!m("ab+c", "ac"));
+        assert!(m("ab?c", "ac"));
+        assert!(m("ab?c", "abc"));
+        assert!(!m("^ab?c$", "abbc"));
+    }
+
+    #[test]
+    fn classes_and_escapes() {
+        assert!(m("[a-c]+", "cab"));
+        assert!(!m("^[a-c]+$", "cad"));
+        assert!(m("[^0-9]", "a1"));
+        assert!(!m("^[^0-9]+$", "a1"));
+        assert!(m(r"\d\d", "year 42"));
+        assert!(m(r"\w+", "hi_there"));
+        assert!(m(r"\s", "a b"));
+        assert!(m(r"a\.b", "a.b"));
+        assert!(!m(r"a\.b", "axb"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert!(m("cat|dog", "hotdog"));
+        assert!(m("^(cat|dog)s?$", "dogs"));
+        assert!(!m("^(cat|dog)s?$", "dogma"));
+        assert!(m("(ab)+", "ababab"));
+        assert!(m("a(b|c)*d", "abcbcd"));
+    }
+
+    #[test]
+    fn case_insensitive_flag() {
+        let re = Regex::new("^HeLLo$", "i").unwrap();
+        assert!(re.is_match("hello"));
+        assert!(re.is_match("HELLO"));
+        let exact = Regex::new("^HeLLo$", "").unwrap();
+        assert!(!exact.is_match("hello"));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Regex::new("a[", "").is_err());
+        assert!(Regex::new("(ab", "").is_err());
+        assert!(Regex::new("*a", "").is_err());
+        assert!(Regex::new(r"\q", "").is_err());
+        assert!(Regex::new("a", "x").is_err(), "unknown flag");
+        assert!(Regex::new("ab)c", "").is_err(), "stray close paren");
+    }
+
+    #[test]
+    fn dot_and_unicode() {
+        assert!(m("^.$", "é"));
+        assert!(m("a.c", "aéc"));
+        let re = Regex::new("ÉT", "i").unwrap();
+        assert!(re.is_match("était"));
+    }
+}

@@ -22,20 +22,50 @@ use uo_rdf::Term;
 /// Renders a query as SPARQL text.
 pub fn serialize(q: &Query) -> String {
     let mut out = String::new();
-    out.push_str("SELECT ");
-    if q.distinct {
-        out.push_str("DISTINCT ");
-    }
-    match &q.select {
-        Selection::All => out.push_str("* "),
-        Selection::Vars(vs) => {
-            for v in vs {
-                let _ = write!(out, "?{v} ");
+    if q.ask {
+        out.push_str("ASK ");
+    } else {
+        out.push_str("SELECT ");
+        if q.distinct {
+            out.push_str("DISTINCT ");
+        }
+        match &q.select {
+            Selection::All => out.push_str("* "),
+            Selection::Vars(vs) => {
+                for v in vs {
+                    match q.aggregates.iter().find(|a| &a.alias == v) {
+                        Some(agg) => {
+                            let _ = write!(out, "({}(", agg.func.keyword());
+                            if agg.distinct {
+                                out.push_str("DISTINCT ");
+                            }
+                            match &agg.arg {
+                                Some(e) => write_expr(e, &mut out),
+                                None => out.push('*'),
+                            }
+                            let _ = write!(out, ") AS ?{v}) ");
+                        }
+                        None => {
+                            let _ = write!(out, "?{v} ");
+                        }
+                    }
+                }
             }
         }
     }
     out.push_str("WHERE ");
     write_group(&q.body, &mut out, 0);
+    if !q.group_by.is_empty() {
+        out.push_str(" GROUP BY");
+        for v in &q.group_by {
+            let _ = write!(out, " ?{v}");
+        }
+    }
+    if let Some(h) = &q.having {
+        out.push_str(" HAVING(");
+        write_expr(h, &mut out);
+        out.push(')');
+    }
     if !q.order_by.is_empty() {
         out.push_str(" ORDER BY");
         for (v, desc) in &q.order_by {
@@ -97,6 +127,37 @@ fn write_group(g: &GroupPattern, out: &mut String, depth: usize) {
                 write_expr(e, out);
                 out.push(')');
             }
+            Element::Bind(e, v) => {
+                out.push_str("BIND(");
+                write_expr(e, out);
+                let _ = write!(out, " AS ?{v})");
+            }
+            Element::Values(vs, rows) => {
+                out.push_str("VALUES (");
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(' ');
+                    }
+                    let _ = write!(out, "?{v}");
+                }
+                out.push_str(") {");
+                for row in rows {
+                    out.push_str(" (");
+                    for (i, cell) in row.iter().enumerate() {
+                        if i > 0 {
+                            out.push(' ');
+                        }
+                        match cell {
+                            Some(t) => {
+                                let _ = write!(out, "{t}");
+                            }
+                            None => out.push_str("UNDEF"),
+                        }
+                    }
+                    out.push(')');
+                }
+                out.push_str(" }");
+            }
         }
         out.push('\n');
     }
@@ -111,25 +172,66 @@ fn term(t: &PatternTerm) -> String {
     }
 }
 
+fn write_binary(op: &str, a: &Expr, b: &Expr, out: &mut String) {
+    out.push('(');
+    write_expr(a, out);
+    let _ = write!(out, " {op} ");
+    write_expr(b, out);
+    out.push(')');
+}
+
+fn write_call(name: &str, args: &[&Expr], out: &mut String) {
+    let _ = write!(out, "{name}(");
+    for (i, a) in args.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_expr(a, out);
+    }
+    out.push(')');
+}
+
 fn write_expr(e: &Expr, out: &mut String) {
     match e {
-        Expr::Eq(a, b) => {
-            let _ = write!(out, "{} = {}", term(a), term(b));
+        Expr::Term(t) => {
+            let _ = write!(out, "{}", term(t));
         }
-        Expr::Ne(a, b) => {
-            let _ = write!(out, "{} != {}", term(a), term(b));
+        Expr::Eq(a, b) => write_binary("=", a, b, out),
+        Expr::Ne(a, b) => write_binary("!=", a, b, out),
+        Expr::Lt(a, b) => write_binary("<", a, b, out),
+        Expr::Le(a, b) => write_binary("<=", a, b, out),
+        Expr::Gt(a, b) => write_binary(">", a, b, out),
+        Expr::Ge(a, b) => write_binary(">=", a, b, out),
+        Expr::Add(a, b) => write_binary("+", a, b, out),
+        Expr::Sub(a, b) => write_binary("-", a, b, out),
+        Expr::Mul(a, b) => write_binary("*", a, b, out),
+        Expr::Div(a, b) => write_binary("/", a, b, out),
+        Expr::In(a, list, negated) => {
+            out.push('(');
+            write_expr(a, out);
+            out.push_str(if *negated { " NOT IN (" } else { " IN (" });
+            for (i, e) in list.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(e, out);
+            }
+            out.push_str("))");
         }
-        Expr::Lt(a, b) => {
-            let _ = write!(out, "{} < {}", term(a), term(b));
-        }
-        Expr::Le(a, b) => {
-            let _ = write!(out, "{} <= {}", term(a), term(b));
-        }
-        Expr::Gt(a, b) => {
-            let _ = write!(out, "{} > {}", term(a), term(b));
-        }
-        Expr::Ge(a, b) => {
-            let _ = write!(out, "{} >= {}", term(a), term(b));
+        Expr::Regex(t, p, f) => match f {
+            Some(f) => write_call("REGEX", &[t, p, f], out),
+            None => write_call("REGEX", &[t, p], out),
+        },
+        Expr::StrStarts(a, b) => write_call("STRSTARTS", &[a, b], out),
+        Expr::StrEnds(a, b) => write_call("STRENDS", &[a, b], out),
+        Expr::Contains(a, b) => write_call("CONTAINS", &[a, b], out),
+        Expr::Str(a) => write_call("STR", &[a], out),
+        Expr::Lang(a) => write_call("LANG", &[a], out),
+        Expr::Datatype(a) => write_call("DATATYPE", &[a], out),
+        Expr::Cast(kind, a) => {
+            let _ = write!(out, "<{}>(", kind.iri());
+            write_expr(a, out);
+            out.push(')');
         }
         Expr::Bound(v) => {
             let _ = write!(out, "BOUND(?{v})");
@@ -143,20 +245,8 @@ fn write_expr(e: &Expr, out: &mut String) {
         Expr::IsBlank(v) => {
             let _ = write!(out, "isBlank(?{v})");
         }
-        Expr::And(a, b) => {
-            out.push('(');
-            write_expr(a, out);
-            out.push_str(" && ");
-            write_expr(b, out);
-            out.push(')');
-        }
-        Expr::Or(a, b) => {
-            out.push('(');
-            write_expr(a, out);
-            out.push_str(" || ");
-            write_expr(b, out);
-            out.push(')');
-        }
+        Expr::And(a, b) => write_binary("&&", a, b, out),
+        Expr::Or(a, b) => write_binary("||", a, b, out),
         Expr::Not(a) => {
             out.push_str("!(");
             write_expr(a, out);
@@ -274,6 +364,17 @@ pub fn results_json(vars: &[String], rows: &[Vec<Option<Term>>]) -> String {
     out
 }
 
+/// Renders an `ASK` result in the **SPARQL 1.1 Query Results JSON Format**
+/// boolean form: `{"head":{},"boolean":true}`.
+pub fn ask_json(b: bool) -> String {
+    format!("{{\"head\":{{}},\"boolean\":{b}}}")
+}
+
+/// Renders an `ASK` result for the text formats (one line, `true`/`false`).
+pub fn ask_text(b: bool) -> String {
+    format!("{b}\n")
+}
+
 /// Renders projected solution rows in the **SPARQL 1.1 Query Results TSV
 /// Format** (`text/tab-separated-values`).
 ///
@@ -353,6 +454,63 @@ mod tests {
                OPTIONAL { { ?x <http://owl/sameAs> ?same } UNION { ?same <http://owl/sameAs> ?x } }
              }",
         );
+    }
+
+    #[test]
+    fn round_trips_new_surface() {
+        round_trip(
+            r#"SELECT ?g (COUNT(DISTINCT ?v) AS ?n) (SUM(?v) AS ?s) WHERE {
+                 ?x <http://g> ?g . ?x <http://v> ?v .
+                 BIND(?v * 2 AS ?w)
+                 VALUES (?g ?u) { (<http://a> 1) (UNDEF "x"@en) }
+                 FILTER(REGEX(STR(?x), "^http", "i") && ?v NOT IN (1, 2))
+               } GROUP BY ?g HAVING(?n >= 1) ORDER BY ?g LIMIT 3"#,
+        );
+        round_trip("ASK WHERE { ?x <http://p> ?y FILTER(?y + 1 < 10 / ?y) }");
+        round_trip(
+            r#"SELECT ?y WHERE {
+                 ?x <http://p> ?y
+                 FILTER(STRSTARTS(?y, "a") || STRENDS(?y, "b") || CONTAINS(?y, "c"))
+                 FILTER(DATATYPE(?y) != <http://www.w3.org/2001/XMLSchema#integer>
+                        || LANG(?y) = "en"
+                        || <http://www.w3.org/2001/XMLSchema#integer>(?y) = 1)
+               }"#,
+        );
+    }
+
+    #[test]
+    fn canonical_keys_distinguish_new_clauses() {
+        // The serializer output is the plan-cache key: structurally different
+        // queries must never share a serialization.
+        let base = "SELECT ?x WHERE { ?x <http://p> ?v }";
+        let variants = [
+            "SELECT ?x WHERE { ?x <http://p> ?v } GROUP BY ?x",
+            "SELECT ?x (COUNT(*) AS ?n) WHERE { ?x <http://p> ?v } GROUP BY ?x",
+            "SELECT ?x (COUNT(DISTINCT ?v) AS ?n) WHERE { ?x <http://p> ?v } GROUP BY ?x",
+            "SELECT ?x WHERE { ?x <http://p> ?v } GROUP BY ?x HAVING(?x > 1)",
+            "SELECT ?x WHERE { ?x <http://p> ?v VALUES ?v { 1 } }",
+            "SELECT ?x WHERE { ?x <http://p> ?v VALUES ?v { 2 } }",
+            "SELECT ?x WHERE { ?x <http://p> ?v BIND(?v AS ?w) }",
+            "ASK { ?x <http://p> ?v }",
+        ];
+        let mut keys = vec![serialize(&parse(base).unwrap())];
+        for v in variants {
+            keys.push(serialize(&parse(v).unwrap()));
+        }
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j], "variants {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn ask_results_forms() {
+        assert_eq!(ask_json(true), "{\"head\":{},\"boolean\":true}");
+        assert_eq!(ask_json(false), "{\"head\":{},\"boolean\":false}");
+        let doc = uo_json::parse(&ask_json(true)).unwrap();
+        assert!(doc.get("head").is_some());
+        assert_eq!(ask_text(false), "false\n");
     }
 
     #[test]

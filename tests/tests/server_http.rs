@@ -346,6 +346,80 @@ fn deadline_timeout_returns_error_and_recovers() {
     handle.shutdown();
 }
 
+/// The body the server must produce for `query`, ASK form included.
+fn expected_body(st: &TripleStore, query: &str) -> String {
+    let engine = WcoEngine::with_threads(1);
+    let report =
+        run_query_with(st, &engine, query, Strategy::Full, Parallelism::sequential()).unwrap();
+    match report.ask {
+        Some(b) => uo_sparql::ask_json(b),
+        None => {
+            let projection = uo_sparql::parse(query).unwrap().projection();
+            uo_sparql::results_json(&projection, &report.results)
+        }
+    }
+}
+
+/// ISSUE acceptance: aggregates, BIND, VALUES and ASK work over HTTP with
+/// correct W3C Results JSON (boolean form for ASK) — and near-identical
+/// queries that differ only in a GROUP BY / HAVING / VALUES / BIND clause
+/// or the ASK form occupy *distinct* plan-cache slots. A false cache hit
+/// would serve one variant the other's plan, so every variant's body must
+/// match direct execution and the miss count must equal the variant count.
+#[test]
+fn new_constructs_over_http_and_plan_cache_keys() {
+    let (st, handle) = start(ServerConfig::default());
+    let addr = handle.addr();
+
+    let variants = [
+        // Pairwise near-identical: same WHERE body, one clause apart.
+        "SELECT ?x WHERE { ?x <http://link> <http://POTUS> }",
+        "SELECT ?x WHERE { ?x <http://link> <http://POTUS> } GROUP BY ?x",
+        "ASK { ?x <http://link> <http://POTUS> }",
+        "SELECT ?x (COUNT(*) AS ?c) WHERE { ?x <http://link> <http://POTUS> } GROUP BY ?x",
+        "SELECT ?x (COUNT(*) AS ?c) WHERE { ?x <http://link> <http://POTUS> } \
+         GROUP BY ?x HAVING(?c > 1)",
+        "SELECT ?x ?y WHERE { ?x <http://link> ?y }",
+        "SELECT ?x ?y WHERE { VALUES ?x { <http://p0> <http://p1> } ?x <http://link> ?y }",
+        "SELECT ?x ?y WHERE { VALUES ?x { <http://p0> } ?x <http://link> ?y }",
+        "SELECT ?x ?y WHERE { ?x <http://link> ?y BIND(STR(?x) AS ?s) }",
+        // Aggregate over the whole store, no GROUP BY: one-row collapse.
+        "SELECT (COUNT(*) AS ?c) WHERE { ?x <http://link> <http://POTUS> }",
+        "ASK { ?x <http://link> <http://nobody> }",
+    ];
+
+    // Two passes: every variant is one miss then one hit, and both passes
+    // must serve the variant's *own* results.
+    for pass in 0..2 {
+        for q in &variants {
+            let (status, body) = get_query(addr, q, None);
+            assert_eq!(status, 200, "pass {pass}: {q}");
+            assert_eq!(body, expected_body(&st, q), "pass {pass} served wrong body for: {q}");
+        }
+    }
+
+    // ASK bodies use the W3C boolean form, in JSON and in the text formats.
+    let (_, body) = get_query(addr, "ASK { ?x <http://link> <http://POTUS> }", None);
+    assert_eq!(body, "{\"head\":{},\"boolean\":true}");
+    let (_, body) = get_query(
+        addr,
+        "ASK { ?x <http://link> <http://nobody> }",
+        Some("text/tab-separated-values"),
+    );
+    assert_eq!(body, "false\n");
+
+    let m = metrics(addr);
+    let misses = metric(&m, "plan_cache", "misses") as usize;
+    let hits = metric(&m, "plan_cache", "hits") as usize;
+    assert_eq!(
+        misses,
+        variants.len(),
+        "each variant must occupy its own plan-cache slot (false hit suspected)"
+    );
+    assert!(hits >= variants.len(), "second pass must hit the cache (hits={hits})");
+    handle.shutdown();
+}
+
 /// The debug format and TSV agree with the CLI-visible term syntax for
 /// typed and language-tagged literals.
 #[test]
