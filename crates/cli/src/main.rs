@@ -9,18 +9,22 @@
 //! sparql-uo serve  <data.{nt,ttl,uost}> [--port N] [--threads K]
 //!                  [--engine wco|binary] [--strategy base|tt|cp|full]
 //!                  [--engine-threads N] [--cache N] [--max-inflight N]
-//!                  [--timeout-ms N] [--host ADDR] [--writable]
+//!                  [--timeout-ms N] [--host ADDR] [--writable] [--fan-in N]
 //!                  [--data-dir DIR] [--fsync always|never|N]
-//! sparql-uo recover <data-dir> [--out <store.uost>]
-//! sparql-uo compact <data-dir>
+//!                  [--page-cache-mb N]
+//! sparql-uo recover <data-dir> [--out <store.uost>] [--page-cache-mb N]
+//! sparql-uo compact <data-dir> [--page-cache-mb N]
 //! sparql-uo gen    lubm|dbpedia [--scale N] --out <file.nt>
 //! ```
 //!
 //! `serve --writable --data-dir DIR` turns on **durability**: every
 //! acknowledged update is journaled (write-ahead log, fsynced per
 //! `--fsync`) before its snapshot is published, and a restart recovers
-//! newest-checkpoint + log-tail. `recover` and `compact` operate on such a
-//! directory offline.
+//! newest-checkpoint + log-tail. Checkpoints are **incremental**: only run
+//! files new since the previous checkpoint are written, and recovery pages
+//! them in lazily through a cache capped at `--page-cache-mb`. `recover`
+//! and `compact` operate on such a directory offline; `compact` also folds
+//! the tiered run stack into a single level.
 //!
 //! `--threads N` sets the worker count for store building and query
 //! evaluation (`1` forces sequential execution); for `serve` it sets the
@@ -64,24 +68,31 @@ const USAGE: &str = "usage:
   sparql-uo serve  <data.{nt,ttl,uost}> [--port N] [--threads K] [--writable]
                    [--engine wco|binary] [--strategy base|tt|cp|full]
                    [--engine-threads N] [--cache N] [--max-inflight N]
-                   [--timeout-ms N] [--host ADDR]
+                   [--timeout-ms N] [--host ADDR] [--fan-in N]
                    [--data-dir DIR] [--fsync always|never|N]
                    [--checkpoint-every N] [--checkpoint-interval-ms N]
+                   [--page-cache-mb N]
   sparql-uo recover <data-dir> [--out <store.uost>] [--threads N]
+                   [--page-cache-mb N]
   sparql-uo compact <data-dir> [--fsync always|never|N] [--threads N]
+                   [--page-cache-mb N]
   sparql-uo gen    lubm|dbpedia [--scale N] --out <file.nt>
 
   --threads N: worker count (1 = sequential; default: env UO_THREADS, else all cores)
   update applies INSERT DATA / DELETE DATA / DELETE WHERE and prints the
   commit report; --out persists the resulting snapshot (format v2, epoch).
-  serve --writable additionally accepts POST /update on the endpoint.
+  serve --writable additionally accepts POST /update on the endpoint;
+  --fan-in N folds the tiered run stack in the background once it is N
+  levels deep (default 8, 0 disables).
   serve --writable --data-dir journals every update to a write-ahead log
   before acknowledging it (crash-safe by default: --fsync always); on
-  restart the directory's newest checkpoint + log tail are recovered and
-  the positional data file only seeds a fresh, empty directory.
+  restart the directory's newest checkpoint + log tail are recovered,
+  checkpoint run files are paged in lazily through a cache capped at
+  --page-cache-mb (default 64), and the positional data file only seeds a
+  fresh, empty directory.
   recover replays a data-dir and reports (or exports) the durable state;
-  compact additionally writes a fresh checkpoint and retires covered log
-  segments.";
+  compact additionally folds the run stack into one level, writes a fresh
+  incremental checkpoint and retires covered log segments.";
 
 /// The worker-count policy for this invocation: the explicit `--threads`
 /// flag wins; the `UO_THREADS` environment knob is read once as a fallback.
@@ -298,6 +309,10 @@ fn parse_durable_options(args: &[String]) -> Result<uo_store::DurableOptions, St
     if let Some(v) = flag_value(args, "--fsync") {
         opts.fsync = uo_store::FsyncPolicy::parse(v).map_err(|e| format!("--fsync: {e}"))?;
     }
+    if let Some(v) = flag_value(args, "--page-cache-mb") {
+        let mb: usize = v.parse().map_err(|_| format!("--page-cache-mb: invalid size '{v}'"))?;
+        opts.page_cache_bytes = mb << 20;
+    }
     Ok(opts)
 }
 
@@ -310,14 +325,16 @@ fn require_durable_dir(dir: &str) -> Result<(), String> {
         return Err(format!("{dir}: no such directory"));
     }
     let has_wal = path.join("wal").is_dir();
-    let has_checkpoint = std::fs::read_dir(path)
-        .map_err(|e| e.to_string())?
-        .filter_map(|e| e.ok())
-        .any(|e| e.file_name().to_string_lossy().ends_with(".uost"));
+    let has_checkpoint =
+        std::fs::read_dir(path).map_err(|e| e.to_string())?.filter_map(|e| e.ok()).any(|e| {
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            name.ends_with(".uost") || name.ends_with(".uomf")
+        });
     if !has_wal && !has_checkpoint {
         return Err(format!(
-            "{dir}: not a durable data dir (no wal/ and no snapshot-*.uost); \
-             a fresh dir is created by serve --writable --data-dir"
+            "{dir}: not a durable data dir (no wal/, no manifest-*.uomf and no \
+             snapshot-*.uost); a fresh dir is created by serve --writable --data-dir"
         ));
     }
     Ok(())
@@ -384,6 +401,7 @@ fn cmd_serve(args: &[String], par: Parallelism) -> Result<(), String> {
         max_inflight: num("--max-inflight", defaults.max_inflight)?,
         default_timeout_ms: num("--timeout-ms", defaults.default_timeout_ms as usize)? as u64,
         writable: has_flag(args, "--writable"),
+        compact_fan_in: num("--fan-in", defaults.compact_fan_in)?,
         checkpoint_every: num("--checkpoint-every", defaults.checkpoint_every as usize)? as u64,
         checkpoint_interval_ms: num(
             "--checkpoint-interval-ms",
@@ -420,7 +438,9 @@ fn cmd_serve(args: &[String], par: Parallelism) -> Result<(), String> {
         None => {
             // Durable-only flags without --data-dir would be silently
             // dead — and the operator would believe updates are journaled.
-            for flag in ["--fsync", "--checkpoint-every", "--checkpoint-interval-ms"] {
+            for flag in
+                ["--fsync", "--checkpoint-every", "--checkpoint-interval-ms", "--page-cache-mb"]
+            {
                 if flag_value(args, flag).is_some() {
                     return Err(format!("{flag} requires --data-dir (nothing is journaled)"));
                 }
@@ -467,19 +487,26 @@ fn cmd_recover(args: &[String], par: Parallelism) -> Result<(), String> {
     Ok(())
 }
 
-/// `sparql-uo compact`: recover a durable data dir, write a fresh
-/// checkpoint at the current epoch, and retire fully-covered log segments.
+/// `sparql-uo compact`: recover a durable data dir, fold its tiered run
+/// stack into a single level, write a fresh incremental checkpoint at the
+/// current epoch, and retire fully-covered log segments.
 fn cmd_compact(args: &[String], par: Parallelism) -> Result<(), String> {
     let dir = args.first().ok_or("compact: missing <data-dir>")?;
     require_durable_dir(dir)?;
     let mut ds = open_data_dir(dir, parse_durable_options(args)?, par)?;
+    let levels_before = ds.snapshot().level_count();
+    ds.compact(par).map_err(|e| e.to_string())?;
     let before = ds.wal_stats();
     let report = ds.checkpoint().map_err(|e| e.to_string())?;
     let after = ds.wal_stats();
     eprintln!(
-        "checkpoint at epoch {}: retired {} segment(s) / {} byte(s); wal {} -> {} byte(s) \
-         in {} segment(s)",
+        "compacted {} level(s) into {}; checkpoint at epoch {} ({} run file(s) written, \
+         {} reused): retired {} segment(s) / {} byte(s); wal {} -> {} byte(s) in {} segment(s)",
+        levels_before,
+        ds.snapshot().level_count(),
         report.epoch,
+        report.runs_written,
+        report.runs_reused,
         report.segments_removed,
         report.bytes_removed,
         before.bytes,

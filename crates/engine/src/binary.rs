@@ -80,7 +80,7 @@ pub fn scan_pattern_par(
     let matches = store.match_pattern(pat.s.as_const(), pat.p.as_const(), pat.o.as_const());
     let par = if matches.len() < SCAN_PAR_THRESHOLD { Parallelism::sequential() } else { par };
     let kind = matches.kind;
-    let rows: Vec<Box<[Id]>> = uo_par::map_chunks(par, matches.rows, |chunk| {
+    let rows: Vec<Box<[Id]>> = uo_par::map_chunks(par, matches.rows(), |chunk| {
         let mut out: Vec<Box<[Id]>> = Vec::new();
         for &permuted in chunk {
             if let Some(row) = pat.bind(kind.to_spo(permuted), &empty) {

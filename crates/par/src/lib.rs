@@ -13,6 +13,11 @@
 //! - [`join2`] / [`join3`] — run two or three heterogeneous closures
 //!   concurrently (index building, statistics).
 //! - [`sort_unstable`] — parallel chunk sort plus k-way merge.
+//! - [`kway_merge`] / [`merge_tiers`] — sorted-run merges: the former
+//!   flattens per-worker runs, the latter resolves an LSM-style stack of
+//!   add runs against tombstone runs (the tiered snapshot read path).
+//! - [`merge_diff`] — base ∪ inserts ∖ deletes over sorted runs (full
+//!   compaction and the legacy monolithic commit path).
 //!
 //! Thread counts flow through [`Parallelism`], which reads the `UO_THREADS`
 //! environment knob (`1` = fully sequential fallback, the default behaviour
@@ -279,9 +284,10 @@ fn merge_diff_seq<T: Ord + Copy>(base: &[T], inserts: &[T], deletes: &[T]) -> Ve
 }
 
 /// Merges sorted runs into one sorted `Vec` by repeatedly picking the
-/// smallest head (runs are few — one per worker — so a linear scan beats a
-/// heap).
-fn kway_merge<T: Ord + Copy>(runs: &[&[T]]) -> Vec<T> {
+/// smallest head (runs are few — one per worker or one per storage tier —
+/// so a linear scan beats a heap). Stable across runs: when heads tie, the
+/// earliest run wins, so duplicates come out grouped in run order.
+pub fn kway_merge<T: Ord + Copy>(runs: &[&[T]]) -> Vec<T> {
     let total: usize = runs.iter().map(|r| r.len()).sum();
     let mut out = Vec::with_capacity(total);
     let mut pos = vec![0usize; runs.len()];
@@ -298,6 +304,57 @@ fn kway_merge<T: Ord + Copy>(runs: &[&[T]]) -> Vec<T> {
         let b = best.expect("a non-exhausted run exists");
         out.push(runs[b][pos[b]]);
         pos[b] += 1;
+    }
+    out
+}
+
+/// Merges an LSM-style stack of sorted **add** runs against sorted
+/// **tombstone** (delete) runs, producing the sorted set of live rows.
+///
+/// A row is live iff it occurs in strictly more add runs than delete runs.
+/// Under the store's commit normalization — a level only adds a row that is
+/// dead below it and only deletes a row that is live below it — the
+/// per-row occurrence sequence alternates add/delete starting with an add,
+/// so "more adds than deletes" is exactly "the newest occurrence is an
+/// add". The rule is symmetric in run *order*, which keeps the output
+/// independent of how callers enumerate the tiers and of worker count —
+/// the determinism contract the parallel engines gate on.
+pub fn merge_tiers<T: Ord + Copy>(adds: &[&[T]], dels: &[&[T]]) -> Vec<T> {
+    let add_total: usize = adds.iter().map(|r| r.len()).sum();
+    let mut out = Vec::with_capacity(add_total.saturating_sub(1) + 1);
+    let mut apos = vec![0usize; adds.len()];
+    let mut dpos = vec![0usize; dels.len()];
+    loop {
+        // Smallest head across every run, adds and tombstones alike.
+        let mut best: Option<T> = None;
+        for (i, run) in adds.iter().enumerate() {
+            if let Some(&v) = run.get(apos[i]) {
+                best = Some(best.map_or(v, |b: T| b.min(v)));
+            }
+        }
+        for (i, run) in dels.iter().enumerate() {
+            if let Some(&v) = run.get(dpos[i]) {
+                best = Some(best.map_or(v, |b: T| b.min(v)));
+            }
+        }
+        let Some(v) = best else { break };
+        // Count and consume every occurrence of `v`.
+        let mut live = 0isize;
+        for (i, run) in adds.iter().enumerate() {
+            while run.get(apos[i]) == Some(&v) {
+                apos[i] += 1;
+                live += 1;
+            }
+        }
+        for (i, run) in dels.iter().enumerate() {
+            while run.get(dpos[i]) == Some(&v) {
+                dpos[i] += 1;
+                live -= 1;
+            }
+        }
+        if live > 0 {
+            out.push(v);
+        }
     }
     out
 }
@@ -422,5 +479,21 @@ mod tests {
     fn kway_merge_handles_uneven_runs() {
         let merged = kway_merge(&[&[1, 4, 9][..], &[][..], &[2, 3][..], &[0][..]]);
         assert_eq!(merged, vec![0, 1, 2, 3, 4, 9]);
+    }
+
+    #[test]
+    fn merge_tiers_applies_tombstones() {
+        // Level 0 adds {1,2,3}; level 1 deletes 2 and adds 5; level 2
+        // re-adds 2 and deletes 5.
+        let adds = [&[1, 2, 3][..], &[5][..], &[2][..]];
+        let dels = [&[][..], &[2][..], &[5][..]];
+        assert_eq!(merge_tiers(&adds, &dels), vec![1, 2, 3]);
+        // Run enumeration order must not matter.
+        let adds_rev = [&[2][..], &[5][..], &[1, 2, 3][..]];
+        let dels_rev = [&[5][..], &[2][..], &[][..]];
+        assert_eq!(merge_tiers(&adds_rev, &dels_rev), vec![1, 2, 3]);
+        // Edge cases.
+        assert_eq!(merge_tiers::<u32>(&[], &[]), Vec::new());
+        assert_eq!(merge_tiers(&[&[7][..]], &[&[7][..]]), Vec::<u32>::new());
     }
 }

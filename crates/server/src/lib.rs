@@ -27,12 +27,18 @@
 //!   deadline enforced cooperatively at BGP-evaluation boundaries
 //!   ([`uo_core::Cancellation`]);
 //! - `GET /metrics` (JSON counters incl. `triples`, `snapshot_epoch`,
-//!   `updates` and the durable-mode `wal` block) and `GET /healthz`;
+//!   `updates`, the tiered-`store` block and the durable-mode `wal` block)
+//!   and `GET /healthz`;
+//! - a background **maintenance thread**: once the tiered run stack of the
+//!   published snapshot reaches `compact_fan_in` levels it is folded into
+//!   one — off the update path, installed only if no commit raced — keeping
+//!   read amplification bounded on long-running writable endpoints;
 //! - optional **durability** ([`start_durable`]): updates are applied,
 //!   journaled to a segmented CRC-checksummed write-ahead log and fsynced
 //!   per policy *before* the new snapshot is published or the response
-//!   written, so an acknowledged `POST /update` survives `kill -9`; a
-//!   background checkpointer persists snapshots and retires covered log
+//!   written, so an acknowledged `POST /update` survives `kill -9`; the
+//!   maintenance thread additionally persists incremental checkpoints
+//!   (immutable run files plus a small manifest) and retires covered log
 //!   segments.
 //!
 //! Responses are deterministic: the JSON/TSV serializations are exactly
@@ -114,8 +120,13 @@ pub struct ServerConfig {
     /// Durable mode only ([`start_durable`]): background-checkpoint once
     /// the published epoch is this far past the last checkpoint.
     pub checkpoint_every: u64,
-    /// Durable mode only: how often the checkpointer thread wakes to look.
+    /// Durable mode only: how often the maintenance thread wakes to look.
     pub checkpoint_interval_ms: u64,
+    /// Writable endpoints: background-compact the tiered run stack once it
+    /// is this many levels deep (0 disables compaction). Compaction runs
+    /// outside the writer lock and installs with an epoch check, so it
+    /// never blocks or races updates.
+    pub compact_fan_in: usize,
 }
 
 impl Default for ServerConfig {
@@ -135,6 +146,7 @@ impl Default for ServerConfig {
             writable: false,
             checkpoint_every: 64,
             checkpoint_interval_ms: 500,
+            compact_fan_in: 8,
         }
     }
 }
@@ -188,7 +200,7 @@ enum WriteBackend {
     Durable(Box<DurableStore>),
 }
 
-/// Durable-mode bookkeeping the request path and checkpointer share.
+/// Durable-mode bookkeeping the request path and maintenance thread share.
 struct DurableInfo {
     /// Lock-free gauges mirrored out of the [`DurableStore`].
     metrics: Arc<DurableMetrics>,
@@ -221,10 +233,13 @@ struct ServerState {
     update_errors: AtomicU64,
     updates_cancelled: AtomicU64,
     journal_errors: AtomicU64,
+    /// Background compactions installed, and the rows they rewrote.
+    compactions: AtomicU64,
+    compaction_rows: AtomicU64,
     inflight: AtomicUsize,
     shutting_down: AtomicBool,
     query_cancel: Arc<AtomicBool>,
-    /// Wakes the checkpointer early (on shutdown).
+    /// Wakes the maintenance thread early (on shutdown).
     checkpoint_signal: (Mutex<()>, Condvar),
     started: Instant,
 }
@@ -252,7 +267,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<ServerState>,
     acceptor: Option<JoinHandle<()>>,
-    checkpointer: Option<JoinHandle<()>>,
+    maintenance: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -275,11 +290,12 @@ impl ServerHandle {
         }
         self.state.query_cancel.store(true, Ordering::Relaxed);
         // Wake the acceptor if it is parked in accept(), and the
-        // checkpointer if it is parked in its interval wait. The notify
-        // happens while holding the signal mutex: the checkpointer checks
-        // the shutdown flag under the same mutex before waiting, so the
-        // wake can never land in the gap between its check and its wait
-        // (a lost wakeup would stall this join a full interval).
+        // maintenance thread if it is parked in its interval wait. The
+        // notify happens while holding the signal mutex: the maintenance
+        // loop checks the shutdown flag under the same mutex before
+        // waiting, so the wake can never land in the gap between its check
+        // and its wait (a lost wakeup would stall this join a full
+        // interval).
         let _ = TcpStream::connect(self.addr);
         {
             let _g = self.state.checkpoint_signal.0.lock().unwrap_or_else(PoisonError::into_inner);
@@ -305,8 +321,8 @@ impl ServerHandle {
                 }
             }
         }
-        if let Some(checkpointer) = self.checkpointer.take() {
-            let _ = checkpointer.join();
+        if let Some(maintenance) = self.maintenance.take() {
+            let _ = maintenance.join();
         }
     }
 }
@@ -332,8 +348,8 @@ pub fn start(snapshot: Arc<Snapshot>, cfg: ServerConfig, port: u16) -> io::Resul
 /// [`start`] in **durable** mode: serves the store recovered into `ds`
 /// (obtain one from [`uo_core::open_durable`]) and accepts `POST /update`
 /// with the log-before-acknowledge discipline — a 200 means the update is
-/// journaled at the store's fsync policy and survives `kill -9`. A
-/// background checkpointer persists the current snapshot every
+/// journaled at the store's fsync policy and survives `kill -9`. The
+/// background maintenance thread persists an incremental checkpoint every
 /// [`ServerConfig::checkpoint_every`] epochs and retires covered log
 /// segments. Implies `writable`.
 pub fn start_durable(ds: DurableStore, cfg: ServerConfig, port: u16) -> io::Result<ServerHandle> {
@@ -365,6 +381,8 @@ fn start_inner(
         update_errors: AtomicU64::new(0),
         updates_cancelled: AtomicU64::new(0),
         journal_errors: AtomicU64::new(0),
+        compactions: AtomicU64::new(0),
+        compaction_rows: AtomicU64::new(0),
         inflight: AtomicUsize::new(0),
         shutting_down: AtomicBool::new(false),
         query_cancel: Arc::new(AtomicBool::new(false)),
@@ -376,12 +394,14 @@ fn start_inner(
         cfg,
     });
 
-    let checkpointer = state.durable.is_some().then(|| {
+    let needs_maintenance =
+        state.durable.is_some() || (state.writer.is_some() && state.cfg.compact_fan_in > 0);
+    let maintenance = needs_maintenance.then(|| {
         let state = Arc::clone(&state);
         std::thread::Builder::new()
-            .name("uo-server-checkpointer".to_string())
-            .spawn(move || run_checkpointer(&state))
-            .expect("failed to spawn checkpointer")
+            .name("uo-server-maintenance".to_string())
+            .spawn(move || run_maintenance(&state))
+            .expect("failed to spawn maintenance thread")
     });
 
     let (tx, rx) = mpsc::channel::<TcpStream>();
@@ -443,20 +463,30 @@ fn start_inner(
             .expect("failed to spawn server acceptor")
     };
 
-    Ok(ServerHandle { addr, state, acceptor: Some(acceptor), checkpointer, workers })
+    Ok(ServerHandle { addr, state, acceptor: Some(acceptor), maintenance, workers })
 }
 
-/// The background checkpointer loop (durable mode): every interval, if the
-/// published epoch has advanced `checkpoint_every` past the last
-/// checkpoint, write the current snapshot to a checkpoint file — *outside*
-/// the writer lock, snapshots are immutable — then briefly take the lock
-/// to retire fully-covered log segments. (The final graceful-shutdown log
-/// sync lives in `ServerHandle::shutdown_inner`, *after* the workers have
-/// drained — updates acknowledged during the drain must be covered too.)
-fn run_checkpointer(state: &ServerState) {
-    let info = state.durable.as_ref().expect("checkpointer requires durable mode");
+/// The background maintenance loop. Every interval it performs two
+/// independent jobs, both designed to stay off the update path's critical
+/// section:
+///
+/// - **compaction** (writable endpoints, `compact_fan_in > 0`): when the
+///   published snapshot's run stack reaches `compact_fan_in` levels, fold
+///   it into one level *outside* the writer lock (snapshots are
+///   immutable), then briefly take the lock and install the result with an
+///   epoch check — if an update committed meanwhile, the install is
+///   refused and compaction simply retries next tick;
+/// - **checkpointing** (durable mode): if the published epoch has advanced
+///   `checkpoint_every` past the last checkpoint, write the new run files
+///   and the manifest — again outside the writer lock — then briefly take
+///   the lock to retire fully-covered log segments and garbage-collect
+///   superseded run files. (The final graceful-shutdown log sync lives in
+///   `ServerHandle::shutdown_inner`, *after* the workers have drained —
+///   updates acknowledged during the drain must be covered too.)
+fn run_maintenance(state: &ServerState) {
     let interval = Duration::from_millis(state.cfg.checkpoint_interval_ms.max(10));
     let every = state.cfg.checkpoint_every.max(1);
+    let par = uo_par::Parallelism::new(state.cfg.engine_threads.max(1));
     loop {
         {
             let (lock, cv) = &state.checkpoint_signal;
@@ -468,25 +498,64 @@ fn run_checkpointer(state: &ServerState) {
             }
         }
         let shutting_down = state.shutting_down.load(Ordering::SeqCst);
-        let snap = state.current_snapshot();
-        let last_cp = info.metrics.last_checkpoint_epoch.load(Ordering::Relaxed);
-        if snap.epoch() > last_cp && snap.epoch() - last_cp >= every {
-            match durable::write_checkpoint_file(&info.dir, &snap) {
-                Ok(_) => {
-                    if let Some(writer) = &state.writer {
-                        let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
-                        if let WriteBackend::Durable(ds) = &mut *w {
-                            if let Err(e) = ds.note_checkpoint(snap.epoch()) {
-                                eprintln!("checkpoint bookkeeping failed: {e}");
+
+        // Compaction: fold the stack once it is compact_fan_in deep.
+        let fan_in = state.cfg.compact_fan_in;
+        if fan_in > 0 {
+            let snap = state.current_snapshot();
+            if snap.level_count() >= fan_in {
+                match snap.compact_with(par) {
+                    Ok(compacted) => {
+                        let rows = 3 * compacted.len();
+                        let compacted = Arc::new(compacted);
+                        if let Some(writer) = &state.writer {
+                            let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
+                            let installed = match &mut *w {
+                                WriteBackend::Memory(mw) => {
+                                    mw.install_compacted(Arc::clone(&compacted))
+                                }
+                                WriteBackend::Durable(ds) => {
+                                    ds.writer_mut().install_compacted(Arc::clone(&compacted))
+                                }
+                            };
+                            if installed {
+                                // Publish under the writer lock — the same
+                                // discipline as commits — so the swap cannot
+                                // race a concurrent update's publish.
+                                *state.snapshot.write().unwrap_or_else(PoisonError::into_inner) =
+                                    compacted;
+                                state.compactions.fetch_add(1, Ordering::Relaxed);
+                                state.compaction_rows.fetch_add(rows as u64, Ordering::Relaxed);
                             }
                         }
                     }
+                    Err(e) => eprintln!("background compaction failed: {e}"),
                 }
-                Err(e) => eprintln!("checkpoint write failed: {e}"),
+            }
+        }
+
+        // Checkpointing (durable mode only).
+        if let Some(info) = &state.durable {
+            let snap = state.current_snapshot();
+            let last_cp = info.metrics.last_checkpoint_epoch.load(Ordering::Relaxed);
+            if snap.epoch() > last_cp && snap.epoch() - last_cp >= every {
+                match durable::write_checkpoint_file(&info.dir, &snap) {
+                    Ok(_) => {
+                        if let Some(writer) = &state.writer {
+                            let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
+                            if let WriteBackend::Durable(ds) = &mut *w {
+                                if let Err(e) = ds.note_checkpoint(snap.epoch()) {
+                                    eprintln!("checkpoint bookkeeping failed: {e}");
+                                }
+                            }
+                        }
+                    }
+                    Err(e) => eprintln!("checkpoint write failed: {e}"),
+                }
             }
         }
         // Re-load the flag: a shutdown signalled *during* the (possibly
-        // long) checkpoint work above had no waiter to wake, and waiting
+        // long) maintenance work above had no waiter to wake, and waiting
         // out another full interval would stall ServerHandle::shutdown.
         if shutting_down || state.shutting_down.load(Ordering::SeqCst) {
             return;
@@ -880,12 +949,34 @@ fn debug_table(vars: &[String], rows: &[Vec<Option<uo_rdf::Term>>]) -> String {
     out
 }
 
-/// Renders the `/metrics` JSON document (schema v3: adds the `wal` block —
-/// `null` on non-durable endpoints — and `journal_errors`).
+/// Renders the `/metrics` JSON document (schema v4: adds the `store` block
+/// — tiered-run occupancy, background-compaction counters and page-cache
+/// hit rates, `page_cache` being `null` for fully memory-resident stores —
+/// on top of v3's `wal` block and `journal_errors`).
 fn metrics_json(state: &ServerState) -> String {
     let snap = state.counters.snapshot();
     let (cache_hits, cache_misses, cache_stale) = state.cache.stats();
     let store = state.current_snapshot();
+    let tiers = store.tier_stats();
+    let page_cache = match store.page_cache_stats() {
+        Some(pc) => format!(
+            "{{\"hits\": {}, \"misses\": {}, \"evictions\": {}}}",
+            pc.hits, pc.misses, pc.evictions
+        ),
+        None => "null".to_string(),
+    };
+    let store_block = format!(
+        "{{\"levels\": {}, \"runs\": {}, \"mem_rows\": {}, \"disk_rows\": {}, \
+         \"tombstones\": {}, \"compactions\": {}, \"compaction_rows\": {}, \
+         \"page_cache\": {page_cache}}}",
+        tiers.levels,
+        tiers.runs,
+        tiers.mem_rows,
+        tiers.disk_rows,
+        tiers.tombstones,
+        state.compactions.load(Ordering::Relaxed),
+        state.compaction_rows.load(Ordering::Relaxed),
+    );
     let by_type: Vec<String> = snap
         .by_type
         .iter()
@@ -909,14 +1000,14 @@ fn metrics_json(state: &ServerState) -> String {
         None => "null".to_string(),
     };
     format!(
-        "{{\n  \"schema\": \"uo-server-metrics/3\",\n  \"uptime_s\": {},\n  \
+        "{{\n  \"schema\": \"uo-server-metrics/4\",\n  \"uptime_s\": {},\n  \
          \"engine\": \"{}\",\n  \"strategy\": \"{}\",\n  \"threads\": {},\n  \
          \"engine_threads\": {},\n  \"triples\": {},\n  \"snapshot_epoch\": {},\n  \
          \"writable\": {},\n  \"inflight\": {},\n  \
          \"max_inflight\": {},\n  \"plan_cache\": {{\"capacity\": {}, \"entries\": {}, \
          \"hits\": {cache_hits}, \"misses\": {cache_misses}, \"stale\": {cache_stale}}},\n  \
          \"updates\": {{\"updates_total\": {}, \"errors\": {}, \"cancelled\": {}, \
-         \"journal_errors\": {}}},\n  \"wal\": {wal},\n  \
+         \"journal_errors\": {}}},\n  \"wal\": {wal},\n  \"store\": {store_block},\n  \
          \"queries\": {{\"admitted\": {}, \"ok\": {}, \"parse_errors\": {}, \
          \"cancelled\": {}, \"rejected\": {}, \"rows\": {}, \"panics\": {}}},\n  \
          \"by_type\": {{{}}}\n}}\n",

@@ -4,7 +4,9 @@
 //!
 //! ```text
 //! <data-dir>/
-//!   snapshot-<epoch>.uost   checkpoints (v2 snapshot files, atomic writes)
+//!   manifest-<epoch>.uomf   incremental checkpoint manifests (small)
+//!   runs/run-<id>.uorun     immutable sorted-run files (paged v3, lazy)
+//!   snapshot-<epoch>.uost   legacy whole-store checkpoints (still readable)
 //!   wal/wal-<epoch>.log     the segmented write-ahead log (uo_wal)
 //! ```
 //!
@@ -22,25 +24,53 @@
 //! checkpoint's — through a caller-supplied replay function, verifying
 //! after each record that the writer landed on exactly the epoch the
 //! record was stamped with. Replay goes through the ordinary
-//! `StoreWriter::commit` machinery, so it takes the O(N + K) merge path,
-//! never a re-sort; [`RecoveryReport`] carries the accumulated
-//! [`CommitStats`](crate::CommitStats) totals as proof.
+//! `StoreWriter::commit` machinery, so it takes the O(K)-per-commit
+//! level-append path, never a base rewrite; [`RecoveryReport`] carries the
+//! accumulated [`CommitStats`](crate::CommitStats) totals as proof.
 //!
 //! The replay function is injected (rather than baked in) because payloads
 //! are canonical SPARQL Update serializations: parsing and re-running them
 //! needs the query engine, which lives *above* this crate. `uo_core`
 //! provides the standard replayer and the `run_update`-shaped entry points.
 //!
-//! **Checkpoints** bound recovery time and log growth: persisting the
-//! current snapshot lets every log segment whose records are all at or
-//! below a *retained* checkpoint be deleted. Two checkpoints are kept (the
-//! newest and the one before it); segments are retired against the
-//! **older** of the two, so even if the newest checkpoint file were lost,
-//! the previous checkpoint plus the surviving log still reconstructs every
-//! acknowledged commit.
+//! # Incremental checkpoints
+//!
+//! A checkpoint persists the tiered run stack **incrementally**: each
+//! level of the snapshot becomes one immutable run file
+//! (`runs/run-<id>.uorun`, a single-level paged v3 container) that is
+//! written only if it does not exist yet — levels already persisted by a
+//! previous checkpoint are reused by reference. A small **manifest**
+//! (`manifest-<epoch>.uomf`) then records the dictionary, statistics, and
+//! the level table, and is written atomically. A checkpoint after K new
+//! commits therefore writes O(K) rows plus a manifest, not the whole
+//! store. Loading a manifest opens the run files **lazily** (pages fetched
+//! on demand, budget [`DurableOptions::page_cache_bytes`]), so recovery of
+//! a beyond-RAM store is cheap and cold queries work immediately.
+//!
+//! Run ids are allocated monotonically within a lineage, and
+//! [`DurableStore::open`] raises the writer's next-run-id above every run
+//! file on disk — so a run file name is written at most once, which is
+//! what makes the write-if-absent reuse sound even across crash/fallback
+//! lineages. Orphaned run files (from pruned manifests or abandoned
+//! lineages) are garbage-collected by
+//! [`note_checkpoint`](DurableStore::note_checkpoint) once no retained
+//! manifest references them — skipped conservatively if any manifest is
+//! unreadable.
+//!
+//! **Retention** is unchanged from the legacy whole-file scheme: two
+//! checkpoints are kept (the newest and the one before it); log segments
+//! are retired against the **older** of the two, so even if the newest
+//! checkpoint were lost, the previous checkpoint plus the surviving log
+//! still reconstructs every acknowledged commit.
 
+use crate::paged::{
+    decode_dict, decode_stats, encode_dict, encode_stats, open_container, write_container, Backing,
+    ContainerMeta, Cursor, PageCacheStats, PagedOptions, KIND_RUN,
+};
+use crate::runs::Level;
+use crate::stats::DatasetStats;
 use crate::writer::StoreWriter;
-use crate::{save_to_file, Snapshot, SnapshotError};
+use crate::{Snapshot, SnapshotError};
 use std::fmt;
 use std::fs;
 use std::io;
@@ -60,11 +90,19 @@ pub struct DurableOptions {
     /// default), log segments are retired against the *older* retained
     /// checkpoint, keeping a full fallback lineage on disk.
     pub retain_checkpoints: usize,
+    /// Page-cache byte budget per paged file opened during recovery (run
+    /// files and v3 snapshot checkpoints are loaded lazily).
+    pub page_cache_bytes: usize,
 }
 
 impl Default for DurableOptions {
     fn default() -> Self {
-        DurableOptions { fsync: FsyncPolicy::Always, segment_bytes: 8 << 20, retain_checkpoints: 2 }
+        DurableOptions {
+            fsync: FsyncPolicy::Always,
+            segment_bytes: 8 << 20,
+            retain_checkpoints: 2,
+            page_cache_bytes: 64 << 20,
+        }
     }
 }
 
@@ -156,6 +194,10 @@ pub struct CheckpointReport {
     pub segments_removed: usize,
     /// Log bytes freed.
     pub bytes_removed: u64,
+    /// Run files this checkpoint wrote (levels not yet on disk).
+    pub runs_written: usize,
+    /// Levels reused by reference — their run files already existed.
+    pub runs_reused: usize,
 }
 
 /// Crash-safe wrapper around a [`StoreWriter`]. See the module docs.
@@ -189,36 +231,300 @@ impl fmt::Debug for DurableStore {
     }
 }
 
-/// The file name of a checkpoint at `epoch`, inside the data dir.
+/// The file name of a legacy whole-store checkpoint at `epoch`.
 pub fn checkpoint_path(dir: &Path, epoch: u64) -> PathBuf {
     dir.join(format!("snapshot-{epoch:020}.uost"))
+}
+
+/// The file name of an incremental checkpoint manifest at `epoch`.
+pub fn manifest_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("manifest-{epoch:020}.uomf"))
+}
+
+/// The file of the immutable run with the given id.
+fn run_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join("runs").join(format!("run-{id:020}.uorun"))
 }
 
 fn parse_checkpoint_name(name: &str) -> Option<u64> {
     name.strip_prefix("snapshot-")?.strip_suffix(".uost")?.parse().ok()
 }
 
-/// Epochs of all checkpoint files in `dir`, newest first.
-fn list_checkpoints(dir: &Path) -> io::Result<Vec<u64>> {
-    let mut epochs = Vec::new();
+fn parse_manifest_name(name: &str) -> Option<u64> {
+    name.strip_prefix("manifest-")?.strip_suffix(".uomf")?.parse().ok()
+}
+
+fn parse_run_name(name: &str) -> Option<u64> {
+    name.strip_prefix("run-")?.strip_suffix(".uorun")?.parse().ok()
+}
+
+fn list_by(dir: &Path, parse: impl Fn(&str) -> Option<u64>) -> io::Result<Vec<u64>> {
+    let mut out = Vec::new();
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
-        if let Some(e) = entry.file_name().to_str().and_then(parse_checkpoint_name) {
-            epochs.push(e);
+        if let Some(e) = entry.file_name().to_str().and_then(&parse) {
+            out.push(e);
         }
     }
+    out.sort_unstable_by(|a, b| b.cmp(a));
+    Ok(out)
+}
+
+/// Epochs of all legacy checkpoint files in `dir`, newest first.
+fn list_checkpoints(dir: &Path) -> io::Result<Vec<u64>> {
+    list_by(dir, parse_checkpoint_name)
+}
+
+/// Epochs of all checkpoint manifests in `dir`, newest first.
+fn list_manifests(dir: &Path) -> io::Result<Vec<u64>> {
+    list_by(dir, parse_manifest_name)
+}
+
+/// Ids of all run files in `dir/runs`, newest first; `[]` when the
+/// subdirectory does not exist yet.
+fn list_runs(dir: &Path) -> io::Result<Vec<u64>> {
+    match list_by(&dir.join("runs"), parse_run_name) {
+        Ok(ids) => Ok(ids),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(e),
+    }
+}
+
+/// Checkpoint epochs present in `dir` in either representation (manifest
+/// or legacy whole-store file), newest first, deduplicated.
+fn list_checkpoint_epochs(dir: &Path) -> io::Result<Vec<u64>> {
+    let mut epochs = list_manifests(dir)?;
+    epochs.extend(list_checkpoints(dir)?);
     epochs.sort_unstable_by(|a, b| b.cmp(a));
+    epochs.dedup();
     Ok(epochs)
 }
 
-/// Atomically writes `snap` as a checkpoint file in `dir` and returns its
-/// path. Safe to call without any store lock — a snapshot is immutable —
-/// which is how the server's background checkpointer avoids stalling
-/// writers during the (potentially large) file write.
-pub fn write_checkpoint_file(dir: &Path, snap: &Snapshot) -> io::Result<PathBuf> {
-    let path = checkpoint_path(dir, snap.epoch());
-    save_to_file(snap, &path)?;
-    Ok(path)
+/// Writes `bytes` to `path` atomically: temp file, fsync, rename, fsync of
+/// the containing directory.
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(".tmp");
+    let tmp = PathBuf::from(tmp_name);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        use io::Write;
+        if let Err(e) = f.write_all(bytes).and_then(|()| f.sync_all()) {
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
+        }
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        if let Ok(d) = fs::File::open(parent) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+// -- manifest encoding ------------------------------------------------------
+
+const MANIFEST_MAGIC: &[u8; 4] = b"UOMF";
+const MANIFEST_VERSION: u32 = 1;
+
+/// A decoded checkpoint manifest: everything a snapshot holds except the
+/// rows themselves, which live in the referenced run files.
+struct Manifest {
+    epoch: u64,
+    len: u64,
+    next_run_id: u64,
+    dict: uo_rdf::Dictionary,
+    stats: DatasetStats,
+    /// Per level: run id + the six section row counts
+    /// (adds SPO/POS/OSP, dels SPO/POS/OSP), bottom level first.
+    levels: Vec<(u64, [u64; 6])>,
+}
+
+fn encode_manifest(snap: &Snapshot) -> Vec<u8> {
+    let mut b = Vec::new();
+    b.extend_from_slice(MANIFEST_MAGIC);
+    b.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+    b.extend_from_slice(&snap.epoch().to_le_bytes());
+    b.extend_from_slice(&(snap.len() as u64).to_le_bytes());
+    b.extend_from_slice(&snap.next_run_id.to_le_bytes());
+    let dict = encode_dict(snap.dictionary());
+    b.extend_from_slice(&(dict.len() as u64).to_le_bytes());
+    b.extend_from_slice(&dict);
+    encode_stats(snap.stats(), &mut b);
+    b.extend_from_slice(&(snap.levels.len() as u32).to_le_bytes());
+    for level in &snap.levels {
+        b.extend_from_slice(&level.id.to_le_bytes());
+        for run in level.adds.iter().chain(level.dels.iter()) {
+            b.extend_from_slice(&(run.len() as u64).to_le_bytes());
+        }
+    }
+    let crc = uo_wal::crc32(&b);
+    b.extend_from_slice(&crc.to_le_bytes());
+    b
+}
+
+fn decode_manifest(bytes: &[u8]) -> Result<Manifest, SnapshotError> {
+    let corrupt = |m: &str| SnapshotError::Corrupt(format!("manifest: {m}"));
+    if bytes.len() < 8 + 4 {
+        return Err(corrupt("too small"));
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let want = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    if uo_wal::crc32(body) != want {
+        return Err(corrupt("crc mismatch"));
+    }
+    let mut cur = Cursor::new(body);
+    if cur.take(4)? != MANIFEST_MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let version = cur.u32()?;
+    if version != MANIFEST_VERSION {
+        return Err(corrupt(&format!("unsupported version {version}")));
+    }
+    let epoch = cur.u64()?;
+    let len = cur.u64()?;
+    let next_run_id = cur.u64()?;
+    let dict_len = cur.u64()? as usize;
+    let dict = decode_dict(cur.take(dict_len)?)?;
+    let stats = decode_stats(&mut cur)?;
+    let level_count = cur.u32()? as usize;
+    if level_count > 1 << 20 {
+        return Err(corrupt("level count out of range"));
+    }
+    let mut levels = Vec::with_capacity(level_count);
+    for _ in 0..level_count {
+        let id = cur.u64()?;
+        let mut counts = [0u64; 6];
+        for c in &mut counts {
+            *c = cur.u64()?;
+        }
+        levels.push((id, counts));
+    }
+    if !cur.is_done() {
+        return Err(corrupt("trailing bytes"));
+    }
+    Ok(Manifest { epoch, len, next_run_id, dict, stats, levels })
+}
+
+/// Writes one level as an immutable single-level run container.
+fn write_run_file(path: &Path, level: &Arc<Level>) -> io::Result<()> {
+    let mut bytes = Vec::new();
+    let meta = ContainerMeta {
+        kind: KIND_RUN,
+        epoch: 0,
+        len: 0,
+        next_run_id: 0,
+        dict: None,
+        stats: None,
+        levels: std::slice::from_ref(level),
+    };
+    write_container(&mut bytes, &meta).map_err(|e| match e {
+        SnapshotError::Io(e) => e,
+        other => io::Error::other(other.to_string()),
+    })?;
+    write_atomic(path, &bytes)
+}
+
+/// Opens the run file for `id` lazily and returns its level, validating
+/// the container kind, level id and section row counts against the
+/// manifest's expectations.
+fn open_run_file(
+    dir: &Path,
+    id: u64,
+    counts: &[u64; 6],
+    cache_bytes: usize,
+    cache_stats: &Arc<PageCacheStats>,
+) -> Result<Arc<Level>, SnapshotError> {
+    let corrupt = |m: String| SnapshotError::Corrupt(m);
+    let file = fs::File::open(run_path(dir, id))?;
+    let c =
+        open_container(Backing::File(file), PagedOptions { cache_bytes }, Arc::clone(cache_stats))?;
+    if c.kind != KIND_RUN {
+        return Err(corrupt(format!("run {id}: not a run container")));
+    }
+    let [level] = <[Arc<Level>; 1]>::try_from(c.levels)
+        .map_err(|_| corrupt(format!("run {id}: expected exactly one level")))?;
+    if level.id != id {
+        return Err(corrupt(format!("run {id}: file holds level {}", level.id)));
+    }
+    let got: Vec<u64> =
+        level.adds.iter().chain(level.dels.iter()).map(|r| r.len() as u64).collect();
+    if got != counts {
+        return Err(corrupt(format!("run {id}: row counts disagree with the manifest")));
+    }
+    Ok(level)
+}
+
+/// Loads the checkpoint described by `manifest-<epoch>.uomf`, opening its
+/// run files lazily (shared page-cache counters, per-file `cache_bytes`
+/// budget).
+fn load_manifest_snapshot(
+    dir: &Path,
+    epoch: u64,
+    cache_bytes: usize,
+) -> Result<Snapshot, SnapshotError> {
+    let m = decode_manifest(&fs::read(manifest_path(dir, epoch))?)?;
+    if m.epoch != epoch {
+        return Err(SnapshotError::Corrupt("manifest: file name lies about its epoch".into()));
+    }
+    let cache_stats = Arc::new(PageCacheStats::default());
+    let mut levels = Vec::with_capacity(m.levels.len());
+    let mut live: i64 = 0;
+    for (id, counts) in &m.levels {
+        live += counts[0] as i64 - counts[3] as i64;
+        levels.push(open_run_file(dir, *id, counts, cache_bytes, &cache_stats)?);
+    }
+    if live != m.len as i64 {
+        return Err(SnapshotError::Corrupt(
+            "manifest: live row count inconsistent with level table".into(),
+        ));
+    }
+    Ok(Snapshot {
+        dict: Arc::new(m.dict),
+        epoch: m.epoch,
+        levels,
+        len: m.len as usize,
+        next_run_id: m.next_run_id,
+        stats: m.stats,
+    })
+}
+
+/// What [`write_checkpoint_file`] persisted.
+#[derive(Debug, Clone)]
+pub struct CheckpointWrite {
+    /// Path of the manifest file.
+    pub path: PathBuf,
+    /// Run files written (levels that were not on disk yet).
+    pub runs_written: usize,
+    /// Levels whose run file already existed and was reused.
+    pub runs_reused: usize,
+}
+
+/// Persists `snap` as an incremental checkpoint in `dir`: one immutable
+/// run file per level **that is not on disk yet** (run ids are allocated
+/// monotonically per lineage, so an existing `runs/run-<id>.uorun` already
+/// holds exactly this level), then the manifest, written atomically last —
+/// a crash at any point leaves either the previous checkpoint or the new
+/// one, never a half state. Safe to call without any store lock — a
+/// snapshot is immutable — which is how the server's background
+/// checkpointer avoids stalling writers during the file writes.
+pub fn write_checkpoint_file(dir: &Path, snap: &Snapshot) -> io::Result<CheckpointWrite> {
+    fs::create_dir_all(dir.join("runs"))?;
+    let mut runs_written = 0;
+    let mut runs_reused = 0;
+    for level in &snap.levels {
+        let path = run_path(dir, level.id);
+        if path.exists() {
+            runs_reused += 1;
+        } else {
+            write_run_file(&path, level)?;
+            runs_written += 1;
+        }
+    }
+    let path = manifest_path(dir, snap.epoch());
+    write_atomic(&path, &encode_manifest(snap))?;
+    Ok(CheckpointWrite { path, runs_written, runs_reused })
 }
 
 impl DurableStore {
@@ -249,26 +555,61 @@ impl DurableStore {
                 dir.display()
             )));
         }
-        // Sweep checkpoint temp files orphaned by a crash mid-write (the
-        // atomic rename never promoted them); each can be full-store-sized,
-        // and a crash loop would otherwise accumulate them indefinitely.
-        for entry in fs::read_dir(dir)? {
-            let entry = entry?;
-            if entry.file_name().to_str().is_some_and(|n| n.ends_with(".uost.tmp")) {
-                let _ = fs::remove_file(entry.path());
+        // Sweep temp files orphaned by a crash mid-write (the atomic rename
+        // never promoted them); run-file temps can be large, and a crash
+        // loop would otherwise accumulate them indefinitely.
+        let sweep_tmp = |d: &Path| -> io::Result<()> {
+            for entry in fs::read_dir(d)? {
+                let entry = entry?;
+                if entry.file_name().to_str().is_some_and(|n| n.ends_with(".tmp")) {
+                    let _ = fs::remove_file(entry.path());
+                }
             }
+            Ok(())
+        };
+        sweep_tmp(dir)?;
+        match sweep_tmp(&dir.join("runs")) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            r => r?,
         }
         let mut recovery = RecoveryReport::default();
 
-        // Newest valid checkpoint wins; unloadable ones are skipped (the
-        // atomic writer makes them near-impossible, but a half-copied
-        // backup or a bad disk should degrade, not brick the store) and
-        // structurally-corrupt ones deleted — they must never be counted
-        // as retention fallbacks, or a later checkpoint would retire the
-        // log segments the *real* fallback still needs.
+        // Newest valid checkpoint wins — incremental manifests and legacy
+        // whole-store files compete in one epoch order, manifest preferred
+        // at a tie. Unloadable ones are skipped (the atomic writer makes
+        // them near-impossible, but a half-copied backup or a bad disk
+        // should degrade, not brick the store) and structurally-corrupt
+        // ones deleted — they must never be counted as retention
+        // fallbacks, or a later checkpoint would retire the log segments
+        // the *real* fallback still needs. Deleting a manifest never
+        // touches its run files: other manifests may share them.
         let mut base: Option<Arc<Snapshot>> = None;
-        for epoch in list_checkpoints(dir)? {
-            match crate::load_from_file(&checkpoint_path(dir, epoch)) {
+        'epochs: for epoch in list_checkpoint_epochs(dir)? {
+            if manifest_path(dir, epoch).exists() {
+                match load_manifest_snapshot(dir, epoch, opts.page_cache_bytes) {
+                    Ok(snap) => {
+                        recovery.checkpoint_epoch = epoch;
+                        base = Some(Arc::new(snap));
+                        break 'epochs;
+                    }
+                    Err(SnapshotError::Corrupt(_)) => {
+                        recovery.checkpoints_skipped += 1;
+                        let _ = fs::remove_file(manifest_path(dir, epoch));
+                    }
+                    // A referenced run file is gone: the manifest can never
+                    // load again — treat it like structural corruption.
+                    Err(SnapshotError::Io(e)) if e.kind() == io::ErrorKind::NotFound => {
+                        recovery.checkpoints_skipped += 1;
+                        let _ = fs::remove_file(manifest_path(dir, epoch));
+                    }
+                    // A transient read error: skip but keep the manifest.
+                    Err(_) => recovery.checkpoints_skipped += 1,
+                }
+            }
+            match crate::load_from_file_with(
+                &checkpoint_path(dir, epoch),
+                crate::PagedOptions { cache_bytes: opts.page_cache_bytes },
+            ) {
                 Ok(store) => {
                     let snap = store.snapshot();
                     if snap.epoch() != epoch {
@@ -290,7 +631,17 @@ impl DurableStore {
                 Err(_) => recovery.checkpoints_skipped += 1,
             }
         }
-        let base = base.unwrap_or_else(|| Arc::new(Snapshot::empty()));
+        let mut base = base.unwrap_or_else(|| Arc::new(Snapshot::empty()));
+        // Raise the run-id floor above every run file on disk, so ids
+        // allocated by this lineage never collide with a file written by an
+        // abandoned or newer one — which is what makes the write-if-absent
+        // reuse in `write_checkpoint_file` sound.
+        let floor = list_runs(dir)?.first().map_or(0, |max| max + 1);
+        if floor > base.next_run_id {
+            let mut raised = (*base).clone();
+            raised.next_run_id = floor;
+            base = Arc::new(raised);
+        }
         // Checkpoints proven loadable: the one recovery validated now, plus
         // every one this store writes itself. Only these count for
         // retention decisions (pruning and segment retirement).
@@ -379,20 +730,35 @@ impl DurableStore {
         self.writer = StoreWriter::from_snapshot(base);
     }
 
-    /// Persists the current snapshot as a checkpoint and retires
-    /// fully-covered log segments. Convenience for single-threaded callers
-    /// (CLI `compact`); the server splits the two phases so the file write
-    /// happens outside the writer lock (see [`write_checkpoint_file`]).
+    /// Persists the current snapshot as an incremental checkpoint (new run
+    /// files + manifest) and retires fully-covered log segments.
+    /// Convenience for single-threaded callers (CLI `compact`); the server
+    /// splits the two phases so the file writes happen outside the writer
+    /// lock (see [`write_checkpoint_file`]).
     pub fn checkpoint(&mut self) -> io::Result<CheckpointReport> {
         let snap = self.writer.snapshot();
-        write_checkpoint_file(&self.dir, &snap)?;
-        self.note_checkpoint(snap.epoch())
+        let written = write_checkpoint_file(&self.dir, &snap)?;
+        let mut report = self.note_checkpoint(snap.epoch())?;
+        report.runs_written = written.runs_written;
+        report.runs_reused = written.runs_reused;
+        Ok(report)
     }
 
-    /// Records that a checkpoint file at `epoch` exists (written via
-    /// [`write_checkpoint_file`]): prunes old checkpoints beyond the
-    /// retention count and retires every log segment fully covered by the
-    /// **oldest retained** checkpoint.
+    /// Folds the tiered run stack into a single level — same epoch, same
+    /// content — bounding read fan-in and letting the next checkpoint's
+    /// run-file GC reclaim the superseded levels.
+    pub fn compact(&mut self, par: uo_par::Parallelism) -> Result<(), SnapshotError> {
+        let compacted = self.writer.snapshot().compact_with(par)?;
+        let installed = self.writer.install_compacted(Arc::new(compacted));
+        debug_assert!(installed, "no concurrent commit can interleave under &mut self");
+        Ok(())
+    }
+
+    /// Records that a checkpoint at `epoch` exists on disk (written via
+    /// [`write_checkpoint_file`]): prunes checkpoints beyond the retention
+    /// count, garbage-collects run files no retained manifest references,
+    /// and retires every log segment fully covered by the **oldest
+    /// retained** checkpoint.
     pub fn note_checkpoint(&mut self, epoch: u64) -> io::Result<CheckpointReport> {
         let mut report = CheckpointReport { epoch, ..CheckpointReport::default() };
         let retain = self.opts.retain_checkpoints.max(1);
@@ -408,12 +774,40 @@ impl DurableStore {
         }
         self.trusted_checkpoints.truncate(retain);
         let oldest_retained = *self.trusted_checkpoints.last().expect("just pushed");
-        // Prune checkpoint files strictly older than the oldest retained
-        // trusted one. (Unvalidated files newer than it stay; open sweeps
-        // them if they are corrupt.)
+        // Prune checkpoint files — manifests and legacy whole-store files —
+        // strictly older than the oldest retained trusted one. (Unvalidated
+        // files newer than it stay; open sweeps them if they are corrupt.)
         for old in list_checkpoints(&self.dir)? {
             if old < oldest_retained {
                 let _ = fs::remove_file(checkpoint_path(&self.dir, old));
+            }
+        }
+        for old in list_manifests(&self.dir)? {
+            if old < oldest_retained {
+                let _ = fs::remove_file(manifest_path(&self.dir, old));
+            }
+        }
+        // Run-file GC: a run file is garbage once no surviving manifest
+        // references it (superseded by compaction, or its manifest was
+        // pruned). Skipped entirely if any manifest is unreadable — we
+        // cannot prove anything unreferenced then, and open() will settle
+        // the unreadable manifest's fate on the next recovery.
+        let mut referenced = std::collections::HashSet::new();
+        let mut every_manifest_readable = true;
+        for e in list_manifests(&self.dir)? {
+            match fs::read(manifest_path(&self.dir, e))
+                .map_err(SnapshotError::Io)
+                .and_then(|b| decode_manifest(&b))
+            {
+                Ok(m) => referenced.extend(m.levels.iter().map(|(id, _)| *id)),
+                Err(_) => every_manifest_readable = false,
+            }
+        }
+        if every_manifest_readable {
+            for id in list_runs(&self.dir)? {
+                if !referenced.contains(&id) {
+                    let _ = fs::remove_file(run_path(&self.dir, id));
+                }
             }
         }
         // Publish the checkpoint gauge *before* attempting retirement: the
@@ -589,9 +983,9 @@ mod tests {
             apply_nt(&mut ds, "<http://a> <http://p> <http://c> .\n");
             ds.checkpoint().unwrap(); // snapshot-…2
         }
-        // Vandalize the newest checkpoint.
-        let newest = checkpoint_path(&dir, 2);
-        fs::write(&newest, b"UOSTgarbage").unwrap();
+        // Vandalize the newest checkpoint manifest.
+        let newest = manifest_path(&dir, 2);
+        fs::write(&newest, b"UOMFgarbage").unwrap();
         let ds = open(&dir, DurableOptions::default());
         assert_eq!(ds.recovery().checkpoints_skipped, 1);
         assert_eq!(ds.recovery().checkpoint_epoch, 1, "fell back to the previous checkpoint");
@@ -713,7 +1107,7 @@ mod tests {
             apply_nt(&mut ds, "<http://s4> <http://p> <http://o4> .\n");
         }
         // A corrupt checkpoint appears at epoch 4 (bad disk, half copy).
-        fs::write(checkpoint_path(&dir, 4), b"UOSTgarbage").unwrap();
+        fs::write(manifest_path(&dir, 4), b"UOMFgarbage").unwrap();
         {
             let mut ds = open(&dir, opts);
             assert_eq!(ds.recovery().checkpoint_epoch, 3, "good checkpoint wins");
@@ -725,7 +1119,7 @@ mod tests {
             assert_eq!(ds.wal_stats().records, 2, "records above the trusted fallback stay");
         }
         // Double fault: the newest good checkpoint dies too.
-        fs::write(checkpoint_path(&dir, 5), b"UOSTgarbage").unwrap();
+        fs::write(manifest_path(&dir, 5), b"UOMFgarbage").unwrap();
         let ds = open(&dir, opts);
         assert_eq!(ds.recovery().checkpoint_epoch, 3);
         assert_eq!(ds.recovery().replayed_ops, 2, "fallback + log reconstructs everything");
@@ -758,12 +1152,101 @@ mod tests {
             apply_nt(&mut ds, "<http://a> <http://p> <http://b> .\n");
             ds.checkpoint().unwrap();
         }
-        // A crash mid-checkpoint leaves a .uost.tmp behind.
-        let orphan = dir.join("snapshot-00000000000000000009.uost.tmp");
-        fs::write(&orphan, b"half-written checkpoint").unwrap();
+        // A crash mid-checkpoint leaves temp files behind: a manifest temp,
+        // a run-file temp, and a legacy snapshot temp.
+        let orphans = [
+            dir.join("manifest-00000000000000000009.uomf.tmp"),
+            dir.join("runs").join("run-00000000000000000009.uorun.tmp"),
+            dir.join("snapshot-00000000000000000009.uost.tmp"),
+        ];
+        for o in &orphans {
+            fs::write(o, b"half-written checkpoint").unwrap();
+        }
         let ds = open(&dir, DurableOptions::default());
-        assert!(!orphan.exists(), "open must sweep checkpoint temp files");
+        for o in &orphans {
+            assert!(!o.exists(), "open must sweep temp files: {}", o.display());
+        }
         assert_eq!(ds.snapshot().len(), 1, "real state untouched");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn incremental_checkpoint_reuses_existing_run_files() {
+        let dir = temp_dir("incremental");
+        let mut ds = open(&dir, DurableOptions::default());
+        apply_nt(&mut ds, "<http://a> <http://p> <http://b> .\n");
+        let cp1 = ds.checkpoint().unwrap();
+        assert_eq!(cp1.runs_written, 1, "first checkpoint persists the only level");
+        assert_eq!(cp1.runs_reused, 0);
+        apply_nt(&mut ds, "<http://a> <http://p> <http://c> .\n");
+        apply_nt(&mut ds, "<http://a> <http://p> <http://d> .\n");
+        let cp2 = ds.checkpoint().unwrap();
+        assert_eq!(cp2.runs_written, 2, "only the two new levels are written");
+        assert_eq!(cp2.runs_reused, 1, "the first level's run file is reused by reference");
+        // And the incremental lineage recovers to the same content.
+        drop(ds);
+        let ds = open(&dir, DurableOptions::default());
+        assert_eq!(ds.recovery().checkpoint_epoch, 3);
+        assert_eq!(ds.recovery().replayed_ops, 0);
+        assert_eq!(ds.snapshot().len(), 3);
+        assert_eq!(ds.snapshot().level_count(), 3);
+        assert!(ds.snapshot().tier_stats().disk_rows > 0, "recovered levels are disk-backed");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_plus_checkpoints_garbage_collect_run_files() {
+        let dir = temp_dir("rungc");
+        let mut ds = open(&dir, DurableOptions::default());
+        for i in 0..4 {
+            apply_nt(&mut ds, &format!("<http://s{i}> <http://p> <http://o{i}> .\n"));
+        }
+        ds.checkpoint().unwrap();
+        assert_eq!(list_runs(&dir).unwrap().len(), 4);
+        // Fold the stack; the compacted level replaces all four runs.
+        ds.compact(uo_par::Parallelism::sequential()).unwrap();
+        assert_eq!(ds.snapshot().level_count(), 1);
+        apply_nt(&mut ds, "<http://s4> <http://p> <http://o4> .\n");
+        ds.checkpoint().unwrap();
+        // Retention still holds the pre-compaction manifest, so its four
+        // runs survive this checkpoint...
+        assert_eq!(list_runs(&dir).unwrap().len(), 6);
+        apply_nt(&mut ds, "<http://s5> <http://p> <http://o5> .\n");
+        ds.checkpoint().unwrap();
+        // ... but once it is pruned, only the runs of the two surviving
+        // manifests remain: {compacted, s4-level} and {compacted, s4, s5}.
+        let left = list_runs(&dir).unwrap();
+        assert_eq!(left.len(), 3, "superseded run files reclaimed, got {left:?}");
+        drop(ds);
+        let ds = open(&dir, DurableOptions::default());
+        assert_eq!(ds.snapshot().len(), 6);
+        assert_eq!(ds.recovery().replayed_ops, 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_whole_store_checkpoint_still_recovers() {
+        let dir = temp_dir("legacy");
+        fs::create_dir_all(&dir).unwrap();
+        // An old store directory: a whole-store checkpoint file, no
+        // manifests, no log.
+        let mut st = crate::TripleStore::new();
+        st.load_ntriples("<http://x> <http://p> <http://y> .\n").unwrap();
+        st.build_with(uo_par::Parallelism::sequential());
+        let snap = st.snapshot();
+        crate::save_to_file(&snap, &checkpoint_path(&dir, snap.epoch())).unwrap();
+        let mut ds = open(&dir, DurableOptions::default());
+        assert_eq!(ds.recovery().checkpoint_epoch, snap.epoch());
+        assert_eq!(ds.snapshot().len(), 1);
+        // The next checkpoint moves the directory to the incremental
+        // format; the legacy file persists as the retention fallback.
+        apply_nt(&mut ds, "<http://x> <http://p> <http://z> .\n");
+        let cp = ds.checkpoint().unwrap();
+        assert!(cp.runs_written >= 1);
+        assert!(manifest_path(&dir, cp.epoch).exists());
+        drop(ds);
+        let ds = open(&dir, DurableOptions::default());
+        assert_eq!(ds.snapshot().len(), 2);
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -15,6 +15,19 @@ pub enum IndexKind {
 }
 
 impl IndexKind {
+    /// The three permutations, in the order levels store their runs.
+    pub const ALL: [IndexKind; 3] = [IndexKind::Spo, IndexKind::Pos, IndexKind::Osp];
+
+    /// Position of this permutation inside a level's run arrays.
+    #[inline]
+    pub(crate) fn slot(self) -> usize {
+        match self {
+            IndexKind::Spo => 0,
+            IndexKind::Pos => 1,
+            IndexKind::Osp => 2,
+        }
+    }
+
     /// Reorders a permuted row back into `[s, p, o]`.
     #[inline]
     pub fn to_spo(self, row: [Id; 3]) -> [Id; 3] {
@@ -36,50 +49,100 @@ impl IndexKind {
     }
 }
 
-/// The result of a triple pattern lookup: a contiguous sorted slice of one
-/// permutation index, plus the permutation it came from.
+/// How a [`MatchSet`] holds its rows: a zero-copy borrow of one in-memory
+/// run (the single-level fast path) or an owned merge result (multi-level
+/// patterns and disk-resident runs).
+#[derive(Debug, Clone)]
+enum Repr<'a> {
+    Borrowed(&'a [[Id; 3]]),
+    Owned(Vec<[Id; 3]>),
+}
+
+/// The result of a triple pattern lookup: a sorted run of rows in one
+/// permutation order, plus the permutation it came from.
 ///
-/// The slice borrows from the store; iterating yields `[s, p, o]` rows.
-#[derive(Debug, Clone, Copy)]
+/// When the pattern's range touches a single in-memory run the rows borrow
+/// from the store (no copy); when it spans several tiers, or a
+/// disk-resident run, the rows are an owned k-way merge. Either way
+/// [`rows`](MatchSet::rows) is a sorted, deduplicated slice of live triples
+/// in the index's permutation order.
+#[derive(Debug, Clone)]
 pub struct MatchSet<'a> {
-    /// The permuted rows.
-    pub rows: &'a [[Id; 3]],
-    /// The permutation `rows` is stored in.
+    repr: Repr<'a>,
+    /// The permutation the rows are stored in.
     pub kind: IndexKind,
 }
 
 impl<'a> MatchSet<'a> {
+    /// A match set borrowing a sorted slice from the store.
+    #[inline]
+    pub fn borrowed(rows: &'a [[Id; 3]], kind: IndexKind) -> MatchSet<'a> {
+        MatchSet { repr: Repr::Borrowed(rows), kind }
+    }
+
+    /// A match set owning a merged sorted run.
+    #[inline]
+    pub fn owned(rows: Vec<[Id; 3]>, kind: IndexKind) -> MatchSet<'a> {
+        MatchSet { repr: Repr::Owned(rows), kind }
+    }
+
+    /// The matching rows, sorted in the index's permutation order.
+    #[inline]
+    pub fn rows(&self) -> &[[Id; 3]] {
+        match &self.repr {
+            Repr::Borrowed(r) => r,
+            Repr::Owned(v) => v,
+        }
+    }
+
+    /// Consumes the set, returning the rows by value (borrowed fast-path
+    /// rows are copied).
+    pub fn into_rows(self) -> Vec<[Id; 3]> {
+        match self.repr {
+            Repr::Borrowed(r) => r.to_vec(),
+            Repr::Owned(v) => v,
+        }
+    }
+
     /// Number of matching triples (exact).
     #[inline]
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.rows().len()
     }
 
     /// True if no triple matches.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.rows().is_empty()
     }
 
     /// Iterates over matches in `[s, p, o]` order of components.
-    pub fn iter_spo(&self) -> impl Iterator<Item = [Id; 3]> + 'a {
+    pub fn iter_spo(&self) -> impl Iterator<Item = [Id; 3]> + '_ {
         let kind = self.kind;
-        self.rows.iter().map(move |&r| kind.to_spo(r))
+        self.rows().iter().map(move |&r| kind.to_spo(r))
     }
 }
 
-/// Finds the subrange of `sorted` whose rows start with `prefix`
-/// (`prefix.len()` ≤ 3). `sorted` must be lexicographically sorted.
-pub fn prefix_range<'a>(sorted: &'a [[Id; 3]], prefix: &[Id]) -> &'a [[Id; 3]] {
+/// Finds the half-open index range of `sorted` whose rows start with
+/// `prefix` (`prefix.len()` ≤ 3). `sorted` must be lexicographically
+/// sorted.
+pub fn prefix_bounds(sorted: &[[Id; 3]], prefix: &[Id]) -> (usize, usize) {
     debug_assert!(prefix.len() <= 3);
     if prefix.is_empty() {
-        return sorted;
+        return (0, sorted.len());
     }
     let lo = sorted.partition_point(|row| row[..prefix.len()] < *prefix);
     let hi = sorted.partition_point(|row| {
         let head = &row[..prefix.len()];
         head <= prefix
     });
+    (lo, hi)
+}
+
+/// Finds the subrange of `sorted` whose rows start with `prefix`
+/// (`prefix.len()` ≤ 3). `sorted` must be lexicographically sorted.
+pub fn prefix_range<'a>(sorted: &'a [[Id; 3]], prefix: &[Id]) -> &'a [[Id; 3]] {
+    let (lo, hi) = prefix_bounds(sorted, prefix);
     &sorted[lo..hi]
 }
 
@@ -126,7 +189,7 @@ mod tests {
 
     #[test]
     fn permutation_round_trip() {
-        for kind in [IndexKind::Spo, IndexKind::Pos, IndexKind::Osp] {
+        for kind in IndexKind::ALL {
             let t = [10, 20, 30];
             assert_eq!(kind.to_spo(kind.from_spo(t)), t);
         }
@@ -135,7 +198,10 @@ mod tests {
     #[test]
     fn matchset_iter_restores_spo_order() {
         let rows = vec![IndexKind::Pos.from_spo([7, 8, 9])];
-        let ms = MatchSet { rows: &rows, kind: IndexKind::Pos };
+        let ms = MatchSet::borrowed(&rows, IndexKind::Pos);
         assert_eq!(ms.iter_spo().next().unwrap(), [7, 8, 9]);
+        let owned = MatchSet::owned(rows.clone(), IndexKind::Pos);
+        assert_eq!(owned.rows(), &rows[..]);
+        assert_eq!(owned.into_rows(), rows);
     }
 }

@@ -1,4 +1,5 @@
-//! In-memory triple store with sorted permutation indexes.
+//! Tiered triple store with sorted permutation indexes, memory- or
+//! disk-resident.
 //!
 //! The store keeps every dataset triple in three sorted permutations —
 //! **SPO**, **POS** and **OSP** — which together answer any triple pattern
@@ -21,16 +22,30 @@
 //!
 //! # MVCC architecture
 //!
-//! The store is split into an immutable [`Snapshot`] (the indexes, the
-//! statistics and an `Arc`-shared dictionary, stamped with a monotonically
-//! increasing *epoch*) and a [`StoreWriter`] that buffers inserts/deletes
-//! and publishes them by **merging** the delta into the previous snapshot's
-//! sorted runs — O(N + K) for a K-triple commit, never a re-sort of the N
-//! base rows. Readers clone the `Arc<Snapshot>` once and are never blocked
-//! or disturbed by commits; queries in flight during a commit answer from
-//! their admission-time version. [`TripleStore`] remains as a thin facade
-//! (insert → `build()` → read) over the same machinery and dereferences to
-//! its current [`Snapshot`].
+//! The store is split into an immutable [`Snapshot`] (a stack of tiered
+//! sorted runs, the statistics and an `Arc`-shared dictionary, stamped
+//! with a monotonically increasing *epoch*) and a [`StoreWriter`] that
+//! buffers inserts/deletes and publishes them by **appending one small
+//! level** to the previous snapshot's run stack — O(K log N) for a
+//! K-triple commit, independent of the N base rows, which stay shared
+//! behind `Arc`s. Reads k-way merge the per-level ranges; compaction
+//! (background or inline at a hard depth cap) folds the stack back into
+//! one level without changing content or epoch. Readers clone the
+//! `Arc<Snapshot>` once and are never blocked or disturbed by commits;
+//! queries in flight during a commit answer from their admission-time
+//! version. [`TripleStore`] remains as a thin facade (insert → `build()`
+//! → read) over the same machinery and dereferences to its current
+//! [`Snapshot`].
+//!
+//! # Beyond-RAM operation
+//!
+//! Snapshots persist in the paged **UOST v3** format (`docs/FORMAT.md`):
+//! page-aligned, one CRC32 per page, footer-indexed. [`load_from_file`]
+//! opens such a file *lazily* — triple pages are fetched on demand into an
+//! LRU cache bounded by [`PagedOptions::cache_bytes`] — so a store larger
+//! than RAM serves queries cold. [`DurableStore`] layers a write-ahead log
+//! and **incremental checkpoints** (immutable run files plus a small
+//! manifest) on top for crash safety.
 //!
 //! # Example
 //!
@@ -49,9 +64,13 @@
 //! assert_eq!(store.match_pattern(None, Some(p), None).len(), 1);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod durable;
 pub mod index;
+mod paged;
 pub mod persist;
+mod runs;
 pub mod snapshot;
 pub mod stats;
 pub mod store;
@@ -62,8 +81,11 @@ pub use durable::{
     RecoveryReport,
 };
 pub use index::{IndexKind, MatchSet};
-pub use persist::{load_from_file, read_snapshot, save_to_file, write_snapshot, SnapshotError};
-pub use snapshot::Snapshot;
+pub use paged::{PageCacheSnapshot, PagedOptions};
+pub use persist::{
+    load_from_file, load_from_file_with, read_snapshot, save_to_file, write_snapshot, SnapshotError,
+};
+pub use snapshot::{Snapshot, TierStats};
 pub use stats::DatasetStats;
 pub use store::TripleStore;
 pub use writer::{CommitStats, StoreWriter};

@@ -1,0 +1,788 @@
+//! The paged **UOST v3** container: page-aligned, CRC-checked, lazily
+//! loadable snapshot and run files.
+//!
+//! A v3 file is a sequence of 4 KiB pages. Page 0 is the header (magic,
+//! version, page size, container kind); data pages follow; after the last
+//! data page comes a variable-length **footer** (dictionary descriptor,
+//! statistics, the level table with per-page first-row indexes, and the
+//! page table with one CRC32 per data page); the file ends with a fixed
+//! 24-byte trailer locating the footer. The full byte-level layout is
+//! specified in `docs/FORMAT.md`.
+//!
+//! Two container kinds share the layout:
+//!
+//! - **snapshot** (`kind = 0`): a whole [`Snapshot`] — dictionary,
+//!   statistics, and every level of the tier stack. Written by
+//!   `save_to_file`.
+//! - **run** (`kind = 1`): a single level, no dictionary or statistics.
+//!   Written by incremental checkpoints as `runs/run-<id>.uorun`.
+//!
+//! Opening a container is lazy: only the header, footer, and dictionary
+//! pages are read eagerly. Triple rows stay on disk until a query touches
+//! them; pages are fetched with `pread`, CRC-verified once, and kept in a
+//! per-file LRU cache with a byte budget — the layout is mmap-friendly
+//! (page-aligned, position-independent) but the implementation reads
+//! explicitly so cache pressure is observable and bounded.
+
+use crate::persist::{read_term, write_term, SnapshotError};
+use crate::runs::{Level, RunData};
+use crate::stats::{DatasetStats, PredicateStats};
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use uo_rdf::{Dictionary, FxHashMap, Id};
+use uo_wal::crc32;
+
+/// Size of every page in a v3 container.
+pub(crate) const PAGE_SIZE: usize = 4096;
+/// Bytes per encoded triple row (three little-endian u32 ids).
+pub(crate) const ROW_BYTES: usize = 12;
+/// Rows per data page; rows never span a page boundary.
+pub(crate) const ROWS_PER_PAGE: usize = PAGE_SIZE / ROW_BYTES;
+
+const MAGIC: &[u8; 4] = b"UOST";
+const FOOTER_MAGIC: &[u8; 4] = b"UOFT";
+const VERSION: u32 = 3;
+const TRAILER_LEN: usize = 24;
+
+/// Container kind: a full snapshot (dictionary + statistics + levels).
+pub(crate) const KIND_SNAPSHOT: u32 = 0;
+/// Container kind: a single level, as written by incremental checkpoints.
+pub(crate) const KIND_RUN: u32 = 1;
+
+fn corrupt(msg: impl Into<String>) -> SnapshotError {
+    SnapshotError::Corrupt(msg.into())
+}
+
+/// Tuning knobs for opening paged files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PagedOptions {
+    /// Byte budget of the per-file page cache. Pages are evicted LRU once
+    /// the cached payload bytes exceed this; at least one page is always
+    /// retained so progress is guaranteed under any budget.
+    pub cache_bytes: usize,
+}
+
+impl Default for PagedOptions {
+    fn default() -> Self {
+        PagedOptions { cache_bytes: 64 << 20 }
+    }
+}
+
+/// Shared page-cache counters, aggregated across every paged file of one
+/// store and surfaced through `/metrics`.
+#[derive(Debug, Default)]
+pub struct PageCacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PageCacheStats {
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> PageCacheSnapshot {
+        PageCacheSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time view of a page cache's hit/miss/eviction counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PageCacheSnapshot {
+    /// Page reads served from the cache.
+    pub hits: u64,
+    /// Page reads that went to storage (and were CRC-verified).
+    pub misses: u64,
+    /// Pages evicted to stay within the byte budget.
+    pub evictions: u64,
+}
+
+impl std::ops::Add for PageCacheSnapshot {
+    type Output = PageCacheSnapshot;
+    fn add(self, rhs: PageCacheSnapshot) -> PageCacheSnapshot {
+        PageCacheSnapshot {
+            hits: self.hits + rhs.hits,
+            misses: self.misses + rhs.misses,
+            evictions: self.evictions + rhs.evictions,
+        }
+    }
+}
+
+/// Where a paged container's bytes live.
+pub(crate) enum Backing {
+    /// A file on disk, read with positioned reads.
+    File(std::fs::File),
+    /// An in-memory byte image (streamed `read_snapshot` input, tests).
+    Mem(Vec<u8>),
+}
+
+impl Backing {
+    fn size(&self) -> io::Result<u64> {
+        match self {
+            Backing::File(f) => Ok(f.metadata()?.len()),
+            Backing::Mem(v) => Ok(v.len() as u64),
+        }
+    }
+
+    fn read_exact_at(&self, buf: &mut [u8], off: u64) -> io::Result<()> {
+        match self {
+            Backing::File(f) => {
+                use std::os::unix::fs::FileExt;
+                f.read_exact_at(buf, off)
+            }
+            Backing::Mem(v) => {
+                let lo = off as usize;
+                let hi = lo.checked_add(buf.len()).filter(|&h| h <= v.len()).ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::UnexpectedEof, "read past end of buffer")
+                })?;
+                buf.copy_from_slice(&v[lo..hi]);
+                Ok(())
+            }
+        }
+    }
+}
+
+struct CacheEntry {
+    last_use: u64,
+    data: Arc<Vec<u8>>,
+}
+
+struct PageCache {
+    map: FxHashMap<u32, CacheEntry>,
+    bytes: usize,
+    tick: u64,
+}
+
+/// An open v3 container: validated page table plus a bounded LRU page
+/// cache. Cloning is by `Arc`; every [`DiskRun`] of the file shares it.
+pub(crate) struct PagedFile {
+    backing: Backing,
+    /// Per data page: (crc32 of payload, payload length). Index 0 is page 1.
+    pages: Vec<(u32, u32)>,
+    cache: Mutex<PageCache>,
+    stats: Arc<PageCacheStats>,
+    budget: usize,
+}
+
+impl fmt::Debug for PagedFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PagedFile")
+            .field("pages", &self.pages.len())
+            .field("budget", &self.budget)
+            .finish()
+    }
+}
+
+impl PagedFile {
+    /// Reads one data page (1-based index), CRC-verifying on a cache miss.
+    fn read_page(&self, page: u32) -> Result<Arc<Vec<u8>>, SnapshotError> {
+        let (crc, payload_len) = *self
+            .pages
+            .get((page as usize).wrapping_sub(1))
+            .ok_or_else(|| corrupt(format!("page {page} out of range")))?;
+        let mut cache = self.cache.lock().expect("page cache poisoned");
+        cache.tick += 1;
+        let tick = cache.tick;
+        if let Some(e) = cache.map.get_mut(&page) {
+            e.last_use = tick;
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(&e.data));
+        }
+        let mut buf = vec![0u8; payload_len as usize];
+        self.backing.read_exact_at(&mut buf, page as u64 * PAGE_SIZE as u64)?;
+        if crc32(&buf) != crc {
+            return Err(corrupt(format!("page {page}: crc mismatch")));
+        }
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        let data = Arc::new(buf);
+        cache.bytes += payload_len as usize;
+        cache.map.insert(page, CacheEntry { last_use: tick, data: Arc::clone(&data) });
+        while cache.bytes > self.budget && cache.map.len() > 1 {
+            let oldest = *cache
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(k, _)| k)
+                .expect("nonempty");
+            if let Some(e) = cache.map.remove(&oldest) {
+                cache.bytes -= e.data.len();
+                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(data)
+    }
+
+    /// Reads `len` bytes of a byte section starting at `first_page`
+    /// (sections span pages contiguously).
+    fn read_bytes(&self, first_page: u32, len: u64) -> Result<Vec<u8>, SnapshotError> {
+        let mut out = Vec::with_capacity(len as usize);
+        let mut page = first_page;
+        while (out.len() as u64) < len {
+            let data = self.read_page(page)?;
+            let take = ((len - out.len() as u64) as usize).min(data.len());
+            out.extend_from_slice(&data[..take]);
+            if take < data.len() && (out.len() as u64) < len {
+                return Err(corrupt("byte section ends before its declared length"));
+            }
+            page += 1;
+        }
+        Ok(out)
+    }
+}
+
+/// One sorted run inside a [`PagedFile`]: a section descriptor plus the
+/// in-memory first-row-per-page index that makes binary search possible
+/// without touching the pages themselves.
+#[derive(Clone)]
+pub(crate) struct DiskRun {
+    file: Arc<PagedFile>,
+    first_page: u32,
+    rows: usize,
+    first_rows: Arc<Vec<[Id; 3]>>,
+}
+
+impl fmt::Debug for DiskRun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DiskRun")
+            .field("first_page", &self.first_page)
+            .field("rows", &self.rows)
+            .finish()
+    }
+}
+
+impl DiskRun {
+    pub(crate) fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// The shared cache counters of the backing file.
+    pub(crate) fn cache_stats(&self) -> &Arc<PageCacheStats> {
+        &self.file.stats
+    }
+
+    /// Decodes the rows of the `k`-th page of this section.
+    fn page_rows(&self, k: usize) -> Result<Vec<[Id; 3]>, SnapshotError> {
+        let expect = ROWS_PER_PAGE.min(self.rows - k * ROWS_PER_PAGE);
+        let data = self.file.read_page(self.first_page + k as u32)?;
+        if data.len() != expect * ROW_BYTES {
+            return Err(corrupt(format!(
+                "row page {} holds {} bytes, expected {} rows",
+                self.first_page as usize + k,
+                data.len(),
+                expect
+            )));
+        }
+        Ok(data
+            .chunks_exact(ROW_BYTES)
+            .map(|c| {
+                [
+                    u32::from_le_bytes(c[0..4].try_into().unwrap()),
+                    u32::from_le_bytes(c[4..8].try_into().unwrap()),
+                    u32::from_le_bytes(c[8..12].try_into().unwrap()),
+                ]
+            })
+            .collect())
+    }
+
+    /// Global row index of the first row **not** satisfying `pred`, where
+    /// `pred` is monotone (true then false) over the sorted run. Reads at
+    /// most one page.
+    fn partition(&self, pred: impl Fn(&[Id; 3]) -> bool) -> Result<usize, SnapshotError> {
+        let p = self.first_rows.partition_point(|r| pred(r));
+        if p == 0 {
+            return Ok(0);
+        }
+        let page = p - 1;
+        let rows = self.page_rows(page)?;
+        Ok(page * ROWS_PER_PAGE + rows.partition_point(|r| pred(r)))
+    }
+
+    /// Half-open range of rows starting with `prefix` — binary search over
+    /// the first-row index, refined inside the two boundary pages.
+    pub(crate) fn bounds(&self, prefix: &[Id]) -> Result<(usize, usize), SnapshotError> {
+        if prefix.is_empty() {
+            return Ok((0, self.rows));
+        }
+        let k = prefix.len();
+        let lo = self.partition(|row| row[..k] < *prefix)?;
+        let hi = self.partition(|row| row[..k] <= *prefix)?;
+        Ok((lo, hi))
+    }
+
+    /// Materializes rows `[lo, hi)`, reading only the touched pages.
+    pub(crate) fn read_range(&self, lo: usize, hi: usize) -> Result<Vec<[Id; 3]>, SnapshotError> {
+        debug_assert!(lo <= hi && hi <= self.rows);
+        if lo >= hi {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::with_capacity(hi - lo);
+        for k in (lo / ROWS_PER_PAGE)..=((hi - 1) / ROWS_PER_PAGE) {
+            let rows = self.page_rows(k)?;
+            let base = k * ROWS_PER_PAGE;
+            let a = lo.saturating_sub(base);
+            let b = (hi - base).min(rows.len());
+            out.extend_from_slice(&rows[a..b]);
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+struct PageWriter<W: Write> {
+    w: W,
+    page: Vec<u8>,
+    pages: Vec<(u32, u32)>,
+}
+
+impl<W: Write> PageWriter<W> {
+    fn new(mut w: W, kind: u32) -> io::Result<PageWriter<W>> {
+        let mut hdr = vec![0u8; PAGE_SIZE];
+        hdr[0..4].copy_from_slice(MAGIC);
+        hdr[4..8].copy_from_slice(&VERSION.to_le_bytes());
+        hdr[8..12].copy_from_slice(&(PAGE_SIZE as u32).to_le_bytes());
+        hdr[12..16].copy_from_slice(&kind.to_le_bytes());
+        w.write_all(&hdr)?;
+        Ok(PageWriter { w, page: Vec::with_capacity(PAGE_SIZE), pages: Vec::new() })
+    }
+
+    /// Index the next written byte's page will get.
+    fn next_page(&self) -> u32 {
+        (1 + self.pages.len()) as u32
+    }
+
+    /// Pads the current page to [`PAGE_SIZE`] and writes it out. CRC covers
+    /// the payload only (padding excluded).
+    fn flush_page(&mut self) -> io::Result<()> {
+        if self.page.is_empty() {
+            return Ok(());
+        }
+        self.pages.push((crc32(&self.page), self.page.len() as u32));
+        self.page.resize(PAGE_SIZE, 0);
+        self.w.write_all(&self.page)?;
+        self.page.clear();
+        Ok(())
+    }
+
+    fn push_bytes(&mut self, mut b: &[u8]) -> io::Result<()> {
+        while !b.is_empty() {
+            let take = (PAGE_SIZE - self.page.len()).min(b.len());
+            self.page.extend_from_slice(&b[..take]);
+            b = &b[take..];
+            if self.page.len() == PAGE_SIZE {
+                self.flush_page()?;
+            }
+        }
+        Ok(())
+    }
+
+    fn push_row(&mut self, row: [Id; 3]) -> io::Result<()> {
+        if self.page.len() + ROW_BYTES > PAGE_SIZE {
+            self.flush_page()?;
+        }
+        for c in row {
+            self.page.extend_from_slice(&c.to_le_bytes());
+        }
+        Ok(())
+    }
+}
+
+/// Everything a v3 container records besides its pages.
+pub(crate) struct ContainerMeta<'a> {
+    pub(crate) kind: u32,
+    pub(crate) epoch: u64,
+    pub(crate) len: u64,
+    pub(crate) next_run_id: u64,
+    pub(crate) dict: Option<&'a Dictionary>,
+    pub(crate) stats: Option<&'a DatasetStats>,
+    pub(crate) levels: &'a [Arc<Level>],
+}
+
+/// Serializes the dictionary section: term count, then the tagged term
+/// records of the v2 format.
+pub(crate) fn encode_dict(dict: &Dictionary) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(dict.len() as u32).to_le_bytes());
+    for (_, term) in dict.iter() {
+        write_term(&mut out, term).expect("writing to a Vec cannot fail");
+    }
+    out
+}
+
+/// Parses a dictionary section, validating the id sequence.
+pub(crate) fn decode_dict(bytes: &[u8]) -> Result<Dictionary, SnapshotError> {
+    let mut r: &[u8] = bytes;
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    let n_terms = u32::from_le_bytes(b) as usize;
+    let mut dict = Dictionary::new();
+    for i in 0..n_terms {
+        let term = read_term(&mut r)?;
+        let id = dict.encode(&term);
+        if id as usize != i + 1 {
+            return Err(corrupt("duplicate term in dictionary section"));
+        }
+    }
+    if !r.is_empty() {
+        return Err(corrupt("trailing bytes after dictionary section"));
+    }
+    Ok(dict)
+}
+
+/// Serializes the statistics block (predicates sorted by id so the byte
+/// image is deterministic).
+pub(crate) fn encode_stats(stats: &DatasetStats, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(stats.triples as u64).to_le_bytes());
+    out.extend_from_slice(&(stats.entities as u64).to_le_bytes());
+    out.extend_from_slice(&(stats.literals as u64).to_le_bytes());
+    let mut preds: Vec<(&Id, &PredicateStats)> = stats.per_predicate.iter().collect();
+    preds.sort_by_key(|(p, _)| **p);
+    out.extend_from_slice(&(preds.len() as u32).to_le_bytes());
+    for (p, ps) in preds {
+        out.extend_from_slice(&p.to_le_bytes());
+        out.extend_from_slice(&(ps.count as u64).to_le_bytes());
+        out.extend_from_slice(&(ps.distinct_subjects as u64).to_le_bytes());
+        out.extend_from_slice(&(ps.distinct_objects as u64).to_le_bytes());
+    }
+}
+
+/// Parses a statistics block written by [`encode_stats`].
+pub(crate) fn decode_stats(cur: &mut Cursor<'_>) -> Result<DatasetStats, SnapshotError> {
+    let triples = cur.u64()? as usize;
+    let entities = cur.u64()? as usize;
+    let literals = cur.u64()? as usize;
+    let n = cur.u32()? as usize;
+    if n > 1 << 26 {
+        return Err(corrupt("predicate count out of range"));
+    }
+    let mut per_predicate: FxHashMap<Id, PredicateStats> = FxHashMap::default();
+    for _ in 0..n {
+        let p = cur.u32()?;
+        let ps = PredicateStats {
+            count: cur.u64()? as usize,
+            distinct_subjects: cur.u64()? as usize,
+            distinct_objects: cur.u64()? as usize,
+        };
+        per_predicate.insert(p, ps);
+    }
+    Ok(DatasetStats { triples, entities, predicates: per_predicate.len(), literals, per_predicate })
+}
+
+/// Writes a complete v3 container to `w`. Disk-backed source runs are
+/// streamed through their page reader; memory runs are written directly.
+pub(crate) fn write_container<W: Write>(
+    mut w: W,
+    meta: &ContainerMeta,
+) -> Result<(), SnapshotError> {
+    let mut pw = PageWriter::new(&mut w, meta.kind)?;
+
+    let (dict_first_page, dict_len, term_count) = match meta.dict {
+        Some(d) => {
+            let bytes = encode_dict(d);
+            let fp = pw.next_page();
+            pw.push_bytes(&bytes)?;
+            pw.flush_page()?;
+            (fp, bytes.len() as u64, d.len() as u32)
+        }
+        None => (0u32, 0u64, 0u32),
+    };
+
+    struct Sec {
+        first_page: u32,
+        rows: u64,
+        first_rows: Vec<[Id; 3]>,
+    }
+    let mut levels_out: Vec<(u64, Vec<Sec>)> = Vec::with_capacity(meta.levels.len());
+    for level in meta.levels {
+        let mut secs = Vec::with_capacity(6);
+        for run in level.adds.iter().chain(level.dels.iter()) {
+            pw.flush_page()?;
+            let first_page = pw.next_page();
+            let rows = run.rows()?;
+            let rows = rows.as_slice();
+            let mut first_rows = Vec::with_capacity(rows.len().div_ceil(ROWS_PER_PAGE));
+            for (i, &row) in rows.iter().enumerate() {
+                if i % ROWS_PER_PAGE == 0 {
+                    first_rows.push(row);
+                }
+                pw.push_row(row)?;
+            }
+            secs.push(Sec { first_page, rows: rows.len() as u64, first_rows });
+        }
+        levels_out.push((level.id, secs));
+    }
+    pw.flush_page()?;
+
+    let mut f = Vec::new();
+    f.extend_from_slice(&meta.epoch.to_le_bytes());
+    f.extend_from_slice(&meta.len.to_le_bytes());
+    f.extend_from_slice(&meta.next_run_id.to_le_bytes());
+    f.extend_from_slice(&term_count.to_le_bytes());
+    f.extend_from_slice(&dict_first_page.to_le_bytes());
+    f.extend_from_slice(&dict_len.to_le_bytes());
+    let default_stats = DatasetStats::default();
+    encode_stats(meta.stats.unwrap_or(&default_stats), &mut f);
+    f.extend_from_slice(&(levels_out.len() as u32).to_le_bytes());
+    for (id, secs) in &levels_out {
+        f.extend_from_slice(&id.to_le_bytes());
+        for s in secs {
+            f.extend_from_slice(&s.rows.to_le_bytes());
+            f.extend_from_slice(&s.first_page.to_le_bytes());
+            for row in &s.first_rows {
+                for c in row {
+                    f.extend_from_slice(&c.to_le_bytes());
+                }
+            }
+        }
+    }
+    let pages = std::mem::take(&mut pw.pages);
+    drop(pw);
+    f.extend_from_slice(&(pages.len() as u32).to_le_bytes());
+    for (crc, len) in &pages {
+        f.extend_from_slice(&crc.to_le_bytes());
+        f.extend_from_slice(&len.to_le_bytes());
+    }
+
+    let footer_off = (1 + pages.len()) as u64 * PAGE_SIZE as u64;
+    let footer_crc = crc32(&f);
+    w.write_all(&f)?;
+    w.write_all(&footer_off.to_le_bytes())?;
+    w.write_all(&(f.len() as u64).to_le_bytes())?;
+    w.write_all(&footer_crc.to_le_bytes())?;
+    w.write_all(FOOTER_MAGIC)?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// A byte cursor over the footer blob.
+pub(crate) struct Cursor<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(b: &'a [u8]) -> Cursor<'a> {
+        Cursor { b, pos: 0 }
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.b.len());
+        let Some(end) = end else {
+            return Err(corrupt("footer truncated"));
+        };
+        let s = &self.b[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        self.pos == self.b.len()
+    }
+}
+
+/// A parsed v3 container with lazily-loadable levels.
+pub(crate) struct Container {
+    pub(crate) kind: u32,
+    pub(crate) epoch: u64,
+    pub(crate) len: u64,
+    pub(crate) next_run_id: u64,
+    pub(crate) dict: Option<Dictionary>,
+    pub(crate) stats: DatasetStats,
+    pub(crate) levels: Vec<Arc<Level>>,
+}
+
+/// Opens a container: reads header, trailer, footer, and the dictionary
+/// pages; rows stay on disk behind [`DiskRun`]s sharing one page cache.
+pub(crate) fn open_container(
+    backing: Backing,
+    opts: PagedOptions,
+    cache_stats: Arc<PageCacheStats>,
+) -> Result<Container, SnapshotError> {
+    let size = backing.size()?;
+    if size < (PAGE_SIZE + TRAILER_LEN) as u64 {
+        return Err(corrupt("file too small for a v3 container"));
+    }
+    let mut hdr = [0u8; 16];
+    backing.read_exact_at(&mut hdr, 0)?;
+    if &hdr[0..4] != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let version = u32::from_le_bytes(hdr[4..8].try_into().unwrap());
+    if version != VERSION {
+        return Err(corrupt(format!("unsupported version {version}")));
+    }
+    let page_size = u32::from_le_bytes(hdr[8..12].try_into().unwrap());
+    if page_size as usize != PAGE_SIZE {
+        return Err(corrupt(format!("unsupported page size {page_size}")));
+    }
+    let kind = u32::from_le_bytes(hdr[12..16].try_into().unwrap());
+
+    let mut trailer = [0u8; TRAILER_LEN];
+    backing.read_exact_at(&mut trailer, size - TRAILER_LEN as u64)?;
+    if &trailer[20..24] != FOOTER_MAGIC {
+        return Err(corrupt("bad footer magic"));
+    }
+    let footer_off = u64::from_le_bytes(trailer[0..8].try_into().unwrap());
+    let footer_len = u64::from_le_bytes(trailer[8..16].try_into().unwrap());
+    let footer_crc = u32::from_le_bytes(trailer[16..20].try_into().unwrap());
+    if footer_off
+        .checked_add(footer_len)
+        .map(|end| end + TRAILER_LEN as u64 != size)
+        .unwrap_or(true)
+    {
+        return Err(corrupt("footer location inconsistent with file size"));
+    }
+    let mut footer = vec![0u8; footer_len as usize];
+    backing.read_exact_at(&mut footer, footer_off)?;
+    if crc32(&footer) != footer_crc {
+        return Err(corrupt("footer crc mismatch"));
+    }
+
+    let mut cur = Cursor::new(&footer);
+    let epoch = cur.u64()?;
+    let len = cur.u64()?;
+    let next_run_id = cur.u64()?;
+    let term_count = cur.u32()?;
+    let dict_first_page = cur.u32()?;
+    let dict_len = cur.u64()?;
+    let stats = decode_stats(&mut cur)?;
+    let level_count = cur.u32()? as usize;
+    if level_count > 1 << 20 {
+        return Err(corrupt("level count out of range"));
+    }
+    struct SecDesc {
+        rows: u64,
+        first_page: u32,
+        first_rows: Vec<[Id; 3]>,
+    }
+    let mut level_descs: Vec<(u64, Vec<SecDesc>)> = Vec::with_capacity(level_count);
+    for _ in 0..level_count {
+        let id = cur.u64()?;
+        let mut secs = Vec::with_capacity(6);
+        for _ in 0..6 {
+            let rows = cur.u64()?;
+            let first_page = cur.u32()?;
+            let n_pages = (rows as usize).div_ceil(ROWS_PER_PAGE);
+            let raw = cur.take(n_pages * ROW_BYTES)?;
+            let first_rows = raw
+                .chunks_exact(ROW_BYTES)
+                .map(|c| {
+                    [
+                        u32::from_le_bytes(c[0..4].try_into().unwrap()),
+                        u32::from_le_bytes(c[4..8].try_into().unwrap()),
+                        u32::from_le_bytes(c[8..12].try_into().unwrap()),
+                    ]
+                })
+                .collect();
+            secs.push(SecDesc { rows, first_page, first_rows });
+        }
+        level_descs.push((id, secs));
+    }
+    let page_count = cur.u32()? as usize;
+    let mut pages = Vec::with_capacity(page_count);
+    for _ in 0..page_count {
+        let crc = cur.u32()?;
+        let plen = cur.u32()?;
+        if plen as usize > PAGE_SIZE {
+            return Err(corrupt("page payload larger than a page"));
+        }
+        pages.push((crc, plen));
+    }
+    if !cur.is_done() {
+        return Err(corrupt("trailing bytes after footer"));
+    }
+    if footer_off != (1 + page_count) as u64 * PAGE_SIZE as u64 {
+        return Err(corrupt("page table inconsistent with footer offset"));
+    }
+
+    let file = Arc::new(PagedFile {
+        backing,
+        pages,
+        cache: Mutex::new(PageCache { map: FxHashMap::default(), bytes: 0, tick: 0 }),
+        stats: cache_stats,
+        budget: opts.cache_bytes.max(1),
+    });
+
+    let dict = if term_count > 0 || dict_len > 0 {
+        let bytes = file.read_bytes(dict_first_page, dict_len)?;
+        let dict = decode_dict(&bytes)?;
+        if dict.len() as u32 != term_count {
+            return Err(corrupt("dictionary term count mismatch"));
+        }
+        Some(dict)
+    } else {
+        None
+    };
+
+    let mut levels = Vec::with_capacity(level_descs.len());
+    for (id, secs) in level_descs {
+        let mut runs: Vec<RunData> = Vec::with_capacity(6);
+        for s in secs {
+            if s.rows == 0 {
+                runs.push(RunData::Mem(Vec::new()));
+            } else {
+                if s.first_page as usize + (s.rows as usize).div_ceil(ROWS_PER_PAGE)
+                    > 1 + file.pages.len()
+                {
+                    return Err(corrupt("run section points past the page table"));
+                }
+                runs.push(RunData::Disk(DiskRun {
+                    file: Arc::clone(&file),
+                    first_page: s.first_page,
+                    rows: s.rows as usize,
+                    first_rows: Arc::new(s.first_rows),
+                }));
+            }
+        }
+        let mut it = runs.into_iter();
+        let mut next = || it.next().expect("exactly six sections per level");
+        let adds = [next(), next(), next()];
+        let dels = [next(), next(), next()];
+        levels.push(Arc::new(Level { id, adds, dels }));
+    }
+
+    // Cross-check the live-row count against the level table.
+    let computed: i64 = levels.iter().map(|l| l.add_rows() as i64 - l.del_rows() as i64).sum();
+    if kind == KIND_SNAPSHOT && computed != len as i64 {
+        return Err(corrupt("live row count inconsistent with level table"));
+    }
+
+    Ok(Container { kind, epoch, len, next_run_id, dict, stats, levels })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_per_page_fits() {
+        assert_eq!(ROWS_PER_PAGE, 341);
+        const { assert!(ROWS_PER_PAGE * ROW_BYTES <= PAGE_SIZE) }
+    }
+
+    #[test]
+    fn cursor_rejects_truncation() {
+        let mut cur = Cursor::new(&[1, 2, 3]);
+        assert!(cur.u32().is_err());
+        let mut cur = Cursor::new(&[1, 2, 3, 4]);
+        assert_eq!(cur.u32().unwrap(), u32::from_le_bytes([1, 2, 3, 4]));
+        assert!(cur.is_done());
+    }
+}

@@ -1,22 +1,28 @@
 //! Binary persistence of a [`Snapshot`] (the `.uost` file format).
 //!
 //! Loading a large dataset from N-Triples/Turtle re-parses and re-encodes
-//! every term; a snapshot file stores the dictionary and the encoded SPO
-//! index directly, making reloads I/O-bound. The format is a simple
-//! length-prefixed layout:
+//! every term; a snapshot file stores the dictionary and the encoded
+//! indexes directly, making reloads I/O-bound. Three on-disk versions
+//! share the `"UOST"` magic (the full byte-level specification lives in
+//! `docs/FORMAT.md`):
 //!
-//! ```text
-//! magic "UOST" | version u32 | epoch u64 (v2+) | term-count u32
-//!   per term: tag u8, then tag-dependent length-prefixed UTF-8 strings
-//! triple-count u64
-//!   per triple: s u32, p u32, o u32     (SPO order, deduplicated)
-//! ```
+//! - **v1/v2** — a flat length-prefixed stream: dictionary terms followed
+//!   by the SPO rows (v2 added the MVCC epoch). Fully materialized on
+//!   load; permutation indexes and statistics are recomputed.
+//! - **v3** — the paged container (the `paged` module): page-aligned,
+//!   CRC-per-page, footer-indexed, holding every level of the tiered run
+//!   stack plus the statistics. Opening one is **lazy** — triple pages
+//!   stay on disk until queries touch them, so a store larger than RAM
+//!   serves queries cold.
 //!
-//! All integers are little-endian. Version 2 added the MVCC **epoch**
-//! right after the version field; version-1 files (no epoch) are still
-//! readable and load at epoch 0. Permutation indexes and statistics are
-//! recomputed on load (they derive from the SPO index).
+//! [`save_to_file`] writes v3; [`load_from_file`] (and the streaming
+//! [`read_snapshot`]) read all three versions. All integers are
+//! little-endian.
 
+use crate::paged::{
+    open_container, write_container, Backing, ContainerMeta, PageCacheStats, PagedOptions,
+    KIND_SNAPSHOT,
+};
 use crate::{Snapshot, TripleStore};
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -26,6 +32,7 @@ use uo_rdf::{Dictionary, Term};
 
 const MAGIC: &[u8; 4] = b"UOST";
 const VERSION: u32 = 2;
+const VERSION_PAGED: u32 = 3;
 
 /// An error while reading a snapshot.
 #[derive(Debug)]
@@ -84,7 +91,9 @@ fn read_str(r: &mut impl Read) -> Result<String, SnapshotError> {
     String::from_utf8(buf).map_err(|_| corrupt("invalid UTF-8 in term"))
 }
 
-fn write_term(w: &mut impl Write, term: &Term) -> io::Result<()> {
+/// Writes one tagged term record (shared by the v1/v2 stream format and
+/// the v3 dictionary section).
+pub(crate) fn write_term(w: &mut impl Write, term: &Term) -> io::Result<()> {
     match term {
         Term::Iri(i) => {
             w.write_all(&[0])?;
@@ -111,7 +120,30 @@ fn write_term(w: &mut impl Write, term: &Term) -> io::Result<()> {
     }
 }
 
+/// Reads one tagged term record written by [`write_term`].
+pub(crate) fn read_term(r: &mut impl Read) -> Result<Term, SnapshotError> {
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    Ok(match tag[0] {
+        0 => Term::iri(read_str(r)?),
+        1 => Term::blank(read_str(r)?),
+        2 => Term::literal(read_str(r)?),
+        3 => {
+            let lex = read_str(r)?;
+            let lang = read_str(r)?;
+            Term::lang_literal(lex, lang)
+        }
+        4 => {
+            let lex = read_str(r)?;
+            let dt = read_str(r)?;
+            Term::typed_literal(lex, dt)
+        }
+        t => return Err(corrupt(format!("unknown term tag {t}"))),
+    })
+}
+
 /// Writes a version-2 snapshot of `snap` (a built `TripleStore` coerces).
+/// The flat stream format; [`save_to_file`] writes the paged v3 layout.
 pub fn write_snapshot(snap: &Snapshot, w: &mut impl Write) -> io::Result<()> {
     w.write_all(MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
@@ -130,8 +162,28 @@ pub fn write_snapshot(snap: &Snapshot, w: &mut impl Write) -> io::Result<()> {
     Ok(())
 }
 
-/// Reads a snapshot (version 1 or 2) into a fresh, built store. Version-1
-/// files predate the epoch field and load at epoch 0.
+/// Builds a fully-wired store from an opened v3 container.
+fn store_from_backing(backing: Backing, opts: PagedOptions) -> Result<TripleStore, SnapshotError> {
+    let c = open_container(backing, opts, Arc::new(PageCacheStats::default()))?;
+    if c.kind != KIND_SNAPSHOT {
+        return Err(corrupt("container is a run file, not a snapshot"));
+    }
+    let dict = c.dict.ok_or_else(|| corrupt("snapshot container missing its dictionary"))?;
+    let snap = Snapshot {
+        dict: Arc::new(dict),
+        epoch: c.epoch,
+        levels: c.levels,
+        len: c.len as usize,
+        next_run_id: c.next_run_id,
+        stats: c.stats,
+    };
+    Ok(TripleStore::from_snapshot(Arc::new(snap)))
+}
+
+/// Reads a snapshot (version 1, 2, or 3) into a fresh, built store.
+/// Version-1 files predate the epoch field and load at epoch 0. A
+/// version-3 stream is buffered in memory (the paged layout is random
+/// access); prefer [`load_from_file`] for lazy page loading off disk.
 pub fn read_snapshot(r: &mut impl Read) -> Result<TripleStore, SnapshotError> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
@@ -142,29 +194,19 @@ pub fn read_snapshot(r: &mut impl Read) -> Result<TripleStore, SnapshotError> {
     let epoch = match version {
         1 => 0,
         2 => read_u64(r)?,
+        VERSION_PAGED => {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(MAGIC);
+            bytes.extend_from_slice(&VERSION_PAGED.to_le_bytes());
+            r.read_to_end(&mut bytes)?;
+            return store_from_backing(Backing::Mem(bytes), PagedOptions::default());
+        }
         v => return Err(corrupt(format!("unsupported version {v}"))),
     };
     let mut dict = Dictionary::new();
     let n_terms = read_u32(r)? as usize;
     for i in 0..n_terms {
-        let mut tag = [0u8; 1];
-        r.read_exact(&mut tag)?;
-        let term = match tag[0] {
-            0 => Term::iri(read_str(r)?),
-            1 => Term::blank(read_str(r)?),
-            2 => Term::literal(read_str(r)?),
-            3 => {
-                let lex = read_str(r)?;
-                let lang = read_str(r)?;
-                Term::lang_literal(lex, lang)
-            }
-            4 => {
-                let lex = read_str(r)?;
-                let dt = read_str(r)?;
-                Term::typed_literal(lex, dt)
-            }
-            t => return Err(corrupt(format!("unknown term tag {t}"))),
-        };
+        let term = read_term(r)?;
         let id = dict.encode(&term);
         if id as usize != i + 1 {
             return Err(corrupt("duplicate term in dictionary section"));
@@ -186,11 +228,19 @@ pub fn read_snapshot(r: &mut impl Read) -> Result<TripleStore, SnapshotError> {
     Ok(TripleStore::from_snapshot(Arc::new(snap)))
 }
 
-/// Snapshot to a file, **atomically**: the bytes are written to a
-/// temporary file in the same directory, fsynced, and renamed over `path`.
-/// A crash at any point leaves either the previous file intact or the new
-/// one complete — never a half-written snapshot, which matters when `path`
-/// is the only checkpoint a durable store has.
+/// Flattens a [`SnapshotError`] into the `io::Error` the save path reports.
+fn io_error(e: SnapshotError) -> io::Error {
+    match e {
+        SnapshotError::Io(e) => e,
+        SnapshotError::Corrupt(m) => io::Error::other(m),
+    }
+}
+
+/// Snapshot to a file in the paged v3 layout, **atomically**: the bytes
+/// are written to a temporary file in the same directory, fsynced, and
+/// renamed over `path`. A crash at any point leaves either the previous
+/// file intact or the new one complete — never a half-written snapshot,
+/// which matters when `path` is the only checkpoint a durable store has.
 pub fn save_to_file(snap: &Snapshot, path: &std::path::Path) -> io::Result<()> {
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
     let mut tmp = path.as_os_str().to_owned();
@@ -198,8 +248,19 @@ pub fn save_to_file(snap: &Snapshot, path: &std::path::Path) -> io::Result<()> {
     let tmp = std::path::PathBuf::from(tmp);
     let file = std::fs::File::create(&tmp)?;
     let mut w = io::BufWriter::new(file);
-    let write =
-        write_snapshot(snap, &mut w).and_then(|()| w.flush()).and_then(|()| w.get_ref().sync_all());
+    let meta = ContainerMeta {
+        kind: KIND_SNAPSHOT,
+        epoch: snap.epoch(),
+        len: snap.len() as u64,
+        next_run_id: snap.next_run_id,
+        dict: Some(snap.dictionary()),
+        stats: Some(snap.stats()),
+        levels: &snap.levels,
+    };
+    let write = write_container(&mut w, &meta)
+        .map_err(io_error)
+        .and_then(|()| w.flush())
+        .and_then(|()| w.get_ref().sync_all());
     if let Err(e) = write {
         let _ = std::fs::remove_file(&tmp);
         return Err(e);
@@ -215,10 +276,32 @@ pub fn save_to_file(snap: &Snapshot, path: &std::path::Path) -> io::Result<()> {
     Ok(())
 }
 
-/// Convenience: load a snapshot from a file.
+/// Load a snapshot from a file with the default page-cache budget.
 pub fn load_from_file(path: &std::path::Path) -> Result<TripleStore, SnapshotError> {
-    let mut f = io::BufReader::new(std::fs::File::open(path)?);
-    read_snapshot(&mut f)
+    load_from_file_with(path, PagedOptions::default())
+}
+
+/// Load a snapshot from a file. A v3 file is opened **lazily** — only the
+/// header, footer, and dictionary are read eagerly; triple pages are
+/// fetched on demand into a cache bounded by `opts.cache_bytes`. v1/v2
+/// files are materialized in full (they predate paging).
+pub fn load_from_file_with(
+    path: &std::path::Path,
+    opts: PagedOptions,
+) -> Result<TripleStore, SnapshotError> {
+    let f = std::fs::File::open(path)?;
+    let mut hdr = [0u8; 8];
+    let is_paged = {
+        use std::os::unix::fs::FileExt;
+        f.read_exact_at(&mut hdr, 0).is_ok()
+            && &hdr[0..4] == MAGIC
+            && u32::from_le_bytes(hdr[4..8].try_into().unwrap()) == VERSION_PAGED
+    };
+    if is_paged {
+        store_from_backing(Backing::File(f), opts)
+    } else {
+        read_snapshot(&mut io::BufReader::new(f))
+    }
 }
 
 #[cfg(test)]
@@ -430,5 +513,111 @@ _:b0 <http://ex/knows> <http://ex/a> .
         write_snapshot(&st, &mut buf).unwrap();
         let loaded = read_snapshot(&mut buf.as_slice()).unwrap();
         assert!(loaded.is_empty());
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("uo_persist_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn v3_file_round_trip_reads_lazily() {
+        let dir = temp_dir("v3rt");
+        let path = dir.join("store.uost");
+        let st = sample();
+        save_to_file(&st, &path).unwrap();
+        // A deliberately tiny cache budget: every page still loads (at
+        // least one page is always retained), evictions just increase.
+        let loaded = load_from_file_with(&path, PagedOptions { cache_bytes: 4096 }).unwrap();
+        assert_eq!(loaded.snapshot().epoch(), st.snapshot().epoch());
+        assert_eq!(loaded.len(), st.len());
+        assert!(st.iter().eq(loaded.iter()));
+        for (id, term) in st.dictionary().iter() {
+            assert_eq!(loaded.dictionary().decode(id), Some(term));
+        }
+        assert_eq!(loaded.stats().triples, st.stats().triples);
+        assert_eq!(loaded.stats().entities, st.stats().entities);
+        assert_eq!(loaded.stats().literals, st.stats().literals);
+        let cache = loaded.snapshot().page_cache_stats().expect("disk-backed snapshot");
+        assert!(cache.misses > 0, "the full scan had to fetch pages");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v3_stream_round_trip_via_read_snapshot() {
+        let dir = temp_dir("v3stream");
+        let path = dir.join("store.uost");
+        let st = sample();
+        save_to_file(&st, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let loaded = read_snapshot(&mut bytes.as_slice()).unwrap();
+        assert_eq!(loaded.len(), st.len());
+        assert!(st.iter().eq(loaded.iter()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v3_corrupt_row_page_fails_cleanly_with_crc_error() {
+        let dir = temp_dir("v3crc");
+        let path = dir.join("store.uost");
+        let st = sample();
+        save_to_file(&st, &path).unwrap();
+        // Page 0 is the header, page 1 the dictionary; the first row page
+        // (the SPO add run) starts at page 2. Flip one payload byte there.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[2 * 4096] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        // Opening stays lazy and succeeds — the damage is found on read.
+        let loaded = load_from_file(&path).unwrap();
+        match loaded.snapshot().try_match_pattern(None, None, None) {
+            Err(SnapshotError::Corrupt(m)) => {
+                assert!(m.contains("crc mismatch"), "clean per-page error, got: {m}")
+            }
+            other => panic!("expected a page CRC error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v3_rejects_truncated_trailer() {
+        let dir = temp_dir("v3trunc");
+        let path = dir.join("store.uost");
+        save_to_file(&sample(), &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() - 3);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load_from_file(&path), Err(SnapshotError::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v3_multi_level_snapshot_round_trips_with_tombstones() {
+        let dir = temp_dir("v3levels");
+        let path = dir.join("store.uost");
+        // Two incremental commits on top of the bulk build: the saved file
+        // carries three levels including tombstones.
+        let mut w = crate::StoreWriter::from_snapshot(sample().snapshot());
+        w.insert_terms(
+            &Term::iri("http://ex/new"),
+            &Term::iri("http://ex/knows"),
+            &Term::iri("http://ex/a"),
+        );
+        w.commit_with(Parallelism::sequential());
+        assert!(w.delete_terms(
+            &Term::iri("http://ex/a"),
+            &Term::iri("http://ex/knows"),
+            &Term::iri("http://ex/b"),
+        ));
+        w.commit_with(Parallelism::sequential());
+        let st = TripleStore::from_snapshot(w.snapshot());
+        assert!(st.snapshot().level_count() >= 3);
+        save_to_file(&st, &path).unwrap();
+        let loaded = load_from_file(&path).unwrap();
+        assert_eq!(loaded.len(), st.len());
+        assert_eq!(loaded.snapshot().level_count(), st.snapshot().level_count());
+        assert!(st.iter().eq(loaded.iter()));
+        assert_eq!(loaded.stats().triples, st.stats().triples);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

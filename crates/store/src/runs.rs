@@ -1,0 +1,121 @@
+//! Tiered sorted runs: the building blocks of a [`Snapshot`](crate::Snapshot).
+//!
+//! A snapshot is a stack of immutable **levels**. Each level holds the
+//! triples one commit added and the tombstones for the triples it deleted,
+//! in all three permutation orders (SPO / POS / OSP), each as one sorted
+//! run. A run lives either in memory ([`RunData::Mem`]) or inside a paged
+//! v3 file ([`RunData::Disk`]), read lazily page by page.
+//!
+//! Commit-time normalization guarantees that within one level the add and
+//! delete runs are disjoint, that a level only adds rows that are dead in
+//! the levels below it and only deletes rows that are live below it. A row
+//! is therefore live iff its occurrences across the stack contain more
+//! adds than deletes — the rule [`uo_par::merge_tiers`] and the per-level
+//! range-count subtraction in `Snapshot::count_pattern` both rely on.
+
+use crate::paged::DiskRun;
+use crate::persist::SnapshotError;
+use uo_rdf::Id;
+
+/// One sorted run of permuted rows: resident or disk-backed.
+#[derive(Debug, Clone)]
+pub(crate) enum RunData {
+    /// Rows held in memory, sorted in the run's permutation order.
+    Mem(Vec<[Id; 3]>),
+    /// Rows inside a paged v3 file, loaded lazily per page.
+    Disk(DiskRun),
+}
+
+/// Rows obtained from a [`RunData`]: a zero-copy slice for memory runs, an
+/// owned buffer for pages materialized from disk.
+pub(crate) enum RowsRef<'a> {
+    Slice(&'a [[Id; 3]]),
+    Owned(Vec<[Id; 3]>),
+}
+
+impl RowsRef<'_> {
+    #[inline]
+    pub(crate) fn as_slice(&self) -> &[[Id; 3]] {
+        match self {
+            RowsRef::Slice(s) => s,
+            RowsRef::Owned(v) => v,
+        }
+    }
+}
+
+impl RunData {
+    /// Number of rows in the run.
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            RunData::Mem(v) => v.len(),
+            RunData::Disk(d) => d.len(),
+        }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when the rows live in a paged file rather than memory.
+    pub(crate) fn is_disk(&self) -> bool {
+        matches!(self, RunData::Disk(_))
+    }
+
+    /// Half-open index range of rows starting with `prefix`. For disk runs
+    /// this binary-searches the per-page first-row index and refines the
+    /// two boundary pages — at most four page reads.
+    pub(crate) fn bounds(&self, prefix: &[Id]) -> Result<(usize, usize), SnapshotError> {
+        match self {
+            RunData::Mem(v) => Ok(crate::index::prefix_bounds(v, prefix)),
+            RunData::Disk(d) => d.bounds(prefix),
+        }
+    }
+
+    /// The rows in `[lo, hi)`; disk runs materialize only the touched pages.
+    pub(crate) fn range(&self, lo: usize, hi: usize) -> Result<RowsRef<'_>, SnapshotError> {
+        match self {
+            RunData::Mem(v) => Ok(RowsRef::Slice(&v[lo..hi])),
+            RunData::Disk(d) => d.read_range(lo, hi).map(RowsRef::Owned),
+        }
+    }
+
+    /// Every row of the run.
+    pub(crate) fn rows(&self) -> Result<RowsRef<'_>, SnapshotError> {
+        self.range(0, self.len())
+    }
+}
+
+/// One tier of the snapshot: what a single commit (or compaction) added
+/// and deleted, in all three permutation orders.
+#[derive(Debug, Clone)]
+pub(crate) struct Level {
+    /// Run id, unique and monotone within a store lineage. Names the
+    /// on-disk run file (`runs/run-<id>.uorun`) in durable stores.
+    pub(crate) id: u64,
+    /// Added rows, indexed by `IndexKind::slot()` (SPO, POS, OSP).
+    pub(crate) adds: [RunData; 3],
+    /// Tombstones for rows live in lower levels, same indexing.
+    pub(crate) dels: [RunData; 3],
+}
+
+impl Level {
+    /// Builds a memory-resident level from pre-sorted permuted runs.
+    pub(crate) fn from_sorted(id: u64, adds: [Vec<[Id; 3]>; 3], dels: [Vec<[Id; 3]>; 3]) -> Level {
+        Level { id, adds: adds.map(RunData::Mem), dels: dels.map(RunData::Mem) }
+    }
+
+    /// Rows this level adds (per permutation; all three are equal).
+    pub(crate) fn add_rows(&self) -> usize {
+        self.adds[0].len()
+    }
+
+    /// Tombstones this level carries (per permutation).
+    pub(crate) fn del_rows(&self) -> usize {
+        self.dels[0].len()
+    }
+
+    /// True when any run of this level is disk-backed.
+    pub(crate) fn is_disk(&self) -> bool {
+        self.adds.iter().chain(self.dels.iter()).any(|r| r.is_disk())
+    }
+}

@@ -1,35 +1,68 @@
 //! The immutable, shareable [`Snapshot`]: one MVCC version of the dataset.
 //!
-//! A snapshot owns the three sorted permutation indexes (SPO / POS / OSP),
-//! the dataset statistics and an [`Arc`]-shared dictionary, and carries a
-//! monotonically increasing **epoch**. Snapshots are cheap to share
-//! (`Arc<Snapshot>`) and never change after construction: readers that
-//! clone the `Arc` keep answering from their version no matter how many
-//! commits land afterwards — that is the whole concurrency story, no locks
-//! on the read path.
+//! A snapshot is a bounded stack of **tiered sorted runs**
+//! (levels): each commit appends one small level holding only its own
+//! adds and tombstones (O(K) for a K-row delta), and reads resolve a
+//! pattern by k-way merging the per-level ranges
+//! ([`uo_par::merge_tiers`]). Levels are immutable and `Arc`-shared, so a
+//! new snapshot reuses every existing level by reference — readers that
+//! clone the `Arc<Snapshot>` keep answering from their version no matter
+//! how many commits land afterwards; no locks on the read path.
 //!
-//! New snapshots come from two places:
+//! Runs live in memory (sorted `Vec`s) or in paged v3 files
+//! (lazily-paged disk sections), loaded page by page — a store larger than
+//! RAM serves queries cold. [`Snapshot::compact_with`] folds the whole
+//! stack into a single level; the server's maintenance thread runs it in
+//! the background when the stack exceeds a fan-in threshold, and the
+//! writer compacts inline at a hard cap so the stack stays bounded.
+//!
+//! New snapshots come from three places:
 //!
 //! - [`Snapshot::build_from`] — a bulk build (sort + dedup + derive), used
 //!   for initial loads;
-//! - [`StoreWriter::commit`](crate::StoreWriter::commit) — a merge-based
-//!   commit that folds a small delta into the previous snapshot's sorted
-//!   runs in O(N + K) without re-sorting the base.
+//! - [`StoreWriter::commit`](crate::StoreWriter::commit) — appends one
+//!   level per commit;
+//! - [`Snapshot::compact_with`] — same content, same epoch, one level.
 
-use crate::index::{prefix_range, IndexKind, MatchSet};
+use crate::index::{IndexKind, MatchSet};
+use crate::paged::{PageCacheSnapshot, PageCacheStats};
+use crate::runs::{Level, RowsRef, RunData};
 use crate::stats::DatasetStats;
+use crate::SnapshotError;
 use std::sync::Arc;
 use uo_par::Parallelism;
 use uo_rdf::{Dictionary, Id, Triple};
+
+/// Commits compact inline once the level stack reaches this depth, keeping
+/// read amplification bounded even without a background compactor. The
+/// threshold is deterministic in the commit sequence (never load- or
+/// thread-dependent), preserving bit-identical outcomes across worker
+/// counts.
+pub(crate) const INLINE_COMPACT_LEVELS: usize = 32;
+
+/// Occupancy of the tiered run stack, for `/metrics` and the CLI.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TierStats {
+    /// Levels in the stack (1 after a bulk build or compaction).
+    pub levels: usize,
+    /// Non-empty sorted runs across all levels and permutations.
+    pub runs: usize,
+    /// Rows resident in memory, summed over runs (adds + tombstones).
+    pub mem_rows: usize,
+    /// Rows resident in paged files, summed over runs.
+    pub disk_rows: usize,
+    /// Tombstone rows awaiting compaction (per permutation).
+    pub tombstones: usize,
+}
 
 /// An immutable, fully-indexed version of the dataset. See the module docs.
 #[derive(Debug, Clone)]
 pub struct Snapshot {
     pub(crate) dict: Arc<Dictionary>,
     pub(crate) epoch: u64,
-    pub(crate) spo: Vec<[Id; 3]>,
-    pub(crate) pos: Vec<[Id; 3]>,
-    pub(crate) osp: Vec<[Id; 3]>,
+    pub(crate) levels: Vec<Arc<Level>>,
+    pub(crate) len: usize,
+    pub(crate) next_run_id: u64,
     pub(crate) stats: DatasetStats,
 }
 
@@ -39,16 +72,17 @@ impl Snapshot {
         Snapshot {
             dict: Arc::new(Dictionary::new()),
             epoch: 0,
-            spo: Vec::new(),
-            pos: Vec::new(),
-            osp: Vec::new(),
+            levels: Vec::new(),
+            len: 0,
+            next_run_id: 0,
             stats: DatasetStats::default(),
         }
     }
 
     /// Bulk-builds a snapshot from unsorted SPO rows: parallel sort + dedup,
     /// then the POS index, the OSP index and the statistics are derived
-    /// concurrently. Every id in `spo` must be valid in `dict`.
+    /// concurrently. The result is a single level with no tombstones. Every
+    /// id in `spo` must be valid in `dict`.
     pub fn build_from(
         dict: Arc<Dictionary>,
         mut spo: Vec<[Id; 3]>,
@@ -58,7 +92,13 @@ impl Snapshot {
         uo_par::sort_unstable(par, &mut spo);
         spo.dedup();
         let (pos, osp, stats) = derive_indexes(&dict, &spo, par);
-        Snapshot { dict, epoch, spo, pos, osp, stats }
+        let len = spo.len();
+        let (levels, next_run_id) = if len == 0 {
+            (Vec::new(), 0)
+        } else {
+            (vec![Arc::new(Level::from_sorted(0, [spo, pos, osp], Default::default()))], 1)
+        };
+        Snapshot { dict, epoch, levels, len, next_run_id, stats }
     }
 
     /// The term dictionary of this version.
@@ -74,18 +114,20 @@ impl Snapshot {
     /// This version's epoch. Epochs increase by one per commit; two
     /// snapshots of the same store with equal epochs hold identical data,
     /// which is what the serving layer's plan-cache invalidation keys on.
+    /// Compaction rearranges levels without changing the epoch — the
+    /// content is identical.
     pub fn epoch(&self) -> u64 {
         self.epoch
     }
 
     /// Number of triples in this version.
     pub fn len(&self) -> usize {
-        self.spo.len()
+        self.len
     }
 
     /// True if this version holds no triples.
     pub fn is_empty(&self) -> bool {
-        self.spo.is_empty()
+        self.len == 0
     }
 
     /// Dataset-wide statistics of this version.
@@ -93,40 +135,191 @@ impl Snapshot {
         &self.stats
     }
 
-    /// Looks up all triples matching the pattern, where `None` components
-    /// are wildcards. Returns a borrowed sorted range of one permutation
-    /// index.
-    pub fn match_pattern(&self, s: Option<Id>, p: Option<Id>, o: Option<Id>) -> MatchSet<'_> {
-        match (s, p, o) {
-            (Some(s), Some(p), Some(o)) => {
-                MatchSet { rows: prefix_range(&self.spo, &[s, p, o]), kind: IndexKind::Spo }
+    /// Depth of the tiered run stack.
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Occupancy of the tiered run stack.
+    pub fn tier_stats(&self) -> TierStats {
+        let mut t = TierStats { levels: self.levels.len(), ..TierStats::default() };
+        for lvl in &self.levels {
+            t.tombstones += lvl.del_rows();
+            for run in lvl.adds.iter().chain(lvl.dels.iter()) {
+                if run.is_empty() {
+                    continue;
+                }
+                t.runs += 1;
+                match run {
+                    RunData::Mem(v) => t.mem_rows += v.len(),
+                    RunData::Disk(d) => t.disk_rows += d.len(),
+                }
             }
-            (Some(s), Some(p), None) => {
-                MatchSet { rows: prefix_range(&self.spo, &[s, p]), kind: IndexKind::Spo }
+        }
+        t
+    }
+
+    /// Aggregated page-cache counters across every paged file this
+    /// snapshot references, or `None` for a fully memory-resident
+    /// snapshot.
+    pub fn page_cache_stats(&self) -> Option<PageCacheSnapshot> {
+        let mut seen: Vec<*const PageCacheStats> = Vec::new();
+        let mut total = PageCacheSnapshot::default();
+        for lvl in &self.levels {
+            for run in lvl.adds.iter().chain(lvl.dels.iter()) {
+                if let RunData::Disk(d) = run {
+                    let ptr = Arc::as_ptr(d.cache_stats());
+                    if !seen.contains(&ptr) {
+                        seen.push(ptr);
+                        total = total + d.cache_stats().snapshot();
+                    }
+                }
             }
-            (Some(s), None, Some(o)) => {
-                MatchSet { rows: prefix_range(&self.osp, &[o, s]), kind: IndexKind::Osp }
-            }
-            (Some(s), None, None) => {
-                MatchSet { rows: prefix_range(&self.spo, &[s]), kind: IndexKind::Spo }
-            }
-            (None, Some(p), Some(o)) => {
-                MatchSet { rows: prefix_range(&self.pos, &[p, o]), kind: IndexKind::Pos }
-            }
-            (None, Some(p), None) => {
-                MatchSet { rows: prefix_range(&self.pos, &[p]), kind: IndexKind::Pos }
-            }
-            (None, None, Some(o)) => {
-                MatchSet { rows: prefix_range(&self.osp, &[o]), kind: IndexKind::Osp }
-            }
-            (None, None, None) => MatchSet { rows: &self.spo, kind: IndexKind::Spo },
+        }
+        if seen.is_empty() {
+            None
+        } else {
+            Some(total)
         }
     }
 
-    /// Exact number of triples matching the pattern (a range length;
-    /// O(log n)).
+    /// The pattern-to-index plan: which permutation serves a pattern and
+    /// with what prefix.
+    fn plan(s: Option<Id>, p: Option<Id>, o: Option<Id>) -> (IndexKind, [Id; 3], usize) {
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => (IndexKind::Spo, [s, p, o], 3),
+            (Some(s), Some(p), None) => (IndexKind::Spo, [s, p, 0], 2),
+            (Some(s), None, Some(o)) => (IndexKind::Osp, [o, s, 0], 2),
+            (Some(s), None, None) => (IndexKind::Spo, [s, 0, 0], 1),
+            (None, Some(p), Some(o)) => (IndexKind::Pos, [p, o, 0], 2),
+            (None, Some(p), None) => (IndexKind::Pos, [p, 0, 0], 1),
+            (None, None, Some(o)) => (IndexKind::Osp, [o, 0, 0], 1),
+            (None, None, None) => (IndexKind::Spo, [0, 0, 0], 0),
+        }
+    }
+
+    /// Per-level half-open ranges matching `prefix` in permutation `kind`,
+    /// keeping only levels whose add or tombstone range is non-empty.
+    #[allow(clippy::type_complexity)]
+    fn level_ranges(
+        &self,
+        kind: IndexKind,
+        prefix: &[Id],
+    ) -> Result<Vec<(&Level, (usize, usize), (usize, usize))>, SnapshotError> {
+        let slot = kind.slot();
+        let mut hits = Vec::new();
+        for lvl in &self.levels {
+            let ab = lvl.adds[slot].bounds(prefix)?;
+            let db = lvl.dels[slot].bounds(prefix)?;
+            if ab.0 < ab.1 || db.0 < db.1 {
+                hits.push((lvl.as_ref(), ab, db));
+            }
+        }
+        Ok(hits)
+    }
+
+    /// Looks up all triples matching the pattern, where `None` components
+    /// are wildcards. Returns a sorted run of one permutation index —
+    /// zero-copy when a single in-memory level covers the range, an owned
+    /// k-way merge otherwise.
+    ///
+    /// Panics on storage-layer corruption (an unreadable or CRC-failing
+    /// page of a disk-backed snapshot); use
+    /// [`try_match_pattern`](Self::try_match_pattern) to handle that case.
+    pub fn match_pattern(&self, s: Option<Id>, p: Option<Id>, o: Option<Id>) -> MatchSet<'_> {
+        self.try_match_pattern(s, p, o).expect("storage error while reading pattern")
+    }
+
+    /// Fallible form of [`match_pattern`](Self::match_pattern): surfaces
+    /// page CRC mismatches and I/O failures of disk-backed runs as a clean
+    /// [`SnapshotError`] instead of panicking.
+    pub fn try_match_pattern(
+        &self,
+        s: Option<Id>,
+        p: Option<Id>,
+        o: Option<Id>,
+    ) -> Result<MatchSet<'_>, SnapshotError> {
+        let (kind, prefix, plen) = Self::plan(s, p, o);
+        let prefix = &prefix[..plen];
+        // Single-level snapshots (bulk builds, freshly compacted stores) are
+        // the common case on the hot BGP-scan path: answer without the
+        // per-level range collection, which heap-allocates.
+        if let [lvl] = self.levels.as_slice() {
+            let slot = kind.slot();
+            let (dlo, dhi) = lvl.dels[slot].bounds(prefix)?;
+            if dlo == dhi {
+                let (lo, hi) = lvl.adds[slot].bounds(prefix)?;
+                return match &lvl.adds[slot] {
+                    _ if lo == hi => Ok(MatchSet::borrowed(&[], kind)),
+                    RunData::Mem(v) => Ok(MatchSet::borrowed(&v[lo..hi], kind)),
+                    RunData::Disk(d) => Ok(MatchSet::owned(d.read_range(lo, hi)?, kind)),
+                };
+            }
+        }
+        let hits = self.level_ranges(kind, prefix)?;
+        match hits.len() {
+            0 => Ok(MatchSet::borrowed(&[], kind)),
+            1 => {
+                // A single level intersects the range. Commit normalization
+                // means its tombstones can only shadow rows added by lower
+                // levels — which would intersect too — so the range has no
+                // tombstones and the add run answers verbatim.
+                let (lvl, (lo, hi), (dlo, dhi)) = hits[0];
+                debug_assert_eq!(dlo, dhi, "single-level range cannot carry tombstones");
+                match &lvl.adds[kind.slot()] {
+                    RunData::Mem(v) => Ok(MatchSet::borrowed(&v[lo..hi], kind)),
+                    RunData::Disk(d) => Ok(MatchSet::owned(d.read_range(lo, hi)?, kind)),
+                }
+            }
+            _ => {
+                let slot = kind.slot();
+                let mut adds: Vec<RowsRef<'_>> = Vec::with_capacity(hits.len());
+                let mut dels: Vec<RowsRef<'_>> = Vec::new();
+                for (lvl, (alo, ahi), (dlo, dhi)) in &hits {
+                    if alo < ahi {
+                        adds.push(lvl.adds[slot].range(*alo, *ahi)?);
+                    }
+                    if dlo < dhi {
+                        dels.push(lvl.dels[slot].range(*dlo, *dhi)?);
+                    }
+                }
+                let add_refs: Vec<&[[Id; 3]]> = adds.iter().map(|r| r.as_slice()).collect();
+                let del_refs: Vec<&[[Id; 3]]> = dels.iter().map(|r| r.as_slice()).collect();
+                Ok(MatchSet::owned(uo_par::merge_tiers(&add_refs, &del_refs), kind))
+            }
+        }
+    }
+
+    /// Exact number of triples matching the pattern: per level, the add
+    /// range minus the tombstone range, summed — O(levels · log n) binary
+    /// searches, no row materialization. Panics on storage corruption;
+    /// see [`try_count_pattern`](Self::try_count_pattern).
     pub fn count_pattern(&self, s: Option<Id>, p: Option<Id>, o: Option<Id>) -> usize {
-        self.match_pattern(s, p, o).len()
+        self.try_count_pattern(s, p, o).expect("storage error while counting pattern")
+    }
+
+    /// Fallible form of [`count_pattern`](Self::count_pattern).
+    pub fn try_count_pattern(
+        &self,
+        s: Option<Id>,
+        p: Option<Id>,
+        o: Option<Id>,
+    ) -> Result<usize, SnapshotError> {
+        let (kind, prefix, plen) = Self::plan(s, p, o);
+        let prefix = &prefix[..plen];
+        if let [lvl] = self.levels.as_slice() {
+            let slot = kind.slot();
+            let (alo, ahi) = lvl.adds[slot].bounds(prefix)?;
+            let (dlo, dhi) = lvl.dels[slot].bounds(prefix)?;
+            return Ok((ahi - alo).saturating_sub(dhi - dlo));
+        }
+        let hits = self.level_ranges(kind, prefix)?;
+        let mut n = 0i64;
+        for (_, (alo, ahi), (dlo, dhi)) in hits {
+            n += (ahi - alo) as i64 - (dhi - dlo) as i64;
+        }
+        debug_assert!(n >= 0, "tombstones cannot outnumber adds in a range");
+        Ok(n.max(0) as usize)
     }
 
     /// Returns `true` if the fully-bound triple is in this version.
@@ -136,17 +329,68 @@ impl Snapshot {
 
     /// The objects of all triples `(s, p, ·)`, in sorted order.
     pub fn objects(&self, s: Id, p: Id) -> impl Iterator<Item = Id> + '_ {
-        prefix_range(&self.spo, &[s, p]).iter().map(|r| r[2])
+        self.match_pattern(Some(s), Some(p), None).into_rows().into_iter().map(|r| r[2])
     }
 
     /// The subjects of all triples `(·, p, o)`, in sorted order.
     pub fn subjects(&self, p: Id, o: Id) -> impl Iterator<Item = Id> + '_ {
-        prefix_range(&self.pos, &[p, o]).iter().map(|r| r[2])
+        self.match_pattern(None, Some(p), Some(o)).into_rows().into_iter().map(|r| r[2])
     }
 
-    /// Iterates over every triple in SPO order.
+    /// Iterates over every triple in SPO order (materializes the merged
+    /// view once).
     pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
-        self.spo.iter().map(|&a| Triple::from(a))
+        self.match_pattern(None, None, None).into_rows().into_iter().map(Triple::from)
+    }
+
+    /// Folds the whole level stack into a single memory-resident level:
+    /// same content, same epoch, zero tombstones. The merge resolves adds
+    /// against tombstones by occurrence counting, so the result depends
+    /// only on the content — not on worker count or level enumeration
+    /// order — preserving the determinism contract. Disk-backed runs are
+    /// materialized; fails cleanly if one is unreadable.
+    pub fn compact_with(&self, par: Parallelism) -> Result<Snapshot, SnapshotError> {
+        if self.levels.len() <= 1 && self.levels.iter().all(|l| l.del_rows() == 0 && !l.is_disk()) {
+            return Ok(self.clone());
+        }
+        let gather = |slot: usize| -> Result<Vec<[Id; 3]>, SnapshotError> {
+            let mut adds: Vec<RowsRef<'_>> = Vec::with_capacity(self.levels.len());
+            let mut dels: Vec<RowsRef<'_>> = Vec::new();
+            for lvl in &self.levels {
+                if !lvl.adds[slot].is_empty() {
+                    adds.push(lvl.adds[slot].rows()?);
+                }
+                if !lvl.dels[slot].is_empty() {
+                    dels.push(lvl.dels[slot].rows()?);
+                }
+            }
+            let add_refs: Vec<&[[Id; 3]]> = adds.iter().map(|r| r.as_slice()).collect();
+            let del_refs: Vec<&[[Id; 3]]> = dels.iter().map(|r| r.as_slice()).collect();
+            Ok(uo_par::merge_tiers(&add_refs, &del_refs))
+        };
+        let (spo, pos, osp) = uo_par::join3(par, || gather(0), || gather(1), || gather(2));
+        let (spo, pos, osp) = (spo?, pos?, osp?);
+        debug_assert_eq!(spo.len(), self.len, "compaction must preserve the live row count");
+        let (levels, next_run_id) = if spo.is_empty() {
+            (Vec::new(), self.next_run_id)
+        } else {
+            (
+                vec![Arc::new(Level::from_sorted(
+                    self.next_run_id,
+                    [spo, pos, osp],
+                    Default::default(),
+                ))],
+                self.next_run_id + 1,
+            )
+        };
+        Ok(Snapshot {
+            dict: Arc::clone(&self.dict),
+            epoch: self.epoch,
+            levels,
+            len: self.len,
+            next_run_id,
+            stats: self.stats.clone(),
+        })
     }
 }
 
@@ -193,6 +437,7 @@ mod tests {
         let s = sample();
         assert_eq!(s.len(), 3);
         assert_eq!(s.epoch(), 7);
+        assert_eq!(s.level_count(), 1);
         let rows: Vec<[Id; 3]> = s.iter().map(|t| t.as_array()).collect();
         assert!(rows.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
     }
@@ -202,7 +447,9 @@ mod tests {
         let s = Snapshot::empty();
         assert_eq!(s.epoch(), 0);
         assert!(s.is_empty());
+        assert_eq!(s.level_count(), 0);
         assert_eq!(s.count_pattern(None, None, None), 0);
+        assert!(s.page_cache_stats().is_none());
     }
 
     #[test]
@@ -215,5 +462,26 @@ mod tests {
         assert_eq!(s.count_pattern(None, None, Some(a)), 2);
         assert_eq!(s.objects(a, p).count(), 1);
         assert_eq!(s.subjects(p, a).count(), 1);
+    }
+
+    #[test]
+    fn compaction_preserves_content_and_epoch() {
+        let s = sample();
+        let c = s.compact_with(Parallelism::sequential()).unwrap();
+        assert_eq!(c.epoch(), s.epoch());
+        assert_eq!(c.len(), s.len());
+        assert_eq!(c.level_count(), 1);
+        assert!(s.iter().eq(c.iter()));
+        assert_eq!(c.tier_stats().tombstones, 0);
+    }
+
+    #[test]
+    fn tier_stats_reflect_single_level() {
+        let s = sample();
+        let t = s.tier_stats();
+        assert_eq!(t.levels, 1);
+        assert_eq!(t.runs, 3, "three add permutations, no tombstones");
+        assert_eq!(t.mem_rows, 3 * s.len());
+        assert_eq!(t.disk_rows, 0);
     }
 }

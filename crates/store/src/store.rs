@@ -1,5 +1,6 @@
 //! The [`TripleStore`] facade: the classic two-phase (insert → `build` →
-//! read) API, now layered on the MVCC [`Snapshot`]/[`StoreWriter`] split.
+//! read) API, now layered on the MVCC [`Snapshot`]/[`crate::StoreWriter`]
+//! split.
 //!
 //! The facade keeps every pre-MVCC call site compiling: examples, the data
 //! generators, benches and tests construct a `TripleStore`, load triples
@@ -377,8 +378,8 @@ mod tests {
             // Spot-check a non-SPO permutation range.
             let p0 = par.dictionary().lookup(&Term::iri("http://p/0")).unwrap();
             assert_eq!(
-                par.match_pattern(None, Some(p0), None).rows,
-                seq.match_pattern(None, Some(p0), None).rows
+                par.match_pattern(None, Some(p0), None).rows(),
+                seq.match_pattern(None, Some(p0), None).rows()
             );
         }
     }

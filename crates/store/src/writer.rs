@@ -2,13 +2,14 @@
 //!
 //! A writer buffers inserts and deletes in a small delta and publishes them
 //! with [`commit`](StoreWriter::commit), which produces a **new**
-//! [`Snapshot`] by *merging* the sorted delta into the previous snapshot's
-//! sorted permutation runs (`uo_par::merge_diff`). A commit of K triples
-//! into an N-triple snapshot therefore sorts only the K delta rows (per
-//! permutation) and streams the N base rows through a linear merge —
-//! O(N + K), never an O((N + K) log (N + K)) re-sort of the base. The
-//! [`CommitStats`] of every commit record exactly that split, which the
-//! test suite asserts on.
+//! [`Snapshot`] by appending one small sorted **level** to the base's
+//! tiered run stack. A commit of K triples sorts and writes only the K
+//! delta rows (per permutation) — O(K log K) total, independent of the
+//! N base rows, which stay untouched behind shared `Arc`s. The
+//! [`CommitStats`] of every commit record exactly that contract, which the
+//! test suite asserts on. The level stack is kept bounded by background
+//! compaction (the server's maintenance thread) plus a deterministic
+//! inline compaction once the stack reaches a hard cap.
 //!
 //! Readers are completely undisturbed: anyone holding an `Arc<Snapshot>`
 //! keeps answering from it; a commit only swaps which snapshot *future*
@@ -21,14 +22,14 @@
 //! reuse the base dictionary allocation outright.
 
 use crate::index::IndexKind;
-use crate::snapshot::{derive_indexes, Snapshot};
-use crate::stats::DatasetStats;
+use crate::runs::Level;
+use crate::snapshot::{derive_indexes, Snapshot, INLINE_COMPACT_LEVELS};
 use std::sync::Arc;
 use uo_par::Parallelism;
 use uo_rdf::{ntriples, Dictionary, FxHashSet, Id, Term, Triple};
 
 /// What one [`StoreWriter::commit`] did — the observability hook for the
-/// "merge, don't re-sort" contract.
+/// "append a level, don't rewrite the base" contract.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CommitStats {
     /// Epoch of the snapshot the commit produced.
@@ -41,9 +42,17 @@ pub struct CommitStats {
     /// index. A commit of K triples sorts at most `3 * (inserts + deletes)`
     /// rows regardless of the base size.
     pub rows_sorted: usize,
-    /// Base rows that were merged (not re-sorted), across the three
-    /// permutation indexes.
+    /// Rows written into the new level across the three permutation
+    /// indexes — proportional to the **delta**, never to the base. (Before
+    /// the tiered refactor this counted the N base rows every commit
+    /// re-merged; it is now O(K) by construction.)
     pub rows_merged: usize,
+    /// Rows rewritten by an inline full compaction this commit triggered
+    /// (0 for ordinary commits; fires only when the level stack hits its
+    /// deterministic depth cap).
+    pub compaction_rows: usize,
+    /// Depth of the level stack after the commit.
+    pub levels: usize,
     /// True when the commit reused the base snapshot's dictionary
     /// allocation (no unknown term was encoded this cycle).
     pub dict_reused: bool,
@@ -115,7 +124,7 @@ impl StoreWriter {
     /// Cumulative `(rows_sorted, rows_merged)` across every commit this
     /// writer has performed — the observability hook for proving that a
     /// whole *sequence* of commits (e.g. a WAL recovery replay) stayed on
-    /// the O(N + K) merge path instead of re-sorting the base.
+    /// the O(K)-per-commit level-append path instead of rewriting the base.
     pub fn merge_totals(&self) -> (usize, usize) {
         (self.total_rows_sorted, self.total_rows_merged)
     }
@@ -196,9 +205,10 @@ impl StoreWriter {
         self.commit_with(Parallelism::from_env())
     }
 
-    /// Publishes the pending delta: sorts the delta (K log K), merges it
-    /// into the base's three sorted permutation runs (O(N + K), chunked
-    /// across workers), recomputes statistics, and bumps the epoch. The
+    /// Publishes the pending delta: sorts the delta (K log K), normalizes
+    /// it against the base, appends it as one new level in all three
+    /// permutation orders, updates statistics incrementally, and bumps the
+    /// epoch — O(K log N) total, independent of the base size. The
     /// writer's base advances to the new snapshot; the old snapshot is
     /// untouched, so concurrent readers holding it are unaffected.
     ///
@@ -222,6 +232,22 @@ impl StoreWriter {
         arc
     }
 
+    /// Swaps the writer's base for a compacted rearrangement of the **same
+    /// version**: `compacted` must carry the current base's epoch (it came
+    /// from [`Snapshot::compact_with`] on that exact snapshot). Content,
+    /// epoch, and statistics are identical — only the level layout
+    /// changes — so nothing is journaled and readers of either arrangement
+    /// agree bit-for-bit. The install is refused (returns `false`) when
+    /// the epochs differ, i.e. a commit raced the background compaction.
+    pub fn install_compacted(&mut self, compacted: Arc<Snapshot>) -> bool {
+        if compacted.epoch() != self.base.epoch() {
+            return false;
+        }
+        debug_assert_eq!(compacted.len(), self.base.len());
+        self.base = compacted;
+        true
+    }
+
     /// Discards the pending (uncommitted) delta and any terms it encoded,
     /// restoring the writer to its last committed state. Used to abandon a
     /// cancelled or failed update request without leaking half its
@@ -239,9 +265,18 @@ impl Default for StoreWriter {
     }
 }
 
-/// Folds a delta into `base`, producing the next snapshot and the commit
-/// accounting. Shared by [`StoreWriter::commit_with`] and the
-/// [`TripleStore`](crate::TripleStore) facade's incremental rebuild.
+/// Folds a delta into `base` by appending one level to the tiered run
+/// stack, producing the next snapshot and the commit accounting. Shared by
+/// [`StoreWriter::commit_with`] and the [`TripleStore`](crate::TripleStore)
+/// facade's incremental rebuild.
+///
+/// The delta is **normalized** against the base first: inserts of rows
+/// already live and deletes of rows not live are dropped. Normalization is
+/// what gives the level stack its algebra — every surviving add lands on a
+/// dead row and every tombstone on a live one, so per-row occurrences
+/// alternate add/delete from the bottom up and range counts subtract
+/// exactly. It also keeps the statistics update exact
+/// ([`DatasetStats::apply_delta`]).
 pub(crate) fn commit_delta(
     base: &Snapshot,
     dict: Arc<Dictionary>,
@@ -253,7 +288,7 @@ pub(crate) fn commit_delta(
     let mut stats = CommitStats { epoch, ..CommitStats::default() };
 
     stats.rows_sorted += inserts.len() + deletes.len();
-    inserts.sort_unstable();
+    uo_par::sort_unstable(par, &mut inserts);
     inserts.dedup();
     deletes.sort_unstable();
     deletes.dedup();
@@ -262,11 +297,45 @@ pub(crate) fn commit_delta(
 
     // An initial bulk load arrives here with an empty base; derive
     // everything from the (already sorted) insert run directly.
-    if base.spo.is_empty() && deletes.is_empty() {
+    if base.levels.is_empty() && deletes.is_empty() {
         let spo = inserts;
         let (pos, osp, ds) = derive_indexes(&dict, &spo, par);
         stats.rows_sorted += 2 * spo.len();
-        return (Snapshot { dict, epoch, spo, pos, osp, stats: ds }, stats);
+        stats.rows_merged += 3 * spo.len();
+        let len = spo.len();
+        let (levels, next_run_id) = if len == 0 {
+            (Vec::new(), base.next_run_id)
+        } else {
+            (
+                vec![Arc::new(Level::from_sorted(
+                    base.next_run_id,
+                    [spo, pos, osp],
+                    Default::default(),
+                ))],
+                base.next_run_id + 1,
+            )
+        };
+        stats.levels = levels.len();
+        return (Snapshot { dict, epoch, levels, len, next_run_id, stats: ds }, stats);
+    }
+
+    // Normalize: drop inserts of live rows and deletes of dead rows.
+    inserts.retain(|&[s, p, o]| base.count_pattern(Some(s), Some(p), Some(o)) == 0);
+    deletes.retain(|&[s, p, o]| base.count_pattern(Some(s), Some(p), Some(o)) > 0);
+
+    if inserts.is_empty() && deletes.is_empty() {
+        // Nothing survived normalization: same content at the next epoch,
+        // reusing every level by reference.
+        stats.levels = base.levels.len();
+        let snap = Snapshot {
+            dict,
+            epoch,
+            levels: base.levels.clone(),
+            len: base.len,
+            next_run_id: base.next_run_id,
+            stats: base.stats.clone(),
+        };
+        return (snap, stats);
     }
 
     let permute = |kind: IndexKind, rows: &[[Id; 3]]| -> Vec<[Id; 3]> {
@@ -275,25 +344,37 @@ pub(crate) fn commit_delta(
         v
     };
 
-    let spo = uo_par::merge_diff(par, &base.spo, &inserts, &deletes);
-    stats.rows_merged += base.spo.len();
-
-    let (pos, osp, ds) = uo_par::join3(
+    let mut ds = base.stats.clone();
+    let ((pos_i, pos_d), (osp_i, osp_d), ()) = uo_par::join3(
         par,
-        || {
-            let (ins, del) = (permute(IndexKind::Pos, &inserts), permute(IndexKind::Pos, &deletes));
-            uo_par::merge_diff(Parallelism::sequential(), &base.pos, &ins, &del)
-        },
-        || {
-            let (ins, del) = (permute(IndexKind::Osp, &inserts), permute(IndexKind::Osp, &deletes));
-            uo_par::merge_diff(Parallelism::sequential(), &base.osp, &ins, &del)
-        },
-        || DatasetStats::compute(&dict, &spo),
+        || (permute(IndexKind::Pos, &inserts), permute(IndexKind::Pos, &deletes)),
+        || (permute(IndexKind::Osp, &inserts), permute(IndexKind::Osp, &deletes)),
+        || ds.apply_delta(base, &dict, &inserts, &deletes),
     );
     stats.rows_sorted += 2 * (inserts.len() + deletes.len());
-    stats.rows_merged += base.pos.len() + base.osp.len();
+    stats.rows_merged += 3 * (inserts.len() + deletes.len());
 
-    (Snapshot { dict, epoch, spo, pos, osp, stats: ds }, stats)
+    let len = base.len + inserts.len() - deletes.len();
+    let level = Arc::new(Level::from_sorted(
+        base.next_run_id,
+        [inserts, pos_i, osp_i],
+        [deletes, pos_d, osp_d],
+    ));
+    let mut levels = Vec::with_capacity(base.levels.len() + 1);
+    levels.extend(base.levels.iter().cloned());
+    levels.push(level);
+    let mut snap =
+        Snapshot { dict, epoch, levels, len, next_run_id: base.next_run_id + 1, stats: ds };
+
+    // Deterministic inline compaction: depends only on the commit
+    // sequence, never on timing or worker count.
+    if snap.levels.len() >= INLINE_COMPACT_LEVELS {
+        snap =
+            snap.compact_with(par).expect("storage error while compacting the level stack inline");
+        stats.compaction_rows += 3 * snap.len();
+    }
+    stats.levels = snap.levels.len();
+    (snap, stats)
 }
 
 #[cfg(test)]
@@ -313,7 +394,7 @@ mod tests {
     }
 
     #[test]
-    fn commit_merges_without_resorting_base() {
+    fn commit_appends_level_without_touching_base() {
         let base = bulk(5_000);
         let n = base.len();
         let mut w = StoreWriter::from_snapshot(Arc::clone(&base));
@@ -325,11 +406,58 @@ mod tests {
         assert_eq!(snap.epoch(), base.epoch() + 1);
         let st = w.last_commit();
         assert_eq!(st.delta_inserts, 5);
-        // The merge contract: only delta rows are sorted (3 permutations'
-        // worth), the N base rows are merged.
+        // The tiering contract: a K-row commit sorts and writes only delta
+        // rows (once per permutation); the N base rows stay untouched.
         assert_eq!(st.rows_sorted, 3 * 5);
-        assert_eq!(st.rows_merged, 3 * n);
-        assert!(st.rows_sorted < n, "a K-row commit must not re-sort N rows");
+        assert_eq!(st.rows_merged, 3 * 5);
+        assert_eq!(st.compaction_rows, 0);
+        assert_eq!(st.levels, 2, "base level + the freshly appended one");
+        assert!(st.rows_sorted + st.rows_merged < n, "commit cost must be O(K), not O(N)");
+    }
+
+    #[test]
+    fn commit_cost_is_proportional_to_delta() {
+        // The ISSUE acceptance shape: a large base, a tiny delta — the
+        // commit's row accounting must scale with the delta alone.
+        let base = bulk(100_000);
+        let n = base.len();
+        let mut w = StoreWriter::from_snapshot(Arc::clone(&base));
+        for i in 0..100 {
+            w.insert_terms(&term("delta"), &term("p"), &term(&format!("d{i}")));
+        }
+        let snap = w.commit_with(Parallelism::sequential());
+        assert_eq!(snap.len(), n + 100);
+        let st = w.last_commit();
+        assert_eq!(st.delta_inserts, 100);
+        assert_eq!(st.rows_sorted, 3 * 100);
+        assert_eq!(st.rows_merged, 3 * 100);
+        assert!(
+            st.rows_sorted + st.rows_merged + st.compaction_rows <= 10 * 100,
+            "O(K) commit: touched {} rows for a 100-row delta over a {n}-row base",
+            st.rows_sorted + st.rows_merged + st.compaction_rows,
+        );
+    }
+
+    #[test]
+    fn inline_compaction_caps_level_stack() {
+        let mut w = StoreWriter::new();
+        w.insert_terms(&term("seed"), &term("p"), &term("o"));
+        w.commit_with(Parallelism::sequential());
+        let mut compacted_once = false;
+        for i in 0..2 * INLINE_COMPACT_LEVELS {
+            w.insert_terms(&term(&format!("s{i}")), &term("p"), &term(&format!("o{i}")));
+            w.commit_with(Parallelism::sequential());
+            let st = w.last_commit();
+            assert!(st.levels <= INLINE_COMPACT_LEVELS, "stack depth stays capped");
+            if st.compaction_rows > 0 {
+                compacted_once = true;
+                assert_eq!(st.levels, 1, "inline compaction collapses to one level");
+            }
+        }
+        assert!(compacted_once, "enough commits must trigger the inline cap");
+        let snap = w.snapshot();
+        assert_eq!(snap.len(), 1 + 2 * INLINE_COMPACT_LEVELS);
+        assert_eq!(snap.count_pattern(None, None, None), snap.len());
     }
 
     #[test]

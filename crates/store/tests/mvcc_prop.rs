@@ -1,7 +1,8 @@
 //! Property-based tests of the MVCC writer: any interleaving of inserts,
-//! deletes and commits must land on a snapshot identical — row-for-row, in
-//! every permutation index, with identical statistics — to a from-scratch
-//! bulk build of the surviving triple set, at 1, 2 and 4 workers.
+//! deletes, commits and compactions must land on a snapshot identical —
+//! row-for-row, in every permutation index, with identical statistics — to
+//! a from-scratch bulk build of the surviving triple set, at 1, 2 and 4
+//! workers.
 
 use proptest::prelude::*;
 use std::collections::BTreeSet;
@@ -17,16 +18,18 @@ enum Op {
     Insert([Id; 3]),
     Delete([Id; 3]),
     Commit,
+    Compact,
 }
 
 fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
     // Weighted op choice without prop_oneof (vendored subset): 0..4 insert,
-    // 4..6 delete, 6 commit.
+    // 4..6 delete, 6 commit, 7 compact.
     let op =
-        (0u8..7, (1u32..MAX_ID, 1u32..5, 1u32..MAX_ID)).prop_map(|(kind, (s, p, o))| match kind {
+        (0u8..8, (1u32..MAX_ID, 1u32..5, 1u32..MAX_ID)).prop_map(|(kind, (s, p, o))| match kind {
             0..=3 => Op::Insert([s, p, o]),
             4..=5 => Op::Delete([s, p, o]),
-            _ => Op::Commit,
+            6 => Op::Commit,
+            _ => Op::Compact,
         });
     prop::collection::vec(op, 0..80)
 }
@@ -63,6 +66,12 @@ fn check(ops: &[Op], workers: usize) -> Result<(), TestCaseError> {
             Op::Commit => {
                 writer.commit_with(par);
             }
+            Op::Compact => {
+                // Fold the level stack like the server's maintenance thread:
+                // same epoch, same content, one level.
+                let compacted = writer.snapshot().compact_with(par).expect("in-memory compaction");
+                prop_assert!(writer.install_compacted(Arc::new(compacted)));
+            }
         }
     }
     let snap = writer.commit_with(par);
@@ -87,7 +96,7 @@ fn check(ops: &[Op], workers: usize) -> Result<(), TestCaseError> {
                 let a = snap.match_pattern(s, p, o);
                 let b = bulk.match_pattern(s, p, o);
                 prop_assert_eq!(a.kind, b.kind);
-                prop_assert_eq!(a.rows, b.rows, "pattern ({:?},{:?},{:?})", s, p, o);
+                prop_assert_eq!(a.rows(), b.rows(), "pattern ({:?},{:?},{:?})", s, p, o);
             }
         }
     }
@@ -131,6 +140,15 @@ proptest! {
                     prop_assert!(snap.epoch() >= last);
                     prop_assert!(snap.epoch() <= last + 1, "one commit, at most one epoch");
                     last = snap.epoch();
+                }
+                Op::Compact => {
+                    let compacted = writer
+                        .snapshot()
+                        .compact_with(Parallelism::sequential())
+                        .expect("in-memory compaction");
+                    let epoch = compacted.epoch();
+                    prop_assert!(writer.install_compacted(Arc::new(compacted)));
+                    prop_assert_eq!(epoch, last, "compaction never changes the epoch");
                 }
             }
         }

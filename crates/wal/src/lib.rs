@@ -38,6 +38,8 @@
 //! `Never` leaves flushing to the OS (crash-consistent but lossy).
 //! [`WalStats::synced_epoch`] reports the highest epoch guaranteed on disk.
 
+#![warn(missing_docs)]
+
 use std::fmt;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Seek, SeekFrom, Write};
