@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! perf_suite [--out BENCH_PR2.json] [--update-out BENCH_UPDATE.json]
-//!            [--threads N] [--repeat K] [--no-update]
+//!            [--profile-out BENCH_PR8.json] [--threads N] [--repeat K]
+//!            [--no-update] [--no-profile]
 //! ```
 //!
 //! The query workload is fixed (LUBM + synthetic-DBpedia group-1 queries ×
@@ -105,6 +106,24 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("wrote {update_out}");
+    }
+
+    if !args.iter().any(|a| a == "--no-profile") {
+        let profile_out = flag(&args, "--profile-out").unwrap_or("BENCH_PR8.json").to_string();
+        eprintln!("perf_suite: profiling-on vs profiling-off overhead (sequential) ...");
+        let profile_report = perf::run_profile_overhead(repeats);
+        eprintln!(
+            "profiling: off {:.1} ms, on {:.1} ms ({:+.1}% across {} entries)",
+            profile_report.total_off_ms(),
+            profile_report.total_on_ms(),
+            profile_report.overhead_pct(),
+            profile_report.entries.len(),
+        );
+        if let Err(e) = std::fs::write(&profile_out, profile_report.to_json()) {
+            eprintln!("error: failed to write {profile_out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {profile_out}");
     }
     ExitCode::SUCCESS
 }

@@ -146,7 +146,9 @@ pub fn run_suite(threads: usize, repeats: usize) -> PerfReport {
                     let mut wall_ms_par = f64::INFINITY;
                     let mut reference = None;
                     for rep in 0..repeats {
-                        let t = Instant::now();
+                        // `RunReport::wall_nanos` is measured by the run
+                        // itself (optimize + execute) — no external timer
+                        // that would also count parse and bag teardown.
                         let seq = run_query_with(
                             store,
                             seq_engine.as_ref(),
@@ -155,8 +157,7 @@ pub fn run_suite(threads: usize, repeats: usize) -> PerfReport {
                             Parallelism::sequential(),
                         )
                         .unwrap_or_else(|e| panic!("{} failed to parse: {e}", q.id));
-                        wall_ms_seq = wall_ms_seq.min(t.elapsed().as_secs_f64() * 1e3);
-                        let t = Instant::now();
+                        wall_ms_seq = wall_ms_seq.min(seq.wall_nanos as f64 / 1e6);
                         let par = run_query_with(
                             store,
                             par_engine.as_ref(),
@@ -165,7 +166,7 @@ pub fn run_suite(threads: usize, repeats: usize) -> PerfReport {
                             Parallelism::new(threads),
                         )
                         .unwrap();
-                        wall_ms_par = wall_ms_par.min(t.elapsed().as_secs_f64() * 1e3);
+                        wall_ms_par = wall_ms_par.min(par.wall_nanos as f64 / 1e6);
                         if rep == 0 {
                             assert_eq!(
                                 par.bag.rows, seq.bag.rows,
@@ -193,6 +194,198 @@ pub fn run_suite(threads: usize, repeats: usize) -> PerfReport {
     }
     PerfReport {
         threads,
+        host_threads: uo_par::default_threads(),
+        uo_scale: scale(),
+        repeats,
+        entries,
+    }
+}
+
+/// One query's profiling-on vs profiling-off measurement (sequential,
+/// `full` strategy).
+#[derive(Debug, Clone)]
+pub struct ProfileOverheadEntry {
+    /// Dataset label ("lubm" / "dbpedia").
+    pub dataset: String,
+    /// The paper's query id, e.g. "q1.3".
+    pub query: String,
+    /// Engine name ("wco" / "binary").
+    pub engine: String,
+    /// Best-of-`repeats` wall time with the profiler disabled, ms.
+    pub wall_ms_off: f64,
+    /// Best-of-`repeats` wall time with the profiler enabled, ms.
+    pub wall_ms_on: f64,
+    /// Result count (identical across both modes — gated).
+    pub results: usize,
+    /// Operator spans in the profiled run's tree.
+    pub ops: usize,
+}
+
+/// The `BENCH_PR8.json` artifact: the observability layer's overhead
+/// contract, measured. Every suite query executes from the same prepared
+/// plan with the profiler off and on; the artifact records both wall times
+/// so the trajectory shows what EXPLAIN ANALYZE costs. Timing is not gated
+/// (CI noise) — the determinism gate is that both modes return identical
+/// result counts and that profiling actually produced an operator tree.
+#[derive(Debug, Clone)]
+pub struct ProfileOverheadReport {
+    /// Host parallelism when the suite ran.
+    pub host_threads: usize,
+    /// The `UO_SCALE` multiplier.
+    pub uo_scale: f64,
+    /// Repeats per measurement (wall times are the minimum).
+    pub repeats: usize,
+    /// All measurements.
+    pub entries: Vec<ProfileOverheadEntry>,
+}
+
+impl ProfileOverheadReport {
+    /// Total profiler-off wall time, ms.
+    pub fn total_off_ms(&self) -> f64 {
+        self.entries.iter().map(|e| e.wall_ms_off).sum()
+    }
+
+    /// Total profiler-on wall time, ms.
+    pub fn total_on_ms(&self) -> f64 {
+        self.entries.iter().map(|e| e.wall_ms_on).sum()
+    }
+
+    /// Suite-wide overhead of enabling the profiler, in percent.
+    pub fn overhead_pct(&self) -> f64 {
+        let off = self.total_off_ms();
+        if off <= 0.0 {
+            return 0.0;
+        }
+        (self.total_on_ms() / off - 1.0) * 100.0
+    }
+
+    /// Serializes to the `BENCH_PR8.json` layout (schema `uo-perf/1`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{}\",\n", SCHEMA));
+        out.push_str("  \"bench\": \"profile_overhead\",\n");
+        out.push_str("  \"pr\": 8,\n");
+        out.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
+        out.push_str(&format!("  \"uo_scale\": {},\n", json::num(self.uo_scale)));
+        out.push_str(&format!("  \"repeats\": {},\n", self.repeats));
+        out.push_str(&format!("  \"total_off_ms\": {},\n", json::num(self.total_off_ms())));
+        out.push_str(&format!("  \"total_on_ms\": {},\n", json::num(self.total_on_ms())));
+        out.push_str(&format!("  \"overhead_pct\": {},\n", json::num(self.overhead_pct())));
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"dataset\": \"{}\", \"query\": \"{}\", \"engine\": \"{}\", \
+                 \"wall_ms_off\": {}, \"wall_ms_on\": {}, \"results\": {}, \"ops\": {}}}{}\n",
+                json::escape(&e.dataset),
+                json::escape(&e.query),
+                json::escape(&e.engine),
+                json::num(e.wall_ms_off),
+                json::num(e.wall_ms_on),
+                e.results,
+                e.ops,
+                if i + 1 < self.entries.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn count_ops(p: &uo_core::OpProfile) -> usize {
+    1 + p.children.iter().map(count_ops).sum::<usize>()
+}
+
+fn execute_with_profiler(
+    store: &TripleStore,
+    engine: &dyn BgpEngine,
+    prepared: &uo_core::Prepared,
+    profiler: uo_core::Profiler,
+) -> uo_core::RunReport {
+    uo_core::try_execute_prepared_profiled(
+        &store.snapshot(),
+        engine,
+        prepared,
+        Strategy::Full,
+        Parallelism::sequential(),
+        &uo_core::Cancellation::none(),
+        profiler,
+    )
+    .expect("execution without a cancellation token cannot be cancelled")
+}
+
+/// Measures the profiler's overhead: each suite query is prepared and
+/// optimized once (`full` strategy), then executed sequentially with the
+/// profiler off and on, best-of-`repeats` each.
+///
+/// # Panics
+/// Panics if the two modes disagree on the result count, or if a profiled
+/// run fails to produce an operator span tree — the overhead numbers would
+/// be meaningless.
+pub fn run_profile_overhead(repeats: usize) -> ProfileOverheadReport {
+    use uo_core::Profiler;
+    let repeats = repeats.max(1);
+    let datasets: Vec<(&str, Dataset, TripleStore)> = vec![
+        ("lubm", Dataset::Lubm, crate::lubm_group1()),
+        ("dbpedia", Dataset::Dbpedia, dbpedia_store()),
+    ];
+    let mut entries = Vec::new();
+    for (ds_name, dataset, store) in &datasets {
+        for q in group1(*dataset) {
+            for eng_name in ["wco", "binary"] {
+                let (engine, _) = engine_pair(eng_name, 1);
+                let mut prepared = uo_core::prepare(&store.snapshot(), q.text)
+                    .unwrap_or_else(|e| panic!("{} failed to parse: {e}", q.id));
+                uo_core::optimize_prepared(
+                    &store.snapshot(),
+                    engine.as_ref(),
+                    &mut prepared,
+                    Strategy::Full,
+                );
+                let mut wall_ms_off = f64::INFINITY;
+                let mut wall_ms_on = f64::INFINITY;
+                let mut results = None;
+                let mut ops = 0;
+                for _ in 0..repeats {
+                    for profiler in [Profiler::off(), Profiler::on()] {
+                        let report =
+                            execute_with_profiler(store, engine.as_ref(), &prepared, profiler);
+                        let ms = report.wall_nanos as f64 / 1e6;
+                        if profiler.is_on() {
+                            wall_ms_on = wall_ms_on.min(ms);
+                            let root = report.op_profile.as_ref().unwrap_or_else(|| {
+                                panic!("{}/{}: profiled run has no span tree", q.id, eng_name)
+                            });
+                            ops = count_ops(root);
+                        } else {
+                            wall_ms_off = wall_ms_off.min(ms);
+                            assert!(report.op_profile.is_none(), "off-path must not profile");
+                        }
+                        match results {
+                            Some(n) => assert_eq!(
+                                n,
+                                report.results.len(),
+                                "{}/{}: profiling changed the result count",
+                                q.id,
+                                eng_name
+                            ),
+                            None => results = Some(report.results.len()),
+                        }
+                    }
+                }
+                entries.push(ProfileOverheadEntry {
+                    dataset: ds_name.to_string(),
+                    query: q.id.to_string(),
+                    engine: eng_name.to_string(),
+                    wall_ms_off,
+                    wall_ms_on,
+                    results: results.expect("at least one repeat ran"),
+                    ops,
+                });
+            }
+        }
+    }
+    ProfileOverheadReport {
         host_threads: uo_par::default_threads(),
         uo_scale: scale(),
         repeats,

@@ -5,7 +5,11 @@
 //! sparql-uo stats  <data.{nt,ttl,uost}>
 //! sparql-uo query  <data.{nt,ttl,uost}> (--query <file> | --text <sparql>)
 //!                  [--strategy base|tt|cp|full] [--engine wco|binary|lbr]
-//!                  [--threads N] [--explain] [--check-wd] [--limit-print N]
+//!                  [--threads N] [--explain] [--profile] [--check-wd]
+//!                  [--limit-print N]
+//! sparql-uo explain <data.{nt,ttl,uost}> (--query <file> | --text <sparql>)
+//!                  [--analyze] [--json] [--strategy …] [--engine wco|binary]
+//!                  [--threads N]
 //! sparql-uo serve  <data.{nt,ttl,uost}> [--port N] [--threads K]
 //!                  [--engine wco|binary] [--strategy base|tt|cp|full]
 //!                  [--engine-threads N] [--cache N] [--max-inflight N]
@@ -16,6 +20,14 @@
 //! sparql-uo compact <data-dir> [--page-cache-mb N]
 //! sparql-uo gen    lubm|dbpedia [--scale N] --out <file.nt>
 //! ```
+//!
+//! `query --profile` and `explain --analyze` run the query with the
+//! operator profiler on (EXPLAIN ANALYZE): each operator reports its wall
+//! time and *actual* output cardinality next to the optimizer's estimate
+//! (annotated by the `full` strategy). `explain --analyze --json` emits
+//! the same machine-readable profile document the server attaches under
+//! `?profile=1` (see `docs/OBSERVABILITY.md`); a bare `explain` prints the
+//! optimized plan without executing it.
 //!
 //! `serve --writable --data-dir DIR` turns on **durability**: every
 //! acknowledged update is journaled (write-ahead log, fsynced per
@@ -62,16 +74,20 @@ const USAGE: &str = "usage:
   sparql-uo stats  <data.{nt,ttl,uost}>
   sparql-uo query  <data.{nt,ttl,uost}> (--query <file> | --text <sparql>)
                    [--strategy base|tt|cp|full] [--engine wco|binary|lbr]
-                   [--threads N] [--explain] [--check-wd] [--limit-print N]
+                   [--threads N] [--explain] [--profile] [--check-wd]
+                   [--limit-print N]
+  sparql-uo explain <data.{nt,ttl,uost}> (--query <file> | --text <sparql>)
+                   [--analyze] [--json] [--strategy base|tt|cp|full]
+                   [--engine wco|binary] [--threads N]
   sparql-uo update <data.{nt,ttl,uost}> (--query <file> | --text <update>)
                    [--out <store.uost>] [--threads N]
   sparql-uo serve  <data.{nt,ttl,uost}> [--port N] [--threads K] [--writable]
                    [--engine wco|binary] [--strategy base|tt|cp|full]
                    [--engine-threads N] [--cache N] [--max-inflight N]
                    [--timeout-ms N] [--host ADDR] [--fan-in N]
-                   [--data-dir DIR] [--fsync always|never|N]
-                   [--checkpoint-every N] [--checkpoint-interval-ms N]
-                   [--page-cache-mb N]
+                   [--slow-query-ms N] [--data-dir DIR]
+                   [--fsync always|never|N] [--checkpoint-every N]
+                   [--checkpoint-interval-ms N] [--page-cache-mb N]
   sparql-uo recover <data-dir> [--out <store.uost>] [--threads N]
                    [--page-cache-mb N]
   sparql-uo compact <data-dir> [--fsync always|never|N] [--threads N]
@@ -79,6 +95,12 @@ const USAGE: &str = "usage:
   sparql-uo gen    lubm|dbpedia [--scale N] --out <file.nt>
 
   --threads N: worker count (1 = sequential; default: env UO_THREADS, else all cores)
+  query --profile / explain --analyze execute with the operator profiler on
+  and print per-operator wall time plus actual vs estimated cardinality;
+  explain --analyze --json emits the profile JSON document, and a bare
+  explain prints the optimized plan without executing.
+  serve --slow-query-ms N logs queries at or over N ms to stderr and to the
+  ring served at GET /stats/slow (off by default).
   update applies INSERT DATA / DELETE DATA / DELETE WHERE and prints the
   commit report; --out persists the resulting snapshot (format v2, epoch).
   serve --writable additionally accepts POST /update on the endpoint;
@@ -115,6 +137,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("load") => cmd_load(&args[1..], par),
         Some("stats") => cmd_stats(&args[1..], par),
         Some("query") => cmd_query(&args[1..], par),
+        Some("explain") => cmd_explain(&args[1..], par),
         Some("update") => cmd_update(&args[1..], par),
         Some("serve") => cmd_serve(&args[1..], par),
         Some("recover") => cmd_recover(&args[1..], par),
@@ -189,6 +212,131 @@ fn parse_strategy(args: &[String]) -> Result<Strategy, String> {
     }
 }
 
+/// Executes `text` with the operator profiler on and assembles the same
+/// EXPLAIN ANALYZE document the server attaches under `?profile=1` (cache
+/// outcome `bypass` — the CLI has no plan cache).
+fn run_analyzed(
+    store: &TripleStore,
+    engine: &dyn BgpEngine,
+    text: &str,
+    strategy: Strategy,
+    par: Parallelism,
+) -> Result<(uo_core::RunReport, uo_core::QueryProfile), String> {
+    let t_total = Instant::now();
+    let t_parse = Instant::now();
+    let parsed = uo_sparql::parse(text).map_err(|e| e.to_string())?;
+    let parse_nanos = t_parse.elapsed().as_nanos() as u64;
+    let qtype = uo_core::query_type(&parsed.body);
+    let mut prepared = uo_core::prepare_parsed(store, parsed);
+    let (_, optimize_time) = uo_core::optimize_prepared(store, engine, &mut prepared, strategy);
+    let report = uo_core::try_execute_prepared_profiled(
+        store,
+        engine,
+        &prepared,
+        strategy,
+        par,
+        &uo_core::Cancellation::none(),
+        uo_core::Profiler::on(),
+    )
+    .expect("execution without a cancellation token cannot be cancelled");
+    let profile = uo_core::QueryProfile {
+        engine: engine.name().to_string(),
+        strategy: strategy.label().to_string(),
+        threads: report.threads,
+        query_type: qtype.to_string(),
+        parse_nanos,
+        cache: uo_core::CacheOutcome::Bypass,
+        optimize_nanos: optimize_time.as_nanos() as u64,
+        execute_nanos: report.wall_nanos,
+        total_nanos: t_total.elapsed().as_nanos() as u64,
+        rows: report.results.len() as u64,
+        root: report.op_profile.clone(),
+    };
+    Ok((report, profile))
+}
+
+/// Renders an operator span tree as indented text: one line per operator
+/// with wall time, actual rows, and the optimizer's estimate when present.
+fn render_op_tree(op: &uo_core::OpProfile, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let detail = if op.detail.is_empty() { String::new() } else { format!(" [{}]", op.detail) };
+    let est = match op.est_rows {
+        Some(e) => format!("  est={e:.1}"),
+        None => String::new(),
+    };
+    out.push_str(&format!(
+        "{pad}{}{detail}  rows={}{est}  wall={:.3}ms\n",
+        op.op,
+        op.rows,
+        op.wall_nanos as f64 / 1e6,
+    ));
+    for child in &op.children {
+        render_op_tree(child, indent + 1, out);
+    }
+}
+
+/// Prints the human-readable EXPLAIN ANALYZE report: phase summary line
+/// plus the operator tree.
+fn print_analyze(profile: &uo_core::QueryProfile) {
+    eprintln!(
+        "--- explain analyze ({}/{}, {} thread(s)) ---",
+        profile.engine, profile.strategy, profile.threads
+    );
+    eprintln!(
+        "{} query, {} rows | parse {:.3}ms | optimize {:.3}ms | execute {:.3}ms | total {:.3}ms",
+        profile.query_type,
+        profile.rows,
+        profile.parse_nanos as f64 / 1e6,
+        profile.optimize_nanos as f64 / 1e6,
+        profile.execute_nanos as f64 / 1e6,
+        profile.total_nanos as f64 / 1e6,
+    );
+    if let Some(root) = &profile.root {
+        let mut out = String::new();
+        render_op_tree(root, 0, &mut out);
+        eprint!("{out}");
+    }
+}
+
+/// `sparql-uo explain`: print the optimized plan; with `--analyze`,
+/// execute the query under the profiler and report per-operator wall time
+/// and actual vs estimated cardinality (`--json` for the machine-readable
+/// profile document).
+fn cmd_explain(args: &[String], par: Parallelism) -> Result<(), String> {
+    let input = args.first().ok_or("explain: missing data file")?;
+    let text = match (flag_value(args, "--query"), flag_value(args, "--text")) {
+        (Some(f), _) => std::fs::read_to_string(f).map_err(|e| e.to_string())?,
+        (None, Some(t)) => t.to_string(),
+        (None, None) => return Err("explain: need --query <file> or --text <sparql>".into()),
+    };
+    let strategy = parse_strategy(args)?;
+    let engine: Box<dyn BgpEngine> = match flag_value(args, "--engine").unwrap_or("wco") {
+        "wco" => Box::new(WcoEngine::with_threads(par.threads())),
+        "binary" => Box::new(BinaryJoinEngine::with_threads(par.threads())),
+        other => return Err(format!("unknown engine '{other}' (explain supports wco|binary)")),
+    };
+    let store = load_store(input, par)?;
+    if has_flag(args, "--analyze") {
+        let (_, profile) = run_analyzed(&store, engine.as_ref(), &text, strategy, par)?;
+        if has_flag(args, "--json") {
+            println!("{}", profile.to_json());
+        } else {
+            print_analyze(&profile);
+        }
+        return Ok(());
+    }
+    // Static explain: optimize only, never execute.
+    let mut prepared = prepare(&store, &text).map_err(|e| e.to_string())?;
+    let (transforms, optimize_time) =
+        uo_core::optimize_prepared(&store, engine.as_ref(), &mut prepared, strategy);
+    eprintln!(
+        "--- plan ({} merges, {} injects, optimized in {:.2?}) ---",
+        transforms.merges, transforms.injects, optimize_time
+    );
+    print!("{}", uo_core::betree::explain(&prepared.tree, &prepared.vars, store.dictionary()));
+    Ok(())
+}
+
 fn cmd_query(args: &[String], par: Parallelism) -> Result<(), String> {
     let input = args.first().ok_or("query: missing data file")?;
     let text = match (flag_value(args, "--query"), flag_value(args, "--text")) {
@@ -234,6 +382,18 @@ fn cmd_query(args: &[String], par: Parallelism) -> Result<(), String> {
         "binary" => Box::new(BinaryJoinEngine::with_threads(par.threads())),
         other => return Err(format!("unknown engine '{other}'")),
     };
+    if has_flag(args, "--profile") {
+        // EXPLAIN ANALYZE alongside the results: same execution, profiler on.
+        let (report, profile) = run_analyzed(&store, engine.as_ref(), &text, strategy, par)?;
+        print_analyze(&profile);
+        if let Some(verdict) = report.ask {
+            println!("{verdict}");
+            return Ok(());
+        }
+        let parsed = uo_sparql::parse(&text).map_err(|e| e.to_string())?;
+        print_results(&report.results, &parsed.projection(), args);
+        return Ok(());
+    }
     let report =
         run_query_with(&store, engine.as_ref(), &text, strategy, par).map_err(|e| e.to_string())?;
     if has_flag(args, "--explain") {
@@ -401,6 +561,12 @@ fn cmd_serve(args: &[String], par: Parallelism) -> Result<(), String> {
         max_inflight: num("--max-inflight", defaults.max_inflight)?,
         default_timeout_ms: num("--timeout-ms", defaults.default_timeout_ms as usize)? as u64,
         writable: has_flag(args, "--writable"),
+        slow_query_ms: match flag_value(args, "--slow-query-ms") {
+            Some(v) => {
+                Some(v.parse().map_err(|_| format!("--slow-query-ms: invalid value '{v}'"))?)
+            }
+            None => defaults.slow_query_ms,
+        },
         compact_fan_in: num("--fan-in", defaults.compact_fan_in)?,
         checkpoint_every: num("--checkpoint-every", defaults.checkpoint_every as usize)? as u64,
         checkpoint_interval_ms: num(
@@ -451,8 +617,8 @@ fn cmd_serve(args: &[String], par: Parallelism) -> Result<(), String> {
     };
     eprintln!(
         "serving SPARQL on http://{} ({} workers, plan cache {}, max in-flight {}, \
-         timeout {} ms{})\nendpoints: GET/POST /sparql{}, GET /metrics, GET /healthz — \
-         ctrl-c to stop",
+         timeout {} ms{})\nendpoints: GET/POST /sparql{}, GET /metrics, GET /stats/plans, \
+         GET /stats/slow, GET /healthz — ctrl-c to stop",
         handle.addr(),
         cfg.threads,
         cfg.cache_capacity,
@@ -695,6 +861,29 @@ mod tests {
         assert!(run(&s(&["compact", not_durable.to_str().unwrap()])).is_err());
         // Durable-only flags without --data-dir are a hard error.
         assert!(run(&s(&["serve", "x.nt", "--writable", "--fsync", "always"])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn explain_and_profile_verbs() {
+        let dir = std::env::temp_dir().join(format!("uo_cli_explain_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let nt = dir.join("mini.nt");
+        std::fs::write(
+            &nt,
+            "<http://e/a> <http://p/link> <http://e/b> .\n<http://e/a> <http://p/name> \"A\" .\n",
+        )
+        .unwrap();
+        let q = "SELECT ?x WHERE { { ?x <http://p/link> ?y } UNION { ?x <http://p/name> ?y } }";
+        let nt = nt.to_str().unwrap();
+        // Static plan, EXPLAIN ANALYZE (human + JSON), and query --profile.
+        run(&s(&["explain", nt, "--text", q, "--threads", "1"])).unwrap();
+        run(&s(&["explain", nt, "--text", q, "--analyze", "--threads", "1"])).unwrap();
+        run(&s(&["explain", nt, "--text", q, "--analyze", "--json", "--threads", "1"])).unwrap();
+        run(&s(&["query", nt, "--text", q, "--profile", "--threads", "1"])).unwrap();
+        // Missing query text and unsupported engines error out.
+        assert!(run(&s(&["explain", nt])).is_err());
+        assert!(run(&s(&["explain", nt, "--text", q, "--engine", "lbr"])).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

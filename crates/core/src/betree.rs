@@ -870,6 +870,25 @@ fn fmt_pattern(p: &EncodedTriplePattern, vars: &VarTable, dict: &Dictionary) -> 
     )
 }
 
+/// One-line rendering of a BGP's patterns for profiler span details.
+/// Variable names come from `vars` when the caller has the table; positional
+/// `?_N` placeholders otherwise (e.g. raw `try_evaluate_profiled` callers).
+pub(crate) fn bgp_detail(bgp: &EncodedBgp, vars: Option<&VarTable>, dict: &Dictionary) -> String {
+    let slot = |s: &Slot| match (s, vars) {
+        (Slot::Var(v), Some(vt)) => format!("?{}", vt.name(*v)),
+        (Slot::Var(v), None) => format!("?_{v}"),
+        (Slot::Const(c), _) => match dict.decode(*c) {
+            Some(t) => t.to_string(),
+            None => "<absent>".to_string(),
+        },
+    };
+    bgp.patterns
+        .iter()
+        .map(|p| format!("{} {} {}", slot(&p.s), slot(&p.p), slot(&p.o)))
+        .collect::<Vec<_>>()
+        .join(" . ")
+}
+
 fn fmt_group(g: &GroupNode, vars: &VarTable, dict: &Dictionary, depth: usize, out: &mut String) {
     let pad = "  ".repeat(depth);
     out.push_str(&format!("{pad}Group\n"));

@@ -21,14 +21,15 @@
 //! the target BGP's result size (the adaptive `full` strategy), falling back
 //! to the fixed bound when no estimate is cached.
 
-use crate::betree::{BeNode, BeTree, EvalCtx, GroupNode};
+use crate::betree::{bgp_detail, BeNode, BeTree, EvalCtx, GroupNode};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use uo_engine::{BgpEngine, CandidateSet};
+use uo_obs::{OpProfile, Profiler};
 use uo_par::Parallelism;
 use uo_rdf::{FxHashMap, Id, NO_ID};
-use uo_sparql::algebra::{Bag, VarId};
+use uo_sparql::algebra::{Bag, VarId, VarTable};
 use uo_store::Snapshot;
 
 /// Cooperative cancellation for long-running evaluations.
@@ -329,8 +330,50 @@ pub fn try_evaluate_with_ctx(
     cancel: &Cancellation,
     ctx: &EvalCtx,
 ) -> Result<(Bag, ExecStats), Cancelled> {
+    let (bag, stats, _) = try_evaluate_profiled(
+        tree,
+        store,
+        engine,
+        width,
+        pruning,
+        par,
+        cancel,
+        ctx,
+        Profiler::off(),
+        None,
+    )?;
+    Ok((bag, stats))
+}
+
+/// [`try_evaluate_with_ctx`] with an opt-in [`Profiler`]. When the profiler
+/// is on, every plan operator records a span — wall nanoseconds (inclusive
+/// of joining its output into the accumulator), actual output cardinality,
+/// and (for BGP nodes) the optimizer's cardinality estimate — returned as a
+/// tree rooted at the plan's top group. `vars` supplies variable names for
+/// span details; positional placeholders are used when absent.
+///
+/// Span *structure* and cardinalities are deterministic: parallel UNION
+/// branches record into branch-local span lists merged in branch order, so
+/// the profile is bit-identical across worker counts except for the
+/// `wall_nanos` timing values. With the profiler off this path performs one
+/// extra branch per operator and allocates nothing.
+#[allow(clippy::too_many_arguments)]
+pub fn try_evaluate_profiled(
+    tree: &BeTree,
+    store: &Snapshot,
+    engine: &dyn BgpEngine,
+    width: usize,
+    pruning: Pruning,
+    par: Parallelism,
+    cancel: &Cancellation,
+    ctx: &EvalCtx,
+    profiler: Profiler,
+    vars: Option<&VarTable>,
+) -> Result<(Bag, ExecStats, Option<OpProfile>), Cancelled> {
     let mut stats = ExecStats::default();
-    let (bag, js) = eval_group(
+    let prof = ProfCtx { on: profiler.is_on(), vars };
+    let t0 = prof.on.then(Instant::now);
+    let (bag, js, ops) = eval_group(
         &tree.root,
         store,
         engine,
@@ -341,9 +384,27 @@ pub fn try_evaluate_with_ctx(
         par,
         cancel,
         ctx,
+        prof,
     )?;
     stats.join_space = js;
-    Ok((bag, stats))
+    let root = t0.map(|t| OpProfile {
+        op: "group",
+        detail: String::new(),
+        wall_nanos: t.elapsed().as_nanos() as u64,
+        rows: bag.len() as u64,
+        est_rows: None,
+        children: ops,
+    });
+    Ok((bag, stats, root))
+}
+
+/// Per-evaluation profiling context threaded through [`eval_group`]: a
+/// single boolean plus the variable table used for span details. `Copy`, so
+/// the disabled path costs one branch per operator.
+#[derive(Clone, Copy)]
+struct ProfCtx<'a> {
+    on: bool,
+    vars: Option<&'a VarTable>,
 }
 
 /// True if the subtree contains a BIND or VALUES node, i.e. evaluation may
@@ -371,10 +432,15 @@ fn eval_group(
     par: Parallelism,
     cancel: &Cancellation,
     ctx: &EvalCtx,
-) -> Result<(Bag, f64), Cancelled> {
+    prof: ProfCtx<'_>,
+) -> Result<(Bag, f64, Vec<OpProfile>), Cancelled> {
     let mut r = Bag::unit(width);
     let mut js = 1.0f64;
+    let mut spans: Vec<OpProfile> = Vec::new();
     for child in &g.children {
+        // One branch per operator: `t_child` is `None` whenever profiling
+        // is off, and every span-recording site is guarded on it.
+        let t_child = prof.on.then(Instant::now);
         match child {
             BeNode::Bgp(b) => {
                 // The BGP-evaluation boundary: the one place a running query
@@ -395,7 +461,18 @@ fn eval_group(
                 stats.bgp_evals += 1;
                 stats.bgp_result_sizes.push(bag.len());
                 js *= bag.len() as f64;
+                let rows = bag.len();
                 r = r.join(&bag);
+                if let Some(t) = t_child {
+                    spans.push(OpProfile {
+                        op: "bgp",
+                        detail: bgp_detail(&b.bgp, prof.vars, store.dictionary()),
+                        wall_nanos: t.elapsed().as_nanos() as u64,
+                        rows: rows as u64,
+                        est_rows: b.est_cardinality,
+                        children: Vec::new(),
+                    });
+                }
             }
             BeNode::Group(gg) => {
                 let down = if pruning.enabled() {
@@ -403,10 +480,22 @@ fn eval_group(
                 } else {
                     CandSource::default()
                 };
-                let (bag, j) =
-                    eval_group(gg, store, engine, width, pruning, &down, stats, par, cancel, ctx)?;
+                let (bag, j, ops) = eval_group(
+                    gg, store, engine, width, pruning, &down, stats, par, cancel, ctx, prof,
+                )?;
                 js *= j;
+                let rows = bag.len();
                 r = r.join(&bag);
+                if let Some(t) = t_child {
+                    spans.push(OpProfile {
+                        op: "group",
+                        detail: String::new(),
+                        wall_nanos: t.elapsed().as_nanos() as u64,
+                        rows: rows as u64,
+                        est_rows: None,
+                        children: ops,
+                    });
+                }
             }
             BeNode::Union(branches) => {
                 let wanted = branches.iter().fold(0u64, |m, b| m | b.bgp_var_mask());
@@ -434,17 +523,25 @@ fn eval_group(
                     par
                 };
                 let inner = Parallelism::new(fan_out.threads().div_ceil(branches.len().max(1)));
-                let evals: Vec<Result<(Bag, f64, ExecStats), Cancelled>> =
+                type BranchEval = (Bag, f64, ExecStats, Vec<OpProfile>, u64);
+                let evals: Vec<Result<BranchEval, Cancelled>> =
                     uo_par::map_chunks(fan_out, branches, |chunk| {
                         chunk
                             .iter()
                             .map(|b| {
+                                // Branch spans are timed inside the branch
+                                // (wall time is per-branch even when branches
+                                // overlap) and merged in branch order below,
+                                // so profile structure and cardinalities stay
+                                // bit-identical across worker counts.
+                                let t_branch = prof.on.then(Instant::now);
                                 let mut local = ExecStats::default();
-                                let (bag, j) = eval_group(
+                                let (bag, j, ops) = eval_group(
                                     b, store, engine, width, pruning, &down, &mut local, inner,
-                                    cancel, ctx,
+                                    cancel, ctx, prof,
                                 )?;
-                                Ok((bag, j, local))
+                                let nanos = t_branch.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                                Ok((bag, j, local, ops, nanos))
                             })
                             .collect::<Vec<_>>()
                     })
@@ -453,16 +550,38 @@ fn eval_group(
                     .collect();
                 let mut u = Bag::empty(width);
                 let mut js_u = 0.0f64;
+                let mut branch_spans: Vec<OpProfile> = Vec::new();
                 for eval in evals {
-                    let (bag, j, local) = eval?;
+                    let (bag, j, local, ops, nanos) = eval?;
                     js_u += j;
+                    if prof.on {
+                        branch_spans.push(OpProfile {
+                            op: "branch",
+                            detail: format!("branch {}", branch_spans.len()),
+                            wall_nanos: nanos,
+                            rows: bag.len() as u64,
+                            est_rows: None,
+                            children: ops,
+                        });
+                    }
                     u = u.union_bag(bag);
                     stats.bgp_evals += local.bgp_evals;
                     stats.bgp_result_sizes.extend(local.bgp_result_sizes);
                     stats.pruned_vars += local.pruned_vars;
                 }
                 js *= js_u;
+                let rows = u.len();
                 r = r.join(&u);
+                if let Some(t) = t_child {
+                    spans.push(OpProfile {
+                        op: "union",
+                        detail: format!("{} branches", branches.len()),
+                        wall_nanos: t.elapsed().as_nanos() as u64,
+                        rows: rows as u64,
+                        est_rows: None,
+                        children: branch_spans,
+                    });
+                }
             }
             BeNode::Optional(gg) => {
                 // Candidates may cross an OPTIONAL boundary only for
@@ -487,17 +606,29 @@ fn eval_group(
                 } else {
                     CandSource::default()
                 };
-                let (bag, j) =
-                    eval_group(gg, store, engine, width, pruning, &down, stats, par, cancel, ctx)?;
+                let (bag, j, ops) = eval_group(
+                    gg, store, engine, width, pruning, &down, stats, par, cancel, ctx, prof,
+                )?;
                 js *= j;
+                let rows = bag.len();
                 r = r.left_join(&bag);
+                if let Some(t) = t_child {
+                    spans.push(OpProfile {
+                        op: "optional",
+                        detail: String::new(),
+                        wall_nanos: t.elapsed().as_nanos() as u64,
+                        rows: rows as u64,
+                        est_rows: None,
+                        children: ops,
+                    });
+                }
             }
             BeNode::Minus(gg) => {
                 // MINUS is not a pruning boundary we exploit: the right side
                 // is evaluated without candidates (pruning there could only
                 // be done for certain vars, like OPTIONAL; we keep it simple
                 // and sound by not pruning at all).
-                let (bag, j) = eval_group(
+                let (bag, j, ops) = eval_group(
                     gg,
                     store,
                     engine,
@@ -508,9 +639,21 @@ fn eval_group(
                     par,
                     cancel,
                     ctx,
+                    prof,
                 )?;
                 js *= j.max(1.0);
+                let rows = bag.len();
                 r = r.minus(&bag);
+                if let Some(t) = t_child {
+                    spans.push(OpProfile {
+                        op: "minus",
+                        detail: String::new(),
+                        wall_nanos: t.elapsed().as_nanos() as u64,
+                        rows: rows as u64,
+                        est_rows: None,
+                        children: ops,
+                    });
+                }
             }
             BeNode::Bind(expr, v) => {
                 // BIND extends each solution of the preceding siblings with
@@ -529,6 +672,18 @@ fn eval_group(
                 if !r.rows.is_empty() && r.rows.iter().all(|row| row[vi] != NO_ID) {
                     r.certain |= 1u64 << *v;
                 }
+                if let Some(t) = t_child {
+                    let name = match prof.vars {
+                        Some(vt) => format!("?{}", vt.name(*v)),
+                        None => format!("?_{v}"),
+                    };
+                    spans.push(OpProfile::leaf(
+                        "bind",
+                        name,
+                        t.elapsed().as_nanos() as u64,
+                        r.rows.len() as u64,
+                    ));
+                }
             }
             BeNode::Values(vals) => {
                 let rows: Vec<Box<[Id]>> = vals
@@ -546,7 +701,16 @@ fn eval_group(
                     .collect();
                 let bag = Bag::from_rows(width, rows);
                 js *= (bag.len() as f64).max(1.0);
+                let n = bag.len();
                 r = r.join(&bag);
+                if let Some(t) = t_child {
+                    spans.push(OpProfile::leaf(
+                        "values",
+                        format!("{n} rows"),
+                        t.elapsed().as_nanos() as u64,
+                        n as u64,
+                    ));
+                }
             }
             BeNode::Filter(_) => {}
         }
@@ -555,13 +719,22 @@ fn eval_group(
     // expression error drops the row, per SPARQL.
     for child in &g.children {
         if let BeNode::Filter(expr) = child {
+            let t_f = prof.on.then(Instant::now);
             r.rows.retain(|row| expr.eval_ebv(row, ctx).unwrap_or(false));
             if r.rows.is_empty() {
                 r.certain = 0;
             }
+            if let Some(t) = t_f {
+                spans.push(OpProfile::leaf(
+                    "filter",
+                    String::new(),
+                    t.elapsed().as_nanos() as u64,
+                    r.rows.len() as u64,
+                ));
+            }
         }
     }
-    Ok((r, js))
+    Ok((r, js, spans))
 }
 
 #[cfg(test)]
@@ -798,6 +971,75 @@ mod tests {
             &cancel,
         );
         assert_eq!(cancelled.err(), Some(Cancelled));
+    }
+
+    /// One span's timing-free fields: (op, detail, rows, est_rows).
+    type SpanRow = (String, String, u64, Option<f64>);
+
+    /// Recursively flattens a span tree to its timing-free fields.
+    fn skeleton(p: &OpProfile, out: &mut Vec<SpanRow>) {
+        out.push((p.op.to_string(), p.detail.clone(), p.rows, p.est_rows));
+        for c in &p.children {
+            skeleton(c, out);
+        }
+    }
+
+    #[test]
+    fn profiled_evaluation_is_identical_and_actuals_deterministic() {
+        let st = store();
+        let query = uo_sparql::parse(UNION_Q).unwrap();
+        let mut vars = VarTable::new();
+        let tree = BeTree::build(&query, &mut vars, st.dictionary());
+        let ctx = EvalCtx::new(st.dictionary());
+        let engine = WcoEngine::sequential();
+        // Off: no spans, same bag as the plain path.
+        let (plain, _) =
+            evaluate_with(&tree, &st, &engine, vars.len(), Pruning::Off, Parallelism::sequential());
+        let (off_bag, _, off_prof) = try_evaluate_profiled(
+            &tree,
+            &st,
+            &engine,
+            vars.len(),
+            Pruning::Off,
+            Parallelism::sequential(),
+            &Cancellation::none(),
+            &ctx,
+            Profiler::off(),
+            Some(&vars),
+        )
+        .unwrap();
+        assert!(off_prof.is_none());
+        assert_eq!(off_bag.rows, plain.rows);
+        // On: span skeleton (ops, details, actual cardinalities, estimates)
+        // is bit-identical at 1, 2 and 4 workers; bags stay identical too.
+        let mut reference: Option<Vec<SpanRow>> = None;
+        for threads in [1usize, 2, 4] {
+            let engine = WcoEngine::with_threads(threads);
+            let (bag, _, prof) = try_evaluate_profiled(
+                &tree,
+                &st,
+                &engine,
+                vars.len(),
+                Pruning::Off,
+                Parallelism::new(threads),
+                &Cancellation::none(),
+                &ctx,
+                Profiler::on(),
+                Some(&vars),
+            )
+            .unwrap();
+            assert_eq!(bag.rows, plain.rows, "bag identical at {threads} workers");
+            let prof = prof.expect("profiler on must produce spans");
+            assert_eq!(prof.rows, plain.len() as u64, "root actual = final rows");
+            let mut flat = Vec::new();
+            skeleton(&prof, &mut flat);
+            assert!(flat.iter().any(|(op, ..)| op == "bgp"), "has BGP spans");
+            assert!(flat.iter().any(|(op, ..)| op == "union"), "has the union span");
+            match &reference {
+                None => reference = Some(flat),
+                Some(r) => assert_eq!(r, &flat, "actuals bit-identical at {threads} workers"),
+            }
+        }
     }
 
     #[test]

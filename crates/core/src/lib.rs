@@ -64,11 +64,12 @@ pub use durable::{
     open_durable, replay_update, run_update_durable, try_run_update_durable, DurableUpdateError,
 };
 pub use exec::{
-    evaluate, evaluate_with, try_evaluate_with, try_evaluate_with_ctx, Cancellation, Cancelled,
-    ExecStats, Pruning,
+    evaluate, evaluate_with, try_evaluate_profiled, try_evaluate_with, try_evaluate_with_ctx,
+    Cancellation, Cancelled, ExecStats, Pruning,
 };
 pub use metrics::{count_bgp, query_type, QueryCounters, QueryCountersSnapshot, QueryType};
 pub use optimizer::{multi_level_transform, OptimizerConfig, TransformOutcome};
+pub use uo_obs::{CacheOutcome, OpProfile, Profiler, QueryProfile};
 pub use uo_par::Parallelism;
 pub use update::{run_update, try_run_update, UpdateReport};
 pub use wdpt::{check_well_designed, is_well_designed};
@@ -223,6 +224,15 @@ pub struct RunReport {
     pub threads: usize,
     /// The `ASK` verdict: `Some(_)` for ASK queries, `None` for SELECT.
     pub ask: Option<bool>,
+    /// End-to-end wall nanoseconds for this run: evaluation, aggregation,
+    /// ordering and projection decode, plus optimization when a one-shot
+    /// wrapper ran it. Always measured, profiling or not — callers (the
+    /// perf suite, the server's latency histograms) should prefer this to
+    /// re-timing around the call.
+    pub wall_nanos: u64,
+    /// The operator span tree, present only when executed with an enabled
+    /// [`Profiler`] (see [`try_execute_prepared_profiled`]).
+    pub op_profile: Option<OpProfile>,
 }
 
 /// Parses, optimizes (per `strategy`) and executes a query.
@@ -279,6 +289,7 @@ pub fn run_prepared_with(
             .expect("execution without a cancellation token cannot be cancelled");
     report.transforms = transforms;
     report.transform_time = transform_time;
+    report.wall_nanos += transform_time.as_nanos() as u64;
     report
 }
 
@@ -317,6 +328,16 @@ pub fn optimize_prepared(
     (transforms, t0.elapsed())
 }
 
+/// The cost model's estimate of the plan's result scale: the product of
+/// per-BGP cardinality estimates over the prepared tree (the same quantity
+/// the optimizer minimizes). Serving layers record it per cached plan so
+/// actual-vs-estimated feedback (`/stats/plans`) can expose queries whose
+/// plans were built on bad estimates.
+pub fn estimate_root_rows(store: &Snapshot, engine: &dyn BgpEngine, prepared: &Prepared) -> f64 {
+    let cm = CostModel::new(store, engine);
+    metrics::estimated_join_space(&prepared.tree, &cm)
+}
+
 /// Executes an already-optimized [`Prepared`] under `strategy`'s pruning
 /// mode and a [`Cancellation`] token (checked at BGP-evaluation
 /// boundaries). Does **not** re-run the optimizer — pair with
@@ -331,6 +352,26 @@ pub fn try_execute_prepared(
     par: Parallelism,
     cancel: &Cancellation,
 ) -> Result<RunReport, Cancelled> {
+    try_execute_prepared_profiled(store, engine, prepared, strategy, par, cancel, Profiler::off())
+}
+
+/// [`try_execute_prepared`] with an opt-in [`Profiler`]. When the profiler
+/// is on, the report's `op_profile` holds the operator span tree: per
+/// operator, wall nanoseconds plus actual output cardinality next to the
+/// optimizer's estimate (`est_rows`, annotated on BGP nodes by the `full`
+/// strategy). The span structure and every cardinality are bit-identical
+/// across worker counts; only the timing values vary. With the profiler
+/// off this is exactly [`try_execute_prepared`] — one branch per operator,
+/// no allocation.
+pub fn try_execute_prepared_profiled(
+    store: &Snapshot,
+    engine: &dyn BgpEngine,
+    prepared: &Prepared,
+    strategy: Strategy,
+    par: Parallelism,
+    cancel: &Cancellation,
+    profiler: Profiler,
+) -> Result<RunReport, Cancelled> {
     let pruning = match strategy {
         Strategy::Base | Strategy::TreeTransform => Pruning::Off,
         Strategy::CandidatePruning => Pruning::fixed_for(store),
@@ -339,7 +380,7 @@ pub fn try_execute_prepared(
 
     let t1 = Instant::now();
     let ctx = EvalCtx::new(store.dictionary());
-    let (mut bag, exec_stats) = try_evaluate_with_ctx(
+    let (mut bag, exec_stats, op_profile) = exec::try_evaluate_profiled(
         &prepared.tree,
         store,
         engine,
@@ -348,6 +389,8 @@ pub fn try_execute_prepared(
         par,
         cancel,
         &ctx,
+        profiler,
+        Some(&prepared.vars),
     )?;
     if let Some(agg) = &prepared.aggregation {
         bag = apply_aggregation(&bag, agg, &ctx, prepared.vars.len());
@@ -389,6 +432,8 @@ pub fn try_execute_prepared(
         bag,
         threads: par.threads().max(engine.threads()),
         ask,
+        wall_nanos: t1.elapsed().as_nanos() as u64,
+        op_profile,
     })
 }
 

@@ -1,0 +1,112 @@
+//! Satellite properties for the lock-free log₂ histogram:
+//!
+//! 1. bucket boundaries are *exact* powers of two;
+//! 2. merging two histograms equals the histogram of the concatenated
+//!    sample streams;
+//! 3. recorded counts are conserved under concurrent recording at 2, 4
+//!    and 8 threads — no sample is lost or double-counted.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use uo_obs::{bucket_bounds, bucket_index, Histogram, BUCKETS};
+
+/// Random samples spanning many orders of magnitude (uniform draws alone
+/// would almost never exercise the small buckets).
+fn random_samples(seed: u64, n: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let shift = rng.gen_range(0..48u32);
+            rng.gen::<u64>() >> (16 + shift % 48)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Every bucket's bounds are exact powers of two, adjacent buckets
+    /// tile the value line without gap or overlap, and `bucket_index`
+    /// agrees with the bounds at both edges.
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two(i in 1usize..BUCKETS - 1) {
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(lo.is_power_of_two(), "lower bound {lo} of bucket {i}");
+        prop_assert_eq!(lo, 1u64 << (i - 1));
+        if i < BUCKETS - 1 {
+            prop_assert!(hi.is_power_of_two(), "upper bound {hi} of bucket {i}");
+            prop_assert_eq!(hi, 1u64 << i);
+            let (next_lo, _) = bucket_bounds(i + 1);
+            prop_assert_eq!(hi, next_lo, "buckets tile without gap");
+        }
+        prop_assert_eq!(bucket_index(lo), i, "lower edge maps into the bucket");
+        prop_assert_eq!(bucket_index(hi - 1), i, "upper edge stays in the bucket");
+        if i < BUCKETS - 1 {
+            prop_assert_eq!(bucket_index(hi), i + 1, "the bound itself starts the next bucket");
+        }
+    }
+
+    /// merge(A, B) == histogram(A ++ B), exactly: same buckets, count and
+    /// sum, hence identical JSON and identical derived percentiles.
+    #[test]
+    fn merge_equals_concatenated_samples(seed in 0u64..10_000, na in 0usize..300, nb in 0usize..300) {
+        let xs = random_samples(seed, na);
+        let ys = random_samples(seed ^ 0x9e37_79b9, nb);
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let concat = Histogram::new();
+        for &v in &xs { a.record(v); concat.record(v); }
+        for &v in &ys { b.record(v); concat.record(v); }
+        a.merge_from(&b);
+        let merged = a.snapshot();
+        prop_assert_eq!(&merged, &concat.snapshot());
+        prop_assert_eq!(merged.to_json(), concat.snapshot().to_json());
+        // The quantile estimate is an upper bound within one log₂ bucket
+        // of the true quantile.
+        let mut sorted = [xs, ys].concat();
+        sorted.sort_unstable();
+        if !sorted.is_empty() {
+            for q in [0.5, 0.9, 0.99] {
+                let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+                let truth = sorted[rank - 1];
+                let est = merged.quantile(q);
+                prop_assert!(est >= truth, "estimate {est} below true quantile {truth}");
+                prop_assert!(est <= truth.saturating_mul(2).max(1), "estimate {est} beyond 2x {truth}");
+            }
+        }
+    }
+
+    /// Concurrent recording at 2/4/8 threads loses nothing: the shared
+    /// histogram ends bit-identical to a sequential histogram of the same
+    /// samples (counts, sum, and every bucket conserved).
+    #[test]
+    fn concurrent_recording_conserves_counts(seed in 0u64..1_000, n_per_thread in 1usize..400) {
+        for threads in [2usize, 4, 8] {
+            let shared = Arc::new(Histogram::new());
+            let slices: Vec<Vec<u64>> = (0..threads)
+                .map(|t| random_samples(seed.wrapping_add(t as u64), n_per_thread))
+                .collect();
+            std::thread::scope(|scope| {
+                for slice in &slices {
+                    let h = Arc::clone(&shared);
+                    scope.spawn(move || {
+                        for &v in slice {
+                            h.record(v);
+                        }
+                    });
+                }
+            });
+            let sequential = Histogram::new();
+            for slice in &slices {
+                for &v in slice {
+                    sequential.record(v);
+                }
+            }
+            let got = shared.snapshot();
+            prop_assert_eq!(got.count, (threads * n_per_thread) as u64);
+            prop_assert_eq!(&got, &sequential.snapshot(), "at {} threads", threads);
+        }
+    }
+}

@@ -25,11 +25,98 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use uo_core::{Prepared, TransformOutcome};
 
+/// Observed execution statistics for one cached plan, shared between the
+/// cache entry and the request path as an [`Arc`] so recording an
+/// execution never takes the cache mutex. A re-plan (stale overwrite)
+/// installs a *fresh* stats object carrying the new epoch and estimate, so
+/// the actual-vs-estimated ratio always describes the currently cached
+/// plan, not an accumulation across invalidated generations.
+#[derive(Debug)]
+pub struct PlanEntryStats {
+    /// Epoch of the snapshot the plan was optimized against.
+    pub epoch: u64,
+    /// The optimizer's estimate of the plan's root-result scale
+    /// ([`uo_core::estimate_root_rows`]), captured at plan time; `None`
+    /// when the caller did not estimate.
+    pub est_root: Option<f64>,
+    /// Epoch-matched cache hits served from this entry.
+    hits: AtomicU64,
+    /// Completed executions recorded against this plan.
+    executions: AtomicU64,
+    /// Cumulative execution wall nanoseconds across those executions.
+    exec_nanos: AtomicU64,
+    /// Actual root cardinality (result rows) of the most recent execution.
+    last_rows: AtomicU64,
+}
+
+impl PlanEntryStats {
+    fn new(epoch: u64, est_root: Option<f64>) -> Arc<PlanEntryStats> {
+        Arc::new(PlanEntryStats {
+            epoch,
+            est_root,
+            hits: AtomicU64::new(0),
+            executions: AtomicU64::new(0),
+            exec_nanos: AtomicU64::new(0),
+            last_rows: AtomicU64::new(0),
+        })
+    }
+
+    /// Records one completed execution of the plan (lock-free).
+    pub fn record_exec(&self, wall_nanos: u64, rows: u64) {
+        self.executions.fetch_add(1, Ordering::Relaxed);
+        self.exec_nanos.fetch_add(wall_nanos, Ordering::Relaxed);
+        self.last_rows.store(rows, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of one plan's observed stats, for `/stats/plans`.
+#[derive(Debug, Clone)]
+pub struct PlanStatsSnapshot {
+    /// Canonicalized query text keying the entry.
+    pub query: String,
+    /// Epoch the plan was optimized at.
+    pub epoch: u64,
+    /// The optimizer's root-scale estimate at plan time.
+    pub est_root: Option<f64>,
+    /// Epoch-matched hits served.
+    pub hits: u64,
+    /// Executions recorded.
+    pub executions: u64,
+    /// Cumulative execution wall nanoseconds.
+    pub exec_nanos: u64,
+    /// Actual result rows of the most recent execution.
+    pub last_rows: u64,
+}
+
+impl PlanStatsSnapshot {
+    /// Last actual root cardinality over the optimizer's estimate — the
+    /// cardinality-feedback signal (`> 1` = underestimate). `None` until
+    /// the plan has executed or when there is no (positive) estimate.
+    pub fn actual_over_est(&self) -> Option<f64> {
+        match self.est_root {
+            Some(est) if est > 0.0 && self.executions > 0 => Some(self.last_rows as f64 / est),
+            _ => None,
+        }
+    }
+}
+
+/// The outcome of a [`PlanCache::lookup`].
+pub enum Lookup {
+    /// An epoch-matched plan: skip parse-tree construction + optimization.
+    Hit(Arc<Prepared>, TransformOutcome, Arc<PlanEntryStats>),
+    /// The key is cached but was planned at another epoch (invalidated by
+    /// a commit); counted as a miss.
+    Stale,
+    /// The key is not cached.
+    Miss,
+}
+
 struct Entry {
     prepared: Arc<Prepared>,
     transforms: TransformOutcome,
     epoch: u64,
     last_used: u64,
+    stats: Arc<PlanEntryStats>,
 }
 
 /// A thread-safe, epoch-aware LRU plan cache. Capacity 0 disables caching
@@ -60,22 +147,33 @@ impl PlanCache {
     /// entries planned at `epoch` hit; an entry from another epoch counts as
     /// a stale miss (and stays until the re-plan overwrites it).
     pub fn get(&self, key: &str, epoch: u64) -> Option<(Arc<Prepared>, TransformOutcome)> {
+        match self.lookup(key, epoch) {
+            Lookup::Hit(prepared, transforms, _) => Some((prepared, transforms)),
+            Lookup::Stale | Lookup::Miss => None,
+        }
+    }
+
+    /// [`get`](PlanCache::get) distinguishing *why* a lookup missed (cold
+    /// vs. invalidated-by-commit), and handing out the entry's observed
+    /// stats on a hit so the caller can record the execution.
+    pub fn lookup(&self, key: &str, epoch: u64) -> Lookup {
         let now = self.tick.fetch_add(1, Ordering::Relaxed);
         let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
         match entries.get_mut(key) {
             Some(e) if e.epoch == epoch => {
                 e.last_used = now;
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some((Arc::clone(&e.prepared), e.transforms))
+                e.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Lookup::Hit(Arc::clone(&e.prepared), e.transforms, Arc::clone(&e.stats))
             }
             Some(_) => {
                 self.stale.fetch_add(1, Ordering::Relaxed);
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+                Lookup::Stale
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+                Lookup::Miss
             }
         }
     }
@@ -84,16 +182,21 @@ impl PlanCache {
     /// entry when full. Concurrent inserts of the same key keep the newer
     /// value — both are equivalent plans of the same canonical text (a
     /// racing insert from an older epoch is corrected by the next lookup's
-    /// stale miss).
+    /// stale miss). `est_root` is the optimizer's root-scale estimate for
+    /// the plan; the returned stats handle is the one future hits share (a
+    /// fresh, detached one when the cache is disabled), so the caller can
+    /// record this first execution against it.
     pub fn insert(
         &self,
         key: String,
         epoch: u64,
         prepared: Arc<Prepared>,
         transforms: TransformOutcome,
-    ) {
+        est_root: Option<f64>,
+    ) -> Arc<PlanEntryStats> {
+        let stats = PlanEntryStats::new(epoch, est_root);
         if self.capacity == 0 {
-            return;
+            return stats;
         }
         let now = self.tick.fetch_add(1, Ordering::Relaxed);
         let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
@@ -106,7 +209,31 @@ impl PlanCache {
                 entries.remove(&victim);
             }
         }
-        entries.insert(key, Entry { prepared, transforms, epoch, last_used: now });
+        entries.insert(
+            key,
+            Entry { prepared, transforms, epoch, last_used: now, stats: Arc::clone(&stats) },
+        );
+        stats
+    }
+
+    /// Observed stats of every cached plan, sorted by query text for a
+    /// deterministic `/stats/plans` rendering.
+    pub fn plans_snapshot(&self) -> Vec<PlanStatsSnapshot> {
+        let entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut out: Vec<PlanStatsSnapshot> = entries
+            .iter()
+            .map(|(key, e)| PlanStatsSnapshot {
+                query: key.clone(),
+                epoch: e.stats.epoch,
+                est_root: e.stats.est_root,
+                hits: e.stats.hits.load(Ordering::Relaxed),
+                executions: e.stats.executions.load(Ordering::Relaxed),
+                exec_nanos: e.stats.exec_nanos.load(Ordering::Relaxed),
+                last_rows: e.stats.last_rows.load(Ordering::Relaxed),
+            })
+            .collect();
+        out.sort_by(|a, b| a.query.cmp(&b.query));
+        out
     }
 
     /// Number of cached plans.
@@ -155,12 +282,12 @@ mod tests {
         let cache = PlanCache::new(2);
         let q = |n: usize| format!("SELECT ?x WHERE {{ ?x <http://p{n}> ?y }}");
         assert!(cache.get(&q(1), 1).is_none());
-        cache.insert(q(1), 1, plan(&st, &q(1)), TransformOutcome::default());
-        cache.insert(q(2), 1, plan(&st, &q(2)), TransformOutcome::default());
+        cache.insert(q(1), 1, plan(&st, &q(1)), TransformOutcome::default(), None);
+        cache.insert(q(2), 1, plan(&st, &q(2)), TransformOutcome::default(), None);
         assert!(cache.get(&q(1), 1).is_some());
         // Inserting a third evicts the LRU entry — q2, since q1 was just
         // touched.
-        cache.insert(q(3), 1, plan(&st, &q(3)), TransformOutcome::default());
+        cache.insert(q(3), 1, plan(&st, &q(3)), TransformOutcome::default(), None);
         assert_eq!(cache.len(), 2);
         assert!(cache.get(&q(2), 1).is_none());
         assert!(cache.get(&q(1), 1).is_some());
@@ -174,14 +301,14 @@ mod tests {
         let st = store();
         let cache = PlanCache::new(4);
         let q = "SELECT ?x WHERE { ?x <http://p> ?y }".to_string();
-        cache.insert(q.clone(), 1, plan(&st, &q), TransformOutcome::default());
+        cache.insert(q.clone(), 1, plan(&st, &q), TransformOutcome::default(), None);
         assert!(cache.get(&q, 1).is_some(), "same epoch hits");
         assert!(cache.get(&q, 2).is_none(), "a commit invalidates the plan");
         let (_, _, stale) = cache.stats();
         assert_eq!(stale, 1);
         assert_eq!(cache.len(), 1, "structure survives invalidation");
         // The re-plan replaces the entry in place; the old epoch now misses.
-        cache.insert(q.clone(), 2, plan(&st, &q), TransformOutcome::default());
+        cache.insert(q.clone(), 2, plan(&st, &q), TransformOutcome::default(), None);
         assert_eq!(cache.len(), 1);
         assert!(cache.get(&q, 2).is_some());
         assert!(cache.get(&q, 1).is_none());
@@ -192,7 +319,7 @@ mod tests {
         let st = store();
         let cache = PlanCache::new(0);
         let q = "SELECT ?x WHERE { ?x <http://p> ?y }";
-        cache.insert(q.to_string(), 1, plan(&st, q), TransformOutcome::default());
+        cache.insert(q.to_string(), 1, plan(&st, q), TransformOutcome::default(), None);
         assert!(cache.is_empty());
         assert!(cache.get(q, 1).is_none());
     }

@@ -27,8 +27,18 @@
 //!   deadline enforced cooperatively at BGP-evaluation boundaries
 //!   ([`uo_core::Cancellation`]);
 //! - `GET /metrics` (JSON counters incl. `triples`, `snapshot_epoch`,
-//!   `updates`, the tiered-`store` block and the durable-mode `wal` block)
-//!   and `GET /healthz`;
+//!   `updates`, the tiered-`store` block, the durable-mode `wal` block and
+//!   the v5 `latency` block of log₂-bucketed histograms) and `GET /healthz`;
+//! - **observability** (see `docs/OBSERVABILITY.md`): every query/update
+//!   response carries a unique `X-UO-Request-Id`; `?profile=1` (or
+//!   `X-UO-Profile: 1`) attaches an EXPLAIN ANALYZE `"profile"` block —
+//!   per-phase wall times plus the operator span tree with actual vs
+//!   estimated cardinalities — to the JSON results; `GET /stats/plans`
+//!   reports per-cached-plan observed stats (hits, cumulative exec time,
+//!   actual-over-estimated root cardinality); with
+//!   [`ServerConfig::slow_query_ms`] set, queries over the threshold land
+//!   in a bounded ring at `GET /stats/slow` and as single-line stderr
+//!   records;
 //! - a background **maintenance thread**: once the tiered run stack of the
 //!   published snapshot reaches `compact_fan_in` levels it is folded into
 //!   one — off the update path, installed only if no commit raced — keeping
@@ -49,7 +59,7 @@
 pub mod cache;
 pub mod http;
 
-pub use cache::PlanCache;
+pub use cache::{PlanCache, PlanStatsSnapshot};
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -58,12 +68,14 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 use uo_core::{
-    optimize_prepared, prepare_parsed, query_type, try_execute_prepared, try_run_update,
-    try_run_update_durable, Cancellation, DurableUpdateError, QueryCounters, Strategy,
+    estimate_root_rows, optimize_prepared, prepare_parsed, query_type,
+    try_execute_prepared_profiled, try_run_update, try_run_update_durable, Cancellation,
+    DurableUpdateError, QueryCounters, QueryType, Strategy,
 };
 use uo_engine::{BgpEngine, BinaryJoinEngine, WcoEngine};
+use uo_obs::{CacheOutcome, Histogram, Profiler, QueryProfile, RequestIds, SlowEntry, SlowLog};
 use uo_store::{durable, DurableMetrics, DurableStore, Snapshot, StoreWriter};
 
 /// Which BGP engine backs the endpoint.
@@ -127,6 +139,11 @@ pub struct ServerConfig {
     /// outside the writer lock and installs with an epoch check, so it
     /// never blocks or races updates.
     pub compact_fan_in: usize,
+    /// Slow-query threshold in milliseconds. `None` (the default) disables
+    /// the slow-query log; `Some(ms)` captures every query whose
+    /// end-to-end wall time reaches `ms` into the bounded ring served at
+    /// `GET /stats/slow` and emits a single-line stderr record.
+    pub slow_query_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -147,6 +164,7 @@ impl Default for ServerConfig {
             checkpoint_every: 64,
             checkpoint_interval_ms: 500,
             compact_fan_in: 8,
+            slow_query_ms: None,
         }
     }
 }
@@ -242,6 +260,39 @@ struct ServerState {
     /// Wakes the maintenance thread early (on shutdown).
     checkpoint_signal: (Mutex<()>, Condvar),
     started: Instant,
+    /// Mints the `X-UO-Request-Id` values (prefix seeded from the start
+    /// time so ids from different server incarnations don't collide).
+    request_ids: RequestIds,
+    /// Ring of recent slow queries (pushed only when
+    /// [`ServerConfig::slow_query_ms`] is set; served at `/stats/slow`).
+    slow_log: SlowLog,
+    /// End-to-end latency of successful queries, in nanoseconds.
+    query_hist: Histogram,
+    /// End-to-end latency of successful updates, in nanoseconds.
+    update_hist: Histogram,
+    /// Query latency split by [`QueryType`] (indexed by [`type_index`]).
+    type_hists: [Histogram; 4],
+}
+
+/// Entries the slow-query ring retains (oldest evicted beyond this).
+const SLOW_LOG_CAPACITY: usize = 128;
+
+/// Index of a [`QueryType`] in [`ServerState::type_hists`].
+fn type_index(qt: QueryType) -> usize {
+    match qt {
+        QueryType::Bgp => 0,
+        QueryType::U => 1,
+        QueryType::O => 2,
+        QueryType::UO => 3,
+    }
+}
+
+/// All query types, in `type_index` order (for `/metrics` rendering).
+const ALL_QUERY_TYPES: [QueryType; 4] = [QueryType::Bgp, QueryType::U, QueryType::O, QueryType::UO];
+
+/// Milliseconds since the Unix epoch (0 if the clock is before it).
+fn unix_ms() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0)
 }
 
 impl ServerState {
@@ -388,6 +439,14 @@ fn start_inner(
         query_cancel: Arc::new(AtomicBool::new(false)),
         checkpoint_signal: (Mutex::new(()), Condvar::new()),
         started: Instant::now(),
+        request_ids: RequestIds::new(
+            SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0)
+                ^ u64::from(std::process::id()),
+        ),
+        slow_log: SlowLog::new(SLOW_LOG_CAPACITY),
+        query_hist: Histogram::new(),
+        update_hist: Histogram::new(),
+        type_hists: std::array::from_fn(|_| Histogram::new()),
         snapshot: RwLock::new(snapshot),
         writer: writer.map(Mutex::new),
         durable,
@@ -592,15 +651,38 @@ fn route(state: &ServerState, stream: &mut TcpStream, head: &http::Head) -> io::
             &[],
             metrics_json(state).as_bytes(),
         ),
+        ("GET", "/stats/plans") => http::write_response(
+            stream,
+            200,
+            "OK",
+            "application/json",
+            &[],
+            plan_stats_json(state).as_bytes(),
+        ),
+        ("GET", "/stats/slow") => http::write_response(
+            stream,
+            200,
+            "OK",
+            "application/json",
+            &[],
+            state.slow_log.to_json().as_bytes(),
+        ),
         ("GET", "/sparql") | ("POST", "/sparql") => handle_sparql(state, stream, head),
         ("POST", "/update") => handle_update(state, stream, head),
         ("GET", "/") => respond_text(
             stream,
             200,
             "OK",
-            "sparql-uo endpoint: GET/POST /sparql, POST /update, GET /metrics, GET /healthz\n",
+            "sparql-uo endpoint: GET/POST /sparql, POST /update, GET /metrics, \
+             GET /stats/plans, GET /stats/slow, GET /healthz\n",
         ),
-        (_, "/sparql") | (_, "/update") | (_, "/healthz") | (_, "/metrics") | (_, "/") => {
+        (_, "/sparql")
+        | (_, "/update")
+        | (_, "/healthz")
+        | (_, "/metrics")
+        | (_, "/")
+        | (_, "/stats/plans")
+        | (_, "/stats/slow") => {
             respond_text(stream, 405, "Method Not Allowed", "method not allowed\n")
         }
         _ => respond_text(stream, 404, "Not Found", "unknown path\n"),
@@ -667,14 +749,50 @@ fn admit_and_read_body<'a>(
     }
 }
 
+/// [`respond_text`] carrying the request id header.
+fn respond_text_id(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    body: &str,
+    rid: &str,
+) -> io::Result<()> {
+    http::write_response(
+        stream,
+        status,
+        reason,
+        "text/plain; charset=utf-8",
+        &[("X-UO-Request-Id", rid)],
+        body.as_bytes(),
+    )
+}
+
+/// Splices a `"profile"` member into a JSON results document, before the
+/// document's closing brace. The results serialization is unchanged up to
+/// that point, so stripping the member (or comparing with
+/// `uo_obs::strip_timing_fields`) recovers byte-stable output.
+fn attach_profile(mut body: String, profile: &QueryProfile) -> String {
+    match body.rfind('}') {
+        Some(pos) => {
+            body.insert_str(pos, &format!(", \"profile\": {}", profile.to_json()));
+            body
+        }
+        None => body,
+    }
+}
+
 fn handle_sparql(state: &ServerState, stream: &mut TcpStream, head: &http::Head) -> io::Result<()> {
+    let t_req = Instant::now();
+    let rid = state.request_ids.next_id();
+
     // Content negotiation first: a 406 should not consume an admission slot.
-    let Some(format) = negotiate(head.header("accept")) else {
-        return respond_text(
+    let Some(mut format) = negotiate(head.header("accept")) else {
+        return respond_text_id(
             stream,
             406,
             "Not Acceptable",
             "supported: application/sparql-results+json, text/tab-separated-values, text/plain\n",
+            &rid,
         );
     };
 
@@ -682,14 +800,18 @@ fn handle_sparql(state: &ServerState, stream: &mut TcpStream, head: &http::Head)
         return Ok(());
     };
 
-    // Extract the query text and optional per-request timeout.
+    // Extract the query text, optional per-request timeout, and whether an
+    // EXPLAIN ANALYZE profile was requested.
     let mut query_text: Option<String> = None;
     let mut timeout_ms: Option<u64> = None;
+    let mut profile_requested =
+        head.header("x-uo-profile").is_some_and(|v| matches!(v.trim(), "1" | "true"));
     let mut read_params = |params: Vec<(String, String)>| {
         for (k, v) in params {
             match k.as_str() {
                 "query" => query_text = Some(v),
                 "timeout" => timeout_ms = v.parse().ok(),
+                "profile" => profile_requested |= matches!(v.as_str(), "1" | "true"),
                 _ => {}
             }
         }
@@ -710,25 +832,32 @@ fn handle_sparql(state: &ServerState, stream: &mut TcpStream, head: &http::Head)
             }
             other => {
                 let msg = format!("unsupported content type {other:?}\n");
-                return respond_text(stream, 415, "Unsupported Media Type", &msg);
+                return respond_text_id(stream, 415, "Unsupported Media Type", &msg, &rid);
             }
         }
     }
     let Some(text) = query_text else {
-        return respond_text(stream, 400, "Bad Request", "missing 'query' parameter\n");
+        return respond_text_id(stream, 400, "Bad Request", "missing 'query' parameter\n", &rid);
     };
+    if profile_requested {
+        // The profile rides inside the JSON results document; the other
+        // formats have nowhere to put it.
+        format = Format::Json;
+    }
 
     QueryCounters::bump(&state.counters.queries);
 
     // Parse (needed for the canonical cache key either way).
+    let t_parse = Instant::now();
     let parsed = match uo_sparql::parse(&text) {
         Ok(q) => q,
         Err(e) => {
             QueryCounters::bump(&state.counters.parse_errors);
             let msg = format!("parse error: {e}\n");
-            return respond_text(stream, 400, "Bad Request", &msg);
+            return respond_text_id(stream, 400, "Bad Request", &msg, &rid);
         }
     };
+    let parse_nanos = t_parse.elapsed().as_nanos() as u64;
     let qtype = query_type(&parsed.body);
     let canonical = uo_sparql::serialize(&parsed);
 
@@ -740,25 +869,37 @@ fn handle_sparql(state: &ServerState, stream: &mut TcpStream, head: &http::Head)
 
     // Plan cache: an epoch-matched hit skips plan construction +
     // optimization; plans from older epochs are stale misses.
-    let prepared: Arc<uo_core::Prepared> = match state.cache.get(&canonical, epoch) {
-        Some((prepared, _)) => {
-            QueryCounters::bump(&state.counters.cache_hits);
-            prepared
-        }
-        None => {
-            QueryCounters::bump(&state.counters.cache_misses);
-            let mut prepared = prepare_parsed(&snapshot, parsed);
-            let (outcome, _) = optimize_prepared(
-                &snapshot,
-                state.engine.as_ref(),
-                &mut prepared,
-                state.cfg.strategy,
-            );
-            let prepared = Arc::new(prepared);
-            state.cache.insert(canonical, epoch, Arc::clone(&prepared), outcome);
-            prepared
-        }
-    };
+    let (prepared, cache_outcome, optimize_nanos, plan_stats) =
+        match state.cache.lookup(&canonical, epoch) {
+            cache::Lookup::Hit(prepared, _, stats) => {
+                QueryCounters::bump(&state.counters.cache_hits);
+                (prepared, CacheOutcome::Hit, 0u64, stats)
+            }
+            outcome @ (cache::Lookup::Stale | cache::Lookup::Miss) => {
+                QueryCounters::bump(&state.counters.cache_misses);
+                let mut prepared = prepare_parsed(&snapshot, parsed);
+                let (transforms, opt_time) = optimize_prepared(
+                    &snapshot,
+                    state.engine.as_ref(),
+                    &mut prepared,
+                    state.cfg.strategy,
+                );
+                let est_root = estimate_root_rows(&snapshot, state.engine.as_ref(), &prepared);
+                let prepared = Arc::new(prepared);
+                let stats = state.cache.insert(
+                    canonical,
+                    epoch,
+                    Arc::clone(&prepared),
+                    transforms,
+                    Some(est_root),
+                );
+                let co = match outcome {
+                    cache::Lookup::Stale => CacheOutcome::Stale,
+                    _ => CacheOutcome::Miss,
+                };
+                (prepared, co, opt_time.as_nanos() as u64, stats)
+            }
+        };
 
     // Per-query deadline (cooperative, checked at BGP boundaries), plus the
     // endpoint-wide cancel flag raised on shutdown.
@@ -767,29 +908,36 @@ fn handle_sparql(state: &ServerState, stream: &mut TcpStream, head: &http::Head)
     );
     let cancel = Cancellation::after(timeout).with_flag(Arc::clone(&state.query_cancel));
 
+    let profiler = if profile_requested { Profiler::on() } else { Profiler::off() };
     let projection = prepared.query.projection();
-    let report = match try_execute_prepared(
+    let report = match try_execute_prepared_profiled(
         &snapshot,
         state.engine.as_ref(),
         &prepared,
         state.cfg.strategy,
         uo_par::Parallelism::new(state.cfg.engine_threads.max(1)),
         &cancel,
+        profiler,
     ) {
         Ok(report) => report,
         Err(_) => {
             QueryCounters::bump(&state.counters.cancelled);
-            return respond_text(
+            return respond_text_id(
                 stream,
                 408,
                 "Request Timeout",
                 "query deadline exceeded (raise the 'timeout' parameter)\n",
+                &rid,
             );
         }
     };
-    state.counters.record_ok(qtype, report.results.len());
+    let rows = report.results.len();
+    state.counters.record_ok(qtype, rows);
+    // Cardinality feedback for /stats/plans: what the plan actually
+    // produced, against the estimate captured when it was cached.
+    plan_stats.record_exec(report.wall_nanos, rows as u64);
 
-    let body = match (report.ask, format) {
+    let mut body = match (report.ask, format) {
         // ASK gets the boolean result document of the negotiated format.
         (Some(b), Format::Json) => uo_sparql::ask_json(b),
         (Some(b), Format::Tsv | Format::Debug) => uo_sparql::ask_text(b),
@@ -797,7 +945,54 @@ fn handle_sparql(state: &ServerState, stream: &mut TcpStream, head: &http::Head)
         (None, Format::Tsv) => uo_sparql::results_tsv(&projection, &report.results),
         (None, Format::Debug) => debug_table(&projection, &report.results),
     };
-    http::write_response(stream, 200, "OK", format.content_type(), &[], body.as_bytes())
+
+    // Endpoint latency: end-to-end wall for this request, recorded into
+    // the lock-free /metrics histograms (overall and per query type).
+    let total_nanos = t_req.elapsed().as_nanos() as u64;
+    state.query_hist.record(total_nanos);
+    state.type_hists[type_index(qtype)].record(total_nanos);
+
+    if profile_requested {
+        let profile = QueryProfile {
+            engine: state.engine.name().to_string(),
+            strategy: state.cfg.strategy.label().to_string(),
+            threads: report.threads,
+            query_type: qtype.to_string(),
+            parse_nanos,
+            cache: cache_outcome,
+            optimize_nanos,
+            execute_nanos: report.wall_nanos,
+            total_nanos,
+            rows: rows as u64,
+            root: report.op_profile,
+        };
+        body = attach_profile(body, &profile);
+    }
+
+    if let Some(threshold_ms) = state.cfg.slow_query_ms {
+        if total_nanos >= threshold_ms.saturating_mul(1_000_000) {
+            let entry = SlowEntry {
+                id: rid.clone(),
+                unix_ms: unix_ms(),
+                wall_nanos: total_nanos,
+                rows: rows as u64,
+                query_type: qtype.to_string(),
+                engine: state.engine.name().to_string(),
+                query: text,
+            };
+            eprintln!("{}", entry.stderr_line());
+            state.slow_log.push(entry);
+        }
+    }
+
+    http::write_response(
+        stream,
+        200,
+        "OK",
+        format.content_type(),
+        &[("X-UO-Request-Id", &rid)],
+        body.as_bytes(),
+    )
 }
 
 /// `POST /update`: applies a SPARQL Update request (writable endpoints
@@ -806,6 +1001,8 @@ fn handle_sparql(state: &ServerState, stream: &mut TcpStream, head: &http::Head)
 /// queries already in flight keep answering from their admission-time
 /// snapshot.
 fn handle_update(state: &ServerState, stream: &mut TcpStream, head: &http::Head) -> io::Result<()> {
+    let t_req = Instant::now();
+    let rid = state.request_ids.next_id();
     let Some(writer) = state.writer.as_ref() else {
         let expects_continue =
             head.header("expect").is_some_and(|v| v.to_ascii_lowercase().contains("100-continue"));
@@ -925,12 +1122,20 @@ fn handle_update(state: &ServerState, stream: &mut TcpStream, head: &http::Head)
         }
     };
     state.updates_total.fetch_add(1, Ordering::Relaxed);
+    state.update_hist.record(t_req.elapsed().as_nanos() as u64);
 
     let body = format!(
         "{{\"ops\": {}, \"inserted\": {}, \"deleted\": {}, \"triples\": {}, \"epoch\": {}}}\n",
         report.ops, report.inserted, report.deleted, report.triples, report.epoch
     );
-    http::write_response(stream, 200, "OK", "application/json", &[], body.as_bytes())
+    http::write_response(
+        stream,
+        200,
+        "OK",
+        "application/json",
+        &[("X-UO-Request-Id", &rid)],
+        body.as_bytes(),
+    )
 }
 
 /// The CLI-style human-readable table (debug format).
@@ -949,10 +1154,43 @@ fn debug_table(vars: &[String], rows: &[Vec<Option<uo_rdf::Term>>]) -> String {
     out
 }
 
-/// Renders the `/metrics` JSON document (schema v4: adds the `store` block
-/// — tiered-run occupancy, background-compaction counters and page-cache
-/// hit rates, `page_cache` being `null` for fully memory-resident stores —
-/// on top of v3's `wal` block and `journal_errors`).
+/// Renders the `/stats/plans` JSON document: per-cached-plan observed
+/// stats, sorted by canonical query text. `actual_over_est` is the
+/// cardinality-feedback ratio — the last actual root cardinality over the
+/// optimizer's estimate captured at plan time (`null` until the plan has
+/// executed); a commit re-plans the entry, so the ratio always describes
+/// the current epoch's plan.
+fn plan_stats_json(state: &ServerState) -> String {
+    let entries: Vec<String> = state
+        .cache
+        .plans_snapshot()
+        .iter()
+        .map(|e| {
+            let est_root = e.est_root.map_or_else(|| "null".to_string(), uo_json::num);
+            let ratio = e.actual_over_est().map_or_else(|| "null".to_string(), uo_json::num);
+            format!(
+                "{{\"query\": \"{}\", \"epoch\": {}, \"hits\": {}, \"executions\": {}, \
+                 \"exec_nanos\": {}, \"last_rows\": {}, \"est_root\": {est_root}, \
+                 \"actual_over_est\": {ratio}}}",
+                uo_json::escape(&e.query),
+                e.epoch,
+                e.hits,
+                e.executions,
+                e.exec_nanos,
+                e.last_rows,
+            )
+        })
+        .collect();
+    format!(
+        "{{\"schema\": \"uo-plan-stats/1\", \"entries\": [{}]}}\n",
+        entries.join(",\n             ")
+    )
+}
+
+/// Renders the `/metrics` JSON document (schema v5: adds the `latency`
+/// block — log₂-bucketed wall-time histograms with derived p50/p90/p99 for
+/// the query and update endpoints, per query type, and — in durable mode —
+/// WAL fsync and commit-journal latency — on top of v4's `store` block).
 fn metrics_json(state: &ServerState) -> String {
     let snap = state.counters.snapshot();
     let (cache_hits, cache_misses, cache_stale) = state.cache.stats();
@@ -999,8 +1237,26 @@ fn metrics_json(state: &ServerState) -> String {
         }
         None => "null".to_string(),
     };
+    let by_type_latency: Vec<String> = ALL_QUERY_TYPES
+        .iter()
+        .map(|&qt| format!("\"{qt}\": {}", state.type_hists[type_index(qt)].snapshot().to_json()))
+        .collect();
+    let (wal_fsync, commit) = match &state.durable {
+        Some(info) => (
+            info.metrics.fsync_hist.snapshot().to_json(),
+            info.metrics.commit_hist.snapshot().to_json(),
+        ),
+        None => ("null".to_string(), "null".to_string()),
+    };
+    let latency = format!(
+        "{{\"query\": {}, \"update\": {}, \"by_type\": {{{}}}, \"wal_fsync\": {wal_fsync}, \
+         \"commit\": {commit}}}",
+        state.query_hist.snapshot().to_json(),
+        state.update_hist.snapshot().to_json(),
+        by_type_latency.join(", "),
+    );
     format!(
-        "{{\n  \"schema\": \"uo-server-metrics/4\",\n  \"uptime_s\": {},\n  \
+        "{{\n  \"schema\": \"uo-server-metrics/5\",\n  \"uptime_s\": {},\n  \
          \"engine\": \"{}\",\n  \"strategy\": \"{}\",\n  \"threads\": {},\n  \
          \"engine_threads\": {},\n  \"triples\": {},\n  \"snapshot_epoch\": {},\n  \
          \"writable\": {},\n  \"inflight\": {},\n  \
@@ -1008,6 +1264,7 @@ fn metrics_json(state: &ServerState) -> String {
          \"hits\": {cache_hits}, \"misses\": {cache_misses}, \"stale\": {cache_stale}}},\n  \
          \"updates\": {{\"updates_total\": {}, \"errors\": {}, \"cancelled\": {}, \
          \"journal_errors\": {}}},\n  \"wal\": {wal},\n  \"store\": {store_block},\n  \
+         \"latency\": {latency},\n  \
          \"queries\": {{\"admitted\": {}, \"ok\": {}, \"parse_errors\": {}, \
          \"cancelled\": {}, \"rejected\": {}, \"rows\": {}, \"panics\": {}}},\n  \
          \"by_type\": {{{}}}\n}}\n",
@@ -1052,6 +1309,31 @@ mod tests {
         assert_eq!(negotiate(Some("text/plain, application/json")), Some(Format::Debug));
         assert_eq!(negotiate(Some("text/csv, text/tab-separated-values")), Some(Format::Tsv));
         assert_eq!(negotiate(Some("application/xml")), None);
+    }
+
+    #[test]
+    fn attach_profile_splices_before_closing_brace() {
+        let profile = QueryProfile {
+            engine: "wco".to_string(),
+            strategy: "full".to_string(),
+            threads: 1,
+            query_type: "BGP".to_string(),
+            parse_nanos: 1,
+            cache: CacheOutcome::Miss,
+            optimize_nanos: 2,
+            execute_nanos: 3,
+            total_nanos: 6,
+            rows: 0,
+            root: None,
+        };
+        let body = uo_sparql::results_json(&["x".to_string()], &[]);
+        let got = attach_profile(body.clone(), &profile);
+        assert!(got.starts_with(&body[..body.len() - 1]), "results prefix unchanged");
+        assert!(got.contains("\"profile\": {\"engine\": \"wco\""));
+        assert!(got.ends_with("}}"), "document still closes");
+        // The boolean (ASK) document splices the same way.
+        let ask = attach_profile(uo_sparql::ask_json(true), &profile);
+        assert!(ask.contains("\"boolean\":true, \"profile\": {"));
     }
 
     #[test]

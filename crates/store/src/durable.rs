@@ -77,6 +77,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 pub use uo_wal::{FsyncPolicy, WalOptions, WalStats};
 
 /// Configuration of a [`DurableStore`].
@@ -183,6 +184,12 @@ pub struct DurableMetrics {
     pub last_checkpoint_epoch: AtomicU64,
     /// Records replayed by the most recent open.
     pub recovered_ops: AtomicUsize,
+    /// Wall nanoseconds per WAL fsync (every fsync the log issues on its
+    /// active segment, whatever the policy).
+    pub fsync_hist: uo_obs::Histogram,
+    /// Wall nanoseconds per journaled commit: the full
+    /// [`DurableStore::journal`] call, i.e. append + policy fsync.
+    pub commit_hist: uo_obs::Histogram,
 }
 
 /// What one checkpoint did.
@@ -652,7 +659,7 @@ impl DurableStore {
         };
 
         let wal_opts = WalOptions { fsync: opts.fsync, segment_bytes: opts.segment_bytes };
-        let (wal, log) = uo_wal::Wal::open(&dir.join("wal"), wal_opts)?;
+        let (mut wal, log) = uo_wal::Wal::open(&dir.join("wal"), wal_opts)?;
         recovery.truncated_bytes = log.truncated_bytes;
 
         let mut writer = StoreWriter::from_snapshot(base);
@@ -678,6 +685,10 @@ impl DurableStore {
 
         let metrics = Arc::new(DurableMetrics::default());
         metrics.recovered_ops.store(recovery.replayed_ops, Ordering::Relaxed);
+        wal.set_fsync_observer({
+            let m = Arc::clone(&metrics);
+            Arc::new(move |nanos| m.fsync_hist.record(nanos))
+        });
         metrics.last_checkpoint_epoch.store(recovery.checkpoint_epoch, Ordering::Relaxed);
         let ds = DurableStore {
             dir: dir.to_path_buf(),
@@ -709,7 +720,9 @@ impl DurableStore {
     /// and fsyncs per policy. Must be called in epoch order — exactly the
     /// order requests commit in.
     pub fn journal(&mut self, epoch: u64, payload: &[u8]) -> io::Result<()> {
+        let t = Instant::now();
         self.wal.append(epoch, payload)?;
+        self.metrics.commit_hist.record(t.elapsed().as_nanos() as u64);
         self.publish_wal_metrics();
         Ok(())
     }

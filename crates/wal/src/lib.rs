@@ -44,6 +44,8 @@ use std::fmt;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
 
 const MAGIC: &[u8; 4] = b"UOWL";
 const VERSION: u32 = 1;
@@ -367,6 +369,23 @@ pub struct Wal {
     /// Set when a failed append could not be rewound: the log can no
     /// longer promise a clean tail, so it refuses further writes.
     damaged: bool,
+    /// Optional per-fsync latency callback (see [`Wal::set_fsync_observer`]).
+    fsync_obs: ObserverSlot,
+}
+
+/// Callback invoked with the wall nanoseconds of each fsync the log issues
+/// on its active segment. Used by the durable store to feed the serving
+/// layer's WAL-fsync latency histogram without coupling this crate to it.
+pub type FsyncObserver = Arc<dyn Fn(u64) + Send + Sync>;
+
+/// Debug-friendly holder for the optional observer closure.
+#[derive(Default)]
+struct ObserverSlot(Option<FsyncObserver>);
+
+impl fmt::Debug for ObserverSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.0.is_some() { "set" } else { "unset" })
+    }
 }
 
 impl Wal {
@@ -472,8 +491,31 @@ impl Wal {
             unsynced: 0,
             total_records,
             damaged: false,
+            fsync_obs: ObserverSlot::default(),
         };
         Ok((wal, recovery))
+    }
+
+    /// Installs a callback observing the wall nanoseconds of every fsync on
+    /// the active segment (policy-triggered, explicit [`sync`](Self::sync),
+    /// and rotation seals). One observer at a time; setting replaces.
+    pub fn set_fsync_observer(&mut self, obs: FsyncObserver) {
+        self.fsync_obs = ObserverSlot(Some(obs));
+    }
+
+    /// `sync_data` on the active segment, reported to the observer if one
+    /// is installed. Failed fsyncs are not recorded — the caller tears the
+    /// append down and the error path shouldn't skew latency data.
+    fn sync_data_timed(&self) -> io::Result<()> {
+        match &self.fsync_obs.0 {
+            None => self.file.sync_data(),
+            Some(obs) => {
+                let t = Instant::now();
+                self.file.sync_data()?;
+                obs(t.elapsed().as_nanos() as u64);
+                Ok(())
+            }
+        }
     }
 
     /// Appends one record and applies the fsync policy. `epoch` must exceed
@@ -564,7 +606,7 @@ impl Wal {
     /// policy. After it returns, [`WalStats::synced_epoch`] equals the last
     /// appended epoch.
     pub fn sync(&mut self) -> io::Result<()> {
-        self.file.sync_data()?;
+        self.sync_data_timed()?;
         self.synced_epoch = self.last_epoch;
         self.unsynced = 0;
         Ok(())
@@ -575,7 +617,7 @@ impl Wal {
     fn rotate(&mut self) -> io::Result<()> {
         // Seal: everything in the old segment must be durable before the
         // log moves on, or retirement ordering gets murky.
-        self.file.sync_data()?;
+        self.sync_data_timed()?;
         self.synced_epoch = self.last_epoch;
         self.unsynced = 0;
         let base = self.last_epoch;
