@@ -3,8 +3,9 @@
 //!
 //! ```text
 //! perf_suite [--out BENCH_PR2.json] [--update-out BENCH_UPDATE.json]
-//!            [--profile-out BENCH_PR8.json] [--threads N] [--repeat K]
-//!            [--no-update] [--no-profile]
+//!            [--profile-out BENCH_PR8.json] [--topk-out BENCH_TOPK.json]
+//!            [--threads N] [--repeat K]
+//!            [--no-update] [--no-profile] [--no-topk]
 //! ```
 //!
 //! The query workload is fixed (LUBM + synthetic-DBpedia group-1 queries ×
@@ -124,6 +125,26 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("wrote {profile_out}");
+    }
+
+    if !args.iter().any(|a| a == "--no-topk") {
+        let topk_out = flag(&args, "--topk-out").unwrap_or("BENCH_TOPK.json").to_string();
+        eprintln!("perf_suite: top-k pushdown vs naive materialization (self-gated) ...");
+        let topk_report = perf::run_topk_suite(repeats);
+        let skipped: u64 =
+            topk_report.entries.iter().map(|e| e.rows_enumerated_full - e.rows_enumerated).sum();
+        eprintln!(
+            "top-k: budgeted {:.1} ms vs naive {:.1} ms, {} rows skipped across {} entries",
+            topk_report.total_budgeted_ms(),
+            topk_report.total_naive_ms(),
+            skipped,
+            topk_report.entries.len(),
+        );
+        if let Err(e) = std::fs::write(&topk_out, topk_report.to_json()) {
+            eprintln!("error: failed to write {topk_out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {topk_out}");
     }
     ExitCode::SUCCESS
 }

@@ -201,6 +201,312 @@ pub fn run_suite(threads: usize, repeats: usize) -> PerfReport {
     }
 }
 
+/// One top-k measurement: a LIMIT-bearing query executed with the row
+/// budget / bounded top-k sort, against the naive
+/// full-materialize-then-slice oracle.
+#[derive(Debug, Clone)]
+pub struct TopkEntry {
+    /// Dataset label ("lubm").
+    pub dataset: String,
+    /// Workload query id, e.g. "tk1".
+    pub query: String,
+    /// Engine name ("wco" / "binary").
+    pub engine: String,
+    /// Strategy label ("base" / "full").
+    pub strategy: String,
+    /// Whether the query carries ORDER BY (bounded top-k sort path) or a
+    /// plain LIMIT (row-budget early-termination path).
+    pub ordered: bool,
+    /// Best-of-`repeats` sequential wall time of the budgeted query, ms.
+    pub wall_ms_budgeted: f64,
+    /// Best-of-`repeats` sequential wall time of the naive oracle (LIMIT
+    /// and OFFSET stripped, full materialization, slice applied by the
+    /// harness), ms.
+    pub wall_ms_naive: f64,
+    /// Rows in the sliced result (deterministic).
+    pub results: usize,
+    /// BGP rows the budgeted run enumerated (deterministic; strictly below
+    /// `rows_enumerated_full` for plain-LIMIT entries — the gate that
+    /// proves work was skipped, not just timed).
+    pub rows_enumerated: u64,
+    /// BGP rows the naive run enumerated (deterministic).
+    pub rows_enumerated_full: u64,
+    /// Whether the budgeted run reported an early exit (always true here:
+    /// every workload query's budget is below the full result count).
+    pub short_circuit: bool,
+}
+
+/// The `BENCH_TOPK.json` artifact: LIMIT/OFFSET pushdown measured against
+/// naive full materialization. Wall times are trajectory data; the
+/// deterministic gates run inside [`run_topk_suite`] itself — budgeted
+/// results byte-identical to the naive slice on both engines at 1/2/4
+/// workers, `rows_enumerated` strictly below the naive run's for
+/// plain-LIMIT entries, `short_circuit` reported everywhere.
+#[derive(Debug, Clone)]
+pub struct TopkReport {
+    /// Worker counts the budgeted runs were verified at ({1, 2, 4}).
+    pub threads: usize,
+    /// Host parallelism when the suite ran.
+    pub host_threads: usize,
+    /// The `UO_SCALE` multiplier.
+    pub uo_scale: f64,
+    /// Repeats per measurement (wall times are the minimum).
+    pub repeats: usize,
+    /// All measurements.
+    pub entries: Vec<TopkEntry>,
+}
+
+impl TopkReport {
+    /// Total sequential budgeted wall time, ms.
+    pub fn total_budgeted_ms(&self) -> f64 {
+        self.entries.iter().map(|e| e.wall_ms_budgeted).sum()
+    }
+
+    /// Total sequential naive wall time, ms.
+    pub fn total_naive_ms(&self) -> f64 {
+        self.entries.iter().map(|e| e.wall_ms_naive).sum()
+    }
+
+    /// Serializes to the `BENCH_TOPK.json` layout (schema `uo-perf/1`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{}\",\n", SCHEMA));
+        out.push_str("  \"bench\": \"perf_topk\",\n");
+        out.push_str("  \"pr\": 9,\n");
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
+        out.push_str(&format!("  \"uo_scale\": {},\n", json::num(self.uo_scale)));
+        out.push_str(&format!("  \"repeats\": {},\n", self.repeats));
+        out.push_str(&format!(
+            "  \"total_budgeted_ms\": {},\n",
+            json::num(self.total_budgeted_ms())
+        ));
+        out.push_str(&format!("  \"total_naive_ms\": {},\n", json::num(self.total_naive_ms())));
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"dataset\": \"{}\", \"query\": \"{}\", \"engine\": \"{}\", \
+                 \"strategy\": \"{}\", \"ordered\": {}, \"wall_ms_budgeted\": {}, \
+                 \"wall_ms_naive\": {}, \"results\": {}, \"rows_enumerated\": {}, \
+                 \"rows_enumerated_full\": {}, \"short_circuit\": {}}}{}\n",
+                json::escape(&e.dataset),
+                json::escape(&e.query),
+                json::escape(&e.engine),
+                json::escape(&e.strategy),
+                e.ordered,
+                json::num(e.wall_ms_budgeted),
+                json::num(e.wall_ms_naive),
+                e.results,
+                e.rows_enumerated,
+                e.rows_enumerated_full,
+                e.short_circuit,
+                if i + 1 < self.entries.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// One query of the top-k workload: the naive oracle text is
+/// `base + order`, the budgeted text adds `LIMIT limit OFFSET offset`.
+struct TopkQuery {
+    id: &'static str,
+    base: &'static str,
+    order: &'static str,
+    limit: usize,
+    offset: usize,
+}
+
+const LUBM_PREFIX: &str = "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n";
+
+/// The top-k workload over the LUBM group-1 store: wide scans, an
+/// expanding join and UNION fan-outs, with budgets far below the full
+/// result counts — plain LIMIT exercises the row budget, ORDER BY + LIMIT
+/// the bounded top-k sort (including an OFFSET past the heap's front).
+fn topk_workload() -> Vec<TopkQuery> {
+    vec![
+        TopkQuery {
+            id: "tk1-scan",
+            base: "SELECT ?x ?c WHERE { ?x ub:takesCourse ?c }",
+            order: "",
+            limit: 10,
+            offset: 0,
+        },
+        TopkQuery {
+            id: "tk2-join",
+            base: "SELECT ?x ?c ?d WHERE { ?x ub:takesCourse ?c . ?x ub:memberOf ?d }",
+            order: "",
+            limit: 10,
+            offset: 5,
+        },
+        TopkQuery {
+            id: "tk3-union",
+            base: "SELECT ?x ?d WHERE { { ?x ub:worksFor ?d } UNION { ?x ub:headOf ?d } }",
+            order: "",
+            limit: 5,
+            offset: 0,
+        },
+        TopkQuery {
+            id: "tk4-order-scan",
+            base: "SELECT ?x ?c WHERE { ?x ub:takesCourse ?c }",
+            order: "ORDER BY DESC(?c) ?x",
+            limit: 10,
+            offset: 0,
+        },
+        TopkQuery {
+            id: "tk5-order-union",
+            base: "SELECT ?x ?d WHERE { { ?x ub:worksFor ?d } UNION { ?x ub:headOf ?d } }",
+            order: "ORDER BY ?x ?d",
+            limit: 5,
+            offset: 5,
+        },
+    ]
+}
+
+/// Runs the top-k workload over the LUBM group-1 store and checks the
+/// early-termination acceptance contract in-line.
+///
+/// # Panics
+/// Panics if a budgeted run's results differ from the naive
+/// full-materialize-then-slice oracle (any engine, base/full strategy,
+/// 1/2/4 workers), if a plain-LIMIT entry fails to enumerate strictly
+/// fewer rows than the naive run, if an ORDER BY entry's bounded sort
+/// fails to report its eviction, or if `rows_enumerated`/`short_circuit`
+/// vary with the worker count.
+pub fn run_topk_suite(repeats: usize) -> TopkReport {
+    let repeats = repeats.max(1);
+    let store = crate::lubm_group1();
+    let worker_counts = [1usize, 2, 4];
+    let mut entries = Vec::new();
+    for q in topk_workload() {
+        let ordered = !q.order.is_empty();
+        let naive_q = format!("{LUBM_PREFIX}{} {}", q.base, q.order);
+        let budgeted_q = format!("{naive_q} LIMIT {} OFFSET {}", q.limit, q.offset);
+        for strategy in [Strategy::Base, Strategy::Full] {
+            for eng_name in ["wco", "binary"] {
+                let mut wall_ms_naive = f64::INFINITY;
+                let mut wall_ms_budgeted = f64::INFINITY;
+                let mut reference: Option<(u64, bool)> = None;
+                let (seq_engine, _) = engine_pair(eng_name, 1);
+                let naive = run_query_with(
+                    &store,
+                    seq_engine.as_ref(),
+                    &naive_q,
+                    strategy,
+                    Parallelism::sequential(),
+                )
+                .unwrap_or_else(|e| panic!("{} failed to parse: {e}", q.id));
+                let want: Vec<_> =
+                    naive.results.iter().skip(q.offset).take(q.limit).cloned().collect();
+                assert!(
+                    q.offset + q.limit < naive.results.len(),
+                    "{}: workload budget must stay below the full result count ({})",
+                    q.id,
+                    naive.results.len()
+                );
+                for rep in 0..repeats {
+                    for &workers in &worker_counts {
+                        let (_, engine) = engine_pair(eng_name, workers);
+                        let budgeted = run_query_with(
+                            &store,
+                            engine.as_ref(),
+                            &budgeted_q,
+                            strategy,
+                            Parallelism::new(workers),
+                        )
+                        .unwrap();
+                        assert_eq!(
+                            budgeted.results, want,
+                            "{}/{}/{} at {} workers: budgeted run diverged from the naive slice",
+                            q.id, eng_name, strategy, workers
+                        );
+                        assert!(
+                            budgeted.exec_stats.short_circuit,
+                            "{}/{}/{}: early exit not reported",
+                            q.id, eng_name, strategy
+                        );
+                        if ordered {
+                            assert_eq!(
+                                budgeted.exec_stats.rows_enumerated,
+                                naive.exec_stats.rows_enumerated,
+                                "{}: ORDER BY still materializes the full bag",
+                                q.id
+                            );
+                        } else {
+                            assert!(
+                                budgeted.exec_stats.rows_enumerated
+                                    < naive.exec_stats.rows_enumerated,
+                                "{}/{}/{}: budgeted run enumerated {} rows, naive {} — \
+                                 no work was skipped",
+                                q.id,
+                                eng_name,
+                                strategy,
+                                budgeted.exec_stats.rows_enumerated,
+                                naive.exec_stats.rows_enumerated
+                            );
+                        }
+                        let stats = (
+                            budgeted.exec_stats.rows_enumerated,
+                            budgeted.exec_stats.short_circuit,
+                        );
+                        match reference {
+                            Some(seen) => assert_eq!(
+                                seen, stats,
+                                "{}: budget stats vary with the worker count",
+                                q.id
+                            ),
+                            None => reference = Some(stats),
+                        }
+                        if workers == 1 {
+                            wall_ms_budgeted =
+                                wall_ms_budgeted.min(budgeted.wall_nanos as f64 / 1e6);
+                        }
+                    }
+                    // Re-time the naive oracle alongside the budgeted runs
+                    // so both walls see the same cache state.
+                    let naive_wall = if rep == 0 {
+                        naive.wall_nanos
+                    } else {
+                        run_query_with(
+                            &store,
+                            seq_engine.as_ref(),
+                            &naive_q,
+                            strategy,
+                            Parallelism::sequential(),
+                        )
+                        .unwrap()
+                        .wall_nanos
+                    };
+                    wall_ms_naive = wall_ms_naive.min(naive_wall as f64 / 1e6);
+                }
+                let (rows_enumerated, short_circuit) = reference.expect("at least one repeat ran");
+                entries.push(TopkEntry {
+                    dataset: "lubm".to_string(),
+                    query: q.id.to_string(),
+                    engine: eng_name.to_string(),
+                    strategy: strategy.label().to_string(),
+                    ordered,
+                    wall_ms_budgeted,
+                    wall_ms_naive,
+                    results: want.len(),
+                    rows_enumerated,
+                    rows_enumerated_full: naive.exec_stats.rows_enumerated,
+                    short_circuit,
+                });
+            }
+        }
+    }
+    TopkReport {
+        threads: *worker_counts.last().expect("non-empty"),
+        host_threads: uo_par::default_threads(),
+        uo_scale: scale(),
+        repeats,
+        entries,
+    }
+}
+
 /// One query's profiling-on vs profiling-off measurement (sequential,
 /// `full` strategy).
 #[derive(Debug, Clone)]
@@ -1136,5 +1442,33 @@ mod tests {
         // The artifact is self-comparable through the gate.
         let failures = check_regressions(&doc, &doc, GateConfig::default()).unwrap();
         assert!(failures.is_empty());
+    }
+
+    #[test]
+    fn topk_suite_skips_work_and_serializes() {
+        // The suite self-gates: any budgeted/naive divergence, missing
+        // short-circuit, or worker-count-dependent stat panics inside.
+        let report = run_topk_suite(1);
+        // 5 workload queries x {base, full} x {wco, binary}.
+        assert_eq!(report.entries.len(), 20);
+        for e in &report.entries {
+            assert!(e.short_circuit, "{}: no early exit recorded", e.query);
+            if e.ordered {
+                assert_eq!(e.rows_enumerated, e.rows_enumerated_full, "{}", e.query);
+            } else {
+                assert!(
+                    e.rows_enumerated < e.rows_enumerated_full,
+                    "{}: enumerated {} of {}",
+                    e.query,
+                    e.rows_enumerated,
+                    e.rows_enumerated_full
+                );
+            }
+        }
+        let doc = json::parse(&report.to_json()).unwrap();
+        assert_eq!(doc.get("bench").unwrap().as_str(), Some("perf_topk"));
+        let entries = doc.get("entries").unwrap().as_arr().unwrap();
+        assert_eq!(entries.len(), 20);
+        assert_eq!(entries[0].get("short_circuit").unwrap().as_bool(), Some(true));
     }
 }

@@ -250,6 +250,8 @@ fn run_analyzed(
         execute_nanos: report.wall_nanos,
         total_nanos: t_total.elapsed().as_nanos() as u64,
         rows: report.results.len() as u64,
+        rows_enumerated: report.exec_stats.rows_enumerated,
+        short_circuit: report.exec_stats.short_circuit,
         root: report.op_profile.clone(),
     };
     Ok((report, profile))
@@ -283,9 +285,11 @@ fn print_analyze(profile: &uo_core::QueryProfile) {
         profile.engine, profile.strategy, profile.threads
     );
     eprintln!(
-        "{} query, {} rows | parse {:.3}ms | optimize {:.3}ms | execute {:.3}ms | total {:.3}ms",
+        "{} query, {} rows ({} enumerated{}) | parse {:.3}ms | optimize {:.3}ms | execute {:.3}ms | total {:.3}ms",
         profile.query_type,
         profile.rows,
+        profile.rows_enumerated,
+        if profile.short_circuit { ", short-circuit" } else { "" },
         profile.parse_nanos as f64 / 1e6,
         profile.optimize_nanos as f64 / 1e6,
         profile.execute_nanos as f64 / 1e6,

@@ -165,6 +165,16 @@ pub struct ExecStats {
     pub join_space: f64,
     /// Number of variables that were actually restricted by pruning.
     pub pruned_vars: usize,
+    /// Total rows produced by BGP evaluations (the sum of
+    /// `bgp_result_sizes`, as a counter). Under a row budget this is the
+    /// enumeration work actually performed — strictly below the unbudgeted
+    /// total whenever early termination kicked in. Deterministic across
+    /// worker counts.
+    pub rows_enumerated: u64,
+    /// True if any budget-capped operator filled its cap — i.e. evaluation
+    /// stopped enumerating before exhausting the result space. Deterministic
+    /// across worker counts.
+    pub short_circuit: bool,
 }
 
 /// Per-variable candidate values flowing down the tree. Lists are sorted
@@ -341,6 +351,7 @@ pub fn try_evaluate_with_ctx(
         ctx,
         Profiler::off(),
         None,
+        None,
     )?;
     Ok((bag, stats))
 }
@@ -357,6 +368,13 @@ pub fn try_evaluate_with_ctx(
 /// the profile is bit-identical across worker counts except for the
 /// `wall_nanos` timing values. With the profiler off this path performs one
 /// extra branch per operator and allocates nothing.
+///
+/// `budget` is the row budget (`offset + limit`) for top-k pushdown: when
+/// `Some(n)`, evaluation may stop enumerating once `n` rows exist, and the
+/// returned bag is guaranteed to be the exact first `n` rows (in the
+/// deterministic result order) of the bag an unbudgeted run would produce.
+/// Callers are responsible for passing `None` whenever a budget would be
+/// unsound (ORDER BY, DISTINCT, aggregation — see `row_budget`).
 #[allow(clippy::too_many_arguments)]
 pub fn try_evaluate_profiled(
     tree: &BeTree,
@@ -369,6 +387,7 @@ pub fn try_evaluate_profiled(
     ctx: &EvalCtx,
     profiler: Profiler,
     vars: Option<&VarTable>,
+    budget: Option<usize>,
 ) -> Result<(Bag, ExecStats, Option<OpProfile>), Cancelled> {
     let mut stats = ExecStats::default();
     let prof = ProfCtx { on: profiler.is_on(), vars };
@@ -385,6 +404,7 @@ pub fn try_evaluate_profiled(
         cancel,
         ctx,
         prof,
+        budget,
     )?;
     stats.join_space = js;
     let root = t0.map(|t| OpProfile {
@@ -420,6 +440,54 @@ fn group_interns_terms(g: &GroupNode) -> bool {
     })
 }
 
+/// Computes the per-child row budget for one group: `budget_at[i]` is
+/// `Some(cap)` iff capping child `i`'s *output* at `cap` rows still yields
+/// the exact first `cap` rows of the group's unbudgeted result.
+///
+/// Child `i` may be capped only when (a) the group has no FILTER children —
+/// filters drop rows after the fact, so a capped accumulator could starve
+/// them — and (b) every child after `i` is **count-preserving**: it never
+/// removes or reorders accumulator rows. BIND always preserves (in-place row
+/// extension); OPTIONAL preserves (`⟕` emits ≥ 1 row per left row, in left
+/// order) but only while candidate pruning is off — with pruning on, the
+/// OPTIONAL's right side derives candidate sets from the accumulator, and a
+/// capped accumulator can shrink those sets enough to flip the right-side
+/// engine's internal join choices and reorder its bag. Every other operator
+/// (join, union, minus, values) can filter, so nothing before it is capped.
+/// Joins `bag` into the accumulator, capping the output when a budget
+/// applies and recording a short-circuit whenever the cap filled up.
+fn join_capped_into(r: Bag, bag: &Bag, cap: Option<usize>, stats: &mut ExecStats) -> Bag {
+    match cap {
+        Some(c) => {
+            let joined = r.join_capped(bag, c);
+            if joined.len() >= c {
+                stats.short_circuit = true;
+            }
+            joined
+        }
+        None => r.join(bag),
+    }
+}
+
+fn child_budgets(g: &GroupNode, budget: Option<usize>, pruning: Pruning) -> Vec<Option<usize>> {
+    let mut budget_at: Vec<Option<usize>> = vec![None; g.children.len()];
+    let Some(cap) = budget else { return budget_at };
+    if g.children.iter().any(|c| matches!(c, BeNode::Filter(_))) {
+        return budget_at;
+    }
+    let mut ok = true;
+    for i in (0..g.children.len()).rev() {
+        budget_at[i] = ok.then_some(cap);
+        ok = ok
+            && match &g.children[i] {
+                BeNode::Bind(..) => true,
+                BeNode::Optional(_) => !pruning.enabled(),
+                _ => false,
+            };
+    }
+    budget_at
+}
+
 #[allow(clippy::too_many_arguments)]
 fn eval_group(
     g: &GroupNode,
@@ -433,11 +501,21 @@ fn eval_group(
     cancel: &Cancellation,
     ctx: &EvalCtx,
     prof: ProfCtx<'_>,
+    budget: Option<usize>,
 ) -> Result<(Bag, f64, Vec<OpProfile>), Cancelled> {
     let mut r = Bag::unit(width);
     let mut js = 1.0f64;
     let mut spans: Vec<OpProfile> = Vec::new();
-    for child in &g.children {
+    let budget_at = child_budgets(g, budget, pruning);
+    for (child_idx, child) in g.children.iter().enumerate() {
+        // The budget for this child's output; when the accumulator is still
+        // the unit bag the join below is the identity, so the budget may
+        // also flow *into* the child's own evaluation (engine early
+        // termination, recursive groups, union branches). Otherwise the
+        // child is enumerated in full — the accumulator join can filter —
+        // and only the join output is capped.
+        let cap = budget_at[child_idx];
+        let inner_cap = if r.is_unit() { cap } else { None };
         // One branch per operator: `t_child` is `None` whenever profiling
         // is off, and every span-recording site is guarded on it.
         let t_child = prof.on.then(Instant::now);
@@ -457,12 +535,16 @@ fn eval_group(
                 } else {
                     CandidateSet::none()
                 };
-                let bag = engine.evaluate(store, &b.bgp, width, &cs);
+                let bag = match inner_cap {
+                    Some(c) => engine.evaluate_limited(store, &b.bgp, width, &cs, c),
+                    None => engine.evaluate(store, &b.bgp, width, &cs),
+                };
                 stats.bgp_evals += 1;
                 stats.bgp_result_sizes.push(bag.len());
+                stats.rows_enumerated += bag.len() as u64;
                 js *= bag.len() as f64;
                 let rows = bag.len();
-                r = r.join(&bag);
+                r = join_capped_into(r, &bag, cap, stats);
                 if let Some(t) = t_child {
                     spans.push(OpProfile {
                         op: "bgp",
@@ -482,10 +564,11 @@ fn eval_group(
                 };
                 let (bag, j, ops) = eval_group(
                     gg, store, engine, width, pruning, &down, stats, par, cancel, ctx, prof,
+                    inner_cap,
                 )?;
                 js *= j;
                 let rows = bag.len();
-                r = r.join(&bag);
+                r = join_capped_into(r, &bag, cap, stats);
                 if let Some(t) = t_child {
                     spans.push(OpProfile {
                         op: "group",
@@ -536,9 +619,13 @@ fn eval_group(
                                 // bit-identical across worker counts.
                                 let t_branch = prof.on.then(Instant::now);
                                 let mut local = ExecStats::default();
+                                // Each branch gets the *full* budget (the
+                                // first `cap` union rows could all come from
+                                // one branch); the in-order merge below
+                                // truncates to the budget.
                                 let (bag, j, ops) = eval_group(
                                     b, store, engine, width, pruning, &down, &mut local, inner,
-                                    cancel, ctx, prof,
+                                    cancel, ctx, prof, inner_cap,
                                 )?;
                                 let nanos = t_branch.map_or(0, |t| t.elapsed().as_nanos() as u64);
                                 Ok((bag, j, local, ops, nanos))
@@ -568,10 +655,15 @@ fn eval_group(
                     stats.bgp_evals += local.bgp_evals;
                     stats.bgp_result_sizes.extend(local.bgp_result_sizes);
                     stats.pruned_vars += local.pruned_vars;
+                    stats.rows_enumerated += local.rows_enumerated;
+                    stats.short_circuit |= local.short_circuit;
+                }
+                if let Some(c) = inner_cap {
+                    u.truncate(c);
                 }
                 js *= js_u;
                 let rows = u.len();
-                r = r.join(&u);
+                r = join_capped_into(r, &u, cap, stats);
                 if let Some(t) = t_child {
                     spans.push(OpProfile {
                         op: "union",
@@ -606,12 +698,24 @@ fn eval_group(
                 } else {
                     CandSource::default()
                 };
+                // The right side is never budgeted: a left row's matches can
+                // sit anywhere in the right bag, so the full right side is
+                // needed even when the ⟕ output is capped below.
                 let (bag, j, ops) = eval_group(
-                    gg, store, engine, width, pruning, &down, stats, par, cancel, ctx, prof,
+                    gg, store, engine, width, pruning, &down, stats, par, cancel, ctx, prof, None,
                 )?;
                 js *= j;
                 let rows = bag.len();
-                r = r.left_join(&bag);
+                r = match cap {
+                    Some(c) => {
+                        let joined = r.left_join_capped(&bag, c);
+                        if joined.len() >= c {
+                            stats.short_circuit = true;
+                        }
+                        joined
+                    }
+                    None => r.left_join(&bag),
+                };
                 if let Some(t) = t_child {
                     spans.push(OpProfile {
                         op: "optional",
@@ -640,10 +744,20 @@ fn eval_group(
                     cancel,
                     ctx,
                     prof,
+                    None,
                 )?;
                 js *= j.max(1.0);
                 let rows = bag.len();
-                r = r.minus(&bag);
+                r = match cap {
+                    Some(c) => {
+                        let out = r.minus_capped(&bag, c);
+                        if out.len() >= c {
+                            stats.short_circuit = true;
+                        }
+                        out
+                    }
+                    None => r.minus(&bag),
+                };
                 if let Some(t) = t_child {
                     spans.push(OpProfile {
                         op: "minus",
@@ -702,7 +816,7 @@ fn eval_group(
                 let bag = Bag::from_rows(width, rows);
                 js *= (bag.len() as f64).max(1.0);
                 let n = bag.len();
-                r = r.join(&bag);
+                r = join_capped_into(r, &bag, cap, stats);
                 if let Some(t) = t_child {
                     spans.push(OpProfile::leaf(
                         "values",
@@ -789,6 +903,65 @@ mod tests {
         ?x <http://link> <http://POTUS> .
         OPTIONAL { ?x <http://sameAs> ?s }
     }";
+
+    #[test]
+    fn budgeted_evaluation_is_exact_prefix() {
+        let st = store();
+        let ctx = EvalCtx::new(st.dictionary());
+        let queries = [
+            "SELECT WHERE { ?x <http://name> ?n }",
+            "SELECT WHERE { { ?x <http://name> ?n } UNION { ?x <http://label> ?n } }",
+            UNION_Q,
+            OPT_Q,
+        ];
+        for q in queries {
+            let query = uo_sparql::parse(q).unwrap();
+            let mut vars = VarTable::new();
+            let tree = BeTree::build(&query, &mut vars, st.dictionary());
+            for pruning in [Pruning::Off, Pruning::fixed_for(&st)] {
+                for threads in [1usize, 2, 4] {
+                    let engine = WcoEngine::with_threads(threads);
+                    let eval = |budget: Option<usize>| {
+                        let (bag, stats, _) = try_evaluate_profiled(
+                            &tree,
+                            &st,
+                            &engine,
+                            vars.len(),
+                            pruning,
+                            Parallelism::new(threads),
+                            &Cancellation::none(),
+                            &ctx,
+                            Profiler::off(),
+                            Some(&vars),
+                            budget,
+                        )
+                        .unwrap();
+                        (bag, stats)
+                    };
+                    let (full, full_stats) = eval(None);
+                    assert!(!full_stats.short_circuit, "uncapped run never short-circuits");
+                    for budget in [0usize, 1, 2, full.len(), full.len() + 3] {
+                        let (capped, stats) = eval(Some(budget));
+                        assert_eq!(
+                            capped.rows.as_slice(),
+                            &full.rows[..budget.min(full.len())],
+                            "{q} pruning={pruning:?} threads={threads} budget={budget}"
+                        );
+                        assert!(
+                            stats.rows_enumerated <= full_stats.rows_enumerated,
+                            "budget never enumerates more: {q} budget={budget}"
+                        );
+                        if budget < full.len() {
+                            assert!(
+                                stats.short_circuit,
+                                "a binding budget must be observed: {q} budget={budget}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
 
     #[test]
     fn union_semantics() {
@@ -1006,6 +1179,7 @@ mod tests {
             &ctx,
             Profiler::off(),
             Some(&vars),
+            None,
         )
         .unwrap();
         assert!(off_prof.is_none());
@@ -1026,6 +1200,7 @@ mod tests {
                 &ctx,
                 Profiler::on(),
                 Some(&vars),
+                None,
             )
             .unwrap();
             assert_eq!(bag.rows, plain.rows, "bag identical at {threads} workers");

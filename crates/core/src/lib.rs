@@ -338,6 +338,30 @@ pub fn estimate_root_rows(store: &Snapshot, engine: &dyn BgpEngine, prepared: &P
     metrics::estimated_join_space(&prepared.tree, &cm)
 }
 
+/// The execution row budget implied by a query's solution modifiers:
+/// `Some(offset + limit)` when early termination is sound — evaluation may
+/// stop enumerating once that many rows exist, because the final answer is
+/// exactly the first `offset + limit` rows of the deterministic result
+/// order — and `None` when the full result set is required.
+///
+/// Guards, in order: aggregation (including a bare `HAVING`) consumes every
+/// input row, so no budget; `ASK` needs exactly one row; `DISTINCT` dedupes
+/// *before* the slice, so any cap on pre-dedup rows is unsound; `ORDER BY`
+/// must see the full bag (the bounded top-k sort covers that case after
+/// materialization instead); `OFFSET` without `LIMIT` is unbounded.
+pub fn row_budget(prepared: &Prepared) -> Option<usize> {
+    if prepared.aggregation.is_some() {
+        return None;
+    }
+    if prepared.query.ask {
+        return Some(1);
+    }
+    if prepared.query.distinct || !prepared.query.order_by.is_empty() {
+        return None;
+    }
+    prepared.query.limit.map(|l| l.saturating_add(prepared.query.offset.unwrap_or(0)))
+}
+
 /// Executes an already-optimized [`Prepared`] under `strategy`'s pruning
 /// mode and a [`Cancellation`] token (checked at BGP-evaluation
 /// boundaries). Does **not** re-run the optimizer — pair with
@@ -380,7 +404,7 @@ pub fn try_execute_prepared_profiled(
 
     let t1 = Instant::now();
     let ctx = EvalCtx::new(store.dictionary());
-    let (mut bag, exec_stats, op_profile) = exec::try_evaluate_profiled(
+    let (mut bag, mut exec_stats, op_profile) = exec::try_evaluate_profiled(
         &prepared.tree,
         store,
         engine,
@@ -391,6 +415,7 @@ pub fn try_execute_prepared_profiled(
         &ctx,
         profiler,
         Some(&prepared.vars),
+        row_budget(prepared),
     )?;
     if let Some(agg) = &prepared.aggregation {
         bag = apply_aggregation(&bag, agg, &ctx, prepared.vars.len());
@@ -402,7 +427,22 @@ pub fn try_execute_prepared_profiled(
     let ask = prepared.query.ask.then(|| !bag.is_empty());
 
     if !prepared.query.order_by.is_empty() {
-        sort_solutions(&mut bag, &prepared.query.order_by, &prepared.vars, &ctx);
+        // `ORDER BY ... LIMIT k` avoids the full sort via a bounded heap —
+        // but only under bag semantics: DISTINCT dedupes after ordering, so
+        // it must see every row.
+        let top_k = if prepared.query.distinct {
+            None
+        } else {
+            prepared.query.limit.map(|l| l.saturating_add(prepared.query.offset.unwrap_or(0)))
+        };
+        match top_k {
+            Some(k) => {
+                if top_k_solutions(&mut bag, &prepared.query.order_by, &prepared.vars, &ctx, k) {
+                    exec_stats.short_circuit = true;
+                }
+            }
+            None => sort_solutions(&mut bag, &prepared.query.order_by, &prepared.vars, &ctx),
+        }
     }
 
     let mut results = decode_projection_ctx(&bag, &prepared.projection, &ctx);
@@ -542,13 +582,17 @@ fn eval_aggregate(
     }
 }
 
+/// One term's decoded ORDER BY key: (type rank, numeric value, tie-break
+/// string) — see [`term_order_key`].
+type TermKey = (u8, f64, String);
+
 /// The ORDER BY / MIN / MAX sort key of a bound term, following the SPARQL
 /// operator-mapping order: blank nodes < IRIs < literals, with numeric
 /// literals compared by value (and ordered before non-numeric ones), and
 /// non-numeric literals compared by (lexical form, language tag, datatype).
 /// Equal-valued numerics of different lexical forms tie-break on the full
 /// term rendering so the order is total and deterministic.
-fn term_order_key(t: &Term) -> (u8, f64, String) {
+fn term_order_key(t: &Term) -> TermKey {
     match t {
         Term::Blank(_) => (1, 0.0, t.to_string()),
         Term::Iri(_) => (2, 0.0, t.to_string()),
@@ -563,7 +607,7 @@ fn term_order_key(t: &Term) -> (u8, f64, String) {
     }
 }
 
-fn cmp_keys(ka: &(u8, f64, String), kb: &(u8, f64, String)) -> std::cmp::Ordering {
+fn cmp_keys(ka: &TermKey, kb: &TermKey) -> std::cmp::Ordering {
     ka.0.cmp(&kb.0)
         .then_with(|| ka.1.partial_cmp(&kb.1).unwrap_or(std::cmp::Ordering::Equal))
         .then_with(|| ka.2.cmp(&kb.2))
@@ -573,31 +617,137 @@ fn cmp_terms(a: &Term, b: &Term) -> std::cmp::Ordering {
     cmp_keys(&term_order_key(a), &term_order_key(b))
 }
 
-/// Sorts a solution bag by ORDER BY keys. Unbound sorts first (SPARQL's
-/// ordering), then blank nodes, IRIs and literals per [`term_order_key`].
-/// Decoding goes through the [`EvalCtx`] so BIND/VALUES/aggregate outputs
-/// (synthetic ids) sort by their term value like everything else.
+/// The ORDER BY key of one binding: unbound sorts first (SPARQL's
+/// ordering), bound terms per [`term_order_key`]. Decoding goes through the
+/// [`EvalCtx`] so BIND/VALUES/aggregate outputs (synthetic ids) sort by
+/// their term value like everything else.
+fn decoded_order_key(id: Id, ctx: &EvalCtx) -> TermKey {
+    match ctx.decode(id) {
+        None => (0, 0.0, String::new()),
+        Some(t) => term_order_key(&t),
+    }
+}
+
+/// Compares two rows' precomputed ORDER BY key vectors, honoring each key's
+/// DESC flag, returning Equal for full ties.
+fn cmp_key_vecs(a: &[TermKey], b: &[TermKey], keys: &[(VarId, bool)]) -> std::cmp::Ordering {
+    for (i, &(_, desc)) in keys.iter().enumerate() {
+        let ord = cmp_keys(&a[i], &b[i]);
+        let ord = if desc { ord.reverse() } else { ord };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Sorts a solution bag by ORDER BY keys (see [`decoded_order_key`] for the
+/// key order). Each row's keys are decoded **once** up front (Schwartzian
+/// transform) — O(n) term decodes instead of O(n log n) — and the sort is
+/// stable, so ties keep engine order.
 fn sort_solutions(bag: &mut Bag, order_by: &[(String, bool)], vars: &VarTable, ctx: &EvalCtx) {
     let keys: Vec<(VarId, bool)> =
         order_by.iter().filter_map(|(name, desc)| vars.get(name).map(|v| (v, *desc))).collect();
-    let sort_key = |id: Id| -> (u8, f64, String) {
-        match ctx.decode(id) {
-            None => (0, 0.0, String::new()),
-            Some(t) => term_order_key(&t),
+    if keys.is_empty() {
+        return;
+    }
+    let mut decorated: Vec<(Vec<TermKey>, Box<[Id]>)> = std::mem::take(&mut bag.rows)
+        .into_iter()
+        .map(|row| {
+            let kv: Vec<_> =
+                keys.iter().map(|&(v, _)| decoded_order_key(row[v as usize], ctx)).collect();
+            (kv, row)
+        })
+        .collect();
+    decorated.sort_by(|a, b| cmp_key_vecs(&a.0, &b.0, &keys));
+    bag.rows = decorated.into_iter().map(|(_, row)| row).collect();
+}
+
+/// `ORDER BY ... LIMIT`: keeps only the `k` first rows of the sorted order
+/// using a bounded binary max-heap, instead of sorting the whole bag. The
+/// heap holds the best `k` rows seen so far keyed by (ORDER BY key vector,
+/// original row position) — the position tie-break reproduces exactly what
+/// the stable [`sort_solutions`] + truncate would keep, so the output rows
+/// are identical to sort-then-slice; an n-row bag costs O(n log k)
+/// comparisons and O(k) of the decoded keys stay live. Keys are decoded
+/// once per row, like [`sort_solutions`]. Returns `true` when rows beyond
+/// the budget were discarded (the full sort was actually avoided).
+fn top_k_solutions(
+    bag: &mut Bag,
+    order_by: &[(String, bool)],
+    vars: &VarTable,
+    ctx: &EvalCtx,
+    k: usize,
+) -> bool {
+    let keys: Vec<(VarId, bool)> =
+        order_by.iter().filter_map(|(name, desc)| vars.get(name).map(|v| (v, *desc))).collect();
+    if keys.is_empty() {
+        return false;
+    }
+    if bag.rows.len() <= k {
+        sort_solutions(bag, order_by, vars, ctx);
+        return false;
+    }
+    if k == 0 {
+        bag.rows.clear();
+        bag.certain = 0;
+        return true;
+    }
+    type Entry = (Vec<TermKey>, usize);
+    let less = |a: &Entry, b: &Entry, keys: &[(VarId, bool)]| -> bool {
+        match cmp_key_vecs(&a.0, &b.0, keys) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => a.1 < b.1,
         }
     };
-    bag.rows.sort_by(|a, b| {
-        for &(v, desc) in &keys {
-            let ka = sort_key(a[v as usize]);
-            let kb = sort_key(b[v as usize]);
-            let ord = cmp_keys(&ka, &kb);
-            let ord = if desc { ord.reverse() } else { ord };
-            if ord != std::cmp::Ordering::Equal {
-                return ord;
+    // Max-heap of the k best rows so far: the root is the *worst* kept row,
+    // and a new row enters iff it orders strictly before the root.
+    let mut heap: Vec<Entry> = Vec::with_capacity(k);
+    for (i, row) in bag.rows.iter().enumerate() {
+        let entry: Entry =
+            (keys.iter().map(|&(v, _)| decoded_order_key(row[v as usize], ctx)).collect(), i);
+        if heap.len() < k {
+            heap.push(entry);
+            let mut c = heap.len() - 1;
+            while c > 0 {
+                let p = (c - 1) / 2;
+                if less(&heap[p], &heap[c], &keys) {
+                    heap.swap(p, c);
+                    c = p;
+                } else {
+                    break;
+                }
+            }
+        } else if less(&entry, &heap[0], &keys) {
+            heap[0] = entry;
+            let mut p = 0;
+            loop {
+                let (l, r) = (2 * p + 1, 2 * p + 2);
+                let mut m = p;
+                if l < heap.len() && less(&heap[m], &heap[l], &keys) {
+                    m = l;
+                }
+                if r < heap.len() && less(&heap[m], &heap[r], &keys) {
+                    m = r;
+                }
+                if m == p {
+                    break;
+                }
+                heap.swap(p, m);
+                p = m;
             }
         }
-        std::cmp::Ordering::Equal
-    });
+    }
+    let mut winners = heap;
+    winners.sort_by(|a, b| cmp_key_vecs(&a.0, &b.0, &keys).then_with(|| a.1.cmp(&b.1)));
+    let mut old: Vec<Option<Box<[Id]>>> =
+        std::mem::take(&mut bag.rows).into_iter().map(Some).collect();
+    bag.rows = winners
+        .into_iter()
+        .map(|(_, i)| old[i].take().expect("heap keeps distinct rows"))
+        .collect();
+    true
 }
 
 /// Decodes the projection of a solution bag into terms.
@@ -1006,5 +1156,129 @@ mod tests {
         let r = run_query(&st, &wco, Q, Strategy::Base).unwrap();
         assert!(r.plan.contains("Union"));
         assert!(r.plan.contains("Optional"));
+    }
+
+    #[test]
+    fn row_budget_guards() {
+        let st = store();
+        let p = |q: &str| prepare(&st, q).unwrap();
+        let bgp = "{ ?x <http://name> ?n }";
+        assert_eq!(row_budget(&p(&format!("SELECT ?x WHERE {bgp} LIMIT 5"))), Some(5));
+        assert_eq!(row_budget(&p(&format!("SELECT ?x WHERE {bgp} LIMIT 5 OFFSET 3"))), Some(8));
+        assert_eq!(row_budget(&p(&format!("SELECT ?x WHERE {bgp}"))), None, "no LIMIT");
+        assert_eq!(row_budget(&p(&format!("SELECT ?x WHERE {bgp} OFFSET 3"))), None, "unbounded");
+        assert_eq!(row_budget(&p(&format!("SELECT DISTINCT ?n WHERE {bgp} LIMIT 5"))), None);
+        assert_eq!(row_budget(&p(&format!("SELECT ?x WHERE {bgp} ORDER BY ?n LIMIT 5"))), None);
+        assert_eq!(
+            row_budget(&p(&format!("SELECT (COUNT(*) AS ?c) WHERE {bgp} LIMIT 5"))),
+            None,
+            "aggregation consumes every row"
+        );
+        assert_eq!(row_budget(&p(&format!("ASK {bgp}"))), Some(1));
+    }
+
+    /// LIMIT/OFFSET without ORDER BY: the budgeted run must return exactly
+    /// the slice a full-materialize-then-slice run would, on both engines,
+    /// every strategy, several worker counts — while enumerating fewer
+    /// rows and reporting the short-circuit.
+    #[test]
+    fn limit_pushdown_matches_full_run() {
+        let st = store();
+        let base = "SELECT ?x ?n WHERE {
+            { ?x <http://name> ?n } UNION { ?x <http://label> ?n }
+        }";
+        for strategy in Strategy::ALL {
+            for threads in [1usize, 2, 4] {
+                let engines: [Box<dyn BgpEngine>; 2] = [
+                    Box::new(WcoEngine::with_threads(threads)),
+                    Box::new(BinaryJoinEngine::with_threads(threads)),
+                ];
+                for engine in &engines {
+                    let par = Parallelism::new(threads);
+                    let full = run_query_with(&st, engine.as_ref(), base, strategy, par).unwrap();
+                    assert_eq!(full.results.len(), 200);
+                    assert!(!full.exec_stats.short_circuit);
+                    for (lim, off) in [(0usize, 0usize), (1, 0), (7, 3), (500, 0)] {
+                        let q = format!("{base} LIMIT {lim} OFFSET {off}");
+                        let r = run_query_with(&st, engine.as_ref(), &q, strategy, par).unwrap();
+                        let want: Vec<_> =
+                            full.results.iter().skip(off).take(lim).cloned().collect();
+                        assert_eq!(
+                            r.results,
+                            want,
+                            "{} {strategy} threads={threads} LIMIT {lim} OFFSET {off}",
+                            engine.name()
+                        );
+                        if lim + off < full.results.len() {
+                            assert!(r.exec_stats.short_circuit, "budget hit must be reported");
+                            assert!(
+                                r.exec_stats.rows_enumerated < full.exec_stats.rows_enumerated,
+                                "{} {strategy} LIMIT {lim}: enumerated {} !< full {}",
+                                engine.name(),
+                                r.exec_stats.rows_enumerated,
+                                full.exec_stats.rows_enumerated
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// ORDER BY + LIMIT/OFFSET: the bounded top-k heap must reproduce
+    /// full-sort-then-slice exactly, including the stable tie-break on
+    /// equal keys.
+    #[test]
+    fn top_k_matches_sort_then_slice() {
+        let st = store();
+        let sorted = "SELECT ?x ?n WHERE {
+            { ?x <http://name> ?n } UNION { ?x <http://label> ?n }
+        } ORDER BY DESC(?n) ?x";
+        let tied = "SELECT ?x ?c WHERE { ?x <http://link> ?c } ORDER BY ?c";
+        for (base, rows) in [(sorted, 200usize), (tied, 5)] {
+            for threads in [1usize, 2] {
+                let engines: [Box<dyn BgpEngine>; 2] = [
+                    Box::new(WcoEngine::with_threads(threads)),
+                    Box::new(BinaryJoinEngine::with_threads(threads)),
+                ];
+                for engine in &engines {
+                    let par = Parallelism::new(threads);
+                    let full =
+                        run_query_with(&st, engine.as_ref(), base, Strategy::Full, par).unwrap();
+                    assert_eq!(full.results.len(), rows);
+                    for (lim, off) in [(0usize, 0usize), (1, 0), (2, 0), (3, 2), (7, 0), (500, 9)] {
+                        let q = format!("{base} LIMIT {lim} OFFSET {off}");
+                        let r =
+                            run_query_with(&st, engine.as_ref(), &q, Strategy::Full, par).unwrap();
+                        let want: Vec<_> =
+                            full.results.iter().skip(off).take(lim).cloned().collect();
+                        assert_eq!(
+                            r.results,
+                            want,
+                            "{} threads={threads} LIMIT {lim} OFFSET {off} over {base}",
+                            engine.name()
+                        );
+                        if lim + off < rows {
+                            assert!(
+                                r.exec_stats.short_circuit,
+                                "heap eviction must be reported: LIMIT {lim} OFFSET {off}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// DISTINCT + ORDER BY + LIMIT must keep the full sort-dedup-slice
+    /// semantics (the top-k heap is bag-only).
+    #[test]
+    fn distinct_order_by_limit_unaffected() {
+        let st = store();
+        let wco = WcoEngine::new();
+        let q = "SELECT DISTINCT ?c WHERE { ?x <http://link> ?c } ORDER BY ?c LIMIT 3";
+        let r = run_query(&st, &wco, q, Strategy::Base).unwrap();
+        assert_eq!(r.results.len(), 1, "all 5 link edges point at the same IRI");
+        assert!(!r.exec_stats.short_circuit, "DISTINCT disables the budget");
     }
 }

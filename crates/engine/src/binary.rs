@@ -76,25 +76,44 @@ pub fn scan_pattern_par(
     candidates: &CandidateSet,
     par: Parallelism,
 ) -> Bag {
+    scan_pattern_limited(store, pat, width, candidates, par, usize::MAX)
+}
+
+/// [`scan_pattern_par`] under a row budget: exactly the first `cap` rows
+/// (in index-range order) of the uncapped scan, at any worker count. Each
+/// chunk stops binding once it holds `cap` rows and the in-order
+/// concatenation is truncated ([`uo_par::concat_capped`]).
+pub fn scan_pattern_limited(
+    store: &Snapshot,
+    pat: &EncodedTriplePattern,
+    width: usize,
+    candidates: &CandidateSet,
+    par: Parallelism,
+    cap: usize,
+) -> Bag {
+    let mask = pat.var_mask();
+    if cap == 0 {
+        return Bag { width, maybe: mask, certain: 0, rows: Vec::new() };
+    }
     let empty: Box<[Id]> = vec![NO_ID; width].into_boxed_slice();
     let matches = store.match_pattern(pat.s.as_const(), pat.p.as_const(), pat.o.as_const());
     let par = if matches.len() < SCAN_PAR_THRESHOLD { Parallelism::sequential() } else { par };
     let kind = matches.kind;
-    let rows: Vec<Box<[Id]>> = uo_par::map_chunks(par, matches.rows(), |chunk| {
+    let pieces = uo_par::map_chunks(par, matches.rows(), |chunk| {
         let mut out: Vec<Box<[Id]>> = Vec::new();
         for &permuted in chunk {
             if let Some(row) = pat.bind(kind.to_spo(permuted), &empty) {
                 if candidates.admits_row(&row) {
                     out.push(row);
+                    if out.len() >= cap {
+                        break;
+                    }
                 }
             }
         }
         out
-    })
-    .into_iter()
-    .flatten()
-    .collect();
-    let mask = pat.var_mask();
+    });
+    let rows = uo_par::concat_capped(pieces, cap);
     Bag { width, maybe: mask, certain: if rows.is_empty() { 0 } else { mask }, rows }
 }
 
@@ -114,14 +133,40 @@ impl BgpEngine for BinaryJoinEngine {
         width: usize,
         candidates: &CandidateSet,
     ) -> Bag {
+        self.evaluate_limited(store, bgp, width, candidates, usize::MAX)
+    }
+
+    /// Early-terminating evaluation: the budget caps only the *final*
+    /// output-producing stage — the last join of a multi-pattern BGP, or
+    /// the scan itself for a single pattern. Intermediate relations are
+    /// materialized in full so the join order, build-side choices, and
+    /// therefore row order match the uncapped run exactly; the result is
+    /// the uncapped bag's first `limit` rows.
+    fn evaluate_limited(
+        &self,
+        store: &Snapshot,
+        bgp: &EncodedBgp,
+        width: usize,
+        candidates: &CandidateSet,
+        limit: usize,
+    ) -> Bag {
         if bgp.patterns.is_empty() {
-            return Bag::unit(width);
+            let mut unit = Bag::unit(width);
+            unit.truncate(limit);
+            return unit;
         }
         let par = Parallelism::new(self.threads);
         let order = Estimator::sketch(store, bgp).order();
+        let last = order.len() - 1;
         let mut acc: Option<Bag> = None;
-        for idx in order {
-            let rel = scan_pattern_par(store, &bgp.patterns[idx], width, candidates, par);
+        for (step, idx) in order.into_iter().enumerate() {
+            let cap = if step == last { limit } else { usize::MAX };
+            let rel = if step == 0 {
+                // The seed doubles as the output for single-pattern BGPs.
+                scan_pattern_limited(store, &bgp.patterns[idx], width, candidates, par, cap)
+            } else {
+                scan_pattern_par(store, &bgp.patterns[idx], width, candidates, par)
+            };
             acc = Some(match acc {
                 None => rel,
                 Some(prev) => {
@@ -131,7 +176,7 @@ impl BgpEngine for BinaryJoinEngine {
                         // needed to keep this branch simple and correct).
                         prev
                     } else {
-                        prev.join_par(&rel, par)
+                        prev.join_par_capped(&rel, par, cap)
                     }
                 }
             });

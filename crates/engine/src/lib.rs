@@ -30,7 +30,7 @@ pub mod estimate;
 pub mod pattern;
 pub mod wco;
 
-pub use binary::{scan_pattern, scan_pattern_par, BinaryJoinEngine};
+pub use binary::{scan_pattern, scan_pattern_limited, scan_pattern_par, BinaryJoinEngine};
 pub use estimate::Estimator;
 pub use pattern::{encode_bgp, CandidateSet, EncodedBgp, EncodedTriplePattern, Slot};
 pub use wco::WcoEngine;
@@ -59,6 +59,23 @@ pub trait BgpEngine: Send + Sync {
         width: usize,
         candidates: &CandidateSet,
     ) -> Bag;
+
+    /// [`evaluate`](Self::evaluate) under a row budget: returns exactly the
+    /// first `limit` rows (in enumeration order) of the bag `evaluate` would
+    /// produce. Engines override this to stop enumerating once the budget is
+    /// met; the default materializes everything and truncates.
+    fn evaluate_limited(
+        &self,
+        store: &Snapshot,
+        bgp: &EncodedBgp,
+        width: usize,
+        candidates: &CandidateSet,
+        limit: usize,
+    ) -> Bag {
+        let mut bag = self.evaluate(store, bgp, width, candidates);
+        bag.truncate(limit);
+        bag
+    }
 
     /// Estimated number of results of the BGP (Section 5.1.2's sampling
     /// scheme). Used both by the SPARQL-UO cost model and as the adaptive

@@ -75,30 +75,55 @@ impl BgpEngine for WcoEngine {
         width: usize,
         candidates: &CandidateSet,
     ) -> Bag {
+        self.evaluate_limited(store, bgp, width, candidates, usize::MAX)
+    }
+
+    /// Early-terminating evaluation: the budget caps only the *last*
+    /// extension level (or the seed scan of a single-pattern BGP); earlier
+    /// levels enumerate in full so the extension order is unchanged and the
+    /// result is the uncapped bag's first `limit` rows — bit-identical at
+    /// any worker count (per-chunk caps + in-order truncating concat).
+    fn evaluate_limited(
+        &self,
+        store: &Snapshot,
+        bgp: &EncodedBgp,
+        width: usize,
+        candidates: &CandidateSet,
+        limit: usize,
+    ) -> Bag {
         if bgp.patterns.is_empty() {
-            return Bag::unit(width);
+            let mut unit = Bag::unit(width);
+            unit.truncate(limit);
+            return unit;
+        }
+        let mask = bgp.var_mask();
+        if limit == 0 {
+            return Bag { width, maybe: mask, certain: 0, rows: Vec::new() };
         }
         let par = Parallelism::new(self.threads);
         let order = Estimator::sketch(store, bgp).order();
+        let last = order.len() - 1;
         // Seed: partition the first pattern's candidate range across workers
         // (the shared scan primitive; later levels partition the
         // partial-match vector instead).
         let seed = &bgp.patterns[order[0]];
+        let seed_cap = if last == 0 { limit } else { usize::MAX };
         let mut rows: Vec<Box<[Id]>> =
-            crate::binary::scan_pattern_par(store, seed, width, candidates, par).rows;
-        for idx in order.into_iter().skip(1) {
+            crate::binary::scan_pattern_limited(store, seed, width, candidates, par, seed_cap).rows;
+        for (level, idx) in order.into_iter().enumerate().skip(1) {
             if rows.is_empty() {
                 break;
             }
+            let cap = if level == last { limit } else { usize::MAX };
             // Each extension does a full index scan per row, so fan out even
             // for modest row counts — but not for trivial ones, where thread
             // spawns cost more than the scans.
             let level_par =
                 if rows.len() < WCO_PAR_THRESHOLD { Parallelism::sequential() } else { par };
             let pat = &bgp.patterns[idx];
-            rows = uo_par::map_chunks(level_par, &rows, |chunk| {
+            let pieces = uo_par::map_chunks(level_par, &rows, |chunk| {
                 let mut next: Vec<Box<[Id]>> = Vec::new();
-                for row in chunk {
+                'rows: for row in chunk {
                     let s = pat.s.resolve(row);
                     let p = pat.p.resolve(row);
                     let o = pat.o.resolve(row);
@@ -106,17 +131,17 @@ impl BgpEngine for WcoEngine {
                         if let Some(ext) = pat.bind(spo, row) {
                             if candidates.admits_row(&ext) {
                                 next.push(ext);
+                                if next.len() >= cap {
+                                    break 'rows;
+                                }
                             }
                         }
                     }
                 }
                 next
-            })
-            .into_iter()
-            .flatten()
-            .collect();
+            });
+            rows = uo_par::concat_capped(pieces, cap);
         }
-        let mask = bgp.var_mask();
         Bag { width, maybe: mask, certain: if rows.is_empty() { 0 } else { mask }, rows }
     }
 
@@ -253,6 +278,47 @@ mod tests {
         );
         let bag = WcoEngine::new().evaluate(&st, &bgp, vt.len(), &CandidateSet::none());
         assert_eq!(bag.len(), 1);
+    }
+
+    #[test]
+    fn evaluate_limited_is_exact_prefix_both_engines() {
+        let st = store();
+        let mut vt = VarTable::new();
+        // Multi-pattern (final level capped) and single-pattern (seed scan
+        // capped) shapes.
+        let multi = encode_bgp(
+            &[tp("?a", "http://child", "?b"), tp("?b", "http://child", "?c")],
+            &mut vt,
+            st.dictionary(),
+        );
+        let single = encode_bgp(&[tp("?c", "http://child", "?g")], &mut vt, st.dictionary());
+        for threads in [1usize, 2, 4] {
+            let engines: [Box<dyn BgpEngine>; 2] = [
+                Box::new(WcoEngine::with_threads(threads)),
+                Box::new(BinaryJoinEngine::with_threads(threads)),
+            ];
+            for engine in &engines {
+                for bgp in [&multi, &single] {
+                    let full = engine.evaluate(&st, bgp, vt.len(), &CandidateSet::none());
+                    assert!(full.len() > 10);
+                    for limit in [0usize, 1, 7, full.len(), full.len() + 5] {
+                        let capped = engine.evaluate_limited(
+                            &st,
+                            bgp,
+                            vt.len(),
+                            &CandidateSet::none(),
+                            limit,
+                        );
+                        assert_eq!(
+                            capped.rows.as_slice(),
+                            &full.rows[..limit.min(full.len())],
+                            "{} threads={threads} limit={limit}",
+                            engine.name()
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -336,6 +336,14 @@ pub struct QueryProfile {
     pub total_nanos: u64,
     /// Rows in the final result.
     pub rows: u64,
+    /// Total rows the BGP engines enumerated to answer the query — the sum
+    /// of every BGP node's output size. Under LIMIT pushdown this is
+    /// strictly below the full-materialization count, which is how EXPLAIN
+    /// ANALYZE proves work was skipped. Deterministic across worker counts.
+    pub rows_enumerated: u64,
+    /// Whether any budgeted operator stopped early (row budget filled, or
+    /// the bounded top-k sort discarded rows beyond `OFFSET + LIMIT`).
+    pub short_circuit: bool,
     /// The operator span tree, rooted at the plan's top group.
     pub root: Option<OpProfile>,
 }
@@ -364,6 +372,10 @@ impl QueryProfile {
         s.push_str(&self.total_nanos.to_string());
         s.push_str(", \"rows\": ");
         s.push_str(&self.rows.to_string());
+        s.push_str(", \"rows_enumerated\": ");
+        s.push_str(&self.rows_enumerated.to_string());
+        s.push_str(", \"short_circuit\": ");
+        s.push_str(if self.short_circuit { "true" } else { "false" });
         if let Some(root) = &self.root {
             s.push_str(", \"plan\": ");
             s.push_str(&root.to_json());
@@ -632,6 +644,8 @@ mod tests {
             execute_nanos: 333,
             total_nanos: 666,
             rows: 4,
+            rows_enumerated: 17,
+            short_circuit: true,
             root: Some(OpProfile {
                 op: "group",
                 detail: String::new(),
@@ -647,6 +661,8 @@ mod tests {
         let stripped = strip_timing_fields(&j);
         assert!(!stripped.contains("nanos"), "no timing left: {stripped}");
         assert!(stripped.contains("\"rows\": 4"));
+        assert!(stripped.contains("\"rows_enumerated\": 17"));
+        assert!(stripped.contains("\"short_circuit\": true"));
         // Stripping is idempotent and stable across differing timings.
         let mut p2 = p.clone();
         p2.execute_nanos = 999_999;

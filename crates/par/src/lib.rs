@@ -283,6 +283,32 @@ fn merge_diff_seq<T: Ord + Copy>(base: &[T], inserts: &[T], deletes: &[T]) -> Ve
     out
 }
 
+/// Concatenates per-chunk result pieces in order, stopping once `cap`
+/// elements have been taken.
+///
+/// This is the budgeted companion to [`map_chunks`]: when every chunk was
+/// itself capped at `cap`, taking the first `cap` elements of the in-order
+/// concatenation reproduces exactly the first `cap` elements a sequential
+/// left-to-right pass would have produced — any element at global position
+/// `< cap` sits at position `< cap` within its own chunk, so no chunk can
+/// have dropped it. Pass `usize::MAX` for an uncapped flatten.
+pub fn concat_capped<T>(pieces: Vec<Vec<T>>, cap: usize) -> Vec<T> {
+    let total: usize = pieces.iter().map(|p| p.len()).sum();
+    let mut out = Vec::with_capacity(total.min(cap));
+    for piece in pieces {
+        if out.len() >= cap {
+            break;
+        }
+        let take = (cap - out.len()).min(piece.len());
+        if take == piece.len() {
+            out.extend(piece);
+        } else {
+            out.extend(piece.into_iter().take(take));
+        }
+    }
+    out
+}
+
 /// Merges sorted runs into one sorted `Vec` by repeatedly picking the
 /// smallest head (runs are few — one per worker or one per storage tier —
 /// so a linear scan beats a heap). Stable across runs: when heads tie, the
@@ -473,6 +499,19 @@ mod tests {
         assert_eq!(merge_diff(par, &[5, 6], &[1, 9], &[]), vec![1, 5, 6, 9]);
         let empty: Vec<u32> = Vec::new();
         assert_eq!(merge_diff(par, &[], &[], &[1]), empty);
+    }
+
+    #[test]
+    fn concat_capped_takes_sequential_prefix() {
+        let pieces = vec![vec![1, 2, 3], vec![4, 5], vec![6, 7, 8, 9]];
+        let full: Vec<i32> = pieces.iter().flatten().copied().collect();
+        for cap in 0..=full.len() + 2 {
+            let got = concat_capped(pieces.clone(), cap);
+            let want: Vec<i32> = full.iter().take(cap).copied().collect();
+            assert_eq!(got, want, "cap={cap}");
+        }
+        assert_eq!(concat_capped(pieces, usize::MAX).len(), 9);
+        assert!(concat_capped(Vec::<Vec<u8>>::new(), 5).is_empty());
     }
 
     #[test]

@@ -964,6 +964,8 @@ fn handle_sparql(state: &ServerState, stream: &mut TcpStream, head: &http::Head)
             execute_nanos: report.wall_nanos,
             total_nanos,
             rows: rows as u64,
+            rows_enumerated: report.exec_stats.rows_enumerated,
+            short_circuit: report.exec_stats.short_circuit,
             root: report.op_profile,
         };
         body = attach_profile(body, &profile);
@@ -1324,6 +1326,8 @@ mod tests {
             execute_nanos: 3,
             total_nanos: 6,
             rows: 0,
+            rows_enumerated: 0,
+            short_circuit: false,
             root: None,
         };
         let body = uo_sparql::results_json(&["x".to_string()], &[]);

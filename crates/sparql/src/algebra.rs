@@ -170,6 +170,27 @@ impl Bag {
     /// [`JOIN_PAR_THRESHOLD`] rows run inline: per-row join work is too
     /// cheap to amortize thread spawns.
     pub fn join_par(&self, other: &Bag, par: uo_par::Parallelism) -> Bag {
+        self.join_par_capped(other, par, usize::MAX)
+    }
+
+    /// [`join_par`](Self::join_par) under a row budget: at most `cap` output
+    /// rows are produced, and they are exactly the first `cap` rows the
+    /// uncapped join would emit (`usize::MAX` = unlimited).
+    ///
+    /// The build/partition decisions are made from the *full* input sizes —
+    /// never from `cap` — so the capped output is a strict prefix of the
+    /// uncapped output at any worker count: each parallel chunk is capped at
+    /// the full budget and [`uo_par::concat_capped`] truncates the in-order
+    /// concatenation.
+    pub fn join_par_capped(&self, other: &Bag, par: uo_par::Parallelism, cap: usize) -> Bag {
+        if cap == 0 {
+            return Bag {
+                width: self.width,
+                maybe: self.maybe | other.maybe,
+                certain: 0,
+                rows: Vec::new(),
+            };
+        }
         let par = if self.rows.len().max(other.rows.len()) < JOIN_PAR_THRESHOLD {
             uo_par::Parallelism::sequential()
         } else {
@@ -184,28 +205,30 @@ impl Bag {
             // the left side is too small to fill the workers — over right
             // chunks per left row (concatenation keeps left-major order).
             if self.rows.len() >= other.rows.len() {
-                uo_par::map_chunks(par, &self.rows, |chunk| {
+                let pieces = uo_par::map_chunks(par, &self.rows, |chunk| {
                     let mut out = Vec::new();
-                    for a in chunk {
+                    'rows: for a in chunk {
                         for b in &other.rows {
                             out.push(merge_rows(a, b));
+                            if out.len() >= cap {
+                                break 'rows;
+                            }
                         }
                     }
                     out
-                })
-                .into_iter()
-                .flatten()
-                .collect()
+                });
+                uo_par::concat_capped(pieces, cap)
             } else {
                 let mut rows = Vec::new();
                 for a in &self.rows {
-                    rows.extend(
-                        uo_par::map_chunks(par, &other.rows, |chunk| {
-                            chunk.iter().map(|b| merge_rows(a, b)).collect::<Vec<_>>()
-                        })
-                        .into_iter()
-                        .flatten(),
-                    );
+                    let remaining = cap - rows.len();
+                    let pieces = uo_par::map_chunks(par, &other.rows, |chunk| {
+                        chunk.iter().take(remaining).map(|b| merge_rows(a, b)).collect::<Vec<_>>()
+                    });
+                    rows.extend(uo_par::concat_capped(pieces, remaining));
+                    if rows.len() >= cap {
+                        break;
+                    }
                 }
                 rows
             }
@@ -223,10 +246,10 @@ impl Bag {
                 let key: Vec<Id> = keys.iter().map(|&k| r[k]).collect();
                 table.entry(key).or_default().push(i);
             }
-            uo_par::map_chunks(par, probe, |chunk| {
+            let pieces = uo_par::map_chunks(par, probe, |chunk| {
                 let mut out = Vec::new();
                 let mut key = Vec::with_capacity(keys.len());
-                for p in chunk {
+                'rows: for p in chunk {
                     key.clear();
                     key.extend(keys.iter().map(|&k| p[k]));
                     if let Some(matches) = table.get(&key) {
@@ -237,48 +260,54 @@ impl Bag {
                             } else {
                                 out.push(merge_rows(p, b));
                             }
+                            if out.len() >= cap {
+                                break 'rows;
+                            }
                         }
                     }
                 }
                 out
-            })
-            .into_iter()
-            .flatten()
-            .collect()
+            });
+            uo_par::concat_capped(pieces, cap)
         } else {
             // General compatibility join; same larger-side partitioning as
             // the cartesian path.
             if self.rows.len() >= other.rows.len() {
-                uo_par::map_chunks(par, &self.rows, |chunk| {
+                let pieces = uo_par::map_chunks(par, &self.rows, |chunk| {
                     let mut out = Vec::new();
-                    for a in chunk {
+                    'rows: for a in chunk {
                         for b in &other.rows {
                             if compatible(a, b) {
                                 out.push(merge_rows(a, b));
+                                if out.len() >= cap {
+                                    break 'rows;
+                                }
                             }
                         }
                     }
                     out
-                })
-                .into_iter()
-                .flatten()
-                .collect()
+                });
+                uo_par::concat_capped(pieces, cap)
             } else {
                 let mut rows = Vec::new();
                 for a in &self.rows {
-                    rows.extend(
-                        uo_par::map_chunks(par, &other.rows, |chunk| {
-                            let mut out = Vec::new();
-                            for b in chunk {
-                                if compatible(a, b) {
-                                    out.push(merge_rows(a, b));
+                    let remaining = cap - rows.len();
+                    let pieces = uo_par::map_chunks(par, &other.rows, |chunk| {
+                        let mut out = Vec::new();
+                        for b in chunk {
+                            if compatible(a, b) {
+                                out.push(merge_rows(a, b));
+                                if out.len() >= remaining {
+                                    break;
                                 }
                             }
-                            out
-                        })
-                        .into_iter()
-                        .flatten(),
-                    );
+                        }
+                        out
+                    });
+                    rows.extend(uo_par::concat_capped(pieces, remaining));
+                    if rows.len() >= cap {
+                        break;
+                    }
                 }
                 rows
             }
@@ -294,6 +323,24 @@ impl Bag {
     /// Compatibility join `Ω1 ⋈ Ω2` (bag semantics).
     pub fn join(&self, other: &Bag) -> Bag {
         self.join_par(other, uo_par::Parallelism::sequential())
+    }
+
+    /// Sequential [`join`](Self::join) under a row budget — the first `cap`
+    /// rows of the uncapped join.
+    pub fn join_capped(&self, other: &Bag, cap: usize) -> Bag {
+        self.join_par_capped(other, uo_par::Parallelism::sequential(), cap)
+    }
+
+    /// Truncates the bag to its first `cap` rows (the multiset becomes the
+    /// sequence prefix; `maybe` may overstate bindings afterwards, which is
+    /// sound — it only widens the fallback join paths).
+    pub fn truncate(&mut self, cap: usize) {
+        if self.rows.len() > cap {
+            self.rows.truncate(cap);
+        }
+        if self.rows.is_empty() {
+            self.certain = 0;
+        }
     }
 
     /// Bag union `Ω1 ∪bag Ω2`.
@@ -355,6 +402,12 @@ impl Bag {
     /// of `other` *that shares at least one bound variable* (dom-disjoint
     /// pairs do not eliminate, unlike [`Bag::diff`]).
     pub fn minus(&self, other: &Bag) -> Bag {
+        self.minus_capped(other, usize::MAX)
+    }
+
+    /// [`minus`](Self::minus) under a row budget: the first `cap` surviving
+    /// rows, an exact prefix of the uncapped result.
+    pub fn minus_capped(&self, other: &Bag, cap: usize) -> Bag {
         let rows: Vec<Box<[Id]>> = self
             .rows
             .iter()
@@ -364,6 +417,7 @@ impl Bag {
                         && a.iter().zip(b.iter()).any(|(&x, &y)| x != NO_ID && y != NO_ID)
                 })
             })
+            .take(cap)
             .cloned()
             .collect();
         Bag {
@@ -376,19 +430,39 @@ impl Bag {
 
     /// Left outer join `Ω1 ⟕ Ω2 = (Ω1 ⋈ Ω2) ∪bag (Ω1 ∖ Ω2)`.
     pub fn left_join(&self, other: &Bag) -> Bag {
+        self.left_join_capped(other, usize::MAX)
+    }
+
+    /// [`left_join`](Self::left_join) under a row budget: the first `cap`
+    /// rows of the uncapped result. Because `⟕` emits at least one output
+    /// row per left row, feeding it a `cap`-row prefix of the left side and
+    /// capping the output at `cap` still reproduces the exact first `cap`
+    /// rows of the full computation.
+    pub fn left_join_capped(&self, other: &Bag, cap: usize) -> Bag {
         debug_assert_eq!(self.width, other.width);
+        if cap == 0 {
+            return Bag {
+                width: self.width,
+                maybe: self.maybe | other.maybe,
+                certain: 0,
+                rows: Vec::new(),
+            };
+        }
         let common = self.maybe & other.maybe;
         let can_hash =
             common != 0 && common & self.certain == common && common & other.certain == common;
         let mut rows = Vec::new();
         if other.rows.is_empty() {
-            rows = self.rows.clone();
+            rows = self.rows.iter().take(cap).cloned().collect();
         } else if common == 0 {
             // All pairs compatible: pure cartesian, no unmatched left rows
             // (other is non-empty here).
-            for a in &self.rows {
+            'cart: for a in &self.rows {
                 for b in &other.rows {
                     rows.push(merge_rows(a, b));
+                    if rows.len() >= cap {
+                        break 'cart;
+                    }
                 }
             }
         } else if can_hash {
@@ -398,29 +472,41 @@ impl Bag {
                 table.entry(keys.iter().map(|&k| r[k]).collect()).or_default().push(i);
             }
             let mut key = Vec::with_capacity(keys.len());
-            for a in &self.rows {
+            'hash: for a in &self.rows {
                 key.clear();
                 key.extend(keys.iter().map(|&k| a[k]));
                 match table.get(&key) {
                     Some(matches) if !matches.is_empty() => {
                         for &bi in matches {
                             rows.push(merge_rows(a, &other.rows[bi]));
+                            if rows.len() >= cap {
+                                break 'hash;
+                            }
                         }
                     }
                     _ => rows.push(a.clone()),
                 }
+                if rows.len() >= cap {
+                    break;
+                }
             }
         } else {
-            for a in &self.rows {
+            'fallback: for a in &self.rows {
                 let mut matched = false;
                 for b in &other.rows {
                     if compatible(a, b) {
                         rows.push(merge_rows(a, b));
                         matched = true;
+                        if rows.len() >= cap {
+                            break 'fallback;
+                        }
                     }
                 }
                 if !matched {
                     rows.push(a.clone());
+                    if rows.len() >= cap {
+                        break;
+                    }
                 }
             }
         }
@@ -669,6 +755,78 @@ mod tests {
                 assert_eq!(par.certain, seq.certain);
             }
         }
+    }
+
+    #[test]
+    fn capped_join_is_exact_prefix_on_all_paths() {
+        let n = (JOIN_PAR_THRESHOLD + 200) as Id;
+        let hash_l = Bag::from_rows(3, (0..n).map(|i| row(&[i % 97 + 1, i + 1, 0])).collect());
+        let hash_r = Bag::from_rows(3, (0..n).map(|i| row(&[i % 89 + 1, 0, i + 1])).collect());
+        let cart_l = Bag::from_rows(3, (1..=n).map(|i| row(&[i, 0, 0])).collect());
+        let cart_r = bag(3, &[&[0, 5, 0], &[0, 6, 0]]);
+        let fb_l = Bag::from_rows(3, (0..n).map(|i| row(&[i % 5, i + 1, 0])).collect());
+        let fb_r = bag(3, &[&[1, 0, 50], &[2, 0, 51], &[0, 0, 52]]);
+        for (a, b) in [
+            (&hash_l, &hash_r),
+            (&cart_l, &cart_r),
+            (&cart_r, &cart_l),
+            (&fb_l, &fb_r),
+            (&fb_r, &fb_l),
+        ] {
+            let full = a.join(b);
+            for cap in [0usize, 1, 7, 100, full.len(), full.len() + 10] {
+                let seq = a.join_capped(b, cap);
+                let want = &full.rows[..cap.min(full.len())];
+                assert_eq!(seq.rows.as_slice(), want, "sequential cap={cap}");
+                for threads in [2, 4, 8] {
+                    let par = a.join_par_capped(b, uo_par::Parallelism::new(threads), cap);
+                    assert_eq!(par.rows.as_slice(), want, "cap={cap} threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn capped_left_join_is_exact_prefix() {
+        // Mixed matched/unmatched left rows across hash and fallback paths.
+        let a = bag(2, &[&[1, 0], &[2, 0], &[3, 0], &[4, 0]]);
+        let b = bag(2, &[&[1, 10], &[1, 11], &[3, 30]]);
+        let fb_left = Bag::from_rows(2, vec![row(&[0, 7]), row(&[1, 8]), row(&[5, 9])]);
+        for (l, r) in [(&a, &b), (&fb_left, &b), (&a, &Bag::empty(2)), (&Bag::unit(2), &b)] {
+            let full = l.left_join(r);
+            for cap in 0..=full.len() + 1 {
+                let capped = l.left_join_capped(r, cap);
+                assert_eq!(capped.rows.as_slice(), &full.rows[..cap.min(full.len())], "cap={cap}");
+            }
+        }
+        // Prefix-left property: ⟕ over the first k left rows, capped at k,
+        // equals the first k rows of the full computation (≥1 row per left
+        // row, so a k-row left prefix always yields ≥ k output rows).
+        let full = a.left_join(&b);
+        for k in 1..=a.len() {
+            let prefix = Bag::from_rows(2, a.rows[..k].to_vec());
+            let capped = prefix.left_join_capped(&b, k);
+            assert_eq!(capped.rows.as_slice(), &full.rows[..k]);
+        }
+    }
+
+    #[test]
+    fn capped_minus_and_truncate_are_prefixes() {
+        let a = bag(2, &[&[1, 0], &[2, 0], &[3, 0], &[4, 0]]);
+        let rem = Bag::from_rows(2, vec![row(&[2, 0])]);
+        let full = a.minus(&rem);
+        assert_eq!(full.len(), 3);
+        for cap in 0..=4 {
+            let capped = a.minus_capped(&rem, cap);
+            assert_eq!(capped.rows.as_slice(), &full.rows[..cap.min(full.len())]);
+        }
+        let mut t = a.clone();
+        t.truncate(2);
+        assert_eq!(t.rows.as_slice(), &a.rows[..2]);
+        assert_eq!(t.certain, a.certain);
+        t.truncate(0);
+        assert!(t.is_empty());
+        assert_eq!(t.certain, 0);
     }
 
     #[test]

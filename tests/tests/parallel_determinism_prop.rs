@@ -203,6 +203,63 @@ proptest! {
         }
     }
 
+    /// Budgeted execution (LIMIT/OFFSET row budget, and ORDER BY + LIMIT's
+    /// bounded top-k sort) is bit-identical at 2, 4 and 8 workers, on both
+    /// engines, under every strategy — early termination must not perturb
+    /// the deterministic merge order, and `rows_enumerated` /
+    /// `short_circuit` must themselves be worker-count-invariant.
+    #[test]
+    fn parallel_budgeted_queries_are_bit_identical(
+        data_seed in 0u64..150,
+        lim in 0usize..10,
+        off in 0usize..4,
+        ordered in any::<bool>(),
+    ) {
+        let store = random_store(data_seed, 150);
+        let order = if ordered { "ORDER BY DESC(?z) ?x" } else { "" };
+        let q = format!(
+            "SELECT ?x ?z WHERE {{
+                ?x <http://p0> ?y .
+                {{ ?y <http://p1> ?z }} UNION {{ ?y <http://p2> ?z }}
+            }} {order} LIMIT {lim} OFFSET {off}"
+        );
+        for engine_name in ["wco", "binary"] {
+            for strategy in Strategy::ALL {
+                let seq: Box<dyn BgpEngine> = match engine_name {
+                    "wco" => Box::new(WcoEngine::sequential()),
+                    _ => Box::new(BinaryJoinEngine::sequential()),
+                };
+                let reference =
+                    run_query_with(&store, seq.as_ref(), &q, strategy, Parallelism::sequential())
+                        .unwrap();
+                for &threads in &THREAD_COUNTS {
+                    let par: Box<dyn BgpEngine> = match engine_name {
+                        "wco" => Box::new(WcoEngine::with_threads(threads)),
+                        _ => Box::new(BinaryJoinEngine::with_threads(threads)),
+                    };
+                    let got =
+                        run_query_with(&store, par.as_ref(), &q, strategy, Parallelism::new(threads))
+                            .unwrap();
+                    prop_assert_eq!(
+                        &got.results, &reference.results,
+                        "{} strategy {} at {} threads: budgeted results diverged\nquery:\n{}",
+                        engine_name, strategy, threads, &q
+                    );
+                    prop_assert_eq!(
+                        got.exec_stats.rows_enumerated, reference.exec_stats.rows_enumerated,
+                        "{} strategy {} at {} threads: rows_enumerated not deterministic",
+                        engine_name, strategy, threads
+                    );
+                    prop_assert_eq!(
+                        got.exec_stats.short_circuit, reference.exec_stats.short_circuit,
+                        "{} strategy {} at {} threads: short_circuit not deterministic",
+                        engine_name, strategy, threads
+                    );
+                }
+            }
+        }
+    }
+
     /// BIND, VALUES, expression FILTERs and aggregates are bit-identical —
     /// same bag rows *and* same decoded result rows — at 2, 4 and 8
     /// workers, on both engines, under every strategy. This pins the

@@ -686,6 +686,70 @@ proptest! {
         check_query(&random_aggregate(seed), seed)?;
     }
 
+    /// LIMIT/OFFSET — with and without ORDER BY — agree with naive
+    /// full-materialize-then-slice on both engines, under every strategy,
+    /// at 1/2/4 workers. This pins the early-termination row budget and
+    /// the bounded top-k sort to the semantics of the unbudgeted pipeline:
+    /// the sliced full run *is* the spec, the budgeted run must match it
+    /// byte for byte (without ORDER BY the slice is taken in the engine's
+    /// own deterministic order, which parallel determinism makes
+    /// well-defined).
+    #[test]
+    fn engines_match_naive_slicing_under_limit(seed in 0u64..100_000) {
+        let data = random_data(seed);
+        let store = store_from(&data);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x11_417);
+        let base = random_select(seed);
+        let order = match rng.gen_range(0..3) {
+            0 => "",
+            1 => "\nORDER BY ?x ?n",
+            _ => "\nORDER BY DESC(?n) ?x",
+        };
+        let lim = rng.gen_range(0usize..12);
+        let off = if rng.gen_bool(0.5) { rng.gen_range(0usize..6) } else { 0 };
+        let full_q = format!("{base}{order}");
+        let lim_q = format!("{base}{order}\nLIMIT {lim} OFFSET {off}");
+        for engine_name in ["wco", "binary"] {
+            for strategy in Strategy::ALL {
+                let mk = |threads: usize| -> Box<dyn BgpEngine> {
+                    match engine_name {
+                        "wco" => Box::new(WcoEngine::with_threads(threads)),
+                        _ => Box::new(BinaryJoinEngine::with_threads(threads)),
+                    }
+                };
+                let seq = mk(1);
+                let full = run_query_with(
+                    &store, seq.as_ref(), &full_q, strategy, Parallelism::sequential(),
+                ).expect("query must execute");
+                let want: Vec<_> =
+                    full.results.iter().skip(off).take(lim).cloned().collect();
+                for threads in [1usize, 2, 4] {
+                    let engine = mk(threads);
+                    let got = run_query_with(
+                        &store, engine.as_ref(), &lim_q, strategy, Parallelism::new(threads),
+                    ).expect("query must execute");
+                    prop_assert_eq!(
+                        &got.results,
+                        &want,
+                        "{} under {} at {} workers diverged from naive slice\nquery:\n{}",
+                        engine_name,
+                        strategy,
+                        threads,
+                        &lim_q
+                    );
+                    prop_assert!(
+                        got.exec_stats.rows_enumerated <= full.exec_stats.rows_enumerated,
+                        "budgeted run enumerated more rows ({} > {}) on {}\nquery:\n{}",
+                        got.exec_stats.rows_enumerated,
+                        full.exec_stats.rows_enumerated,
+                        engine_name,
+                        &lim_q
+                    );
+                }
+            }
+        }
+    }
+
     /// ASK queries agree with the reference's emptiness check.
     #[test]
     fn engines_match_reference_on_ask(seed in 0u64..100_000) {
