@@ -4,8 +4,8 @@
 //! ```text
 //! perf_suite [--out BENCH_PR2.json] [--update-out BENCH_UPDATE.json]
 //!            [--profile-out BENCH_PR8.json] [--topk-out BENCH_TOPK.json]
-//!            [--threads N] [--repeat K]
-//!            [--no-update] [--no-profile] [--no-topk]
+//!            [--trace-out BENCH_OBS_TRACE.json] [--threads N] [--repeat K]
+//!            [--no-update] [--no-profile] [--no-topk] [--no-trace]
 //! ```
 //!
 //! The query workload is fixed (LUBM + synthetic-DBpedia group-1 queries ×
@@ -125,6 +125,24 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("wrote {profile_out}");
+    }
+
+    if !args.iter().any(|a| a == "--no-trace") {
+        let trace_out = flag(&args, "--trace-out").unwrap_or("BENCH_OBS_TRACE.json").to_string();
+        eprintln!("perf_suite: tracing-on vs tracing-off overhead (sequential) ...");
+        let trace_report = perf::run_trace_overhead(repeats);
+        eprintln!(
+            "tracing: off {:.1} ms, on {:.1} ms ({:+.1}% across {} entries)",
+            trace_report.total_off_ms(),
+            trace_report.total_on_ms(),
+            trace_report.overhead_pct(),
+            trace_report.entries.len(),
+        );
+        if let Err(e) = std::fs::write(&trace_out, trace_report.to_json()) {
+            eprintln!("error: failed to write {trace_out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {trace_out}");
     }
 
     if !args.iter().any(|a| a == "--no-topk") {

@@ -1,0 +1,353 @@
+//! `prom_lint` — validates a Prometheus text-exposition (0.0.4) document
+//! with a minimal, independent parser.
+//!
+//! ```text
+//! prom_lint [file]        # reads the file, or stdin when absent
+//! ```
+//!
+//! CI scrapes the server's `/metrics` with `Accept: text/plain` and pipes
+//! the body through this binary, so the exposition the engine serves is
+//! checked by a parser that shares **no code** with the renderer
+//! (`uo_server::prom` / `uo_obs::prom`). Checks:
+//!
+//! - every line is a comment (`# HELP` / `# TYPE` with a known kind) or a
+//!   sample of the shape `name{labels} value`, with valid metric/label
+//!   names and a parseable finite value (`+Inf` allowed for `le`);
+//! - each family has at most one `# TYPE`, appearing before its samples;
+//! - histogram families expose `_bucket` (with `le`), `_sum`, and
+//!   `_count` series whose buckets are **monotone cumulative** per label
+//!   set, end in `le="+Inf"`, and agree with `_count`;
+//! - exits 0 and prints a one-line summary on success, 1 with the
+//!   offending line on the first violation.
+
+use std::collections::HashMap;
+use std::io::Read;
+use std::process::ExitCode;
+
+fn is_metric_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn is_label_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// One parsed sample line: metric name, sorted labels, value.
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+type Labels = Vec<(String, String)>;
+
+/// Parses `{k="v",...}`, returning the labels and the rest of the line.
+fn parse_labels(s: &str) -> Result<(Labels, &str), String> {
+    let mut labels = Vec::new();
+    let mut rest = s.strip_prefix('{').ok_or("expected '{'")?;
+    loop {
+        if let Some(tail) = rest.strip_prefix('}') {
+            return Ok((labels, tail));
+        }
+        let eq = rest.find('=').ok_or("label without '='")?;
+        let key = &rest[..eq];
+        if !is_label_name(key) {
+            return Err(format!("invalid label name '{key}'"));
+        }
+        rest = rest[eq + 1..].strip_prefix('"').ok_or("label value must be quoted")?;
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let after = loop {
+            let (i, ch) = chars.next().ok_or("unterminated label value")?;
+            match ch {
+                '"' => break i + 1,
+                '\\' => {
+                    let (_, esc) = chars.next().ok_or("dangling escape")?;
+                    match esc {
+                        '\\' => value.push('\\'),
+                        '"' => value.push('"'),
+                        'n' => value.push('\n'),
+                        other => return Err(format!("invalid escape '\\{other}'")),
+                    }
+                }
+                other => value.push(other),
+            }
+        };
+        labels.push((key.to_string(), value));
+        rest = &rest[after..];
+        rest = rest.strip_prefix(',').unwrap_or(rest);
+    }
+}
+
+fn parse_value(s: &str) -> Result<f64, String> {
+    match s {
+        "+Inf" | "Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Err("NaN sample value".into()),
+        _ => s.parse::<f64>().map_err(|_| format!("unparseable value '{s}'")),
+    }
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let name_end = line.find(['{', ' ']).ok_or("sample without value")?;
+    let name = &line[..name_end];
+    if !is_metric_name(name) {
+        return Err(format!("invalid metric name '{name}'"));
+    }
+    let (labels, rest) = if line[name_end..].starts_with('{') {
+        parse_labels(&line[name_end..])?
+    } else {
+        (Vec::new(), &line[name_end..])
+    };
+    let mut parts = rest.split_whitespace();
+    let value = parse_value(parts.next().ok_or("missing sample value")?)?;
+    if let Some(ts) = parts.next() {
+        // Optional trailing timestamp (milliseconds).
+        ts.parse::<i64>().map_err(|_| format!("unparseable timestamp '{ts}'"))?;
+    }
+    if parts.next().is_some() {
+        return Err("trailing garbage after sample".into());
+    }
+    let mut labels = labels;
+    labels.sort();
+    Ok(Sample { name: name.to_string(), labels, value })
+}
+
+/// The base family a sample belongs to: histogram series fold their
+/// `_bucket`/`_sum`/`_count` suffix back onto the family name.
+fn family_of<'a>(name: &'a str, histograms: &HashMap<String, String>) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if histograms.contains_key(base) {
+                return base;
+            }
+        }
+    }
+    name
+}
+
+fn lint(doc: &str) -> Result<(usize, usize), String> {
+    // family -> declared TYPE; histogram family -> () ; family -> samples.
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut families_seen: Vec<String> = Vec::new();
+    for (lineno, line) in doc.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let mut it = rest.splitn(2, ' ');
+                let fam = it.next().unwrap_or("");
+                let kind = it.next().unwrap_or("").trim();
+                if !is_metric_name(fam) {
+                    return Err(format!("line {n}: TYPE for invalid name '{fam}'"));
+                }
+                if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                    return Err(format!("line {n}: unknown TYPE kind '{kind}'"));
+                }
+                if types.insert(fam.to_string(), kind.to_string()).is_some() {
+                    return Err(format!("line {n}: duplicate TYPE for '{fam}'"));
+                }
+                families_seen.push(fam.to_string());
+            } else if let Some(rest) = comment.strip_prefix("HELP ") {
+                let fam = rest.split(' ').next().unwrap_or("");
+                if !is_metric_name(fam) {
+                    return Err(format!("line {n}: HELP for invalid name '{fam}'"));
+                }
+            }
+            // Other comments are ignored per the format.
+            continue;
+        }
+        let sample = parse_sample(line).map_err(|e| format!("line {n}: {e}: {line}"))?;
+        samples.push(sample);
+    }
+
+    let histograms: HashMap<String, String> = types
+        .iter()
+        .filter(|(_, k)| k.as_str() == "histogram")
+        .map(|(f, k)| (f.clone(), k.clone()))
+        .collect();
+
+    // Every sample must belong to a declared family (TYPE before use).
+    for s in &samples {
+        let fam = family_of(&s.name, &histograms);
+        if !types.contains_key(fam) {
+            return Err(format!("sample '{}' has no # TYPE", s.name));
+        }
+    }
+
+    // Histogram invariants, per family and label set (excluding `le`).
+    let mut checked = 0usize;
+    for fam in histograms.keys() {
+        // label-set-key -> (le, cumulative) in document order.
+        let mut buckets: HashMap<String, Vec<(f64, f64)>> = HashMap::new();
+        let mut counts: HashMap<String, f64> = HashMap::new();
+        let mut sums: HashMap<String, bool> = HashMap::new();
+        for s in &samples {
+            let key = |labels: &[(String, String)]| {
+                labels
+                    .iter()
+                    .filter(|(k, _)| k != "le")
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            if s.name == format!("{fam}_bucket") {
+                let le = s
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .ok_or_else(|| format!("{fam}_bucket sample without le"))?;
+                let bound = parse_value(&le.1)
+                    .map_err(|e| format!("{fam}_bucket: bad le '{}': {e}", le.1))?;
+                buckets.entry(key(&s.labels)).or_default().push((bound, s.value));
+            } else if s.name == format!("{fam}_count") {
+                counts.insert(key(&s.labels), s.value);
+            } else if s.name == format!("{fam}_sum") {
+                sums.insert(key(&s.labels), true);
+            }
+        }
+        for (set, series) in &buckets {
+            let mut prev_bound = f64::NEG_INFINITY;
+            let mut prev_cum = -1.0;
+            for (bound, cum) in series {
+                if *bound <= prev_bound {
+                    return Err(format!("{fam}{{{set}}}: le bounds not increasing"));
+                }
+                if *cum < prev_cum {
+                    return Err(format!("{fam}{{{set}}}: bucket counts not cumulative"));
+                }
+                prev_bound = *bound;
+                prev_cum = *cum;
+            }
+            let (last_bound, last_cum) = series.last().expect("bucket series cannot be empty here");
+            if !last_bound.is_infinite() {
+                return Err(format!("{fam}{{{set}}}: missing le=\"+Inf\" bucket"));
+            }
+            let count =
+                counts.get(set).ok_or_else(|| format!("{fam}{{{set}}}: buckets without _count"))?;
+            if (last_cum - count).abs() > 0.0 {
+                return Err(format!("{fam}{{{set}}}: +Inf bucket {last_cum} != _count {count}"));
+            }
+            if !sums.contains_key(set) {
+                return Err(format!("{fam}{{{set}}}: buckets without _sum"));
+            }
+            checked += 1;
+        }
+        if buckets.is_empty() {
+            return Err(format!("histogram '{fam}' declared but has no _bucket samples"));
+        }
+    }
+
+    Ok((samples.len(), checked))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let doc = match args.first() {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("prom_lint: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let mut doc = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut doc) {
+                eprintln!("prom_lint: stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+            doc
+        }
+    };
+    match lint(&doc) {
+        Ok((samples, histograms)) => {
+            eprintln!(
+                "prom_lint: ok — {samples} sample(s), {histograms} histogram series validated"
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("prom_lint: INVALID — {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_well_formed_document() {
+        let doc = "\
+# HELP uo_triples Triples in the snapshot.
+# TYPE uo_triples gauge
+uo_triples 42
+# HELP uo_queries_total Queries by outcome.
+# TYPE uo_queries_total counter
+uo_queries_total{outcome=\"ok\"} 3
+uo_queries_total{outcome=\"err\"} 0
+# HELP uo_lat_nanos Latency.
+# TYPE uo_lat_nanos histogram
+uo_lat_nanos_bucket{le=\"1\"} 1
+uo_lat_nanos_bucket{le=\"3\"} 4
+uo_lat_nanos_bucket{le=\"+Inf\"} 5
+uo_lat_nanos_sum 905
+uo_lat_nanos_count 5
+";
+        let (samples, hists) = lint(doc).unwrap();
+        assert_eq!(samples, 8);
+        assert_eq!(hists, 1);
+    }
+
+    #[test]
+    fn rejects_violations() {
+        // Sample without a TYPE.
+        assert!(lint("uo_x 1\n").is_err());
+        // Duplicate TYPE.
+        assert!(lint("# TYPE uo_x gauge\n# TYPE uo_x gauge\nuo_x 1\n").is_err());
+        // Non-cumulative buckets.
+        assert!(lint(
+            "# TYPE uo_h histogram\nuo_h_bucket{le=\"1\"} 5\nuo_h_bucket{le=\"2\"} 3\n\
+             uo_h_bucket{le=\"+Inf\"} 5\nuo_h_sum 1\nuo_h_count 5\n"
+        )
+        .is_err());
+        // Missing +Inf.
+        assert!(lint("# TYPE uo_h histogram\nuo_h_bucket{le=\"1\"} 1\nuo_h_sum 1\nuo_h_count 1\n")
+            .is_err());
+        // +Inf disagrees with _count.
+        assert!(lint(
+            "# TYPE uo_h histogram\nuo_h_bucket{le=\"+Inf\"} 4\nuo_h_sum 1\nuo_h_count 5\n"
+        )
+        .is_err());
+        // Unquoted label value.
+        assert!(lint("# TYPE uo_x gauge\nuo_x{a=b} 1\n").is_err());
+        // Bad value.
+        assert!(lint("# TYPE uo_x gauge\nuo_x one\n").is_err());
+    }
+
+    #[test]
+    fn histogram_label_sets_are_checked_independently() {
+        let doc = "\
+# TYPE uo_h histogram
+uo_h_bucket{type=\"a\",le=\"1\"} 1
+uo_h_bucket{type=\"a\",le=\"+Inf\"} 2
+uo_h_sum{type=\"a\"} 3
+uo_h_count{type=\"a\"} 2
+uo_h_bucket{type=\"b\",le=\"+Inf\"} 0
+uo_h_sum{type=\"b\"} 0
+uo_h_count{type=\"b\"} 0
+";
+        let (_, hists) = lint(doc).unwrap();
+        assert_eq!(hists, 2);
+    }
+}

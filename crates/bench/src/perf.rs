@@ -699,6 +699,203 @@ pub fn run_profile_overhead(repeats: usize) -> ProfileOverheadReport {
     }
 }
 
+/// One query's tracing-on vs tracing-off measurement (sequential, `full`
+/// strategy).
+#[derive(Debug, Clone)]
+pub struct TraceOverheadEntry {
+    /// Dataset label ("lubm" / "dbpedia").
+    pub dataset: String,
+    /// The paper's query id, e.g. "q1.3".
+    pub query: String,
+    /// Engine name ("wco" / "binary").
+    pub engine: String,
+    /// Best-of-`repeats` wall time with the span recorder disabled, ms.
+    pub wall_ms_off: f64,
+    /// Best-of-`repeats` wall time with the span recorder enabled, ms.
+    pub wall_ms_on: f64,
+    /// Result count (identical across both modes — gated).
+    pub results: usize,
+    /// Trace events recorded by the final traced run.
+    pub events: usize,
+}
+
+/// The `BENCH_OBS_TRACE.json` artifact: the structured-tracing overhead
+/// contract, measured. Every suite query executes through the same span
+/// sites the server's request path uses (a root request span plus phase
+/// children with annotations) with the recorder off and on; the artifact
+/// records both wall times so the trajectory shows what `--trace` costs.
+/// Timing is not gated (CI noise) — the determinism gate is that both
+/// modes return identical result counts and that the traced runs actually
+/// recorded events. The perf gate keeps gating the tracing-**off** times
+/// via `BENCH.json`, so the disabled path stays the contract.
+#[derive(Debug, Clone)]
+pub struct TraceOverheadReport {
+    /// Host parallelism when the suite ran.
+    pub host_threads: usize,
+    /// The `UO_SCALE` multiplier.
+    pub uo_scale: f64,
+    /// Repeats per measurement (wall times are the minimum).
+    pub repeats: usize,
+    /// All measurements.
+    pub entries: Vec<TraceOverheadEntry>,
+}
+
+impl TraceOverheadReport {
+    /// Total tracing-off wall time, ms.
+    pub fn total_off_ms(&self) -> f64 {
+        self.entries.iter().map(|e| e.wall_ms_off).sum()
+    }
+
+    /// Total tracing-on wall time, ms.
+    pub fn total_on_ms(&self) -> f64 {
+        self.entries.iter().map(|e| e.wall_ms_on).sum()
+    }
+
+    /// Suite-wide overhead of enabling the span recorder, in percent.
+    pub fn overhead_pct(&self) -> f64 {
+        let off = self.total_off_ms();
+        if off <= 0.0 {
+            return 0.0;
+        }
+        (self.total_on_ms() / off - 1.0) * 100.0
+    }
+
+    /// Serializes to the `BENCH_OBS_TRACE.json` layout (schema `uo-perf/1`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{}\",\n", SCHEMA));
+        out.push_str("  \"bench\": \"trace_overhead\",\n");
+        out.push_str("  \"pr\": 10,\n");
+        out.push_str(&format!("  \"host_threads\": {},\n", self.host_threads));
+        out.push_str(&format!("  \"uo_scale\": {},\n", json::num(self.uo_scale)));
+        out.push_str(&format!("  \"repeats\": {},\n", self.repeats));
+        out.push_str(&format!("  \"total_off_ms\": {},\n", json::num(self.total_off_ms())));
+        out.push_str(&format!("  \"total_on_ms\": {},\n", json::num(self.total_on_ms())));
+        out.push_str(&format!("  \"overhead_pct\": {},\n", json::num(self.overhead_pct())));
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"dataset\": \"{}\", \"query\": \"{}\", \"engine\": \"{}\", \
+                 \"wall_ms_off\": {}, \"wall_ms_on\": {}, \"results\": {}, \"events\": {}}}{}\n",
+                json::escape(&e.dataset),
+                json::escape(&e.query),
+                json::escape(&e.engine),
+                json::num(e.wall_ms_off),
+                json::num(e.wall_ms_on),
+                e.results,
+                e.events,
+                if i + 1 < self.entries.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// One execution through the request-path span sites: a root `request`
+/// span, an `execute` child, and an annotated end — the same shape (and
+/// therefore the same per-request recorder cost) as the server's
+/// `handle_sparql`. Returns the result count.
+fn execute_traced(
+    store: &TripleStore,
+    engine: &dyn BgpEngine,
+    prepared: &uo_core::Prepared,
+    tracer: &uo_obs::Tracer,
+) -> usize {
+    let root = tracer.start(0, "server", "request");
+    let exec = tracer.start(root.id, "query", "execute");
+    let report = execute_with_profiler(store, engine, prepared, uo_core::Profiler::off());
+    let rows = report.results.len();
+    tracer.end_with(exec, || vec![("rows", rows.to_string())]);
+    tracer.end_with(root, || vec![("rows", rows.to_string())]);
+    rows
+}
+
+/// Measures the span recorder's overhead: each suite query is prepared and
+/// optimized once (`full` strategy), then executed sequentially through
+/// the request-path span sites with the recorder off and on,
+/// best-of-`repeats` each.
+///
+/// # Panics
+/// Panics if the two modes disagree on the result count, or if a traced
+/// run recorded no events — the overhead numbers would be meaningless.
+pub fn run_trace_overhead(repeats: usize) -> TraceOverheadReport {
+    let repeats = repeats.max(1);
+    let datasets: Vec<(&str, Dataset, TripleStore)> = vec![
+        ("lubm", Dataset::Lubm, crate::lubm_group1()),
+        ("dbpedia", Dataset::Dbpedia, dbpedia_store()),
+    ];
+    let mut entries = Vec::new();
+    for (ds_name, dataset, store) in &datasets {
+        for q in group1(*dataset) {
+            for eng_name in ["wco", "binary"] {
+                let (engine, _) = engine_pair(eng_name, 1);
+                let mut prepared = uo_core::prepare(&store.snapshot(), q.text)
+                    .unwrap_or_else(|e| panic!("{} failed to parse: {e}", q.id));
+                uo_core::optimize_prepared(
+                    &store.snapshot(),
+                    engine.as_ref(),
+                    &mut prepared,
+                    Strategy::Full,
+                );
+                let mut wall_ms_off = f64::INFINITY;
+                let mut wall_ms_on = f64::INFINITY;
+                let mut results = None;
+                let mut events = 0;
+                for _ in 0..repeats {
+                    for on in [false, true] {
+                        let tracer = if on {
+                            uo_obs::Tracer::enabled(65_536)
+                        } else {
+                            uo_obs::Tracer::off()
+                        };
+                        let t0 = Instant::now();
+                        let rows = execute_traced(store, engine.as_ref(), &prepared, &tracer);
+                        let ms = t0.elapsed().as_nanos() as f64 / 1e6;
+                        if on {
+                            wall_ms_on = wall_ms_on.min(ms);
+                            events = tracer.event_count();
+                            assert!(
+                                events > 0,
+                                "{}/{}: traced run recorded no events",
+                                q.id,
+                                eng_name
+                            );
+                        } else {
+                            wall_ms_off = wall_ms_off.min(ms);
+                            assert_eq!(tracer.event_count(), 0, "off-path must not record");
+                        }
+                        match results {
+                            Some(n) => assert_eq!(
+                                n, rows,
+                                "{}/{}: tracing changed the result count",
+                                q.id, eng_name
+                            ),
+                            None => results = Some(rows),
+                        }
+                    }
+                }
+                entries.push(TraceOverheadEntry {
+                    dataset: ds_name.to_string(),
+                    query: q.id.to_string(),
+                    engine: eng_name.to_string(),
+                    wall_ms_off,
+                    wall_ms_on,
+                    results: results.expect("at least one repeat ran"),
+                    events,
+                });
+            }
+        }
+    }
+    TraceOverheadReport {
+        host_threads: uo_par::default_threads(),
+        uo_scale: scale(),
+        repeats,
+        entries,
+    }
+}
+
 /// Deterministic outcome of the durable re-run + recovery of the mixed
 /// scenario (gated: recovery must be replay-exact and take the merge
 /// path).

@@ -10,12 +10,15 @@
 //! sparql-uo explain <data.{nt,ttl,uost}> (--query <file> | --text <sparql>)
 //!                  [--analyze] [--json] [--strategy …] [--engine wco|binary]
 //!                  [--threads N]
+//! sparql-uo trace  <data.{nt,ttl,uost}> (--query <file> | --text <sparql>)
+//!                  [--out <trace.json>] [--strategy …] [--engine wco|binary]
+//!                  [--threads N]
 //! sparql-uo serve  <data.{nt,ttl,uost}> [--port N] [--threads K]
 //!                  [--engine wco|binary] [--strategy base|tt|cp|full]
 //!                  [--engine-threads N] [--cache N] [--max-inflight N]
 //!                  [--timeout-ms N] [--host ADDR] [--writable] [--fan-in N]
 //!                  [--data-dir DIR] [--fsync always|never|N]
-//!                  [--page-cache-mb N]
+//!                  [--page-cache-mb N] [--trace] [--trace-buffer N]
 //! sparql-uo recover <data-dir> [--out <store.uost>] [--page-cache-mb N]
 //! sparql-uo compact <data-dir> [--page-cache-mb N]
 //! sparql-uo gen    lubm|dbpedia [--scale N] --out <file.nt>
@@ -28,6 +31,15 @@
 //! the same machine-readable profile document the server attaches under
 //! `?profile=1` (see `docs/OBSERVABILITY.md`); a bare `explain` prints the
 //! optimized plan without executing it.
+//!
+//! `trace` runs one query with the structured span recorder on and emits
+//! the resulting **Chrome trace-event JSON** (loadable in Perfetto or
+//! `chrome://tracing`): one span per phase — parse, optimize, execute,
+//! serialize — under a root `query` span, each annotated with its key
+//! numbers. `serve --trace` arms the same recorder server-wide (connection
+//! lifecycle, commit pipeline, WAL appends/fsyncs, background maintenance,
+//! recovery); the live buffer is exported at `GET /stats/trace` and capped
+//! at `--trace-buffer` events (see `docs/OBSERVABILITY.md`).
 //!
 //! `serve --writable --data-dir DIR` turns on **durability**: every
 //! acknowledged update is journaled (write-ahead log, fsynced per
@@ -81,6 +93,9 @@ const USAGE: &str = "usage:
                    [--engine wco|binary] [--threads N]
   sparql-uo update <data.{nt,ttl,uost}> (--query <file> | --text <update>)
                    [--out <store.uost>] [--threads N]
+  sparql-uo trace  <data.{nt,ttl,uost}> (--query <file> | --text <sparql>)
+                   [--out <trace.json>] [--strategy base|tt|cp|full]
+                   [--engine wco|binary] [--threads N]
   sparql-uo serve  <data.{nt,ttl,uost}> [--port N] [--threads K] [--writable]
                    [--engine wco|binary] [--strategy base|tt|cp|full]
                    [--engine-threads N] [--cache N] [--max-inflight N]
@@ -88,6 +103,7 @@ const USAGE: &str = "usage:
                    [--slow-query-ms N] [--data-dir DIR]
                    [--fsync always|never|N] [--checkpoint-every N]
                    [--checkpoint-interval-ms N] [--page-cache-mb N]
+                   [--trace] [--trace-buffer N]
   sparql-uo recover <data-dir> [--out <store.uost>] [--threads N]
                    [--page-cache-mb N]
   sparql-uo compact <data-dir> [--fsync always|never|N] [--threads N]
@@ -101,6 +117,11 @@ const USAGE: &str = "usage:
   explain prints the optimized plan without executing.
   serve --slow-query-ms N logs queries at or over N ms to stderr and to the
   ring served at GET /stats/slow (off by default).
+  trace runs one query with the span recorder on and writes Chrome
+  trace-event JSON (--out FILE, else stdout) for chrome://tracing/Perfetto;
+  serve --trace records spans server-wide (connections, commits, WAL
+  fsyncs, maintenance, recovery), served at GET /stats/trace and bounded
+  by --trace-buffer events (default 65536, oldest dropped).
   update applies INSERT DATA / DELETE DATA / DELETE WHERE and prints the
   commit report; --out persists the resulting snapshot (format v2, epoch).
   serve --writable additionally accepts POST /update on the endpoint;
@@ -139,6 +160,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("query") => cmd_query(&args[1..], par),
         Some("explain") => cmd_explain(&args[1..], par),
         Some("update") => cmd_update(&args[1..], par),
+        Some("trace") => cmd_trace(&args[1..], par),
         Some("serve") => cmd_serve(&args[1..], par),
         Some("recover") => cmd_recover(&args[1..], par),
         Some("compact") => cmd_compact(&args[1..], par),
@@ -467,6 +489,90 @@ fn cmd_update(args: &[String], par: Parallelism) -> Result<(), String> {
     Ok(())
 }
 
+/// `sparql-uo trace`: execute one query with the structured span recorder
+/// on and emit the Chrome trace-event JSON document (`--out FILE`, else
+/// stdout). The trace carries one span per phase — parse, optimize,
+/// execute, serialize — under a root `query` span, each annotated with
+/// its headline numbers; load it in Perfetto or `chrome://tracing`.
+fn cmd_trace(args: &[String], par: Parallelism) -> Result<(), String> {
+    let input = args.first().ok_or("trace: missing data file")?;
+    let text = match (flag_value(args, "--query"), flag_value(args, "--text")) {
+        (Some(f), _) => std::fs::read_to_string(f).map_err(|e| e.to_string())?,
+        (None, Some(t)) => t.to_string(),
+        (None, None) => return Err("trace: need --query <file> or --text <sparql>".into()),
+    };
+    let strategy = parse_strategy(args)?;
+    let engine: Box<dyn BgpEngine> = match flag_value(args, "--engine").unwrap_or("wco") {
+        "wco" => Box::new(WcoEngine::with_threads(par.threads())),
+        "binary" => Box::new(BinaryJoinEngine::with_threads(par.threads())),
+        other => return Err(format!("unknown engine '{other}' (trace supports wco|binary)")),
+    };
+    let store = load_store(input, par)?;
+    let tracer = uo_obs::Tracer::enabled(65_536);
+
+    let root = tracer.start(0, "query", "query");
+    let t_parse = Instant::now();
+    let parsed = uo_sparql::parse(&text).map_err(|e| e.to_string())?;
+    tracer.record(
+        root.id,
+        "query",
+        "parse",
+        t_parse,
+        t_parse.elapsed().as_nanos() as u64,
+        Vec::new,
+    );
+    let qtype = uo_core::query_type(&parsed.body);
+    let mut prepared = uo_core::prepare_parsed(&store, parsed);
+    let opt_span = tracer.start(root.id, "query", "optimize");
+    let (transforms, _) =
+        uo_core::optimize_prepared(&store, engine.as_ref(), &mut prepared, strategy);
+    tracer.end_with(opt_span, || {
+        vec![("merges", transforms.merges.to_string()), ("injects", transforms.injects.to_string())]
+    });
+    let exec_span = tracer.start(root.id, "query", "execute");
+    let report = uo_core::try_execute_prepared_profiled(
+        &store,
+        engine.as_ref(),
+        &prepared,
+        strategy,
+        par,
+        &uo_core::Cancellation::none(),
+        uo_core::Profiler::off(),
+    )
+    .expect("execution without a cancellation token cannot be cancelled");
+    tracer.end_with(exec_span, || {
+        vec![
+            ("rows", report.results.len().to_string()),
+            ("rows_enumerated", report.exec_stats.rows_enumerated.to_string()),
+        ]
+    });
+    let ser_span = tracer.start(root.id, "query", "serialize");
+    let body = match report.ask {
+        Some(verdict) => uo_sparql::ask_json(verdict),
+        None => uo_sparql::results_json(&prepared.query.projection(), &report.results),
+    };
+    tracer.end_with(ser_span, || vec![("bytes", body.len().to_string())]);
+    tracer.end_with(root, || {
+        vec![("type", qtype.to_string()), ("rows", report.results.len().to_string())]
+    });
+
+    eprintln!(
+        "{qtype} query: {} row(s); trace holds {} event(s) ({} dropped)",
+        report.results.len(),
+        tracer.event_count(),
+        tracer.dropped(),
+    );
+    let doc = tracer.to_chrome_json();
+    match flag_value(args, "--out") {
+        Some(out) => {
+            std::fs::write(out, doc).map_err(|e| e.to_string())?;
+            eprintln!("trace written to {out}");
+        }
+        None => println!("{doc}"),
+    }
+    Ok(())
+}
+
 /// Parses the durable-store knobs shared by `serve`, `recover`, `compact`.
 fn parse_durable_options(args: &[String]) -> Result<uo_store::DurableOptions, String> {
     let mut opts = uo_store::DurableOptions::default();
@@ -509,12 +615,13 @@ fn require_durable_dir(dir: &str) -> Result<(), String> {
 fn open_data_dir(
     dir: &str,
     opts: uo_store::DurableOptions,
+    tracer: uo_obs::Tracer,
     par: Parallelism,
 ) -> Result<uo_store::DurableStore, String> {
     let t0 = Instant::now();
     let engine = WcoEngine::with_threads(par.threads());
-    let ds =
-        uo_core::open_durable(Path::new(dir), opts, &engine, par).map_err(|e| e.to_string())?;
+    let ds = uo_core::open_durable_traced(Path::new(dir), opts, tracer, &engine, par)
+        .map_err(|e| e.to_string())?;
     let r = ds.recovery();
     let snap = ds.snapshot();
     eprintln!(
@@ -555,6 +662,15 @@ fn cmd_serve(args: &[String], par: Parallelism) -> Result<(), String> {
         "binary" => uo_server::EngineChoice::Binary,
         other => return Err(format!("unknown engine '{other}' (serve supports wco|binary)")),
     };
+    let tracer = if has_flag(args, "--trace") {
+        let buffer = num("--trace-buffer", 65_536)?;
+        uo_obs::Tracer::enabled(buffer.max(16))
+    } else {
+        if flag_value(args, "--trace-buffer").is_some() {
+            return Err("--trace-buffer requires --trace (nothing is recorded)".into());
+        }
+        uo_obs::Tracer::off()
+    };
     let cfg = uo_server::ServerConfig {
         host: flag_value(args, "--host").unwrap_or("127.0.0.1").to_string(),
         threads: par.threads(),
@@ -577,12 +693,13 @@ fn cmd_serve(args: &[String], par: Parallelism) -> Result<(), String> {
             "--checkpoint-interval-ms",
             defaults.checkpoint_interval_ms as usize,
         )? as u64,
+        tracer: tracer.clone(),
         ..defaults
     };
 
     let handle = match flag_value(args, "--data-dir") {
         Some(dir) => {
-            let mut ds = open_data_dir(dir, parse_durable_options(args)?, par)?;
+            let mut ds = open_data_dir(dir, parse_durable_options(args)?, tracer, par)?;
             if ds.is_fresh() {
                 let store = load_store(input, par)?;
                 if !store.is_empty() {
@@ -621,15 +738,17 @@ fn cmd_serve(args: &[String], par: Parallelism) -> Result<(), String> {
     };
     eprintln!(
         "serving SPARQL on http://{} ({} workers, plan cache {}, max in-flight {}, \
-         timeout {} ms{})\nendpoints: GET/POST /sparql{}, GET /metrics, GET /stats/plans, \
-         GET /stats/slow, GET /healthz — ctrl-c to stop",
+         timeout {} ms{}{})\nendpoints: GET/POST /sparql{}, GET /metrics (JSON or \
+         Prometheus), GET /stats/plans, GET /stats/slow{}, GET /healthz — ctrl-c to stop",
         handle.addr(),
         cfg.threads,
         cfg.cache_capacity,
         cfg.max_inflight,
         cfg.default_timeout_ms,
         if cfg.writable { ", writable" } else { "" },
+        if cfg.tracer.is_on() { ", tracing" } else { "" },
         if cfg.writable { ", POST /update" } else { "" },
+        if cfg.tracer.is_on() { ", GET /stats/trace" } else { "" },
     );
     // Serve until the process is killed; the handle joins worker threads on
     // drop, which never happens here — parking keeps the main thread alive.
@@ -643,7 +762,7 @@ fn cmd_serve(args: &[String], par: Parallelism) -> Result<(), String> {
 fn cmd_recover(args: &[String], par: Parallelism) -> Result<(), String> {
     let dir = args.first().ok_or("recover: missing <data-dir>")?;
     require_durable_dir(dir)?;
-    let ds = open_data_dir(dir, parse_durable_options(args)?, par)?;
+    let ds = open_data_dir(dir, parse_durable_options(args)?, uo_obs::Tracer::off(), par)?;
     let w = ds.wal_stats();
     eprintln!(
         "wal: {} segment(s), {} byte(s), {} record(s), synced epoch {}",
@@ -663,7 +782,7 @@ fn cmd_recover(args: &[String], par: Parallelism) -> Result<(), String> {
 fn cmd_compact(args: &[String], par: Parallelism) -> Result<(), String> {
     let dir = args.first().ok_or("compact: missing <data-dir>")?;
     require_durable_dir(dir)?;
-    let mut ds = open_data_dir(dir, parse_durable_options(args)?, par)?;
+    let mut ds = open_data_dir(dir, parse_durable_options(args)?, uo_obs::Tracer::off(), par)?;
     let levels_before = ds.snapshot().level_count();
     ds.compact(par).map_err(|e| e.to_string())?;
     let before = ds.wal_stats();
@@ -888,6 +1007,39 @@ mod tests {
         // Missing query text and unsupported engines error out.
         assert!(run(&s(&["explain", nt])).is_err());
         assert!(run(&s(&["explain", nt, "--text", q, "--engine", "lbr"])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_verb_emits_chrome_trace_json() {
+        let dir = std::env::temp_dir().join(format!("uo_cli_trace_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let nt = dir.join("mini.nt");
+        std::fs::write(
+            &nt,
+            "<http://e/a> <http://p/link> <http://e/b> .\n<http://e/a> <http://p/name> \"A\" .\n",
+        )
+        .unwrap();
+        let out = dir.join("trace.json");
+        run(&s(&[
+            "trace",
+            nt.to_str().unwrap(),
+            "--text",
+            "SELECT ?x WHERE { ?x <http://p/link> ?y }",
+            "--out",
+            out.to_str().unwrap(),
+            "--threads",
+            "1",
+        ]))
+        .unwrap();
+        let doc = std::fs::read_to_string(&out).unwrap();
+        assert!(doc.contains("\"uo-trace/1\""), "schema marker present");
+        for phase in ["\"parse\"", "\"optimize\"", "\"execute\"", "\"serialize\"", "\"query\""] {
+            assert!(doc.contains(phase), "trace must contain a {phase} span");
+        }
+        // Missing query text and the dead --trace-buffer flag error out.
+        assert!(run(&s(&["trace", nt.to_str().unwrap()])).is_err());
+        assert!(run(&s(&["serve", "x.nt", "--trace-buffer", "64"])).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -85,6 +85,20 @@ pub fn open_durable(
     DurableStore::open(dir, opts, replay_update(engine, par))
 }
 
+/// [`open_durable`] with a span recorder: recovery (checkpoint load + WAL
+/// replay) is traced under a `recovery`/`open` root span, and the tracer
+/// stays installed for the store's commit pipeline. See
+/// [`DurableStore::open_traced`].
+pub fn open_durable_traced(
+    dir: &Path,
+    opts: DurableOptions,
+    tracer: uo_obs::Tracer,
+    engine: &dyn BgpEngine,
+    par: Parallelism,
+) -> Result<DurableStore, DurableError> {
+    DurableStore::open_traced(dir, opts, tracer, replay_update(engine, par))
+}
+
 /// Applies `request` durably: run + commit in memory, journal the
 /// canonical serialization stamped with the post-commit epoch, fsync per
 /// the store's policy, and return the report for the caller to publish.

@@ -61,7 +61,8 @@ pub use betree::{explain, BeNode, BeTree, BgpNode, EvalCtx, ExprError, GroupNode
 pub use binarytree::{evaluate_binary_tree, evaluate_binary_tree_ctx, BinaryTreeStats};
 pub use cost::CostModel;
 pub use durable::{
-    open_durable, replay_update, run_update_durable, try_run_update_durable, DurableUpdateError,
+    open_durable, open_durable_traced, replay_update, run_update_durable, try_run_update_durable,
+    DurableUpdateError,
 };
 pub use exec::{
     evaluate, evaluate_with, try_evaluate_profiled, try_evaluate_with, try_evaluate_with_ctx,

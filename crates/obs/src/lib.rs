@@ -23,9 +23,20 @@
 //!
 //! [`RequestIds`] mints the per-request ids (`X-UO-Request-Id`) that tie
 //! a response, its slow-log entry, and its stderr record together.
+//!
+//! Two sibling modules extend the same contract beyond single queries:
+//! [`trace`] is the system-wide span recorder (connection lifecycle,
+//! commit pipeline, WAL, background maintenance) with a Chrome
+//! trace-event exporter, and [`prom`] renders counters and these
+//! histograms as Prometheus text exposition (0.0.4).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod prom;
+pub mod trace;
+
+pub use trace::{strip_trace_timing, Tracer};
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -467,6 +478,12 @@ pub struct SlowEntry {
     pub query_type: String,
     /// Engine label.
     pub engine: String,
+    /// Snapshot epoch the query answered from — correlates a slow query
+    /// with the commit history (did it run just after a big commit?).
+    pub epoch: u64,
+    /// Plan-cache outcome — distinguishes "slow because it planned from
+    /// scratch" (miss/stale) from "slow on a warm plan" (hit).
+    pub cache: CacheOutcome,
     /// The (possibly truncated) canonical query text.
     pub query: String,
 }
@@ -476,7 +493,8 @@ impl SlowEntry {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"id\": \"{}\", \"unix_ms\": {}, \"wall_nanos\": {}, \"wall_ms\": {}, \
-             \"rows\": {}, \"query_type\": \"{}\", \"engine\": \"{}\", \"query\": \"{}\"}}",
+             \"rows\": {}, \"query_type\": \"{}\", \"engine\": \"{}\", \"epoch\": {}, \
+             \"cache\": \"{}\", \"query\": \"{}\"}}",
             uo_json::escape(&self.id),
             self.unix_ms,
             self.wall_nanos,
@@ -484,20 +502,26 @@ impl SlowEntry {
             self.rows,
             uo_json::escape(&self.query_type),
             uo_json::escape(&self.engine),
+            self.epoch,
+            self.cache.label(),
             uo_json::escape(&self.query),
         )
     }
 
     /// The single-line structured stderr record:
-    /// `slow-query id=… wall_ms=… rows=… type=… engine=… query="…"`.
+    /// `slow-query id=… wall_ms=… rows=… type=… engine=… epoch=… cache=…
+    /// query="…"`.
     pub fn stderr_line(&self) -> String {
         format!(
-            "slow-query id={} wall_ms={:.3} rows={} type={} engine={} query=\"{}\"",
+            "slow-query id={} wall_ms={:.3} rows={} type={} engine={} epoch={} cache={} \
+             query=\"{}\"",
             self.id,
             self.wall_nanos as f64 / 1e6,
             self.rows,
             self.query_type,
             self.engine,
+            self.epoch,
+            self.cache.label(),
             self.query.replace('\n', " ").replace('"', "'"),
         )
     }
@@ -682,6 +706,8 @@ mod tests {
                 rows: i,
                 query_type: "BGP".into(),
                 engine: "wco".into(),
+                epoch: 7,
+                cache: CacheOutcome::Stale,
                 query: "SELECT * WHERE { ?s ?p ?o }".into(),
             });
         }
@@ -690,6 +716,9 @@ mod tests {
         assert_eq!(entries[0].id, "id-1");
         assert_eq!(entries[1].id, "id-2");
         assert_eq!(log.total(), 3);
+        assert!(entries[0].to_json().contains("\"epoch\": 7"));
+        assert!(entries[0].to_json().contains("\"cache\": \"stale\""));
+        assert!(entries[0].stderr_line().contains("epoch=7 cache=stale"));
         assert!(uo_json::parse(&log.to_json()).is_ok());
     }
 

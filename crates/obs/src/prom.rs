@@ -1,0 +1,217 @@
+//! Prometheus text exposition (format version 0.0.4) rendering.
+//!
+//! [`PromText`] accumulates `# HELP` / `# TYPE` comment lines and sample
+//! lines; [`HistogramSnapshot::prometheus_into`] converts the crate's
+//! log₂-bucketed histograms into cumulative `le`-labelled buckets.
+//!
+//! The bucket mapping is **exact** for the integer samples the
+//! histograms record: bucket `i` of a [`Histogram`](crate::Histogram)
+//! covers the half-open value range `[2^(i-1), 2^i)` (bucket 0 holds the
+//! value 0), so every sample in buckets `0..=i` is `≤ 2^i − 1` and the
+//! cumulative count at `le="2^i − 1"` is not an approximation. The last
+//! histogram bucket is open-ended and therefore folds into `+Inf`, whose
+//! cumulative count equals the total sample count.
+
+use crate::{HistogramSnapshot, BUCKETS};
+use std::fmt::Write as _;
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline are backslash-escaped.
+pub fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Renders a label set (plus an optional trailing `le`) as
+/// `{k="v",…}`, or the empty string when there are no labels.
+fn render_labels(labels: &[(&str, &str)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+/// Accumulates a Prometheus text-exposition document. One
+/// [`header`](PromText::header) per metric family, then one or more
+/// sample lines; [`into_string`](PromText::into_string) yields the
+/// finished body (suitable for serving with
+/// `Content-Type: text/plain; version=0.0.4; charset=utf-8`).
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+}
+
+impl PromText {
+    /// An empty document.
+    pub fn new() -> PromText {
+        PromText::default()
+    }
+
+    /// Emits the `# HELP` and `# TYPE` comment lines for a metric
+    /// family. `kind` is `counter`, `gauge`, or `histogram`.
+    pub fn header(&mut self, name: &str, kind: &str, help: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// Emits one integer-valued sample line.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        let _ = writeln!(self.out, "{name}{} {value}", render_labels(labels, None));
+    }
+
+    /// Emits one float-valued sample line.
+    pub fn sample_f64(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let _ = writeln!(self.out, "{name}{} {}", render_labels(labels, None), uo_json::num(value));
+    }
+
+    /// Emits the bucket/sum/count samples of `snap` as one histogram
+    /// series under `name` (emit the family [`header`](Self::header) with
+    /// kind `histogram` first; multiple label sets may share it).
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], snap: &HistogramSnapshot) {
+        snap.prometheus_into(name, labels, &mut self.out);
+    }
+
+    /// The finished exposition body.
+    pub fn into_string(self) -> String {
+        self.out
+    }
+}
+
+impl HistogramSnapshot {
+    /// Appends this snapshot as Prometheus histogram sample lines:
+    /// cumulative `<name>_bucket{…,le="…"}` lines (one per log₂ bucket up
+    /// to the highest non-empty finite bucket, with `le = 2^i − 1` — exact
+    /// upper bounds for the integer samples recorded), the mandatory
+    /// `le="+Inf"` bucket equal to the total count, then `<name>_sum` and
+    /// `<name>_count`.
+    pub fn prometheus_into(&self, name: &str, labels: &[(&str, &str)], out: &mut String) {
+        // The last log₂ bucket is open-ended ([2^62, ∞)): it has no
+        // finite upper bound and is covered by +Inf alone.
+        let top = (0..BUCKETS - 1).rev().find(|&i| self.buckets[i] != 0).unwrap_or(0);
+        let mut cumulative = 0u64;
+        for i in 0..=top {
+            cumulative += self.buckets[i];
+            // Bucket i covers values < 2^i; for integers that is ≤ 2^i − 1.
+            let le = (1u128 << i) - 1;
+            let _ = writeln!(
+                out,
+                "{name}_bucket{} {cumulative}",
+                render_labels(labels, Some(&le.to_string()))
+            );
+        }
+        let _ =
+            writeln!(out, "{name}_bucket{} {}", render_labels(labels, Some("+Inf")), self.count);
+        let _ = writeln!(out, "{name}_sum{} {}", render_labels(labels, None), self.sum);
+        let _ = writeln!(out, "{name}_count{} {}", render_labels(labels, None), self.count);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Histogram;
+
+    #[test]
+    fn histogram_renders_cumulative_exact_bounds() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 3, 900] {
+            h.record(v);
+        }
+        let mut out = String::new();
+        h.snapshot().prometheus_into("uo_query_duration_nanos", &[], &mut out);
+        let lines: Vec<&str> = out.lines().collect();
+        // Buckets: 0→1 sample (le="0"), 1→two samples of value 1
+        // (le="1"), 2→one sample of value 3 (le="3"), …, 10→900
+        // (le="1023"), then +Inf.
+        assert_eq!(lines[0], "uo_query_duration_nanos_bucket{le=\"0\"} 1");
+        assert_eq!(lines[1], "uo_query_duration_nanos_bucket{le=\"1\"} 3");
+        assert_eq!(lines[2], "uo_query_duration_nanos_bucket{le=\"3\"} 4");
+        assert_eq!(lines[10], "uo_query_duration_nanos_bucket{le=\"1023\"} 5");
+        assert_eq!(lines[11], "uo_query_duration_nanos_bucket{le=\"+Inf\"} 5");
+        assert_eq!(lines[12], "uo_query_duration_nanos_sum 905");
+        assert_eq!(lines[13], "uo_query_duration_nanos_count 5");
+        assert_eq!(lines.len(), 14);
+    }
+
+    #[test]
+    fn empty_histogram_renders_a_single_zero_bucket() {
+        let mut out = String::new();
+        Histogram::new().snapshot().prometheus_into("uo_x", &[], &mut out);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "uo_x_bucket{le=\"0\"} 0",
+                "uo_x_bucket{le=\"+Inf\"} 0",
+                "uo_x_sum 0",
+                "uo_x_count 0"
+            ]
+        );
+    }
+
+    #[test]
+    fn top_bucket_samples_appear_only_in_inf() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(7);
+        let mut out = String::new();
+        h.snapshot().prometheus_into("uo_x", &[("type", "BGP")], &mut out);
+        assert!(out.contains("uo_x_bucket{type=\"BGP\",le=\"7\"} 1"));
+        assert!(out.contains("uo_x_bucket{type=\"BGP\",le=\"+Inf\"} 2"));
+        assert!(out.contains("uo_x_sum{type=\"BGP\"} "));
+        // No finite bucket claims the u64::MAX sample.
+        let finite_max = out
+            .lines()
+            .rev()
+            .find(|l| l.contains("_bucket") && !l.contains("+Inf"))
+            .unwrap()
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .parse::<u64>()
+            .unwrap();
+        assert_eq!(finite_max, 1);
+    }
+
+    #[test]
+    fn prom_text_full_document() {
+        let mut p = PromText::new();
+        p.header("uo_triples", "gauge", "Triples in the published snapshot");
+        p.sample("uo_triples", &[], 42);
+        p.header("uo_uptime_seconds", "gauge", "Endpoint uptime");
+        p.sample_f64("uo_uptime_seconds", &[], 1.5);
+        p.header("uo_queries_total", "counter", "Queries admitted");
+        p.sample("uo_queries_total", &[("type", "a\"b\\c\nd")], 3);
+        let body = p.into_string();
+        assert!(body.contains("# HELP uo_triples Triples in the published snapshot"));
+        assert!(body.contains("# TYPE uo_triples gauge"));
+        assert!(body.contains("uo_triples 42"));
+        assert!(body.contains("uo_uptime_seconds 1.5"));
+        assert!(body.contains("uo_queries_total{type=\"a\\\"b\\\\c\\nd\"} 3"));
+        assert!(body.ends_with('\n'));
+    }
+}

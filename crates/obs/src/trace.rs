@@ -1,0 +1,514 @@
+//! System-wide span tracing: a bounded, contention-free span/event
+//! recorder plus a Chrome trace-event JSON exporter.
+//!
+//! The recorder follows the crate's observability contract:
+//!
+//! - **Zero cost disabled.** A [`Tracer`] is a cheap-clone handle around
+//!   `Option<Arc<…>>`. With tracing off, [`Tracer::start`] is a single
+//!   branch returning an inert [`Span`] — no allocation, no clock read,
+//!   no atomics — and [`Tracer::end_with`] never invokes its argument
+//!   closure, so argument strings are never even built.
+//! - **Contention-free enabled.** Span ids come from one relaxed
+//!   fetch-add. Finished spans land in a fixed set of bounded ring
+//!   buffers, one per recording thread (threads are assigned a shard on
+//!   their first record and keep it), so two threads never contend on the
+//!   same ring in steady state. Rings are bounded: when full, the oldest
+//!   event is dropped and counted in [`Tracer::dropped`].
+//! - **Deterministic modulo timing.** Events are exported sorted by span
+//!   id (allocation order); the only run-to-run variance in the export is
+//!   the `ts`/`dur` fields, which [`strip_trace_timing`] removes so two
+//!   traces of the same workload compare byte-for-byte.
+//!
+//! Timestamps are nanoseconds relative to the tracer's creation instant
+//! (monotonic), converted to fractional microseconds in the Chrome
+//! export. The export loads directly into Perfetto / `chrome://tracing`.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+/// Number of event rings. Recording threads are assigned round-robin;
+/// more threads than shards share rings (still correct, briefly
+/// contended).
+const TRACE_SHARDS: usize = 16;
+
+/// Default total event capacity for [`Tracer::enabled`] callers that do
+/// not care: enough for tens of thousands of requests' orchestration
+/// spans.
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// One finished span (or instant marker) as stored in a ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Unique span id (allocation-ordered: parents have smaller ids than
+    /// the children they cover).
+    pub id: u64,
+    /// Id of the enclosing span, or 0 for a root.
+    pub parent: u64,
+    /// Lane the event is drawn in (the recording thread's shard index).
+    pub tid: usize,
+    /// Span category (`server`, `query`, `commit`, `wal`,
+    /// `maintenance`, `recovery`).
+    pub cat: &'static str,
+    /// Span name within the category (see the taxonomy in
+    /// `docs/OBSERVABILITY.md`).
+    pub name: &'static str,
+    /// Start, in nanoseconds since the tracer was created.
+    pub start_nanos: u64,
+    /// Duration in nanoseconds (0 for instant markers).
+    pub dur_nanos: u64,
+    /// Span-specific key/value annotations (request ids, epochs, row
+    /// counts…). Values are emitted as JSON strings.
+    pub args: Vec<(&'static str, String)>,
+}
+
+/// A started span: pass it back to [`Tracer::end`] (or
+/// [`Tracer::end_with`]) to record it. Dropping a `Span` without ending
+/// it records nothing — abandoned paths simply vanish from the trace.
+#[derive(Debug, Clone, Copy)]
+pub struct Span {
+    /// The span's id, usable as the `parent` of child spans. 0 when the
+    /// tracer is off (an inert span).
+    pub id: u64,
+    parent: u64,
+    start_nanos: u64,
+    cat: &'static str,
+    name: &'static str,
+}
+
+/// Process-wide source of unique collector ids (for the per-thread shard
+/// cache below).
+static COLLECTOR_SEQ: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Which shard this thread records into, per collector id. A tiny
+    /// linear-scanned vec: a thread rarely touches more than one or two
+    /// tracers in its lifetime.
+    static SHARD_OF: RefCell<Vec<(u64, usize)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The shared recorder behind an enabled [`Tracer`].
+struct Collector {
+    id: u64,
+    origin: Instant,
+    next_span: AtomicU64,
+    next_shard: AtomicUsize,
+    dropped: AtomicU64,
+    cap_per_shard: usize,
+    shards: Vec<Mutex<VecDeque<TraceEvent>>>,
+}
+
+impl fmt::Debug for Collector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Collector")
+            .field("id", &self.id)
+            .field("cap_per_shard", &self.cap_per_shard)
+            .field("dropped", &self.dropped.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Collector {
+    /// The shard this thread records into, assigning one round-robin on
+    /// first use. No locks: the assignment is cached in a thread-local.
+    fn shard_index(&self) -> usize {
+        SHARD_OF.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some(&(_, idx)) = cache.iter().find(|(cid, _)| *cid == self.id) {
+                return idx;
+            }
+            let idx = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+            cache.push((self.id, idx));
+            idx
+        })
+    }
+
+    fn now_nanos(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    fn push(&self, mut event: TraceEvent) {
+        let idx = self.shard_index();
+        event.tid = idx;
+        let mut ring = self.shards[idx].lock().unwrap_or_else(PoisonError::into_inner);
+        if ring.len() >= self.cap_per_shard {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event);
+    }
+}
+
+/// Handle to the span recorder. Clone freely — all clones share the same
+/// rings. The default is [`Tracer::off`].
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    collector: Option<Arc<Collector>>,
+}
+
+impl Tracer {
+    /// Tracing disabled: every operation is a branch and nothing else.
+    pub fn off() -> Tracer {
+        Tracer { collector: None }
+    }
+
+    /// Tracing enabled, retaining up to roughly `capacity` events in
+    /// total (split across the per-thread rings; each ring holds at least
+    /// 16). When a ring fills, its oldest events are dropped and counted.
+    pub fn enabled(capacity: usize) -> Tracer {
+        let cap_per_shard = (capacity / TRACE_SHARDS).max(16);
+        Tracer {
+            collector: Some(Arc::new(Collector {
+                id: COLLECTOR_SEQ.fetch_add(1, Ordering::Relaxed),
+                origin: Instant::now(),
+                next_span: AtomicU64::new(1),
+                next_shard: AtomicUsize::new(0),
+                dropped: AtomicU64::new(0),
+                cap_per_shard,
+                shards: (0..TRACE_SHARDS).map(|_| Mutex::new(VecDeque::new())).collect(),
+            })),
+        }
+    }
+
+    /// Whether spans are being recorded.
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        self.collector.is_some()
+    }
+
+    /// Starts a span under `parent` (0 for a root). With tracing off this
+    /// is a single branch returning an inert span.
+    #[inline]
+    pub fn start(&self, parent: u64, cat: &'static str, name: &'static str) -> Span {
+        match &self.collector {
+            None => Span { id: 0, parent, start_nanos: 0, cat, name },
+            Some(c) => {
+                let id = c.next_span.fetch_add(1, Ordering::Relaxed);
+                Span { id, parent, start_nanos: c.now_nanos(), cat, name }
+            }
+        }
+    }
+
+    /// Ends `span` with no annotations.
+    #[inline]
+    pub fn end(&self, span: Span) {
+        self.end_with(span, Vec::new);
+    }
+
+    /// Ends `span`, attaching the annotations `args` produces. The
+    /// closure runs only when the event is actually recorded, so the
+    /// disabled path never allocates.
+    #[inline]
+    pub fn end_with<F>(&self, span: Span, args: F)
+    where
+        F: FnOnce() -> Vec<(&'static str, String)>,
+    {
+        let Some(c) = &self.collector else { return };
+        if span.id == 0 {
+            return;
+        }
+        let end = c.now_nanos();
+        c.push(TraceEvent {
+            id: span.id,
+            parent: span.parent,
+            tid: 0,
+            cat: span.cat,
+            name: span.name,
+            start_nanos: span.start_nanos,
+            dur_nanos: end.saturating_sub(span.start_nanos),
+            args: args(),
+        });
+    }
+
+    /// Records a complete span whose timing was measured externally:
+    /// `start` is an [`Instant`] taken by the caller, `dur_nanos` the
+    /// measured duration. Used where the traced work happens inside a
+    /// layer that should not know about tracing (e.g. positioning a WAL
+    /// fsync span inside its append from the fsync's reported latency).
+    pub fn record<F>(
+        &self,
+        parent: u64,
+        cat: &'static str,
+        name: &'static str,
+        start: Instant,
+        dur_nanos: u64,
+        args: F,
+    ) where
+        F: FnOnce() -> Vec<(&'static str, String)>,
+    {
+        let Some(c) = &self.collector else { return };
+        let id = c.next_span.fetch_add(1, Ordering::Relaxed);
+        let start_nanos = start.saturating_duration_since(c.origin).as_nanos() as u64;
+        c.push(TraceEvent { id, parent, tid: 0, cat, name, start_nanos, dur_nanos, args: args() });
+    }
+
+    /// Records a zero-duration marker event under `parent`.
+    pub fn instant<F>(&self, parent: u64, cat: &'static str, name: &'static str, args: F)
+    where
+        F: FnOnce() -> Vec<(&'static str, String)>,
+    {
+        let Some(c) = &self.collector else { return };
+        let id = c.next_span.fetch_add(1, Ordering::Relaxed);
+        let now = c.now_nanos();
+        c.push(TraceEvent {
+            id,
+            parent,
+            tid: 0,
+            cat,
+            name,
+            start_nanos: now,
+            dur_nanos: 0,
+            args: args(),
+        });
+    }
+
+    /// Every recorded event, sorted by span id (allocation order, which
+    /// is deterministic for a deterministic workload).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let Some(c) = &self.collector else { return Vec::new() };
+        let mut out = Vec::new();
+        for shard in &c.shards {
+            out.extend(shard.lock().unwrap_or_else(PoisonError::into_inner).iter().cloned());
+        }
+        out.sort_by_key(|e| e.id);
+        out
+    }
+
+    /// Number of events currently retained.
+    pub fn event_count(&self) -> usize {
+        let Some(c) = &self.collector else { return 0 };
+        c.shards.iter().map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len()).sum()
+    }
+
+    /// Events evicted from full rings since the tracer was created.
+    pub fn dropped(&self) -> u64 {
+        self.collector.as_ref().map_or(0, |c| c.dropped.load(Ordering::Relaxed))
+    }
+
+    /// Renders the retained events as a Chrome trace-event JSON document
+    /// (complete-event `"ph": "X"` records; `ts`/`dur` in microseconds),
+    /// loadable in Perfetto or `chrome://tracing`. Besides the standard
+    /// keys, each event's `args` carries `span_id` and `parent_id` so the
+    /// span tree survives the export, and the document carries the
+    /// `uo-trace/1` schema marker plus the dropped-event count.
+    pub fn to_chrome_json(&self) -> String {
+        let events = self.events();
+        let mut s = String::with_capacity(128 + events.len() * 160);
+        s.push_str("{\"schema\": \"uo-trace/1\", \"displayTimeUnit\": \"ms\", \"dropped\": ");
+        s.push_str(&self.dropped().to_string());
+        s.push_str(", \"traceEvents\": [");
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n{\"name\": \"");
+            s.push_str(e.name);
+            s.push_str("\", \"cat\": \"");
+            s.push_str(e.cat);
+            s.push_str("\", \"ph\": \"X\", \"pid\": 1, \"tid\": ");
+            s.push_str(&e.tid.to_string());
+            s.push_str(&format!(
+                ", \"ts\": {:.3}, \"dur\": {:.3}",
+                e.start_nanos as f64 / 1000.0,
+                e.dur_nanos as f64 / 1000.0
+            ));
+            s.push_str(", \"args\": {\"span_id\": ");
+            s.push_str(&e.id.to_string());
+            s.push_str(", \"parent_id\": ");
+            s.push_str(&e.parent.to_string());
+            for (k, v) in &e.args {
+                s.push_str(", \"");
+                s.push_str(k);
+                s.push_str("\": \"");
+                s.push_str(&uo_json::escape(v));
+                s.push('"');
+            }
+            s.push_str("}}");
+        }
+        s.push_str("\n]}\n");
+        s
+    }
+}
+
+/// Removes the `"ts"` and `"dur"` fields from a Chrome trace-event JSON
+/// string, so two traces of the same deterministic workload compare
+/// byte-for-byte. Only those two keys carry timing in the export.
+pub fn strip_trace_timing(json: &str) -> String {
+    let mut out = String::with_capacity(json.len());
+    let bytes = json.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            if let Some(close) = json[i + 1..].find('"').map(|p| i + 1 + p) {
+                let key = &json[i + 1..close];
+                if (key == "ts" || key == "dur") && json[close + 1..].starts_with(": ") {
+                    let mut j = close + 3;
+                    while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'.') {
+                        j += 1;
+                    }
+                    if out.ends_with(", ") {
+                        out.truncate(out.len() - 2);
+                        if json[j..].starts_with(", ") {
+                            out.push_str(", ");
+                            i = j + 2;
+                        } else {
+                            i = j;
+                        }
+                    } else if json[j..].starts_with(", ") {
+                        i = j + 2;
+                    } else {
+                        i = j;
+                    }
+                    continue;
+                }
+            }
+        }
+        out.push(bytes[i] as char);
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::off();
+        assert!(!t.is_on());
+        let span = t.start(0, "server", "connection");
+        assert_eq!(span.id, 0);
+        t.end_with(span, || panic!("args closure must not run when tracing is off"));
+        t.record(0, "wal", "fsync", Instant::now(), 5, || {
+            panic!("args closure must not run when tracing is off")
+        });
+        assert_eq!(t.events().len(), 0);
+        assert_eq!(t.event_count(), 0);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn span_ids_are_unique_and_parent_links_hold() {
+        let t = Tracer::enabled(1024);
+        let root = t.start(0, "server", "connection");
+        let child = t.start(root.id, "server", "request");
+        let grandchild = t.start(child.id, "server", "execute");
+        t.end(grandchild);
+        t.end_with(child, || vec![("request_id", "r-1".to_string())]);
+        t.end(root);
+        t.instant(root.id, "commit", "plan_cache_invalidate", Vec::new);
+        let events = t.events();
+        assert_eq!(events.len(), 4);
+        let ids: Vec<u64> = events.iter().map(|e| e.id).collect();
+        let mut dedup = ids.clone();
+        dedup.dedup();
+        assert_eq!(ids, dedup, "events sorted by unique ids");
+        for e in &events {
+            assert!(
+                e.parent == 0 || events.iter().any(|p| p.id == e.parent),
+                "parent {} of span {} exists",
+                e.parent,
+                e.id
+            );
+        }
+        // Children start no earlier and end no later than their parent.
+        let by_id = |id: u64| events.iter().find(|e| e.id == id).unwrap();
+        let (r, c) = (by_id(root.id), by_id(child.id));
+        assert!(c.start_nanos >= r.start_nanos);
+        assert!(c.start_nanos + c.dur_nanos <= r.start_nanos + r.dur_nanos);
+        let req = events.iter().find(|e| e.name == "request").unwrap();
+        assert_eq!(req.args, vec![("request_id", "r-1".to_string())]);
+    }
+
+    #[test]
+    fn rings_are_bounded_and_count_drops() {
+        // Capacity below the floor clamps to 16 events per shard; this
+        // thread records into exactly one shard.
+        let t = Tracer::enabled(0);
+        for _ in 0..40 {
+            let s = t.start(0, "server", "connection");
+            t.end(s);
+        }
+        assert_eq!(t.event_count(), 16);
+        assert_eq!(t.dropped(), 24);
+        // The retained events are the newest ones.
+        let ids: Vec<u64> = t.events().iter().map(|e| e.id).collect();
+        assert_eq!(ids, (25..=40).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn externally_timed_records_nest_inside_their_window() {
+        let t = Tracer::enabled(1024);
+        let outer = t.start(0, "commit", "wal_append");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let fsync_dur = 1_000_000u64;
+        let end = Instant::now();
+        let start = end.checked_sub(std::time::Duration::from_nanos(fsync_dur)).unwrap();
+        t.record(outer.id, "wal", "wal_fsync", start, fsync_dur, || {
+            vec![("epoch", "3".to_string())]
+        });
+        t.end(outer);
+        let events = t.events();
+        let outer_ev = events.iter().find(|e| e.name == "wal_append").unwrap();
+        let fsync_ev = events.iter().find(|e| e.name == "wal_fsync").unwrap();
+        assert_eq!(fsync_ev.parent, outer_ev.id);
+        assert_eq!(fsync_ev.dur_nanos, fsync_dur);
+        assert!(fsync_ev.start_nanos >= outer_ev.start_nanos);
+        assert!(
+            fsync_ev.start_nanos + fsync_ev.dur_nanos <= outer_ev.start_nanos + outer_ev.dur_nanos
+        );
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_and_strips_stably() {
+        let t = Tracer::enabled(1024);
+        let root = t.start(0, "server", "connection");
+        let child = t.start(root.id, "server", "request");
+        t.end_with(child, || vec![("request_id", "abc\"def".to_string())]);
+        t.end(root);
+        let json = t.to_chrome_json();
+        assert!(uo_json::parse(&json).is_ok(), "chrome export parses: {json}");
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"schema\": \"uo-trace/1\""));
+        let stripped = strip_trace_timing(&json);
+        assert!(!stripped.contains("\"ts\""), "no ts left: {stripped}");
+        assert!(!stripped.contains("\"dur\""), "no dur left: {stripped}");
+        assert!(uo_json::parse(&stripped).is_ok(), "stripped export stays valid JSON");
+        // A second identical workload on a fresh tracer strips to the
+        // same bytes: ids restart at 1 and only timing differed.
+        let t2 = Tracer::enabled(1024);
+        let root2 = t2.start(0, "server", "connection");
+        let child2 = t2.start(root2.id, "server", "request");
+        t2.end_with(child2, || vec![("request_id", "abc\"def".to_string())]);
+        t2.end(root2);
+        assert_eq!(stripped, strip_trace_timing(&t2.to_chrome_json()));
+    }
+
+    #[test]
+    fn concurrent_recording_keeps_every_event() {
+        let t = Tracer::enabled(65_536);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let t = t.clone();
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        let root = t.start(0, "server", "connection");
+                        let child = t.start(root.id, "server", "request");
+                        t.end(child);
+                        t.end(root);
+                    }
+                });
+            }
+        });
+        let events = t.events();
+        assert_eq!(events.len(), 800);
+        assert_eq!(t.dropped(), 0);
+        for e in &events {
+            assert!(e.parent == 0 || events.iter().any(|p| p.id == e.parent));
+        }
+    }
+}

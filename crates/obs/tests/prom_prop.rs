@@ -1,0 +1,147 @@
+//! Properties of the Prometheus histogram rendering
+//! ([`HistogramSnapshot::prometheus_into`]):
+//!
+//! 1. bucket lines are monotone non-decreasing (cumulative) and end in a
+//!    `+Inf` bucket equal to `_count`;
+//! 2. the rendering is count/sum-consistent with the JSON snapshot of
+//!    the same histogram (`HistogramSnapshot::to_json`), and each
+//!    cumulative `le` count equals the number of samples ≤ that bound;
+//! 3. label sets render identically across both output paths.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uo_obs::Histogram;
+
+/// Random samples spanning many orders of magnitude (uniform draws alone
+/// would almost never exercise the small buckets).
+fn random_samples(seed: u64, n: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let shift = rng.gen_range(0..48u32);
+            rng.gen::<u64>() >> (16 + shift % 48)
+        })
+        .collect()
+}
+
+/// Parses `name_bucket{…le="<bound>"} <cum>` lines into `(le, cum)`
+/// pairs (`le = None` for `+Inf`), plus the `_sum` and `_count` values.
+fn parse_rendering(body: &str, name: &str) -> (Vec<(Option<u64>, u64)>, u64, u64) {
+    let mut buckets = Vec::new();
+    let mut sum = None;
+    let mut count = None;
+    for line in body.lines() {
+        let (metric, value) = line.rsplit_once(' ').expect("sample line");
+        let value: u64 = value.parse().expect("integer sample value");
+        if metric.starts_with(&format!("{name}_bucket")) {
+            let le = metric.split("le=\"").nth(1).and_then(|s| s.split('"').next()).unwrap();
+            let le = if le == "+Inf" { None } else { Some(le.parse::<u64>().unwrap()) };
+            buckets.push((le, value));
+        } else if metric.starts_with(&format!("{name}_sum")) {
+            sum = Some(value);
+        } else if metric.starts_with(&format!("{name}_count")) {
+            count = Some(value);
+        }
+    }
+    (buckets, sum.expect("_sum line"), count.expect("_count line"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Monotone-cumulative buckets ending in `+Inf == _count`, and the
+    /// rendering agrees with the JSON snapshot of the same histogram.
+    #[test]
+    fn rendering_is_monotone_cumulative_and_json_consistent(
+        seed in 0u64..10_000,
+        n in 0usize..400,
+    ) {
+        // Cap samples below 2^38 so the sum stays under 2^53 and the
+        // f64-based JSON comparison below is exact.
+        let samples: Vec<u64> = random_samples(seed, n).into_iter().map(|v| v >> 10).collect();
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut body = String::new();
+        snap.prometheus_into("uo_test_nanos", &[], &mut body);
+
+        let (buckets, sum, count) = parse_rendering(&body, "uo_test_nanos");
+
+        // Shape: at least the le="0" bucket plus +Inf, +Inf last.
+        prop_assert!(buckets.len() >= 2);
+        prop_assert_eq!(buckets.last().unwrap().0, None, "+Inf bucket is last");
+        prop_assert!(
+            buckets[..buckets.len() - 1].iter().all(|(le, _)| le.is_some()),
+            "+Inf appears exactly once, at the end"
+        );
+
+        // Monotone non-decreasing cumulative counts.
+        for pair in buckets.windows(2) {
+            prop_assert!(pair[0].1 <= pair[1].1, "cumulative counts are monotone: {body}");
+        }
+
+        // +Inf equals the total count; sum/count match the snapshot and
+        // the raw samples exactly.
+        prop_assert_eq!(buckets.last().unwrap().1, count);
+        prop_assert_eq!(count, snap.count);
+        prop_assert_eq!(count, samples.len() as u64);
+        prop_assert_eq!(sum, snap.sum);
+        prop_assert_eq!(sum, samples.iter().fold(0u64, |a, &v| a.wrapping_add(v)));
+
+        // Each cumulative bucket count is exact: the number of samples
+        // ≤ its le bound (log₂ bounds are exact for integer samples).
+        for (le, cum) in &buckets {
+            if let Some(le) = le {
+                let truth = samples.iter().filter(|&&v| v <= *le).count() as u64;
+                prop_assert_eq!(*cum, truth, "le={} in {}", le, body);
+            }
+        }
+
+        // Consistency with the JSON rendering of the same snapshot: same
+        // count and sum fields, and the sparse JSON bucket counts total
+        // the same samples.
+        let json = uo_json::parse(&snap.to_json()).expect("snapshot JSON parses");
+        let j_count = json.get("count").and_then(|v| v.as_f64()).unwrap() as u64;
+        let j_sum = json.get("sum_nanos").and_then(|v| v.as_f64()).unwrap() as u64;
+        prop_assert_eq!(j_count, count);
+        // f64 round-trips integers below 2^53 exactly; samples here are
+        // < 2^48 by construction, and n < 400 keeps the sum well below.
+        prop_assert_eq!(j_sum, sum);
+        let j_buckets: u64 = json
+            .get("buckets")
+            .and_then(|v| v.as_arr())
+            .unwrap()
+            .iter()
+            .map(|pair| pair.as_arr().unwrap()[1].as_f64().unwrap() as u64)
+            .sum();
+        prop_assert_eq!(j_buckets, count, "sparse JSON buckets cover every sample");
+    }
+
+    /// Labelled renderings keep the same cumulative structure and append
+    /// `le` after the caller's labels on every bucket line.
+    #[test]
+    fn labels_ride_along_on_every_bucket_line(seed in 0u64..1_000, n in 1usize..100) {
+        let h = Histogram::new();
+        for v in random_samples(seed, n) {
+            h.record(v);
+        }
+        let mut plain = String::new();
+        let mut labelled = String::new();
+        h.snapshot().prometheus_into("uo_x", &[], &mut plain);
+        h.snapshot().prometheus_into("uo_x", &[("type", "BGP")], &mut labelled);
+        let (pb, ps, pc) = parse_rendering(&plain, "uo_x");
+        let (lb, ls, lc) = parse_rendering(&labelled, "uo_x");
+        prop_assert_eq!(pb, lb);
+        prop_assert_eq!((ps, pc), (ls, lc));
+        for line in labelled.lines() {
+            if line.contains("_bucket") {
+                prop_assert!(line.contains("{type=\"BGP\",le=\""), "labels precede le: {line}");
+            } else {
+                prop_assert!(line.contains("{type=\"BGP\"}"), "sum/count keep labels: {line}");
+            }
+        }
+    }
+}

@@ -246,6 +246,21 @@ impl PlanCache {
         self.len() == 0
     }
 
+    /// Approximate heap footprint of the cache in bytes: the sum of key
+    /// lengths plus a fixed per-entry estimate covering the `Entry` struct,
+    /// the shared stats block, and the hash-map slot. Plan trees are shared
+    /// `Arc`s whose deep size is not tracked, so this is a *lower bound*
+    /// meant for capacity trending (the `/metrics` `resources` block), not
+    /// exact accounting.
+    pub fn approx_bytes(&self) -> u64 {
+        const PER_ENTRY: u64 = (std::mem::size_of::<Entry>()
+            + std::mem::size_of::<PlanEntryStats>()
+            + std::mem::size_of::<String>()
+            + 16) as u64;
+        let entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        entries.keys().map(|k| k.len() as u64 + PER_ENTRY).sum()
+    }
+
     /// `(hits, misses, stale)` so far; `stale` counts the misses caused by
     /// an epoch mismatch (plan invalidated by a commit) and is included in
     /// `misses`.

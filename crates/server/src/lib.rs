@@ -27,8 +27,19 @@
 //!   deadline enforced cooperatively at BGP-evaluation boundaries
 //!   ([`uo_core::Cancellation`]);
 //! - `GET /metrics` (JSON counters incl. `triples`, `snapshot_epoch`,
-//!   `updates`, the tiered-`store` block, the durable-mode `wal` block and
-//!   the v5 `latency` block of log₂-bucketed histograms) and `GET /healthz`;
+//!   `updates`, the tiered-`store` block, the durable-mode `wal` block, the
+//!   `latency` block of log₂-bucketed histograms, and the v6 `resources` +
+//!   `health` blocks) — the same counters are served as **Prometheus text
+//!   exposition 0.0.4** when the `Accept` header prefers `text/plain` or
+//!   `application/openmetrics-text`; `GET /healthz` reports checkpoint age
+//!   and WAL backlog and degrades to 503 when the maintenance thread is
+//!   stalled or erroring;
+//! - **structured tracing** ([`ServerConfig::tracer`]): when enabled, the
+//!   connection lifecycle (accept → read head → admission → body →
+//!   parse/plan/execute/serialize → write), the commit pipeline (delta
+//!   merge, WAL append + fsync, publish) and the background maintenance
+//!   jobs record spans into bounded lock-free ring buffers, exported as
+//!   Chrome trace-event JSON at `GET /stats/trace` (Perfetto-loadable);
 //! - **observability** (see `docs/OBSERVABILITY.md`): every query/update
 //!   response carries a unique `X-UO-Request-Id`; `?profile=1` (or
 //!   `X-UO-Profile: 1`) attaches an EXPLAIN ANALYZE `"profile"` block —
@@ -58,6 +69,7 @@
 
 pub mod cache;
 pub mod http;
+mod prom;
 
 pub use cache::{PlanCache, PlanStatsSnapshot};
 
@@ -75,7 +87,9 @@ use uo_core::{
     DurableUpdateError, QueryCounters, QueryType, Strategy,
 };
 use uo_engine::{BgpEngine, BinaryJoinEngine, WcoEngine};
-use uo_obs::{CacheOutcome, Histogram, Profiler, QueryProfile, RequestIds, SlowEntry, SlowLog};
+use uo_obs::{
+    CacheOutcome, Histogram, Profiler, QueryProfile, RequestIds, SlowEntry, SlowLog, Tracer,
+};
 use uo_store::{durable, DurableMetrics, DurableStore, Snapshot, StoreWriter};
 
 /// Which BGP engine backs the endpoint.
@@ -144,6 +158,11 @@ pub struct ServerConfig {
     /// end-to-end wall time reaches `ms` into the bounded ring served at
     /// `GET /stats/slow` and emits a single-line stderr record.
     pub slow_query_ms: Option<u64>,
+    /// Span recorder threaded through the request, commit, and maintenance
+    /// paths (see `uo_obs::Tracer`). The default [`Tracer::off`] records
+    /// nothing and costs one branch per span site; an enabled tracer is
+    /// exported at `GET /stats/trace` as Chrome trace-event JSON.
+    pub tracer: Tracer,
 }
 
 impl Default for ServerConfig {
@@ -165,6 +184,7 @@ impl Default for ServerConfig {
             checkpoint_interval_ms: 500,
             compact_fan_in: 8,
             slow_query_ms: None,
+            tracer: Tracer::off(),
         }
     }
 }
@@ -272,6 +292,55 @@ struct ServerState {
     update_hist: Histogram,
     /// Query latency split by [`QueryType`] (indexed by [`type_index`]).
     type_hists: [Histogram; 4],
+    /// Span recorder shared with the write backend (off unless the config
+    /// enabled it).
+    tracer: Tracer,
+    /// Background-task health, feeding `/healthz` and `/metrics`.
+    health: HealthState,
+}
+
+/// Liveness and error gauges of the background maintenance thread. All
+/// timestamps are Unix milliseconds (via [`unix_ms`]), initialized to the
+/// server's start so a freshly started endpoint is healthy.
+#[derive(Debug)]
+struct HealthState {
+    /// Total maintenance errors (compaction, checkpoint write, checkpoint
+    /// bookkeeping) since start.
+    maintenance_errors: AtomicU64,
+    /// Errors accumulated since the last clean maintenance pass; any
+    /// non-zero value degrades `/healthz`.
+    consecutive_errors: AtomicU64,
+    /// When the maintenance loop last woke (its heartbeat).
+    last_maintenance_unix_ms: AtomicU64,
+    /// When the last successful checkpoint was written (start time until
+    /// the first one).
+    last_checkpoint_unix_ms: AtomicU64,
+}
+
+impl HealthState {
+    fn new() -> HealthState {
+        let now = unix_ms();
+        HealthState {
+            maintenance_errors: AtomicU64::new(0),
+            consecutive_errors: AtomicU64::new(0),
+            last_maintenance_unix_ms: AtomicU64::new(now),
+            last_checkpoint_unix_ms: AtomicU64::new(now),
+        }
+    }
+}
+
+/// Whether the endpoint should report itself degraded: the maintenance
+/// thread is expected but its heartbeat is far overdue (20 intervals, at
+/// least 5 s — tolerant of long compactions), or its last pass errored.
+/// Pure so the policy is unit-testable.
+fn health_degraded(
+    maintenance_expected: bool,
+    consecutive_errors: u64,
+    heartbeat_age_ms: u64,
+    interval_ms: u64,
+) -> bool {
+    let stall_after = interval_ms.saturating_mul(20).max(5_000);
+    (maintenance_expected && heartbeat_age_ms > stall_after) || consecutive_errors > 0
 }
 
 /// Entries the slow-query ring retains (oldest evicted beyond this).
@@ -309,6 +378,38 @@ struct AdmissionGuard<'a>(&'a ServerState);
 impl Drop for AdmissionGuard<'_> {
     fn drop(&mut self) {
         self.0.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Ends a span when dropped, so early-return error paths still record it:
+/// a recorded child span must never point at a parent that was abandoned
+/// unrecorded, or the exported trace would have dangling parent links.
+struct SpanGuard<'a> {
+    tracer: &'a Tracer,
+    span: Option<uo_obs::trace::Span>,
+}
+
+impl<'a> SpanGuard<'a> {
+    fn new(tracer: &'a Tracer, span: uo_obs::trace::Span) -> SpanGuard<'a> {
+        SpanGuard { tracer, span: Some(span) }
+    }
+
+    /// The span id child spans parent at (0 when tracing is off).
+    fn id(&self) -> u64 {
+        self.span.map_or(0, |s| s.id)
+    }
+
+    /// Takes the span out for an explicit [`Tracer::end_with`] with args.
+    fn take(mut self) -> uo_obs::trace::Span {
+        self.span.take().expect("span already taken")
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(span) = self.span.take() {
+            self.tracer.end(span);
+        }
     }
 }
 
@@ -416,7 +517,7 @@ pub fn start_durable(ds: DurableStore, cfg: ServerConfig, port: u16) -> io::Resu
 
 fn start_inner(
     snapshot: Arc<Snapshot>,
-    writer: Option<WriteBackend>,
+    mut writer: Option<WriteBackend>,
     durable: Option<DurableInfo>,
     cfg: ServerConfig,
     port: u16,
@@ -424,6 +525,15 @@ fn start_inner(
     let listener = TcpListener::bind((cfg.host.as_str(), port))?;
     let addr = listener.local_addr()?;
     let threads = cfg.threads.max(1);
+    // Thread the tracer into the write backend so commit-pipeline spans
+    // (delta merge, WAL append/fsync) land in the same collector as the
+    // request spans that parent them.
+    if let Some(w) = &mut writer {
+        match w {
+            WriteBackend::Memory(mw) => mw.set_tracer(cfg.tracer.clone()),
+            WriteBackend::Durable(ds) => ds.set_tracer(cfg.tracer.clone()),
+        }
+    }
     let state = Arc::new(ServerState {
         engine: cfg.engine.build(cfg.engine_threads.max(1)),
         cache: PlanCache::new(cfg.cache_capacity),
@@ -447,6 +557,8 @@ fn start_inner(
         query_hist: Histogram::new(),
         update_hist: Histogram::new(),
         type_hists: std::array::from_fn(|_| Histogram::new()),
+        tracer: cfg.tracer.clone(),
+        health: HealthState::new(),
         snapshot: RwLock::new(snapshot),
         writer: writer.map(Mutex::new),
         durable,
@@ -557,12 +669,18 @@ fn run_maintenance(state: &ServerState) {
             }
         }
         let shutting_down = state.shutting_down.load(Ordering::SeqCst);
+        // Heartbeat first: /healthz reasons about how long ago the loop
+        // last woke, whatever it then decided to do.
+        state.health.last_maintenance_unix_ms.store(unix_ms(), Ordering::Relaxed);
+        let mut pass_errors = 0u64;
 
         // Compaction: fold the stack once it is compact_fan_in deep.
         let fan_in = state.cfg.compact_fan_in;
         if fan_in > 0 {
             let snap = state.current_snapshot();
             if snap.level_count() >= fan_in {
+                let span = state.tracer.start(0, "maintenance", "compact");
+                let levels_before = snap.level_count();
                 match snap.compact_with(par) {
                     Ok(compacted) => {
                         let rows = 3 * compacted.len();
@@ -586,9 +704,19 @@ fn run_maintenance(state: &ServerState) {
                                 state.compactions.fetch_add(1, Ordering::Relaxed);
                                 state.compaction_rows.fetch_add(rows as u64, Ordering::Relaxed);
                             }
+                            state.tracer.end_with(span, || {
+                                vec![
+                                    ("levels", levels_before.to_string()),
+                                    ("rows", rows.to_string()),
+                                    ("installed", installed.to_string()),
+                                ]
+                            });
                         }
                     }
-                    Err(e) => eprintln!("background compaction failed: {e}"),
+                    Err(e) => {
+                        pass_errors += 1;
+                        eprintln!("background compaction failed: {e}");
+                    }
                 }
             }
         }
@@ -598,20 +726,41 @@ fn run_maintenance(state: &ServerState) {
             let snap = state.current_snapshot();
             let last_cp = info.metrics.last_checkpoint_epoch.load(Ordering::Relaxed);
             if snap.epoch() > last_cp && snap.epoch() - last_cp >= every {
+                let span = state.tracer.start(0, "maintenance", "checkpoint");
                 match durable::write_checkpoint_file(&info.dir, &snap) {
-                    Ok(_) => {
+                    Ok(written) => {
                         if let Some(writer) = &state.writer {
                             let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
                             if let WriteBackend::Durable(ds) = &mut *w {
                                 if let Err(e) = ds.note_checkpoint(snap.epoch()) {
+                                    pass_errors += 1;
                                     eprintln!("checkpoint bookkeeping failed: {e}");
                                 }
                             }
                         }
+                        state.health.last_checkpoint_unix_ms.store(unix_ms(), Ordering::Relaxed);
+                        state.tracer.end_with(span, || {
+                            vec![
+                                ("epoch", snap.epoch().to_string()),
+                                ("runs_written", written.runs_written.to_string()),
+                                ("runs_reused", written.runs_reused.to_string()),
+                            ]
+                        });
                     }
-                    Err(e) => eprintln!("checkpoint write failed: {e}"),
+                    Err(e) => {
+                        pass_errors += 1;
+                        eprintln!("checkpoint write failed: {e}");
+                    }
                 }
             }
+        }
+        // A clean pass clears the degraded latch; errors accumulate into
+        // it (and into the lifetime total) until one pass succeeds.
+        if pass_errors > 0 {
+            state.health.maintenance_errors.fetch_add(pass_errors, Ordering::Relaxed);
+            state.health.consecutive_errors.fetch_add(pass_errors, Ordering::Relaxed);
+        } else {
+            state.health.consecutive_errors.store(0, Ordering::Relaxed);
         }
         // Re-load the flag: a shutdown signalled *during* the (possibly
         // long) maintenance work above had no waiter to wake, and waiting
@@ -625,6 +774,11 @@ fn run_maintenance(state: &ServerState) {
 fn handle_connection(state: &ServerState, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(state.cfg.read_timeout_ms.max(1))));
     let _ = stream.set_nodelay(true);
+    // The connection root span. Early exits (clients that connect and
+    // leave, malformed heads) abandon it unrecorded, keeping traces to
+    // well-formed requests.
+    let conn_span = state.tracer.start(0, "server", "connection");
+    let read_span = state.tracer.start(conn_span.id, "server", "read_head");
     let head = match http::read_head(&mut stream) {
         Ok(Some(head)) => head,
         Ok(None) => return, // client connected and left (shutdown wake-up)
@@ -633,24 +787,52 @@ fn handle_connection(state: &ServerState, mut stream: TcpStream) {
             return;
         }
     };
-    let _ = route(state, &mut stream, &head);
+    state.tracer.end(read_span);
+    let _ = route(state, &mut stream, &head, conn_span.id);
+    let method = head.method.clone();
+    let path = head.path.clone();
+    state.tracer.end_with(conn_span, || vec![("method", method), ("path", path)]);
 }
 
 fn respond_text(stream: &mut TcpStream, status: u16, reason: &str, body: &str) -> io::Result<()> {
     http::write_response(stream, status, reason, "text/plain; charset=utf-8", &[], body.as_bytes())
 }
 
-fn route(state: &ServerState, stream: &mut TcpStream, head: &http::Head) -> io::Result<()> {
+fn route(
+    state: &ServerState,
+    stream: &mut TcpStream,
+    head: &http::Head,
+    conn: u64,
+) -> io::Result<()> {
     match (head.method.as_str(), head.path.as_str()) {
-        ("GET", "/healthz") => respond_text(stream, 200, "OK", "ok\n"),
-        ("GET", "/metrics") => http::write_response(
-            stream,
-            200,
-            "OK",
-            "application/json",
-            &[],
-            metrics_json(state).as_bytes(),
-        ),
+        ("GET", "/healthz") => {
+            let (status, reason, body) = healthz_json(state);
+            http::write_response(stream, status, reason, "application/json", &[], body.as_bytes())
+        }
+        ("GET", "/metrics") => {
+            // Content negotiation: JSON by default, Prometheus text
+            // exposition 0.0.4 when the client prefers text/plain or
+            // openmetrics — both views render the same counters.
+            if wants_prometheus(head.header("accept")) {
+                http::write_response(
+                    stream,
+                    200,
+                    "OK",
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    &[],
+                    prom::render(state).as_bytes(),
+                )
+            } else {
+                http::write_response(
+                    stream,
+                    200,
+                    "OK",
+                    "application/json",
+                    &[],
+                    metrics_json(state).as_bytes(),
+                )
+            }
+        }
         ("GET", "/stats/plans") => http::write_response(
             stream,
             200,
@@ -667,14 +849,33 @@ fn route(state: &ServerState, stream: &mut TcpStream, head: &http::Head) -> io::
             &[],
             state.slow_log.to_json().as_bytes(),
         ),
-        ("GET", "/sparql") | ("POST", "/sparql") => handle_sparql(state, stream, head),
-        ("POST", "/update") => handle_update(state, stream, head),
+        ("GET", "/stats/trace") => {
+            if state.tracer.is_on() {
+                http::write_response(
+                    stream,
+                    200,
+                    "OK",
+                    "application/json",
+                    &[],
+                    state.tracer.to_chrome_json().as_bytes(),
+                )
+            } else {
+                respond_text(
+                    stream,
+                    404,
+                    "Not Found",
+                    "tracing disabled: start the endpoint with tracing enabled (serve --trace)\n",
+                )
+            }
+        }
+        ("GET", "/sparql") | ("POST", "/sparql") => handle_sparql(state, stream, head, conn),
+        ("POST", "/update") => handle_update(state, stream, head, conn),
         ("GET", "/") => respond_text(
             stream,
             200,
             "OK",
             "sparql-uo endpoint: GET/POST /sparql, POST /update, GET /metrics, \
-             GET /stats/plans, GET /stats/slow, GET /healthz\n",
+             GET /stats/plans, GET /stats/slow, GET /stats/trace, GET /healthz\n",
         ),
         (_, "/sparql")
         | (_, "/update")
@@ -682,10 +883,75 @@ fn route(state: &ServerState, stream: &mut TcpStream, head: &http::Head) -> io::
         | (_, "/metrics")
         | (_, "/")
         | (_, "/stats/plans")
-        | (_, "/stats/slow") => {
+        | (_, "/stats/slow")
+        | (_, "/stats/trace") => {
             respond_text(stream, 405, "Method Not Allowed", "method not allowed\n")
         }
         _ => respond_text(stream, 404, "Not Found", "unknown path\n"),
+    }
+}
+
+/// True when the `Accept` header prefers the Prometheus text exposition
+/// over JSON for `/metrics` (first supported media range in client order
+/// wins; absent header, `*/*` and JSON ranges stay JSON).
+fn wants_prometheus(accept: Option<&str>) -> bool {
+    let Some(accept) = accept else { return false };
+    for range in accept.split(',') {
+        let media = range.split(';').next().unwrap_or("").trim().to_ascii_lowercase();
+        match media.as_str() {
+            "text/plain" | "text/*" | "application/openmetrics-text" => return true,
+            "application/json" | "application/*" | "*/*" | "" => return false,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Renders `/healthz`: `(status, reason, body)`. Healthy endpoints return
+/// 200 with `"status": "ok"`; a stalled or erroring maintenance thread
+/// degrades the endpoint to 503 (see [`health_degraded`]) while queries
+/// keep being served — the signal is for orchestrators and dashboards.
+fn healthz_json(state: &ServerState) -> (u16, &'static str, String) {
+    let now = unix_ms();
+    let maintenance_expected =
+        state.durable.is_some() || (state.writer.is_some() && state.cfg.compact_fan_in > 0);
+    let heartbeat_age_ms =
+        now.saturating_sub(state.health.last_maintenance_unix_ms.load(Ordering::Relaxed));
+    let consecutive = state.health.consecutive_errors.load(Ordering::Relaxed);
+    let degraded = health_degraded(
+        maintenance_expected && !state.shutting_down.load(Ordering::SeqCst),
+        consecutive,
+        heartbeat_age_ms,
+        state.cfg.checkpoint_interval_ms,
+    );
+    let (checkpoint_age_ms, wal_segments) = match &state.durable {
+        Some(info) => (
+            now.saturating_sub(state.health.last_checkpoint_unix_ms.load(Ordering::Relaxed))
+                .to_string(),
+            info.metrics.wal_segments.load(Ordering::Relaxed).to_string(),
+        ),
+        None => ("null".to_string(), "null".to_string()),
+    };
+    let snap = state.current_snapshot();
+    let compaction_backlog = if state.cfg.compact_fan_in > 0 {
+        snap.level_count().saturating_sub(state.cfg.compact_fan_in)
+    } else {
+        0
+    };
+    let body = format!(
+        "{{\"status\": \"{}\", \"uptime_s\": {}, \"checkpoint_age_ms\": {checkpoint_age_ms}, \
+         \"wal_segments\": {wal_segments}, \"compaction_backlog\": {compaction_backlog}, \
+         \"maintenance\": {{\"expected\": {maintenance_expected}, \
+         \"heartbeat_age_ms\": {heartbeat_age_ms}, \"errors\": {}, \
+         \"consecutive_errors\": {consecutive}}}}}\n",
+        if degraded { "degraded" } else { "ok" },
+        uo_json::num(state.started.elapsed().as_secs_f64()),
+        state.health.maintenance_errors.load(Ordering::Relaxed),
+    );
+    if degraded {
+        (503, "Service Unavailable", body)
+    } else {
+        (200, "OK", body)
     }
 }
 
@@ -703,6 +969,7 @@ fn admit_and_read_body<'a>(
     state: &'a ServerState,
     stream: &mut TcpStream,
     head: &http::Head,
+    parent: u64,
 ) -> io::Result<Option<(AdmissionGuard<'a>, Vec<u8>)>> {
     let expects_continue =
         head.header("expect").is_some_and(|v| v.to_ascii_lowercase().contains("100-continue"));
@@ -712,6 +979,7 @@ fn admit_and_read_body<'a>(
         0
     };
 
+    let admit_span = state.tracer.start(parent, "server", "admission");
     if state.inflight.fetch_add(1, Ordering::SeqCst) >= state.cfg.max_inflight {
         state.inflight.fetch_sub(1, Ordering::SeqCst);
         QueryCounters::bump(&state.counters.rejected);
@@ -726,6 +994,8 @@ fn admit_and_read_body<'a>(
         )?;
         return Ok(None);
     }
+    let inflight = state.inflight.load(Ordering::SeqCst);
+    state.tracer.end_with(admit_span, || vec![("inflight", inflight.to_string())]);
     let guard = AdmissionGuard(state);
 
     if head.method != "POST" {
@@ -740,8 +1010,12 @@ fn admit_and_read_body<'a>(
     if expects_continue {
         http::write_continue(stream)?;
     }
+    let body_span = state.tracer.start(parent, "server", "read_body");
     match http::read_body(stream, len) {
-        Ok(body) => Ok(Some((guard, body))),
+        Ok(body) => {
+            state.tracer.end_with(body_span, || vec![("bytes", len.to_string())]);
+            Ok(Some((guard, body)))
+        }
         Err(_) => {
             respond_text(stream, 400, "Bad Request", "truncated request body\n")?;
             Ok(None)
@@ -781,9 +1055,15 @@ fn attach_profile(mut body: String, profile: &QueryProfile) -> String {
     }
 }
 
-fn handle_sparql(state: &ServerState, stream: &mut TcpStream, head: &http::Head) -> io::Result<()> {
+fn handle_sparql(
+    state: &ServerState,
+    stream: &mut TcpStream,
+    head: &http::Head,
+    conn: u64,
+) -> io::Result<()> {
     let t_req = Instant::now();
     let rid = state.request_ids.next_id();
+    let req_span = SpanGuard::new(&state.tracer, state.tracer.start(conn, "server", "request"));
 
     // Content negotiation first: a 406 should not consume an admission slot.
     let Some(mut format) = negotiate(head.header("accept")) else {
@@ -796,7 +1076,7 @@ fn handle_sparql(state: &ServerState, stream: &mut TcpStream, head: &http::Head)
         );
     };
 
-    let Some((_guard, body)) = admit_and_read_body(state, stream, head)? else {
+    let Some((_guard, body)) = admit_and_read_body(state, stream, head, req_span.id())? else {
         return Ok(());
     };
 
@@ -858,6 +1138,7 @@ fn handle_sparql(state: &ServerState, stream: &mut TcpStream, head: &http::Head)
         }
     };
     let parse_nanos = t_parse.elapsed().as_nanos() as u64;
+    state.tracer.record(req_span.id(), "query", "parse", t_parse, parse_nanos, Vec::new);
     let qtype = query_type(&parsed.body);
     let canonical = uo_sparql::serialize(&parsed);
 
@@ -869,6 +1150,7 @@ fn handle_sparql(state: &ServerState, stream: &mut TcpStream, head: &http::Head)
 
     // Plan cache: an epoch-matched hit skips plan construction +
     // optimization; plans from older epochs are stale misses.
+    let plan_span = state.tracer.start(req_span.id(), "query", "plan");
     let (prepared, cache_outcome, optimize_nanos, plan_stats) =
         match state.cache.lookup(&canonical, epoch) {
             cache::Lookup::Hit(prepared, _, stats) => {
@@ -900,6 +1182,9 @@ fn handle_sparql(state: &ServerState, stream: &mut TcpStream, head: &http::Head)
                 (prepared, co, opt_time.as_nanos() as u64, stats)
             }
         };
+    state.tracer.end_with(plan_span, || {
+        vec![("cache", cache_outcome.label().to_string()), ("epoch", epoch.to_string())]
+    });
 
     // Per-query deadline (cooperative, checked at BGP boundaries), plus the
     // endpoint-wide cancel flag raised on shutdown.
@@ -910,6 +1195,7 @@ fn handle_sparql(state: &ServerState, stream: &mut TcpStream, head: &http::Head)
 
     let profiler = if profile_requested { Profiler::on() } else { Profiler::off() };
     let projection = prepared.query.projection();
+    let exec_span = state.tracer.start(req_span.id(), "query", "execute");
     let report = match try_execute_prepared_profiled(
         &snapshot,
         state.engine.as_ref(),
@@ -932,11 +1218,13 @@ fn handle_sparql(state: &ServerState, stream: &mut TcpStream, head: &http::Head)
         }
     };
     let rows = report.results.len();
+    state.tracer.end_with(exec_span, || vec![("rows", rows.to_string())]);
     state.counters.record_ok(qtype, rows);
     // Cardinality feedback for /stats/plans: what the plan actually
     // produced, against the estimate captured when it was cached.
     plan_stats.record_exec(report.wall_nanos, rows as u64);
 
+    let ser_span = state.tracer.start(req_span.id(), "query", "serialize");
     let mut body = match (report.ask, format) {
         // ASK gets the boolean result document of the negotiated format.
         (Some(b), Format::Json) => uo_sparql::ask_json(b),
@@ -945,6 +1233,8 @@ fn handle_sparql(state: &ServerState, stream: &mut TcpStream, head: &http::Head)
         (None, Format::Tsv) => uo_sparql::results_tsv(&projection, &report.results),
         (None, Format::Debug) => debug_table(&projection, &report.results),
     };
+    let body_bytes = body.len();
+    state.tracer.end_with(ser_span, || vec![("bytes", body_bytes.to_string())]);
 
     // Endpoint latency: end-to-end wall for this request, recorded into
     // the lock-free /metrics histograms (overall and per query type).
@@ -980,6 +1270,8 @@ fn handle_sparql(state: &ServerState, stream: &mut TcpStream, head: &http::Head)
                 rows: rows as u64,
                 query_type: qtype.to_string(),
                 engine: state.engine.name().to_string(),
+                epoch,
+                cache: cache_outcome,
                 query: text,
             };
             eprintln!("{}", entry.stderr_line());
@@ -987,14 +1279,25 @@ fn handle_sparql(state: &ServerState, stream: &mut TcpStream, head: &http::Head)
         }
     }
 
-    http::write_response(
+    let write_span = state.tracer.start(req_span.id(), "server", "write");
+    let result = http::write_response(
         stream,
         200,
         "OK",
         format.content_type(),
         &[("X-UO-Request-Id", &rid)],
         body.as_bytes(),
-    )
+    );
+    state.tracer.end(write_span);
+    state.tracer.end_with(req_span.take(), || {
+        vec![
+            ("request_id", rid),
+            ("type", qtype.to_string()),
+            ("rows", rows.to_string()),
+            ("epoch", epoch.to_string()),
+        ]
+    });
+    result
 }
 
 /// `POST /update`: applies a SPARQL Update request (writable endpoints
@@ -1002,9 +1305,15 @@ fn handle_sparql(state: &ServerState, stream: &mut TcpStream, head: &http::Head)
 /// shared snapshot, so subsequent queries observe the new epoch while
 /// queries already in flight keep answering from their admission-time
 /// snapshot.
-fn handle_update(state: &ServerState, stream: &mut TcpStream, head: &http::Head) -> io::Result<()> {
+fn handle_update(
+    state: &ServerState,
+    stream: &mut TcpStream,
+    head: &http::Head,
+    conn: u64,
+) -> io::Result<()> {
     let t_req = Instant::now();
     let rid = state.request_ids.next_id();
+    let req_span = SpanGuard::new(&state.tracer, state.tracer.start(conn, "server", "request"));
     let Some(writer) = state.writer.as_ref() else {
         let expects_continue =
             head.header("expect").is_some_and(|v| v.to_ascii_lowercase().contains("100-continue"));
@@ -1020,7 +1329,7 @@ fn handle_update(state: &ServerState, stream: &mut TcpStream, head: &http::Head)
 
     // Updates share the admission-control slots with queries: an update
     // holds capacity for its body read + execution + commit.
-    let Some((_guard, body)) = admit_and_read_body(state, stream, head)? else {
+    let Some((_guard, body)) = admit_and_read_body(state, stream, head, req_span.id())? else {
         return Ok(());
     };
     let content_type =
@@ -1047,6 +1356,7 @@ fn handle_update(state: &ServerState, stream: &mut TcpStream, head: &http::Head)
         }
     };
 
+    let t_parse = Instant::now();
     let request = match uo_sparql::parse_update(&text) {
         Ok(u) => u,
         Err(e) => {
@@ -1055,6 +1365,14 @@ fn handle_update(state: &ServerState, stream: &mut TcpStream, head: &http::Head)
             return respond_text(stream, 400, "Bad Request", &msg);
         }
     };
+    state.tracer.record(
+        req_span.id(),
+        "query",
+        "parse",
+        t_parse,
+        t_parse.elapsed().as_nanos() as u64,
+        Vec::new,
+    );
 
     // Serialize writers; queries keep flowing off the previous snapshot
     // until the swap below. The update runs under the endpoint's default
@@ -1063,11 +1381,27 @@ fn handle_update(state: &ServerState, stream: &mut TcpStream, head: &http::Head)
     let cancel = Cancellation::after(Duration::from_millis(state.cfg.default_timeout_ms))
         .with_flag(Arc::clone(&state.query_cancel));
     let par = uo_par::Parallelism::new(state.cfg.engine_threads.max(1));
+    // The commit-pipeline span: the writer-lock critical section. The
+    // write backend parents its own spans (delta merge, WAL append +
+    // fsync) at it, and the publish closure records the snapshot swap and
+    // the point after which cached plans of older epochs are stale.
+    let commit_span =
+        SpanGuard::new(&state.tracer, state.tracer.start(req_span.id(), "commit", "commit"));
     let publish = |snap: &Arc<Snapshot>| {
+        let span = state.tracer.start(commit_span.id(), "commit", "publish");
         *state.snapshot.write().unwrap_or_else(PoisonError::into_inner) = Arc::clone(snap);
+        let epoch = snap.epoch();
+        state.tracer.end_with(span, || vec![("epoch", epoch.to_string())]);
+        state.tracer.instant(commit_span.id(), "commit", "plan_cache_invalidate", || {
+            vec![("epoch", epoch.to_string())]
+        });
     };
     let report = {
         let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
+        match &mut *w {
+            WriteBackend::Memory(mw) => mw.set_trace_parent(commit_span.id()),
+            WriteBackend::Durable(ds) => ds.set_trace_parent(commit_span.id()),
+        }
         match &mut *w {
             WriteBackend::Memory(mw) => {
                 match try_run_update(mw, state.engine.as_ref(), &request, par, &cancel) {
@@ -1123,6 +1457,13 @@ fn handle_update(state: &ServerState, stream: &mut TcpStream, head: &http::Head)
             }
         }
     };
+    state.tracer.end_with(commit_span.take(), || {
+        vec![
+            ("epoch", report.epoch.to_string()),
+            ("inserted", report.inserted.to_string()),
+            ("deleted", report.deleted.to_string()),
+        ]
+    });
     state.updates_total.fetch_add(1, Ordering::Relaxed);
     state.update_hist.record(t_req.elapsed().as_nanos() as u64);
 
@@ -1130,14 +1471,20 @@ fn handle_update(state: &ServerState, stream: &mut TcpStream, head: &http::Head)
         "{{\"ops\": {}, \"inserted\": {}, \"deleted\": {}, \"triples\": {}, \"epoch\": {}}}\n",
         report.ops, report.inserted, report.deleted, report.triples, report.epoch
     );
-    http::write_response(
+    let write_span = state.tracer.start(req_span.id(), "server", "write");
+    let result = http::write_response(
         stream,
         200,
         "OK",
         "application/json",
         &[("X-UO-Request-Id", &rid)],
         body.as_bytes(),
-    )
+    );
+    state.tracer.end(write_span);
+    state.tracer.end_with(req_span.take(), || {
+        vec![("request_id", rid), ("epoch", report.epoch.to_string())]
+    });
+    result
 }
 
 /// The CLI-style human-readable table (debug format).
@@ -1189,10 +1536,10 @@ fn plan_stats_json(state: &ServerState) -> String {
     )
 }
 
-/// Renders the `/metrics` JSON document (schema v5: adds the `latency`
-/// block — log₂-bucketed wall-time histograms with derived p50/p90/p99 for
-/// the query and update endpoints, per query type, and — in durable mode —
-/// WAL fsync and commit-journal latency — on top of v4's `store` block).
+/// Renders the `/metrics` JSON document (schema v6: adds the `resources`
+/// block — approximate store/plan-cache byte gauges and the trace-buffer
+/// occupancy — and the `health` block mirroring `/healthz`, on top of v5's
+/// `latency` block of log₂-bucketed histograms).
 fn metrics_json(state: &ServerState) -> String {
     let snap = state.counters.snapshot();
     let (cache_hits, cache_misses, cache_stale) = state.cache.stats();
@@ -1257,8 +1604,48 @@ fn metrics_json(state: &ServerState) -> String {
         state.update_hist.snapshot().to_json(),
         by_type_latency.join(", "),
     );
+    let resources = format!(
+        "{{\"store_mem_bytes\": {}, \"store_disk_bytes\": {}, \"plan_cache_bytes\": {}, \
+         \"trace\": {{\"enabled\": {}, \"events\": {}, \"dropped\": {}}}}}",
+        tiers.mem_bytes(),
+        tiers.disk_bytes(),
+        state.cache.approx_bytes(),
+        state.tracer.is_on(),
+        state.tracer.event_count(),
+        state.tracer.dropped(),
+    );
+    let now = unix_ms();
+    let maintenance_expected =
+        state.durable.is_some() || (state.writer.is_some() && state.cfg.compact_fan_in > 0);
+    let heartbeat_age_ms =
+        now.saturating_sub(state.health.last_maintenance_unix_ms.load(Ordering::Relaxed));
+    let consecutive = state.health.consecutive_errors.load(Ordering::Relaxed);
+    let checkpoint_age_ms = match &state.durable {
+        Some(_) => now
+            .saturating_sub(state.health.last_checkpoint_unix_ms.load(Ordering::Relaxed))
+            .to_string(),
+        None => "null".to_string(),
+    };
+    let health = format!(
+        "{{\"degraded\": {}, \"maintenance_expected\": {maintenance_expected}, \
+         \"heartbeat_age_ms\": {heartbeat_age_ms}, \"maintenance_errors\": {}, \
+         \"consecutive_errors\": {consecutive}, \"checkpoint_age_ms\": {checkpoint_age_ms}, \
+         \"compaction_backlog\": {}}}",
+        health_degraded(
+            maintenance_expected && !state.shutting_down.load(Ordering::SeqCst),
+            consecutive,
+            heartbeat_age_ms,
+            state.cfg.checkpoint_interval_ms,
+        ),
+        state.health.maintenance_errors.load(Ordering::Relaxed),
+        if state.cfg.compact_fan_in > 0 {
+            store.level_count().saturating_sub(state.cfg.compact_fan_in)
+        } else {
+            0
+        },
+    );
     format!(
-        "{{\n  \"schema\": \"uo-server-metrics/5\",\n  \"uptime_s\": {},\n  \
+        "{{\n  \"schema\": \"uo-server-metrics/6\",\n  \"uptime_s\": {},\n  \
          \"engine\": \"{}\",\n  \"strategy\": \"{}\",\n  \"threads\": {},\n  \
          \"engine_threads\": {},\n  \"triples\": {},\n  \"snapshot_epoch\": {},\n  \
          \"writable\": {},\n  \"inflight\": {},\n  \
@@ -1266,7 +1653,7 @@ fn metrics_json(state: &ServerState) -> String {
          \"hits\": {cache_hits}, \"misses\": {cache_misses}, \"stale\": {cache_stale}}},\n  \
          \"updates\": {{\"updates_total\": {}, \"errors\": {}, \"cancelled\": {}, \
          \"journal_errors\": {}}},\n  \"wal\": {wal},\n  \"store\": {store_block},\n  \
-         \"latency\": {latency},\n  \
+         \"latency\": {latency},\n  \"resources\": {resources},\n  \"health\": {health},\n  \
          \"queries\": {{\"admitted\": {}, \"ok\": {}, \"parse_errors\": {}, \
          \"cancelled\": {}, \"rejected\": {}, \"rows\": {}, \"panics\": {}}},\n  \
          \"by_type\": {{{}}}\n}}\n",
@@ -1311,6 +1698,42 @@ mod tests {
         assert_eq!(negotiate(Some("text/plain, application/json")), Some(Format::Debug));
         assert_eq!(negotiate(Some("text/csv, text/tab-separated-values")), Some(Format::Tsv));
         assert_eq!(negotiate(Some("application/xml")), None);
+    }
+
+    #[test]
+    fn prometheus_negotiation_first_supported_range_wins() {
+        assert!(!wants_prometheus(None), "absent Accept means JSON");
+        assert!(!wants_prometheus(Some("*/*")));
+        assert!(!wants_prometheus(Some("application/json")));
+        assert!(!wants_prometheus(Some("application/*")));
+        assert!(wants_prometheus(Some("text/plain")));
+        assert!(wants_prometheus(Some("text/plain; version=0.0.4")));
+        assert!(wants_prometheus(Some("text/*")));
+        assert!(wants_prometheus(Some("application/openmetrics-text; version=1.0.0")));
+        // First supported range in client order decides.
+        assert!(wants_prometheus(Some("text/plain, application/json")));
+        assert!(!wants_prometheus(Some("application/json, text/plain")));
+        // Unknown ranges are skipped, not treated as JSON.
+        assert!(wants_prometheus(Some("text/html, text/plain")));
+    }
+
+    #[test]
+    fn health_degradation_policy() {
+        // Fresh heartbeat, no errors: healthy regardless of expectation.
+        assert!(!health_degraded(true, 0, 0, 200));
+        assert!(!health_degraded(false, 0, 0, 200));
+        // Any consecutive error degrades, even with a live heartbeat.
+        assert!(health_degraded(true, 1, 0, 200));
+        assert!(health_degraded(false, 1, 0, 200));
+        // A stalled heartbeat only matters when maintenance is expected,
+        // and the threshold is max(20 intervals, 5 s).
+        assert!(!health_degraded(true, 0, 4_999, 200));
+        assert!(health_degraded(true, 0, 5_001, 200));
+        assert!(!health_degraded(false, 0, u64::MAX, 200));
+        assert!(!health_degraded(true, 0, 19_000, 1_000), "20 × 1 s not yet exceeded");
+        assert!(health_degraded(true, 0, 20_001, 1_000));
+        // Interval overflow saturates instead of wrapping.
+        assert!(!health_degraded(true, 0, u64::MAX - 1, u64::MAX));
     }
 
     #[test]

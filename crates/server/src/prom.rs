@@ -1,0 +1,220 @@
+//! Prometheus text-exposition rendering of the server's metrics.
+//!
+//! [`render`] walks the same counters, gauges, and histograms that
+//! [`metrics_json`](crate::metrics_json) serves as JSON and emits them in
+//! the text exposition format 0.0.4 via [`uo_obs::prom::PromText`], so a
+//! Prometheus scrape of `/metrics` (negotiated by `Accept: text/plain`)
+//! sees exactly the numbers a JSON consumer sees. Latency histograms keep
+//! their native log₂ buckets, rendered as cumulative `le` boundaries of
+//! `2^i − 1` nanoseconds — exact upper bounds, not approximations (see
+//! [`uo_obs::prom`]).
+//!
+//! Naming follows the Prometheus conventions: an `uo_` namespace prefix,
+//! `_total` on counters, base units in the name (`_seconds`, `_bytes`,
+//! `_nanos` for the log₂ histograms whose samples are integer
+//! nanoseconds), and labels (`type`, `outcome`) instead of name suffixes
+//! for family dimensions.
+
+use crate::{health_degraded, type_index, unix_ms, ServerState, ALL_QUERY_TYPES};
+use std::sync::atomic::Ordering;
+use uo_obs::prom::PromText;
+
+/// Renders the full exposition document for one scrape.
+pub(crate) fn render(state: &ServerState) -> String {
+    let snap = state.counters.snapshot();
+    let (cache_hits, cache_misses, cache_stale) = state.cache.stats();
+    let store = state.current_snapshot();
+    let tiers = store.tier_stats();
+    let mut p = PromText::new();
+
+    // -- Endpoint gauges ---------------------------------------------------
+    p.header("uo_uptime_seconds", "gauge", "Endpoint uptime in seconds.");
+    p.sample_f64("uo_uptime_seconds", &[], state.started.elapsed().as_secs_f64());
+    p.header("uo_triples", "gauge", "Triples in the published snapshot.");
+    p.sample("uo_triples", &[], store.len() as u64);
+    p.header("uo_snapshot_epoch", "gauge", "Epoch of the published snapshot.");
+    p.sample("uo_snapshot_epoch", &[], store.epoch());
+    p.header("uo_writable", "gauge", "1 when the endpoint accepts updates.");
+    p.sample("uo_writable", &[], u64::from(state.cfg.writable));
+    p.header("uo_inflight_requests", "gauge", "Requests currently admitted.");
+    p.sample("uo_inflight_requests", &[], state.inflight.load(Ordering::SeqCst) as u64);
+    p.header("uo_max_inflight_requests", "gauge", "Admission-control concurrency limit.");
+    p.sample("uo_max_inflight_requests", &[], state.cfg.max_inflight as u64);
+
+    // -- Query counters ----------------------------------------------------
+    p.header("uo_queries_total", "counter", "Queries admitted, by final outcome.");
+    for (outcome, n) in [
+        ("ok", snap.ok),
+        ("parse_error", snap.parse_errors),
+        ("cancelled", snap.cancelled),
+        ("panic", snap.panics),
+    ] {
+        p.sample("uo_queries_total", &[("outcome", outcome)], n);
+    }
+    p.header("uo_queries_rejected_total", "counter", "Requests refused by admission control.");
+    p.sample("uo_queries_rejected_total", &[], snap.rejected);
+    p.header("uo_query_rows_total", "counter", "Result rows returned by successful queries.");
+    p.sample("uo_query_rows_total", &[], snap.rows);
+    p.header("uo_queries_by_type_total", "counter", "Successful queries by query type.");
+    for (qt, n) in &snap.by_type {
+        p.sample("uo_queries_by_type_total", &[("type", &qt.to_string())], *n);
+    }
+
+    // -- Plan cache --------------------------------------------------------
+    p.header("uo_plan_cache_capacity", "gauge", "Maximum cached plans.");
+    p.sample("uo_plan_cache_capacity", &[], state.cfg.cache_capacity as u64);
+    p.header("uo_plan_cache_entries", "gauge", "Plans currently cached.");
+    p.sample("uo_plan_cache_entries", &[], state.cache.len() as u64);
+    p.header("uo_plan_cache_bytes", "gauge", "Approximate plan-cache heap bytes.");
+    p.sample("uo_plan_cache_bytes", &[], state.cache.approx_bytes());
+    p.header("uo_plan_cache_lookups_total", "counter", "Plan-cache lookups by outcome.");
+    p.sample("uo_plan_cache_lookups_total", &[("outcome", "hit")], cache_hits);
+    p.sample("uo_plan_cache_lookups_total", &[("outcome", "miss")], cache_misses - cache_stale);
+    p.sample("uo_plan_cache_lookups_total", &[("outcome", "stale")], cache_stale);
+
+    // -- Updates -----------------------------------------------------------
+    p.header("uo_updates_total", "counter", "Update requests accepted for execution.");
+    p.sample("uo_updates_total", &[], state.updates_total.load(Ordering::Relaxed));
+    p.header("uo_update_errors_total", "counter", "Updates that failed to parse or execute.");
+    p.sample("uo_update_errors_total", &[], state.update_errors.load(Ordering::Relaxed));
+    p.header("uo_updates_cancelled_total", "counter", "Updates cancelled and rolled back.");
+    p.sample("uo_updates_cancelled_total", &[], state.updates_cancelled.load(Ordering::Relaxed));
+    p.header("uo_journal_errors_total", "counter", "WAL journal failures (rolled back).");
+    p.sample("uo_journal_errors_total", &[], state.journal_errors.load(Ordering::Relaxed));
+
+    // -- Store tiers -------------------------------------------------------
+    p.header("uo_store_levels", "gauge", "LSM levels in the published snapshot.");
+    p.sample("uo_store_levels", &[], tiers.levels as u64);
+    p.header("uo_store_runs", "gauge", "Sorted runs across all levels.");
+    p.sample("uo_store_runs", &[], tiers.runs as u64);
+    p.header("uo_store_mem_rows", "gauge", "Rows held in memory-resident tiers.");
+    p.sample("uo_store_mem_rows", &[], tiers.mem_rows as u64);
+    p.header("uo_store_disk_rows", "gauge", "Rows held in disk-resident tiers.");
+    p.sample("uo_store_disk_rows", &[], tiers.disk_rows as u64);
+    p.header("uo_store_tombstones", "gauge", "Delete tombstones awaiting compaction.");
+    p.sample("uo_store_tombstones", &[], tiers.tombstones as u64);
+    p.header("uo_store_mem_bytes", "gauge", "Triple-row bytes resident in memory.");
+    p.sample("uo_store_mem_bytes", &[], tiers.mem_bytes());
+    p.header("uo_store_disk_bytes", "gauge", "Triple-row bytes resident on disk.");
+    p.sample("uo_store_disk_bytes", &[], tiers.disk_bytes());
+    p.header("uo_compactions_total", "counter", "Background compactions installed.");
+    p.sample("uo_compactions_total", &[], state.compactions.load(Ordering::Relaxed));
+    p.header("uo_compaction_rows_total", "counter", "Rows rewritten by compactions.");
+    p.sample("uo_compaction_rows_total", &[], state.compaction_rows.load(Ordering::Relaxed));
+    if let Some(pc) = store.page_cache_stats() {
+        p.header("uo_page_cache_ops_total", "counter", "Page-cache accesses by outcome.");
+        p.sample("uo_page_cache_ops_total", &[("outcome", "hit")], pc.hits);
+        p.sample("uo_page_cache_ops_total", &[("outcome", "miss")], pc.misses);
+        p.sample("uo_page_cache_ops_total", &[("outcome", "eviction")], pc.evictions);
+    }
+
+    // -- WAL (durable mode only) -------------------------------------------
+    if let Some(info) = &state.durable {
+        let m = &info.metrics;
+        p.header("uo_wal_segments", "gauge", "Live WAL segment files.");
+        p.sample("uo_wal_segments", &[], m.wal_segments.load(Ordering::Relaxed) as u64);
+        p.header("uo_wal_bytes", "gauge", "Total bytes across live WAL segments.");
+        p.sample("uo_wal_bytes", &[], m.wal_bytes.load(Ordering::Relaxed));
+        p.header("uo_wal_records_total", "counter", "Records appended to the WAL.");
+        p.sample("uo_wal_records_total", &[], m.wal_records.load(Ordering::Relaxed));
+        p.header("uo_wal_synced_epoch", "gauge", "Highest epoch known durable on disk.");
+        p.sample("uo_wal_synced_epoch", &[], m.synced_epoch.load(Ordering::Relaxed));
+        p.header("uo_last_checkpoint_epoch", "gauge", "Epoch of the newest checkpoint.");
+        p.sample("uo_last_checkpoint_epoch", &[], m.last_checkpoint_epoch.load(Ordering::Relaxed));
+    }
+
+    // -- Latency histograms ------------------------------------------------
+    p.header(
+        "uo_query_duration_nanos",
+        "histogram",
+        "End-to-end latency of successful queries (log2 buckets, nanoseconds).",
+    );
+    p.histogram("uo_query_duration_nanos", &[], &state.query_hist.snapshot());
+    p.header(
+        "uo_query_duration_by_type_nanos",
+        "histogram",
+        "Query latency split by query type (log2 buckets, nanoseconds).",
+    );
+    for &qt in &ALL_QUERY_TYPES {
+        p.histogram(
+            "uo_query_duration_by_type_nanos",
+            &[("type", &qt.to_string())],
+            &state.type_hists[type_index(qt)].snapshot(),
+        );
+    }
+    p.header(
+        "uo_update_duration_nanos",
+        "histogram",
+        "End-to-end latency of successful updates (log2 buckets, nanoseconds).",
+    );
+    p.histogram("uo_update_duration_nanos", &[], &state.update_hist.snapshot());
+    if let Some(info) = &state.durable {
+        p.header(
+            "uo_wal_fsync_duration_nanos",
+            "histogram",
+            "WAL fsync latency (log2 buckets, nanoseconds).",
+        );
+        p.histogram("uo_wal_fsync_duration_nanos", &[], &info.metrics.fsync_hist.snapshot());
+        p.header(
+            "uo_commit_duration_nanos",
+            "histogram",
+            "Durable commit latency: apply + journal + fsync (log2 buckets, nanoseconds).",
+        );
+        p.histogram("uo_commit_duration_nanos", &[], &info.metrics.commit_hist.snapshot());
+    }
+
+    // -- Tracing -----------------------------------------------------------
+    p.header("uo_trace_enabled", "gauge", "1 when the span recorder is active.");
+    p.sample("uo_trace_enabled", &[], u64::from(state.tracer.is_on()));
+    p.header("uo_trace_events", "gauge", "Span/instant events currently buffered.");
+    p.sample("uo_trace_events", &[], state.tracer.event_count() as u64);
+    p.header("uo_trace_dropped_total", "counter", "Trace events dropped by full rings.");
+    p.sample("uo_trace_dropped_total", &[], state.tracer.dropped());
+
+    // -- Background-task health --------------------------------------------
+    let now = unix_ms();
+    let maintenance_expected =
+        state.durable.is_some() || (state.writer.is_some() && state.cfg.compact_fan_in > 0);
+    let heartbeat_age_ms =
+        now.saturating_sub(state.health.last_maintenance_unix_ms.load(Ordering::Relaxed));
+    let consecutive = state.health.consecutive_errors.load(Ordering::Relaxed);
+    p.header("uo_health_degraded", "gauge", "1 when /healthz reports degraded.");
+    p.sample(
+        "uo_health_degraded",
+        &[],
+        u64::from(health_degraded(
+            maintenance_expected && !state.shutting_down.load(Ordering::SeqCst),
+            consecutive,
+            heartbeat_age_ms,
+            state.cfg.checkpoint_interval_ms,
+        )),
+    );
+    p.header("uo_maintenance_errors_total", "counter", "Background maintenance errors.");
+    p.sample(
+        "uo_maintenance_errors_total",
+        &[],
+        state.health.maintenance_errors.load(Ordering::Relaxed),
+    );
+    p.header("uo_maintenance_heartbeat_age_ms", "gauge", "Milliseconds since the last pass.");
+    p.sample("uo_maintenance_heartbeat_age_ms", &[], heartbeat_age_ms);
+    if state.durable.is_some() {
+        p.header("uo_checkpoint_age_ms", "gauge", "Milliseconds since the last checkpoint.");
+        p.sample(
+            "uo_checkpoint_age_ms",
+            &[],
+            now.saturating_sub(state.health.last_checkpoint_unix_ms.load(Ordering::Relaxed)),
+        );
+    }
+    p.header("uo_compaction_backlog", "gauge", "Levels beyond the compaction fan-in.");
+    p.sample(
+        "uo_compaction_backlog",
+        &[],
+        if state.cfg.compact_fan_in > 0 {
+            store.level_count().saturating_sub(state.cfg.compact_fan_in) as u64
+        } else {
+            0
+        },
+    );
+
+    p.into_string()
+}

@@ -77,7 +77,8 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+use uo_obs::Tracer;
 pub use uo_wal::{FsyncPolicy, WalOptions, WalStats};
 
 /// Configuration of a [`DurableStore`].
@@ -221,6 +222,13 @@ pub struct DurableStore {
     /// these: an on-disk checkpoint that was never validated must not
     /// cost the log segments the real fallback needs.
     trusted_checkpoints: Vec<u64>,
+    /// Span recorder for the commit pipeline — WAL appends, policy
+    /// fsyncs, delta merges (via the inner writer) and recovery. Off by
+    /// default; installed at open ([`DurableStore::open_traced`]) or via
+    /// [`set_tracer`](DurableStore::set_tracer).
+    tracer: Tracer,
+    /// Parent span id for the next journaled commit's spans (0 = root).
+    trace_parent: u64,
     /// Advisory `flock` on `<dir>/LOCK`, held for the store's lifetime so
     /// a second process (another server, an offline `compact`) cannot
     /// interleave writes into the same log. The OS releases it on any
@@ -545,8 +553,22 @@ impl DurableStore {
     pub fn open(
         dir: &Path,
         opts: DurableOptions,
+        replay: impl FnMut(&mut StoreWriter, &[u8]) -> Result<(), String>,
+    ) -> Result<DurableStore, DurableError> {
+        DurableStore::open_traced(dir, opts, Tracer::off(), replay)
+    }
+
+    /// [`open`](DurableStore::open) with a span recorder: recovery emits
+    /// an `open` root span (category `recovery`) with `load_checkpoint`
+    /// and `wal_replay` children, and the tracer stays installed on the
+    /// store (and its writer) for the commit pipeline's spans.
+    pub fn open_traced(
+        dir: &Path,
+        opts: DurableOptions,
+        tracer: Tracer,
         mut replay: impl FnMut(&mut StoreWriter, &[u8]) -> Result<(), String>,
     ) -> Result<DurableStore, DurableError> {
+        let open_span = tracer.start(0, "recovery", "open");
         fs::create_dir_all(dir)?;
         // One process per data dir: two writers interleaving appends into
         // the same active segment would corrupt the log even though each
@@ -590,6 +612,7 @@ impl DurableStore {
         // fallbacks, or a later checkpoint would retire the log segments
         // the *real* fallback still needs. Deleting a manifest never
         // touches its run files: other manifests may share them.
+        let cp_span = tracer.start(open_span.id, "recovery", "load_checkpoint");
         let mut base: Option<Arc<Snapshot>> = None;
         'epochs: for epoch in list_checkpoint_epochs(dir)? {
             if manifest_path(dir, epoch).exists() {
@@ -638,6 +661,12 @@ impl DurableStore {
                 Err(_) => recovery.checkpoints_skipped += 1,
             }
         }
+        tracer.end_with(cp_span, || {
+            vec![
+                ("epoch", recovery.checkpoint_epoch.to_string()),
+                ("skipped", recovery.checkpoints_skipped.to_string()),
+            ]
+        });
         let mut base = base.unwrap_or_else(|| Arc::new(Snapshot::empty()));
         // Raise the run-id floor above every run file on disk, so ids
         // allocated by this lineage never collide with a file written by an
@@ -663,6 +692,9 @@ impl DurableStore {
         recovery.truncated_bytes = log.truncated_bytes;
 
         let mut writer = StoreWriter::from_snapshot(base);
+        writer.set_tracer(tracer.clone());
+        let replay_span = tracer.start(open_span.id, "recovery", "wal_replay");
+        writer.set_trace_parent(replay_span.id);
         let before = writer.merge_totals();
         for record in &log.records {
             if record.epoch <= writer.snapshot().epoch() {
@@ -682,6 +714,14 @@ impl DurableStore {
         let after = writer.merge_totals();
         recovery.replay_rows_sorted = after.0 - before.0;
         recovery.replay_rows_merged = after.1 - before.1;
+        writer.set_trace_parent(0);
+        tracer.end_with(replay_span, || {
+            vec![
+                ("records", log.records.len().to_string()),
+                ("replayed_ops", recovery.replayed_ops.to_string()),
+                ("truncated_bytes", recovery.truncated_bytes.to_string()),
+            ]
+        });
 
         let metrics = Arc::new(DurableMetrics::default());
         metrics.recovered_ops.store(recovery.replayed_ops, Ordering::Relaxed);
@@ -698,9 +738,13 @@ impl DurableStore {
             recovery,
             metrics,
             trusted_checkpoints,
+            tracer: tracer.clone(),
+            trace_parent: 0,
             _lock: lock,
         };
         ds.publish_wal_metrics();
+        let epoch = ds.writer.snapshot().epoch();
+        tracer.end_with(open_span, || vec![("epoch", epoch.to_string())]);
         Ok(ds)
     }
 
@@ -720,11 +764,42 @@ impl DurableStore {
     /// and fsyncs per policy. Must be called in epoch order — exactly the
     /// order requests commit in.
     pub fn journal(&mut self, epoch: u64, payload: &[u8]) -> io::Result<()> {
+        let span = self.tracer.start(self.trace_parent, "wal", "wal_append");
+        let _ = self.wal.take_last_fsync_nanos();
         let t = Instant::now();
         self.wal.append(epoch, payload)?;
         self.metrics.commit_hist.record(t.elapsed().as_nanos() as u64);
+        // The fsync (if the policy issued one) happened at the tail of the
+        // append: reconstruct its window as a child span ending now.
+        if let Some(nanos) = self.wal.take_last_fsync_nanos() {
+            if let Some(start) = Instant::now().checked_sub(Duration::from_nanos(nanos)) {
+                self.tracer.record(span.id, "wal", "wal_fsync", start, nanos, || {
+                    vec![("epoch", epoch.to_string())]
+                });
+            }
+        }
+        let bytes = payload.len();
+        self.tracer
+            .end_with(span, || vec![("epoch", epoch.to_string()), ("bytes", bytes.to_string())]);
         self.publish_wal_metrics();
         Ok(())
+    }
+
+    /// Installs a span recorder on the store and its writer (see
+    /// [`StoreWriter::set_tracer`]); recovery-time installation happens in
+    /// [`open_traced`](DurableStore::open_traced).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer.clone();
+        self.writer.set_tracer(tracer);
+    }
+
+    /// Sets the parent span id for the next commit's spans — the delta
+    /// merge recorded by the writer and the `wal_append`/`wal_fsync` pair
+    /// recorded by [`journal`](DurableStore::journal). Callers serialize
+    /// writers, so setting this while holding the writer lock is race-free.
+    pub fn set_trace_parent(&mut self, parent: u64) {
+        self.trace_parent = parent;
+        self.writer.set_trace_parent(parent);
     }
 
     /// Forces the log to stable storage regardless of the fsync policy
@@ -741,6 +816,8 @@ impl DurableStore {
     /// happened — which is true durably, because nothing was journaled.
     pub fn reset_to(&mut self, base: Arc<Snapshot>) {
         self.writer = StoreWriter::from_snapshot(base);
+        self.writer.set_tracer(self.tracer.clone());
+        self.writer.set_trace_parent(self.trace_parent);
     }
 
     /// Persists the current snapshot as an incremental checkpoint (new run
@@ -856,6 +933,7 @@ impl DurableStore {
     pub fn seed(&mut self, snap: Arc<Snapshot>) -> io::Result<CheckpointReport> {
         assert!(self.is_fresh(), "DurableStore::seed on a directory that already has state");
         self.writer = StoreWriter::from_snapshot(snap);
+        self.writer.set_tracer(self.tracer.clone());
         self.checkpoint()
     }
 

@@ -55,6 +55,20 @@ pub struct TierStats {
     pub tombstones: usize,
 }
 
+impl TierStats {
+    /// Approximate bytes of memory-resident index rows (each row is one
+    /// `[Id; 3]`; dictionary and per-run bookkeeping not included).
+    pub fn mem_bytes(&self) -> u64 {
+        (self.mem_rows as u64) * (std::mem::size_of::<[uo_rdf::Id; 3]>() as u64)
+    }
+
+    /// Approximate bytes of disk-resident index rows (row payload only;
+    /// paged-file headers and page tables not included).
+    pub fn disk_bytes(&self) -> u64 {
+        (self.disk_rows as u64) * (std::mem::size_of::<[uo_rdf::Id; 3]>() as u64)
+    }
+}
+
 /// An immutable, fully-indexed version of the dataset. See the module docs.
 #[derive(Debug, Clone)]
 pub struct Snapshot {

@@ -25,6 +25,7 @@ use crate::index::IndexKind;
 use crate::runs::Level;
 use crate::snapshot::{derive_indexes, Snapshot, INLINE_COMPACT_LEVELS};
 use std::sync::Arc;
+use uo_obs::Tracer;
 use uo_par::Parallelism;
 use uo_rdf::{ntriples, Dictionary, FxHashSet, Id, Term, Triple};
 
@@ -72,6 +73,13 @@ pub struct StoreWriter {
     last_commit: CommitStats,
     total_rows_sorted: usize,
     total_rows_merged: usize,
+    /// Span recorder for the commit pipeline (off by default — see
+    /// [`set_tracer`](StoreWriter::set_tracer)).
+    tracer: Tracer,
+    /// Parent span id for the next commit's `delta_merge` span (0 = root;
+    /// the server's update handler points this at its request span while
+    /// it holds the writer lock).
+    trace_parent: u64,
 }
 
 impl StoreWriter {
@@ -92,7 +100,25 @@ impl StoreWriter {
             last_commit: CommitStats::default(),
             total_rows_sorted: 0,
             total_rows_merged: 0,
+            tracer: Tracer::off(),
+            trace_parent: 0,
         }
+    }
+
+    /// Installs a span recorder: every subsequent commit records a
+    /// `delta_merge` span (category `commit`) carrying the new epoch and
+    /// the delta-merge accounting. With the default [`Tracer::off`] the
+    /// commit path pays a single branch.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Sets the parent span id of the next commits' `delta_merge` spans
+    /// (0 for a root). Callers serialize writers, so pointing this at the
+    /// in-flight request's span just before running the update is
+    /// race-free.
+    pub fn set_trace_parent(&mut self, parent: u64) {
+        self.trace_parent = parent;
     }
 
     /// The latest committed snapshot (the base of the pending delta).
@@ -219,6 +245,7 @@ impl StoreWriter {
         if self.inserts.is_empty() && self.deletes.is_empty() && dict_reused {
             return Arc::clone(&self.base);
         }
+        let span = self.tracer.start(self.trace_parent, "commit", "delta_merge");
         let inserts: Vec<[Id; 3]> = std::mem::take(&mut self.inserts).into_iter().collect();
         let deletes: Vec<[Id; 3]> = std::mem::take(&mut self.deletes).into_iter().collect();
         let (snap, mut stats) =
@@ -227,6 +254,14 @@ impl StoreWriter {
         self.total_rows_sorted += stats.rows_sorted;
         self.total_rows_merged += stats.rows_merged;
         self.last_commit = stats;
+        self.tracer.end_with(span, || {
+            vec![
+                ("epoch", stats.epoch.to_string()),
+                ("rows_sorted", stats.rows_sorted.to_string()),
+                ("rows_merged", stats.rows_merged.to_string()),
+                ("levels", stats.levels.to_string()),
+            ]
+        });
         let arc = Arc::new(snap);
         self.base = Arc::clone(&arc);
         arc

@@ -371,6 +371,11 @@ pub struct Wal {
     damaged: bool,
     /// Optional per-fsync latency callback (see [`Wal::set_fsync_observer`]).
     fsync_obs: ObserverSlot,
+    /// Measured duration of the most recent fsync, for
+    /// [`take_last_fsync_nanos`](Wal::take_last_fsync_nanos). Only
+    /// populated while an observer is installed (that is when fsyncs are
+    /// timed at all).
+    last_fsync_nanos: Option<u64>,
 }
 
 /// Callback invoked with the wall nanoseconds of each fsync the log issues
@@ -492,6 +497,7 @@ impl Wal {
             total_records,
             damaged: false,
             fsync_obs: ObserverSlot::default(),
+            last_fsync_nanos: None,
         };
         Ok((wal, recovery))
     }
@@ -504,18 +510,31 @@ impl Wal {
     }
 
     /// `sync_data` on the active segment, reported to the observer if one
-    /// is installed. Failed fsyncs are not recorded — the caller tears the
-    /// append down and the error path shouldn't skew latency data.
-    fn sync_data_timed(&self) -> io::Result<()> {
+    /// is installed (and returned, so callers can remember it for
+    /// [`take_last_fsync_nanos`](Self::take_last_fsync_nanos)). Failed
+    /// fsyncs are not recorded — the caller tears the append down and the
+    /// error path shouldn't skew latency data.
+    fn sync_data_timed(&self) -> io::Result<Option<u64>> {
         match &self.fsync_obs.0 {
-            None => self.file.sync_data(),
+            None => self.file.sync_data().map(|()| None),
             Some(obs) => {
                 let t = Instant::now();
                 self.file.sync_data()?;
-                obs(t.elapsed().as_nanos() as u64);
-                Ok(())
+                let nanos = t.elapsed().as_nanos() as u64;
+                obs(nanos);
+                Ok(Some(nanos))
             }
         }
+    }
+
+    /// Consumes the measured duration of the most recent fsync. `None`
+    /// when no fsync has happened since the last take, or when no
+    /// observer is installed (fsyncs are only timed while observed).
+    /// Callers tracing the append path clear this before an append and
+    /// read it afterwards to learn whether — and for how long — the
+    /// append fsynced.
+    pub fn take_last_fsync_nanos(&mut self) -> Option<u64> {
+        self.last_fsync_nanos.take()
     }
 
     /// Appends one record and applies the fsync policy. `epoch` must exceed
@@ -606,7 +625,7 @@ impl Wal {
     /// policy. After it returns, [`WalStats::synced_epoch`] equals the last
     /// appended epoch.
     pub fn sync(&mut self) -> io::Result<()> {
-        self.sync_data_timed()?;
+        self.last_fsync_nanos = self.sync_data_timed()?;
         self.synced_epoch = self.last_epoch;
         self.unsynced = 0;
         Ok(())
@@ -617,7 +636,7 @@ impl Wal {
     fn rotate(&mut self) -> io::Result<()> {
         // Seal: everything in the old segment must be durable before the
         // log moves on, or retirement ordering gets murky.
-        self.sync_data_timed()?;
+        self.last_fsync_nanos = self.sync_data_timed()?;
         self.synced_epoch = self.last_epoch;
         self.unsynced = 0;
         let base = self.last_epoch;
@@ -894,6 +913,26 @@ mod tests {
         assert_eq!(wal.stats().synced_epoch, 3);
         wal.sync().unwrap();
         assert_eq!(wal.stats().synced_epoch, 4, "explicit sync catches up");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn take_last_fsync_nanos_tracks_observed_syncs() {
+        let dir = temp_dir("fsynctake");
+        let (mut wal, _) = open(&dir, WalOptions::default());
+        // No observer installed: fsyncs happen (policy always) but are
+        // not timed, so there is nothing to take.
+        wal.append(1, b"a").unwrap();
+        assert_eq!(wal.take_last_fsync_nanos(), None);
+        let observed = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let seen = std::sync::Arc::clone(&observed);
+        wal.set_fsync_observer(std::sync::Arc::new(move |nanos| {
+            seen.store(nanos, std::sync::atomic::Ordering::Relaxed);
+        }));
+        wal.append(2, b"b").unwrap();
+        let taken = wal.take_last_fsync_nanos().expect("observed append fsync is timed");
+        assert_eq!(taken, observed.load(std::sync::atomic::Ordering::Relaxed));
+        assert_eq!(wal.take_last_fsync_nanos(), None, "take consumes");
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -3,8 +3,10 @@
 //! per-operator wall time plus estimated-vs-actual cardinality on *both*
 //! engines, unique `X-UO-Request-Id` values under concurrency, plan-cache
 //! cardinality feedback at `/stats/plans` that refreshes across commits,
-//! byte-stable profiles modulo timing fields, the `/metrics` v5 latency
-//! histograms, and the bounded slow-query log at `/stats/slow`.
+//! byte-stable profiles modulo timing fields, the `/metrics` v6 latency
+//! histograms and resource/health blocks, and the bounded slow-query log
+//! at `/stats/slow` enriched with the snapshot epoch and plan-cache
+//! outcome.
 
 use std::collections::HashSet;
 use std::io::{Read, Write};
@@ -360,12 +362,14 @@ fn profile_actuals_identical_across_worker_counts() {
     }
 }
 
-/// ISSUE acceptance: `/metrics` v5 exposes log2-bucketed latency histograms
-/// per endpoint and query type, and a `--slow-query-ms`-style threshold
-/// lands over-budget queries in the bounded `/stats/slow` ring.
+/// ISSUE acceptance: `/metrics` v6 exposes log2-bucketed latency histograms
+/// per endpoint and query type plus resource and health blocks, and a
+/// `--slow-query-ms`-style threshold lands over-budget queries in the
+/// bounded `/stats/slow` ring, each stamped with the snapshot epoch it
+/// answered from and its plan-cache outcome.
 #[test]
-fn metrics_v5_latency_histograms_and_slow_log() {
-    let (_snap, handle) = start(ServerConfig {
+fn metrics_v6_latency_histograms_and_slow_log() {
+    let (snap, handle) = start(ServerConfig {
         writable: true,
         slow_query_ms: Some(0), // every query is "slow": deterministic capture
         ..ServerConfig::default()
@@ -383,8 +387,8 @@ fn metrics_v5_latency_histograms_and_slow_log() {
     let (status, _, body) = get(addr, "/metrics");
     assert_eq!(status, 200);
     let m = uo_json::parse(&body).expect("metrics parse");
-    assert_eq!(m.get("schema").and_then(Json::as_str), Some("uo-server-metrics/5"));
-    let latency = m.get("latency").expect("v5 latency block");
+    assert_eq!(m.get("schema").and_then(Json::as_str), Some("uo-server-metrics/6"));
+    let latency = m.get("latency").expect("latency block");
     let qh = latency.get("query").expect("query histogram");
     assert_eq!(qh.get("count").and_then(Json::as_f64), Some(3.0));
     let buckets = qh.get("buckets").and_then(Json::as_arr).unwrap();
@@ -407,6 +411,27 @@ fn metrics_v5_latency_histograms_and_slow_log() {
     assert_eq!(by_type.get("BGP").and_then(|h| h.get("count")).and_then(Json::as_f64), Some(2.0));
     assert_eq!(by_type.get("UO").and_then(|h| h.get("count")).and_then(Json::as_f64), Some(1.0));
 
+    // v6: resource gauges (store bytes, plan-cache bytes, trace state).
+    let resources = m.get("resources").expect("v6 resources block");
+    assert!(resources.get("store_mem_bytes").and_then(Json::as_f64).unwrap() > 0.0);
+    assert!(resources.get("plan_cache_bytes").and_then(Json::as_f64).unwrap() > 0.0);
+    let trace = resources.get("trace").expect("trace sub-block");
+    assert_eq!(trace.get("enabled").and_then(Json::as_bool), Some(false));
+    assert_eq!(trace.get("events").and_then(Json::as_f64), Some(0.0));
+    assert_eq!(trace.get("dropped").and_then(Json::as_f64), Some(0.0));
+
+    // v6: background-task health (healthy here: fresh server, no errors).
+    let health = m.get("health").expect("v6 health block");
+    assert_eq!(health.get("degraded").and_then(Json::as_bool), Some(false));
+    assert_eq!(health.get("maintenance_errors").and_then(Json::as_f64), Some(0.0));
+    assert_eq!(health.get("consecutive_errors").and_then(Json::as_f64), Some(0.0));
+    assert!(health.get("heartbeat_age_ms").and_then(Json::as_f64).is_some());
+    assert_eq!(
+        health.get("checkpoint_age_ms"),
+        Some(&Json::Null),
+        "non-durable servers report no checkpoint age"
+    );
+
     // The slow log captured all three queries, with the same ids the
     // clients saw, newest entries retained by the bounded ring.
     let (status, _, body) = get(addr, "/stats/slow");
@@ -425,6 +450,14 @@ fn metrics_v5_latency_histograms_and_slow_log() {
         assert!(e.get("query").and_then(Json::as_str).unwrap().contains("SELECT"));
         assert!(e.get("wall_nanos").and_then(Json::as_f64).unwrap() > 0.0);
         assert!(e.get("unix_ms").and_then(Json::as_f64).unwrap() > 0.0);
+        // Enrichment: the snapshot epoch the query answered from, and how
+        // the plan cache treated it. All three queries ran pre-update at
+        // the base epoch; the repeated Q_BGP was a hit, the rest misses.
+        assert_eq!(e.get("epoch").and_then(Json::as_f64), Some(snap.epoch() as f64));
+        assert!(matches!(e.get("cache").and_then(Json::as_str), Some("hit" | "miss")));
     }
+    let outcomes: Vec<&str> =
+        entries.iter().map(|e| e.get("cache").and_then(Json::as_str).unwrap()).collect();
+    assert_eq!(outcomes.iter().filter(|o| **o == "hit").count(), 1, "{outcomes:?}");
     handle.shutdown();
 }
